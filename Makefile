@@ -1,0 +1,42 @@
+# Convenience targets; everything is plain `go` underneath (stdlib only).
+
+GO ?= go
+
+.PHONY: all build test race bench figures stress examples cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test ./... -race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerates every figure of the paper's evaluation (§1.6) plus the
+# extended-baseline sweep; writes tables to stdout and CSVs to results/.
+figures:
+	$(GO) run ./cmd/salsa-bench -duration 250ms -threads 16 -csv results all ext
+
+stress:
+	$(GO) run ./cmd/salsa-stress -rounds 20
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/webcrawler
+	$(GO) run ./examples/pipeline
+	$(GO) run ./examples/numa
+	$(GO) run ./examples/mapreduce
+
+cover:
+	$(GO) test ./... -coverprofile=cover.out && $(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt
+	rm -rf results

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"salsa/internal/workload"
+)
+
+func TestCollectRejectsUnknownFigure(t *testing.T) {
+	if _, err := collect([]string{"fig9.9"}, workload.FigureOptions{}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestCollectDeduplicates(t *testing.T) {
+	opts := workload.FigureOptions{
+		Duration:   5 * time.Millisecond,
+		MaxThreads: 4,
+		Quick:      true,
+	}
+	figs, err := collect([]string{"fig1.5a", "fig1.5b", "fig1.5a"}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fig1.5a and fig1.5b come from one sweep; the repeat adds nothing.
+	if len(figs) != 2 {
+		t.Fatalf("got %d figures, want 2", len(figs))
+	}
+	if figs[0].ID != "fig1.5a" || figs[1].ID != "fig1.5b" {
+		t.Fatalf("unexpected ids: %s, %s", figs[0].ID, figs[1].ID)
+	}
+}
+
+func TestWriteCSVFile(t *testing.T) {
+	opts := workload.FigureOptions{
+		Duration:   5 * time.Millisecond,
+		MaxThreads: 2,
+		Quick:      true,
+	}
+	figs, err := collect([]string{"fig1.8"}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := writeCSVFile(dir, figs[0]); err != nil {
+		t.Fatal(err)
+	}
+}

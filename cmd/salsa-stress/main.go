@@ -1,0 +1,189 @@
+// Command salsa-stress is a long-running invariant checker for the pool
+// implementations: it hammers a pool with concurrent producers and
+// consumers — optionally stalling some consumers at random, the paper's
+// robustness scenario (§1.1) — and verifies the paper's correctness
+// invariants online:
+//
+//   - uniqueness: no task is ever returned twice (Lemma 12);
+//   - completeness: after producers stop and the pool drains, every task
+//     was returned exactly once (Claim 4);
+//   - linearizable emptiness: a consumer that sees ⊥ after production
+//     ended must be right — the final accounting catches violations.
+//
+// Usage:
+//
+//	salsa-stress [-algorithm name] [-producers p] [-consumers c]
+//	             [-rounds r] [-tasks n] [-chunk s] [-stall frac]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"salsa"
+)
+
+type task struct {
+	producer int32
+	seq      int32
+	returned atomic.Bool
+}
+
+func parseAlgorithm(s string) (salsa.Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "salsa":
+		return salsa.SALSA, nil
+	case "salsa+cas", "salsacas":
+		return salsa.SALSACAS, nil
+	case "concbag":
+		return salsa.ConcBag, nil
+	case "ws-msq", "wsmsq":
+		return salsa.WSMSQ, nil
+	case "ws-lifo", "wslifo":
+		return salsa.WSLIFO, nil
+	case "ed-pool", "edpool":
+		return salsa.EDPool, nil
+	case "ws-chunkq", "wschunkq":
+		return salsa.WSCHUNKQ, nil
+	case "ws-baskets", "wsbaskets":
+		return salsa.WSBaskets, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q", s)
+	}
+}
+
+func main() {
+	var (
+		algName   = flag.String("algorithm", "salsa", "salsa|salsa+cas|concbag|ws-msq|ws-lifo|ed-pool|ws-chunkq|ws-baskets")
+		producers = flag.Int("producers", 4, "producer goroutines")
+		consumers = flag.Int("consumers", 4, "consumer goroutines")
+		rounds    = flag.Int("rounds", 20, "independent pool lifecycles to run")
+		tasks     = flag.Int("tasks", 50000, "tasks per producer per round")
+		chunk     = flag.Int("chunk", 64, "chunk/block size")
+		stall     = flag.Float64("stall", 0.25, "probability that a consumer stalls for a round")
+		seed      = flag.Int64("seed", 1, "rng seed for stall schedules")
+	)
+	flag.Parse()
+	alg, err := parseAlgorithm(*algName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "salsa-stress: %v\n", err)
+		os.Exit(2)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+
+	start := time.Now()
+	var totalTasks, totalSteals int64
+	for round := 0; round < *rounds; round++ {
+		stalled := map[int]bool{}
+		for ci := 0; ci < *consumers; ci++ {
+			if rng.Float64() < *stall && len(stalled) < *consumers-1 {
+				stalled[ci] = true
+			}
+		}
+		steals, err := runRound(alg, *producers, *consumers, *tasks, *chunk, stalled)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "salsa-stress: round %d FAILED: %v\n", round, err)
+			os.Exit(1)
+		}
+		totalTasks += int64(*producers) * int64(*tasks)
+		totalSteals += steals
+		fmt.Printf("round %2d ok: %d tasks, %d chunk steals, stalled consumers %v\n",
+			round, *producers**tasks, steals, keys(stalled))
+	}
+	fmt.Printf("\nPASS: %s, %d rounds, %d tasks total, %d steals, %v elapsed\n",
+		alg, *rounds, totalTasks, totalSteals, time.Since(start).Round(time.Millisecond))
+}
+
+func keys(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func runRound(alg salsa.Algorithm, producers, consumers, tasksPerProd, chunk int, stalled map[int]bool) (int64, error) {
+	pool, err := salsa.New[task](salsa.Config{
+		Algorithm: alg,
+		Producers: producers,
+		Consumers: consumers,
+		ChunkSize: chunk,
+	})
+	if err != nil {
+		return 0, err
+	}
+	all := make([][]*task, producers)
+	for pi := range all {
+		all[pi] = make([]*task, tasksPerProd)
+		for i := range all[pi] {
+			all[pi][i] = &task{producer: int32(pi), seq: int32(i)}
+		}
+	}
+
+	var done atomic.Bool
+	var pwg sync.WaitGroup
+	for pi := 0; pi < producers; pi++ {
+		pwg.Add(1)
+		go func(pi int) {
+			defer pwg.Done()
+			p := pool.Producer(pi)
+			for _, t := range all[pi] {
+				p.Put(t)
+			}
+		}(pi)
+	}
+	go func() { pwg.Wait(); done.Store(true) }()
+
+	var returned atomic.Int64
+	var dup atomic.Int64
+	var cwg sync.WaitGroup
+	for ci := 0; ci < consumers; ci++ {
+		if stalled[ci] {
+			continue
+		}
+		cwg.Add(1)
+		go func(ci int) {
+			defer cwg.Done()
+			c := pool.Consumer(ci)
+			defer c.Close()
+			for {
+				wasDone := done.Load()
+				t, ok := c.Get()
+				if ok {
+					if t.returned.Swap(true) {
+						dup.Add(1)
+					}
+					returned.Add(1)
+					continue
+				}
+				if wasDone {
+					return
+				}
+			}
+		}(ci)
+	}
+	cwg.Wait()
+
+	if dup.Load() > 0 {
+		return 0, fmt.Errorf("%d tasks returned twice (uniqueness violated)", dup.Load())
+	}
+	want := int64(producers) * int64(tasksPerProd)
+	if returned.Load() != want {
+		return 0, fmt.Errorf("returned %d of %d tasks (loss or phantom emptiness)",
+			returned.Load(), want)
+	}
+	for pi := range all {
+		for _, t := range all[pi] {
+			if !t.returned.Load() {
+				return 0, fmt.Errorf("task %d/%d never returned", t.producer, t.seq)
+			}
+		}
+	}
+	return pool.Stats().Steals, nil
+}

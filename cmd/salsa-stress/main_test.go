@@ -1,0 +1,46 @@
+package main
+
+import (
+	"testing"
+
+	"salsa"
+)
+
+func TestParseAlgorithm(t *testing.T) {
+	cases := map[string]salsa.Algorithm{
+		"salsa":     salsa.SALSA,
+		"SALSA":     salsa.SALSA,
+		"salsa+cas": salsa.SALSACAS,
+		"salsacas":  salsa.SALSACAS,
+		"concbag":   salsa.ConcBag,
+		"ws-msq":    salsa.WSMSQ,
+		"wsmsq":     salsa.WSMSQ,
+		"ws-lifo":   salsa.WSLIFO,
+		"WSLIFO":    salsa.WSLIFO,
+	}
+	for in, want := range cases {
+		got, err := parseAlgorithm(in)
+		if err != nil || got != want {
+			t.Errorf("parseAlgorithm(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseAlgorithm("bogus"); err == nil {
+		t.Error("bogus algorithm accepted")
+	}
+}
+
+func TestRunRoundDetectsNoViolations(t *testing.T) {
+	for _, alg := range []salsa.Algorithm{salsa.SALSA, salsa.WSMSQ} {
+		steals, err := runRound(alg, 2, 2, 2000, 32, map[int]bool{})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		_ = steals
+	}
+}
+
+func TestRunRoundWithStalledConsumer(t *testing.T) {
+	if _, err := runRound(salsa.SALSA, 2, 3, 3000, 16, map[int]bool{0: true}); err != nil {
+		t.Fatalf("stalled round failed: %v", err)
+	}
+}

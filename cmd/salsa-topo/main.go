@@ -1,0 +1,97 @@
+// Command salsa-topo prints the NUMA topology a salsa pool would use on
+// this machine — discovered from the OS where possible, synthetic otherwise
+// — together with the derived producer/consumer placement and access lists
+// (the paper's Figure 1.1 data, for your machine).
+//
+// Usage:
+//
+//	salsa-topo [-nodes n -cores c] [-producers p -consumers k] [-placement mode]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"salsa/internal/topology"
+)
+
+func main() {
+	var (
+		nodes     = flag.Int("nodes", 0, "synthetic topology: NUMA nodes (0 = discover)")
+		cores     = flag.Int("cores", 0, "synthetic topology: cores per node")
+		producers = flag.Int("producers", 4, "producer thread count")
+		consumers = flag.Int("consumers", 4, "consumer thread count")
+		placement = flag.String("placement", "interleaved", "placement policy: interleaved|packed|scattered")
+	)
+	flag.Parse()
+
+	var topo *topology.Topology
+	var source string
+	switch {
+	case *nodes > 0 && *cores > 0:
+		topo = topology.Synthetic(*nodes, *cores)
+		source = "synthetic"
+	default:
+		var err error
+		topo, err = topology.Discover()
+		if err != nil {
+			topo = topology.Paper32()
+			source = fmt.Sprintf("paper default (discovery failed: %v)", err)
+		} else {
+			source = "sysfs"
+		}
+	}
+
+	var policy topology.PlacementPolicy
+	switch *placement {
+	case "interleaved":
+		policy = topology.PlaceInterleaved
+	case "packed":
+		policy = topology.PlacePacked
+	case "scattered":
+		policy = topology.PlaceRandomish
+	default:
+		fmt.Fprintf(os.Stderr, "salsa-topo: unknown placement %q\n", *placement)
+		os.Exit(2)
+	}
+
+	report(os.Stdout, topo, source, *placement, policy, *producers, *consumers)
+}
+
+// report renders the topology, distance matrix, placement and access lists
+// — the Figure 1.1 data for the given machine model.
+func report(w io.Writer, topo *topology.Topology, source, placementName string,
+	policy topology.PlacementPolicy, producers, consumers int) {
+	fmt.Fprintf(w, "topology (%s): %d nodes, %d cores\n\n", source, topo.NumNodes(), topo.NumCores())
+	for n, cs := range topo.CoresOfNode {
+		fmt.Fprintf(w, "  node %d: cores %v\n", n, cs)
+	}
+	fmt.Fprintln(w, "\ndistance matrix:")
+	fmt.Fprint(w, "       ")
+	for j := range topo.Distance {
+		fmt.Fprintf(w, "%5d", j)
+	}
+	fmt.Fprintln(w)
+	for i, row := range topo.Distance {
+		fmt.Fprintf(w, "  %4d ", i)
+		for _, d := range row {
+			fmt.Fprintf(w, "%5d", d)
+		}
+		fmt.Fprintln(w)
+	}
+
+	pl := topology.Place(topo, producers, consumers, policy)
+	fmt.Fprintf(w, "\nplacement (%s): %d producers, %d consumers\n\n", placementName, producers, consumers)
+	for i := 0; i < producers; i++ {
+		fmt.Fprintf(w, "  producer %d: core %d (node %d), access list %v\n",
+			i, pl.ProducerCores[i], pl.ProducerNode(i), pl.ProducerAccessList(i))
+	}
+	fmt.Fprintln(w)
+	for i := 0; i < consumers; i++ {
+		al := pl.ConsumerAccessList(i)
+		fmt.Fprintf(w, "  consumer %d: core %d (node %d), steal order %v\n",
+			i, pl.ConsumerCores[i], pl.ConsumerNode(i), al[1:])
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"salsa/internal/topology"
+)
+
+func TestReport(t *testing.T) {
+	var sb strings.Builder
+	topo := topology.Synthetic(2, 2)
+	report(&sb, topo, "synthetic", "interleaved", topology.PlaceInterleaved, 2, 2)
+	out := sb.String()
+	for _, want := range []string{
+		"topology (synthetic): 2 nodes, 4 cores",
+		"node 0: cores [0 1]",
+		"node 1: cores [2 3]",
+		"distance matrix:",
+		"placement (interleaved): 2 producers, 2 consumers",
+		"producer 0:", "consumer 1:", "steal order",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

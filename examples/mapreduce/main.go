@@ -1,0 +1,170 @@
+// Mapreduce: a word-count job built on two salsa pools — the map phase's
+// document pool and the reduce phase's key-value pool. This is the
+// many-to-many shuffle the paper's framework was designed for: every
+// mapper produces for every reducer, the access lists route pairs to the
+// nearest reducer, and chunk stealing rebalances when reducers finish
+// their shards at different speeds.
+//
+//	documents ──pool A──► mappers ──pool B (shuffle)──► reducers ──merge──► counts
+//
+// The corpus is synthesized deterministically, so the run is offline and
+// its output is verifiable: the expected counts are computed alongside.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"salsa"
+)
+
+// Document is a unit of map input.
+type Document struct {
+	ID    int
+	Words []string
+}
+
+// Pair is one (word, count) emission travelling through the shuffle.
+type Pair struct {
+	Word  string
+	Count int
+}
+
+const (
+	feeders  = 1 // document producers
+	mappers  = 3
+	reducers = 3
+	numDocs  = 2000
+	docWords = 50
+)
+
+var vocabulary = []string{
+	"lock", "free", "chunk", "steal", "pool", "numa", "task", "queue",
+	"fence", "atomic", "cache", "line", "owner", "index", "balance",
+}
+
+func main() {
+	docPool, err := salsa.New[Document](salsa.Config{Producers: feeders, Consumers: mappers})
+	if err != nil {
+		panic(err)
+	}
+	pairPool, err := salsa.New[Pair](salsa.Config{Producers: mappers, Consumers: reducers})
+	if err != nil {
+		panic(err)
+	}
+
+	// Synthesize the corpus and the ground truth.
+	rng := rand.New(rand.NewSource(42))
+	expected := map[string]int{}
+	docs := make([]*Document, numDocs)
+	for d := range docs {
+		words := make([]string, docWords)
+		for w := range words {
+			words[w] = vocabulary[rng.Intn(len(vocabulary))]
+			expected[words[w]]++
+		}
+		docs[d] = &Document{ID: d, Words: words}
+	}
+
+	// Feed documents.
+	var fed atomic.Bool
+	go func() {
+		p := docPool.Producer(0)
+		for _, d := range docs {
+			p.Put(d)
+		}
+		fed.Store(true)
+	}()
+
+	// Map phase: consume documents, emit per-document word counts into
+	// the shuffle pool. Each mapper is a consumer of pool A and a
+	// producer of pool B.
+	var mapped atomic.Bool
+	var mwg sync.WaitGroup
+	for m := 0; m < mappers; m++ {
+		mwg.Add(1)
+		go func(m int) {
+			defer mwg.Done()
+			in := docPool.Consumer(m)
+			defer in.Close()
+			out := pairPool.Producer(m)
+			for {
+				finished := fed.Load()
+				doc, ok := in.Get()
+				if !ok {
+					if finished {
+						return
+					}
+					continue
+				}
+				local := map[string]int{}
+				for _, w := range doc.Words {
+					local[w]++
+				}
+				for w, c := range local {
+					out.Put(&Pair{Word: w, Count: c})
+				}
+			}
+		}(m)
+	}
+	go func() { mwg.Wait(); mapped.Store(true) }()
+
+	// Reduce phase: aggregate pairs into per-reducer partial sums.
+	partials := make([]map[string]int, reducers)
+	var rwg sync.WaitGroup
+	for r := 0; r < reducers; r++ {
+		rwg.Add(1)
+		go func(r int) {
+			defer rwg.Done()
+			partials[r] = map[string]int{}
+			in := pairPool.Consumer(r)
+			defer in.Close()
+			for {
+				finished := mapped.Load()
+				pair, ok := in.Get()
+				if !ok {
+					if finished {
+						return
+					}
+					continue
+				}
+				partials[r][pair.Word] += pair.Count
+			}
+		}(r)
+	}
+	rwg.Wait()
+
+	// Merge and verify against the ground truth.
+	totals := map[string]int{}
+	for _, p := range partials {
+		for w, c := range p {
+			totals[w] += c
+		}
+	}
+	words := make([]string, 0, len(totals))
+	for w := range totals {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+
+	fmt.Printf("word counts over %d documents (%d words):\n", numDocs, numDocs*docWords)
+	bad := 0
+	for _, w := range words {
+		marker := ""
+		if totals[w] != expected[w] {
+			marker = "  MISMATCH"
+			bad++
+		}
+		fmt.Printf("  %-8s %6d%s\n", w, totals[w], marker)
+	}
+	if bad > 0 || len(totals) != len(expected) {
+		panic("mapreduce produced wrong counts")
+	}
+	a, b := docPool.Stats(), pairPool.Stats()
+	fmt.Printf("\nshuffle traffic: %d pairs, %d chunk steals; doc pool: %d steals\n",
+		b.Puts, b.Steals, a.Steals)
+	fmt.Printf("CAS per retrieval: docs %.4f, shuffle %.4f\n", a.CASPerGet(), b.CASPerGet())
+}

@@ -1,0 +1,138 @@
+// Pipeline: two salsa pools chained into a decode → transform pipeline, the
+// many-producers/many-consumers regime of Figure 1.4(b). Stage-1 workers
+// consume raw records from the ingest pool and *produce* decoded records
+// into the second pool — each worker holds a Consumer handle on one pool
+// and a Producer handle on the next, showing how handles compose.
+//
+//	ingest (P0..P1) ──pool A──► decode (W0..W2) ──pool B──► transform (T0..T2)
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"salsa"
+)
+
+// Raw is an undecoded input record.
+type Raw struct {
+	ID   int
+	Blob [16]byte
+}
+
+// Record is a decoded record flowing through stage 2.
+type Record struct {
+	ID       int
+	Checksum uint32
+}
+
+const (
+	ingesters    = 2
+	decoders     = 3
+	transformers = 3
+	records      = 50_000
+)
+
+func main() {
+	poolA, err := salsa.New[Raw](salsa.Config{Producers: ingesters, Consumers: decoders})
+	if err != nil {
+		panic(err)
+	}
+	// Stage-2 pool: the decoders are its producers.
+	poolB, err := salsa.New[Record](salsa.Config{Producers: decoders, Consumers: transformers})
+	if err != nil {
+		panic(err)
+	}
+
+	var ingested atomic.Int64
+	var ingestDone, decodeDone atomic.Bool
+
+	// Stage 0: ingest.
+	var iwg sync.WaitGroup
+	for i := 0; i < ingesters; i++ {
+		iwg.Add(1)
+		go func(i int) {
+			defer iwg.Done()
+			h := poolA.Producer(i)
+			for {
+				n := int(ingested.Add(1))
+				if n > records {
+					return
+				}
+				r := &Raw{ID: n}
+				for b := range r.Blob {
+					r.Blob[b] = byte(n >> (b % 8))
+				}
+				h.Put(r)
+			}
+		}(i)
+	}
+	go func() { iwg.Wait(); ingestDone.Store(true) }()
+
+	// Stage 1: decode. Consumer on pool A, producer on pool B.
+	var decoded atomic.Int64
+	var dwg sync.WaitGroup
+	for d := 0; d < decoders; d++ {
+		dwg.Add(1)
+		go func(d int) {
+			defer dwg.Done()
+			in := poolA.Consumer(d)
+			defer in.Close()
+			out := poolB.Producer(d)
+			for {
+				finished := ingestDone.Load()
+				raw, ok := in.Get()
+				if !ok {
+					if finished {
+						return
+					}
+					continue
+				}
+				var sum uint32
+				for _, b := range raw.Blob {
+					sum = sum*31 + uint32(b)
+				}
+				out.Put(&Record{ID: raw.ID, Checksum: sum})
+				decoded.Add(1)
+			}
+		}(d)
+	}
+	go func() { dwg.Wait(); decodeDone.Store(true) }()
+
+	// Stage 2: transform.
+	var transformed atomic.Int64
+	var sumAll atomic.Uint64
+	var twg sync.WaitGroup
+	for t := 0; t < transformers; t++ {
+		twg.Add(1)
+		go func(t int) {
+			defer twg.Done()
+			h := poolB.Consumer(t)
+			defer h.Close()
+			for {
+				finished := decodeDone.Load()
+				rec, ok := h.Get()
+				if !ok {
+					if finished {
+						return
+					}
+					continue
+				}
+				sumAll.Add(uint64(rec.Checksum))
+				transformed.Add(1)
+			}
+		}(t)
+	}
+	twg.Wait()
+
+	fmt.Printf("ingested %d, decoded %d, transformed %d records\n",
+		records, decoded.Load(), transformed.Load())
+	fmt.Printf("checksum accumulator: %d\n", sumAll.Load())
+	a, b := poolA.Stats(), poolB.Stats()
+	fmt.Printf("stage A: %.4f CAS/task, %d steals; stage B: %.4f CAS/task, %d steals\n",
+		a.CASPerGet(), a.Steals, b.CASPerGet(), b.Steals)
+	if transformed.Load() != records {
+		panic(fmt.Sprintf("pipeline lost records: %d of %d", transformed.Load(), records))
+	}
+}

@@ -1,0 +1,128 @@
+// Webcrawler: a producer-consumer workload with the imbalance the paper's
+// introduction motivates. Fetcher threads (producers) discover links at
+// wildly different rates — some sites are fast, some crawl — and parser
+// threads (consumers) occasionally stall on a huge page. SALSA's
+// producer-based balancing routes discoveries away from overloaded parsers,
+// and chunk stealing keeps stalled parsers' backlogs from rotting.
+//
+// The "web" is simulated: pages are synthesized from a seeded RNG so the
+// run is self-contained, deterministic, and offline.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"salsa"
+)
+
+// Page is a discovered page waiting to be parsed.
+type Page struct {
+	URL   string
+	Depth int
+	Size  int // bytes; drives simulated parse time
+}
+
+const (
+	fetchers   = 3
+	parsers    = 3
+	maxPages   = 30_000
+	slowParser = 0 // parser 0 stalls periodically
+)
+
+func main() {
+	pool, err := salsa.New[Page](salsa.Config{
+		Producers: fetchers,
+		Consumers: parsers,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	var discovered, parsed atomic.Int64
+	var fetchersDone atomic.Bool
+
+	// Fetchers: each produces pages at its own (very different) rate.
+	var fwg sync.WaitGroup
+	for f := 0; f < fetchers; f++ {
+		fwg.Add(1)
+		go func(f int) {
+			defer fwg.Done()
+			rng := rand.New(rand.NewSource(int64(f) + 1))
+			h := pool.Producer(f)
+			// Fetcher 0 is a firehose; fetcher 2 trickles.
+			burst := []int{64, 8, 1}[f]
+			for discovered.Load() < maxPages {
+				for i := 0; i < burst; i++ {
+					n := discovered.Add(1)
+					if n > maxPages {
+						return
+					}
+					h.Put(&Page{
+						URL:   fmt.Sprintf("https://site-%d.example/page/%d", f, n),
+						Depth: rng.Intn(6),
+						Size:  1 << (8 + rng.Intn(8)),
+					})
+				}
+				time.Sleep(time.Duration(f) * 100 * time.Microsecond)
+			}
+		}(f)
+	}
+	go func() { fwg.Wait(); fetchersDone.Store(true) }()
+
+	// Parsers: parser 0 stalls for 2 ms every 500 pages (a GC pause, a
+	// pathological page, a noisy neighbour — §1.1's "unexpected thread
+	// stalls"). The others pick up its slack by stealing whole chunks.
+	perParser := make([]int64, parsers)
+	var pwg sync.WaitGroup
+	for c := 0; c < parsers; c++ {
+		pwg.Add(1)
+		go func(c int) {
+			defer pwg.Done()
+			h := pool.Consumer(c)
+			defer h.Close()
+			var n int64
+			for {
+				finished := fetchersDone.Load()
+				page, ok := h.Get()
+				if !ok {
+					if finished {
+						perParser[c] = n
+						return
+					}
+					continue
+				}
+				// "Parse": cost proportional to page size.
+				sink := 0
+				for i := 0; i < page.Size/256; i++ {
+					sink += i
+				}
+				_ = sink
+				n++
+				parsed.Add(1)
+				if c == slowParser && n%500 == 0 {
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+		}(c)
+	}
+	pwg.Wait()
+
+	stats := pool.Stats()
+	fmt.Printf("crawled %d pages, parsed %d\n", stats.Puts, parsed.Load())
+	for c, n := range perParser {
+		tag := ""
+		if c == slowParser {
+			tag = "  (stalls injected)"
+		}
+		fmt.Printf("  parser %d handled %6d pages%s\n", c, n, tag)
+	}
+	fmt.Printf("chunk steals: %d — work migrated away from the slow parser\n", stats.Steals)
+	fmt.Printf("produce() overload diversions: %d — balancing routed around backlogs\n", stats.ProduceFull)
+	if parsed.Load() != maxPages {
+		panic(fmt.Sprintf("lost pages: parsed %d of %d", parsed.Load(), maxPages))
+	}
+}

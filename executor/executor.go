@@ -1,0 +1,171 @@
+// Package executor is a fixed-size worker pool built on a salsa task pool —
+// the kind of "additional scalable high-performance service" the paper's
+// conclusions (§1.8) suggest building on top of partitioned pools with
+// chunk-based migration.
+//
+// An Executor owns W worker goroutines, each driving its own salsa
+// Consumer handle on its own (logical) core. Submissions enter through a
+// set of producer lanes; each lane wraps one salsa Producer handle with a
+// mutex, and Submit spreads callers across lanes round-robin. The brief
+// per-lane lock adapts salsa's single-owner handle model to Go's
+// anonymous-goroutine world; with as many lanes as submitting goroutines
+// the lock is uncontended, and the task transfer itself remains SALSA's
+// CAS-free fast path.
+package executor
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"salsa"
+)
+
+// Task is a unit of work. Panics inside a task are recovered and counted,
+// never killing a worker.
+type Task func()
+
+// ErrShutdown is returned by Submit after Shutdown has been called.
+var ErrShutdown = errors.New("executor: shut down")
+
+// Config sizes the executor.
+type Config struct {
+	// Workers is the number of consumer goroutines. Required.
+	Workers int
+	// SubmitLanes is the number of producer lanes; defaults to Workers.
+	// Size it to the expected number of concurrently submitting
+	// goroutines to keep lanes uncontended.
+	SubmitLanes int
+	// ChunkSize forwards to the pool (0 = SALSA default).
+	ChunkSize int
+	// PinWorkers binds workers to their placement cores (Linux).
+	PinWorkers bool
+}
+
+// Executor runs submitted tasks on a fixed worker set.
+type Executor struct {
+	pool  *salsa.Pool[Task]
+	lanes []lane
+	next  atomic.Uint64
+
+	stop     chan struct{}
+	workers  sync.WaitGroup
+	shutdown atomic.Bool
+
+	executed atomic.Int64
+	panics   atomic.Int64
+}
+
+type lane struct {
+	mu sync.Mutex
+	p  *salsa.Producer[Task]
+	_  [40]byte // keep lanes off each other's cache lines
+}
+
+// New builds and starts the executor.
+func New(cfg Config) (*Executor, error) {
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("executor: Workers must be positive, got %d", cfg.Workers)
+	}
+	if cfg.SubmitLanes <= 0 {
+		cfg.SubmitLanes = cfg.Workers
+	}
+	pool, err := salsa.New[Task](salsa.Config{
+		Producers: cfg.SubmitLanes,
+		Consumers: cfg.Workers,
+		ChunkSize: cfg.ChunkSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e := &Executor{
+		pool:  pool,
+		lanes: make([]lane, cfg.SubmitLanes),
+		stop:  make(chan struct{}),
+	}
+	for i := range e.lanes {
+		e.lanes[i].p = pool.Producer(i)
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		e.workers.Add(1)
+		go e.worker(w, cfg.PinWorkers)
+	}
+	return e, nil
+}
+
+func (e *Executor) worker(id int, pin bool) {
+	defer e.workers.Done()
+	c := e.pool.Consumer(id)
+	if pin {
+		c.Pin()
+		defer c.Unpin()
+	}
+	defer c.Close()
+	for {
+		t, ok := c.GetWait(e.stop)
+		if !ok {
+			// Stop requested: drain what is already in the pool so
+			// Shutdown(wait=true) keeps its promise, then exit on the
+			// linearizable empty.
+			for {
+				t, ok := c.Get()
+				if !ok {
+					return
+				}
+				e.run(t)
+			}
+		}
+		e.run(t)
+	}
+}
+
+func (e *Executor) run(t *Task) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.panics.Add(1)
+		}
+	}()
+	(*t)()
+	e.executed.Add(1)
+}
+
+// Submit schedules t for execution. Safe to call from any goroutine.
+func (e *Executor) Submit(t Task) error {
+	if t == nil {
+		return errors.New("executor: nil task")
+	}
+	if e.shutdown.Load() {
+		return ErrShutdown
+	}
+	l := &e.lanes[e.next.Add(1)%uint64(len(e.lanes))]
+	l.mu.Lock()
+	l.p.Put(&t)
+	l.mu.Unlock()
+	return nil
+}
+
+// Shutdown stops accepting submissions. With wait=true it blocks until the
+// workers have drained every task already submitted.
+func (e *Executor) Shutdown(wait bool) {
+	if e.shutdown.Swap(true) {
+		if wait {
+			e.workers.Wait()
+		}
+		return
+	}
+	close(e.stop)
+	if wait {
+		e.workers.Wait()
+	}
+}
+
+// Executed returns the number of tasks completed (including panicked ones,
+// which are also counted in Panics).
+func (e *Executor) Executed() int64 { return e.executed.Load() + e.panics.Load() }
+
+// Panics returns the number of tasks that panicked.
+func (e *Executor) Panics() int64 { return e.panics.Load() }
+
+// Stats exposes the underlying pool's operation census.
+func (e *Executor) Stats() salsa.Stats { return e.pool.Stats() }

@@ -1,0 +1,144 @@
+package executor
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunsAllSubmittedTasks(t *testing.T) {
+	e, err := New(Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n/4; i++ {
+				if err := e.Submit(func() { ran.Add(1) }); err != nil {
+					t.Errorf("Submit: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	e.Shutdown(true)
+	if ran.Load() != n {
+		t.Fatalf("ran %d of %d tasks", ran.Load(), n)
+	}
+	if e.Executed() != n {
+		t.Fatalf("Executed = %d, want %d", e.Executed(), n)
+	}
+}
+
+func TestShutdownDrains(t *testing.T) {
+	e, err := New(Config{Workers: 2, SubmitLanes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int64
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if err := e.Submit(func() { ran.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Shutdown(true) // must not return before the backlog is executed
+	if ran.Load() != n {
+		t.Fatalf("Shutdown(true) returned with %d of %d tasks run", ran.Load(), n)
+	}
+	if err := e.Submit(func() {}); err != ErrShutdown {
+		t.Fatalf("Submit after shutdown = %v, want ErrShutdown", err)
+	}
+	// Idempotent.
+	e.Shutdown(true)
+	e.Shutdown(false)
+}
+
+func TestPanickingTaskDoesNotKillWorker(t *testing.T) {
+	e, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var after atomic.Bool
+	if err := e.Submit(func() { panic("boom") }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Submit(func() { after.Store(true) }); err != nil {
+		t.Fatal(err)
+	}
+	e.Shutdown(true)
+	if !after.Load() {
+		t.Fatal("worker died after a panicking task")
+	}
+	if e.Panics() != 1 {
+		t.Fatalf("Panics = %d, want 1", e.Panics())
+	}
+	if e.Executed() != 2 {
+		t.Fatalf("Executed = %d, want 2 (panicked tasks count)", e.Executed())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{Workers: 0}); err == nil {
+		t.Error("Workers=0 accepted")
+	}
+	e, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Shutdown(true)
+	if err := e.Submit(nil); err == nil {
+		t.Error("nil task accepted")
+	}
+}
+
+func TestBackloggedShutdownUnderLoad(t *testing.T) {
+	e, err := New(Config{Workers: 2, ChunkSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int64
+	const n = 2000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if e.Submit(func() {
+				ran.Add(1)
+				if ran.Load()%500 == 0 {
+					time.Sleep(time.Millisecond) // simulate slow tasks
+				}
+			}) != nil {
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	e.Shutdown(true)
+	if ran.Load() != n {
+		t.Fatalf("ran %d of %d", ran.Load(), n)
+	}
+}
+
+func TestStatsExposed(t *testing.T) {
+	e, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		e.Submit(func() {})
+	}
+	e.Shutdown(true)
+	s := e.Stats()
+	if s.Puts != 100 || s.Gets != 100 {
+		t.Fatalf("stats Puts/Gets = %d/%d, want 100/100", s.Puts, s.Gets)
+	}
+}

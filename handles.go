@@ -1,0 +1,86 @@
+package salsa
+
+import (
+	"salsa/internal/affinity"
+	"salsa/internal/framework"
+)
+
+// Producer inserts tasks into the pool. Each handle is single-goroutine;
+// create one handle per producing goroutine.
+type Producer[T any] struct {
+	h    *framework.Producer[T]
+	pool *Pool[T]
+}
+
+// Put inserts t. Tasks must be non-nil and, as in the paper's model
+// (§1.3.3), each live *T should be inserted at most once at a time;
+// re-inserting a pointer after it was consumed is fine.
+func (p *Producer[T]) Put(t *T) { p.h.Put(t) }
+
+// ID returns the handle's producer id.
+func (p *Producer[T]) ID() int { return p.h.ID() }
+
+// Node returns the NUMA node this producer is placed on.
+func (p *Producer[T]) Node() int { return p.h.Node() }
+
+// Stats returns this producer's operation counters.
+func (p *Producer[T]) Stats() Stats { return p.h.Ops() }
+
+// Pin locks the calling goroutine to an OS thread and binds it to the core
+// assigned to this producer by the placement. Returns true when the OS
+// accepted the binding (Linux with enough CPUs); pinning is advisory
+// elsewhere. Pair with Unpin.
+func (p *Producer[T]) Pin() bool {
+	core := p.pool.placement.ProducerCores[p.h.ID()]
+	return affinity.Pin(core) == affinity.Pinned
+}
+
+// Unpin releases the OS-thread binding taken by Pin.
+func (p *Producer[T]) Unpin() { affinity.Unpin() }
+
+// Consumer retrieves tasks from the pool. Each handle is single-goroutine;
+// create one handle per consuming goroutine.
+type Consumer[T any] struct {
+	h    *framework.Consumer[T]
+	pool *Pool[T]
+}
+
+// Get retrieves a task. ok=false means the pool was empty at some instant
+// during the call (linearizable, unless the pool was configured with
+// NonLinearizableEmpty).
+func (c *Consumer[T]) Get() (t *T, ok bool) { return c.h.Get() }
+
+// TryGet performs one consume-then-steal pass. ok=false means this pass
+// found nothing, not that the pool was empty.
+func (c *Consumer[T]) TryGet() (t *T, ok bool) { return c.h.TryGet() }
+
+// GetWait retrieves a task, spinning through empty periods until one
+// arrives or stop is closed.
+func (c *Consumer[T]) GetWait(stop <-chan struct{}) (t *T, ok bool) { return c.h.GetWait(stop) }
+
+// ID returns the handle's consumer id.
+func (c *Consumer[T]) ID() int { return c.h.ID() }
+
+// Node returns the NUMA node this consumer is placed on.
+func (c *Consumer[T]) Node() int { return c.h.Node() }
+
+// Stats returns this consumer's operation counters.
+func (c *Consumer[T]) Stats() Stats { return c.h.Ops() }
+
+// Pin locks the calling goroutine to an OS thread and binds it to the core
+// assigned to this consumer by the placement.
+func (c *Consumer[T]) Pin() bool {
+	core := c.pool.placement.ConsumerCores[c.h.ID()]
+	return affinity.Pin(core) == affinity.Pinned
+}
+
+// Unpin releases the OS-thread binding taken by Pin.
+func (c *Consumer[T]) Unpin() { affinity.Unpin() }
+
+// Close releases per-consumer resources (SALSA's hazard record). Call when
+// the consuming goroutine retires; the handle must not be used afterwards.
+func (c *Consumer[T]) Close() {
+	if c.pool.salsa != nil {
+		c.pool.salsa.ReleaseConsumer(c.h.State())
+	}
+}

@@ -1,0 +1,63 @@
+// Package affinity pins OS threads to CPUs.
+//
+// The paper's evaluation pins every producer and consumer to a core so that
+// access lists reflect real proximity and so the Dice-style displacement
+// fence (§1.6.1) is possible. Go offers runtime.LockOSThread but no portable
+// core pinning; on Linux this package issues the raw sched_setaffinity
+// system call (stdlib syscall only). On other platforms, or when the mask
+// cannot be applied (e.g. a 1-CPU container asked for core 7), pinning
+// degrades to a recorded no-op: the logical placement still drives access
+// lists and the NUMA simulator, which is what the reproduced experiments
+// consume.
+package affinity
+
+import "runtime"
+
+// PinResult reports what Pin actually achieved.
+type PinResult int
+
+const (
+	// Pinned means the OS accepted the affinity mask for this thread.
+	Pinned PinResult = iota
+	// Clamped means the requested CPU does not exist; the thread was
+	// pinned to requested % NumCPU instead.
+	Clamped
+	// Unsupported means the platform offers no thread affinity control;
+	// the placement remains logical.
+	Unsupported
+)
+
+func (r PinResult) String() string {
+	switch r {
+	case Pinned:
+		return "pinned"
+	case Clamped:
+		return "clamped"
+	default:
+		return "unsupported"
+	}
+}
+
+// Pin locks the calling goroutine to its OS thread and binds that thread to
+// the given CPU. Callers must invoke it from the goroutine to pin and should
+// pair it with runtime.UnlockOSThread when done.
+func Pin(cpu int) PinResult {
+	runtime.LockOSThread()
+	n := runtime.NumCPU()
+	res := Pinned
+	if cpu >= n {
+		cpu %= n
+		res = Clamped
+	}
+	if !setAffinity(cpu) {
+		return Unsupported
+	}
+	return res
+}
+
+// Unpin releases the OS-thread lock taken by Pin. The kernel affinity mask
+// is restored to all CPUs on platforms that support it.
+func Unpin() {
+	clearAffinity()
+	runtime.UnlockOSThread()
+}

@@ -1,0 +1,58 @@
+//go:build linux
+
+package affinity
+
+import (
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// cpuSet mirrors the kernel's cpu_set_t for sched_setaffinity: 1024 bits.
+type cpuSet [16]uint64
+
+func setAffinity(cpu int) bool {
+	var set cpuSet
+	set[cpu/64] |= 1 << (uint(cpu) % 64)
+	return schedSetaffinity(&set)
+}
+
+func clearAffinity() {
+	var set cpuSet
+	for i := 0; i < runtime.NumCPU() && i < len(set)*64; i++ {
+		set[i/64] |= 1 << (uint(i) % 64)
+	}
+	schedSetaffinity(&set)
+}
+
+func schedSetaffinity(set *cpuSet) bool {
+	// pid 0 = calling thread. RawSyscall keeps us on the locked thread.
+	_, _, errno := syscall.RawSyscall(
+		syscall.SYS_SCHED_SETAFFINITY,
+		0,
+		uintptr(unsafe.Sizeof(*set)),
+		uintptr(unsafe.Pointer(set)),
+	)
+	return errno == 0
+}
+
+// CurrentMask returns the CPUs the calling thread may run on, for tests.
+func CurrentMask() ([]int, bool) {
+	var set cpuSet
+	_, _, errno := syscall.RawSyscall(
+		syscall.SYS_SCHED_GETAFFINITY,
+		0,
+		uintptr(unsafe.Sizeof(set)),
+		uintptr(unsafe.Pointer(&set)),
+	)
+	if errno != 0 {
+		return nil, false
+	}
+	var cpus []int
+	for i := 0; i < len(set)*64; i++ {
+		if set[i/64]&(1<<(uint(i)%64)) != 0 {
+			cpus = append(cpus, i)
+		}
+	}
+	return cpus, true
+}

@@ -1,0 +1,10 @@
+//go:build !linux
+
+package affinity
+
+func setAffinity(int) bool { return false }
+
+func clearAffinity() {}
+
+// CurrentMask is unavailable off Linux.
+func CurrentMask() ([]int, bool) { return nil, false }

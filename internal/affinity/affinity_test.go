@@ -1,0 +1,65 @@
+package affinity
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestPinAndUnpin(t *testing.T) {
+	res := Pin(0)
+	defer Unpin()
+	if runtime.GOOS == "linux" {
+		if res == Unsupported {
+			t.Fatal("sched_setaffinity failed on Linux")
+		}
+		cpus, ok := CurrentMask()
+		if !ok {
+			t.Fatal("CurrentMask failed on Linux")
+		}
+		if len(cpus) != 1 || cpus[0] != 0 {
+			t.Fatalf("mask = %v, want [0]", cpus)
+		}
+	}
+}
+
+func TestPinClampsOutOfRangeCPU(t *testing.T) {
+	res := Pin(runtime.NumCPU() + 17)
+	defer Unpin()
+	if runtime.GOOS == "linux" && res == Unsupported {
+		t.Fatal("clamped pin failed on Linux")
+	}
+	if runtime.NumCPU() > 1 && res != Clamped && runtime.GOOS == "linux" {
+		// On a 1-CPU machine NumCPU+17 clamps to 0 == valid; with more
+		// CPUs the result must be reported as clamped.
+		t.Errorf("Pin(out-of-range) = %v, want Clamped", res)
+	}
+}
+
+func TestUnpinRestoresWideMask(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("affinity masks are Linux-only")
+	}
+	Pin(0)
+	Unpin()
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	cpus, ok := CurrentMask()
+	if !ok {
+		t.Fatal("CurrentMask failed")
+	}
+	if len(cpus) < runtime.NumCPU() {
+		t.Errorf("mask %v narrower than %d CPUs after Unpin", cpus, runtime.NumCPU())
+	}
+}
+
+func TestPinResultString(t *testing.T) {
+	for r, want := range map[PinResult]string{
+		Pinned:      "pinned",
+		Clamped:     "clamped",
+		Unsupported: "unsupported",
+	} {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q, want %q", r, r.String(), want)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package basketsqueue implements the Baskets Queue of Hoffman, Shalev and
+// Shavit (OPODIS 2007), one of the FIFO queues the paper's related-work
+// section analyses (§1.2): "Hoffman et al. try to reduce the contention of
+// the put operation by allowing concurrent put operations to add tasks to
+// the same basket."
+//
+// The idea: when an enqueue fails its CAS on the tail — proof that another
+// enqueue was concurrent, so their relative order is unconstrained — the
+// failed enqueuer joins the *basket* that the winner just opened, inserting
+// its node just after the winner instead of re-contending for a new tail
+// position. Dequeues mark nodes logically deleted and advance the head over
+// deleted prefixes in batches.
+//
+// As the paper observes, the basket trick reduces tail contention but every
+// insertion still needs at least one CAS, so the queue remains
+// non-scalable under high contention — which is exactly why it is
+// interesting as a baseline next to SALSA's CAS-free fast path. In Go the
+// original's version-tagged pointers are unnecessary: nodes are never
+// reused, and the GC prevents ABA on node addresses.
+package basketsqueue
+
+import "sync/atomic"
+
+const (
+	// maxHops is how many deleted nodes a dequeue tolerates before it
+	// helps advance the head pointer (the original's HOPS constant).
+	maxHops = 3
+	// basketSpins bounds the retry loop inside one basket before a
+	// thread restarts from the tail.
+	basketSpins = 128
+)
+
+type node[T any] struct {
+	val     T
+	deleted atomic.Bool
+	next    atomic.Pointer[node[T]]
+}
+
+// Queue is a lock-free FIFO(-ish) queue: elements of one basket — enqueues
+// that were provably concurrent — may dequeue in either order; everything
+// else is FIFO.
+type Queue[T any] struct {
+	head atomic.Pointer[node[T]]
+	tail atomic.Pointer[node[T]]
+
+	countCAS bool
+	casOps   atomic.Int64
+}
+
+// New returns an empty queue.
+func New[T any]() *Queue[T] {
+	q := &Queue[T]{}
+	s := &node[T]{}
+	s.deleted.Store(true) // sentinel counts as consumed
+	q.head.Store(s)
+	q.tail.Store(s)
+	return q
+}
+
+// NewCounted returns an empty queue that counts CAS attempts.
+func NewCounted[T any]() *Queue[T] {
+	q := New[T]()
+	q.countCAS = true
+	return q
+}
+
+func (q *Queue[T]) cas() {
+	if q.countCAS {
+		q.casOps.Add(1)
+	}
+}
+
+// Enqueue appends v.
+func (q *Queue[T]) Enqueue(v T) {
+	n := &node[T]{val: v}
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if tail != q.tail.Load() {
+			continue
+		}
+		if next == nil {
+			// Try to open a new basket at the tail.
+			q.cas()
+			if tail.next.CompareAndSwap(nil, n) {
+				q.cas()
+				q.tail.CompareAndSwap(tail, n)
+				return
+			}
+			// CAS failed ⇒ we are concurrent with the winner: join
+			// its basket by inserting right behind the tail node.
+			for spins := 0; spins < basketSpins; spins++ {
+				nxt := tail.next.Load()
+				if q.tail.Load() != tail || nxt == nil {
+					break // basket window closed; restart from tail
+				}
+				n.next.Store(nxt)
+				q.cas()
+				if tail.next.CompareAndSwap(nxt, n) {
+					return
+				}
+			}
+			continue
+		}
+		// Tail lagging: help it forward.
+		q.cas()
+		q.tail.CompareAndSwap(tail, next)
+	}
+}
+
+// Dequeue removes and returns a value; ok=false when the queue was observed
+// empty.
+func (q *Queue[T]) Dequeue() (T, bool) {
+	var zero T
+	for {
+		head := q.head.Load()
+		tail := q.tail.Load()
+
+		// Walk past the deleted prefix.
+		cur := head
+		hops := 0
+		for cur.deleted.Load() {
+			next := cur.next.Load()
+			if next == nil {
+				// Everything reachable is consumed.
+				if hops > 0 {
+					q.cas()
+					q.head.CompareAndSwap(head, cur)
+				}
+				return zero, false
+			}
+			cur = next
+			hops++
+		}
+		if head != q.head.Load() {
+			continue // head moved; retry to stay within a valid snapshot
+		}
+		if hops >= maxHops {
+			// Free the deleted prefix for the GC by advancing head.
+			q.cas()
+			q.head.CompareAndSwap(head, cur)
+		}
+		// cur is the first live node: claim it.
+		q.cas()
+		if cur.deleted.CompareAndSwap(false, true) {
+			v := cur.val
+			cur.val = zero
+			_ = tail
+			return v, true
+		}
+	}
+}
+
+// IsEmpty reports whether a scan found no live element.
+func (q *Queue[T]) IsEmpty() bool {
+	for cur := q.head.Load(); cur != nil; cur = cur.next.Load() {
+		if !cur.deleted.Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// Len counts live elements. O(n); tests and stats only.
+func (q *Queue[T]) Len() int {
+	n := 0
+	for cur := q.head.Load(); cur != nil; cur = cur.next.Load() {
+		if !cur.deleted.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// CASCount returns cumulative CAS attempts (zero unless NewCounted).
+func (q *Queue[T]) CASCount() int64 { return q.casOps.Load() }

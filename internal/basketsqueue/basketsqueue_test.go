@@ -1,0 +1,215 @@
+package basketsqueue
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyDequeue(t *testing.T) {
+	q := New[int]()
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("empty queue yielded a value")
+	}
+	if !q.IsEmpty() || q.Len() != 0 {
+		t.Fatal("fresh queue not empty")
+	}
+}
+
+func TestSequentialFIFO(t *testing.T) {
+	q := New[int]()
+	const n = 500
+	for i := 0; i < n; i++ {
+		q.Enqueue(i)
+	}
+	if q.Len() != n {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	// Sequential enqueues are never concurrent, so strict FIFO applies.
+	for i := 0; i < n; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("Dequeue %d = (%d,%v)", i, v, ok)
+		}
+	}
+	if !q.IsEmpty() {
+		t.Fatal("queue not empty after drain")
+	}
+}
+
+func TestInterleaved(t *testing.T) {
+	q := New[string]()
+	q.Enqueue("a")
+	if v, _ := q.Dequeue(); v != "a" {
+		t.Fatalf("got %q", v)
+	}
+	q.Enqueue("b")
+	q.Enqueue("c")
+	if v, _ := q.Dequeue(); v != "b" {
+		t.Fatalf("got %q", v)
+	}
+	q.Enqueue("d")
+	if v, _ := q.Dequeue(); v != "c" {
+		t.Fatalf("got %q", v)
+	}
+	if v, _ := q.Dequeue(); v != "d" {
+		t.Fatalf("got %q", v)
+	}
+}
+
+func TestHeadAdvancesOverDeletedPrefix(t *testing.T) {
+	q := New[int]()
+	for i := 0; i < 50; i++ {
+		q.Enqueue(i)
+	}
+	for i := 0; i < 50; i++ {
+		q.Dequeue()
+	}
+	// After draining, the head should have hopped forward (maxHops
+	// batching) so the deleted prefix is bounded.
+	hops := 0
+	for cur := q.head.Load(); cur != nil; cur = cur.next.Load() {
+		hops++
+	}
+	if hops > maxHops+2 {
+		t.Errorf("head left %d nodes reachable; prefix not reclaimed", hops)
+	}
+}
+
+func TestConcurrentMPMCConservation(t *testing.T) {
+	q := New[int]()
+	const (
+		producers = 4
+		consumers = 4
+		perProd   = 10000
+	)
+	var pwg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		pwg.Add(1)
+		go func(base int) {
+			defer pwg.Done()
+			for i := 0; i < perProd; i++ {
+				q.Enqueue(base + i)
+			}
+		}(p * perProd)
+	}
+	var mu sync.Mutex
+	var got []int
+	stop := make(chan struct{})
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			var local []int
+			for {
+				if v, ok := q.Dequeue(); ok {
+					local = append(local, v)
+					continue
+				}
+				select {
+				case <-stop:
+					for {
+						v, ok := q.Dequeue()
+						if !ok {
+							mu.Lock()
+							got = append(got, local...)
+							mu.Unlock()
+							return
+						}
+						local = append(local, v)
+					}
+				default:
+				}
+			}
+		}()
+	}
+	pwg.Wait()
+	close(stop)
+	cwg.Wait()
+
+	if len(got) != producers*perProd {
+		t.Fatalf("got %d, want %d", len(got), producers*perProd)
+	}
+	sort.Ints(got)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("missing/duplicated element at %d: %d", i, v)
+		}
+	}
+}
+
+// TestPerProducerOrder: baskets may reorder *concurrent* enqueues, but one
+// producer's own elements stay FIFO.
+func TestPerProducerOrder(t *testing.T) {
+	q := New[[2]int]()
+	const producers = 3
+	const perProd = 5000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				q.Enqueue([2]int{id, i})
+			}
+		}(p)
+	}
+	wg.Wait()
+	last := map[int]int{0: -1, 1: -1, 2: -1}
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		if v[1] <= last[v[0]] {
+			t.Fatalf("producer %d order violated: %d after %d", v[0], v[1], last[v[0]])
+		}
+		last[v[0]] = v[1]
+	}
+}
+
+func TestCASCounting(t *testing.T) {
+	q := NewCounted[int]()
+	q.Enqueue(1)
+	q.Dequeue()
+	if q.CASCount() == 0 {
+		t.Fatal("counted queue reports zero CAS")
+	}
+	q2 := New[int]()
+	q2.Enqueue(1)
+	q2.Dequeue()
+	if q2.CASCount() != 0 {
+		t.Fatal("uncounted queue reports CAS")
+	}
+}
+
+func TestQuickSequentialModel(t *testing.T) {
+	f := func(ops []int16) bool {
+		q := New[int16]()
+		var model []int16
+		for _, op := range ops {
+			if op >= 0 {
+				q.Enqueue(op)
+				model = append(model, op)
+			} else {
+				v, ok := q.Dequeue()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				if !ok || v != model[0] {
+					return false
+				}
+				model = model[1:]
+			}
+		}
+		return q.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,199 @@
+// Package check validates pool executions against the task-pool sequential
+// specification of the paper (§1.3.3) using timestamped operation logs.
+//
+// Each worker goroutine records its operations in a private log (no
+// synchronization on the hot path beyond reading the clock); Verify merges
+// the logs and checks three properties:
+//
+//   - Uniqueness (Lemma 12): every task value is returned by at most one
+//     get.
+//   - No loss (Claim 4): every put task is eventually returned, when the
+//     execution is expected to drain.
+//   - Linearizable emptiness (Claim 3): a get that returned ⊥ over the
+//     interval [s,e] is invalid if some task was already put (its Put
+//     returned before s) and was not taken until after e — such a task was
+//     continuously present throughout the ⊥ interval, so no emptiness
+//     instant existed.
+//
+// The emptiness check is a sound *necessary* condition over wall-clock
+// intervals: it never reports a false violation (real-time order is
+// exactly what linearizability must respect), and it catches the classic
+// single-traversal bug of Figure 1.3.
+package check
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Op is a logged operation kind.
+type Op int
+
+const (
+	// OpPut is a completed put of a task.
+	OpPut Op = iota
+	// OpGet is a get that returned a task.
+	OpGet
+	// OpEmpty is a get that returned ⊥.
+	OpEmpty
+)
+
+// Event is one logged operation. Task identifies the task for OpPut/OpGet
+// (any comparable identifier chosen by the harness); Start/End are
+// monotonic-ish wall-clock nanoseconds bracketing the operation.
+type Event struct {
+	Op    Op
+	Task  uint64
+	Start int64
+	End   int64
+}
+
+// Log is a single goroutine's event log. Methods must be called by the
+// owning goroutine only.
+type Log struct {
+	events []Event
+}
+
+// NewLog returns a log with capacity preallocated for n events.
+func NewLog(n int) *Log {
+	return &Log{events: make([]Event, 0, n)}
+}
+
+// Now returns the current timestamp used by the log.
+func Now() int64 { return time.Now().UnixNano() }
+
+// Put records a completed put of task id over [start, end].
+func (l *Log) Put(id uint64, start, end int64) {
+	l.events = append(l.events, Event{Op: OpPut, Task: id, Start: start, End: end})
+}
+
+// Get records a get that returned task id over [start, end].
+func (l *Log) Get(id uint64, start, end int64) {
+	l.events = append(l.events, Event{Op: OpGet, Task: id, Start: start, End: end})
+}
+
+// Empty records a get that returned ⊥ over [start, end].
+func (l *Log) Empty(start, end int64) {
+	l.events = append(l.events, Event{Op: OpEmpty, Start: start, End: end})
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int { return len(l.events) }
+
+// Violation describes one detected specification breach.
+type Violation struct {
+	Kind string
+	Msg  string
+}
+
+func (v Violation) String() string { return v.Kind + ": " + v.Msg }
+
+// Options tunes Verify.
+type Options struct {
+	// ExpectDrained requires every put task to have been returned
+	// (enable when producers stopped and consumers drained to ⊥).
+	ExpectDrained bool
+	// MaxViolations caps the report size (default 16).
+	MaxViolations int
+}
+
+// Verify merges the logs (after all workers have stopped) and returns the
+// detected violations, empty when the execution is consistent with the
+// sequential specification under the checked conditions.
+func Verify(logs []*Log, opts Options) []Violation {
+	if opts.MaxViolations <= 0 {
+		opts.MaxViolations = 16
+	}
+	var violations []Violation
+	add := func(kind, format string, args ...any) bool {
+		violations = append(violations, Violation{Kind: kind, Msg: fmt.Sprintf(format, args...)})
+		return len(violations) >= opts.MaxViolations
+	}
+
+	type taskTimes struct {
+		putEnd   int64
+		getStart int64
+		puts     int
+		gets     int
+	}
+	tasks := make(map[uint64]*taskTimes)
+	var empties []Event
+
+	for _, l := range logs {
+		for _, e := range l.events {
+			switch e.Op {
+			case OpPut:
+				tt := tasks[e.Task]
+				if tt == nil {
+					tt = &taskTimes{getStart: -1}
+					tasks[e.Task] = tt
+				}
+				tt.puts++
+				tt.putEnd = e.End
+			case OpGet:
+				tt := tasks[e.Task]
+				if tt == nil {
+					tt = &taskTimes{getStart: -1}
+					tasks[e.Task] = tt
+				}
+				tt.gets++
+				tt.getStart = e.Start
+			case OpEmpty:
+				empties = append(empties, e)
+			}
+		}
+	}
+
+	for id, tt := range tasks {
+		if tt.puts == 0 && tt.gets > 0 {
+			if add("phantom", "task %d returned %d times but never put", id, tt.gets) {
+				return violations
+			}
+		}
+		if tt.gets > tt.puts {
+			if add("duplicate", "task %d put %d times but returned %d times", id, tt.puts, tt.gets) {
+				return violations
+			}
+		}
+		if opts.ExpectDrained && tt.gets < tt.puts {
+			if add("loss", "task %d put %d times but returned only %d times", id, tt.puts, tt.gets) {
+				return violations
+			}
+		}
+	}
+
+	// Emptiness: sort tasks by putEnd so each ⊥ interval scans only
+	// candidates put before it started.
+	type window struct{ putEnd, getStart int64 }
+	windows := make([]window, 0, len(tasks))
+	for _, tt := range tasks {
+		if tt.puts > 0 {
+			gs := tt.getStart
+			if tt.gets == 0 {
+				gs = int64(^uint64(0) >> 1) // never taken
+			}
+			windows = append(windows, window{putEnd: tt.putEnd, getStart: gs})
+		}
+	}
+	sort.Slice(windows, func(a, b int) bool { return windows[a].putEnd < windows[b].putEnd })
+
+	for _, e := range empties {
+		// A violation requires a task with putEnd < e.Start and
+		// getStart > e.End: present for the whole ⊥ interval.
+		idx := sort.Search(len(windows), func(i int) bool {
+			return windows[i].putEnd >= e.Start
+		})
+		for i := 0; i < idx; i++ {
+			if windows[i].getStart > e.End {
+				if add("emptiness",
+					"get returned ⊥ over [%d,%d] while a task (put done %d, taken %d) was continuously present",
+					e.Start, e.End, windows[i].putEnd, windows[i].getStart) {
+					return violations
+				}
+				break // one violation per ⊥ event is enough
+			}
+		}
+	}
+	return violations
+}

@@ -1,0 +1,124 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCleanHistory(t *testing.T) {
+	l := NewLog(8)
+	l.Put(1, 10, 20)
+	l.Get(1, 30, 40)
+	l.Empty(50, 60) // pool genuinely empty
+	if v := Verify([]*Log{l}, Options{ExpectDrained: true}); len(v) != 0 {
+		t.Fatalf("clean history flagged: %v", v)
+	}
+}
+
+func TestDuplicateDetected(t *testing.T) {
+	a, b := NewLog(4), NewLog(4)
+	a.Put(7, 10, 20)
+	a.Get(7, 30, 40)
+	b.Get(7, 35, 45)
+	v := Verify([]*Log{a, b}, Options{})
+	if len(v) == 0 || v[0].Kind != "duplicate" {
+		t.Fatalf("duplicate not detected: %v", v)
+	}
+}
+
+func TestLossDetectedOnlyWhenDrainExpected(t *testing.T) {
+	l := NewLog(4)
+	l.Put(3, 10, 20)
+	if v := Verify([]*Log{l}, Options{}); len(v) != 0 {
+		t.Fatalf("loss flagged without ExpectDrained: %v", v)
+	}
+	v := Verify([]*Log{l}, Options{ExpectDrained: true})
+	if len(v) != 1 || v[0].Kind != "loss" {
+		t.Fatalf("loss not detected: %v", v)
+	}
+}
+
+func TestPhantomDetected(t *testing.T) {
+	l := NewLog(4)
+	l.Get(9, 10, 20)
+	v := Verify([]*Log{l}, Options{})
+	found := false
+	for _, vi := range v {
+		if vi.Kind == "phantom" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("phantom not detected: %v", v)
+	}
+}
+
+func TestEmptinessViolation(t *testing.T) {
+	// Task present throughout [100,200]: put finished at 50, taken at 300.
+	l := NewLog(4)
+	l.Put(1, 40, 50)
+	l.Empty(100, 200)
+	l.Get(1, 300, 310)
+	v := Verify([]*Log{l}, Options{ExpectDrained: true})
+	if len(v) != 1 || v[0].Kind != "emptiness" {
+		t.Fatalf("emptiness violation not detected: %v", v)
+	}
+	if !strings.Contains(v[0].String(), "⊥") {
+		t.Fatalf("unhelpful message: %v", v[0])
+	}
+}
+
+func TestEmptinessLegalOverlaps(t *testing.T) {
+	l := NewLog(8)
+	// Legal 1: put completed *during* the ⊥ interval — an emptiness
+	// instant may precede the put's commit.
+	l.Put(1, 150, 160)
+	l.Get(1, 300, 310)
+	l.Empty(100, 200)
+	// Legal 2: task taken during the ⊥ interval.
+	l.Put(2, 10, 20)
+	l.Get(2, 120, 130)
+	l.Empty(100, 200)
+	if v := Verify([]*Log{l}, Options{ExpectDrained: true}); len(v) != 0 {
+		t.Fatalf("legal overlaps flagged: %v", v)
+	}
+}
+
+func TestNeverTakenTaskBlocksEmptiness(t *testing.T) {
+	l := NewLog(4)
+	l.Put(5, 10, 20)
+	l.Empty(100, 200)
+	v := Verify([]*Log{l}, Options{})
+	found := false
+	for _, vi := range v {
+		if vi.Kind == "emptiness" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("⊥ with a never-taken earlier task not flagged: %v", v)
+	}
+}
+
+func TestMaxViolationsCap(t *testing.T) {
+	l := NewLog(64)
+	for i := uint64(0); i < 40; i++ {
+		l.Put(i, 10, 20) // all lost
+	}
+	v := Verify([]*Log{l}, Options{ExpectDrained: true, MaxViolations: 5})
+	if len(v) != 5 {
+		t.Fatalf("cap not honoured: %d violations", len(v))
+	}
+}
+
+func TestLogLen(t *testing.T) {
+	l := NewLog(2)
+	if l.Len() != 0 {
+		t.Fatal("fresh log non-empty")
+	}
+	l.Put(1, 1, 2)
+	l.Empty(3, 4)
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+}

@@ -1,0 +1,78 @@
+// Package chunkpool implements SALSA's per-consumer pools of spare chunks
+// (paper §1.5.4).
+//
+// Chunk pools serve two purposes in the paper. First, memory reuse: chunks
+// are recycled instead of reallocated, so the steady state allocates
+// nothing. Second, producer-based load balancing: produce() fails when the
+// target consumer's chunk pool is empty, which the management policy reads
+// as "this consumer is overloaded" and diverts the producer to the next
+// consumer on its access list. Because a chunk is returned to the pool of
+// whichever consumer took its last task, a faster consumer accumulates a
+// larger chunk pool and automatically attracts more producers.
+//
+// The pool is a Michael–Scott queue of chunk pointers plus a hazard-pointer
+// gate: a chunk that is still published in some other thread's hazard slot
+// (a concurrent takeTask or steal may still act on it) is parked on the
+// caller's retire list instead of being enqueued, and re-enters circulation
+// on a later flush. This is the reuse-safety role hazard pointers play in
+// the paper (§1.5.1); memory safety itself is the GC's job in Go.
+package chunkpool
+
+import (
+	"sync/atomic"
+	"unsafe"
+
+	"salsa/internal/hazard"
+	"salsa/internal/msqueue"
+)
+
+// Pool is a lock-free pool of spare chunks of type C.
+type Pool[C any] struct {
+	q    *msqueue.Queue[*C]
+	dom  *hazard.Domain
+	size atomic.Int64
+}
+
+// New returns an empty pool gated on the given hazard domain. A nil domain
+// disables gating (used by tests and by the SALSA+CAS baseline, whose
+// recycle path is already CAS-serialized per slot).
+func New[C any](dom *hazard.Domain) *Pool[C] {
+	return &Pool[C]{q: msqueue.New[*C](), dom: dom}
+}
+
+// Get removes a spare chunk from the pool. Returns false when none is
+// available — the produce() failure that triggers producer-based balancing.
+func (p *Pool[C]) Get() (*C, bool) {
+	c, ok := p.q.Dequeue()
+	if ok {
+		p.size.Add(-1)
+	}
+	return c, ok
+}
+
+// Put returns a chunk to the pool. If any hazard record other than rec
+// still protects the chunk, the enqueue is deferred to rec's retire list;
+// otherwise it happens immediately. rec may be nil when the caller is the
+// only thread that could reference the chunk (e.g. initial population).
+func (p *Pool[C]) Put(rec *hazard.Record, c *C) {
+	ptr := unsafe.Pointer(c)
+	if p.dom != nil && rec != nil {
+		// Flush previously deferred chunks first so the pool does not
+		// starve under repeated contention.
+		rec.Flush()
+		if p.dom.ProtectedExcept(ptr, rec) {
+			rec.Retire(ptr, func(q unsafe.Pointer) {
+				p.q.Enqueue((*C)(q))
+				p.size.Add(1)
+			})
+			return
+		}
+	}
+	p.q.Enqueue(c)
+	p.size.Add(1)
+}
+
+// Size returns the number of chunks currently enqueued (excluding deferred
+// ones). The paper's balancing property makes this proportional to the
+// owning consumer's consumption rate.
+func (p *Pool[C]) Size() int { return int(p.size.Load()) }

@@ -1,0 +1,134 @@
+package chunkpool
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+
+	"salsa/internal/hazard"
+)
+
+type chunk struct{ id int }
+
+func TestGetFromEmpty(t *testing.T) {
+	p := New[chunk](nil)
+	if _, ok := p.Get(); ok {
+		t.Fatal("Get on empty pool succeeded")
+	}
+	if p.Size() != 0 {
+		t.Fatalf("Size = %d, want 0", p.Size())
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	p := New[chunk](nil)
+	c1, c2 := &chunk{1}, &chunk{2}
+	p.Put(nil, c1)
+	p.Put(nil, c2)
+	if p.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", p.Size())
+	}
+	got1, ok1 := p.Get()
+	got2, ok2 := p.Get()
+	if !ok1 || !ok2 || got1 != c1 || got2 != c2 {
+		t.Fatalf("round trip broken: %v/%v %v/%v", got1, ok1, got2, ok2)
+	}
+	if p.Size() != 0 {
+		t.Fatalf("Size = %d after drain, want 0", p.Size())
+	}
+}
+
+// TestHazardGateDefersProtectedChunk is the reuse-safety property: a chunk
+// protected by another thread's hazard slot must not re-enter circulation
+// until the protection is dropped.
+func TestHazardGateDefersProtectedChunk(t *testing.T) {
+	var dom hazard.Domain
+	p := New[chunk](&dom)
+	holder := dom.Acquire()
+	recycler := dom.Acquire()
+
+	c := &chunk{42}
+	holder.Set(0, unsafe.Pointer(c))
+
+	p.Put(recycler, c)
+	if _, ok := p.Get(); ok {
+		t.Fatal("protected chunk re-entered the pool")
+	}
+
+	holder.Clear(0)
+	// The deferred enqueue runs on the recycler's next flush (every Put
+	// flushes first).
+	p.Put(recycler, &chunk{43})
+	if p.Size() != 2 {
+		t.Fatalf("Size = %d, want 2 (deferred chunk flushed)", p.Size())
+	}
+	seen := map[int]bool{}
+	for {
+		c, ok := p.Get()
+		if !ok {
+			break
+		}
+		seen[c.id] = true
+	}
+	if !seen[42] || !seen[43] {
+		t.Fatalf("missing chunks: %v", seen)
+	}
+}
+
+// TestSelfProtectionDoesNotDefer: the recycling thread's own hazard slot
+// must not block its Put (it is done with the chunk by definition).
+func TestSelfProtectionDoesNotDefer(t *testing.T) {
+	var dom hazard.Domain
+	p := New[chunk](&dom)
+	rec := dom.Acquire()
+	c := &chunk{7}
+	rec.Set(0, unsafe.Pointer(c))
+	p.Put(rec, c)
+	if got, ok := p.Get(); !ok || got != c {
+		t.Fatal("self-protected chunk was deferred")
+	}
+}
+
+func TestNilDomainSkipsGating(t *testing.T) {
+	p := New[chunk](nil)
+	var dom hazard.Domain
+	rec := dom.Acquire()
+	c := &chunk{1}
+	rec.Set(0, unsafe.Pointer(c)) // irrelevant: pool has no domain
+	p.Put(nil, c)
+	if _, ok := p.Get(); !ok {
+		t.Fatal("ungated pool deferred a chunk")
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	var dom hazard.Domain
+	p := New[chunk](&dom)
+	const workers = 4
+	const rounds = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := dom.Acquire()
+			defer rec.Release()
+			local := &chunk{}
+			for i := 0; i < rounds; i++ {
+				p.Put(rec, local)
+				got, ok := p.Get()
+				if ok {
+					local = got
+				} else {
+					local = &chunk{}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// All chunks that were Put and not re-Got remain; Size must be
+	// non-negative and the queue traversable.
+	if p.Size() < 0 {
+		t.Fatalf("negative size %d", p.Size())
+	}
+}

@@ -1,0 +1,244 @@
+package concbag
+
+import (
+	"sync"
+	"testing"
+
+	"salsa/internal/scpool"
+)
+
+type task struct{ id int }
+
+func newBag(t *testing.T, blockSize, producers, consumers int) *Bag[task] {
+	t.Helper()
+	b, err := NewBag[task](Options{BlockSize: blockSize, Producers: producers, Consumers: consumers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func prod(id int) *scpool.ProducerState { return &scpool.ProducerState{ID: id} }
+func cons(id int) *scpool.ConsumerState { return &scpool.ConsumerState{ID: id} }
+
+func TestAddRemoveBasic(t *testing.T) {
+	b := newBag(t, 4, 1, 1)
+	ps, cs := prod(0), cons(0)
+	const n = 10 // spans three blocks
+	for i := 0; i < n; i++ {
+		b.Add(ps, &task{id: i})
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < n; i++ {
+		tk := b.TryRemoveAny(cs, 0)
+		if tk == nil {
+			t.Fatalf("TryRemoveAny %d returned nil", i)
+		}
+		if seen[tk.id] {
+			t.Fatalf("task %d twice", tk.id)
+		}
+		seen[tk.id] = true
+	}
+	if b.TryRemoveAny(cs, 0) != nil {
+		t.Fatal("drained bag still yields tasks")
+	}
+	if !b.IsEmpty() {
+		t.Fatal("drained bag not IsEmpty")
+	}
+}
+
+func TestRemovalUsesCAS(t *testing.T) {
+	b := newBag(t, 8, 1, 1)
+	ps, cs := prod(0), cons(0)
+	const n = 20
+	for i := 0; i < n; i++ {
+		b.Add(ps, &task{id: i})
+	}
+	for i := 0; i < n; i++ {
+		if b.TryRemoveAny(cs, 0) == nil {
+			t.Fatalf("remove %d failed", i)
+		}
+	}
+	if cs.Ops.CAS.Load() != n {
+		t.Errorf("CAS = %d, want %d (one per removal; this is ConcBag's cost)",
+			cs.Ops.CAS.Load(), n)
+	}
+}
+
+func TestHintAmortizesScans(t *testing.T) {
+	b := newBag(t, 64, 1, 1)
+	ps, cs := prod(0), cons(0)
+	for i := 0; i < 64; i++ {
+		b.Add(ps, &task{id: i})
+	}
+	for i := 0; i < 63; i++ {
+		b.TryRemoveAny(cs, 0)
+	}
+	blk := b.lists[0].head.Load()
+	if h := blk.hint.Load(); h < 32 {
+		t.Errorf("consumed-prefix hint = %d; scans are not amortized", h)
+	}
+}
+
+func TestBlockReclamation(t *testing.T) {
+	b := newBag(t, 4, 1, 1)
+	ps, cs := prod(0), cons(0)
+	// Fill two blocks, drain them, then trigger a third block append —
+	// the drained head blocks must be unlinked.
+	for i := 0; i < 8; i++ {
+		b.Add(ps, &task{id: i})
+	}
+	for i := 0; i < 8; i++ {
+		if b.TryRemoveAny(cs, 0) == nil {
+			t.Fatalf("remove %d failed", i)
+		}
+	}
+	b.Add(ps, &task{id: 8}) // appends block 3, reclaims drained heads
+	blocks := 0
+	for blk := b.lists[0].head.Load(); blk != nil; blk = blk.next.Load() {
+		blocks++
+	}
+	if blocks != 1 {
+		t.Errorf("%d blocks alive, want 1 after reclamation", blocks)
+	}
+}
+
+func TestPerProducerLists(t *testing.T) {
+	b := newBag(t, 8, 3, 1)
+	for p := 0; p < 3; p++ {
+		ps := prod(p)
+		for i := 0; i < 5; i++ {
+			b.Add(ps, &task{id: p*100 + i})
+		}
+	}
+	cs := cons(0)
+	seen := make(map[int]bool)
+	for i := 0; i < 15; i++ {
+		tk := b.TryRemoveAny(cs, i%3)
+		if tk == nil {
+			t.Fatalf("remove %d failed", i)
+		}
+		seen[tk.id] = true
+	}
+	if len(seen) != 15 {
+		t.Fatalf("got %d unique tasks, want 15", len(seen))
+	}
+}
+
+func TestFacadePreferredStart(t *testing.T) {
+	b := newBag(t, 8, 4, 2)
+	p0, err := b.NewPool(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := b.NewPool(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0.prefer == p1.prefer {
+		t.Errorf("consumers share the same preferred list (%d); the +53%% policy needs distinct starts", p0.prefer)
+	}
+	// Facade produce/consume round trip.
+	ps := prod(2)
+	if !p0.Produce(ps, &task{id: 9}) {
+		t.Fatal("facade Produce failed")
+	}
+	if got := p1.Consume(cons(1)); got == nil || got.id != 9 {
+		t.Fatalf("facade Consume = %v", got)
+	}
+	if p0.Steal(cons(0), p1) != nil {
+		t.Fatal("facade Steal must be a no-op")
+	}
+}
+
+func TestIndicatorClearedOnTake(t *testing.T) {
+	b := newBag(t, 8, 1, 2)
+	p, _ := b.NewPool(0)
+	b.Add(prod(0), &task{id: 1})
+	p.SetIndicator(1)
+	if p.Consume(cons(0)) == nil {
+		t.Fatal("consume failed")
+	}
+	if p.CheckIndicator(1) {
+		t.Fatal("indicator survived a take")
+	}
+}
+
+func TestConcurrentUnique(t *testing.T) {
+	const (
+		producers = 2
+		consumers = 3
+		perProd   = 8000
+	)
+	b := newBag(t, 128, producers, consumers)
+	var pwg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		pwg.Add(1)
+		go func(p int) {
+			defer pwg.Done()
+			ps := prod(p)
+			for i := 0; i < perProd; i++ {
+				b.Add(ps, &task{id: p*perProd + i})
+			}
+		}(p)
+	}
+	results := make([][]*task, consumers)
+	var cwg sync.WaitGroup
+	stop := make(chan struct{})
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func(c int) {
+			defer cwg.Done()
+			cs := cons(c)
+			for {
+				if tk := b.TryRemoveAny(cs, c); tk != nil {
+					results[c] = append(results[c], tk)
+					continue
+				}
+				select {
+				case <-stop:
+					for {
+						tk := b.TryRemoveAny(cs, c)
+						if tk == nil {
+							return
+						}
+						results[c] = append(results[c], tk)
+					}
+				default:
+				}
+			}
+		}(c)
+	}
+	pwg.Wait()
+	close(stop)
+	cwg.Wait()
+
+	seen := make(map[int]bool)
+	for _, res := range results {
+		for _, tk := range res {
+			if seen[tk.id] {
+				t.Fatalf("task %d twice", tk.id)
+			}
+			seen[tk.id] = true
+		}
+	}
+	if len(seen) != producers*perProd {
+		t.Fatalf("got %d unique, want %d", len(seen), producers*perProd)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewBag[task](Options{Producers: 0, Consumers: 1}); err == nil {
+		t.Error("Producers=0 accepted")
+	}
+	b := newBag(t, 4, 1, 1)
+	if _, err := b.NewPool(3); err == nil {
+		t.Error("out-of-range owner accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("nil task accepted")
+		}
+	}()
+	b.Add(prod(0), nil)
+}

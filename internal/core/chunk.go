@@ -1,0 +1,96 @@
+// Package core implements SALSA, the paper's single-consumer pool with
+// chunk-based stealing (§1.5, Algorithms 3–6).
+//
+// Tasks are stored in fixed-size chunks organised in per-producer
+// single-writer lists plus one steal list per pool. A chunk is owned by
+// exactly one consumer, identified by a tagged owner word; the owner
+// consumes with a CAS-free fast path (atomic loads and single-writer atomic
+// stores only), and other consumers steal whole chunks by CASing the owner
+// word. The tag defuses the ABA scenario of §1.5.3 (steal, re-steal,
+// steal-back), and the chunk pools recycle fully consumed chunks back to
+// producers.
+package core
+
+import "sync/atomic"
+
+// Owner-word layout: low 16 bits hold the consumer id, high 48 bits a tag
+// incremented on every ownership change.
+const (
+	ownerIDBits = 16
+	ownerIDMask = 1<<ownerIDBits - 1
+
+	// NoOwner marks a chunk that is parked in a chunk pool between uses.
+	NoOwner = ownerIDMask
+
+	// MaxConsumers is the largest number of consumers the owner-word
+	// encoding supports.
+	MaxConsumers = ownerIDMask - 1
+)
+
+func packOwner(id int, tag uint64) uint64 {
+	return tag<<ownerIDBits | uint64(id)&ownerIDMask
+}
+
+func ownerID(w uint64) int { return int(w & ownerIDMask) }
+
+func ownerTag(w uint64) uint64 { return w >> ownerIDBits }
+
+// Chunk is a fixed-size block of task slots (Algorithm 3). A slot's
+// lifecycle is nil → task → TAKEN; each slot is used at most once per
+// residence of the chunk in the live structure (slots are reset when the
+// chunk is recycled through a chunk pool).
+type Chunk[T any] struct {
+	// owner is the tagged owner word. The owner is the only consumer
+	// allowed to take tasks without CAS; a stealer first CASes the word
+	// to itself.
+	owner atomic.Uint64
+
+	// recycled guards the return of the chunk to a chunk pool: the
+	// consumer that CASes it 0→1 is the unique recycler for this
+	// residence. It is reset by the producer that next takes the chunk
+	// out of the pool, while it holds the chunk exclusively.
+	recycled atomic.Uint32
+
+	// home is the NUMA node the chunk is allocated on (allocation-policy
+	// metadata consumed by the locality accounting and the interconnect
+	// simulator). Atomic because a successful steal migrates the chunk
+	// to the thief's node (§1.2: "our use of page-size chunks allows
+	// for data migration in NUMA architectures to improve locality").
+	home atomic.Int32
+
+	// tasks are the slots. The paper's default CHUNK_SIZE is 1000 tasks
+	// (~8 KB of pointers), its measured optimum for SALSA (Fig. 1.8).
+	tasks []taskSlot[T]
+}
+
+// taskSlot wraps an atomic task pointer. Values: nil (⊥, not yet produced),
+// the pool's TAKEN sentinel, or a user task.
+type taskSlot[T any] struct {
+	p atomic.Pointer[T]
+}
+
+func newChunk[T any](size int, home int) *Chunk[T] {
+	c := &Chunk[T]{tasks: make([]taskSlot[T], size)}
+	c.home.Store(int32(home))
+	c.owner.Store(packOwner(NoOwner, 0))
+	return c
+}
+
+// Size returns the chunk capacity in tasks.
+func (c *Chunk[T]) Size() int { return len(c.tasks) }
+
+// Home returns the chunk's NUMA home node.
+func (c *Chunk[T]) Home() int { return int(c.home.Load()) }
+
+// OwnerID returns the consumer currently owning the chunk (or NoOwner).
+func (c *Chunk[T]) OwnerID() int { return ownerID(c.owner.Load()) }
+
+// resetForReuse clears all slots and the recycle guard. Called by a
+// producer that holds the chunk exclusively (just dequeued from a chunk
+// pool, not yet published in any list).
+func (c *Chunk[T]) resetForReuse() {
+	for i := range c.tasks {
+		c.tasks[i].p.Store(nil)
+	}
+	c.recycled.Store(0)
+}

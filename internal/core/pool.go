@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+
+	"salsa/internal/chunkpool"
+	"salsa/internal/hazard"
+	"salsa/internal/indicator"
+	"salsa/internal/scpool"
+)
+
+// DefaultChunkSize is the paper's measured optimum for SALSA: 1000 tasks
+// per chunk, ~8 KB of task pointers on 64-bit machines (Figure 1.8).
+const DefaultChunkSize = 1000
+
+// AllocPolicy decides the NUMA home node of a freshly allocated chunk.
+type AllocPolicy func(producerNode, ownerNode int) int
+
+// AllocLocal places chunks on the pool owner's node — SALSA's default
+// NUMA-aware policy (§1.4: "it is desirable for the SCPool of a consumer to
+// reside close to its own CPU").
+func AllocLocal(_, ownerNode int) int { return ownerNode }
+
+// AllocCentral places every chunk on node 0 — the adversarial allocation of
+// the paper's Figure 1.7 that saturates a single interconnect.
+func AllocCentral(_, _ int) int { return 0 }
+
+// Options configures a family of SALSA pools that exchange chunks and
+// recognise each other's TAKEN sentinel.
+type Options struct {
+	// ChunkSize is the number of task slots per chunk. Defaults to
+	// DefaultChunkSize.
+	ChunkSize int
+
+	// Consumers is the number of consumer ids the family supports.
+	Consumers int
+
+	// Alloc is the chunk allocation policy; defaults to AllocLocal.
+	Alloc AllocPolicy
+
+	// OnAccess, when non-nil, is invoked for every task transfer with
+	// the accessing thread's node and the chunk's home node. The NUMA
+	// interconnect simulator hooks in here (Figure 1.7); leave nil for
+	// production use.
+	OnAccess func(fromNode, homeNode int)
+
+	// InitialChunks pre-seeds each pool's chunk pool so the warm-up
+	// phase does not funnel every producer through produceForce.
+	InitialChunks int
+}
+
+func (o Options) withDefaults() Options {
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = DefaultChunkSize
+	}
+	if o.Alloc == nil {
+		o.Alloc = AllocLocal
+	}
+	if o.InitialChunks < 0 {
+		o.InitialChunks = 0
+	}
+	return o
+}
+
+// Shared holds the state common to all SALSA pools of one framework
+// instance: the TAKEN sentinel (a chunk stolen from pool A is drained via
+// pool B's lists, so the sentinel must be recognised across pools), the
+// hazard domain gating chunk reuse, and the options.
+type Shared[T any] struct {
+	opts  Options
+	taken *T
+	dom   hazard.Domain
+}
+
+// NewShared validates the options and creates the family context.
+func NewShared[T any](opts Options) (*Shared[T], error) {
+	opts = opts.withDefaults()
+	if opts.Consumers <= 0 {
+		return nil, fmt.Errorf("core: Consumers must be positive, got %d", opts.Consumers)
+	}
+	if opts.Consumers > MaxConsumers {
+		return nil, fmt.Errorf("core: at most %d consumers supported, got %d",
+			MaxConsumers, opts.Consumers)
+	}
+	return &Shared[T]{opts: opts, taken: new(T)}, nil
+}
+
+// Taken exposes the TAKEN sentinel for tests; user tasks must never alias it.
+func (s *Shared[T]) Taken() *T { return s.taken }
+
+// Options returns the (defaulted) family options.
+func (s *Shared[T]) Options() Options { return s.opts }
+
+// Pool is one consumer's SALSA SCPool (Algorithm 3): per-producer chunk
+// lists, a steal list, a chunk pool of spares, and an empty-indicator.
+type Pool[T any] struct {
+	shared *Shared[T]
+
+	ownerIDv  int
+	ownerNode int
+
+	// lists[j] is producer j's single-writer chunk list; lists[stealIdx]
+	// is the owner's steal list.
+	lists    []*list[T]
+	stealIdx int
+
+	chunks *chunkpool.Pool[Chunk[T]]
+	ind    *indicator.Indicator
+}
+
+// NewPool creates the SCPool owned by consumer ownerID running on NUMA node
+// ownerNode, with room for the given number of producer lists.
+func (s *Shared[T]) NewPool(ownerID, ownerNode, producers int) (*Pool[T], error) {
+	if ownerID < 0 || ownerID >= s.opts.Consumers {
+		return nil, fmt.Errorf("core: owner id %d out of range [0,%d)", ownerID, s.opts.Consumers)
+	}
+	if producers < 0 {
+		return nil, fmt.Errorf("core: negative producer count %d", producers)
+	}
+	p := &Pool[T]{
+		shared:    s,
+		ownerIDv:  ownerID,
+		ownerNode: ownerNode,
+		lists:     make([]*list[T], producers+1),
+		stealIdx:  producers,
+		chunks:    chunkpool.New[Chunk[T]](&s.dom),
+		ind:       indicator.New(s.opts.Consumers),
+	}
+	for i := range p.lists {
+		p.lists[i] = newList[T]()
+	}
+	for i := 0; i < s.opts.InitialChunks; i++ {
+		p.chunks.Put(nil, newChunk[T](s.opts.ChunkSize, s.opts.Alloc(ownerNode, ownerNode)))
+	}
+	return p, nil
+}
+
+// OwnerID implements scpool.SCPool.
+func (p *Pool[T]) OwnerID() int { return p.ownerIDv }
+
+// OwnerNode returns the NUMA node the pool owner runs on.
+func (p *Pool[T]) OwnerNode() int { return p.ownerNode }
+
+// SpareChunks returns the chunk pool occupancy — the signal producer-based
+// balancing reads (§1.5.4).
+func (p *Pool[T]) SpareChunks() int { return p.chunks.Size() }
+
+// prodScratch is the producer-private state of Algorithm 4: the chunk being
+// filled and the next free slot. One scratch per producer, shared across
+// all pools of the family (a producer fills one chunk at a time, wherever
+// that chunk lives).
+type prodScratch[T any] struct {
+	chunk   *Chunk[T]
+	prodIdx int
+}
+
+func (s *Shared[T]) producerScratch(ps *scpool.ProducerState) *prodScratch[T] {
+	if sc, ok := ps.Scratch.(*prodScratch[T]); ok {
+		return sc
+	}
+	sc := &prodScratch[T]{}
+	ps.Scratch = sc
+	return sc
+}
+
+// consScratch is the consumer-private state: the cached current node
+// (fast-path resumption), the fair-traversal cursor, and the hazard record
+// gating chunk reuse.
+type consScratch[T any] struct {
+	current     *node[T]
+	cursor      int
+	stealCursor int
+	rec         *hazard.Record
+}
+
+func (s *Shared[T]) consumerScratch(cs *scpool.ConsumerState) *consScratch[T] {
+	if sc, ok := cs.Scratch.(*consScratch[T]); ok {
+		return sc
+	}
+	sc := &consScratch[T]{rec: s.dom.Acquire()}
+	cs.Scratch = sc
+	return sc
+}
+
+// ReleaseConsumer returns the consumer's hazard record to the domain. Call
+// when the consumer goroutine retires.
+func (s *Shared[T]) ReleaseConsumer(cs *scpool.ConsumerState) {
+	if sc, ok := cs.Scratch.(*consScratch[T]); ok && sc.rec != nil {
+		sc.rec.Release()
+		sc.rec = nil
+	}
+}
+
+// Produce implements Algorithm 4's produce(): it fails (returns false) when
+// a fresh chunk is needed and the pool has no spare — the overload signal
+// that powers producer-based balancing.
+func (p *Pool[T]) Produce(ps *scpool.ProducerState, t *T) bool {
+	return p.insert(ps, t, false)
+}
+
+// ProduceForce implements produceForce(): it always succeeds, allocating a
+// new chunk when the pool has no spare.
+func (p *Pool[T]) ProduceForce(ps *scpool.ProducerState, t *T) {
+	ps.Ops.ForcePuts.Inc()
+	p.insert(ps, t, true)
+}
+
+func (p *Pool[T]) insert(ps *scpool.ProducerState, t *T, force bool) bool {
+	if t == nil {
+		panic("core: nil task")
+	}
+	if t == p.shared.taken {
+		panic("core: task aliases the TAKEN sentinel")
+	}
+	sc := p.shared.producerScratch(ps)
+	if sc.chunk == nil {
+		if !p.getChunk(ps, sc, force) {
+			return false
+		}
+	}
+	// Publish the task. The atomic store orders after the node append in
+	// getChunk, so a consumer that sees the task also sees the node.
+	sc.chunk.tasks[sc.prodIdx].p.Store(t)
+	if hook := p.shared.opts.OnAccess; hook != nil {
+		hook(ps.Node, int(sc.chunk.home.Load()))
+	}
+	if int(sc.chunk.home.Load()) == ps.Node {
+		ps.Ops.LocalTransfers.Inc()
+	} else {
+		ps.Ops.RemoteTransfers.Inc()
+	}
+	sc.prodIdx++
+	if sc.prodIdx == len(sc.chunk.tasks) {
+		sc.chunk = nil // full; next insert starts a new chunk
+	}
+	ps.Ops.Puts.Inc()
+	return true
+}
+
+// getChunk (Algorithm 4 lines 64–73) obtains a chunk for insertion: a spare
+// from the pool owner's chunk pool, or — only under force — a fresh
+// allocation. The chunk is claimed for the pool owner with a tag bump and
+// published at the tail of this producer's list.
+func (p *Pool[T]) getChunk(ps *scpool.ProducerState, sc *prodScratch[T], force bool) bool {
+	ch, ok := p.chunks.Get()
+	if !ok {
+		if !force {
+			ps.Ops.ProduceFull.Inc()
+			return false
+		}
+		ch = newChunk[T](p.shared.opts.ChunkSize, p.shared.opts.Alloc(ps.Node, p.ownerNode))
+		ps.Ops.ChunkAllocs.Inc()
+	} else {
+		ch.resetForReuse()
+		// Re-home the chunk per the allocation policy: the paper's
+		// page-size chunks are NUMA-migratable (§1.2), and a recycled
+		// chunk is about to live beside this pool's owner again.
+		ch.home.Store(int32(p.shared.opts.Alloc(ps.Node, p.ownerNode)))
+		ps.Ops.ChunkReuses.Inc()
+	}
+	// The producer holds the chunk exclusively here (dequeued, not yet
+	// listed); a plain tagged store claims it for the pool owner while
+	// invalidating any stale steal that captured the previous tag.
+	old := ch.owner.Load()
+	claimed := packOwner(p.ownerIDv, ownerTag(old)+1)
+	ch.owner.Store(claimed)
+
+	myList := p.lists[ps.ID]
+	myList.prune() // lazy reclamation of consumed/stolen entries
+	myList.append(newNode(ch, -1, claimed))
+	sc.chunk = ch
+	sc.prodIdx = 0
+	return true
+}
+
+// recycle returns a fully consumed chunk to this pool's chunk pool. The
+// per-chunk guard makes the recycler unique per residence even when the
+// owner and a stale ex-owner both finish the final slot race (see
+// steal/takeTask); the hazard gate inside chunkpool.Put defers reuse while
+// any other thread still acts on the chunk.
+func (p *Pool[T]) recycle(rec *hazard.Record, ch *Chunk[T]) {
+	if ch.recycled.CompareAndSwap(0, 1) {
+		p.chunks.Put(rec, ch)
+	}
+}

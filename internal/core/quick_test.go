@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickSequentialModel drives a single SALSA pool with random
+// sequential op strings against a simple model. Per the pool's sequential
+// specification (§1.3.3): every consume returns a previously produced,
+// not-yet-consumed task, and consume on an empty pool returns ⊥.
+// Per-producer FIFO order is additionally checked — SALSA consumes each
+// producer's chunk list in insertion order when no stealing occurs.
+func TestQuickSequentialModel(t *testing.T) {
+	f := func(ops []uint8, chunkSizeSeed uint8) bool {
+		chunkSize := int(chunkSizeSeed%7) + 1
+		s, err := NewShared[task](Options{ChunkSize: chunkSize, Consumers: 1})
+		if err != nil {
+			return false
+		}
+		p, err := s.NewPool(0, 0, 2)
+		if err != nil {
+			return false
+		}
+		ps0, ps1 := prod(0), prod(1)
+		cs := cons(0)
+
+		var model0, model1 []int // per-producer outstanding queues
+		next := 0
+		outstanding := 0
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // producer 0 inserts
+				p.ProduceForce(ps0, &task{id: next})
+				model0 = append(model0, next)
+				next++
+				outstanding++
+			case 1: // producer 1 inserts
+				p.ProduceForce(ps1, &task{id: next})
+				model1 = append(model1, next)
+				next++
+				outstanding++
+			case 2: // consume
+				got := p.Consume(cs)
+				if outstanding == 0 {
+					if got != nil {
+						return false // phantom task
+					}
+					continue
+				}
+				if got == nil {
+					return false // task lost / not found
+				}
+				// Must be the head of ONE producer's queue.
+				switch {
+				case len(model0) > 0 && got.id == model0[0]:
+					model0 = model0[1:]
+				case len(model1) > 0 && got.id == model1[0]:
+					model1 = model1[1:]
+				default:
+					return false // out-of-order within a producer
+				}
+				outstanding--
+			}
+		}
+		// Drain and verify conservation.
+		for outstanding > 0 {
+			got := p.Consume(cs)
+			if got == nil {
+				return false
+			}
+			switch {
+			case len(model0) > 0 && got.id == model0[0]:
+				model0 = model0[1:]
+			case len(model1) > 0 && got.id == model1[0]:
+				model1 = model1[1:]
+			default:
+				return false
+			}
+			outstanding--
+		}
+		return p.Consume(cs) == nil && p.IsEmpty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickStealModel drives two pools with random sequential
+// produce/consume/steal strings: conservation and uniqueness must hold for
+// every interleaving, and ⊥ answers must match the model's emptiness.
+func TestQuickStealModel(t *testing.T) {
+	f := func(ops []uint8, chunkSizeSeed uint8) bool {
+		chunkSize := int(chunkSizeSeed%5) + 1
+		s, err := NewShared[task](Options{ChunkSize: chunkSize, Consumers: 2})
+		if err != nil {
+			return false
+		}
+		pa, _ := s.NewPool(0, 0, 1)
+		pb, _ := s.NewPool(1, 0, 1)
+		ps := prod(0)
+		ca, cb := cons(0), cons(1)
+
+		live := map[int]bool{}
+		next := 0
+		take := func(got *task) bool {
+			if got == nil {
+				return true
+			}
+			if !live[got.id] {
+				return false // duplicate or phantom
+			}
+			delete(live, got.id)
+			return true
+		}
+		for _, op := range ops {
+			switch op % 5 {
+			case 0, 1: // produce to a (produceForce: model stays simple)
+				pa.ProduceForce(ps, &task{id: next})
+				live[next] = true
+				next++
+			case 2: // a consumes own pool
+				if !take(pa.Consume(ca)) {
+					return false
+				}
+			case 3: // b steals from a
+				if !take(pb.Steal(cb, pa)) {
+					return false
+				}
+			case 4: // b consumes own pool (stolen chunks)
+				if !take(pb.Consume(cb)) {
+					return false
+				}
+			}
+		}
+		// Full drain from both sides. The bound is fixed up front (the
+		// loop consumes one iteration per take, plus slack for passes
+		// that only migrate chunks).
+		bound := len(live)*4 + 16
+		for i := 0; i < bound; i++ {
+			if got := pa.Consume(ca); got != nil {
+				if !take(got) {
+					return false
+				}
+				continue
+			}
+			if got := pb.Consume(cb); got != nil {
+				if !take(got) {
+					return false
+				}
+				continue
+			}
+			if got := pb.Steal(cb, pa); got != nil {
+				if !take(got) {
+					return false
+				}
+				continue
+			}
+			if got := pa.Steal(ca, pb); got != nil {
+				if !take(got) {
+					return false
+				}
+				continue
+			}
+			break
+		}
+		if len(live) != 0 {
+			return false // lost tasks
+		}
+		return pa.IsEmpty() && pb.IsEmpty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOwnerWordRoundTrip: pack/unpack is the identity on the whole
+// encodable domain.
+func TestQuickOwnerWordRoundTrip(t *testing.T) {
+	f := func(id uint16, tag uint64) bool {
+		i := int(id)
+		if i > NoOwner {
+			i = NoOwner
+		}
+		tg := tag & (1<<48 - 1)
+		w := packOwner(i, tg)
+		return ownerID(w) == i && ownerTag(w) == tg
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"unsafe"
+
+	"salsa/internal/scpool"
+)
+
+// Steal implements Algorithm 5 lines 108–138: transfer an entire chunk from
+// the victim's pool into this pool's steal list and take one task from it.
+//
+// The delicate ordering is the paper's: the victim's node is first made
+// reachable from our steal list (line 115) so the chunk cannot vanish if we
+// stall right after winning the ownership CAS (line 116); only then is the
+// node replaced with a fresh one carrying an up-to-date index (line 131)
+// and unlinked from the victim's view (line 132). The ownership CAS's
+// expected value is the tagged owner word snapshotted at the source node's
+// creation, which makes any steal through a superseded node fail — a
+// strengthening of the paper's tag scheme required to close a
+// three-consumer steal/steal-back hole (erratum; see DESIGN.md §7 and
+// internal/modelcheck).
+func (p *Pool[T]) Steal(cs *scpool.ConsumerState, victimPool scpool.SCPool[T]) *T {
+	victim, ok := victimPool.(*Pool[T])
+	if !ok {
+		panic("core: Steal victim is not a SALSA pool")
+	}
+	if victim == p {
+		return nil
+	}
+	sc := p.shared.consumerScratch(cs)
+	cs.Ops.StealAttempts.Inc()
+
+	prevNode := p.chooseVictimNode(sc, victim) // line 109; policy: rotating scan
+	if prevNode == nil {
+		return nil // line 110: no chunk found
+	}
+	ch := prevNode.chunk.Load()
+	if ch == nil {
+		return nil // line 111
+	}
+	// Hazard on the victim chunk for the whole steal, deferring any
+	// concurrent recycle-and-reuse; re-validate the node under it.
+	sc.rec.Set(hzSteal, unsafe.Pointer(ch))
+	if prevNode.chunk.Load() != ch {
+		sc.rec.Clear(hzSteal)
+		return nil
+	}
+	// The expected value for the ownership CAS is the owner word as it
+	// was when prevNode was created — NOT a fresh read. A fresh read
+	// admits the three-consumer §1.5.3 variant in which the chunk is
+	// stolen and stolen back while the superseded node is still
+	// validatable (two referring nodes are briefly live between a
+	// thief's lines 131 and 132): the fresh tag matches, the stale
+	// node's frozen index re-exposes consumed slots, and a task is
+	// taken twice. Using the node's snapshot, any ownership change
+	// after the node's creation fails the CAS. The internal/modelcheck
+	// exploration reproduces the double take under the fresh-read
+	// discipline and proves this one safe. (Erratum to the paper; see
+	// DESIGN.md §7.)
+	oldOwner := prevNode.ownerSnapshot
+	if ownerID(oldOwner) != victim.ownerIDv || ch.owner.Load() != oldOwner {
+		sc.rec.Clear(hzSteal)
+		return nil
+	}
+	size := int64(len(ch.tasks))
+	prevIdx := prevNode.idx.Load() // line 112
+	if prevIdx+1 == size || ch.tasks[prevIdx+1].p.Load() == nil {
+		sc.rec.Clear(hzSteal)
+		return nil // line 113: nothing left to steal here
+	}
+
+	stealList := p.lists[p.stealIdx]
+	myEntry := stealList.append(prevNode) // line 115: make it stealable from my list
+
+	cs.Ops.CAS.Inc()
+	if ownerID(oldOwner) != victim.ownerIDv ||
+		!ch.owner.CompareAndSwap(oldOwner, packOwner(p.ownerIDv, ownerTag(oldOwner)+1)) { // line 116
+		cs.Ops.FailedCAS.Inc()
+		stealList.remove(myEntry) // line 117
+		sc.rec.Clear(hzSteal)
+		return nil
+	}
+	cs.Ops.Steals.Inc()
+	// Migrate the chunk to this consumer's node per the allocation
+	// policy — the paper's chunks are page-sized precisely so NUMA data
+	// migration can follow a steal (§1.2). Under central allocation the
+	// policy keeps the home on node 0.
+	ch.home.Store(int32(p.shared.opts.Alloc(cs.Node, cs.Node)))
+	// The victim's pool may just have become empty: invalidate pending
+	// emptiness probes before reading the index (Algorithm 6 extension).
+	victim.ind.Clear()
+
+	idx := prevNode.idx.Load() // line 119: re-read after the ownership fence
+	if idx+1 == size {         // line 120: chunk drained while we were stealing
+		stealList.remove(myEntry)
+		// Hygiene beyond the paper's pseudo-code: we now own an
+		// exhausted chunk that would otherwise dangle in the victim's
+		// list forever. Unlink and recycle it (guarded, gated).
+		prevNode.chunk.Store(nil)
+		p.recycle(sc.rec, ch)
+		sc.rec.Clear(hzSteal)
+		return nil
+	}
+	task := ch.tasks[idx+1].p.Load() // line 123
+	if task != nil {                 // line 124: found a task to take
+		// If the chunk has already been re-stolen from us and the
+		// victim's index moved since line 112, the new thief may not
+		// observe our index; back off (line 125–127).
+		if ownerID(ch.owner.Load()) != p.ownerIDv && idx != prevIdx {
+			stealList.remove(myEntry)
+			sc.rec.Clear(hzSteal)
+			return nil
+		}
+		idx++ // line 128: claim the slot in the node we are about to publish
+	}
+	nn := newNode(ch, idx, packOwner(p.ownerIDv, ownerTag(oldOwner)+1)) // lines 129–130
+	myEntry.node.Store(nn)                                              // line 131: publish it in my steal list
+	prevNode.chunk.Store(nil)                                           // line 132: remove the chunk from the victim's view
+
+	if task == nil { // line 133: still no task at idx; the chunk is ours anyway
+		sc.rec.Clear(hzSteal)
+		return nil
+	}
+	// Done stealing; take the one claimed task. The ex-owner may have
+	// announced the same slot, so this is a CAS even though we own the
+	// chunk (line 134).
+	if task == p.shared.taken {
+		task = nil
+	} else {
+		cs.Ops.CAS.Inc()
+		if !ch.tasks[idx].p.CompareAndSwap(task, p.shared.taken) {
+			cs.Ops.FailedCAS.Inc()
+			task = nil
+		}
+	}
+	next := p.peekNext(ch, idx+1)
+	if task != nil {
+		p.chargeTake(cs, ch)
+	}
+	p.checkLast(cs, sc, nn, ch, idx, next, hzSteal) // line 136
+	if ownerID(ch.owner.Load()) == p.ownerIDv {     // line 137
+		sc.current = nn
+	}
+	sc.rec.Clear(hzSteal)
+	return task
+}
+
+// chooseVictimNode implements the line-109 policy: scan the victim's lists
+// starting from a rotating cursor and return the first node whose chunk is
+// still owned by the victim and visibly holds an untaken task. The paper
+// leaves this policy open ("different policies possible"); a rotating scan
+// spreads concurrent thieves over the victim's producers.
+func (p *Pool[T]) chooseVictimNode(sc *consScratch[T], victim *Pool[T]) *node[T] {
+	numLists := len(victim.lists)
+	start := sc.stealCursor % numLists
+	for k := 0; k < numLists; k++ {
+		li := (start + k) % numLists
+		for e := victim.lists[li].first(); e != nil; e = e.next.Load() {
+			n := e.node.Load()
+			ch := n.chunk.Load()
+			if ch == nil || ownerID(ch.owner.Load()) != victim.ownerIDv {
+				continue
+			}
+			idx := n.idx.Load()
+			if idx+1 >= int64(len(ch.tasks)) {
+				continue
+			}
+			if ch.tasks[idx+1].p.Load() == nil {
+				continue
+			}
+			sc.stealCursor = li
+			return n
+		}
+	}
+	sc.stealCursor = (start + 1) % numLists
+	return nil
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"testing"
+
+	"salsa/internal/scpool"
+)
+
+// TestStealRefusesFullyAnnouncedChunk — line 113: a chunk whose node index
+// already covers the final slot has nothing stealable; the thief must back
+// off before touching the owner word.
+func TestStealRefusesFullyAnnouncedChunk(t *testing.T) {
+	s := newFamily(t, 4, 2)
+	victim := mkPool(t, s, 0, 1)
+	thief := mkPool(t, s, 1, 1)
+	ps := prod(0)
+	for i := 0; i < 4; i++ {
+		victim.ProduceForce(ps, &task{id: i})
+	}
+	n := victim.lists[0].first().node.Load()
+	ch := n.chunk.Load()
+	ownerBefore := ch.owner.Load()
+	n.idx.Store(3) // owner announced the final slot
+
+	if got := thief.Steal(cons(1), victim); got != nil {
+		t.Fatalf("steal of a fully announced chunk returned %v", got)
+	}
+	if ch.owner.Load() != ownerBefore {
+		t.Fatal("thief touched the owner word despite the line-113 backoff")
+	}
+	// The thief's steal list must be clean (no leaked entries).
+	if !thief.lists[thief.stealIdx].isEmptyStructurally() {
+		t.Fatal("failed steal leaked an entry in the thief's steal list")
+	}
+}
+
+// TestStealRefusesUnproducedSlot — line 113's second clause: the slot after
+// the announced index holds no task yet.
+func TestStealRefusesUnproducedSlot(t *testing.T) {
+	s := newFamily(t, 4, 2)
+	victim := mkPool(t, s, 0, 1)
+	thief := mkPool(t, s, 1, 1)
+	ps := prod(0)
+	victim.ProduceForce(ps, &task{id: 0})
+	// Drain the only task so tasks[idx+1] is ⊥.
+	if victim.Consume(cons(0)) == nil {
+		t.Fatal("consume failed")
+	}
+	if got := thief.Steal(cons(1), victim); got != nil {
+		t.Fatalf("steal of an empty chunk returned %v", got)
+	}
+}
+
+// TestSecondStealFailsOnMovedChunk: once a chunk is stolen, a stale steal
+// directed at the old victim must fail — the chunk is no longer reachable
+// from the victim's lists and its owner word moved.
+func TestSecondStealFailsOnMovedChunk(t *testing.T) {
+	s := newFamily(t, 8, 3)
+	victim := mkPool(t, s, 0, 1)
+	t1 := mkPool(t, s, 1, 1)
+	t2 := mkPool(t, s, 2, 1)
+	ps := prod(0)
+	for i := 0; i < 8; i++ {
+		victim.ProduceForce(ps, &task{id: i})
+	}
+	if t1.Steal(cons(1), victim) == nil {
+		t.Fatal("first steal failed")
+	}
+	// The victim has nothing left; t2's steal must come up dry.
+	if got := t2.Steal(cons(2), victim); got != nil {
+		t.Fatalf("steal from a robbed victim returned %v", got)
+	}
+	// But t2 can steal from t1, where the chunk now lives.
+	if got := t2.Steal(cons(2), t1); got == nil {
+		t.Fatal("steal from the new owner failed")
+	}
+}
+
+// TestOwnerSingleExtraTakeAfterSteal: §1.5.3 — after losing its chunk, the
+// ex-owner may take at most the one task it announced, and only via CAS.
+func TestOwnerSingleExtraTakeAfterSteal(t *testing.T) {
+	s := newFamily(t, 8, 2)
+	victim := mkPool(t, s, 0, 1)
+	thief := mkPool(t, s, 1, 1)
+	ps := prod(0)
+	for i := 0; i < 8; i++ {
+		victim.ProduceForce(ps, &task{id: i})
+	}
+	csV := cons(0)
+	// The victim announces slot 0 by consuming once (takes task 0,
+	// caches the node); then the chunk is stolen.
+	if got := victim.Consume(csV); got == nil || got.id != 0 {
+		t.Fatalf("victim's first consume = %v", got)
+	}
+	if thief.Steal(cons(1), victim) == nil {
+		t.Fatal("steal failed")
+	}
+	// The victim's next Consume must find nothing: its cached node's
+	// chunk pointer was cleared by the thief (line 132), and the chunk
+	// is gone from its lists.
+	if got := victim.Consume(csV); got != nil {
+		t.Fatalf("victim consumed %v from a stolen chunk", got)
+	}
+	if csV.Ops.SlowPath.Load() != 0 {
+		// The victim never raced the announce window in this schedule,
+		// so it must not have gone down the CAS path at all.
+		t.Errorf("victim took the slow path %d times in a race-free schedule",
+			csV.Ops.SlowPath.Load())
+	}
+}
+
+// TestStealFromPoolWithOnlyForeignChunks: chunks in the victim's steal list
+// that the victim no longer owns (already re-stolen) must be skipped by
+// chooseVictimNode.
+func TestStealFromPoolWithOnlyForeignChunks(t *testing.T) {
+	s := newFamily(t, 8, 3)
+	a := mkPool(t, s, 0, 1)
+	b := mkPool(t, s, 1, 1)
+	c := mkPool(t, s, 2, 1)
+	ps := prod(0)
+	for i := 0; i < 8; i++ {
+		a.ProduceForce(ps, &task{id: i})
+	}
+	// b steals the chunk from a; then c steals it from b. b's steal-list
+	// entry now references a chunk owned by c.
+	if b.Steal(cons(1), a) == nil {
+		t.Fatal("b's steal failed")
+	}
+	if c.Steal(cons(2), b) == nil {
+		t.Fatal("c's steal failed")
+	}
+	// a stealing from b must find nothing there (the only entry is
+	// foreign-owned) rather than corrupting c's ownership.
+	if got := a.Steal(cons(0), b); got != nil {
+		t.Fatalf("a stole %v via a foreign-owned entry", got)
+	}
+	// The tasks are all still retrievable from c.
+	csC := cons(2)
+	count := 0
+	for c.Consume(csC) != nil {
+		count++
+	}
+	if count != 6 { // 8 minus the two steal-takes
+		t.Fatalf("c drained %d tasks, want 6", count)
+	}
+}
+
+// TestRestealChain: a chunk surviving a long steal chain (a→b→c→a→b) keeps
+// every task exactly once and its tag strictly increasing.
+func TestRestealChain(t *testing.T) {
+	s := newFamily(t, 16, 3)
+	pools := []*Pool[task]{mkPool(t, s, 0, 1), mkPool(t, s, 1, 1), mkPool(t, s, 2, 1)}
+	ps := prod(0)
+	for i := 0; i < 16; i++ {
+		pools[0].ProduceForce(ps, &task{id: i})
+	}
+	ch := pools[0].lists[0].first().node.Load().chunk.Load()
+	lastTag := ownerTag(ch.owner.Load())
+
+	seen := map[int]bool{}
+	css := []*scpool.ConsumerState{cons(0), cons(1), cons(2)}
+	hops := []int{1, 2, 0, 1} // b, c, a, b
+	from := 0
+	for _, to := range hops {
+		got := pools[to].Steal(css[to], pools[from])
+		if got == nil {
+			t.Fatalf("steal %d→%d failed", from, to)
+		}
+		if seen[got.id] {
+			t.Fatalf("task %d stolen twice", got.id)
+		}
+		seen[got.id] = true
+		tag := ownerTag(ch.owner.Load())
+		if tag <= lastTag {
+			t.Fatalf("owner tag did not advance on steal: %d then %d", lastTag, tag)
+		}
+		lastTag = tag
+		from = to
+	}
+	// Drain the rest from the final owner.
+	for {
+		got := pools[from].Consume(css[from])
+		if got == nil {
+			break
+		}
+		if seen[got.id] {
+			t.Fatalf("task %d returned twice", got.id)
+		}
+		seen[got.id] = true
+	}
+	if len(seen) != 16 {
+		t.Fatalf("recovered %d of 16 tasks across the steal chain", len(seen))
+	}
+}

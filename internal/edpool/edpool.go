@@ -1,0 +1,253 @@
+// Package edpool implements an elimination-diffraction pool in the style
+// of Afek, Korland, Natanzon and Shavit (Euro-Par 2010) — the ED-pool the
+// paper's related work discusses (§1.2): a tree of queues fed through
+// diffracting balancers with elimination arrays.
+//
+// Structure: a complete binary tree of *balancers* routes every operation
+// to one of 2^depth leaf FIFO queues. Each balancer carries
+//
+//   - a toggle bit: operations alternate left/right, spreading load evenly
+//     across the subtrees (the "diffraction"), and
+//   - an elimination array: a put descending through the balancer parks
+//     briefly in a slot; a get arriving at the same slot takes the task
+//     directly and both operations complete without ever touching a queue.
+//
+// Elimination pairs a put with a get, which is always legal for an
+// unordered pool (unlike for a FIFO queue, where the paper notes
+// elimination only works near-empty). The pool therefore scales better
+// than a single queue, but — as the paper's citations [6] observe — the
+// shared balancer counters and elimination arrays still bounce between
+// chips, which is why it loses to partitioned designs like SALSA on NUMA
+// machines. This package exists to make that comparison runnable.
+package edpool
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"salsa/internal/indicator"
+	"salsa/internal/msqueue"
+	"salsa/internal/scpool"
+)
+
+// DefaultDepth gives 4 leaf queues.
+const DefaultDepth = 2
+
+const (
+	elimSlots = 4  // elimination array width per balancer
+	elimSpins = 48 // how long a put parks waiting for a get
+)
+
+// elimSlot holds a parked put's task. nil = free.
+type elimSlot[T any] struct {
+	p atomic.Pointer[T]
+	_ [48]byte // avoid false sharing between slots
+}
+
+// balancer is one diffracting node of the tree.
+type balancer[T any] struct {
+	toggle atomic.Uint64
+	elim   []elimSlot[T]
+}
+
+// next returns 0 (left) or 1 (right), alternating per operation.
+func (b *balancer[T]) next() int {
+	return int(b.toggle.Add(1) & 1)
+}
+
+// Options configures a pool.
+type Options struct {
+	// Depth of the diffraction tree; 2^Depth leaf queues. Default 2.
+	Depth int
+	// Consumers sizes the empty-indicator for the checkEmpty protocol.
+	Consumers int
+}
+
+// Pool is the shared elimination-diffraction pool.
+type Pool[T any] struct {
+	opts      Options
+	balancers []*balancer[T] // heap layout: node i's children are 2i+1, 2i+2
+	leaves    []*msqueue.Queue[*T]
+	ind       *indicator.Indicator
+}
+
+// New builds the pool.
+func New[T any](opts Options) (*Pool[T], error) {
+	if opts.Depth <= 0 {
+		opts.Depth = DefaultDepth
+	}
+	if opts.Depth > 8 {
+		return nil, fmt.Errorf("edpool: depth %d unreasonable (max 8)", opts.Depth)
+	}
+	if opts.Consumers <= 0 {
+		return nil, fmt.Errorf("edpool: Consumers must be positive")
+	}
+	numBalancers := 1<<opts.Depth - 1
+	numLeaves := 1 << opts.Depth
+	p := &Pool[T]{
+		opts:      opts,
+		balancers: make([]*balancer[T], numBalancers),
+		leaves:    make([]*msqueue.Queue[*T], numLeaves),
+		ind:       indicator.New(opts.Consumers),
+	}
+	for i := range p.balancers {
+		p.balancers[i] = &balancer[T]{elim: make([]elimSlot[T], elimSlots)}
+	}
+	for i := range p.leaves {
+		p.leaves[i] = msqueue.New[*T]()
+	}
+	return p, nil
+}
+
+// Leaves returns the number of leaf queues (for tests and stats).
+func (p *Pool[T]) Leaves() int { return len(p.leaves) }
+
+// Put inserts t, trying elimination at every balancer on the way down.
+func (p *Pool[T]) Put(ps *scpool.ProducerState, t *T) {
+	if t == nil {
+		panic("edpool: nil task")
+	}
+	node := 0
+	slotSeed := uint64(ps.ID)*0x9E3779B97F4A7C15 + 1
+	for {
+		b := p.balancers[node]
+		// Elimination attempt: park in a pseudo-random slot.
+		slotSeed ^= slotSeed << 13
+		slotSeed ^= slotSeed >> 7
+		slotSeed ^= slotSeed << 17
+		slot := &b.elim[slotSeed%elimSlots]
+		ps.Ops.CAS.Inc()
+		if slot.p.CompareAndSwap(nil, t) {
+			for spin := 0; spin < elimSpins; spin++ {
+				if slot.p.Load() != t {
+					return // a get took it: eliminated
+				}
+			}
+			ps.Ops.CAS.Inc()
+			if !slot.p.CompareAndSwap(t, nil) {
+				return // taken at the last moment
+			}
+		} else {
+			ps.Ops.FailedCAS.Inc()
+		}
+		// Diffract.
+		child := 2*node + 1 + b.next()
+		if child >= len(p.balancers) {
+			leaf := child - len(p.balancers)
+			ps.Ops.CAS.Add(2) // MS enqueue
+			p.leaves[leaf].Enqueue(t)
+			ps.Ops.Puts.Inc()
+			return
+		}
+		node = child
+	}
+}
+
+// Get retrieves a task, or nil when the sweep found none. It first tries
+// to eliminate against parked puts on the way down, then dequeues from the
+// leaf the tree routed it to, then sweeps the remaining leaves.
+func (p *Pool[T]) Get(cs *scpool.ConsumerState) *T {
+	node := 0
+	for {
+		b := p.balancers[node]
+		// Elimination attempt: grab any parked put.
+		for i := range b.elim {
+			t := b.elim[i].p.Load()
+			if t == nil {
+				continue
+			}
+			cs.Ops.CAS.Inc()
+			if b.elim[i].p.CompareAndSwap(t, nil) {
+				p.ind.Clear()
+				return t
+			}
+			cs.Ops.FailedCAS.Inc()
+		}
+		child := 2*node + 1 + b.next()
+		if child >= len(p.balancers) {
+			leaf := child - len(p.balancers)
+			n := len(p.leaves)
+			for k := 0; k < n; k++ {
+				cs.Ops.CAS.Inc()
+				if t, ok := p.leaves[(leaf+k)%n].Dequeue(); ok {
+					p.ind.Clear()
+					return t
+				}
+			}
+			return nil
+		}
+		node = child
+	}
+}
+
+// IsEmpty reports whether a sweep of all leaves and elimination arrays
+// found no task.
+func (p *Pool[T]) IsEmpty() bool {
+	for _, b := range p.balancers {
+		for i := range b.elim {
+			if b.elim[i].p.Load() != nil {
+				return false
+			}
+		}
+	}
+	for _, q := range p.leaves {
+		if !q.IsEmpty() {
+			return false
+		}
+	}
+	return true
+}
+
+// Facade adapts the shared pool to the SCPool interface so the
+// work-stealing framework (and every benchmark figure) can drive it like
+// the other global-structure baseline, ConcBag.
+type Facade[T any] struct {
+	pool     *Pool[T]
+	ownerIDv int
+}
+
+// NewFacade returns consumer ownerID's view of the pool.
+func (p *Pool[T]) NewFacade(ownerID int) (*Facade[T], error) {
+	if ownerID < 0 || ownerID >= p.opts.Consumers {
+		return nil, fmt.Errorf("edpool: owner id %d out of range", ownerID)
+	}
+	return &Facade[T]{pool: p, ownerIDv: ownerID}, nil
+}
+
+// OwnerID implements scpool.SCPool.
+func (f *Facade[T]) OwnerID() int { return f.ownerIDv }
+
+// Produce inserts into the shared pool; it is unbounded and never fails.
+func (f *Facade[T]) Produce(ps *scpool.ProducerState, t *T) bool {
+	f.pool.Put(ps, t)
+	return true
+}
+
+// ProduceForce is identical to Produce.
+func (f *Facade[T]) ProduceForce(ps *scpool.ProducerState, t *T) {
+	ps.Ops.ForcePuts.Inc()
+	f.pool.Put(ps, t)
+}
+
+// Consume takes from the shared pool.
+func (f *Facade[T]) Consume(cs *scpool.ConsumerState) *T {
+	t := f.pool.Get(cs)
+	if t != nil {
+		cs.Ops.SlowPath.Inc()
+	}
+	return t
+}
+
+// Steal is a no-op: Consume already covers the whole shared structure.
+func (f *Facade[T]) Steal(cs *scpool.ConsumerState, _ scpool.SCPool[T]) *T {
+	return nil
+}
+
+// IsEmpty delegates to the shared pool.
+func (f *Facade[T]) IsEmpty() bool { return f.pool.IsEmpty() }
+
+// SetIndicator delegates to the pool-wide indicator.
+func (f *Facade[T]) SetIndicator(id int) { f.pool.ind.Set(id) }
+
+// CheckIndicator delegates to the pool-wide indicator.
+func (f *Facade[T]) CheckIndicator(id int) bool { return f.pool.ind.Check(id) }

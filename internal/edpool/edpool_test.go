@@ -1,0 +1,215 @@
+package edpool
+
+import (
+	"sync"
+	"testing"
+
+	"salsa/internal/scpool"
+)
+
+type task struct{ id int }
+
+func prod(id int) *scpool.ProducerState { return &scpool.ProducerState{ID: id} }
+func cons(id int) *scpool.ConsumerState { return &scpool.ConsumerState{ID: id} }
+
+func newPool(t *testing.T, depth, consumers int) *Pool[task] {
+	t.Helper()
+	p, err := New[task](Options{Depth: depth, Consumers: consumers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPutGetBasic(t *testing.T) {
+	p := newPool(t, 2, 1)
+	if p.Leaves() != 4 {
+		t.Fatalf("Leaves = %d, want 4", p.Leaves())
+	}
+	ps, cs := prod(0), cons(0)
+	if got := p.Get(cs); got != nil {
+		t.Fatalf("empty pool yielded %v", got)
+	}
+	const n = 100
+	seen := map[int]bool{}
+	for i := 0; i < n; i++ {
+		p.Put(ps, &task{id: i})
+	}
+	if p.IsEmpty() {
+		t.Fatal("pool with tasks reports empty")
+	}
+	for i := 0; i < n; i++ {
+		got := p.Get(cs)
+		if got == nil {
+			t.Fatalf("Get %d found nothing", i)
+		}
+		if seen[got.id] {
+			t.Fatalf("task %d twice", got.id)
+		}
+		seen[got.id] = true
+	}
+	if got := p.Get(cs); got != nil {
+		t.Fatalf("drained pool yielded %v", got)
+	}
+	if !p.IsEmpty() {
+		t.Fatal("drained pool not empty")
+	}
+}
+
+func TestDiffractionSpreadsLeaves(t *testing.T) {
+	p := newPool(t, 2, 1)
+	ps := prod(0)
+	for i := 0; i < 64; i++ {
+		p.Put(ps, &task{id: i})
+	}
+	nonEmpty := 0
+	for _, q := range p.leaves {
+		if !q.IsEmpty() {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 2 {
+		t.Errorf("diffraction used only %d of %d leaves", nonEmpty, len(p.leaves))
+	}
+}
+
+func TestEliminationPairsPutWithGet(t *testing.T) {
+	p := newPool(t, 1, 1)
+	cs := cons(0)
+	// Park a task directly in the root balancer's elimination array and
+	// verify a Get takes it without touching any leaf.
+	tk := &task{id: 9}
+	p.balancers[0].elim[2].p.Store(tk)
+	got := p.Get(cs)
+	if got != tk {
+		t.Fatalf("Get = %v, want the parked task", got)
+	}
+	for _, q := range p.leaves {
+		if !q.IsEmpty() {
+			t.Fatal("elimination should not touch leaves")
+		}
+	}
+}
+
+func TestIsEmptySeesParkedPuts(t *testing.T) {
+	p := newPool(t, 1, 1)
+	p.balancers[0].elim[0].p.Store(&task{id: 1})
+	if p.IsEmpty() {
+		t.Fatal("pool with a parked put reports empty")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New[task](Options{Depth: 9, Consumers: 1}); err == nil {
+		t.Error("absurd depth accepted")
+	}
+	if _, err := New[task](Options{Consumers: 0}); err == nil {
+		t.Error("Consumers=0 accepted")
+	}
+	p := newPool(t, 1, 2)
+	if _, err := p.NewFacade(5); err == nil {
+		t.Error("out-of-range facade owner accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("nil task accepted")
+		}
+	}()
+	p.Put(prod(0), nil)
+}
+
+func TestFacadeConformance(t *testing.T) {
+	p := newPool(t, 2, 2)
+	f0, err := p.NewFacade(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, _ := p.NewFacade(1)
+	ps := prod(0)
+	if !f0.Produce(ps, &task{id: 1}) {
+		t.Fatal("unbounded Produce failed")
+	}
+	if f1.Steal(cons(1), f0) != nil {
+		t.Fatal("Steal must be a no-op")
+	}
+	if got := f1.Consume(cons(1)); got == nil || got.id != 1 {
+		t.Fatalf("Consume through facade = %v", got)
+	}
+	if !f0.IsEmpty() {
+		t.Fatal("facade IsEmpty wrong")
+	}
+	f0.SetIndicator(1)
+	if !f0.CheckIndicator(1) {
+		t.Fatal("indicator lost")
+	}
+	f1.ProduceForce(ps, &task{id: 2})
+	if f1.Consume(cons(0)) == nil {
+		t.Fatal("ProduceForce task lost")
+	}
+	if f0.CheckIndicator(1) {
+		t.Fatal("indicator must clear on take")
+	}
+}
+
+func TestConcurrentConservation(t *testing.T) {
+	p := newPool(t, 3, 4)
+	const (
+		producers = 3
+		consumers = 4
+		perProd   = 8000
+	)
+	var pwg sync.WaitGroup
+	for pi := 0; pi < producers; pi++ {
+		pwg.Add(1)
+		go func(pi int) {
+			defer pwg.Done()
+			ps := prod(pi)
+			for i := 0; i < perProd; i++ {
+				p.Put(ps, &task{id: pi*perProd + i})
+			}
+		}(pi)
+	}
+	results := make([][]*task, consumers)
+	stop := make(chan struct{})
+	var cwg sync.WaitGroup
+	for ci := 0; ci < consumers; ci++ {
+		cwg.Add(1)
+		go func(ci int) {
+			defer cwg.Done()
+			cs := cons(ci)
+			for {
+				if tk := p.Get(cs); tk != nil {
+					results[ci] = append(results[ci], tk)
+					continue
+				}
+				select {
+				case <-stop:
+					for {
+						tk := p.Get(cs)
+						if tk == nil {
+							return
+						}
+						results[ci] = append(results[ci], tk)
+					}
+				default:
+				}
+			}
+		}(ci)
+	}
+	pwg.Wait()
+	close(stop)
+	cwg.Wait()
+
+	seen := map[int]bool{}
+	for _, res := range results {
+		for _, tk := range res {
+			if seen[tk.id] {
+				t.Fatalf("task %d twice", tk.id)
+			}
+			seen[tk.id] = true
+		}
+	}
+	if len(seen) != producers*perProd {
+		t.Fatalf("got %d unique, want %d", len(seen), producers*perProd)
+	}
+}

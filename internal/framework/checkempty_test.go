@@ -1,0 +1,147 @@
+package framework_test
+
+import (
+	"testing"
+
+	"salsa/internal/framework"
+	"salsa/internal/scpool"
+)
+
+// fakePool is a scriptable SCPool for exercising the checkEmpty protocol
+// in isolation: it reports emptiness and indicator state from programmed
+// sequences instead of real data structures.
+type fakePool struct {
+	owner int
+
+	// emptySeq is consumed one value per IsEmpty call; when exhausted,
+	// the last value repeats.
+	emptySeq []bool
+	emptyAt  int
+
+	// indicatorSeq likewise for CheckIndicator.
+	indicatorSeq []bool
+	indicatorAt  int
+
+	setCalls   int
+	emptyCalls int
+	checkCalls int
+}
+
+func (f *fakePool) OwnerID() int                              { return f.owner }
+func (f *fakePool) Produce(*scpool.ProducerState, *task) bool { return true }
+func (f *fakePool) ProduceForce(*scpool.ProducerState, *task) {}
+func (f *fakePool) Consume(*scpool.ConsumerState) *task       { return nil }
+func (f *fakePool) Steal(*scpool.ConsumerState, scpool.SCPool[task]) *task {
+	return nil
+}
+
+func (f *fakePool) IsEmpty() bool {
+	f.emptyCalls++
+	v := true
+	if len(f.emptySeq) > 0 {
+		i := f.emptyAt
+		if i >= len(f.emptySeq) {
+			i = len(f.emptySeq) - 1
+		}
+		v = f.emptySeq[i]
+		f.emptyAt++
+	}
+	return v
+}
+
+func (f *fakePool) SetIndicator(int) { f.setCalls++ }
+
+func (f *fakePool) CheckIndicator(int) bool {
+	f.checkCalls++
+	v := true
+	if len(f.indicatorSeq) > 0 {
+		i := f.indicatorAt
+		if i >= len(f.indicatorSeq) {
+			i = len(f.indicatorSeq) - 1
+		}
+		v = f.indicatorSeq[i]
+		f.indicatorAt++
+	}
+	return v
+}
+
+func buildFakeFW(t *testing.T, consumers int, pools []*fakePool) *framework.Framework[task] {
+	t.Helper()
+	i := 0
+	fw, err := framework.New(framework.Config[task]{
+		Producers: 1,
+		Consumers: consumers,
+		NewPool: func(owner, node, prods int) (scpool.SCPool[task], error) {
+			p := pools[i]
+			p.owner = owner
+			i++
+			return p, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw
+}
+
+// TestCheckEmptyRunsNRounds: a Get on an always-empty system must traverse
+// every pool n times (n = number of consumers), planting the indicator on
+// the first round only (Algorithm 2 lines 30–36).
+func TestCheckEmptyRunsNRounds(t *testing.T) {
+	const consumers = 3
+	pools := []*fakePool{{}, {}, {}}
+	fw := buildFakeFW(t, consumers, pools)
+
+	if _, ok := fw.Consumer(0).Get(); ok {
+		t.Fatal("fake pools are empty; Get returned a task")
+	}
+	for i, p := range pools {
+		if p.setCalls != 1 {
+			t.Errorf("pool %d: SetIndicator called %d times, want 1", i, p.setCalls)
+		}
+		if p.emptyCalls != consumers {
+			t.Errorf("pool %d: IsEmpty called %d times, want %d", i, p.emptyCalls, consumers)
+		}
+		if p.checkCalls != consumers {
+			t.Errorf("pool %d: CheckIndicator called %d times, want %d", i, p.checkCalls, consumers)
+		}
+	}
+}
+
+// TestCheckEmptyRestartsWhenIndicatorCleared: a cleared indicator means a
+// possibly-emptying operation raced the probe; checkEmpty must fail and the
+// Get loop must retry (we feed a task on the retry to let it finish).
+func TestCheckEmptyRestartsWhenIndicatorCleared(t *testing.T) {
+	// Pool 0's indicator reads false once (simulating a concurrent
+	// steal clearing it), then true forever.
+	p0 := &fakePool{indicatorSeq: []bool{false, true}}
+	p1 := &fakePool{}
+	fw := buildFakeFW(t, 2, []*fakePool{p0, p1})
+
+	if _, ok := fw.Consumer(0).Get(); ok {
+		t.Fatal("Get returned a task from fake pools")
+	}
+	// The first checkEmpty failed at p0's cleared indicator, so a second
+	// full probe must have run: p0's indicator was planted twice.
+	if p0.setCalls < 2 {
+		t.Errorf("expected a re-probe after a cleared indicator; SetIndicator calls = %d", p0.setCalls)
+	}
+}
+
+// TestCheckEmptyFailsFastOnVisibleTask: IsEmpty=false must abort the probe
+// without consulting the remaining pools of that round.
+func TestCheckEmptyFailsFastOnVisibleTask(t *testing.T) {
+	// Pool 0 looks non-empty once (then empty), pool 1 always empty.
+	p0 := &fakePool{emptySeq: []bool{false, true}}
+	p1 := &fakePool{}
+	fw := buildFakeFW(t, 2, []*fakePool{p0, p1})
+
+	if _, ok := fw.Consumer(0).Get(); ok {
+		t.Fatal("Get returned a task from fake pools")
+	}
+	// First probe aborted at p0 before reaching p1: p1 sees exactly the
+	// rounds of the *second* (successful) probe.
+	if p1.emptyCalls != 2 {
+		t.Errorf("p1.IsEmpty called %d times, want 2 (second probe only)", p1.emptyCalls)
+	}
+}

@@ -1,0 +1,342 @@
+// Package framework implements the paper's management policy (§1.4,
+// Algorithm 2): the component that operates a set of SCPools, routing
+// producer requests and initiating stealing according to NUMA-aware access
+// lists, independent of which SCPool implementation is underneath.
+//
+// The policy is:
+//
+//   - Access lists. Every producer and consumer is given the list of all
+//     consumers sorted by distance from its core (internal/topology).
+//   - Producer policy. put() tries produce() on each pool in access-list
+//     order; produce() fails when the target consumer has no spare chunks
+//     (it is overloaded), and if every pool is full, produceForce() expands
+//     the closest pool. This is producer-based balancing (§1.5.4).
+//   - Consumer policy. get() consumes from the consumer's own pool, then
+//     tries to steal along its access list, and gives up only after the
+//     linearizable checkEmpty() protocol (§1.5.5) confirms a moment of
+//     global emptiness.
+//
+// If the SCPools are lock-free, the framework preserves lock-freedom at the
+// system level.
+package framework
+
+import (
+	"fmt"
+	"runtime"
+
+	"salsa/internal/scpool"
+	"salsa/internal/stats"
+	"salsa/internal/topology"
+)
+
+// PoolFactory builds the SCPool owned by consumer ownerID on NUMA node
+// ownerNode, with producer lists for `producers` producers.
+type PoolFactory[T any] func(ownerID, ownerNode, producers int) (scpool.SCPool[T], error)
+
+// Config describes a framework instance.
+type Config[T any] struct {
+	// Producers and Consumers are the thread counts. Every producer and
+	// consumer gets a dedicated handle that must be used by a single
+	// goroutine.
+	Producers int
+	Consumers int
+
+	// Placement maps threads to cores/nodes and derives access lists.
+	// Nil means a UMA machine with Producers+Consumers cores.
+	Placement *topology.Placement
+
+	// NewPool builds the SCPool implementation (SALSA, SALSA+CAS,
+	// ConcBag, WS-MSQ, WS-LIFO, ...).
+	NewPool PoolFactory[T]
+
+	// DisableBalancing reproduces the Figure 1.6 ablation: producers
+	// ignore produce() failures and always insert into the first pool on
+	// their access list (forcing expansion when it is full).
+	DisableBalancing bool
+
+	// NonLinearizableEmpty makes Get return ⊥ after a single fruitless
+	// traversal instead of running the checkEmpty protocol — the
+	// configuration the paper benchmarked (§1.6.2). Correct programs
+	// that rely on ⊥ meaning "empty at some instant" must keep this
+	// false.
+	NonLinearizableEmpty bool
+
+	// StealOrder selects how a consumer iterates victims; the paper
+	// leaves the policy open (§1.4 "subject for engineering
+	// optimizations" and found it worth 53% for ConcBag, §1.6.3).
+	StealOrder StealOrder
+}
+
+// StealOrder is a victim-iteration policy for steal attempts.
+type StealOrder int
+
+const (
+	// StealNearestFirst walks the NUMA access list in order — the
+	// paper's policy: steals stay on-node when possible.
+	StealNearestFirst StealOrder = iota
+	// StealRoundRobin rotates the starting victim on every traversal,
+	// spreading contention across victims at the cost of locality.
+	StealRoundRobin
+	// StealRandom picks a pseudo-random starting victim per traversal
+	// (xorshift; no locks, no global rng).
+	StealRandom
+)
+
+// Framework wires pools, producers and consumers together.
+type Framework[T any] struct {
+	cfg       Config[T]
+	pools     []scpool.SCPool[T]
+	producers []*Producer[T]
+	consumers []*Consumer[T]
+	placement *topology.Placement
+}
+
+// New validates cfg, builds one SCPool per consumer and pre-wires all
+// handles and access lists.
+func New[T any](cfg Config[T]) (*Framework[T], error) {
+	if cfg.Producers <= 0 || cfg.Consumers <= 0 {
+		return nil, fmt.Errorf("framework: need at least one producer and one consumer, got %d/%d",
+			cfg.Producers, cfg.Consumers)
+	}
+	if cfg.NewPool == nil {
+		return nil, fmt.Errorf("framework: NewPool factory is required")
+	}
+	pl := cfg.Placement
+	if pl == nil {
+		pl = topology.Place(topology.UMA(cfg.Producers+cfg.Consumers),
+			cfg.Producers, cfg.Consumers, topology.PlaceInterleaved)
+	}
+	fw := &Framework[T]{cfg: cfg, placement: pl}
+
+	fw.pools = make([]scpool.SCPool[T], cfg.Consumers)
+	for i := 0; i < cfg.Consumers; i++ {
+		p, err := cfg.NewPool(i, pl.ConsumerNode(i), cfg.Producers)
+		if err != nil {
+			return nil, fmt.Errorf("framework: building pool %d: %w", i, err)
+		}
+		if p.OwnerID() != i {
+			return nil, fmt.Errorf("framework: pool %d reports owner %d", i, p.OwnerID())
+		}
+		fw.pools[i] = p
+	}
+
+	fw.producers = make([]*Producer[T], cfg.Producers)
+	for i := 0; i < cfg.Producers; i++ {
+		order := pl.ProducerAccessList(i)
+		access := make([]scpool.SCPool[T], len(order))
+		for k, c := range order {
+			access[k] = fw.pools[c]
+		}
+		pr := &Producer[T]{fw: fw, access: access}
+		pr.state.ID = i
+		pr.state.Node = pl.ProducerNode(i)
+		fw.producers[i] = pr
+	}
+
+	fw.consumers = make([]*Consumer[T], cfg.Consumers)
+	for i := 0; i < cfg.Consumers; i++ {
+		order := pl.ConsumerAccessList(i) // self first
+		victims := make([]scpool.SCPool[T], 0, len(order)-1)
+		for _, c := range order {
+			if c != i {
+				victims = append(victims, fw.pools[c])
+			}
+		}
+		co := &Consumer[T]{fw: fw, myPool: fw.pools[i], victims: victims}
+		co.state.ID = i
+		co.state.Node = pl.ConsumerNode(i)
+		fw.consumers[i] = co
+	}
+	return fw, nil
+}
+
+// Producer returns producer i's handle. Each handle must be driven by one
+// goroutine at a time.
+func (fw *Framework[T]) Producer(i int) *Producer[T] { return fw.producers[i] }
+
+// Consumer returns consumer i's handle. Each handle must be driven by one
+// goroutine at a time.
+func (fw *Framework[T]) Consumer(i int) *Consumer[T] { return fw.consumers[i] }
+
+// Pool returns consumer i's SCPool (for tests and diagnostics).
+func (fw *Framework[T]) Pool(i int) scpool.SCPool[T] { return fw.pools[i] }
+
+// NumProducers returns the configured producer count.
+func (fw *Framework[T]) NumProducers() int { return len(fw.producers) }
+
+// NumConsumers returns the configured consumer count.
+func (fw *Framework[T]) NumConsumers() int { return len(fw.consumers) }
+
+// Placement returns the placement in effect.
+func (fw *Framework[T]) Placement() *topology.Placement { return fw.placement }
+
+// Stats aggregates the operation counters of every handle.
+func (fw *Framework[T]) Stats() stats.Snapshot {
+	var total stats.Snapshot
+	for _, p := range fw.producers {
+		total.Add(p.state.Ops.Snapshot())
+	}
+	for _, c := range fw.consumers {
+		total.Add(c.state.Ops.Snapshot())
+	}
+	return total
+}
+
+// Producer inserts tasks according to the producer policy.
+type Producer[T any] struct {
+	fw     *Framework[T]
+	state  scpool.ProducerState
+	access []scpool.SCPool[T]
+}
+
+// Put inserts t (Algorithm 2's put()): produce() along the access list,
+// produceForce() on the closest pool as last resort. t must be non-nil.
+func (p *Producer[T]) Put(t *T) {
+	if p.fw.cfg.DisableBalancing {
+		if !p.access[0].Produce(&p.state, t) {
+			p.access[0].ProduceForce(&p.state, t)
+		}
+		return
+	}
+	for _, pool := range p.access {
+		if pool.Produce(&p.state, t) {
+			return
+		}
+	}
+	p.access[0].ProduceForce(&p.state, t)
+}
+
+// Ops returns this producer's operation counters.
+func (p *Producer[T]) Ops() stats.Snapshot { return p.state.Ops.Snapshot() }
+
+// ID returns the producer id.
+func (p *Producer[T]) ID() int { return p.state.ID }
+
+// Node returns the NUMA node the producer is placed on.
+func (p *Producer[T]) Node() int { return p.state.Node }
+
+// Consumer retrieves tasks according to the consumer policy.
+type Consumer[T any] struct {
+	fw      *Framework[T]
+	state   scpool.ConsumerState
+	myPool  scpool.SCPool[T]
+	victims []scpool.SCPool[T]
+
+	// steal-order state (single-owner, like the handle itself)
+	rrNext int
+	rng    uint64
+}
+
+// Get retrieves a task (Algorithm 2's get()). It returns ok=false only
+// when the system was observed empty — linearizably so unless the framework
+// was configured with NonLinearizableEmpty.
+func (c *Consumer[T]) Get() (*T, bool) {
+	for {
+		if t, ok := c.tryOnce(); ok {
+			return t, true
+		}
+		if c.fw.cfg.NonLinearizableEmpty || c.checkEmpty() {
+			c.state.Ops.GetsEmpty.Inc()
+			return nil, false
+		}
+	}
+}
+
+// TryGet performs a single consume-then-steal traversal without the
+// emptiness protocol. A false result means "found nothing this pass", not
+// "the system was empty".
+func (c *Consumer[T]) TryGet() (*T, bool) { return c.tryOnce() }
+
+// GetWait retrieves a task, spinning (with escalating yields) through empty
+// periods until a task arrives or stop is closed.
+func (c *Consumer[T]) GetWait(stop <-chan struct{}) (*T, bool) {
+	spins := 0
+	for {
+		if t, ok := c.tryOnce(); ok {
+			return t, true
+		}
+		select {
+		case <-stop:
+			return nil, false
+		default:
+		}
+		spins++
+		if spins > 64 {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (c *Consumer[T]) tryOnce() (*T, bool) {
+	if t := c.myPool.Consume(&c.state); t != nil {
+		c.state.Ops.Gets.Inc()
+		return t, true
+	}
+	n := len(c.victims)
+	if n == 0 {
+		return nil, false
+	}
+	start := 0
+	switch c.fw.cfg.StealOrder {
+	case StealRoundRobin:
+		start = c.rrNext % n
+		c.rrNext++
+	case StealRandom:
+		// xorshift64*; seeded from the consumer id on first use.
+		if c.rng == 0 {
+			c.rng = uint64(c.state.ID)*2685821657736338717 + 0x9E3779B97F4A7C15
+		}
+		c.rng ^= c.rng << 13
+		c.rng ^= c.rng >> 7
+		c.rng ^= c.rng << 17
+		start = int(c.rng % uint64(n))
+	}
+	for k := 0; k < n; k++ {
+		v := c.victims[(start+k)%n]
+		if t := c.myPool.Steal(&c.state, v); t != nil {
+			c.state.Ops.Gets.Inc()
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// checkEmpty implements Algorithm 2 lines 30–36: n traversals over all
+// pools; the first traversal plants this consumer's bit in every pool's
+// indicator, and every traversal verifies both visible emptiness and that
+// no possibly-emptying operation cleared the bit. n rounds absorb the up to
+// n−1 task-taking operations that may have been in flight when the probe
+// started (Lemma 6 / Claim 3).
+func (c *Consumer[T]) checkEmpty() bool {
+	n := len(c.fw.consumers)
+	for i := 0; i < n; i++ {
+		for _, p := range c.fw.pools {
+			if i == 0 {
+				p.SetIndicator(c.state.ID)
+			}
+			if !p.IsEmpty() {
+				return false
+			}
+			if !p.CheckIndicator(c.state.ID) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Ops returns this consumer's operation counters.
+func (c *Consumer[T]) Ops() stats.Snapshot { return c.state.Ops.Snapshot() }
+
+// ID returns the consumer id.
+func (c *Consumer[T]) ID() int { return c.state.ID }
+
+// Node returns the NUMA node the consumer is placed on.
+func (c *Consumer[T]) Node() int { return c.state.Node }
+
+// State exposes the consumer's scpool state for implementation-specific
+// teardown (e.g. releasing SALSA's hazard record).
+func (c *Consumer[T]) State() *scpool.ConsumerState { return &c.state }
+
+// ProducerState exposes the producer's scpool state.
+func (p *Producer[T]) ProducerState() *scpool.ProducerState { return &p.state }

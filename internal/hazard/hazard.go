@@ -1,0 +1,193 @@
+// Package hazard implements hazard pointers (Michael, IEEE TPDS 2004), the
+// safe-memory-reclamation scheme the paper uses for SALSA's nodes and chunks
+// (§1.5.1).
+//
+// Go's garbage collector already guarantees that no thread can observe freed
+// memory, so hazard pointers are not required for memory safety here. They
+// remain load-bearing for *reuse* safety: SALSA recycles chunks through
+// per-consumer chunk pools, and a chunk must not re-enter a pool (and be
+// handed to a new producer) while some thread may still act on it through a
+// stale reference. SALSA's tagged owner word already defuses those races;
+// this package reproduces the paper's belt-and-braces scheme and lets tests
+// assert that a protected chunk is never recycled.
+//
+// Usage pattern:
+//
+//	rec := dom.Acquire()          // once per thread
+//	h := rec.Protect(0, &chunkPtr) // publish intent, re-validating the load
+//	... use h ...
+//	rec.Clear(0)
+//	dom.Retire(h, func(p unsafe.Pointer) { pool.put((*Chunk)(p)) })
+//
+// Retire defers the callback until no record holds p in a hazard slot.
+package hazard
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// SlotsPerRecord is the number of hazard slots each thread record provides.
+// SALSA needs at most two simultaneously protected objects per operation
+// (a node and its chunk).
+const SlotsPerRecord = 4
+
+// scanThreshold is the retire-list length that triggers a reclamation scan.
+const scanThreshold = 64
+
+// Record is a per-thread hazard record. A Record must be used by a single
+// goroutine at a time; Release returns it to the domain for reuse.
+type Record struct {
+	slots  [SlotsPerRecord]atomic.Pointer[byte]
+	active atomic.Bool
+	next   *Record // immutable once linked into the domain list
+
+	dom     *Domain
+	retired []retiredPtr
+}
+
+type retiredPtr struct {
+	p    unsafe.Pointer
+	free func(unsafe.Pointer)
+}
+
+// Domain owns the global list of records and coordinates scans. The zero
+// value is ready to use.
+type Domain struct {
+	head atomic.Pointer[Record]
+
+	// reclaimed counts pointers whose free callback has run; tests use it
+	// to verify progress.
+	reclaimed atomic.Int64
+}
+
+// Acquire returns an inactive record from the domain, or links a new one.
+// Records are never unlinked; Release marks them reusable.
+func (d *Domain) Acquire() *Record {
+	for r := d.head.Load(); r != nil; r = r.next {
+		if !r.active.Load() && r.active.CompareAndSwap(false, true) {
+			r.dom = d
+			return r
+		}
+	}
+	r := &Record{dom: d}
+	r.active.Store(true)
+	for {
+		head := d.head.Load()
+		r.next = head
+		if d.head.CompareAndSwap(head, r) {
+			return r
+		}
+	}
+}
+
+// Release clears the record's slots, hands its retire list to a final scan,
+// and marks the record reusable by other goroutines.
+func (r *Record) Release() {
+	for i := range r.slots {
+		r.slots[i].Store(nil)
+	}
+	r.scan()
+	// Anything still unreclaimable is parked on another active record so
+	// it is not lost; if none exists the pointers stay here and the next
+	// Acquire of this record inherits them.
+	r.active.Store(false)
+}
+
+// Protect publishes *addr in slot i and re-validates that the pointer did
+// not change while being published (the standard hazard-pointer load loop).
+// It returns the protected pointer.
+func (r *Record) Protect(i int, addr *atomic.Pointer[byte]) *byte {
+	for {
+		p := addr.Load()
+		r.slots[i].Store(p)
+		if addr.Load() == p {
+			return p
+		}
+	}
+}
+
+// Set publishes p directly in slot i (for pointers obtained and validated by
+// other means, e.g. SALSA's owner-tag CAS).
+func (r *Record) Set(i int, p unsafe.Pointer) {
+	r.slots[i].Store((*byte)(p))
+}
+
+// Clear empties slot i.
+func (r *Record) Clear(i int) { r.slots[i].Store(nil) }
+
+// Retire schedules p for reclamation once no record protects it. The free
+// callback runs at most once, from whichever thread completes the scan.
+func (r *Record) Retire(p unsafe.Pointer, free func(unsafe.Pointer)) {
+	r.retired = append(r.retired, retiredPtr{p: p, free: free})
+	if len(r.retired) >= scanThreshold {
+		r.scan()
+	}
+}
+
+// scan reclaims every retired pointer not present in any record's slots.
+func (r *Record) scan() {
+	if len(r.retired) == 0 {
+		return
+	}
+	protected := make(map[unsafe.Pointer]struct{}, scanThreshold)
+	for rec := r.dom.head.Load(); rec != nil; rec = rec.next {
+		for i := range rec.slots {
+			if p := rec.slots[i].Load(); p != nil {
+				protected[unsafe.Pointer(p)] = struct{}{}
+			}
+		}
+	}
+	kept := r.retired[:0]
+	for _, rp := range r.retired {
+		if _, ok := protected[rp.p]; ok {
+			kept = append(kept, rp)
+			continue
+		}
+		rp.free(rp.p)
+		r.dom.reclaimed.Add(1)
+	}
+	r.retired = kept
+}
+
+// Flush runs a reclamation scan immediately, regardless of the retire-list
+// length. SALSA's chunk pools call it so that deferred chunks re-enter
+// circulation as soon as the protecting thread moves on, instead of waiting
+// for the scan threshold.
+func (r *Record) Flush() { r.scan() }
+
+// PendingRetired returns the number of pointers parked on this record
+// awaiting reclamation; used by tests and the chunk-pool size accounting.
+func (r *Record) PendingRetired() int { return len(r.retired) }
+
+// ProtectedExcept reports whether any record other than `except` currently
+// publishes p in a hazard slot. SALSA's chunk pools use it to gate chunk
+// reuse: a chunk still referenced by a concurrent takeTask or steal must not
+// be handed to a producer yet (the reclamation role hazard pointers play in
+// the paper, §1.5.1).
+func (d *Domain) ProtectedExcept(p unsafe.Pointer, except *Record) bool {
+	for rec := d.head.Load(); rec != nil; rec = rec.next {
+		if rec == except {
+			continue
+		}
+		for i := range rec.slots {
+			if unsafe.Pointer(rec.slots[i].Load()) == p {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Reclaimed returns the cumulative number of retired pointers whose free
+// callbacks have run.
+func (d *Domain) Reclaimed() int64 { return d.reclaimed.Load() }
+
+// Records returns the number of records ever linked into the domain.
+func (d *Domain) Records() int {
+	n := 0
+	for r := d.head.Load(); r != nil; r = r.next {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,176 @@
+package hazard
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"unsafe"
+)
+
+func TestAcquireReusesInactiveRecords(t *testing.T) {
+	var d Domain
+	r1 := d.Acquire()
+	r1.Release()
+	r2 := d.Acquire()
+	if r1 != r2 {
+		t.Error("released record was not reused")
+	}
+	if d.Records() != 1 {
+		t.Errorf("Records = %d, want 1", d.Records())
+	}
+	r3 := d.Acquire() // r2 still active: must link a new record
+	if r3 == r2 {
+		t.Error("active record handed out twice")
+	}
+	if d.Records() != 2 {
+		t.Errorf("Records = %d, want 2", d.Records())
+	}
+}
+
+func TestProtectBlocksReclamation(t *testing.T) {
+	var d Domain
+	holder := d.Acquire()
+	retirer := d.Acquire()
+
+	obj := new(int)
+	p := unsafe.Pointer(obj)
+	holder.Set(0, p)
+
+	freed := atomic.Bool{}
+	retirer.Retire(p, func(unsafe.Pointer) { freed.Store(true) })
+	retirer.Flush()
+	if freed.Load() {
+		t.Fatal("protected pointer was reclaimed")
+	}
+	holder.Clear(0)
+	retirer.Flush()
+	if !freed.Load() {
+		t.Fatal("unprotected pointer was not reclaimed on flush")
+	}
+	if d.Reclaimed() != 1 {
+		t.Errorf("Reclaimed = %d, want 1", d.Reclaimed())
+	}
+}
+
+func TestProtectValidatesLoad(t *testing.T) {
+	var d Domain
+	r := d.Acquire()
+	var slot atomic.Pointer[byte]
+	b := new(byte)
+	slot.Store(b)
+	got := r.Protect(0, &slot)
+	if got != b {
+		t.Fatal("Protect returned a different pointer")
+	}
+	if r.slots[0].Load() != b {
+		t.Fatal("hazard slot not published")
+	}
+}
+
+func TestProtectedExcept(t *testing.T) {
+	var d Domain
+	a := d.Acquire()
+	b := d.Acquire()
+	obj := unsafe.Pointer(new(int))
+
+	if d.ProtectedExcept(obj, nil) {
+		t.Fatal("unprotected pointer reported protected")
+	}
+	a.Set(1, obj)
+	if !d.ProtectedExcept(obj, nil) {
+		t.Fatal("protected pointer not found")
+	}
+	if !d.ProtectedExcept(obj, b) {
+		t.Fatal("protection by a must be visible when excluding b")
+	}
+	if d.ProtectedExcept(obj, a) {
+		t.Fatal("self-protection must be excluded")
+	}
+	a.Clear(1)
+	if d.ProtectedExcept(obj, nil) {
+		t.Fatal("cleared slot still reported protected")
+	}
+}
+
+func TestScanThresholdTriggersReclamation(t *testing.T) {
+	var d Domain
+	r := d.Acquire()
+	var reclaimed atomic.Int64
+	for i := 0; i < scanThreshold; i++ {
+		r.Retire(unsafe.Pointer(new(int)), func(unsafe.Pointer) { reclaimed.Add(1) })
+	}
+	if reclaimed.Load() != scanThreshold {
+		t.Fatalf("reclaimed %d, want %d after crossing threshold", reclaimed.Load(), scanThreshold)
+	}
+	if r.PendingRetired() != 0 {
+		t.Fatalf("PendingRetired = %d, want 0", r.PendingRetired())
+	}
+}
+
+func TestReleaseScansRetired(t *testing.T) {
+	var d Domain
+	r := d.Acquire()
+	var freed atomic.Bool
+	r.Retire(unsafe.Pointer(new(int)), func(unsafe.Pointer) { freed.Store(true) })
+	r.Release()
+	if !freed.Load() {
+		t.Fatal("Release did not scan the retire list")
+	}
+}
+
+// TestConcurrentProtectRetire is the core safety property under load: a
+// reader that protects a pointer and re-validates it must never observe the
+// free callback having run while it holds the protection.
+func TestConcurrentProtectRetire(t *testing.T) {
+	var d Domain
+	type obj struct{ alive atomic.Bool }
+
+	var slot atomic.Pointer[byte]
+	fresh := func() *obj {
+		o := &obj{}
+		o.alive.Store(true)
+		slot.Store((*byte)(unsafe.Pointer(o)))
+		return o
+	}
+	cur := fresh()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := d.Acquire()
+			defer rec.Release()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := rec.Protect(0, &slot)
+				if p == nil {
+					continue
+				}
+				o := (*obj)(unsafe.Pointer(p))
+				if !o.alive.Load() {
+					t.Error("observed a reclaimed object under protection")
+					return
+				}
+				rec.Clear(0)
+			}
+		}()
+	}
+
+	writer := d.Acquire()
+	for i := 0; i < 2000; i++ {
+		old := cur
+		cur = fresh()
+		writer.Retire(unsafe.Pointer(old), func(p unsafe.Pointer) {
+			(*obj)(p).alive.Store(false)
+		})
+	}
+	writer.Release()
+	close(stop)
+	wg.Wait()
+}

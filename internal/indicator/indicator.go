@@ -1,0 +1,70 @@
+// Package indicator implements the per-pool empty-indicator of the SALSA
+// checkEmpty protocol (paper §1.5.5, Algorithm 6).
+//
+// Each pool carries a bit array with one bit per consumer. A consumer
+// probing for global emptiness sets its bit in every pool, then re-traverses
+// all pools n times verifying both that no tasks are visible and that its
+// bit was never cleared. Any operation that may have emptied a pool — taking
+// the last task of a chunk, taking a task whose successor slot is still ⊥,
+// or stealing a chunk — clears the whole indicator of that pool. Because at
+// most n−1 task-taking operations can be pending when the probe starts, n
+// clean traversals guarantee one traversal during which the system really
+// was empty, making the ⊥ return linearizable (Claim 3 of the paper).
+package indicator
+
+import "sync/atomic"
+
+const bitsPerWord = 64
+
+// Indicator is an atomic bit array with one bit per consumer. All methods
+// are safe for concurrent use.
+type Indicator struct {
+	words []atomic.Uint64
+	n     int
+}
+
+// New returns an indicator able to track n consumers (ids 0..n-1).
+func New(n int) *Indicator {
+	if n < 0 {
+		panic("indicator: negative consumer count")
+	}
+	return &Indicator{
+		words: make([]atomic.Uint64, (n+bitsPerWord-1)/bitsPerWord),
+		n:     n,
+	}
+}
+
+// Set records that consumer id has observed this pool during an emptiness
+// probe. It is the setIndicator operation of Algorithm 1.
+func (in *Indicator) Set(id int) {
+	in.check(id)
+	in.words[id/bitsPerWord].Or(1 << (uint(id) % bitsPerWord))
+}
+
+// Check reports whether consumer id's bit is still set — i.e. that no
+// possibly-emptying operation has run since the bit was set. It is the
+// checkIndicator operation of Algorithm 1.
+func (in *Indicator) Check(id int) bool {
+	in.check(id)
+	return in.words[id/bitsPerWord].Load()&(1<<(uint(id)%bitsPerWord)) != 0
+}
+
+// Clear resets every consumer's bit. Called by operations that may have made
+// the pool empty (Algorithm 6's clearIndicator). Multi-word clears are not
+// atomic as a whole; the protocol only requires that each probing consumer's
+// bit is cleared at some point during the emptying operation, which
+// per-word atomic stores provide.
+func (in *Indicator) Clear() {
+	for i := range in.words {
+		in.words[i].Store(0)
+	}
+}
+
+// Size returns the number of consumers the indicator tracks.
+func (in *Indicator) Size() int { return in.n }
+
+func (in *Indicator) check(id int) {
+	if id < 0 || id >= in.n {
+		panic("indicator: consumer id out of range")
+	}
+}

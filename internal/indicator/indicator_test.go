@@ -1,0 +1,142 @@
+package indicator
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetCheckClear(t *testing.T) {
+	in := New(5)
+	for id := 0; id < 5; id++ {
+		if in.Check(id) {
+			t.Fatalf("bit %d set on a fresh indicator", id)
+		}
+	}
+	in.Set(2)
+	if !in.Check(2) {
+		t.Fatal("bit 2 lost")
+	}
+	if in.Check(1) || in.Check(3) {
+		t.Fatal("neighbouring bits leaked")
+	}
+	in.Clear()
+	if in.Check(2) {
+		t.Fatal("Clear left bit 2 set")
+	}
+}
+
+func TestMultiWord(t *testing.T) {
+	const n = 200 // spans four words
+	in := New(n)
+	if in.Size() != n {
+		t.Fatalf("Size = %d, want %d", in.Size(), n)
+	}
+	for id := 0; id < n; id += 7 {
+		in.Set(id)
+	}
+	for id := 0; id < n; id++ {
+		want := id%7 == 0
+		if in.Check(id) != want {
+			t.Fatalf("bit %d = %v, want %v", id, in.Check(id), want)
+		}
+	}
+	in.Clear()
+	for id := 0; id < n; id++ {
+		if in.Check(id) {
+			t.Fatalf("bit %d survived Clear", id)
+		}
+	}
+}
+
+func TestWordBoundaries(t *testing.T) {
+	in := New(129)
+	for _, id := range []int{0, 63, 64, 127, 128} {
+		in.Set(id)
+		if !in.Check(id) {
+			t.Fatalf("boundary bit %d lost", id)
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	in := New(4)
+	for _, id := range []int{-1, 4, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Set(%d) did not panic", id)
+				}
+			}()
+			in.Set(id)
+		}()
+	}
+}
+
+// TestConcurrentSetClear exercises the protocol pattern: setters racing a
+// clearer must never corrupt other bits, and a bit set after the last Clear
+// must be visible.
+func TestConcurrentSetClear(t *testing.T) {
+	in := New(64)
+	var wg sync.WaitGroup
+	for id := 0; id < 8; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				in.Set(id)
+				_ = in.Check(id)
+			}
+		}(id)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10000; i++ {
+			in.Clear()
+		}
+	}()
+	wg.Wait()
+	// Quiescent: set bits must stick.
+	in.Clear()
+	in.Set(7)
+	if !in.Check(7) {
+		t.Fatal("bit 7 lost after quiescence")
+	}
+	for id := 0; id < 64; id++ {
+		if id != 7 && in.Check(id) {
+			t.Fatalf("stray bit %d", id)
+		}
+	}
+}
+
+// TestQuickSetIsolation property: setting any subset of bits yields exactly
+// that subset.
+func TestQuickSetIsolation(t *testing.T) {
+	f := func(ids []uint8) bool {
+		in := New(256)
+		want := map[int]bool{}
+		for _, id := range ids {
+			in.Set(int(id))
+			want[int(id)] = true
+		}
+		for id := 0; id < 256; id++ {
+			if in.Check(id) != want[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegativeCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}

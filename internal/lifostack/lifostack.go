@@ -1,0 +1,84 @@
+// Package lifostack implements a lock-free LIFO stack (Treiber's stack with
+// the version-counter hardening described by Michael, "Hazard Pointers",
+// 2004). It is the substrate of the WS-LIFO baseline in the paper's
+// evaluation (§1.6.2): an SCPool whose produce pushes and whose consume and
+// steal both pop.
+//
+// In Go the classic Treiber ABA hazard (a popped node being freed and
+// reallocated at the same address while a concurrent pop holds it) cannot
+// corrupt memory because the GC keeps held nodes alive; nodes are also never
+// reused for different values. The stack is therefore safe with plain
+// pointer CAS.
+package lifostack
+
+import "sync/atomic"
+
+type node[T any] struct {
+	next *node[T]
+	val  T
+}
+
+// Stack is a lock-free LIFO stack. The zero value is an empty, usable stack.
+type Stack[T any] struct {
+	top atomic.Pointer[node[T]]
+
+	countCAS bool
+	casOps   atomic.Int64
+}
+
+// New returns an empty stack.
+func New[T any]() *Stack[T] { return &Stack[T]{} }
+
+// NewCounted returns an empty stack that counts CAS attempts.
+func NewCounted[T any]() *Stack[T] { return &Stack[T]{countCAS: true} }
+
+// Push places v on top of the stack.
+func (s *Stack[T]) Push(v T) {
+	n := &node[T]{val: v}
+	for {
+		top := s.top.Load()
+		n.next = top
+		if s.countCAS {
+			s.casOps.Add(1)
+		}
+		if s.top.CompareAndSwap(top, n) {
+			return
+		}
+	}
+}
+
+// Pop removes and returns the value on top of the stack; the second result
+// is false when the stack was observed empty.
+func (s *Stack[T]) Pop() (T, bool) {
+	var zero T
+	for {
+		top := s.top.Load()
+		if top == nil {
+			return zero, false
+		}
+		if s.countCAS {
+			s.casOps.Add(1)
+		}
+		if s.top.CompareAndSwap(top, top.next) {
+			v := top.val
+			top.val = zero // drop the payload reference for the GC
+			return v, true
+		}
+	}
+}
+
+// IsEmpty reports whether the stack was observed empty.
+func (s *Stack[T]) IsEmpty() bool { return s.top.Load() == nil }
+
+// Len counts the elements currently on the stack. O(n); for tests and stats.
+func (s *Stack[T]) Len() int {
+	n := 0
+	for cur := s.top.Load(); cur != nil; cur = cur.next {
+		n++
+	}
+	return n
+}
+
+// CASCount returns the cumulative number of CAS attempts. Always zero unless
+// built with NewCounted.
+func (s *Stack[T]) CASCount() int64 { return s.casOps.Load() }

@@ -1,0 +1,138 @@
+package lifostack
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyPop(t *testing.T) {
+	s := New[int]()
+	if v, ok := s.Pop(); ok {
+		t.Fatalf("Pop on empty stack returned %v", v)
+	}
+	if !s.IsEmpty() {
+		t.Fatal("new stack should be empty")
+	}
+}
+
+func TestLIFOOrder(t *testing.T) {
+	s := New[int]()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		s.Push(i)
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	for i := n - 1; i >= 0; i-- {
+		v, ok := s.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop got (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if !s.IsEmpty() {
+		t.Fatal("stack should be drained")
+	}
+}
+
+func TestConcurrentPushPop(t *testing.T) {
+	s := New[int]()
+	const (
+		workers = 8
+		perW    = 5000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				s.Push(base + i)
+			}
+		}(w * perW)
+	}
+	wg.Wait()
+
+	var got []int
+	var mu sync.Mutex
+	var cwg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			var local []int
+			for {
+				v, ok := s.Pop()
+				if !ok {
+					mu.Lock()
+					got = append(got, local...)
+					mu.Unlock()
+					return
+				}
+				local = append(local, v)
+			}
+		}()
+	}
+	cwg.Wait()
+	if len(got) != workers*perW {
+		t.Fatalf("got %d, want %d", len(got), workers*perW)
+	}
+	sort.Ints(got)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("element %d missing or duplicated (got %d)", i, v)
+		}
+	}
+}
+
+func TestCASCounting(t *testing.T) {
+	s := NewCounted[int]()
+	for i := 0; i < 50; i++ {
+		s.Push(i)
+	}
+	for i := 0; i < 50; i++ {
+		s.Pop()
+	}
+	if got := s.CASCount(); got != 100 {
+		t.Errorf("CAS count = %d, want 100 uncontended", got)
+	}
+	s2 := New[int]()
+	s2.Push(1)
+	s2.Pop()
+	if got := s2.CASCount(); got != 0 {
+		t.Errorf("uncounted stack reports %d CAS", got)
+	}
+}
+
+// TestQuickSequentialModel property-tests against a slice model.
+func TestQuickSequentialModel(t *testing.T) {
+	f := func(ops []int16) bool {
+		s := New[int16]()
+		var model []int16
+		for _, op := range ops {
+			if op >= 0 {
+				s.Push(op)
+				model = append(model, op)
+			} else {
+				v, ok := s.Pop()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				top := model[len(model)-1]
+				if !ok || v != top {
+					return false
+				}
+				model = model[:len(model)-1]
+			}
+		}
+		return s.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,277 @@
+package modelcheck
+
+import "fmt"
+
+// This file model-checks the checkEmpty protocol (paper §1.5.5, Algorithm
+// 2 lines 30–36 and Algorithm 6): a prober traverses all pools n times,
+// planting its indicator bit on the first round and verifying on every
+// visit both that the pool looks empty and that no possibly-emptying
+// operation cleared the bit. Claim 3 of the paper states a true answer is
+// linearizable: the system was empty at some instant during the probe.
+//
+// The model explores every interleaving of
+//
+//   - the prober (configurable round count — the protocol's is the number
+//     of consumers, i.e. stalling takers + 1),
+//   - "taker" consumers that remove a pool's last task and clear the
+//     indicator in a LATER atomic step (the stall window the n-round
+//     argument exists for), and
+//   - optionally the Figure 1.3 bouncer: a producer that inserts a task
+//     into the pool the prober has already visited while a consumer takes
+//     the not-yet-visited pool's task — the schedule that fools a single
+//     traversal.
+//
+// A violation is a probe that returns "empty" although the system held at
+// least one task at every instant of the probe. The tests confirm the
+// protocol's round count is exactly right: with n rounds no interleaving
+// violates; with fewer rounds (or no indicator) the checker produces the
+// fooling schedule.
+
+const ePools = 2
+
+// eWorld is the emptiness model's shared state (comparable, memoizable).
+type eWorld struct {
+	Tasks     [ePools]int8 // tasks per pool
+	Indicator [ePools]bool // the prober's bit in each pool's indicator
+
+	ProbeActive bool // between the probe's first and last step
+	EverEmpty   bool // all pools were simultaneously empty at some instant of the probe
+	ProbeResult int8 // 0 = still running, 1 = returned empty, 2 = returned non-empty
+}
+
+func (w *eWorld) systemEmpty() bool {
+	for _, t := range w.Tasks {
+		if t > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+type eStep func(w *eWorld, r *regs) (int, bool)
+
+type eProgram []eStep
+
+type eActor struct {
+	prog eProgram
+	pc   int8
+	regs regs
+	done bool
+}
+
+// EmptinessConfig sets up one exploration.
+type EmptinessConfig struct {
+	// InitialTasks per pool.
+	InitialTasks [ePools]int8
+	// Takers is the number of stalling consumers: each takes one pool's
+	// task and clears the indicator in a separate, arbitrarily delayed
+	// step.
+	Takers int
+	// TakerPool selects which pool each taker drains (len == Takers).
+	TakerPool []int
+	// Rounds is the prober's traversal count. The protocol's value is
+	// Takers+1 (n consumers: the takers plus the prober itself).
+	Rounds int
+	// BouncerPuts adds a Figure 1.3 producer that inserts that many
+	// tasks, alternating pools starting at pool 0 (the pool the prober
+	// visits first) — combined with InitialTasks {0,1}, one taker and
+	// Rounds 1 this is the paper's Figure 1.3.
+	BouncerPuts int
+	// SkipIndicator disables the indicator check entirely (the naive
+	// traversal of §1.5.5's opening paragraph).
+	SkipIndicator bool
+}
+
+// EmptinessResult reports the exploration.
+type EmptinessResult struct {
+	StatesExplored int
+	ProbesTrue     int // terminal states where the probe answered "empty"
+	Violations     []string
+}
+
+// Ok reports whether every "empty" answer was linearizable.
+func (r EmptinessResult) Ok() bool { return len(r.Violations) == 0 }
+
+// proberProgram builds the Algorithm 2 checkEmpty loop. Each (round, pool)
+// visit is three atomic steps: set the bit (round 0 only), read emptiness,
+// read the bit back.
+func proberProgram(cfg EmptinessConfig) eProgram {
+	var prog eProgram
+	// Step 0: probe begins.
+	prog = append(prog, func(w *eWorld, r *regs) (int, bool) {
+		w.ProbeActive = true
+		if w.systemEmpty() {
+			w.EverEmpty = true
+		}
+		return 1, false
+	})
+	for round := 0; round < cfg.Rounds; round++ {
+		for pool := 0; pool < ePools; pool++ {
+			round, pool := round, pool
+			if round == 0 && !cfg.SkipIndicator {
+				prog = append(prog, func(w *eWorld, r *regs) (int, bool) {
+					w.Indicator[pool] = true // setIndicator(myId)
+					return int(0), false     // next computed by runner
+				})
+			}
+			prog = append(prog, func(w *eWorld, r *regs) (int, bool) {
+				if w.Tasks[pool] > 0 { // !p.isEmpty()
+					w.ProbeResult = 2
+					w.ProbeActive = false
+					return 0, true
+				}
+				return 0, false
+			})
+			if !cfg.SkipIndicator {
+				prog = append(prog, func(w *eWorld, r *regs) (int, bool) {
+					if !w.Indicator[pool] { // !p.checkIndicator(myId)
+						w.ProbeResult = 2
+						w.ProbeActive = false
+						return 0, true
+					}
+					return 0, false
+				})
+			}
+		}
+	}
+	// Final step: all rounds clean → return "empty".
+	prog = append(prog, func(w *eWorld, r *regs) (int, bool) {
+		w.ProbeResult = 1
+		w.ProbeActive = false
+		return 0, true
+	})
+	// Rewrite sequential nexts (every non-terminal step advances by 1).
+	for i := range prog {
+		i := i
+		inner := prog[i]
+		prog[i] = func(w *eWorld, r *regs) (int, bool) {
+			next, done := inner(w, r)
+			if done {
+				return next, true
+			}
+			return i + 1, false
+		}
+	}
+	return prog
+}
+
+// takerProgram removes one task from the pool (if present) and clears the
+// prober's indicator bits in a separate step — the stall window.
+func takerProgram(pool int) eProgram {
+	return eProgram{
+		func(w *eWorld, r *regs) (int, bool) {
+			if w.Tasks[pool] == 0 {
+				return 0, true // nothing to take
+			}
+			w.Tasks[pool]--
+			return 1, false
+		},
+		func(w *eWorld, r *regs) (int, bool) {
+			// clearIndicator (Algorithm 6): per-pool in SALSA; the
+			// model clears the taken pool's bit.
+			w.Indicator[pool] = false
+			return 0, true
+		},
+	}
+}
+
+// bouncerProgram is Figure 1.3's producer generalised to several puts,
+// alternating pools starting at pool 0.
+func bouncerProgram(puts int) eProgram {
+	var prog eProgram
+	for i := 0; i < puts; i++ {
+		i := i
+		last := i == puts-1
+		next := i + 1
+		prog = append(prog, func(w *eWorld, r *regs) (int, bool) {
+			w.Tasks[i%ePools]++
+			return next, last
+		})
+	}
+	return prog
+}
+
+type eKey struct {
+	w    eWorld
+	pcs  [5]int8
+	done [5]bool
+}
+
+type eExplorer struct {
+	seen       map[eKey]struct{}
+	states     int
+	probesTrue int
+	violations []string
+}
+
+// ExploreEmptiness runs the exhaustive interleaving search.
+func ExploreEmptiness(cfg EmptinessConfig) EmptinessResult {
+	if cfg.Takers != len(cfg.TakerPool) {
+		panic("modelcheck: TakerPool must have Takers entries")
+	}
+	if cfg.Takers+2 > 5 {
+		panic("modelcheck: too many actors")
+	}
+	if cfg.Rounds < 1 {
+		panic("modelcheck: Rounds must be >= 1")
+	}
+	w := eWorld{Tasks: cfg.InitialTasks}
+	actors := []eActor{{prog: proberProgram(cfg)}}
+	for _, pool := range cfg.TakerPool {
+		actors = append(actors, eActor{prog: takerProgram(pool)})
+	}
+	if cfg.BouncerPuts > 0 {
+		actors = append(actors, eActor{prog: bouncerProgram(cfg.BouncerPuts)})
+	}
+	e := &eExplorer{seen: make(map[eKey]struct{})}
+	e.dfs(w, actors)
+	return EmptinessResult{
+		StatesExplored: e.states,
+		ProbesTrue:     e.probesTrue,
+		Violations:     e.violations,
+	}
+}
+
+func (e *eExplorer) dfs(w eWorld, actors []eActor) {
+	if len(e.violations) >= 8 {
+		return
+	}
+	var k eKey
+	k.w = w
+	for i, a := range actors {
+		k.pcs[i] = a.pc
+		k.done[i] = a.done
+	}
+	if _, dup := e.seen[k]; dup {
+		return
+	}
+	e.seen[k] = struct{}{}
+	e.states++
+
+	ranAny := false
+	for i := range actors {
+		if actors[i].done {
+			continue
+		}
+		ranAny = true
+		w2 := w
+		actors2 := make([]eActor, len(actors))
+		copy(actors2, actors)
+		a := &actors2[i]
+		next, done := a.prog[a.pc](&w2, &a.regs)
+		if w2.ProbeActive && w2.systemEmpty() {
+			w2.EverEmpty = true
+		}
+		a.pc = int8(next)
+		a.done = done
+		if w2.ProbeResult == 1 && !w2.EverEmpty {
+			e.violations = append(e.violations, fmt.Sprintf(
+				"probe answered empty but the system was never empty during it (world %+v)", w2))
+			continue
+		}
+		e.dfs(w2, actors2)
+	}
+	if !ranAny && w.ProbeResult == 1 {
+		e.probesTrue++
+	}
+}

@@ -1,0 +1,97 @@
+package modelcheck
+
+import "testing"
+
+// TestFig13NaiveTraversalFooled reproduces the paper's Figure 1.3 exactly:
+// a single traversal with no indicator answers "empty" while one task was
+// present at every instant of the probe.
+func TestFig13NaiveTraversalFooled(t *testing.T) {
+	r := ExploreEmptiness(EmptinessConfig{
+		InitialTasks:  [2]int8{0, 1},
+		Takers:        1,
+		TakerPool:     []int{1},
+		Rounds:        1,
+		BouncerPuts:   1,
+		SkipIndicator: true,
+	})
+	if r.Ok() {
+		t.Fatalf("Figure 1.3 schedule not found in %d states", r.StatesExplored)
+	}
+	t.Logf("fooled: %s", r.Violations[0])
+}
+
+// TestFig13ProtocolSound: with the indicator and the protocol's round
+// count (takers+1), the same adversary cannot fool the probe.
+func TestFig13ProtocolSound(t *testing.T) {
+	r := ExploreEmptiness(EmptinessConfig{
+		InitialTasks: [2]int8{0, 1},
+		Takers:       1,
+		TakerPool:    []int{1},
+		Rounds:       2,
+		BouncerPuts:  1,
+	})
+	if !r.Ok() {
+		t.Fatalf("protocol violated: %v", r.Violations)
+	}
+	if r.ProbesTrue == 0 {
+		t.Fatal("no interleaving let the probe finish; the model is vacuous")
+	}
+}
+
+// TestInsufficientRoundsFooled: even WITH the indicator, too few rounds
+// can be fooled — three stalled takers and a task bounced ahead of the
+// prober defeat a 2-round probe. This is the schedule the paper's n-round
+// requirement (Claim 3) exists to exclude.
+func TestInsufficientRoundsFooled(t *testing.T) {
+	r := ExploreEmptiness(EmptinessConfig{
+		InitialTasks: [2]int8{0, 1},
+		Takers:       3,
+		TakerPool:    []int{1, 0, 1},
+		Rounds:       2,
+		BouncerPuts:  3,
+	})
+	if r.Ok() {
+		t.Fatalf("2-round probe not fooled in %d states", r.StatesExplored)
+	}
+	t.Logf("fooled: %s", r.Violations[0])
+}
+
+// TestSufficientRoundsSound: raising the round count past the stalled-take
+// budget restores soundness for the same adversary (the paper's n = number
+// of consumers is a safe upper bound; the model shows 3 rounds already
+// suffice against this 3-taker adversary on two pools).
+func TestSufficientRoundsSound(t *testing.T) {
+	for _, rounds := range []int{3, 4} {
+		r := ExploreEmptiness(EmptinessConfig{
+			InitialTasks: [2]int8{0, 1},
+			Takers:       3,
+			TakerPool:    []int{1, 0, 1},
+			Rounds:       rounds,
+			BouncerPuts:  3,
+		})
+		if !r.Ok() {
+			t.Fatalf("rounds=%d violated: %v", rounds, r.Violations)
+		}
+		if r.ProbesTrue == 0 {
+			t.Fatalf("rounds=%d: no completing probe", rounds)
+		}
+	}
+}
+
+// TestEmptinessValidation covers the config guards.
+func TestEmptinessValidation(t *testing.T) {
+	for _, bad := range []EmptinessConfig{
+		{Takers: 1, TakerPool: nil, Rounds: 1},
+		{Takers: 4, TakerPool: []int{0, 1, 0, 1}, Rounds: 1},
+		{Takers: 0, TakerPool: nil, Rounds: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v accepted", bad)
+				}
+			}()
+			ExploreEmptiness(bad)
+		}()
+	}
+}

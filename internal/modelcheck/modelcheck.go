@@ -1,0 +1,336 @@
+// Package modelcheck exhaustively explores thread interleavings of the
+// SALSA steal protocol at atomic-step granularity — a mechanical companion
+// to the paper's hand proofs (§1.7).
+//
+// The production code cannot be paused between individual atomic
+// operations, and a 1-CPU host rarely opens the §1.5.3 race windows at
+// all. This package therefore re-expresses the protocol's hot operations —
+// the owner's takeTask (Algorithm 5 lines 83–98), the thief's steal (lines
+// 108–138) and a concurrent producer's insert (Algorithm 4) — as explicit
+// sequences of atomic steps over a small shared state (one chunk, one
+// victim node, one thief node), and runs a memoized depth-first search
+// over *every* interleaving of those steps under sequential consistency.
+//
+// Checked properties:
+//
+//   - no task is returned twice (Lemma 12) — detected online the moment a
+//     second return happens;
+//   - after all actors finish, every produced task was returned exactly
+//     once (Claim 4's conservation, since the model's actors drain);
+//   - the victim node's index never decreases (Lemma 8) — checked on
+//     every step.
+//
+// Removing any of the paper's safeguards — the post-announce ownership
+// re-check (line 91), the CAS on the contended slot (lines 95/134), the
+// prevIdx re-validation (line 125), or the ownership tag — makes the
+// checker report violations; the mutation tests pin that down.
+//
+// A second model (emptiness.go) explores the checkEmpty protocol of
+// §1.5.5: it reproduces the Figure 1.3 schedule that fools a naive single
+// traversal, exhibits an adversary that fools an insufficient round count
+// even with the indicator, and verifies the protocol's round requirement
+// restores soundness (Claim 3).
+package modelcheck
+
+import "fmt"
+
+// Slot values in the model.
+const (
+	empty = 0  // ⊥: not yet produced
+	taken = -1 // TAKEN
+	// positive values are task ids
+)
+
+const (
+	maxSlots   = 4
+	actorLimit = 4
+)
+
+// Actor ids.
+const (
+	victimID = 0
+	thiefID  = 1
+	prodID   = 2
+	thief2ID = 3
+)
+
+// World is the shared memory of the model: one chunk with its owner word
+// and the referring nodes of the victim and both thieves. It is a
+// comparable value type so states can be memoized.
+type World struct {
+	ChunkSize int8
+
+	// Chunk state.
+	Slots [maxSlots]int8 // task slots
+	Owner int8           // consumer id owning the chunk
+	Tag   int8           // owner tag, bumped by every ownership CAS
+
+	// Victim-side referring node.
+	VictimIdx   int8
+	VictimValid bool // chunk pointer != nil (line 132 clears it)
+
+	// First thief's node.
+	ThiefIdx   int8
+	ThiefValid bool
+
+	// Second thief's node.
+	Thief2Idx   int8
+	Thief2Valid bool
+
+	// Steal-back node (the victim's re-acquisition in the ABA scenario).
+	VictimBIdx   int8
+	VictimBValid bool
+
+	// Per-node owner-word snapshots (owner id and tag at node creation),
+	// indexed by nodeRef. A steal's ownership CAS presents its source
+	// node's snapshot as the expected value — the discipline that closes
+	// the three-consumer steal/steal-back hole (see internal/core
+	// Steal and the FreshOwnerRead mutation below).
+	SnapOwner [4]int8
+	SnapTag   [4]int8
+
+	// SentinelReturns counts fast-path takes that would have returned
+	// the TAKEN sentinel as a user task — only possible when both the
+	// ownership tag and the defensive fast-path guard are disabled.
+	SentinelReturns int8
+
+	// Producer cursor (Algorithm 4's prodIdx).
+	ProdIdx int8
+
+	// RetCount[t] counts how many times task id t was returned.
+	RetCount [maxSlots + 1]int8
+}
+
+// regs are an actor's private registers between steps (comparable).
+type regs struct {
+	idx     int8
+	prevIdx int8
+	task    int8
+	owner   int8
+	tag     int8
+}
+
+// step is one atomic action. It mutates the world/registers and returns
+// the next program counter, or done=true.
+type step func(w *World, r *regs) (next int, done bool)
+
+type program []step
+
+type actor struct {
+	id   int8
+	prog program
+	pc   int8
+	regs regs
+	done bool
+}
+
+// Config sets up one exploration.
+type Config struct {
+	ChunkSize int // 2..4
+	Produced  int // tasks pre-produced into the chunk (ids 1..Produced)
+
+	// WithProducer adds a concurrent producer inserting the remaining
+	// slots (ids Produced+1..ChunkSize) during the run.
+	WithProducer bool
+
+	// WithSecondThief adds a second thief stealing from the first thief
+	// (the §1.5.3 re-steal scenario).
+	WithSecondThief bool
+
+	// WithStealBack builds the §1.5.3 ABA cycle exactly: thief T1 reads
+	// the owner word and stalls; thief T2 steals the chunk from the
+	// victim; the victim steals it back (fresh node, same owner id);
+	// T1's stale CAS then fires. With the tag it must fail; without it
+	// (SkipTag) T1 adopts a stale node and the invariants break.
+	WithStealBack bool
+
+	// Mutations (checker validation): disable one safeguard and watch
+	// the invariants break.
+	SkipOwnerRecheck bool // drop Algorithm 5 line 91's re-check
+	SkipSlotCAS      bool // replace the contended-slot CAS with a store
+	SkipPrevIdxCheck bool // drop line 125's re-validation
+	SkipTag          bool // ownership CAS ignores the tag
+	SkipTakenGuard   bool // drop the fast path's defensive TAKEN check
+
+	// FreshOwnerRead reverts to the paper's implicit discipline: the
+	// steal's CAS expected value is read fresh from the owner word
+	// instead of taken from the source node's creation snapshot. Under
+	// WithStealBack this admits a double take — the erratum this
+	// reproduction documents in DESIGN.md §7.
+	FreshOwnerRead bool
+}
+
+// Result summarises an exploration.
+type Result struct {
+	StatesExplored int
+	TerminalStates int
+	Violations     []string
+	// Trace is the step schedule that produced the first violation.
+	Trace []string
+}
+
+// Ok reports whether no interleaving violated the specification.
+func (r Result) Ok() bool { return len(r.Violations) == 0 }
+
+type memoKey struct {
+	w     World
+	pcs   [actorLimit]int8
+	done  [actorLimit]bool
+	r     [actorLimit]regs
+	count int8
+}
+
+type explorer struct {
+	cfg        Config
+	seen       map[memoKey]struct{}
+	states     int
+	terminal   int
+	violations []string
+
+	// Trace holds the step schedule (actor id, pc) that led to the first
+	// violation, for diagnosis.
+	Trace []string
+}
+
+// Explore runs the memoized DFS over all interleavings.
+func Explore(cfg Config) Result {
+	if cfg.ChunkSize < 2 || cfg.ChunkSize > maxSlots {
+		panic("modelcheck: ChunkSize must be in [2,4]")
+	}
+	if cfg.Produced < 1 || cfg.Produced > cfg.ChunkSize {
+		panic("modelcheck: Produced must be in [1,ChunkSize]")
+	}
+	w := World{
+		ChunkSize:   int8(cfg.ChunkSize),
+		Owner:       victimID,
+		VictimIdx:   -1,
+		VictimValid: true,
+		ThiefIdx:    -1,
+		Thief2Idx:   -1,
+		ProdIdx:     int8(cfg.Produced),
+	}
+	for i := 0; i < cfg.Produced; i++ {
+		w.Slots[i] = int8(i + 1)
+	}
+
+	var actors []actor
+	if cfg.WithStealBack {
+		// The ABA cycle: T1 (stale CAS), T2 (first steal), and the
+		// victim stealing back from T2 into a fresh node.
+		actors = []actor{
+			{id: thiefID, prog: stealProgram(thiefID, victimID, nodeVictim, nodeThief, cfg)},
+			{id: thief2ID, prog: stealProgram(thief2ID, victimID, nodeVictim, nodeThief2, cfg)},
+			{id: victimID, prog: stealProgram(victimID, thief2ID, nodeThief2, nodeVictimB, cfg)},
+		}
+		if cfg.WithProducer {
+			actors = append(actors, actor{id: prodID, prog: produceRest(cfg)})
+		}
+	} else {
+		actors = []actor{
+			{id: victimID, prog: consumeLoop(victimID, nodeVictim, cfg)},
+			{id: thiefID, prog: stealProgram(thiefID, victimID, nodeVictim, nodeThief, cfg)},
+		}
+		if cfg.WithProducer {
+			actors = append(actors, actor{id: prodID, prog: produceRest(cfg)})
+		}
+		if cfg.WithSecondThief {
+			actors = append(actors, actor{id: thief2ID,
+				prog: stealProgram(thief2ID, thiefID, nodeThief, nodeThief2, cfg)})
+		}
+	}
+
+	e := &explorer{cfg: cfg, seen: make(map[memoKey]struct{})}
+	e.dfs(w, actors)
+	return Result{
+		StatesExplored: e.states,
+		TerminalStates: e.terminal,
+		Violations:     e.violations,
+		Trace:          e.Trace,
+	}
+}
+
+func key(w World, actors []actor) memoKey {
+	k := memoKey{w: w, count: int8(len(actors))}
+	for i, a := range actors {
+		k.pcs[i] = a.pc
+		k.done[i] = a.done
+		k.r[i] = a.regs
+	}
+	return k
+}
+
+func (e *explorer) dfs(w World, actors []actor) {
+	e.dfsPath(w, actors, nil)
+}
+
+func (e *explorer) dfsPath(w World, actors []actor, path []string) {
+	if len(e.violations) >= 8 {
+		return
+	}
+	k := key(w, actors)
+	if _, dup := e.seen[k]; dup {
+		return
+	}
+	e.seen[k] = struct{}{}
+	e.states++
+
+	ranAny := false
+	for i := range actors {
+		if actors[i].done {
+			continue
+		}
+		ranAny = true
+		w2 := w
+		actors2 := make([]actor, len(actors))
+		copy(actors2, actors)
+		a := &actors2[i]
+		stepLabel := fmt.Sprintf("actor%d@pc%d", a.id, a.pc)
+		next, done := a.prog[a.pc](&w2, &a.regs)
+		childPath := append(append([]string(nil), path...), stepLabel)
+		if w2.VictimIdx < w.VictimIdx {
+			e.violations = append(e.violations, fmt.Sprintf(
+				"victim idx regressed %d→%d", w.VictimIdx, w2.VictimIdx))
+			if e.Trace == nil {
+				e.Trace = childPath
+			}
+			return
+		}
+		violated := false
+		for t := 1; t <= int(w2.ProdIdx); t++ {
+			if w2.RetCount[t] > 1 {
+				e.violations = append(e.violations, fmt.Sprintf(
+					"task %d returned twice (world %+v)", t, w2))
+				violated = true
+			}
+		}
+		if w2.SentinelReturns > 0 {
+			e.violations = append(e.violations, fmt.Sprintf(
+				"TAKEN sentinel returned as a task (world %+v)", w2))
+			violated = true
+		}
+		if violated {
+			if e.Trace == nil {
+				e.Trace = childPath
+			}
+			return
+		}
+		a.pc = int8(next)
+		a.done = done
+		e.dfsPath(w2, actors2, childPath)
+	}
+	if !ranAny {
+		e.terminal++
+		for t := 1; t <= int(w.ProdIdx); t++ {
+			if w.RetCount[t] == 0 {
+				e.violations = append(e.violations, fmt.Sprintf(
+					"task %d lost at terminal state %+v", t, w))
+				return
+			}
+			if w.RetCount[t] > 1 {
+				e.violations = append(e.violations, fmt.Sprintf(
+					"task %d returned %d times at terminal state %+v", t, w.RetCount[t], w))
+				return
+			}
+		}
+	}
+}

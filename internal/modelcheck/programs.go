@@ -1,0 +1,323 @@
+package modelcheck
+
+// nodeRef selects which referring node a program operates on.
+type nodeRef int
+
+const (
+	nodeVictim nodeRef = iota
+	nodeThief
+	nodeThief2
+	nodeVictimB
+)
+
+func getIdx(w *World, n nodeRef) int8 {
+	switch n {
+	case nodeVictim:
+		return w.VictimIdx
+	case nodeThief:
+		return w.ThiefIdx
+	case nodeThief2:
+		return w.Thief2Idx
+	default:
+		return w.VictimBIdx
+	}
+}
+
+func setIdx(w *World, n nodeRef, v int8) {
+	switch n {
+	case nodeVictim:
+		w.VictimIdx = v
+	case nodeThief:
+		w.ThiefIdx = v
+	case nodeThief2:
+		w.Thief2Idx = v
+	default:
+		w.VictimBIdx = v
+	}
+}
+
+func getValid(w *World, n nodeRef) bool {
+	switch n {
+	case nodeVictim:
+		return w.VictimValid
+	case nodeThief:
+		return w.ThiefValid
+	case nodeThief2:
+		return w.Thief2Valid
+	default:
+		return w.VictimBValid
+	}
+}
+
+func setValid(w *World, n nodeRef, v bool) {
+	switch n {
+	case nodeVictim:
+		w.VictimValid = v
+	case nodeThief:
+		w.ThiefValid = v
+	case nodeThief2:
+		w.Thief2Valid = v
+	default:
+		w.VictimBValid = v
+	}
+}
+
+// mustWaitForProducer reports whether an empty slot may still be filled —
+// the model's stand-in for "the real consumer would retry later".
+func mustWaitForProducer(w *World, cfg Config) bool {
+	return cfg.WithProducer && int(w.ProdIdx) < int(w.ChunkSize)
+}
+
+func setSnapshot(w *World, n nodeRef, owner, tag int8) {
+	w.SnapOwner[n] = owner
+	w.SnapTag[n] = tag
+}
+
+// consumeSteps builds the owner-side takeTask loop (Algorithm 5 lines
+// 74–98) over the given node, with program counters offset by base. The
+// loop exits (done) when the node's chunk is gone, the chunk is exhausted,
+// ownership is lost, or no further task can appear.
+//
+// Step map (relative):
+//
+//	0: line 85 chunk-nil check + line 86 idx read + exhaustion check
+//	1: line 86 slot read + line 87 ⊥ check (spins while a producer runs)
+//	2: line 88 pre-announce ownership check
+//	3: line 90 announce (idx store)
+//	4: line 91 post-announce ownership re-check → fast or CAS path
+//	5: line 92 fast-path take (plain store) → loop
+//	6: line 95 contended take (CAS) → done (line 97 leaves the chunk)
+func consumeSteps(me int8, node nodeRef, base int, cfg Config) program {
+	rel := func(i int) int { return base + i }
+	return program{
+		// 0
+		func(w *World, r *regs) (int, bool) {
+			if !getValid(w, node) {
+				return 0, true // line 85: chunk stolen/consumed
+			}
+			r.idx = getIdx(w, node)
+			if int(r.idx)+1 >= int(w.ChunkSize) {
+				return 0, true // exhausted (checkLast recycles in real code)
+			}
+			return rel(1), false
+		},
+		// 1
+		func(w *World, r *regs) (int, bool) {
+			r.task = w.Slots[r.idx+1]
+			if r.task == empty {
+				if mustWaitForProducer(w, cfg) {
+					return rel(1), false // retry later (spin; memo prunes)
+				}
+				return 0, true // line 87: no task, none coming
+			}
+			if r.task == taken {
+				// Stale node: a slot beyond our index is already
+				// consumed. The implementation's defensive guard
+				// bails out; without it the fast path would return
+				// the TAKEN sentinel as a task.
+				if cfg.SkipTakenGuard {
+					w.SentinelReturns++
+					return 0, true
+				}
+				return 0, true
+			}
+			return rel(2), false
+		},
+		// 2
+		func(w *World, r *regs) (int, bool) {
+			if w.Owner != me {
+				return 0, true // line 88
+			}
+			return rel(3), false
+		},
+		// 3
+		func(w *World, r *regs) (int, bool) {
+			setIdx(w, node, r.idx+1) // line 90: announce
+			return rel(4), false
+		},
+		// 4
+		func(w *World, r *regs) (int, bool) {
+			if w.Owner == me || cfg.SkipOwnerRecheck {
+				return rel(5), false // line 91 passed: fast path
+			}
+			return rel(6), false // stolen under us: one CAS take
+		},
+		// 5
+		func(w *World, r *regs) (int, bool) {
+			w.Slots[r.idx+1] = taken // line 92: plain store
+			w.RetCount[r.task]++
+			return rel(0), false // take returned; consume loops
+		},
+		// 6
+		func(w *World, r *regs) (int, bool) {
+			if cfg.SkipSlotCAS {
+				w.Slots[r.idx+1] = taken
+				w.RetCount[r.task]++
+				return 0, true
+			}
+			if r.task != taken && w.Slots[r.idx+1] == r.task { // CAS (line 95)
+				w.Slots[r.idx+1] = taken
+				w.RetCount[r.task]++
+			}
+			return 0, true // line 97: currentNode ← ⊥; owner lost, stop
+		},
+	}
+}
+
+// consumeLoop is a stand-alone consume program for the chunk's owner.
+func consumeLoop(me int8, node nodeRef, cfg Config) program {
+	return consumeSteps(me, node, 0, cfg)
+}
+
+// stealProgram builds the thief side: Algorithm 5 lines 108–138 against
+// srcNode (owned by victimOwner), publishing dstNode, followed by the
+// owner-side drain loop over dstNode.
+//
+// Step map:
+//
+//	0: lines 109–112 choose node, read prevIdx, exhaustion check
+//	1: line 113 slot read (⊥ ⇒ back off / wait)
+//	2: line 115 steal-list append + read owner word (with tag)
+//	3: line 116 ownership CAS (tag-checked)
+//	4: line 119–120 idx re-read, exhaustion abort
+//	5: line 123 slot read
+//	6: lines 124–128 re-validation and idx claim
+//	7: lines 129–131 publish new node
+//	8: line 132 unlink the victim's node
+//	9: line 134 contended take (CAS)
+//	10..: drain loop (consumeSteps over dstNode)
+func stealProgram(me int8, victimOwner int8, srcNode, dstNode nodeRef, cfg Config) program {
+	const drainBase = 10
+	prog := program{
+		// 0
+		func(w *World, r *regs) (int, bool) {
+			if !getValid(w, srcNode) || w.Owner != victimOwner {
+				return 0, true // nothing to steal (line 109–111)
+			}
+			// The CAS expected value is the source node's creation
+			// snapshot (the fix); FreshOwnerRead reverts to reading
+			// the live owner word (the paper's implicit discipline).
+			if cfg.FreshOwnerRead {
+				r.owner = w.Owner
+				r.tag = w.Tag
+			} else {
+				r.owner = w.SnapOwner[srcNode]
+				r.tag = w.SnapTag[srcNode]
+				if w.Owner != r.owner || (w.Tag != r.tag && !cfg.SkipTag) {
+					return 0, true // node superseded: back off
+				}
+			}
+			r.prevIdx = getIdx(w, srcNode) // line 112
+			if int(r.prevIdx)+1 >= int(w.ChunkSize) {
+				return 0, true // line 113 first clause
+			}
+			return 1, false
+		},
+		// 1
+		func(w *World, r *regs) (int, bool) {
+			if w.Slots[r.prevIdx+1] == empty { // line 113 second clause
+				if mustWaitForProducer(w, cfg) {
+					return 0, false // retry the whole choose (spin)
+				}
+				return 0, true
+			}
+			return 2, false
+		},
+		// 2
+		func(w *World, r *regs) (int, bool) {
+			// line 115: append prevNode to my steal list — no shared
+			// state in the one-chunk model; the owner word was already
+			// captured at step 0, before the index read.
+			return 3, false
+		},
+		// 3
+		func(w *World, r *regs) (int, bool) {
+			// line 116: CAS(owner, (victim,tag), (me,tag+1)).
+			if w.Owner == r.owner && (cfg.SkipTag || w.Tag == r.tag) {
+				w.Owner = me
+				w.Tag++
+				return 4, false
+			}
+			return 0, true // line 117: failed, entry removed
+		},
+		// 4
+		func(w *World, r *regs) (int, bool) {
+			r.idx = getIdx(w, srcNode) // line 119
+			if int(r.idx)+1 >= int(w.ChunkSize) {
+				return 0, true // line 120: drained while stealing
+			}
+			return 5, false
+		},
+		// 5
+		func(w *World, r *regs) (int, bool) {
+			r.task = w.Slots[r.idx+1] // line 123
+			return 6, false
+		},
+		// 6
+		func(w *World, r *regs) (int, bool) {
+			if r.task != empty { // line 124
+				if w.Owner != me && r.idx != r.prevIdx && !cfg.SkipPrevIdxCheck {
+					return 0, true // line 125–127: back off
+				}
+				r.idx++ // line 128
+			}
+			return 7, false
+		},
+		// 7
+		func(w *World, r *regs) (int, bool) {
+			setIdx(w, dstNode, r.idx) // lines 129–131: publish new node
+			setValid(w, dstNode, true)
+			// The new node snapshots the owner word the thief's CAS
+			// installed: (me, capturedTag+1).
+			setSnapshot(w, dstNode, me, r.tag+1)
+			return 8, false
+		},
+		// 8
+		func(w *World, r *regs) (int, bool) {
+			setValid(w, srcNode, false) // line 132
+			if r.task == empty {
+				return drainBase, false // line 133: adopted empty chunk
+			}
+			return 9, false
+		},
+		// 9
+		func(w *World, r *regs) (int, bool) {
+			if cfg.SkipSlotCAS {
+				if r.task != taken {
+					w.Slots[r.idx] = taken
+					w.RetCount[r.task]++
+				}
+				return drainBase, false
+			}
+			if r.task != taken && w.Slots[r.idx] == r.task { // line 134 CAS
+				w.Slots[r.idx] = taken
+				w.RetCount[r.task]++
+			}
+			return drainBase, false // lines 136–138
+		},
+	}
+	drain := consumeSteps(me, dstNode, drainBase, cfg)
+	return append(prog, drain...)
+}
+
+// produceRest is the concurrent producer (Algorithm 4): it fills the
+// remaining slots one task at a time — the slot store is visible before
+// the cursor bump, like the real code's publish order.
+func produceRest(cfg Config) program {
+	return program{
+		// 0: write the task into the next free slot.
+		func(w *World, r *regs) (int, bool) {
+			if int(w.ProdIdx) >= int(w.ChunkSize) {
+				return 0, true
+			}
+			r.idx = w.ProdIdx
+			w.Slots[r.idx] = r.idx + 1 // task ids are slot+1
+			return 1, false
+		},
+		// 1: bump the produced count (the checker's conservation bound).
+		func(w *World, r *regs) (int, bool) {
+			w.ProdIdx = r.idx + 1
+			return 0, false
+		},
+	}
+}

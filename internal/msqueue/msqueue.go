@@ -1,0 +1,144 @@
+// Package msqueue implements the Michael–Scott lock-free multi-producer
+// multi-consumer FIFO queue (Michael & Scott, PODC '96).
+//
+// It is used in two places in this repository:
+//
+//   - as the per-consumer chunk pool substrate of SALSA (§1.5.4 of the
+//     paper), where spare chunks are recycled between producers and the
+//     consumers that drain them, and
+//   - as the SCPool implementation of the WS-MSQ baseline (§1.6.2), where
+//     produce, consume and steal all funnel through enqueue/dequeue.
+//
+// The queue is unbounded and lock-free: an enqueue costs up to two CAS
+// operations (link the node, swing the tail), a dequeue one CAS (swing the
+// head). Both operations help lagging tails forward, so a stalled thread
+// never blocks others — the lock-freedom property the SALSA framework
+// inherits from its substrates.
+package msqueue
+
+import "sync/atomic"
+
+// node is a singly linked queue cell. The first node is always a sentinel
+// whose value has already been consumed (or never existed).
+type node[T any] struct {
+	next atomic.Pointer[node[T]]
+	val  T
+}
+
+// Queue is a lock-free MPMC FIFO queue. The zero value is not usable; call
+// New.
+type Queue[T any] struct {
+	head atomic.Pointer[node[T]]
+	tail atomic.Pointer[node[T]]
+
+	// enqCAS/deqCAS count CAS attempts, successful or not. They are
+	// maintained with atomic adds only when countCAS is set, so the
+	// common configuration pays a single predictable branch.
+	countCAS bool
+	enqCAS   atomic.Int64
+	deqCAS   atomic.Int64
+}
+
+// New returns an empty queue.
+func New[T any]() *Queue[T] {
+	q := &Queue[T]{}
+	sentinel := &node[T]{}
+	q.head.Store(sentinel)
+	q.tail.Store(sentinel)
+	return q
+}
+
+// NewCounted returns an empty queue that counts CAS attempts; see CASCounts.
+func NewCounted[T any]() *Queue[T] {
+	q := New[T]()
+	q.countCAS = true
+	return q
+}
+
+// Enqueue appends v to the tail of the queue.
+func (q *Queue[T]) Enqueue(v T) {
+	n := &node[T]{val: v}
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if tail != q.tail.Load() {
+			continue // tail moved under us; re-read
+		}
+		if next != nil {
+			// Tail is lagging: help swing it forward and retry.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if q.countCAS {
+			q.enqCAS.Add(1)
+		}
+		if tail.next.CompareAndSwap(nil, n) {
+			// Linked. Swinging the tail may fail if someone helped;
+			// that is fine.
+			if q.countCAS {
+				q.enqCAS.Add(1)
+			}
+			q.tail.CompareAndSwap(tail, n)
+			return
+		}
+	}
+}
+
+// Dequeue removes and returns the value at the head of the queue. The second
+// result is false when the queue was observed empty.
+func (q *Queue[T]) Dequeue() (T, bool) {
+	var zero T
+	for {
+		head := q.head.Load()
+		tail := q.tail.Load()
+		next := head.next.Load()
+		if head != q.head.Load() {
+			continue
+		}
+		if head == tail {
+			if next == nil {
+				return zero, false // empty
+			}
+			// Tail lagging behind an in-flight enqueue: help.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		v := next.val
+		if q.countCAS {
+			q.deqCAS.Add(1)
+		}
+		if q.head.CompareAndSwap(head, next) {
+			// Clear the value in the new sentinel so the queue does
+			// not pin consumed payloads for the GC.
+			next.val = zero
+			return v, true
+		}
+	}
+}
+
+// IsEmpty reports whether the queue was observed empty. Like every
+// instantaneous emptiness check on a concurrent queue, the answer may be
+// stale by the time the caller acts on it; SALSA's checkEmpty protocol
+// (Algorithm 2/6 of the paper) layers the indicator rounds on top to obtain
+// a linearizable answer.
+func (q *Queue[T]) IsEmpty() bool {
+	head := q.head.Load()
+	return head.next.Load() == nil
+}
+
+// Len counts the elements currently reachable from head. O(n); intended for
+// tests, stats and debugging, not hot paths.
+func (q *Queue[T]) Len() int {
+	n := 0
+	for cur := q.head.Load().next.Load(); cur != nil; cur = cur.next.Load() {
+		n++
+	}
+	return n
+}
+
+// CASCounts returns the cumulative number of CAS attempts performed by
+// Enqueue and Dequeue. Always zero unless the queue was built with
+// NewCounted.
+func (q *Queue[T]) CASCounts() (enq, deq int64) {
+	return q.enqCAS.Load(), q.deqCAS.Load()
+}

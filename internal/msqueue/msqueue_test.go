@@ -1,0 +1,235 @@
+package msqueue
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyDequeue(t *testing.T) {
+	q := New[int]()
+	if v, ok := q.Dequeue(); ok {
+		t.Fatalf("Dequeue on empty queue returned %v", v)
+	}
+	if !q.IsEmpty() {
+		t.Fatal("new queue should be empty")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", q.Len())
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	q := New[int]()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		q.Enqueue(i)
+	}
+	if q.IsEmpty() {
+		t.Fatal("queue with elements reports empty")
+	}
+	if q.Len() != n {
+		t.Fatalf("Len = %d, want %d", q.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := q.Dequeue()
+		if !ok {
+			t.Fatalf("Dequeue %d failed", i)
+		}
+		if v != i {
+			t.Fatalf("Dequeue order violated: got %d want %d", v, i)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("queue should be drained")
+	}
+}
+
+func TestInterleavedEnqueueDequeue(t *testing.T) {
+	q := New[string]()
+	q.Enqueue("a")
+	q.Enqueue("b")
+	if v, _ := q.Dequeue(); v != "a" {
+		t.Fatalf("got %q want a", v)
+	}
+	q.Enqueue("c")
+	if v, _ := q.Dequeue(); v != "b" {
+		t.Fatalf("got %q want b", v)
+	}
+	if v, _ := q.Dequeue(); v != "c" {
+		t.Fatalf("got %q want c", v)
+	}
+}
+
+func TestConcurrentMPMC(t *testing.T) {
+	q := New[int]()
+	const (
+		producers = 4
+		consumers = 4
+		perProd   = 10000
+	)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				q.Enqueue(base + i)
+			}
+		}(p * perProd)
+	}
+	var mu sync.Mutex
+	var got []int
+	var cwg sync.WaitGroup
+	stop := make(chan struct{})
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			var local []int
+			for {
+				v, ok := q.Dequeue()
+				if ok {
+					local = append(local, v)
+					continue
+				}
+				select {
+				case <-stop:
+					// Final drain after producers are done.
+					for {
+						v, ok := q.Dequeue()
+						if !ok {
+							mu.Lock()
+							got = append(got, local...)
+							mu.Unlock()
+							return
+						}
+						local = append(local, v)
+					}
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	cwg.Wait()
+
+	if len(got) != producers*perProd {
+		t.Fatalf("got %d elements, want %d", len(got), producers*perProd)
+	}
+	sort.Ints(got)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("element %d missing or duplicated (got %d)", i, v)
+		}
+	}
+}
+
+// TestPerProducerOrderPreserved verifies the per-producer FIFO property
+// under concurrency: a consumer must see each producer's items in order.
+func TestPerProducerOrderPreserved(t *testing.T) {
+	q := New[[2]int]()
+	const producers = 3
+	const perProd = 5000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				q.Enqueue([2]int{id, i})
+			}
+		}(p)
+	}
+	wg.Wait()
+	last := map[int]int{0: -1, 1: -1, 2: -1}
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		if v[1] <= last[v[0]] {
+			t.Fatalf("producer %d order violated: %d after %d", v[0], v[1], last[v[0]])
+		}
+		last[v[0]] = v[1]
+	}
+	for p, l := range last {
+		if l != perProd-1 {
+			t.Fatalf("producer %d: last seq %d, want %d", p, l, perProd-1)
+		}
+	}
+}
+
+func TestCASCounting(t *testing.T) {
+	q := NewCounted[int]()
+	for i := 0; i < 100; i++ {
+		q.Enqueue(i)
+	}
+	for i := 0; i < 100; i++ {
+		q.Dequeue()
+	}
+	enq, deq := q.CASCounts()
+	// Uncontended: exactly 2 CAS per enqueue (link + tail swing), 1 per
+	// dequeue (head swing).
+	if enq != 200 {
+		t.Errorf("enqueue CAS = %d, want 200", enq)
+	}
+	if deq != 100 {
+		t.Errorf("dequeue CAS = %d, want 100", deq)
+	}
+	// Uncounted queues report zero.
+	q2 := New[int]()
+	q2.Enqueue(1)
+	q2.Dequeue()
+	if e, d := q2.CASCounts(); e != 0 || d != 0 {
+		t.Errorf("uncounted queue reports CAS %d/%d", e, d)
+	}
+}
+
+// TestQuickSequentialModel property-tests the queue against a slice model:
+// any sequence of enqueue/dequeue operations must behave like a FIFO.
+func TestQuickSequentialModel(t *testing.T) {
+	f := func(ops []int16) bool {
+		q := New[int16]()
+		var model []int16
+		for _, op := range ops {
+			if op >= 0 {
+				q.Enqueue(op)
+				model = append(model, op)
+			} else {
+				v, ok := q.Dequeue()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				if !ok || v != model[0] {
+					return false
+				}
+				model = model[1:]
+			}
+		}
+		return q.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPayloadReleasedAfterDequeue(t *testing.T) {
+	type big struct{ buf [1 << 10]byte }
+	q := New[*big]()
+	q.Enqueue(&big{})
+	v, ok := q.Dequeue()
+	if !ok || v == nil {
+		t.Fatal("lost payload")
+	}
+	// The sentinel's val must have been zeroed (no GC pinning). This is
+	// a white-box check of the head node's cleared value.
+	if q.head.Load().val != nil {
+		t.Error("dequeued payload still referenced by the sentinel node")
+	}
+}

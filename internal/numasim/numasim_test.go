@@ -1,0 +1,133 @@
+package numasim
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"salsa/internal/topology"
+)
+
+func machine(nodes int, p Params) *Machine {
+	t := topology.Synthetic(nodes, 4)
+	return New(Adapter{Nodes: t.NumNodes(), Distance: t.Distance}, p)
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	var p Params
+	d := p.withDefaults()
+	if d.LocalLatency == 0 || d.HopLatency == 0 || d.MemBankBytesPerUs == 0 || d.LinkBytesPerUs == 0 {
+		t.Fatalf("withDefaults left zero fields: %+v", d)
+	}
+	// Explicit values survive.
+	p2 := Params{LocalLatency: time.Microsecond}
+	if p2.withDefaults().LocalLatency != time.Microsecond {
+		t.Fatal("explicit LocalLatency overwritten")
+	}
+}
+
+func TestLocalRemoteAccounting(t *testing.T) {
+	m := machine(4, Params{LocalLatency: time.Nanosecond, HopLatency: time.Nanosecond})
+	m.Access(0, 0, 64)
+	m.Access(1, 0, 64)
+	m.Access(2, 2, 64)
+	s := m.Stats()
+	if s.LocalAccesses != 2 {
+		t.Errorf("LocalAccesses = %d, want 2", s.LocalAccesses)
+	}
+	if s.RemoteAccesses != 1 {
+		t.Errorf("RemoteAccesses = %d, want 1", s.RemoteAccesses)
+	}
+}
+
+func TestRemoteAccessSlowerThanLocal(t *testing.T) {
+	m := machine(8, Params{})
+	const rounds = 300
+	t0 := time.Now()
+	for i := 0; i < rounds; i++ {
+		m.Access(0, 0, 64)
+	}
+	local := time.Since(t0)
+	t0 = time.Now()
+	for i := 0; i < rounds; i++ {
+		m.Access(0, 4, 64) // 4 ring hops away
+	}
+	remote := time.Since(t0)
+	if remote <= local {
+		t.Errorf("remote accesses (%v) should cost more than local (%v)", remote, local)
+	}
+}
+
+// TestSingleLinkSaturates reproduces the Figure 1.7 mechanism in isolation:
+// many threads hammering one home node queue on its interconnect port,
+// while the same load spread across home nodes does not.
+func TestSingleLinkSaturates(t *testing.T) {
+	params := Params{
+		LocalLatency:      time.Nanosecond,
+		HopLatency:        time.Nanosecond,
+		MemBankBytesPerUs: 1 << 20,
+		LinkBytesPerUs:    64, // 64 bytes/us: one access per microsecond
+	}
+	run := func(central bool) Stats {
+		m := machine(8, params)
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				home := (w + 1) % 8 // remote for worker on node w... see below
+				if central {
+					home = 7
+				}
+				for i := 0; i < 50; i++ {
+					m.Access(w, home, 64)
+				}
+			}(w)
+		}
+		wg.Wait()
+		return m.Stats()
+	}
+	spread := run(false)
+	central := run(true)
+	if central.BusiestLinkWait <= spread.BusiestLinkWait {
+		t.Errorf("central allocation should queue more on its busiest link: central %v, spread %v",
+			central.BusiestLinkWait, spread.BusiestLinkWait)
+	}
+}
+
+func TestStatsLinkWaitAggregates(t *testing.T) {
+	m := machine(2, Params{LinkBytesPerUs: 1}) // 1 byte/us: 64 us per access
+	m.Access(0, 1, 64)
+	m.Access(0, 1, 64) // must queue behind the first
+	s := m.Stats()
+	if s.LinkWait <= 0 {
+		t.Errorf("LinkWait = %v, want > 0 under saturation", s.LinkWait)
+	}
+	if s.BusiestLinkWait > s.LinkWait {
+		t.Errorf("BusiestLinkWait %v exceeds total %v", s.BusiestLinkWait, s.LinkWait)
+	}
+}
+
+func TestPortReservationMonotone(t *testing.T) {
+	var p port
+	now := time.Now().UnixNano()
+	w1 := p.reserve(now, 1000)
+	w2 := p.reserve(now, 1000)
+	if w2 <= w1 {
+		t.Errorf("second reservation should wait longer: %d then %d", w1, w2)
+	}
+	if p.accesses.Load() != 2 {
+		t.Errorf("accesses = %d, want 2", p.accesses.Load())
+	}
+}
+
+func TestAdapterImplementsDistancer(t *testing.T) {
+	topo := topology.Synthetic(3, 1)
+	var d Distancer = Adapter{Nodes: 3, Distance: topo.Distance}
+	if d.NumNodes() != 3 {
+		t.Errorf("NumNodes = %d", d.NumNodes())
+	}
+	if d.NodeDistance(0, 0) != 10 {
+		t.Errorf("local distance = %d", d.NodeDistance(0, 0))
+	}
+}

@@ -1,0 +1,356 @@
+// Package salsacas implements the paper's SALSA+CAS baseline (§1.6.2): a
+// simplistic SALSA variation in which every consume() and steal() takes a
+// single task using CAS.
+//
+// The data layout — per-producer chunk lists, chunk pools, producer-based
+// balancing — is identical to SALSA, so comparing the two isolates exactly
+// the contribution of chunk ownership: the CAS-free fast path and
+// chunk-granularity stealing. As the paper notes, disabling per-chunk
+// stealing annuls chunk ownership, so there is no owner word here; a take
+// claims the next slot by CASing the node's index forward, and stealing is
+// the same single-task claim executed against another consumer's pool.
+package salsacas
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"salsa/internal/chunkpool"
+	"salsa/internal/indicator"
+	"salsa/internal/scpool"
+)
+
+// DefaultChunkSize matches SALSA's default so ablations compare like for
+// like (the paper used 1000 for both SALSA variants).
+const DefaultChunkSize = 1000
+
+// chunk is a block of single-assignment task slots. Slots go nil → task and
+// are logically consumed by advancing the node index; no TAKEN marker is
+// needed because index claims are exclusive.
+type chunk[T any] struct {
+	home     atomic.Int32
+	recycled atomic.Uint32
+	tasks    []atomic.Pointer[T]
+}
+
+func newChunk[T any](size, home int) *chunk[T] {
+	c := &chunk[T]{tasks: make([]atomic.Pointer[T], size)}
+	c.home.Store(int32(home))
+	return c
+}
+
+func (c *chunk[T]) resetForReuse() {
+	for i := range c.tasks {
+		c.tasks[i].Store(nil)
+	}
+	c.recycled.Store(0)
+}
+
+// node pairs a chunk with the index of its consumed prefix. Unlike SALSA,
+// idx moves by CAS and *is* the take: whoever wins the CAS owns the slot.
+type node[T any] struct {
+	chunk atomic.Pointer[chunk[T]]
+	idx   atomic.Int64
+}
+
+// entry / list: the same single-writer list as SALSA's producer lists.
+type entry[T any] struct {
+	node *node[T]
+	next atomic.Pointer[entry[T]]
+}
+
+type list[T any] struct {
+	head entry[T]
+	tail *entry[T]
+}
+
+func newList[T any]() *list[T] {
+	l := &list[T]{}
+	l.tail = &l.head
+	return l
+}
+
+func (l *list[T]) append(n *node[T]) {
+	e := &entry[T]{node: n}
+	l.tail.next.Store(e)
+	l.tail = e
+}
+
+func (l *list[T]) prune() {
+	prev := &l.head
+	for e := prev.next.Load(); e != nil; e = prev.next.Load() {
+		if e.node.chunk.Load() == nil {
+			prev.next.Store(e.next.Load())
+			if l.tail == e {
+				l.tail = prev
+			}
+			continue
+		}
+		prev = e
+	}
+}
+
+// Options configures a SALSA+CAS family.
+type Options struct {
+	ChunkSize     int
+	Consumers     int
+	Alloc         func(producerNode, ownerNode int) int
+	OnAccess      func(fromNode, homeNode int)
+	InitialChunks int
+}
+
+// Shared is the family context (options only; no sentinel or hazard domain
+// is needed in this variant).
+type Shared[T any] struct {
+	opts Options
+}
+
+// NewShared validates options and builds the family context.
+func NewShared[T any](opts Options) (*Shared[T], error) {
+	if opts.ChunkSize <= 0 {
+		opts.ChunkSize = DefaultChunkSize
+	}
+	if opts.Consumers <= 0 {
+		return nil, fmt.Errorf("salsacas: Consumers must be positive, got %d", opts.Consumers)
+	}
+	if opts.Alloc == nil {
+		opts.Alloc = func(_, ownerNode int) int { return ownerNode }
+	}
+	return &Shared[T]{opts: opts}, nil
+}
+
+// Pool is one consumer's SALSA+CAS SCPool.
+type Pool[T any] struct {
+	shared    *Shared[T]
+	ownerIDv  int
+	ownerNode int
+	lists     []*list[T] // one per producer; no steal list (chunks never move)
+	chunks    *chunkpool.Pool[chunk[T]]
+	ind       *indicator.Indicator
+}
+
+// NewPool builds the pool owned by consumer ownerID on node ownerNode.
+func (s *Shared[T]) NewPool(ownerID, ownerNode, producers int) (*Pool[T], error) {
+	if ownerID < 0 || ownerID >= s.opts.Consumers {
+		return nil, fmt.Errorf("salsacas: owner id %d out of range", ownerID)
+	}
+	p := &Pool[T]{
+		shared:    s,
+		ownerIDv:  ownerID,
+		ownerNode: ownerNode,
+		lists:     make([]*list[T], producers),
+		chunks:    chunkpool.New[chunk[T]](nil),
+		ind:       indicator.New(s.opts.Consumers),
+	}
+	for i := range p.lists {
+		p.lists[i] = newList[T]()
+	}
+	for i := 0; i < s.opts.InitialChunks; i++ {
+		p.chunks.Put(nil, newChunk[T](s.opts.ChunkSize, s.opts.Alloc(ownerNode, ownerNode)))
+	}
+	return p, nil
+}
+
+// OwnerID implements scpool.SCPool.
+func (p *Pool[T]) OwnerID() int { return p.ownerIDv }
+
+// SpareChunks reports the chunk-pool occupancy.
+func (p *Pool[T]) SpareChunks() int { return p.chunks.Size() }
+
+type prodScratch[T any] struct {
+	chunk   *chunk[T]
+	prodIdx int
+}
+
+func (s *Shared[T]) producerScratch(ps *scpool.ProducerState) *prodScratch[T] {
+	if sc, ok := ps.Scratch.(*prodScratch[T]); ok {
+		return sc
+	}
+	sc := &prodScratch[T]{}
+	ps.Scratch = sc
+	return sc
+}
+
+type consScratch[T any] struct {
+	cursor      int
+	stealCursor int
+}
+
+func (s *Shared[T]) consumerScratch(cs *scpool.ConsumerState) *consScratch[T] {
+	if sc, ok := cs.Scratch.(*consScratch[T]); ok {
+		return sc
+	}
+	sc := &consScratch[T]{}
+	cs.Scratch = sc
+	return sc
+}
+
+// Produce inserts t, failing when a fresh chunk is needed but the pool has
+// no spare (producer-based balancing, same as SALSA).
+func (p *Pool[T]) Produce(ps *scpool.ProducerState, t *T) bool {
+	return p.insert(ps, t, false)
+}
+
+// ProduceForce inserts t, allocating a chunk when the pool has no spare.
+func (p *Pool[T]) ProduceForce(ps *scpool.ProducerState, t *T) {
+	ps.Ops.ForcePuts.Inc()
+	p.insert(ps, t, true)
+}
+
+func (p *Pool[T]) insert(ps *scpool.ProducerState, t *T, force bool) bool {
+	if t == nil {
+		panic("salsacas: nil task")
+	}
+	sc := p.shared.producerScratch(ps)
+	if sc.chunk == nil {
+		ch, ok := p.chunks.Get()
+		if !ok {
+			if !force {
+				ps.Ops.ProduceFull.Inc()
+				return false
+			}
+			ch = newChunk[T](p.shared.opts.ChunkSize, p.shared.opts.Alloc(ps.Node, p.ownerNode))
+			ps.Ops.ChunkAllocs.Inc()
+		} else {
+			ch.resetForReuse()
+			// Re-home on reuse, mirroring SALSA (the chunks are
+			// NUMA-migratable pages in the paper's setting).
+			ch.home.Store(int32(p.shared.opts.Alloc(ps.Node, p.ownerNode)))
+			ps.Ops.ChunkReuses.Inc()
+		}
+		n := &node[T]{}
+		n.chunk.Store(ch)
+		n.idx.Store(-1)
+		myList := p.lists[ps.ID]
+		myList.prune()
+		myList.append(n)
+		sc.chunk = ch
+		sc.prodIdx = 0
+	}
+	sc.chunk.tasks[sc.prodIdx].Store(t)
+	if hook := p.shared.opts.OnAccess; hook != nil {
+		hook(ps.Node, int(sc.chunk.home.Load()))
+	}
+	if int(sc.chunk.home.Load()) == ps.Node {
+		ps.Ops.LocalTransfers.Inc()
+	} else {
+		ps.Ops.RemoteTransfers.Inc()
+	}
+	sc.prodIdx++
+	if sc.prodIdx == len(sc.chunk.tasks) {
+		sc.chunk = nil
+	}
+	ps.Ops.Puts.Inc()
+	return true
+}
+
+// Consume claims one task from this pool with a single CAS.
+func (p *Pool[T]) Consume(cs *scpool.ConsumerState) *T {
+	sc := p.shared.consumerScratch(cs)
+	t, cur := p.takeFrom(cs, p, sc.cursor)
+	sc.cursor = cur
+	return t
+}
+
+// Steal claims one task from the victim's pool with a single CAS — the
+// whole point of this baseline: stealing granularity is one task, and the
+// chunk stays (and keeps contending) where it is.
+func (p *Pool[T]) Steal(cs *scpool.ConsumerState, victimPool scpool.SCPool[T]) *T {
+	victim, ok := victimPool.(*Pool[T])
+	if !ok {
+		panic("salsacas: Steal victim is not a SALSA+CAS pool")
+	}
+	sc := p.shared.consumerScratch(cs)
+	cs.Ops.StealAttempts.Inc()
+	t, cur := p.takeFrom(cs, victim, sc.stealCursor)
+	sc.stealCursor = cur
+	if t != nil {
+		cs.Ops.Steals.Inc()
+	}
+	return t
+}
+
+// takeFrom scans src's lists from a cursor and claims the first available
+// task by CASing its node's index forward. The taker of a chunk's final
+// slot unlinks the chunk and recycles it to the TAKER's chunk pool,
+// preserving the paper's consumption-rate-proportional balancing (§1.5.4).
+func (p *Pool[T]) takeFrom(cs *scpool.ConsumerState, src *Pool[T], cursor int) (*T, int) {
+	numLists := len(src.lists)
+	if numLists == 0 {
+		return nil, 0
+	}
+	start := cursor % numLists
+	for k := 0; k < numLists; k++ {
+		li := (start + k) % numLists
+		for e := src.lists[li].first(); e != nil; e = e.next.Load() {
+			n := e.node
+			ch := n.chunk.Load()
+			if ch == nil {
+				continue
+			}
+			size := int64(len(ch.tasks))
+			idx := n.idx.Load()
+			if idx+1 >= size {
+				continue
+			}
+			t := ch.tasks[idx+1].Load()
+			if t == nil {
+				continue
+			}
+			cs.Ops.CAS.Inc()
+			if !n.idx.CompareAndSwap(idx, idx+1) {
+				cs.Ops.FailedCAS.Inc()
+				continue
+			}
+			// Slot idx+1 is exclusively ours now.
+			if idx+2 == size {
+				// Final slot: retire the chunk to OUR pool.
+				n.chunk.Store(nil)
+				if ch.recycled.CompareAndSwap(0, 1) {
+					p.chunks.Put(nil, ch)
+				}
+				src.ind.Clear()
+			} else if ch.tasks[idx+2].Load() == nil {
+				// Possibly the last visible task in src.
+				src.ind.Clear()
+			}
+			if hook := p.shared.opts.OnAccess; hook != nil {
+				hook(cs.Node, int(ch.home.Load()))
+			}
+			if int(ch.home.Load()) == cs.Node {
+				cs.Ops.LocalTransfers.Inc()
+			} else {
+				cs.Ops.RemoteTransfers.Inc()
+			}
+			// Fair traversal: resume at the following list next time
+			// (same rationale as SALSA's consume cursor).
+			return t, (li + 1) % numLists
+		}
+	}
+	return nil, (start + 1) % numLists
+}
+
+func (l *list[T]) first() *entry[T] { return l.head.next.Load() }
+
+// IsEmpty reports whether a scan found no unconsumed task.
+func (p *Pool[T]) IsEmpty() bool {
+	for _, l := range p.lists {
+		for e := l.first(); e != nil; e = e.next.Load() {
+			ch := e.node.chunk.Load()
+			if ch == nil {
+				continue
+			}
+			idx := e.node.idx.Load()
+			if idx+1 < int64(len(ch.tasks)) && ch.tasks[idx+1].Load() != nil {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SetIndicator implements the emptiness probe hook.
+func (p *Pool[T]) SetIndicator(id int) { p.ind.Set(id) }
+
+// CheckIndicator implements the emptiness probe hook.
+func (p *Pool[T]) CheckIndicator(id int) bool { return p.ind.Check(id) }

@@ -1,0 +1,87 @@
+// Package scpool defines the single-consumer-pool abstraction of the paper
+// (§1.4, Algorithm 1): the mechanism half of SALSA's mechanism/policy split.
+//
+// An SCPool manages the tasks arriving at one consumer and allows other
+// consumers to steal. The management policy (internal/framework) composes
+// SCPools: it routes producer requests along access lists and initiates
+// stealing, independent of which SCPool implementation is underneath. The
+// repository provides five implementations, matching the paper's evaluated
+// algorithms: SALSA (internal/core), SALSA+CAS (internal/salsacas),
+// Concurrent Bags (internal/concbag), WS-MSQ and WS-LIFO (internal/wsbase).
+package scpool
+
+import (
+	"salsa/internal/stats"
+)
+
+// ProducerState is the per-producer context threaded through Produce calls.
+// A ProducerState must be used by one goroutine at a time.
+type ProducerState struct {
+	// ID is the dense producer id (0..P-1).
+	ID int
+	// Node is the NUMA node the producer runs on; implementations record
+	// it as the home of chunks the producer allocates under the local
+	// allocation policy.
+	Node int
+	// Ops gathers this producer's operation counts.
+	Ops stats.Ops
+	// Scratch holds implementation-private state (e.g. SALSA's current
+	// chunk and insertion index). Owned by the SCPool implementation.
+	Scratch any
+}
+
+// ConsumerState is the per-consumer context threaded through Consume and
+// Steal calls. A ConsumerState must be used by one goroutine at a time.
+type ConsumerState struct {
+	// ID is the dense consumer id (0..C-1).
+	ID int
+	// Node is the NUMA node the consumer runs on.
+	Node int
+	// Ops gathers this consumer's operation counts.
+	Ops stats.Ops
+	// Scratch holds implementation-private state (e.g. SALSA's cached
+	// current node).
+	Scratch any
+}
+
+// SCPool is the single-consumer pool API of Algorithm 1. Implementations
+// must be lock-free: Produce, Consume and Steal never block on other
+// threads' progress.
+type SCPool[T any] interface {
+	// OwnerID returns the id of the consumer owning this pool.
+	OwnerID() int
+
+	// Produce tries to insert the task into the pool; it returns false
+	// when the pool has no space (for SALSA: the owner's chunk pool has
+	// no spare chunk), which the policy treats as "this consumer is
+	// overloaded".
+	Produce(p *ProducerState, t *T) bool
+
+	// ProduceForce inserts the task, expanding the pool if necessary.
+	// It always succeeds.
+	ProduceForce(p *ProducerState, t *T)
+
+	// Consume retrieves a task. Only the owning consumer may call it.
+	// Returns nil when no task was found (which does not linearize as
+	// emptiness; see the framework's checkEmpty).
+	Consume(c *ConsumerState) *T
+
+	// Steal moves tasks from victim into this pool and returns one of
+	// them, or nil. Called by this pool's owner; victim must be a pool
+	// of the same implementation.
+	Steal(c *ConsumerState, victim SCPool[T]) *T
+
+	// IsEmpty reports whether a scan of the pool found no untaken task.
+	// Instantaneous (may go stale immediately); the framework's
+	// checkEmpty protocol layers indicator rounds on top to obtain a
+	// linearizable answer. (The thesis' Algorithm 1 annotates isEmpty
+	// with the opposite sense to its Algorithm 2 call site; we follow
+	// the call site: true means empty.)
+	IsEmpty() bool
+
+	// SetIndicator sets consumer id's bit in the pool's empty-indicator.
+	SetIndicator(id int)
+
+	// CheckIndicator reports whether consumer id's bit is still set.
+	CheckIndicator(id int) bool
+}

@@ -1,0 +1,197 @@
+// Package segqueue implements a cache-aware chunk-based lock-free FIFO
+// queue in the spirit of Gidenstam, Sundell and Tsigas (OPODIS 2010),
+// which the paper's related work analyses (§1.2): "the data is stored in
+// chunks, and the head and tail point to a chunk rather than single nodes.
+// This allows updating these references only once per chunk rather than on
+// every operation. However, this solution still requires at least one CAS
+// per operation, rendering it non-scalable under high contention."
+//
+// Elements live in fixed-size segments. An enqueuer claims a slot index
+// with a fetch-and-add on the tail segment's enqueue cursor and installs
+// its element with one CAS (the CAS can fail only if a dequeuer invalidated
+// the slot first, in which case the enqueuer moves on). A dequeuer claims
+// an index the same way and either takes the element or invalidates the
+// still-empty slot. The shared head/tail segment pointers move once per
+// segment — the cache-friendliness the paper credits this design with —
+// but every element still costs ≥1 atomic RMW on a shared cursor, the
+// contrast SALSA's ownership model removes.
+package segqueue
+
+import "sync/atomic"
+
+// DefaultSegmentSize matches the cache-friendly chunk sizing of the
+// original (a few cache lines of element pointers).
+const DefaultSegmentSize = 64
+
+// slot values: nil = empty, poisoned = invalidated by a dequeuer,
+// otherwise the element.
+type segment[T any] struct {
+	slots  []atomic.Pointer[T]
+	enqIdx atomic.Int64
+	deqIdx atomic.Int64
+	next   atomic.Pointer[segment[T]]
+}
+
+func newSegment[T any](size int) *segment[T] {
+	return &segment[T]{slots: make([]atomic.Pointer[T], size)}
+}
+
+// Queue is a lock-free MPMC FIFO queue over linked segments.
+type Queue[T any] struct {
+	head     atomic.Pointer[segment[T]]
+	tail     atomic.Pointer[segment[T]]
+	poisoned *T // sentinel marking invalidated slots
+	segSize  int
+
+	countCAS bool
+	casOps   atomic.Int64
+}
+
+// New returns an empty queue with the given segment size (0 = default).
+func New[T any](segSize int) *Queue[T] {
+	if segSize <= 0 {
+		segSize = DefaultSegmentSize
+	}
+	q := &Queue[T]{poisoned: new(T), segSize: segSize}
+	s := newSegment[T](segSize)
+	q.head.Store(s)
+	q.tail.Store(s)
+	return q
+}
+
+// NewCounted returns an empty queue that counts CAS/RMW attempts.
+func NewCounted[T any](segSize int) *Queue[T] {
+	q := New[T](segSize)
+	q.countCAS = true
+	return q
+}
+
+func (q *Queue[T]) rmw() {
+	if q.countCAS {
+		q.casOps.Add(1)
+	}
+}
+
+// Enqueue appends v. v must not be nil.
+func (q *Queue[T]) Enqueue(v *T) {
+	if v == nil {
+		panic("segqueue: nil element")
+	}
+	for {
+		tail := q.tail.Load()
+		q.rmw()
+		i := tail.enqIdx.Add(1) - 1
+		if int(i) < len(tail.slots) {
+			q.rmw()
+			if tail.slots[i].CompareAndSwap(nil, v) {
+				return
+			}
+			// Slot was poisoned by a racing dequeuer; try the next.
+			continue
+		}
+		// Tail segment exhausted: link a fresh segment (one thread
+		// wins; the others adopt it) and advance the shared tail —
+		// the once-per-segment shared update.
+		next := tail.next.Load()
+		if next == nil {
+			fresh := newSegment[T](q.segSize)
+			q.rmw()
+			if tail.next.CompareAndSwap(nil, fresh) {
+				next = fresh
+			} else {
+				next = tail.next.Load()
+			}
+		}
+		q.rmw()
+		q.tail.CompareAndSwap(tail, next)
+	}
+}
+
+// Dequeue removes and returns the oldest element; ok=false when the queue
+// was observed empty.
+func (q *Queue[T]) Dequeue() (*T, bool) {
+	for {
+		head := q.head.Load()
+		deq := head.deqIdx.Load()
+		enq := head.enqIdx.Load()
+		if deq >= enq || int(deq) >= len(head.slots) {
+			// Head segment drained (or all claims spoken for).
+			if int(enq) < len(head.slots) && deq >= enq {
+				return nil, false // segment not full and fully consumed: empty
+			}
+			next := head.next.Load()
+			if next == nil {
+				return nil, false
+			}
+			// Retire the drained segment: advance head once per
+			// segment.
+			q.rmw()
+			q.head.CompareAndSwap(head, next)
+			continue
+		}
+		q.rmw()
+		i := head.deqIdx.Add(1) - 1
+		if int(i) >= len(head.slots) {
+			continue // lost the race past the end; re-examine head
+		}
+		for spin := 0; ; spin++ {
+			v := head.slots[i].Load()
+			if v != nil && v != q.poisoned {
+				head.slots[i].Store(q.poisoned) // release element for GC
+				return v, true
+			}
+			if v == q.poisoned {
+				break // already invalidated (shouldn't happen twice)
+			}
+			// The enqueuer claimed this index but has not stored yet.
+			// Invalidate so we stay lock-free; the enqueuer will see
+			// the failed CAS and use another slot.
+			q.rmw()
+			if head.slots[i].CompareAndSwap(nil, q.poisoned) {
+				break // slot killed; take the next index
+			}
+		}
+	}
+}
+
+// IsEmpty reports whether a scan found no live element.
+func (q *Queue[T]) IsEmpty() bool {
+	for seg := q.head.Load(); seg != nil; seg = seg.next.Load() {
+		deq := seg.deqIdx.Load()
+		enq := seg.enqIdx.Load()
+		if enq > int64(len(seg.slots)) {
+			enq = int64(len(seg.slots))
+		}
+		for i := deq; i < enq; i++ {
+			if v := seg.slots[i].Load(); v != nil && v != q.poisoned {
+				return false
+			}
+		}
+		// Claimed-but-unwritten slots may still materialise; treat an
+		// enqueue cursor ahead of the dequeue cursor as potential work.
+		if enq > deq {
+			for i := deq; i < enq; i++ {
+				if seg.slots[i].Load() == nil {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Len counts live elements. O(n); tests only.
+func (q *Queue[T]) Len() int {
+	n := 0
+	for seg := q.head.Load(); seg != nil; seg = seg.next.Load() {
+		for i := range seg.slots {
+			if v := seg.slots[i].Load(); v != nil && v != q.poisoned {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// CASCount returns cumulative atomic-RMW attempts (zero unless NewCounted).
+func (q *Queue[T]) CASCount() int64 { return q.casOps.Load() }

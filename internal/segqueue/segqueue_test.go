@@ -1,0 +1,220 @@
+package segqueue
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyDequeue(t *testing.T) {
+	q := New[int](4)
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("empty queue yielded a value")
+	}
+	if !q.IsEmpty() || q.Len() != 0 {
+		t.Fatal("fresh queue not empty")
+	}
+}
+
+func TestSequentialFIFOAcrossSegments(t *testing.T) {
+	q := New[int](4) // tiny segments: force many segment transitions
+	const n = 100
+	vals := make([]int, n)
+	for i := 0; i < n; i++ {
+		vals[i] = i
+		q.Enqueue(&vals[i])
+	}
+	if q.Len() != n {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i := 0; i < n; i++ {
+		v, ok := q.Dequeue()
+		if !ok || *v != i {
+			t.Fatalf("Dequeue %d = (%v,%v)", i, v, ok)
+		}
+	}
+	if !q.IsEmpty() {
+		t.Fatal("not empty after drain")
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("drained queue yielded a value")
+	}
+}
+
+func TestInterleavedAcrossSegmentBoundary(t *testing.T) {
+	q := New[int](2)
+	a, b, c := 1, 2, 3
+	q.Enqueue(&a)
+	q.Enqueue(&b) // fills segment 1
+	q.Enqueue(&c) // opens segment 2
+	if v, _ := q.Dequeue(); *v != 1 {
+		t.Fatalf("got %d", *v)
+	}
+	if v, _ := q.Dequeue(); *v != 2 {
+		t.Fatalf("got %d", *v)
+	}
+	if v, _ := q.Dequeue(); *v != 3 {
+		t.Fatalf("got %d", *v)
+	}
+}
+
+func TestNilEnqueuePanics(t *testing.T) {
+	q := New[int](4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil enqueue accepted")
+		}
+	}()
+	q.Enqueue(nil)
+}
+
+func TestDefaultSegmentSize(t *testing.T) {
+	q := New[int](0)
+	if len(q.head.Load().slots) != DefaultSegmentSize {
+		t.Fatalf("segment size = %d", len(q.head.Load().slots))
+	}
+}
+
+func TestCASCounting(t *testing.T) {
+	q := NewCounted[int](8)
+	v := 1
+	q.Enqueue(&v)
+	q.Dequeue()
+	if q.CASCount() == 0 {
+		t.Fatal("counted queue reports zero RMW")
+	}
+	q2 := New[int](8)
+	q2.Enqueue(&v)
+	q2.Dequeue()
+	if q2.CASCount() != 0 {
+		t.Fatal("uncounted queue reports RMW")
+	}
+}
+
+func TestConcurrentConservation(t *testing.T) {
+	q := New[int](16)
+	const (
+		producers = 4
+		consumers = 4
+		perProd   = 10000
+	)
+	vals := make([]int, producers*perProd)
+	for i := range vals {
+		vals[i] = i
+	}
+	var pwg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		pwg.Add(1)
+		go func(base int) {
+			defer pwg.Done()
+			for i := 0; i < perProd; i++ {
+				q.Enqueue(&vals[base+i])
+			}
+		}(p * perProd)
+	}
+	var mu sync.Mutex
+	var got []int
+	stop := make(chan struct{})
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			var local []int
+			for {
+				if v, ok := q.Dequeue(); ok {
+					local = append(local, *v)
+					continue
+				}
+				select {
+				case <-stop:
+					for {
+						v, ok := q.Dequeue()
+						if !ok {
+							mu.Lock()
+							got = append(got, local...)
+							mu.Unlock()
+							return
+						}
+						local = append(local, *v)
+					}
+				default:
+				}
+			}
+		}()
+	}
+	pwg.Wait()
+	close(stop)
+	cwg.Wait()
+
+	if len(got) != producers*perProd {
+		t.Fatalf("got %d, want %d", len(got), producers*perProd)
+	}
+	sort.Ints(got)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("missing/duplicated at %d: %d", i, v)
+		}
+	}
+}
+
+// TestPerProducerOrder: one producer's elements dequeue in its insertion
+// order (reordering is confined to provably concurrent operations).
+func TestPerProducerOrder(t *testing.T) {
+	q := New[[2]int](8)
+	const producers = 3
+	const perProd = 4000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				q.Enqueue(&[2]int{id, i})
+			}
+		}(p)
+	}
+	wg.Wait()
+	last := map[int]int{0: -1, 1: -1, 2: -1}
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		if v[1] <= last[v[0]] {
+			t.Fatalf("producer %d order violated: %d after %d", v[0], v[1], last[v[0]])
+		}
+		last[v[0]] = v[1]
+	}
+}
+
+func TestQuickSequentialModel(t *testing.T) {
+	f := func(ops []int16, segSeed uint8) bool {
+		q := New[int16](int(segSeed%7) + 1)
+		var model []*int16
+		for i := range ops {
+			op := ops[i]
+			if op >= 0 {
+				q.Enqueue(&ops[i])
+				model = append(model, &ops[i])
+			} else {
+				v, ok := q.Dequeue()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				if !ok || v != model[0] {
+					return false
+				}
+				model = model[1:]
+			}
+		}
+		return q.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,81 @@
+package segqueue
+
+import "testing"
+
+// TestIsEmptyWithClaimedUnwrittenSlot drives the IsEmpty branch where an
+// enqueuer has claimed a cursor index but not yet stored its element: the
+// queue must report non-empty (work may still materialise).
+func TestIsEmptyWithClaimedUnwrittenSlot(t *testing.T) {
+	q := New[int](4)
+	seg := q.head.Load()
+	seg.enqIdx.Store(1) // a claim with no store yet
+	if q.IsEmpty() {
+		t.Fatal("queue with a claimed-unwritten slot reported empty")
+	}
+}
+
+// TestIsEmptySkipsPoisonedPrefix: invalidated slots do not count as work.
+func TestIsEmptySkipsPoisonedPrefix(t *testing.T) {
+	q := New[int](4)
+	seg := q.head.Load()
+	seg.enqIdx.Store(2)
+	seg.deqIdx.Store(0)
+	seg.slots[0].Store(q.poisoned)
+	seg.slots[1].Store(q.poisoned)
+	if !q.IsEmpty() {
+		t.Fatal("fully poisoned prefix reported as work")
+	}
+}
+
+// TestDequeueInvalidatesSlowEnqueuer reconstructs the claimed-but-unstored
+// race deterministically: the dequeuer must poison the pending slot and the
+// (simulated) slow enqueuer's CAS must fail.
+func TestDequeueInvalidatesSlowEnqueuer(t *testing.T) {
+	q := New[int](4)
+	v1, v2 := 1, 2
+	// Simulate a slow enqueuer: claim index 0 without storing.
+	seg := q.head.Load()
+	seg.enqIdx.Store(1)
+	// A real enqueue lands at index 1.
+	q.Enqueue(&v1)
+	// Dequeue: index 0 is claimed-but-empty → must be poisoned; the
+	// dequeue returns v1 from index 1.
+	got, ok := q.Dequeue()
+	if !ok || got != &v1 {
+		t.Fatalf("Dequeue = %v,%v; want v1", got, ok)
+	}
+	if seg.slots[0].Load() != q.poisoned {
+		t.Fatal("pending slot was not poisoned")
+	}
+	// The slow enqueuer now completes: its slot CAS must fail, pushing
+	// the element to the next index — nothing is lost.
+	if seg.slots[0].CompareAndSwap(nil, &v2) {
+		t.Fatal("slow enqueuer's CAS succeeded on a poisoned slot")
+	}
+	q.Enqueue(&v2)
+	if got, ok := q.Dequeue(); !ok || got != &v2 {
+		t.Fatalf("retry element lost: %v,%v", got, ok)
+	}
+}
+
+// TestSegmentRetirement: head advances over drained segments.
+func TestSegmentRetirement(t *testing.T) {
+	q := New[int](2)
+	vals := [6]int{}
+	for i := range vals {
+		q.Enqueue(&vals[i])
+	}
+	for range vals {
+		if _, ok := q.Dequeue(); !ok {
+			t.Fatal("lost element")
+		}
+	}
+	// After a full drain, at most the final segment remains reachable.
+	segs := 0
+	for s := q.head.Load(); s != nil; s = s.next.Load() {
+		segs++
+	}
+	if segs > 2 {
+		t.Errorf("%d segments still reachable after drain", segs)
+	}
+}

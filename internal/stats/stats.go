@@ -1,0 +1,149 @@
+// Package stats provides cheap single-writer operation counters for the
+// pool implementations and the benchmark harness.
+//
+// The paper's Figure 1.5(b) reports "CAS operations per task retrieval";
+// reproducing it requires counting synchronization operations without
+// perturbing the very fast paths being measured. Every producer and consumer
+// handle therefore owns its own Ops block, updated only by the goroutine
+// that owns the handle. Increments are implemented as an atomic load
+// followed by an atomic store — not an atomic read-modify-write — which is
+// race-detector-clean and keeps the SALSA fast path free of RMW
+// instructions even while instrumented. Aggregation sums the per-handle
+// blocks.
+package stats
+
+import "sync/atomic"
+
+// Counter is a single-writer event counter. Inc must only be called by the
+// owning goroutine; Load may be called from anywhere.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one to the counter. Single-writer: two relaxed-cost atomic ops,
+// no RMW.
+func (c *Counter) Inc() { c.v.Store(c.v.Load() + 1) }
+
+// Add adds n to the counter (single-writer).
+func (c *Counter) Add(n int64) { c.v.Store(c.v.Load() + n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Ops is the per-handle operation census. Fields count events in the pool
+// code paths exercised by that handle.
+type Ops struct {
+	// Puts and Gets count completed operations; GetsEmpty counts Get
+	// calls that returned ⊥ after a successful checkEmpty.
+	Puts      Counter
+	Gets      Counter
+	GetsEmpty Counter
+
+	// CAS counts every compare-and-swap attempt issued by this handle in
+	// produce/consume/steal paths (successful or failed). FailedCAS
+	// counts the failed subset, the paper's contention signal.
+	CAS       Counter
+	FailedCAS Counter
+
+	// FastPath counts task retrievals completed on the CAS-free owner
+	// fast path (SALSA lines 90–94); SlowPath counts retrievals that
+	// needed the stolen-chunk CAS path.
+	FastPath Counter
+	SlowPath Counter
+
+	// Steals counts successful chunk (or task, for single-task
+	// algorithms) steals; StealAttempts counts steal() invocations.
+	Steals        Counter
+	StealAttempts Counter
+
+	// ChunkAllocs counts fresh chunk allocations; ChunkReuses counts
+	// chunks recycled through a chunk pool. ProduceFull counts produce()
+	// failures due to an exhausted chunk pool (the producer-based
+	// balancing trigger). ForcePuts counts produceForce expansions.
+	ChunkAllocs Counter
+	ChunkReuses Counter
+	ProduceFull Counter
+	ForcePuts   Counter
+
+	// RemoteTransfers counts task transfers whose chunk home node
+	// differs from the accessing thread's node (NUMA traffic proxy);
+	// LocalTransfers counts same-node transfers.
+	RemoteTransfers Counter
+	LocalTransfers  Counter
+
+	// pad keeps separately owned Ops blocks on distinct cache lines when
+	// they are allocated contiguously by the harness.
+	_ [64]byte
+}
+
+// Snapshot is a plain-value copy of an Ops census, safe to pass around.
+type Snapshot struct {
+	Puts, Gets, GetsEmpty           int64
+	CAS, FailedCAS                  int64
+	FastPath, SlowPath              int64
+	Steals, StealAttempts           int64
+	ChunkAllocs, ChunkReuses        int64
+	ProduceFull, ForcePuts          int64
+	RemoteTransfers, LocalTransfers int64
+}
+
+// Snapshot returns a point-in-time copy of the counters.
+func (o *Ops) Snapshot() Snapshot {
+	return Snapshot{
+		Puts: o.Puts.Load(), Gets: o.Gets.Load(), GetsEmpty: o.GetsEmpty.Load(),
+		CAS: o.CAS.Load(), FailedCAS: o.FailedCAS.Load(),
+		FastPath: o.FastPath.Load(), SlowPath: o.SlowPath.Load(),
+		Steals: o.Steals.Load(), StealAttempts: o.StealAttempts.Load(),
+		ChunkAllocs: o.ChunkAllocs.Load(), ChunkReuses: o.ChunkReuses.Load(),
+		ProduceFull: o.ProduceFull.Load(), ForcePuts: o.ForcePuts.Load(),
+		RemoteTransfers: o.RemoteTransfers.Load(), LocalTransfers: o.LocalTransfers.Load(),
+	}
+}
+
+// Add accumulates s2 into s.
+func (s *Snapshot) Add(s2 Snapshot) {
+	s.Puts += s2.Puts
+	s.Gets += s2.Gets
+	s.GetsEmpty += s2.GetsEmpty
+	s.CAS += s2.CAS
+	s.FailedCAS += s2.FailedCAS
+	s.FastPath += s2.FastPath
+	s.SlowPath += s2.SlowPath
+	s.Steals += s2.Steals
+	s.StealAttempts += s2.StealAttempts
+	s.ChunkAllocs += s2.ChunkAllocs
+	s.ChunkReuses += s2.ChunkReuses
+	s.ProduceFull += s2.ProduceFull
+	s.ForcePuts += s2.ForcePuts
+	s.RemoteTransfers += s2.RemoteTransfers
+	s.LocalTransfers += s2.LocalTransfers
+}
+
+// Sum aggregates a set of snapshots.
+func Sum(snaps ...Snapshot) Snapshot {
+	var total Snapshot
+	for _, s := range snaps {
+		total.Add(s)
+	}
+	return total
+}
+
+// CASPerGet returns the average number of CAS attempts per retrieved task,
+// the y-axis of the paper's Figure 1.5(b). Returns 0 when no task was
+// retrieved.
+func (s Snapshot) CASPerGet() float64 {
+	if s.Gets == 0 {
+		return 0
+	}
+	return float64(s.CAS) / float64(s.Gets)
+}
+
+// FastPathRatio returns the fraction of retrievals completed on the CAS-free
+// fast path.
+func (s Snapshot) FastPathRatio() float64 {
+	total := s.FastPath + s.SlowPath
+	if total == 0 {
+		return 0
+	}
+	return float64(s.FastPath) / float64(total)
+}

@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterSingleWriter(t *testing.T) {
+	var c Counter
+	for i := 0; i < 1000; i++ {
+		c.Inc()
+	}
+	if c.Load() != 1000 {
+		t.Fatalf("Load = %d, want 1000", c.Load())
+	}
+	c.Add(500)
+	if c.Load() != 1500 {
+		t.Fatalf("Load = %d, want 1500", c.Load())
+	}
+}
+
+func TestCounterConcurrentReaders(t *testing.T) {
+	var c Counter
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // single writer
+		defer wg.Done()
+		for i := 0; i < 100000; i++ {
+			c.Inc()
+		}
+		close(done)
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := int64(0)
+			for {
+				v := c.Load()
+				if v < last {
+					t.Error("counter went backwards")
+					return
+				}
+				last = v
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 100000 {
+		t.Fatalf("Load = %d, want 100000", c.Load())
+	}
+}
+
+func TestSnapshotAndSum(t *testing.T) {
+	var a, b Ops
+	a.Puts.Add(10)
+	a.CAS.Add(3)
+	a.Gets.Add(4)
+	b.Puts.Add(5)
+	b.FailedCAS.Add(1)
+	b.Steals.Add(2)
+
+	total := Sum(a.Snapshot(), b.Snapshot())
+	if total.Puts != 15 {
+		t.Errorf("Puts = %d, want 15", total.Puts)
+	}
+	if total.CAS != 3 || total.FailedCAS != 1 || total.Steals != 2 {
+		t.Errorf("unexpected aggregate: %+v", total)
+	}
+}
+
+func TestCASPerGet(t *testing.T) {
+	var o Ops
+	if got := o.Snapshot().CASPerGet(); got != 0 {
+		t.Errorf("CASPerGet on zero ops = %v, want 0", got)
+	}
+	o.Gets.Add(4)
+	o.CAS.Add(6)
+	if got := o.Snapshot().CASPerGet(); got != 1.5 {
+		t.Errorf("CASPerGet = %v, want 1.5", got)
+	}
+}
+
+func TestFastPathRatio(t *testing.T) {
+	var o Ops
+	if got := o.Snapshot().FastPathRatio(); got != 0 {
+		t.Errorf("FastPathRatio on zero ops = %v, want 0", got)
+	}
+	o.FastPath.Add(9)
+	o.SlowPath.Add(1)
+	if got := o.Snapshot().FastPathRatio(); got != 0.9 {
+		t.Errorf("FastPathRatio = %v, want 0.9", got)
+	}
+}
+
+func TestSnapshotAddAllFields(t *testing.T) {
+	var o Ops
+	o.Puts.Inc()
+	o.Gets.Inc()
+	o.GetsEmpty.Inc()
+	o.CAS.Inc()
+	o.FailedCAS.Inc()
+	o.FastPath.Inc()
+	o.SlowPath.Inc()
+	o.Steals.Inc()
+	o.StealAttempts.Inc()
+	o.ChunkAllocs.Inc()
+	o.ChunkReuses.Inc()
+	o.ProduceFull.Inc()
+	o.ForcePuts.Inc()
+	o.RemoteTransfers.Inc()
+	o.LocalTransfers.Inc()
+
+	s := o.Snapshot()
+	var sum Snapshot
+	sum.Add(s)
+	sum.Add(s)
+	for name, pair := range map[string][2]int64{
+		"Puts":            {sum.Puts, 2},
+		"Gets":            {sum.Gets, 2},
+		"GetsEmpty":       {sum.GetsEmpty, 2},
+		"CAS":             {sum.CAS, 2},
+		"FailedCAS":       {sum.FailedCAS, 2},
+		"FastPath":        {sum.FastPath, 2},
+		"SlowPath":        {sum.SlowPath, 2},
+		"Steals":          {sum.Steals, 2},
+		"StealAttempts":   {sum.StealAttempts, 2},
+		"ChunkAllocs":     {sum.ChunkAllocs, 2},
+		"ChunkReuses":     {sum.ChunkReuses, 2},
+		"ProduceFull":     {sum.ProduceFull, 2},
+		"ForcePuts":       {sum.ForcePuts, 2},
+		"RemoteTransfers": {sum.RemoteTransfers, 2},
+		"LocalTransfers":  {sum.LocalTransfers, 2},
+	} {
+		if pair[0] != pair[1] {
+			t.Errorf("%s = %d, want %d", name, pair[0], pair[1])
+		}
+	}
+}

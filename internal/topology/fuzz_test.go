@@ -1,0 +1,65 @@
+package topology
+
+import "testing"
+
+// FuzzParseCPUList: the sysfs cpulist parser must never panic and must
+// return sorted, in-range cores or an error — whatever the kernel (or an
+// attacker-controlled container fs) puts in the file.
+func FuzzParseCPUList(f *testing.F) {
+	for _, seed := range []string{
+		"", "0", "0-3", "0-1,4,6-7", "3,1", "x", "3-1", "1-", "-2",
+		"0-1000", ",,,", "1,,2", " 0 - 3 ", "0-0",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		cores, err := ParseCPUList(s)
+		if err != nil {
+			return
+		}
+		for i, c := range cores {
+			if c < 0 {
+				t.Fatalf("negative core %d from %q", c, s)
+			}
+			if i > 0 && cores[i-1] > c {
+				t.Fatalf("unsorted output %v from %q", cores, s)
+			}
+		}
+	})
+}
+
+// FuzzSyntheticPlacement: any (nodes, cores, producers, consumers, policy)
+// tuple within sane bounds must yield a complete, in-range placement with
+// valid access lists.
+func FuzzSyntheticPlacement(f *testing.F) {
+	f.Add(uint8(8), uint8(4), uint8(16), uint8(16), uint8(0))
+	f.Add(uint8(1), uint8(1), uint8(1), uint8(1), uint8(2))
+	f.Add(uint8(3), uint8(2), uint8(7), uint8(5), uint8(1))
+	f.Fuzz(func(t *testing.T, nodes, cores, prods, conss, policy uint8) {
+		n := int(nodes%12) + 1
+		c := int(cores%8) + 1
+		np := int(prods%20) + 1
+		nc := int(conss%20) + 1
+		pol := PlacementPolicy(policy % 3)
+		topo := Synthetic(n, c)
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("Synthetic(%d,%d) invalid: %v", n, c, err)
+		}
+		p := Place(topo, np, nc, pol)
+		for i := 0; i < np; i++ {
+			if core := p.ProducerCores[i]; core < 0 || core >= n*c {
+				t.Fatalf("producer %d on core %d of %d", i, core, n*c)
+			}
+			al := p.ProducerAccessList(i)
+			if len(al) != nc {
+				t.Fatalf("producer %d access list %v", i, al)
+			}
+		}
+		for i := 0; i < nc; i++ {
+			al := p.ConsumerAccessList(i)
+			if len(al) != nc || al[0] != i {
+				t.Fatalf("consumer %d access list %v", i, al)
+			}
+		}
+	})
+}

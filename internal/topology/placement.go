@@ -1,0 +1,169 @@
+package topology
+
+import "sort"
+
+// Placement assigns the framework's threads to cores. Producers and
+// consumers are identified by dense ids (0..P-1, 0..C-1), matching the
+// handles handed out by the framework.
+type Placement struct {
+	Topo          *Topology
+	ProducerCores []int
+	ConsumerCores []int
+}
+
+// PlacementPolicy selects how threads are laid out on the machine.
+type PlacementPolicy int
+
+const (
+	// PlaceInterleaved spreads producers and consumers across nodes in
+	// pairs, so each node hosts a balanced mix — the paper's standard
+	// setup ("two producers and two consumers running on each
+	// processor", Fig. 1.1).
+	PlaceInterleaved PlacementPolicy = iota
+	// PlacePacked fills node 0 first, then node 1, and so on; producers
+	// first, consumers after. Maximises remote traffic and serves as the
+	// adversarial placement in tests.
+	PlacePacked
+	// PlaceRandomish deals threads round-robin over all cores ignoring
+	// node structure, approximating the paper's "OS affinity" run
+	// (§1.6.5) where the scheduler may place threads anywhere.
+	PlaceRandomish
+)
+
+// Place computes a placement of nProducers and nConsumers onto t. Cores are
+// shared when threads outnumber cores (the paper never oversubscribes, but
+// the simulator tolerates it).
+func Place(t *Topology, nProducers, nConsumers int, policy PlacementPolicy) *Placement {
+	p := &Placement{
+		Topo:          t,
+		ProducerCores: make([]int, nProducers),
+		ConsumerCores: make([]int, nConsumers),
+	}
+	cores := t.NumCores()
+	switch policy {
+	case PlaceInterleaved:
+		// Alternate consumer/producer on consecutive cores, walking
+		// node by node: node0 gets cons0, prod0, cons1, prod1, ...
+		ci, pi := 0, 0
+		slot := 0
+		for ci < nConsumers || pi < nProducers {
+			core := orderNodeMajor(t, slot%cores)
+			if slot%2 == 0 && ci < nConsumers {
+				p.ConsumerCores[ci] = core
+				ci++
+			} else if pi < nProducers {
+				p.ProducerCores[pi] = core
+				pi++
+			} else {
+				p.ConsumerCores[ci] = core
+				ci++
+			}
+			slot++
+		}
+	case PlacePacked:
+		for i := 0; i < nProducers; i++ {
+			p.ProducerCores[i] = orderNodeMajor(t, i%cores)
+		}
+		for i := 0; i < nConsumers; i++ {
+			p.ConsumerCores[i] = orderNodeMajor(t, (nProducers+i)%cores)
+		}
+	case PlaceRandomish:
+		// Deterministic pseudo-shuffle: stride by a unit coprime with
+		// the core count so consecutive threads land on far-apart
+		// cores regardless of node boundaries.
+		stride := coprimeStride(cores)
+		for i := 0; i < nProducers; i++ {
+			p.ProducerCores[i] = (i * stride) % cores
+		}
+		for i := 0; i < nConsumers; i++ {
+			p.ConsumerCores[i] = ((nProducers + i) * stride) % cores
+		}
+	default:
+		panic("topology: unknown placement policy")
+	}
+	return p
+}
+
+// orderNodeMajor enumerates cores node by node: position k maps to the k-th
+// core when nodes are visited in order.
+func orderNodeMajor(t *Topology, k int) int {
+	for _, cores := range t.CoresOfNode {
+		if k < len(cores) {
+			return cores[k]
+		}
+		k -= len(cores)
+	}
+	panic("topology: core index out of range")
+}
+
+func coprimeStride(n int) int {
+	if n <= 2 {
+		return 1
+	}
+	for s := n/2 + 1; ; s++ {
+		if gcd(s, n) == 1 {
+			return s
+		}
+	}
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// ProducerNode returns the NUMA node hosting producer i.
+func (p *Placement) ProducerNode(i int) int { return p.Topo.NodeOfCore[p.ProducerCores[i]] }
+
+// ConsumerNode returns the NUMA node hosting consumer i.
+func (p *Placement) ConsumerNode(i int) int { return p.Topo.NodeOfCore[p.ConsumerCores[i]] }
+
+// AccessListFor returns the ids of all consumers sorted by distance from the
+// given core — the access list of the paper's management policy (§1.4).
+// Ties are broken by rotating on the querying core id so that co-located
+// threads do not all hammer the same first consumer.
+func (p *Placement) AccessListFor(core int) []int {
+	myNode := p.Topo.NodeOfCore[core]
+	ids := make([]int, len(p.ConsumerCores))
+	for i := range ids {
+		ids[i] = i
+	}
+	dist := func(cons int) int {
+		return p.Topo.Distance[myNode][p.ConsumerNode(cons)]
+	}
+	n := len(ids)
+	sort.SliceStable(ids, func(a, b int) bool {
+		da, db := dist(ids[a]), dist(ids[b])
+		if da != db {
+			return da < db
+		}
+		// Rotate equal-distance consumers by the querying core id.
+		ra := (ids[a] + n - core%max(n, 1)) % max(n, 1)
+		rb := (ids[b] + n - core%max(n, 1)) % max(n, 1)
+		return ra < rb
+	})
+	return ids
+}
+
+// ProducerAccessList returns producer i's access list.
+func (p *Placement) ProducerAccessList(i int) []int {
+	return p.AccessListFor(p.ProducerCores[i])
+}
+
+// ConsumerAccessList returns consumer i's access list with the consumer
+// itself moved to the front (a consumer always serves its own pool first;
+// the remaining order governs stealing).
+func (p *Placement) ConsumerAccessList(i int) []int {
+	list := p.AccessListFor(p.ConsumerCores[i])
+	// Move self to front preserving the rest of the order.
+	for k, id := range list {
+		if id == i {
+			copy(list[1:k+1], list[:k])
+			list[0] = i
+			break
+		}
+	}
+	return list
+}

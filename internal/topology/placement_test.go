@@ -1,0 +1,156 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPlaceInterleavedBalancesNodes(t *testing.T) {
+	topo := Synthetic(4, 4)
+	p := Place(topo, 8, 8, PlaceInterleaved)
+	// Every node should host exactly 2 producers and 2 consumers.
+	prodPerNode := make([]int, 4)
+	consPerNode := make([]int, 4)
+	for i := 0; i < 8; i++ {
+		prodPerNode[p.ProducerNode(i)]++
+		consPerNode[p.ConsumerNode(i)]++
+	}
+	for n := 0; n < 4; n++ {
+		if prodPerNode[n] != 2 || consPerNode[n] != 2 {
+			t.Errorf("node %d hosts %d producers / %d consumers, want 2/2",
+				n, prodPerNode[n], consPerNode[n])
+		}
+	}
+}
+
+func TestPlacePackedFillsInOrder(t *testing.T) {
+	topo := Synthetic(2, 4)
+	p := Place(topo, 4, 4, PlacePacked)
+	for i := 0; i < 4; i++ {
+		if p.ProducerNode(i) != 0 {
+			t.Errorf("packed producer %d on node %d, want 0", i, p.ProducerNode(i))
+		}
+		if p.ConsumerNode(i) != 1 {
+			t.Errorf("packed consumer %d on node %d, want 1", i, p.ConsumerNode(i))
+		}
+	}
+}
+
+func TestPlaceOversubscription(t *testing.T) {
+	topo := Synthetic(1, 2)
+	p := Place(topo, 5, 5, PlaceInterleaved)
+	for i := 0; i < 5; i++ {
+		if c := p.ProducerCores[i]; c < 0 || c >= 2 {
+			t.Errorf("producer %d on non-existent core %d", i, c)
+		}
+		if c := p.ConsumerCores[i]; c < 0 || c >= 2 {
+			t.Errorf("consumer %d on non-existent core %d", i, c)
+		}
+	}
+}
+
+func TestAccessListSortedByDistance(t *testing.T) {
+	topo := Synthetic(4, 2)
+	p := Place(topo, 8, 8, PlaceInterleaved)
+	for i := 0; i < 8; i++ {
+		al := p.ProducerAccessList(i)
+		if len(al) != 8 {
+			t.Fatalf("producer %d: access list has %d entries, want 8", i, len(al))
+		}
+		node := p.ProducerNode(i)
+		lastDist := -1
+		seen := make(map[int]bool)
+		for _, cons := range al {
+			if seen[cons] {
+				t.Fatalf("producer %d: consumer %d listed twice", i, cons)
+			}
+			seen[cons] = true
+			d := topo.Distance[node][p.ConsumerNode(cons)]
+			if d < lastDist {
+				t.Fatalf("producer %d: access list not sorted (dist %d after %d)", i, d, lastDist)
+			}
+			lastDist = d
+		}
+		// The nearest consumer must be on the producer's own node (the
+		// interleaved placement guarantees one exists).
+		if p.ConsumerNode(al[0]) != node {
+			t.Errorf("producer %d prefers consumer on node %d, own node %d",
+				i, p.ConsumerNode(al[0]), node)
+		}
+	}
+}
+
+func TestConsumerAccessListSelfFirst(t *testing.T) {
+	topo := Synthetic(4, 2)
+	p := Place(topo, 8, 8, PlaceInterleaved)
+	for i := 0; i < 8; i++ {
+		al := p.ConsumerAccessList(i)
+		if al[0] != i {
+			t.Errorf("consumer %d access list starts with %d", i, al[0])
+		}
+		seen := make(map[int]bool)
+		for _, c := range al {
+			if seen[c] {
+				t.Errorf("consumer %d: duplicate entry %d", i, c)
+			}
+			seen[c] = true
+		}
+		if len(seen) != 8 {
+			t.Errorf("consumer %d: %d unique entries, want 8", i, len(seen))
+		}
+	}
+}
+
+func TestTieBreakSpreadsFirstChoice(t *testing.T) {
+	// On a single-node machine all distances tie; co-located producers
+	// must not all pick the same first consumer.
+	topo := UMA(8)
+	p := Place(topo, 8, 8, PlaceInterleaved)
+	first := make(map[int]int)
+	for i := 0; i < 8; i++ {
+		first[p.ProducerAccessList(i)[0]]++
+	}
+	if len(first) < 2 {
+		t.Errorf("all producers target the same first consumer: %v", first)
+	}
+}
+
+func TestQuickPlacementAlwaysComplete(t *testing.T) {
+	f := func(nodes, cores, prods, conss uint8) bool {
+		n := int(nodes%6) + 1
+		c := int(cores%4) + 1
+		np := int(prods%16) + 1
+		nc := int(conss%16) + 1
+		for _, pol := range []PlacementPolicy{PlaceInterleaved, PlacePacked, PlaceRandomish} {
+			p := Place(Synthetic(n, c), np, nc, pol)
+			if len(p.ProducerCores) != np || len(p.ConsumerCores) != nc {
+				return false
+			}
+			for _, core := range p.ProducerCores {
+				if core < 0 || core >= n*c {
+					return false
+				}
+			}
+			for _, core := range p.ConsumerCores {
+				if core < 0 || core >= n*c {
+					return false
+				}
+			}
+			for i := 0; i < np; i++ {
+				if len(p.ProducerAccessList(i)) != nc {
+					return false
+				}
+			}
+			for i := 0; i < nc; i++ {
+				al := p.ConsumerAccessList(i)
+				if len(al) != nc || al[0] != i {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

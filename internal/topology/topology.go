@@ -1,0 +1,255 @@
+// Package topology models the NUMA machine layout that drives SALSA's
+// management policy (paper §1.4, Figure 1.1).
+//
+// The policy needs exactly two things from the hardware: (1) a placement of
+// threads onto cores grouped into NUMA nodes, and (2) a distance relation
+// between nodes, so each producer and consumer can be given an access list —
+// all consumers sorted by distance from that thread. Both are captured by
+// Topology. On Linux the real layout can be discovered from sysfs
+// (Discover); everywhere else, and for the simulated-interconnect
+// experiments, synthetic topologies reproduce the paper's 8-socket ×
+// 4-core AMD machine (Paper32) or any nodes×cores grid (Synthetic).
+package topology
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Topology describes a machine: cores grouped into NUMA nodes and a
+// symmetric node distance matrix. Distances follow the ACPI SLIT
+// convention: local distance is 10, remote distances are larger.
+type Topology struct {
+	// NodeOfCore maps core id -> NUMA node id.
+	NodeOfCore []int
+	// CoresOfNode maps node id -> core ids on that node, ascending.
+	CoresOfNode [][]int
+	// Distance[i][j] is the access distance from node i to node j.
+	Distance [][]int
+}
+
+// NumCores returns the number of cores in the topology.
+func (t *Topology) NumCores() int { return len(t.NodeOfCore) }
+
+// NumNodes returns the number of NUMA nodes.
+func (t *Topology) NumNodes() int { return len(t.CoresOfNode) }
+
+// Validate checks internal consistency: every core belongs to exactly one
+// node, the distance matrix is square with zero-free diagonal-minimal
+// entries, and node ids are dense.
+func (t *Topology) Validate() error {
+	if len(t.CoresOfNode) == 0 {
+		return fmt.Errorf("topology: no nodes")
+	}
+	if len(t.Distance) != len(t.CoresOfNode) {
+		return fmt.Errorf("topology: distance matrix has %d rows for %d nodes",
+			len(t.Distance), len(t.CoresOfNode))
+	}
+	seen := make([]bool, len(t.NodeOfCore))
+	for node, cores := range t.CoresOfNode {
+		for _, c := range cores {
+			if c < 0 || c >= len(t.NodeOfCore) {
+				return fmt.Errorf("topology: node %d lists core %d out of range", node, c)
+			}
+			if seen[c] {
+				return fmt.Errorf("topology: core %d appears in two nodes", c)
+			}
+			seen[c] = true
+			if t.NodeOfCore[c] != node {
+				return fmt.Errorf("topology: core %d mapped to node %d but listed under %d",
+					c, t.NodeOfCore[c], node)
+			}
+		}
+	}
+	for i, c := range seen {
+		if !c {
+			return fmt.Errorf("topology: core %d belongs to no node", i)
+		}
+	}
+	for i, row := range t.Distance {
+		if len(row) != len(t.Distance) {
+			return fmt.Errorf("topology: distance row %d has %d entries", i, len(row))
+		}
+		for j, d := range row {
+			if d <= 0 {
+				return fmt.Errorf("topology: non-positive distance [%d][%d]=%d", i, j, d)
+			}
+			if d < row[i] {
+				return fmt.Errorf("topology: remote distance [%d][%d]=%d below local %d",
+					i, j, d, row[i])
+			}
+		}
+	}
+	return nil
+}
+
+// Synthetic builds a topology with nodes × coresPerNode cores. Remote
+// distance grows with ring distance between node ids, mimicking a
+// point-to-point interconnect (HyperTransport-style) where some sockets are
+// two hops apart.
+func Synthetic(nodes, coresPerNode int) *Topology {
+	if nodes <= 0 || coresPerNode <= 0 {
+		panic("topology: nodes and coresPerNode must be positive")
+	}
+	t := &Topology{
+		NodeOfCore:  make([]int, nodes*coresPerNode),
+		CoresOfNode: make([][]int, nodes),
+		Distance:    make([][]int, nodes),
+	}
+	for n := 0; n < nodes; n++ {
+		cores := make([]int, coresPerNode)
+		for c := 0; c < coresPerNode; c++ {
+			id := n*coresPerNode + c
+			cores[c] = id
+			t.NodeOfCore[id] = n
+		}
+		t.CoresOfNode[n] = cores
+		t.Distance[n] = make([]int, nodes)
+		for m := 0; m < nodes; m++ {
+			hops := n - m
+			if hops < 0 {
+				hops = -hops
+			}
+			if other := nodes - hops; other < hops {
+				hops = other // ring distance
+			}
+			t.Distance[n][m] = 10 + 6*hops
+		}
+	}
+	return t
+}
+
+// Paper32 reproduces the evaluation machine of the paper: 8 sockets of 4
+// cores (32 cores total) with memory attached to every socket (§1.6.2).
+func Paper32() *Topology { return Synthetic(8, 4) }
+
+// UMA returns a single-node topology with n cores — the degenerate case in
+// which all access lists coincide and the policy reduces to plain work
+// stealing.
+func UMA(n int) *Topology { return Synthetic(1, n) }
+
+// Discover reads the machine topology from Linux sysfs
+// (/sys/devices/system/node). It returns an error on other platforms or
+// when sysfs is unavailable; callers fall back to Synthetic.
+func Discover() (*Topology, error) { return discoverSysfs("/sys/devices/system/node") }
+
+func discoverSysfs(root string) (*Topology, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("topology: sysfs unavailable: %w", err)
+	}
+	var nodeIDs []int
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "node") {
+			if id, err := strconv.Atoi(name[4:]); err == nil {
+				nodeIDs = append(nodeIDs, id)
+			}
+		}
+	}
+	if len(nodeIDs) == 0 {
+		return nil, fmt.Errorf("topology: no NUMA nodes under %s", root)
+	}
+	sort.Ints(nodeIDs)
+	// Require dense node ids to keep the matrix simple; sparse ids are
+	// compacted.
+	idx := make(map[int]int, len(nodeIDs))
+	for i, id := range nodeIDs {
+		idx[id] = i
+	}
+	t := &Topology{
+		CoresOfNode: make([][]int, len(nodeIDs)),
+		Distance:    make([][]int, len(nodeIDs)),
+	}
+	maxCore := -1
+	coresByNode := make([][]int, len(nodeIDs))
+	for i, id := range nodeIDs {
+		listPath := fmt.Sprintf("%s/node%d/cpulist", root, id)
+		data, err := os.ReadFile(listPath)
+		if err != nil {
+			return nil, fmt.Errorf("topology: %w", err)
+		}
+		cores, err := ParseCPUList(strings.TrimSpace(string(data)))
+		if err != nil {
+			return nil, err
+		}
+		coresByNode[i] = cores
+		for _, c := range cores {
+			if c > maxCore {
+				maxCore = c
+			}
+		}
+		distPath := fmt.Sprintf("%s/node%d/distance", root, id)
+		ddata, err := os.ReadFile(distPath)
+		if err != nil {
+			return nil, fmt.Errorf("topology: %w", err)
+		}
+		fields := strings.Fields(string(ddata))
+		if len(fields) < len(nodeIDs) {
+			return nil, fmt.Errorf("topology: node%d distance row too short", id)
+		}
+		row := make([]int, len(nodeIDs))
+		for j := range nodeIDs {
+			d, err := strconv.Atoi(fields[j])
+			if err != nil {
+				return nil, fmt.Errorf("topology: bad distance %q: %w", fields[j], err)
+			}
+			row[j] = d
+		}
+		t.Distance[idx[id]] = row
+	}
+	t.NodeOfCore = make([]int, maxCore+1)
+	for i := range t.NodeOfCore {
+		t.NodeOfCore[i] = -1
+	}
+	for n, cores := range coresByNode {
+		t.CoresOfNode[n] = cores
+		for _, c := range cores {
+			t.NodeOfCore[c] = n
+		}
+	}
+	for c, n := range t.NodeOfCore {
+		if n == -1 {
+			return nil, fmt.Errorf("topology: core %d belongs to no node", c)
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ParseCPUList parses the Linux cpulist syntax, e.g. "0-3,8,10-11".
+func ParseCPUList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err1 := strconv.Atoi(lo)
+			b, err2 := strconv.Atoi(hi)
+			if err1 != nil || err2 != nil || a > b {
+				return nil, fmt.Errorf("topology: bad cpulist range %q", part)
+			}
+			for c := a; c <= b; c++ {
+				out = append(out, c)
+			}
+			continue
+		}
+		c, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("topology: bad cpulist entry %q", part)
+		}
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out, nil
+}

@@ -1,0 +1,161 @@
+package topology
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSyntheticShape(t *testing.T) {
+	topo := Synthetic(8, 4)
+	if topo.NumNodes() != 8 || topo.NumCores() != 32 {
+		t.Fatalf("got %d nodes / %d cores, want 8/32", topo.NumNodes(), topo.NumCores())
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Local distance is minimal, ring distance symmetric.
+	for i := 0; i < 8; i++ {
+		if topo.Distance[i][i] != 10 {
+			t.Errorf("local distance [%d][%d] = %d, want 10", i, i, topo.Distance[i][i])
+		}
+		for j := 0; j < 8; j++ {
+			if topo.Distance[i][j] != topo.Distance[j][i] {
+				t.Errorf("asymmetric distance [%d][%d]", i, j)
+			}
+		}
+	}
+	// Node 0 and node 4 are 4 hops apart on the 8-ring.
+	if topo.Distance[0][4] != 10+6*4 {
+		t.Errorf("Distance[0][4] = %d, want %d", topo.Distance[0][4], 10+6*4)
+	}
+	// Node 0 and node 7 are adjacent on the ring.
+	if topo.Distance[0][7] != 16 {
+		t.Errorf("Distance[0][7] = %d, want 16", topo.Distance[0][7])
+	}
+}
+
+func TestPaper32MatchesEvaluationMachine(t *testing.T) {
+	topo := Paper32()
+	if topo.NumNodes() != 8 || topo.NumCores() != 32 {
+		t.Fatalf("Paper32 is %d nodes / %d cores, want the paper's 8/32",
+			topo.NumNodes(), topo.NumCores())
+	}
+}
+
+func TestUMA(t *testing.T) {
+	topo := UMA(6)
+	if topo.NumNodes() != 1 || topo.NumCores() != 6 {
+		t.Fatalf("UMA(6) = %d nodes / %d cores", topo.NumNodes(), topo.NumCores())
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	good := Synthetic(2, 2)
+	cases := map[string]func(*Topology){
+		"core in two nodes":     func(tp *Topology) { tp.CoresOfNode[1] = []int{0, 3} },
+		"orphan core":           func(tp *Topology) { tp.CoresOfNode[0] = []int{0} },
+		"bad mapping":           func(tp *Topology) { tp.NodeOfCore[0] = 1 },
+		"short distance row":    func(tp *Topology) { tp.Distance[0] = []int{10} },
+		"non-positive distance": func(tp *Topology) { tp.Distance[0][1] = 0 },
+		"remote below local":    func(tp *Topology) { tp.Distance[0][1] = 5 },
+	}
+	for name, corrupt := range cases {
+		tp := Synthetic(2, 2)
+		corrupt(tp)
+		if err := tp.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted corrupted topology", name)
+		}
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("control: %v", err)
+	}
+}
+
+func TestParseCPUList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+	}{
+		{"", nil},
+		{"0", []int{0}},
+		{"0-3", []int{0, 1, 2, 3}},
+		{"0-1,4,6-7", []int{0, 1, 4, 6, 7}},
+		{"3,1", []int{1, 3}},
+	}
+	for _, c := range cases {
+		got, err := ParseCPUList(c.in)
+		if err != nil {
+			t.Errorf("ParseCPUList(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseCPUList(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"x", "3-1", "1-", "-2"} {
+		if _, err := ParseCPUList(bad); err == nil {
+			t.Errorf("ParseCPUList(%q) accepted", bad)
+		}
+	}
+}
+
+// TestDiscoverSysfs builds a fake sysfs tree mirroring a 2-node machine and
+// checks discovery end to end.
+func TestDiscoverSysfs(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, content string) {
+		p := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("node0/cpulist", "0-1\n")
+	write("node0/distance", "10 21\n")
+	write("node1/cpulist", "2-3\n")
+	write("node1/distance", "21 10\n")
+
+	topo, err := discoverSysfs(root)
+	if err != nil {
+		t.Fatalf("discoverSysfs: %v", err)
+	}
+	if topo.NumNodes() != 2 || topo.NumCores() != 4 {
+		t.Fatalf("discovered %d nodes / %d cores", topo.NumNodes(), topo.NumCores())
+	}
+	if topo.NodeOfCore[2] != 1 {
+		t.Errorf("core 2 on node %d, want 1", topo.NodeOfCore[2])
+	}
+	if topo.Distance[0][1] != 21 {
+		t.Errorf("Distance[0][1] = %d, want 21", topo.Distance[0][1])
+	}
+}
+
+func TestDiscoverSysfsErrors(t *testing.T) {
+	if _, err := discoverSysfs(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing root accepted")
+	}
+	root := t.TempDir()
+	os.MkdirAll(filepath.Join(root, "node0"), 0o755)
+	if _, err := discoverSysfs(root); err == nil {
+		t.Error("node without cpulist accepted")
+	}
+}
+
+func TestQuickSyntheticAlwaysValid(t *testing.T) {
+	f := func(nodes, cores uint8) bool {
+		n := int(nodes%12) + 1
+		c := int(cores%8) + 1
+		return Synthetic(n, c).Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

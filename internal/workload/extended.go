@@ -1,0 +1,44 @@
+package workload
+
+import (
+	"fmt"
+
+	"salsa"
+)
+
+// extendedAlgorithms are the algorithms beyond the paper's evaluated set:
+// the related-work designs of §1.2 that this repository also implements.
+var extendedAlgorithms = []salsa.Algorithm{
+	salsa.SALSA, salsa.EDPool, salsa.WSCHUNKQ, salsa.WSBaskets,
+}
+
+// FigExtended runs the Figure 1.4(a) sweep over the extended baseline set —
+// ED-Pool (Afek et al.), the Gidenstam-style chunk queue and the Baskets
+// Queue — against SALSA. Not a figure from the paper; it makes the §1.2
+// related-work discussion measurable.
+func FigExtended(o FigureOptions) (Figure, error) {
+	o = o.withDefaults()
+	fig := Figure{
+		ID:     "ext-baselines",
+		Title:  "Extended related-work baselines — N producers, N consumers",
+		XLabel: "threads (producers+consumers)",
+		YLabel: "1000 tasks/msec",
+	}
+	for _, alg := range extendedAlgorithms {
+		s := Series{Name: alg.String()}
+		for _, n := range threadSteps(o.MaxThreads/2, o.Quick) {
+			r, err := runMedian(Config{
+				Algorithm: alg,
+				Producers: n,
+				Consumers: n,
+				Duration:  o.Duration,
+			}, o.Trials)
+			if err != nil {
+				return fig, err
+			}
+			s.Points = append(s.Points, point(fmt.Sprintf("%d", 2*n), r))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

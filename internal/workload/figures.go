@@ -1,0 +1,435 @@
+package workload
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"salsa"
+	"salsa/internal/numasim"
+)
+
+// Point is one measurement in a figure's series.
+type Point struct {
+	X          string  // x-axis label (thread count, ratio, chunk size)
+	Throughput float64 // 1000 tasks/msec, the paper's unit
+	CASPerGet  float64
+	Steals     int64
+	FastPath   float64 // fraction of retrievals on the CAS-free fast path
+	RemoteFrac float64 // fraction of transfers crossing NUMA nodes
+	LinkWaitMs float64 // simulator: busiest-port queueing time (Fig 1.7)
+}
+
+// Series is one curve (one algorithm/configuration).
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is a reproduced evaluation figure.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// FigureOptions scales the sweeps to the host: the paper used a 32-core
+// machine and 20-second runs; the defaults here finish a full figure in
+// tens of seconds on a laptop/container.
+type FigureOptions struct {
+	Duration   time.Duration // per point; default 250 ms
+	MaxThreads int           // sweep ceiling; default 16 (paper: 32)
+	Quick      bool          // coarser sweeps for smoke runs
+	Trials     int           // runs per point, median taken; default 3
+}
+
+func (o FigureOptions) withDefaults() FigureOptions {
+	if o.Duration == 0 {
+		o.Duration = 250 * time.Millisecond
+	}
+	if o.MaxThreads == 0 {
+		o.MaxThreads = 16
+	}
+	if o.Trials <= 0 {
+		o.Trials = 3
+		if o.Quick {
+			o.Trials = 1
+		}
+	}
+	return o
+}
+
+// runMedian repeats a configuration `trials` times and returns the run with
+// the median consumed-task count — the paper averaged 5 runs per point
+// (§1.6.2); a median is more robust to scheduler hiccups on small hosts.
+func runMedian(cfg Config, trials int) (Result, error) {
+	if trials <= 1 {
+		return Run(cfg)
+	}
+	results := make([]Result, 0, trials)
+	for i := 0; i < trials; i++ {
+		r, err := Run(cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		results = append(results, r)
+	}
+	sort.Slice(results, func(a, b int) bool {
+		return results[a].Consumed < results[b].Consumed
+	})
+	return results[len(results)/2], nil
+}
+
+func point(x string, r Result) Point {
+	transfers := r.Stats.LocalTransfers + r.Stats.RemoteTransfers
+	remoteFrac := 0.0
+	if transfers > 0 {
+		remoteFrac = float64(r.Stats.RemoteTransfers) / float64(transfers)
+	}
+	return Point{
+		X:          x,
+		Throughput: r.ThroughputKTasksPerMs(),
+		CASPerGet:  r.CASPerGet(),
+		Steals:     r.Stats.Steals,
+		FastPath:   r.Stats.FastPathRatio(),
+		RemoteFrac: remoteFrac,
+		LinkWaitMs: float64(r.SimStats.BusiestLinkWait) / float64(time.Millisecond),
+	}
+}
+
+// paperAlgorithms are the five curves of Figures 1.4 and 1.5.
+var paperAlgorithms = []salsa.Algorithm{
+	salsa.SALSA, salsa.SALSACAS, salsa.ConcBag, salsa.WSMSQ, salsa.WSLIFO,
+}
+
+func threadSteps(max int, quick bool) []int {
+	all := []int{1, 2, 4, 6, 8, 10, 12, 14, 16}
+	if quick {
+		all = []int{1, 2, 4, 8, 16}
+	}
+	var out []int
+	for _, n := range all {
+		if n <= max {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Fig14a reproduces Figure 1.4(a): system throughput with N producers and
+// N consumers, for all five algorithms.
+func Fig14a(o FigureOptions) (Figure, error) {
+	o = o.withDefaults()
+	fig := Figure{
+		ID:     "fig1.4a",
+		Title:  "System throughput — N producers, N consumers",
+		XLabel: "threads (producers+consumers)",
+		YLabel: "1000 tasks/msec",
+	}
+	for _, alg := range paperAlgorithms {
+		s := Series{Name: alg.String()}
+		for _, n := range threadSteps(o.MaxThreads/2, o.Quick) {
+			r, err := runMedian(Config{
+				Algorithm: alg,
+				Producers: n,
+				Consumers: n,
+				Duration:  o.Duration,
+			}, o.Trials)
+			if err != nil {
+				return fig, err
+			}
+			s.Points = append(s.Points, point(fmt.Sprintf("%d", 2*n), r))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig14b reproduces Figure 1.4(b): throughput across producer/consumer
+// ratios at a fixed total thread count.
+func Fig14b(o FigureOptions) (Figure, error) {
+	o = o.withDefaults()
+	total := o.MaxThreads
+	if total < 4 {
+		total = 4
+	}
+	fig := Figure{
+		ID:     "fig1.4b",
+		Title:  fmt.Sprintf("System throughput — variable producer/consumer ratio (%d threads)", total),
+		XLabel: "producers/consumers",
+		YLabel: "1000 tasks/msec",
+	}
+	ratios := []float64{1.0 / 8, 1.0 / 4, 1.0 / 2, 1, 2, 4, 8}
+	if o.Quick {
+		ratios = []float64{1.0 / 4, 1, 4}
+	}
+	for _, alg := range paperAlgorithms {
+		s := Series{Name: alg.String()}
+		for _, ratio := range ratios {
+			prods := int(float64(total) * ratio / (1 + ratio))
+			if prods < 1 {
+				prods = 1
+			}
+			cons := total - prods
+			if cons < 1 {
+				cons = 1
+				prods = total - 1
+			}
+			r, err := runMedian(Config{
+				Algorithm: alg,
+				Producers: prods,
+				Consumers: cons,
+				Duration:  o.Duration,
+			}, o.Trials)
+			if err != nil {
+				return fig, err
+			}
+			s.Points = append(s.Points, point(fmt.Sprintf("%d/%d", prods, cons), r))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig15 reproduces Figures 1.5(a) and 1.5(b) in one sweep: a single
+// producer with N consumers; throughput and CAS-per-retrieval come from the
+// same runs (as in the paper).
+func Fig15(o FigureOptions) (Figure, Figure, error) {
+	o = o.withDefaults()
+	tput := Figure{
+		ID:     "fig1.5a",
+		Title:  "System throughput — 1 producer, N consumers",
+		XLabel: "consumers",
+		YLabel: "1000 tasks/msec",
+	}
+	casFig := Figure{
+		ID:     "fig1.5b",
+		Title:  "CAS operations per task retrieval — 1 producer, N consumers",
+		XLabel: "consumers",
+		YLabel: "CAS/task",
+	}
+	steps := threadSteps(o.MaxThreads-1, o.Quick)
+	for _, alg := range paperAlgorithms {
+		st := Series{Name: alg.String()}
+		sc := Series{Name: alg.String()}
+		for _, n := range steps {
+			r, err := runMedian(Config{
+				Algorithm: alg,
+				Producers: 1,
+				Consumers: n,
+				Duration:  o.Duration,
+			}, o.Trials)
+			if err != nil {
+				return tput, casFig, err
+			}
+			p := point(fmt.Sprintf("%d", n), r)
+			st.Points = append(st.Points, p)
+			sc.Points = append(sc.Points, p)
+		}
+		tput.Series = append(tput.Series, st)
+		casFig.Series = append(casFig.Series, sc)
+	}
+	return tput, casFig, nil
+}
+
+// Fig16 reproduces Figure 1.6: SALSA and SALSA+CAS with and without
+// producer-based balancing, single producer and N consumers.
+func Fig16(o FigureOptions) (Figure, error) {
+	o = o.withDefaults()
+	fig := Figure{
+		ID:     "fig1.6",
+		Title:  "Producer-based balancing ablation — 1 producer, N consumers",
+		XLabel: "consumers",
+		YLabel: "1000 tasks/msec",
+	}
+	variants := []struct {
+		name      string
+		alg       salsa.Algorithm
+		balancing bool
+	}{
+		{"SALSA", salsa.SALSA, true},
+		{"SALSA+CAS", salsa.SALSACAS, true},
+		{"SALSA no balancing", salsa.SALSA, false},
+		{"SALSA+CAS no balancing", salsa.SALSACAS, false},
+	}
+	for _, v := range variants {
+		s := Series{Name: v.name}
+		for _, n := range threadSteps(o.MaxThreads-1, o.Quick) {
+			r, err := runMedian(Config{
+				Algorithm:        v.alg,
+				Producers:        1,
+				Consumers:        n,
+				Duration:         o.Duration,
+				DisableBalancing: !v.balancing,
+			}, o.Trials)
+			if err != nil {
+				return fig, err
+			}
+			s.Points = append(s.Points, point(fmt.Sprintf("%d", n), r))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig17 reproduces Figure 1.7: the impact of scheduling and allocation,
+// replayed on the simulated NUMA interconnect (see DESIGN.md §4). Three
+// variants: NUMA-aware SALSA, SALSA with scattered (OS-like) thread
+// placement, and SALSA with every chunk allocated on node 0.
+//
+// The throughput plotted is a deterministic projection rather than wall
+// time: the workload runs with the simulator in accounting-only mode,
+// which records how much transfer time each interconnect port and memory
+// bank would have carried; modelled elapsed time is then
+//
+//	max(ideal-parallel compute time, busiest port occupancy, busiest bank occupancy)
+//
+// Compute scales perfectly with threads (that is what Figures 1.4/1.5 show
+// SALSA doing on real hardware), so the only thing that can bend the curve
+// is the memory system — exactly the paper's point: central allocation
+// funnels every transfer through node 0's port and stops scaling when that
+// port saturates, while spread traffic (local alloc, or random placement)
+// never saturates any single port.
+func Fig17(o FigureOptions) (Figure, error) {
+	o = o.withDefaults()
+	fig := Figure{
+		ID:     "fig1.7",
+		Title:  "Impact of scheduling and allocation (simulated interconnect, projected)",
+		XLabel: "threads (producers+consumers)",
+		YLabel: "1000 tasks/msec (modelled)",
+	}
+	variants := []struct {
+		name      string
+		placement salsa.Placement
+		alloc     salsa.AllocationPolicy
+	}{
+		{"SALSA", salsa.PlacementInterleaved, salsa.AllocLocal},
+		{"SALSA (OS affinity)", salsa.PlacementScattered, salsa.AllocLocal},
+		{"SALSA (central alloc)", salsa.PlacementInterleaved, salsa.AllocCentral},
+	}
+	for _, v := range variants {
+		s := Series{Name: v.name}
+		for _, n := range threadSteps(o.MaxThreads/2, o.Quick) {
+			r, err := runMedian(Config{
+				Algorithm:  salsa.SALSA,
+				Producers:  n,
+				Consumers:  n,
+				Duration:   o.Duration,
+				Placement:  v.placement,
+				Allocation: v.alloc,
+				Simulate:   true,
+				SimParams:  numasim.Params{AccountingOnly: true},
+			}, o.Trials)
+			if err != nil {
+				return fig, err
+			}
+			p := point(fmt.Sprintf("%d", 2*n), r)
+			p.Throughput = projectedThroughput(r, 2*n)
+			p.LinkWaitMs = float64(r.SimStats.BusiestLinkBusy) / float64(time.Millisecond)
+			s.Points = append(s.Points, p)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// projectedThroughput converts an accounting-mode run into modelled
+// 1000-tasks/ms on an ideal `threads`-core machine bounded by the simulated
+// memory system.
+func projectedThroughput(r Result, threads int) float64 {
+	procs := runtime.GOMAXPROCS(0)
+	if procs > threads {
+		procs = threads
+	}
+	cpuNs := float64(r.Elapsed.Nanoseconds()) * float64(procs)
+	idealComputeNs := cpuNs / float64(threads)
+	modelled := idealComputeNs
+	if b := float64(r.SimStats.BusiestLinkBusy.Nanoseconds()); b > modelled {
+		modelled = b
+	}
+	if b := float64(r.SimStats.BusiestBankBusy.Nanoseconds()); b > modelled {
+		modelled = b
+	}
+	if modelled == 0 {
+		return 0
+	}
+	ms := modelled / float64(time.Millisecond)
+	return float64(r.Consumed) / ms / 1000
+}
+
+// Fig18 reproduces Figure 1.8: throughput as a function of the chunk size
+// for the chunk-based algorithms, at a balanced thread count.
+func Fig18(o FigureOptions) (Figure, error) {
+	o = o.withDefaults()
+	n := o.MaxThreads / 2
+	if n < 1 {
+		n = 1
+	}
+	fig := Figure{
+		ID:     "fig1.8",
+		Title:  fmt.Sprintf("System throughput vs chunk size — %d/%d workload", n, n),
+		XLabel: "tasks per chunk",
+		YLabel: "1000 tasks/msec",
+	}
+	sizes := []int{16, 32, 64, 128, 256, 512, 1000, 2000}
+	if o.Quick {
+		sizes = []int{16, 128, 1000}
+	}
+	for _, alg := range []salsa.Algorithm{salsa.SALSA, salsa.SALSACAS, salsa.ConcBag} {
+		s := Series{Name: alg.String()}
+		for _, size := range sizes {
+			r, err := runMedian(Config{
+				Algorithm: alg,
+				Producers: n,
+				Consumers: n,
+				ChunkSize: size,
+				Duration:  o.Duration,
+			}, o.Trials)
+			if err != nil {
+				return fig, err
+			}
+			s.Points = append(s.Points, point(fmt.Sprintf("%d", size), r))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// AllFigures runs every reproduced figure in order.
+func AllFigures(o FigureOptions) ([]Figure, error) {
+	var out []Figure
+	f14a, err := Fig14a(o)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, f14a)
+	f14b, err := Fig14b(o)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, f14b)
+	f15a, f15b, err := Fig15(o)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, f15a, f15b)
+	f16, err := Fig16(o)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, f16)
+	f17, err := Fig17(o)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, f17)
+	f18, err := Fig18(o)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, f18)
+	return out, nil
+}

@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func quickOpts() FigureOptions {
+	return FigureOptions{
+		Duration:   10 * time.Millisecond,
+		MaxThreads: 4,
+		Quick:      true,
+	}
+}
+
+func checkFigure(t *testing.T, fig Figure, wantSeries int) {
+	t.Helper()
+	if fig.ID == "" || fig.Title == "" || fig.XLabel == "" || fig.YLabel == "" {
+		t.Errorf("%s: missing labels: %+v", fig.ID, fig)
+	}
+	if len(fig.Series) != wantSeries {
+		t.Fatalf("%s: %d series, want %d", fig.ID, len(fig.Series), wantSeries)
+	}
+	for _, s := range fig.Series {
+		if s.Name == "" {
+			t.Errorf("%s: unnamed series", fig.ID)
+		}
+		if len(s.Points) == 0 {
+			t.Errorf("%s/%s: no points", fig.ID, s.Name)
+		}
+		for _, p := range s.Points {
+			if p.X == "" {
+				t.Errorf("%s/%s: point without x label", fig.ID, s.Name)
+			}
+			if p.Throughput < 0 || p.CASPerGet < 0 {
+				t.Errorf("%s/%s: negative measurement %+v", fig.ID, s.Name, p)
+			}
+		}
+	}
+}
+
+func TestFig14a(t *testing.T) {
+	fig, err := Fig14a(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 5)
+}
+
+func TestFig14b(t *testing.T) {
+	fig, err := Fig14b(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 5)
+	// Ratio labels must be of the form p/c with both sides positive.
+	for _, p := range fig.Series[0].Points {
+		lhs, rhs, ok := strings.Cut(p.X, "/")
+		if !ok {
+			t.Fatalf("bad ratio label %q", p.X)
+		}
+		pr, err1 := strconv.Atoi(lhs)
+		co, err2 := strconv.Atoi(rhs)
+		if err1 != nil || err2 != nil || pr < 1 || co < 1 {
+			t.Errorf("degenerate ratio %q", p.X)
+		}
+	}
+}
+
+func TestFig16(t *testing.T) {
+	fig, err := Fig16(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 4)
+}
+
+func TestFig17(t *testing.T) {
+	fig, err := Fig17(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 3)
+	// The projection must be populated (modelled throughput > 0).
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			if p.Throughput <= 0 {
+				t.Errorf("fig1.7 %s @%s: non-positive projected throughput", s.Name, p.X)
+			}
+		}
+	}
+}
+
+func TestFig18(t *testing.T) {
+	fig, err := Fig18(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 3)
+}
+
+func TestAllFiguresQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep")
+	}
+	figs, err := AllFigures(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs := []string{"fig1.4a", "fig1.4b", "fig1.5a", "fig1.5b", "fig1.6", "fig1.7", "fig1.8"}
+	if len(figs) != len(wantIDs) {
+		t.Fatalf("AllFigures returned %d figures, want %d", len(figs), len(wantIDs))
+	}
+	for i, id := range wantIDs {
+		if figs[i].ID != id {
+			t.Errorf("figure %d = %s, want %s", i, figs[i].ID, id)
+		}
+	}
+}
+
+func TestRunMedianPicksMiddle(t *testing.T) {
+	// With one trial it degenerates to Run.
+	r, err := runMedian(Config{
+		Algorithm: 0, Producers: 1, Consumers: 1,
+		Duration: 5 * time.Millisecond,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Consumed == 0 {
+		t.Error("single-trial median consumed nothing")
+	}
+	r3, err := runMedian(Config{
+		Algorithm: 0, Producers: 1, Consumers: 1,
+		Duration: 5 * time.Millisecond,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Consumed == 0 {
+		t.Error("three-trial median consumed nothing")
+	}
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// RenderTable writes the figure as an aligned text table: one row per
+// x-value, one column per series — the same presentation as the paper's
+// plotted series. Figure 1.5(b) prints CAS/task; every other figure prints
+// throughput.
+func RenderTable(w io.Writer, fig Figure) error {
+	if _, err := fmt.Fprintf(w, "## %s — %s\n   x: %s   y: %s\n\n",
+		fig.ID, fig.Title, fig.XLabel, fig.YLabel); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-12s", fig.XLabel); err != nil {
+		return err
+	}
+	for _, s := range fig.Series {
+		if _, err := fmt.Fprintf(w, " %22s", s.Name); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w)
+
+	yOf := func(p Point) float64 {
+		if fig.ID == "fig1.5b" {
+			return p.CASPerGet
+		}
+		return p.Throughput
+	}
+	rows := 0
+	for _, s := range fig.Series {
+		if len(s.Points) > rows {
+			rows = len(s.Points)
+		}
+	}
+	for r := 0; r < rows; r++ {
+		label := ""
+		for _, s := range fig.Series {
+			if r < len(s.Points) {
+				label = s.Points[r].X
+				break
+			}
+		}
+		fmt.Fprintf(w, "%-12s", label)
+		for _, s := range fig.Series {
+			if r < len(s.Points) {
+				fmt.Fprintf(w, " %22.3f", yOf(s.Points[r]))
+			} else {
+				fmt.Fprintf(w, " %22s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+
+	// Auxiliary census rows: interpretation aids for hosts without real
+	// parallelism (see EXPERIMENTS.md).
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-12s", "aux")
+	for _, s := range fig.Series {
+		last := s.Points[len(s.Points)-1]
+		fmt.Fprintf(w, " %22s", fmt.Sprintf("cas/task %.2f", last.CASPerGet))
+	}
+	fmt.Fprintln(w)
+	if fig.ID == "fig1.7" {
+		fmt.Fprintf(w, "%-12s", "linkbusy")
+		for _, s := range fig.Series {
+			last := s.Points[len(s.Points)-1]
+			fmt.Fprintf(w, " %22s", fmt.Sprintf("%.1f ms", last.LinkWaitMs))
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "%-12s", "remote")
+		for _, s := range fig.Series {
+			last := s.Points[len(s.Points)-1]
+			fmt.Fprintf(w, " %22s", fmt.Sprintf("%.0f%%", last.RemoteFrac*100))
+		}
+		fmt.Fprintln(w)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV writes the figure's full point census as CSV.
+func WriteCSV(w io.Writer, fig Figure) error {
+	cw := csv.NewWriter(w)
+	header := []string{"series", "x", "throughput_ktasks_per_ms", "cas_per_get",
+		"steals", "fastpath_ratio", "remote_frac", "linkbusy_ms"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			rec := []string{
+				s.Name, p.X,
+				fmt.Sprintf("%.4f", p.Throughput),
+				fmt.Sprintf("%.4f", p.CASPerGet),
+				fmt.Sprintf("%d", p.Steals),
+				fmt.Sprintf("%.4f", p.FastPath),
+				fmt.Sprintf("%.4f", p.RemoteFrac),
+				fmt.Sprintf("%.4f", p.LinkWaitMs),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

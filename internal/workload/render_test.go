@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleFigure(id string) Figure {
+	return Figure{
+		ID:     id,
+		Title:  "Sample",
+		XLabel: "threads",
+		YLabel: "1000 tasks/msec",
+		Series: []Series{
+			{Name: "SALSA", Points: []Point{
+				{X: "2", Throughput: 1.25, CASPerGet: 0.01, Steals: 3, FastPath: 1, RemoteFrac: 0.1, LinkWaitMs: 0.5},
+				{X: "4", Throughput: 2.5, CASPerGet: 0.02, Steals: 9, FastPath: 0.99, RemoteFrac: 0.2, LinkWaitMs: 1.5},
+			}},
+			{Name: "WS-MSQ", Points: []Point{
+				{X: "2", Throughput: 0.5, CASPerGet: 3.2},
+			}},
+		},
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderTable(&sb, sampleFigure("fig1.4a")); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"## fig1.4a — Sample",
+		"SALSA", "WS-MSQ",
+		"1.250", "2.500", "0.500",
+		"cas/task 0.02", // aux row uses the series' last point
+		"cas/task 3.20",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Ragged series: the short series pads with '-'.
+	if !strings.Contains(out, "-") {
+		t.Errorf("ragged series not padded:\n%s", out)
+	}
+}
+
+func TestRenderTableFig15bUsesCAS(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderTable(&sb, sampleFigure("fig1.5b")); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "0.010") || !strings.Contains(out, "3.200") {
+		t.Errorf("fig1.5b must print CAS/task values:\n%s", out)
+	}
+}
+
+func TestRenderTableFig17AuxRows(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderTable(&sb, sampleFigure("fig1.7")); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"linkbusy", "1.5 ms", "remote", "20%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig1.7 aux row missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteCSV(&sb, sampleFigure("fig1.4a")); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + 3 points
+		t.Fatalf("CSV has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "series,x,throughput_ktasks_per_ms") {
+		t.Errorf("bad header: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "SALSA,2,1.2500") {
+		t.Errorf("bad first record: %s", lines[1])
+	}
+}

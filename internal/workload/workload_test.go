@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"salsa"
+)
+
+func TestRunBasic(t *testing.T) {
+	r, err := Run(Config{
+		Algorithm: salsa.SALSA,
+		Producers: 2,
+		Consumers: 2,
+		ChunkSize: 64,
+		Duration:  50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Consumed == 0 {
+		t.Fatal("no tasks consumed in a timed run")
+	}
+	if r.Produced < r.Consumed {
+		t.Fatalf("consumed %d > produced %d", r.Consumed, r.Produced)
+	}
+	if r.ThroughputKTasksPerMs() <= 0 {
+		t.Fatal("zero throughput reported")
+	}
+	if r.Stats.Puts < r.Consumed {
+		t.Fatalf("stats Puts %d below consumed %d", r.Stats.Puts, r.Consumed)
+	}
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	for _, alg := range []salsa.Algorithm{
+		salsa.SALSA, salsa.SALSACAS, salsa.ConcBag, salsa.WSMSQ, salsa.WSLIFO,
+	} {
+		r, err := Run(Config{
+			Algorithm: alg,
+			Producers: 1,
+			Consumers: 2,
+			ChunkSize: 32,
+			Duration:  30 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if r.Consumed == 0 {
+			t.Errorf("%v: nothing consumed", alg)
+		}
+	}
+}
+
+func TestRunWithSimulator(t *testing.T) {
+	r, err := Run(Config{
+		Algorithm:    salsa.SALSA,
+		Producers:    2,
+		Consumers:    2,
+		ChunkSize:    32,
+		NUMANodes:    4,
+		CoresPerNode: 2,
+		Duration:     50 * time.Millisecond,
+		Simulate:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SimStats.LocalAccesses+r.SimStats.RemoteAccesses == 0 {
+		t.Fatal("simulator saw no accesses")
+	}
+}
+
+func TestRunStalledConsumers(t *testing.T) {
+	r, err := Run(Config{
+		Algorithm:        salsa.SALSA,
+		Producers:        1,
+		Consumers:        3,
+		ChunkSize:        32,
+		Duration:         50 * time.Millisecond,
+		StalledConsumers: []int{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Consumed == 0 {
+		t.Fatal("stalled consumer blocked all consumption")
+	}
+	// Validation errors.
+	if _, err := Run(Config{Algorithm: salsa.SALSA, Producers: 1, Consumers: 1,
+		StalledConsumers: []int{0}, Duration: time.Millisecond}); err == nil {
+		t.Error("all-stalled configuration accepted")
+	}
+	if _, err := Run(Config{Algorithm: salsa.SALSA, Producers: 1, Consumers: 1,
+		StalledConsumers: []int{5}, Duration: time.Millisecond}); err == nil {
+		t.Error("out-of-range stalled id accepted")
+	}
+}
+
+func TestRunFixedConservesTasks(t *testing.T) {
+	for _, alg := range []salsa.Algorithm{salsa.SALSA, salsa.SALSACAS, salsa.WSMSQ} {
+		r, err := RunFixed(Config{
+			Algorithm: alg,
+			Producers: 2,
+			Consumers: 2,
+			ChunkSize: 32,
+		}, 2000)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if r.Consumed != 4000 {
+			t.Errorf("%v: consumed %d, want 4000", alg, r.Consumed)
+		}
+	}
+}
+
+func TestFigureSmoke(t *testing.T) {
+	// One quick figure end to end: shape, labels, and SALSA's low-CAS
+	// signature must be present.
+	o := FigureOptions{Duration: 60 * time.Millisecond, MaxThreads: 4, Quick: true}
+	tput, cas, err := Fig15(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tput.Series) != 5 || len(cas.Series) != 5 {
+		t.Fatalf("want 5 series, got %d/%d", len(tput.Series), len(cas.Series))
+	}
+	var salsaCAS, msqCAS float64
+	for _, s := range cas.Series {
+		last := s.Points[len(s.Points)-1]
+		switch s.Name {
+		case "SALSA":
+			salsaCAS = last.CASPerGet
+		case "WS-MSQ":
+			msqCAS = last.CASPerGet
+		}
+	}
+	// WS-MSQ costs at least one CAS per retrieval by construction;
+	// SALSA's fast path costs none. Allow slack for very short windows
+	// but the separation must be wide.
+	if msqCAS < 1 {
+		t.Errorf("WS-MSQ CAS/task = %v, want >= 1 by construction", msqCAS)
+	}
+	if salsaCAS >= msqCAS/2 {
+		t.Errorf("SALSA CAS/task (%v) should be far below WS-MSQ (%v)", salsaCAS, msqCAS)
+	}
+}
+
+func TestPointDerivations(t *testing.T) {
+	r := Result{
+		Elapsed:  time.Second,
+		Consumed: 2_000_000,
+	}
+	r.Stats.CAS = 1_000_000
+	r.Stats.LocalTransfers = 3
+	r.Stats.RemoteTransfers = 1
+	p := point("x", r)
+	if p.Throughput != 2.0 {
+		t.Errorf("Throughput = %v, want 2.0 (2e6 tasks / 1e3 ms / 1e3)", p.Throughput)
+	}
+	if p.CASPerGet != 0.5 {
+		t.Errorf("CASPerGet = %v, want 0.5", p.CASPerGet)
+	}
+	if p.RemoteFrac != 0.25 {
+		t.Errorf("RemoteFrac = %v, want 0.25", p.RemoteFrac)
+	}
+}

@@ -1,0 +1,129 @@
+package wsbase
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestChunkQOrdering(t *testing.T) {
+	p, err := New[task](0, 1, CHUNKQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, cs := prod(0), cons(0)
+	for i := 0; i < 200; i++ { // spans several segments
+		if !p.Produce(ps, &task{id: i}) {
+			t.Fatal("unbounded Produce failed")
+		}
+	}
+	for i := 0; i < 200; i++ {
+		got := p.Consume(cs)
+		if got == nil || got.id != i {
+			t.Fatalf("WS-ChunkQ order violated at %d: %v", i, got)
+		}
+	}
+	if !p.IsEmpty() {
+		t.Fatal("drained pool not empty")
+	}
+}
+
+func TestBasketsOrdering(t *testing.T) {
+	p, err := New[task](0, 1, BASKETS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, cs := prod(0), cons(0)
+	for i := 0; i < 100; i++ {
+		p.Produce(ps, &task{id: i})
+	}
+	for i := 0; i < 100; i++ {
+		got := p.Consume(cs)
+		if got == nil || got.id != i {
+			t.Fatalf("WS-Baskets order violated at %d: %v", i, got)
+		}
+	}
+}
+
+func TestExtendedDisciplinesStealAndIndicators(t *testing.T) {
+	for _, disc := range []Discipline{CHUNKQ, BASKETS} {
+		victim, _ := New[task](0, 2, disc)
+		thief, _ := New[task](1, 2, disc)
+		victim.Produce(prod(0), &task{id: 5})
+		victim.SetIndicator(1)
+		got := thief.Steal(cons(1), victim)
+		if got == nil || got.id != 5 {
+			t.Fatalf("disc %v: Steal = %v", disc, got)
+		}
+		if victim.CheckIndicator(1) {
+			t.Fatalf("disc %v: indicator survived a take", disc)
+		}
+		if !victim.IsEmpty() {
+			t.Fatalf("disc %v: victim not empty after steal", disc)
+		}
+	}
+}
+
+func TestExtendedDisciplinesConcurrent(t *testing.T) {
+	for _, disc := range []Discipline{CHUNKQ, BASKETS} {
+		pool, _ := New[task](0, 3, disc)
+		const (
+			producers = 2
+			consumers = 2
+			perProd   = 8000
+		)
+		var pwg sync.WaitGroup
+		for pi := 0; pi < producers; pi++ {
+			pwg.Add(1)
+			go func(pi int) {
+				defer pwg.Done()
+				ps := prod(pi)
+				for i := 0; i < perProd; i++ {
+					pool.Produce(ps, &task{id: pi*perProd + i})
+				}
+			}(pi)
+		}
+		results := make([][]*task, consumers)
+		stop := make(chan struct{})
+		var cwg sync.WaitGroup
+		for ci := 0; ci < consumers; ci++ {
+			cwg.Add(1)
+			go func(ci int) {
+				defer cwg.Done()
+				cs := cons(ci)
+				for {
+					if tk := pool.Consume(cs); tk != nil {
+						results[ci] = append(results[ci], tk)
+						continue
+					}
+					select {
+					case <-stop:
+						for {
+							tk := pool.Consume(cs)
+							if tk == nil {
+								return
+							}
+							results[ci] = append(results[ci], tk)
+						}
+					default:
+					}
+				}
+			}(ci)
+		}
+		pwg.Wait()
+		close(stop)
+		cwg.Wait()
+
+		seen := map[int]bool{}
+		for _, res := range results {
+			for _, tk := range res {
+				if seen[tk.id] {
+					t.Fatalf("disc %v: task %d twice", disc, tk.id)
+				}
+				seen[tk.id] = true
+			}
+		}
+		if len(seen) != producers*perProd {
+			t.Fatalf("disc %v: got %d unique, want %d", disc, len(seen), producers*perProd)
+		}
+	}
+}

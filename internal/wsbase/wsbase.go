@@ -1,0 +1,180 @@
+// Package wsbase provides the work-stealing baseline SCPools of the
+// paper's evaluation (§1.6.2): WS-MSQ, where each consumer's pool is a
+// Michael–Scott FIFO queue, and WS-LIFO, where it is a lock-free LIFO
+// stack. In both, consume() and steal() simply dequeue/pop — one task at a
+// time, at least one CAS per retrieval — so they isolate what SALSA's
+// chunk layout buys on top of plain per-consumer pools.
+//
+// The underlying queues are unbounded, so Produce never fails and
+// producer-based balancing does not engage for these baselines (same as in
+// the paper).
+package wsbase
+
+import (
+	"fmt"
+
+	"salsa/internal/basketsqueue"
+	"salsa/internal/indicator"
+	"salsa/internal/lifostack"
+	"salsa/internal/msqueue"
+	"salsa/internal/scpool"
+	"salsa/internal/segqueue"
+)
+
+// Discipline selects the pool order.
+type Discipline int
+
+const (
+	// FIFO is the WS-MSQ baseline.
+	FIFO Discipline = iota
+	// LIFO is the WS-LIFO baseline.
+	LIFO
+	// CHUNKQ is an extended baseline over the Gidenstam-style chunked
+	// FIFO queue (internal/segqueue): shared head/tail move once per
+	// chunk, but each element still costs at least one atomic RMW —
+	// the related-work design point of §1.2.
+	CHUNKQ
+	// BASKETS is an extended baseline over the Baskets Queue of Hoffman
+	// et al. (internal/basketsqueue): concurrent enqueues share a
+	// "basket" instead of re-contending for the tail (§1.2).
+	BASKETS
+)
+
+// Pool adapts a queue or stack to the SCPool interface.
+type Pool[T any] struct {
+	ownerIDv int
+	disc     Discipline
+	q        *msqueue.Queue[*T]
+	s        *lifostack.Stack[*T]
+	cq       *segqueue.Queue[T]
+	bq       *basketsqueue.Queue[*T]
+	ind      *indicator.Indicator
+}
+
+// New builds a pool for consumer ownerID using the given discipline,
+// supporting emptiness probes by `consumers` consumers.
+func New[T any](ownerID, consumers int, disc Discipline) (*Pool[T], error) {
+	if consumers <= 0 {
+		return nil, fmt.Errorf("wsbase: consumers must be positive")
+	}
+	p := &Pool[T]{ownerIDv: ownerID, disc: disc, ind: indicator.New(consumers)}
+	switch disc {
+	case FIFO:
+		p.q = msqueue.New[*T]()
+	case LIFO:
+		p.s = lifostack.New[*T]()
+	case CHUNKQ:
+		p.cq = segqueue.New[T](0)
+	case BASKETS:
+		p.bq = basketsqueue.New[*T]()
+	default:
+		return nil, fmt.Errorf("wsbase: unknown discipline %d", disc)
+	}
+	return p, nil
+}
+
+// OwnerID implements scpool.SCPool.
+func (p *Pool[T]) OwnerID() int { return p.ownerIDv }
+
+// Produce enqueues t. The pool is unbounded, so this never fails.
+func (p *Pool[T]) Produce(ps *scpool.ProducerState, t *T) bool {
+	if t == nil {
+		panic("wsbase: nil task")
+	}
+	// Michael–Scott enqueue: 2 CAS; Treiber push: 1 CAS (amortized, no
+	// contention). Count the characteristic attempts for the stats.
+	switch p.disc {
+	case FIFO:
+		ps.Ops.CAS.Add(2)
+		p.q.Enqueue(t)
+	case LIFO:
+		ps.Ops.CAS.Inc()
+		p.s.Push(t)
+	case CHUNKQ:
+		ps.Ops.CAS.Add(2) // cursor FAA + slot CAS
+		p.cq.Enqueue(t)
+	case BASKETS:
+		ps.Ops.CAS.Add(2) // link CAS + tail swing (or basket insert)
+		p.bq.Enqueue(t)
+	}
+	ps.Ops.Puts.Inc()
+	return true
+}
+
+// ProduceForce is identical to Produce for unbounded pools.
+func (p *Pool[T]) ProduceForce(ps *scpool.ProducerState, t *T) {
+	ps.Ops.ForcePuts.Inc()
+	p.Produce(ps, t)
+}
+
+// take dequeues one task, charging the consumer's counters and the
+// emptiness indicator.
+func (p *Pool[T]) take(cs *scpool.ConsumerState) *T {
+	var t *T
+	var ok bool
+	switch p.disc {
+	case FIFO:
+		t, ok = p.q.Dequeue()
+	case LIFO:
+		t, ok = p.s.Pop()
+	case CHUNKQ:
+		t, ok = p.cq.Dequeue()
+	case BASKETS:
+		t, ok = p.bq.Dequeue()
+	}
+	cs.Ops.CAS.Inc() // at least one CAS per attempt in both substrates
+	if !ok {
+		return nil
+	}
+	// Every take may have been the last: conservatively invalidate
+	// emptiness probes. (Detecting "was last" precisely on a shared
+	// queue would need another scan; one word store is cheaper.)
+	p.ind.Clear()
+	return t
+}
+
+// Consume dequeues from this pool.
+func (p *Pool[T]) Consume(cs *scpool.ConsumerState) *T {
+	t := p.take(cs)
+	if t != nil {
+		cs.Ops.SlowPath.Inc()
+	}
+	return t
+}
+
+// Steal dequeues one task from the victim — the WS-MSQ/WS-LIFO stealing
+// granularity is a single task, and the task is returned directly rather
+// than migrated (there is no locality to preserve in a shared queue).
+func (p *Pool[T]) Steal(cs *scpool.ConsumerState, victimPool scpool.SCPool[T]) *T {
+	victim, ok := victimPool.(*Pool[T])
+	if !ok {
+		panic("wsbase: Steal victim is not a wsbase pool")
+	}
+	cs.Ops.StealAttempts.Inc()
+	t := victim.take(cs)
+	if t != nil {
+		cs.Ops.Steals.Inc()
+		cs.Ops.SlowPath.Inc()
+	}
+	return t
+}
+
+// IsEmpty reports whether the queue/stack was observed empty.
+func (p *Pool[T]) IsEmpty() bool {
+	switch p.disc {
+	case FIFO:
+		return p.q.IsEmpty()
+	case CHUNKQ:
+		return p.cq.IsEmpty()
+	case BASKETS:
+		return p.bq.IsEmpty()
+	default:
+		return p.s.IsEmpty()
+	}
+}
+
+// SetIndicator implements the emptiness probe hook.
+func (p *Pool[T]) SetIndicator(id int) { p.ind.Set(id) }
+
+// CheckIndicator implements the emptiness probe hook.
+func (p *Pool[T]) CheckIndicator(id int) bool { return p.ind.Check(id) }

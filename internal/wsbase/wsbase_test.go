@@ -1,0 +1,192 @@
+package wsbase
+
+import (
+	"sync"
+	"testing"
+
+	"salsa/internal/scpool"
+)
+
+type task struct{ id int }
+
+func prod(id int) *scpool.ProducerState { return &scpool.ProducerState{ID: id} }
+func cons(id int) *scpool.ConsumerState { return &scpool.ConsumerState{ID: id} }
+
+func TestFIFOOrdering(t *testing.T) {
+	p, err := New[task](0, 1, FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, cs := prod(0), cons(0)
+	for i := 0; i < 10; i++ {
+		if !p.Produce(ps, &task{id: i}) {
+			t.Fatal("unbounded Produce failed")
+		}
+	}
+	for i := 0; i < 10; i++ {
+		got := p.Consume(cs)
+		if got == nil || got.id != i {
+			t.Fatalf("WS-MSQ order violated at %d: %v", i, got)
+		}
+	}
+	if p.Consume(cs) != nil {
+		t.Fatal("drained queue yielded a task")
+	}
+}
+
+func TestLIFOOrdering(t *testing.T) {
+	p, err := New[task](0, 1, LIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, cs := prod(0), cons(0)
+	for i := 0; i < 10; i++ {
+		p.Produce(ps, &task{id: i})
+	}
+	for i := 9; i >= 0; i-- {
+		got := p.Consume(cs)
+		if got == nil || got.id != i {
+			t.Fatalf("WS-LIFO order violated at %d: %v", i, got)
+		}
+	}
+}
+
+func TestStealDequeuesFromVictim(t *testing.T) {
+	for _, disc := range []Discipline{FIFO, LIFO} {
+		victim, _ := New[task](0, 2, disc)
+		thief, _ := New[task](1, 2, disc)
+		victim.Produce(prod(0), &task{id: 7})
+		got := thief.Steal(cons(1), victim)
+		if got == nil || got.id != 7 {
+			t.Fatalf("disc %v: Steal = %v", disc, got)
+		}
+		if !victim.IsEmpty() {
+			t.Fatalf("disc %v: victim not empty after steal", disc)
+		}
+	}
+}
+
+func TestEveryRetrievalCountsCAS(t *testing.T) {
+	p, _ := New[task](0, 1, FIFO)
+	ps, cs := prod(0), cons(0)
+	const n = 100
+	for i := 0; i < n; i++ {
+		p.Produce(ps, &task{id: i})
+	}
+	for i := 0; i < n; i++ {
+		p.Consume(cs)
+	}
+	if cs.Ops.CAS.Load() < n {
+		t.Errorf("consumer CAS = %d, want >= %d (at least one per dequeue)", cs.Ops.CAS.Load(), n)
+	}
+	if ps.Ops.CAS.Load() < n {
+		t.Errorf("producer CAS = %d, want >= %d", ps.Ops.CAS.Load(), n)
+	}
+}
+
+func TestIndicatorClearedOnTake(t *testing.T) {
+	p, _ := New[task](0, 2, FIFO)
+	p.Produce(prod(0), &task{id: 1})
+	p.SetIndicator(1)
+	if p.Consume(cons(0)) == nil {
+		t.Fatal("consume failed")
+	}
+	if p.CheckIndicator(1) {
+		t.Fatal("indicator survived a take")
+	}
+}
+
+func TestIsEmpty(t *testing.T) {
+	for _, disc := range []Discipline{FIFO, LIFO} {
+		p, _ := New[task](0, 1, disc)
+		if !p.IsEmpty() {
+			t.Fatalf("disc %v: fresh pool not empty", disc)
+		}
+		p.Produce(prod(0), &task{})
+		if p.IsEmpty() {
+			t.Fatalf("disc %v: pool with task empty", disc)
+		}
+	}
+}
+
+func TestConcurrentStealContention(t *testing.T) {
+	// The regime of Figure 1.5(a): one producer fills one pool, many
+	// thieves contend. Tasks must be unique and complete.
+	const (
+		thieves = 4
+		total   = 20000
+	)
+	victim, _ := New[task](0, thieves+1, FIFO)
+	thiefPools := make([]*Pool[task], thieves)
+	for i := range thiefPools {
+		thiefPools[i], _ = New[task](i+1, thieves+1, FIFO)
+	}
+	var pwg sync.WaitGroup
+	pwg.Add(1)
+	go func() {
+		defer pwg.Done()
+		ps := prod(0)
+		for i := 0; i < total; i++ {
+			victim.Produce(ps, &task{id: i})
+		}
+	}()
+	results := make([][]*task, thieves)
+	stop := make(chan struct{})
+	var cwg sync.WaitGroup
+	for i := 0; i < thieves; i++ {
+		cwg.Add(1)
+		go func(i int) {
+			defer cwg.Done()
+			cs := cons(i + 1)
+			for {
+				if tk := thiefPools[i].Steal(cs, victim); tk != nil {
+					results[i] = append(results[i], tk)
+					continue
+				}
+				select {
+				case <-stop:
+					for {
+						tk := thiefPools[i].Steal(cs, victim)
+						if tk == nil {
+							return
+						}
+						results[i] = append(results[i], tk)
+					}
+				default:
+				}
+			}
+		}(i)
+	}
+	pwg.Wait()
+	close(stop)
+	cwg.Wait()
+
+	seen := make(map[int]bool)
+	for _, res := range results {
+		for _, tk := range res {
+			if seen[tk.id] {
+				t.Fatalf("task %d twice", tk.id)
+			}
+			seen[tk.id] = true
+		}
+	}
+	if len(seen) != total {
+		t.Fatalf("got %d unique, want %d", len(seen), total)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New[task](0, 0, FIFO); err == nil {
+		t.Error("consumers=0 accepted")
+	}
+	if _, err := New[task](0, 1, Discipline(9)); err == nil {
+		t.Error("bogus discipline accepted")
+	}
+	p, _ := New[task](0, 1, FIFO)
+	defer func() {
+		if recover() == nil {
+			t.Error("nil task accepted")
+		}
+	}()
+	p.Produce(prod(0), nil)
+}

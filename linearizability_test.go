@@ -1,0 +1,178 @@
+package salsa_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"salsa"
+	"salsa/internal/check"
+)
+
+// TestCheckedHistories drives every algorithm with concurrent producers and
+// consumers while recording a timestamped history, then verifies the
+// sequential specification of §1.3.3 with the internal/check validator:
+// uniqueness, no loss, and the real-time emptiness condition that the
+// checkEmpty protocol (Claim 3) must uphold — a Get may report ⊥ only if
+// no task was continuously present across the whole call.
+func TestCheckedHistories(t *testing.T) {
+	const (
+		producers = 3
+		consumers = 3
+		perProd   = 3000
+		chunkSize = 16 // small chunks force frequent recycling and steals
+	)
+	for _, alg := range allAlgorithms {
+		t.Run(alg.String(), func(t *testing.T) {
+			pool, err := salsa.New[job](salsa.Config{
+				Producers: producers,
+				Consumers: consumers,
+				Algorithm: alg,
+				ChunkSize: chunkSize,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			taskID := func(j *job) uint64 {
+				return uint64(j.producer)<<32 | uint64(uint32(j.seq))
+			}
+
+			logs := make([]*check.Log, producers+consumers)
+			var done atomic.Bool
+			var pwg sync.WaitGroup
+			for pi := 0; pi < producers; pi++ {
+				pwg.Add(1)
+				go func(pi int) {
+					defer pwg.Done()
+					l := check.NewLog(perProd)
+					logs[pi] = l
+					p := pool.Producer(pi)
+					for s := 0; s < perProd; s++ {
+						j := &job{producer: pi, seq: s}
+						start := check.Now()
+						p.Put(j)
+						l.Put(taskID(j), start, check.Now())
+					}
+				}(pi)
+			}
+			go func() { pwg.Wait(); done.Store(true) }()
+
+			var cwg sync.WaitGroup
+			for ci := 0; ci < consumers; ci++ {
+				cwg.Add(1)
+				go func(ci int) {
+					defer cwg.Done()
+					l := check.NewLog(perProd * 2)
+					logs[producers+ci] = l
+					c := pool.Consumer(ci)
+					defer c.Close()
+					for {
+						wasDone := done.Load()
+						start := check.Now()
+						j, ok := c.Get()
+						end := check.Now()
+						if ok {
+							l.Get(taskID(j), start, end)
+							continue
+						}
+						l.Empty(start, end)
+						if wasDone {
+							return
+						}
+					}
+				}(ci)
+			}
+			cwg.Wait()
+
+			violations := check.Verify(logs, check.Options{ExpectDrained: true})
+			for _, v := range violations {
+				t.Error(v)
+			}
+		})
+	}
+}
+
+// TestCheckedHistoryWithStalls repeats the checked run for SALSA with a
+// consumer that stalls mid-stream (the robustness scenario of §1.1): the
+// invariants must survive arbitrary thread delays.
+func TestCheckedHistoryWithStalls(t *testing.T) {
+	const (
+		producers = 2
+		consumers = 3
+		perProd   = 4000
+	)
+	pool, err := salsa.New[job](salsa.Config{
+		Producers: producers,
+		Consumers: consumers,
+		Algorithm: salsa.SALSA,
+		ChunkSize: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	taskID := func(j *job) uint64 { return uint64(j.producer)<<32 | uint64(uint32(j.seq)) }
+
+	logs := make([]*check.Log, producers+consumers)
+	var done atomic.Bool
+	var pwg sync.WaitGroup
+	for pi := 0; pi < producers; pi++ {
+		pwg.Add(1)
+		go func(pi int) {
+			defer pwg.Done()
+			l := check.NewLog(perProd)
+			logs[pi] = l
+			p := pool.Producer(pi)
+			for s := 0; s < perProd; s++ {
+				j := &job{producer: pi, seq: s}
+				start := check.Now()
+				p.Put(j)
+				l.Put(taskID(j), start, check.Now())
+			}
+		}(pi)
+	}
+	go func() { pwg.Wait(); done.Store(true) }()
+
+	var cwg sync.WaitGroup
+	stallGate := make(chan struct{})
+	for ci := 0; ci < consumers; ci++ {
+		cwg.Add(1)
+		go func(ci int) {
+			defer cwg.Done()
+			l := check.NewLog(perProd * 2)
+			logs[producers+ci] = l
+			c := pool.Consumer(ci)
+			defer c.Close()
+			n := 0
+			for {
+				wasDone := done.Load()
+				start := check.Now()
+				j, ok := c.Get()
+				end := check.Now()
+				if ok {
+					l.Get(taskID(j), start, end)
+					n++
+					// Consumer 0 stalls after 50 tasks, mid-chunk,
+					// until all production has finished. Its chunk
+					// stays in its pool, where the other consumers
+					// must find and steal it.
+					if ci == 0 && n == 50 {
+						<-stallGate
+					}
+					continue
+				}
+				l.Empty(start, end)
+				if wasDone {
+					return
+				}
+			}
+		}(ci)
+	}
+	pwg.Wait()
+	close(stallGate) // wake the stalled consumer only after production ends
+	cwg.Wait()
+
+	violations := check.Verify(logs, check.Options{ExpectDrained: true})
+	for _, v := range violations {
+		t.Error(v)
+	}
+}

@@ -1,0 +1,85 @@
+package salsa_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"salsa"
+)
+
+// TestQuickPublicAPIModel property-tests the public API across all
+// algorithms: any sequential interleaving of Put/Get through arbitrary
+// handles must conserve tasks and report emptiness only when the model is
+// empty.
+func TestQuickPublicAPIModel(t *testing.T) {
+	f := func(ops []uint8, algSeed, chunkSeed uint8) bool {
+		alg := allAlgorithms[int(algSeed)%len(allAlgorithms)]
+		chunk := int(chunkSeed%15) + 1
+		pool, err := salsa.New[job](salsa.Config{
+			Producers: 2,
+			Consumers: 2,
+			Algorithm: alg,
+			ChunkSize: chunk,
+		})
+		if err != nil {
+			return false
+		}
+		live := map[int]bool{}
+		next := 0
+		for _, op := range ops {
+			switch op % 4 {
+			case 0, 1: // put via producer op%2
+				pool.Producer(int(op) % 2).Put(&job{seq: next})
+				live[next] = true
+				next++
+			case 2, 3: // get via consumer op%2
+				j, ok := pool.Consumer(int(op) % 2).Get()
+				if !ok {
+					if len(live) != 0 {
+						return false // phantom emptiness (sequential!)
+					}
+					continue
+				}
+				if !live[j.seq] {
+					return false // duplicate or phantom task
+				}
+				delete(live, j.seq)
+			}
+		}
+		// Drain: alternate consumers until both report empty.
+		for guard := 0; len(live) > 0 && guard < len(ops)*2+8; guard++ {
+			j, ok := pool.Consumer(guard % 2).Get()
+			if !ok {
+				continue
+			}
+			if !live[j.seq] {
+				return false
+			}
+			delete(live, j.seq)
+		}
+		if len(live) != 0 {
+			return false
+		}
+		// Both consumers must now agree the pool is empty.
+		for ci := 0; ci < 2; ci++ {
+			if _, ok := pool.Consumer(ci).Get(); ok {
+				return false
+			}
+		}
+		pool.Close()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	pool := newPool(t, salsa.SALSA, 1, 2, 8)
+	pool.Producer(0).Put(&job{seq: 1})
+	if _, ok := pool.Consumer(0).Get(); !ok {
+		t.Fatal("Get failed")
+	}
+	pool.Close()
+	pool.Close()
+}

@@ -1,0 +1,418 @@
+// Package salsa is a scalable, low-synchronization, NUMA-aware
+// producer-consumer task pool for Go — a reproduction of
+//
+//	Gidron, Keidar, Perelman, Perez:
+//	"SALSA: Scalable and Low Synchronization NUMA-aware Algorithm for
+//	Producer-Consumer Pools", SPAA 2012.
+//
+// A Pool is operated through per-thread handles: each producer goroutine
+// owns a Producer handle and each consumer goroutine a Consumer handle.
+// Tasks flow from producers to the consumers closest to them on the NUMA
+// topology; a consumer that runs dry steals entire chunks of tasks from
+// other consumers' pools, and a Get that returns ok=false guarantees the
+// pool was empty at some instant during the call (linearizable emptiness).
+//
+// The default algorithm is SALSA; the algorithms the paper evaluates
+// against (SALSA+CAS, Concurrent Bags, WS-MSQ, WS-LIFO) and three further
+// related-work designs from its §1.2 (ED-Pool, WS-ChunkQ, WS-Baskets) are
+// selectable via Config.Algorithm, primarily for benchmarking.
+//
+// Basic usage:
+//
+//	pool, _ := salsa.New[Job](salsa.Config{Producers: 4, Consumers: 4})
+//	p := pool.Producer(0) // one handle per producing goroutine
+//	c := pool.Consumer(0) // one handle per consuming goroutine
+//	p.Put(&Job{...})
+//	job, ok := c.Get()
+package salsa
+
+import (
+	"fmt"
+
+	"salsa/internal/concbag"
+	"salsa/internal/core"
+	"salsa/internal/edpool"
+	"salsa/internal/framework"
+	"salsa/internal/salsacas"
+	"salsa/internal/scpool"
+	"salsa/internal/stats"
+	"salsa/internal/topology"
+	"salsa/internal/wsbase"
+)
+
+// Algorithm selects the pool implementation.
+type Algorithm int
+
+const (
+	// SALSA is the paper's algorithm: per-producer chunk lists, chunk
+	// ownership with a CAS-free consume fast path, chunk-granularity
+	// stealing, chunk pools with producer-based balancing.
+	SALSA Algorithm = iota
+	// SALSACAS is the paper's ablation baseline: identical layout, but
+	// every retrieval claims a single task by CAS.
+	SALSACAS
+	// ConcBag is the Concurrent Bags algorithm (Sundell et al., SPAA'11).
+	ConcBag
+	// WSMSQ is work stealing over per-consumer Michael–Scott FIFO queues.
+	WSMSQ
+	// WSLIFO is work stealing over per-consumer lock-free LIFO stacks.
+	WSLIFO
+	// EDPool is an elimination-diffraction pool (Afek et al., Euro-Par
+	// 2010): a tree of queues fed through diffracting balancers with
+	// elimination arrays. Discussed (not benchmarked) by the paper's
+	// related work (§1.2); provided here as an extended baseline.
+	EDPool
+	// WSCHUNKQ is work stealing over per-consumer chunk-based FIFO
+	// queues in the style of Gidenstam et al. (OPODIS 2010) — the
+	// related-work design whose shared head/tail move once per chunk
+	// but whose every element still costs an atomic RMW (§1.2).
+	WSCHUNKQ
+	// WSBaskets is work stealing over per-consumer Baskets Queues
+	// (Hoffman et al., OPODIS 2007): concurrent enqueues share a basket
+	// instead of re-contending for the tail (§1.2).
+	WSBaskets
+)
+
+// String returns the algorithm's name as used in the paper's figures.
+func (a Algorithm) String() string {
+	switch a {
+	case SALSA:
+		return "SALSA"
+	case SALSACAS:
+		return "SALSA+CAS"
+	case ConcBag:
+		return "ConcBag"
+	case WSMSQ:
+		return "WS-MSQ"
+	case WSLIFO:
+		return "WS-LIFO"
+	case EDPool:
+		return "ED-Pool"
+	case WSCHUNKQ:
+		return "WS-ChunkQ"
+	case WSBaskets:
+		return "WS-Baskets"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Placement selects how producers and consumers are laid out on the NUMA
+// topology.
+type Placement int
+
+const (
+	// PlacementInterleaved co-locates producer/consumer pairs on each
+	// node — the paper's standard setup.
+	PlacementInterleaved Placement = iota
+	// PlacementPacked fills nodes in order, producers first.
+	PlacementPacked
+	// PlacementScattered deals threads across cores ignoring node
+	// boundaries, approximating OS-controlled affinity (§1.6.5).
+	PlacementScattered
+)
+
+// AllocationPolicy selects where chunks are (logically) allocated.
+type AllocationPolicy int
+
+const (
+	// AllocLocal places each consumer's chunks on its own node (default).
+	AllocLocal AllocationPolicy = iota
+	// AllocCentral places all chunks on node 0 — the paper's adversarial
+	// configuration in Figure 1.7. Only meaningful for experiments.
+	AllocCentral
+)
+
+// Stats is the aggregated operation census of a pool; see the field
+// documentation in internal/stats.
+type Stats = stats.Snapshot
+
+// StealOrder is the victim-iteration policy for steal attempts.
+type StealOrder = framework.StealOrder
+
+// Steal-order policies.
+const (
+	// StealNearestFirst walks the NUMA access list in order (default).
+	StealNearestFirst = framework.StealNearestFirst
+	// StealRoundRobin rotates the starting victim each traversal.
+	StealRoundRobin = framework.StealRoundRobin
+	// StealRandom picks a pseudo-random starting victim each traversal.
+	StealRandom = framework.StealRandom
+)
+
+// Config configures a Pool.
+type Config struct {
+	// Producers and Consumers fix the number of handles. Required.
+	Producers int
+	Consumers int
+
+	// Algorithm selects the implementation; default SALSA.
+	Algorithm Algorithm
+
+	// ChunkSize overrides the chunk/block capacity in tasks. Defaults:
+	// 1000 for SALSA and SALSA+CAS, 128 for ConcBag (the paper's
+	// respective optima, Fig. 1.8). Ignored by WS-MSQ/WS-LIFO.
+	ChunkSize int
+
+	// NUMANodes and CoresPerNode describe the machine; when both are
+	// zero, the topology is discovered from the OS (Linux) or defaults
+	// to a single node wide enough for all threads.
+	NUMANodes    int
+	CoresPerNode int
+
+	// Placement lays threads out on the topology.
+	Placement Placement
+
+	// Allocation selects the chunk-home policy (experiments only).
+	Allocation AllocationPolicy
+
+	// DisableBalancing turns off producer-based balancing (§1.5.4):
+	// producers then always insert into the nearest pool, expanding it
+	// when full. Exposed for the Figure 1.6 ablation.
+	DisableBalancing bool
+
+	// NonLinearizableEmpty makes Get report emptiness after one
+	// fruitless traversal instead of the checkEmpty protocol — faster,
+	// but ok=false no longer proves the pool was ever empty.
+	NonLinearizableEmpty bool
+
+	// StealOrder selects the victim-iteration policy for steal
+	// attempts: nearest-first (default, the paper's NUMA-aware order),
+	// round-robin, or random. The paper leaves this open as an
+	// engineering knob (§1.4) and found stealing policy worth 53%
+	// for one of its baselines (§1.6.3).
+	StealOrder StealOrder
+
+	// OnAccess, when set, is called for every task transfer with the
+	// accessing thread's NUMA node and the chunk's home node; the NUMA
+	// interconnect simulator hooks in here. Leave nil in production.
+	OnAccess func(fromNode, homeNode int)
+
+	// InitialChunks pre-seeds each pool's spare-chunk pool. Defaults to
+	// 2 for SALSA/SALSA+CAS.
+	InitialChunks int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ChunkSize == 0 {
+		if c.Algorithm == ConcBag {
+			c.ChunkSize = concbag.DefaultBlockSize
+		} else {
+			c.ChunkSize = core.DefaultChunkSize
+		}
+	}
+	if c.InitialChunks == 0 {
+		c.InitialChunks = 2
+	}
+	return c
+}
+
+// Pool is a producer-consumer task pool. Construct with New, then hand each
+// goroutine its own Producer or Consumer handle.
+type Pool[T any] struct {
+	cfg       Config
+	fw        *framework.Framework[T]
+	topo      *topology.Topology
+	placement *topology.Placement
+	salsa     *core.Shared[T] // non-nil when Algorithm == SALSA
+	producers []*Producer[T]
+	consumers []*Consumer[T]
+}
+
+// New builds a pool.
+func New[T any](cfg Config) (*Pool[T], error) {
+	cfg = cfg.withDefaults()
+	if cfg.Producers <= 0 || cfg.Consumers <= 0 {
+		return nil, fmt.Errorf("salsa: Producers and Consumers must be positive (got %d, %d)",
+			cfg.Producers, cfg.Consumers)
+	}
+
+	topo, err := buildTopology(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var pp topology.PlacementPolicy
+	switch cfg.Placement {
+	case PlacementInterleaved:
+		pp = topology.PlaceInterleaved
+	case PlacementPacked:
+		pp = topology.PlacePacked
+	case PlacementScattered:
+		pp = topology.PlaceRandomish
+	default:
+		return nil, fmt.Errorf("salsa: unknown placement %d", cfg.Placement)
+	}
+	placement := topology.Place(topo, cfg.Producers, cfg.Consumers, pp)
+
+	p := &Pool[T]{cfg: cfg, topo: topo, placement: placement}
+	factory, err := p.poolFactory()
+	if err != nil {
+		return nil, err
+	}
+	fw, err := framework.New(framework.Config[T]{
+		Producers:            cfg.Producers,
+		Consumers:            cfg.Consumers,
+		Placement:            placement,
+		NewPool:              factory,
+		DisableBalancing:     cfg.DisableBalancing,
+		NonLinearizableEmpty: cfg.NonLinearizableEmpty,
+		StealOrder:           cfg.StealOrder,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.fw = fw
+	p.producers = make([]*Producer[T], cfg.Producers)
+	for i := range p.producers {
+		p.producers[i] = &Producer[T]{h: fw.Producer(i), pool: p}
+	}
+	p.consumers = make([]*Consumer[T], cfg.Consumers)
+	for i := range p.consumers {
+		p.consumers[i] = &Consumer[T]{h: fw.Consumer(i), pool: p}
+	}
+	return p, nil
+}
+
+func buildTopology(cfg Config) (*topology.Topology, error) {
+	if cfg.NUMANodes > 0 && cfg.CoresPerNode > 0 {
+		return topology.Synthetic(cfg.NUMANodes, cfg.CoresPerNode), nil
+	}
+	if cfg.NUMANodes > 0 || cfg.CoresPerNode > 0 {
+		return nil, fmt.Errorf("salsa: NUMANodes and CoresPerNode must be set together")
+	}
+	if t, err := topology.Discover(); err == nil {
+		return t, nil
+	}
+	return topology.UMA(cfg.Producers + cfg.Consumers), nil
+}
+
+func (p *Pool[T]) poolFactory() (framework.PoolFactory[T], error) {
+	cfg := p.cfg
+	alloc := core.AllocLocal
+	if cfg.Allocation == AllocCentral {
+		alloc = core.AllocCentral
+	}
+	switch cfg.Algorithm {
+	case SALSA:
+		shared, err := core.NewShared[T](core.Options{
+			ChunkSize:     cfg.ChunkSize,
+			Consumers:     cfg.Consumers,
+			Alloc:         alloc,
+			OnAccess:      cfg.OnAccess,
+			InitialChunks: cfg.InitialChunks,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.salsa = shared
+		return func(owner, node, producers int) (scpool.SCPool[T], error) {
+			return shared.NewPool(owner, node, producers)
+		}, nil
+	case SALSACAS:
+		shared, err := salsacas.NewShared[T](salsacas.Options{
+			ChunkSize:     cfg.ChunkSize,
+			Consumers:     cfg.Consumers,
+			Alloc:         alloc,
+			OnAccess:      cfg.OnAccess,
+			InitialChunks: cfg.InitialChunks,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return func(owner, node, producers int) (scpool.SCPool[T], error) {
+			return shared.NewPool(owner, node, producers)
+		}, nil
+	case ConcBag:
+		bag, err := concbag.NewBag[T](concbag.Options{
+			BlockSize: cfg.ChunkSize,
+			Producers: cfg.Producers,
+			Consumers: cfg.Consumers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return func(owner, _, _ int) (scpool.SCPool[T], error) {
+			return bag.NewPool(owner)
+		}, nil
+	case WSMSQ:
+		return func(owner, _, _ int) (scpool.SCPool[T], error) {
+			return wsbase.New[T](owner, cfg.Consumers, wsbase.FIFO)
+		}, nil
+	case WSLIFO:
+		return func(owner, _, _ int) (scpool.SCPool[T], error) {
+			return wsbase.New[T](owner, cfg.Consumers, wsbase.LIFO)
+		}, nil
+	case WSCHUNKQ:
+		return func(owner, _, _ int) (scpool.SCPool[T], error) {
+			return wsbase.New[T](owner, cfg.Consumers, wsbase.CHUNKQ)
+		}, nil
+	case WSBaskets:
+		return func(owner, _, _ int) (scpool.SCPool[T], error) {
+			return wsbase.New[T](owner, cfg.Consumers, wsbase.BASKETS)
+		}, nil
+	case EDPool:
+		depth := 1
+		for 1<<depth < cfg.Consumers && depth < 8 {
+			depth++
+		}
+		pool, err := edpool.New[T](edpool.Options{Depth: depth, Consumers: cfg.Consumers})
+		if err != nil {
+			return nil, err
+		}
+		return func(owner, _, _ int) (scpool.SCPool[T], error) {
+			return pool.NewFacade(owner)
+		}, nil
+	default:
+		return nil, fmt.Errorf("salsa: unknown algorithm %v", cfg.Algorithm)
+	}
+}
+
+// Producer returns producer handle i (0 ≤ i < Config.Producers). Repeated
+// calls return the same handle; a handle must be driven by a single
+// goroutine at a time.
+func (p *Pool[T]) Producer(i int) *Producer[T] { return p.producers[i] }
+
+// Consumer returns consumer handle i (0 ≤ i < Config.Consumers). Repeated
+// calls return the same handle; a handle must be driven by a single
+// goroutine at a time.
+func (p *Pool[T]) Consumer(i int) *Consumer[T] { return p.consumers[i] }
+
+// Stats aggregates the operation counters of all handles.
+func (p *Pool[T]) Stats() Stats { return p.fw.Stats() }
+
+// Close releases per-consumer resources (SALSA hazard records) for every
+// consumer handle. Call once after all worker goroutines have stopped;
+// equivalent to calling Close on each Consumer. Safe to call repeatedly.
+func (p *Pool[T]) Close() {
+	for _, c := range p.consumers {
+		c.Close()
+	}
+}
+
+// NumProducers returns the configured producer count.
+func (p *Pool[T]) NumProducers() int { return p.cfg.Producers }
+
+// NumConsumers returns the configured consumer count.
+func (p *Pool[T]) NumConsumers() int { return p.cfg.Consumers }
+
+// Algorithm returns the configured algorithm.
+func (p *Pool[T]) Algorithm() Algorithm { return p.cfg.Algorithm }
+
+// ConsumerAccessList returns the stealing order of consumer i, nearest
+// first (self excluded) — diagnostic insight into the NUMA policy.
+func (p *Pool[T]) ConsumerAccessList(i int) []int {
+	list := p.placement.ConsumerAccessList(i)
+	out := make([]int, 0, len(list)-1)
+	for _, c := range list {
+		if c != i {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ProducerAccessList returns the insertion order of producer i, nearest
+// consumer first.
+func (p *Pool[T]) ProducerAccessList(i int) []int {
+	return append([]int(nil), p.placement.ProducerAccessList(i)...)
+}

@@ -1,0 +1,110 @@
+package salsa_test
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"salsa"
+)
+
+// TestSoak is a longer adversarial run (skipped with -short): SALSA with
+// tiny chunks, producers that burst and pause, consumers that stall at
+// random, and a rolling conservation check. It approximates the
+// cmd/salsa-stress tool inside the test suite.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const (
+		producers = 4
+		consumers = 4
+		duration  = 2 * time.Second
+	)
+	pool, err := salsa.New[job](salsa.Config{
+		Producers: producers,
+		Consumers: consumers,
+		Algorithm: salsa.SALSA,
+		ChunkSize: 4, // maximum churn: recycle + steal constantly
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		produced atomic.Int64
+		consumed atomic.Int64
+		stopProd atomic.Bool
+		done     atomic.Bool
+	)
+	var pwg sync.WaitGroup
+	for pi := 0; pi < producers; pi++ {
+		pwg.Add(1)
+		go func(pi int) {
+			defer pwg.Done()
+			rng := rand.New(rand.NewSource(int64(pi)))
+			p := pool.Producer(pi)
+			seq := 0
+			for !stopProd.Load() {
+				burst := 1 + rng.Intn(64)
+				for i := 0; i < burst; i++ {
+					p.Put(&job{producer: pi, seq: seq})
+					seq++
+				}
+				produced.Add(int64(burst))
+				if rng.Intn(4) == 0 {
+					time.Sleep(time.Duration(rng.Intn(200)) * time.Microsecond)
+				}
+			}
+		}(pi)
+	}
+
+	var returned sync.Map // *job → struct{}: global duplicate detector
+	var cwg sync.WaitGroup
+	for ci := 0; ci < consumers; ci++ {
+		cwg.Add(1)
+		go func(ci int) {
+			defer cwg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + ci)))
+			c := pool.Consumer(ci)
+			defer c.Close()
+			for {
+				wasDone := done.Load()
+				j, ok := c.Get()
+				if ok {
+					if _, dup := returned.LoadOrStore(j, struct{}{}); dup {
+						t.Errorf("consumer %d: task %+v returned twice", ci, *j)
+						return
+					}
+					consumed.Add(1)
+					if rng.Intn(5000) == 0 {
+						time.Sleep(time.Duration(rng.Intn(2)) * time.Millisecond) // stall
+					}
+					continue
+				}
+				if wasDone {
+					return
+				}
+			}
+		}(ci)
+	}
+
+	time.Sleep(duration)
+	stopProd.Store(true)
+	pwg.Wait()
+	done.Store(true)
+	cwg.Wait()
+
+	if consumed.Load() != produced.Load() {
+		t.Fatalf("conservation violated: produced %d, consumed %d",
+			produced.Load(), consumed.Load())
+	}
+	s := pool.Stats()
+	t.Logf("soak: %d tasks, %d steals, %.4f cas/task, fastpath %.4f",
+		consumed.Load(), s.Steals, s.CASPerGet(), s.FastPathRatio())
+	if s.FastPathRatio() < 0.5 {
+		t.Errorf("fast-path ratio %.3f suspiciously low even for chunk size 4", s.FastPathRatio())
+	}
+}

@@ -1,0 +1,129 @@
+package salsa_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"salsa"
+)
+
+// TestStealOrderPoliciesCorrect runs the concurrent conservation check
+// under every steal-order policy: the policy is a performance knob and
+// must never affect correctness.
+func TestStealOrderPoliciesCorrect(t *testing.T) {
+	const (
+		producers = 2
+		consumers = 4
+		perProd   = 3000
+	)
+	for _, so := range []salsa.StealOrder{
+		salsa.StealNearestFirst, salsa.StealRoundRobin, salsa.StealRandom,
+	} {
+		pool, err := salsa.New[job](salsa.Config{
+			Producers:  producers,
+			Consumers:  consumers,
+			Algorithm:  salsa.SALSA,
+			ChunkSize:  16,
+			StealOrder: so,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var done atomic.Bool
+		var pwg sync.WaitGroup
+		for pi := 0; pi < producers; pi++ {
+			pwg.Add(1)
+			go func(pi int) {
+				defer pwg.Done()
+				p := pool.Producer(pi)
+				for s := 0; s < perProd; s++ {
+					p.Put(&job{producer: pi, seq: s})
+				}
+			}(pi)
+		}
+		go func() { pwg.Wait(); done.Store(true) }()
+
+		var got atomic.Int64
+		seen := make([]map[job]bool, consumers)
+		var cwg sync.WaitGroup
+		for ci := 0; ci < consumers; ci++ {
+			cwg.Add(1)
+			go func(ci int) {
+				defer cwg.Done()
+				seen[ci] = make(map[job]bool)
+				c := pool.Consumer(ci)
+				for {
+					wasDone := done.Load()
+					j, ok := c.Get()
+					if ok {
+						if seen[ci][*j] {
+							t.Errorf("policy %d: duplicate %+v", so, *j)
+							return
+						}
+						seen[ci][*j] = true
+						got.Add(1)
+						continue
+					}
+					if wasDone {
+						return
+					}
+				}
+			}(ci)
+		}
+		cwg.Wait()
+		union := make(map[job]bool)
+		for _, m := range seen {
+			for k := range m {
+				if union[k] {
+					t.Fatalf("policy %d: task %+v returned by two consumers", so, k)
+				}
+				union[k] = true
+			}
+		}
+		if len(union) != producers*perProd {
+			t.Fatalf("policy %d: %d unique tasks, want %d", so, len(union), producers*perProd)
+		}
+	}
+}
+
+// TestStealOrderSpreadsVictims: with many victims holding work and a
+// round-robin/random thief, steals should touch more than one victim;
+// nearest-first concentrates on the head of the access list.
+func TestStealOrderSpreadsVictims(t *testing.T) {
+	const consumers = 5
+	build := func(so salsa.StealOrder) *salsa.Pool[job] {
+		pool, err := salsa.New[job](salsa.Config{
+			Producers:  1,
+			Consumers:  consumers,
+			Algorithm:  salsa.SALSA,
+			ChunkSize:  2,
+			StealOrder: so,
+			// Pin all inserts to one pool so every other consumer
+			// must steal.
+			DisableBalancing: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pool
+	}
+	for _, so := range []salsa.StealOrder{salsa.StealRoundRobin, salsa.StealRandom} {
+		pool := build(so)
+		p := pool.Producer(0)
+		// Seed work, then have one consumer steal repeatedly; with
+		// chunk size 2 each steal transfers at most 2 tasks.
+		for i := 0; i < 200; i++ {
+			p.Put(&job{seq: i})
+		}
+		thief := pool.Consumer(consumers - 1)
+		for i := 0; i < 200; i++ {
+			if _, ok := thief.Get(); !ok {
+				break
+			}
+		}
+		if s := thief.Stats(); s.StealAttempts == 0 {
+			t.Errorf("policy %d: thief never attempted a steal", so)
+		}
+	}
+}
