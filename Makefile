@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench figures stress examples cover clean
+.PHONY: all build test race race-short check bench figures stress examples cover clean
 
 all: build test
 
@@ -15,6 +15,14 @@ test:
 
 race:
 	$(GO) test ./... -race
+
+# Short race pass: the per-package -short subsets under the race detector —
+# quick enough for a pre-commit hook, still covers every concurrent path.
+race-short:
+	$(GO) test ./... -race -short
+
+# The full local gate: build + vet + tests + short race pass.
+check: build test race-short
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -33,6 +41,7 @@ examples:
 	$(GO) run ./examples/pipeline
 	$(GO) run ./examples/numa
 	$(GO) run ./examples/mapreduce
+	$(GO) run ./examples/metrics
 
 cover:
 	$(GO) test ./... -coverprofile=cover.out && $(GO) tool cover -func=cover.out | tail -1

@@ -11,11 +11,17 @@
 //
 // Flags:
 //
-//	-duration d   measurement window per data point (default 250ms;
-//	              the paper used 20s per point)
-//	-threads n    sweep ceiling in total threads (default 16; paper: 32)
-//	-quick        coarser sweeps, for smoke runs
-//	-csv dir      also write each figure as CSV into dir
+//	-duration d       measurement window per data point (default 250ms;
+//	                  the paper used 20s per point)
+//	-threads n        sweep ceiling in total threads (default 16; paper: 32)
+//	-quick            coarser sweeps, for smoke runs
+//	-csv dir          also write each figure as CSV into dir
+//	-latency          sample Put/Get latency; fills the CSV percentile
+//	                  columns (perturbs absolute throughput)
+//	-metrics-addr a   serve /metrics (Prometheus) and /metrics.json on a,
+//	                  tracking whichever pool is currently measured
+//	-trace-log f      append JSONL telemetry events to file f
+//	-snapshot-every d print telemetry deltas to stderr every d
 //
 // Absolute numbers depend on the host (the paper ran on a 32-core 8-socket
 // NUMA machine); the shapes — who wins, by what factor, where curves
@@ -29,17 +35,38 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"salsa"
+	"salsa/internal/telemetry"
 	"salsa/internal/workload"
 )
 
+// livePool is a telemetry.SnapshotSource that follows whichever pool the
+// sweep is currently measuring (figure sweeps build a fresh pool per data
+// point).
+type livePool struct {
+	p atomic.Pointer[salsa.Pool[workload.Task]]
+}
+
+func (l *livePool) TelemetrySnapshot() telemetry.Snapshot {
+	if p := l.p.Load(); p != nil {
+		return p.TelemetrySnapshot()
+	}
+	return telemetry.Snapshot{Algorithm: "idle"}
+}
+
 func main() {
 	var (
-		duration = flag.Duration("duration", 250*time.Millisecond, "measurement window per data point")
-		threads  = flag.Int("threads", 16, "sweep ceiling in total threads")
-		quick    = flag.Bool("quick", false, "coarser sweeps")
-		csvDir   = flag.String("csv", "", "directory to write per-figure CSV files")
+		duration    = flag.Duration("duration", 250*time.Millisecond, "measurement window per data point")
+		threads     = flag.Int("threads", 16, "sweep ceiling in total threads")
+		quick       = flag.Bool("quick", false, "coarser sweeps")
+		csvDir      = flag.String("csv", "", "directory to write per-figure CSV files")
+		latency     = flag.Bool("latency", false, "sample Put/Get latency into the CSV percentile columns")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address during the run")
+		traceLog    = flag.String("trace-log", "", "append JSONL telemetry events to this file")
+		snapEvery   = flag.Duration("snapshot-every", 0, "print telemetry deltas to stderr at this interval")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -51,6 +78,34 @@ func main() {
 		Duration:   *duration,
 		MaxThreads: *threads,
 		Quick:      *quick,
+	}
+
+	live := &livePool{}
+	if *metricsAddr != "" || *snapEvery > 0 || *latency {
+		opts.Metrics = true
+		opts.Observe = func(pool *salsa.Pool[workload.Task]) { live.p.Store(pool) }
+	}
+	if *metricsAddr != "" {
+		srv, err := telemetry.Serve(*metricsAddr, telemetry.Handler(live, telemetry.HandlerOptions{PProf: true}))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "salsa-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "# metrics on http://%s/metrics\n", srv.Addr())
+	}
+	if *traceLog != "" {
+		f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "salsa-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		opts.Tracer = telemetry.NewLogTracer(f)
+	}
+	if *snapEvery > 0 {
+		stop := telemetry.StartDeltaLoop(os.Stderr, live, *snapEvery)
+		defer stop()
 	}
 
 	fmt.Printf("# salsa-bench: GOMAXPROCS=%d NumCPU=%d window=%v threads<=%d\n\n",

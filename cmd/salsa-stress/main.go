@@ -14,6 +14,13 @@
 //
 //	salsa-stress [-algorithm name] [-producers p] [-consumers c]
 //	             [-rounds r] [-tasks n] [-chunk s] [-stall frac]
+//	             [-metrics-addr a] [-trace-log f] [-snapshot-every d]
+//
+// With -metrics-addr the process serves /metrics (Prometheus text format)
+// and /metrics.json for the pool of the round currently running — a live
+// view of the steal matrix and checkEmpty traffic while the invariants are
+// being hammered. -trace-log appends raw JSONL telemetry events;
+// -snapshot-every prints rate deltas to stderr.
 package main
 
 import (
@@ -27,7 +34,21 @@ import (
 	"time"
 
 	"salsa"
+	"salsa/internal/telemetry"
 )
+
+// livePool tracks the pool of the currently running round for the metrics
+// endpoint (each round builds a fresh pool).
+type livePool struct {
+	p atomic.Pointer[salsa.Pool[task]]
+}
+
+func (l *livePool) TelemetrySnapshot() telemetry.Snapshot {
+	if p := l.p.Load(); p != nil {
+		return p.TelemetrySnapshot()
+	}
+	return telemetry.Snapshot{Algorithm: "idle"}
+}
 
 type task struct {
 	producer int32
@@ -68,6 +89,10 @@ func main() {
 		chunk     = flag.Int("chunk", 64, "chunk/block size")
 		stall     = flag.Float64("stall", 0.25, "probability that a consumer stalls for a round")
 		seed      = flag.Int64("seed", 1, "rng seed for stall schedules")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address during the run")
+		traceLog    = flag.String("trace-log", "", "append JSONL telemetry events to this file")
+		snapEvery   = flag.Duration("snapshot-every", 0, "print telemetry deltas to stderr at this interval")
 	)
 	flag.Parse()
 	alg, err := parseAlgorithm(*algName)
@@ -76,6 +101,37 @@ func main() {
 		os.Exit(2)
 	}
 	rng := rand.New(rand.NewSource(*seed))
+
+	obs := observability{}
+	live := &livePool{}
+	if *metricsAddr != "" || *snapEvery > 0 {
+		obs.metrics = true
+		obs.live = live
+	}
+	if *metricsAddr != "" {
+		srv, err := telemetry.Serve(*metricsAddr, telemetry.Handler(live, telemetry.HandlerOptions{PProf: true}))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "salsa-stress: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "# metrics on http://%s/metrics\n", srv.Addr())
+	}
+	if *traceLog != "" {
+		f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "salsa-stress: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		obs.metrics = true
+		obs.live = live
+		obs.tracer = telemetry.NewLogTracer(f)
+	}
+	if *snapEvery > 0 {
+		stop := telemetry.StartDeltaLoop(os.Stderr, live, *snapEvery)
+		defer stop()
+	}
 
 	start := time.Now()
 	var totalTasks, totalSteals int64
@@ -86,7 +142,7 @@ func main() {
 				stalled[ci] = true
 			}
 		}
-		steals, err := runRound(alg, *producers, *consumers, *tasks, *chunk, stalled)
+		steals, err := runRound(alg, *producers, *consumers, *tasks, *chunk, stalled, obs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "salsa-stress: round %d FAILED: %v\n", round, err)
 			os.Exit(1)
@@ -108,15 +164,27 @@ func keys(m map[int]bool) []int {
 	return out
 }
 
-func runRound(alg salsa.Algorithm, producers, consumers, tasksPerProd, chunk int, stalled map[int]bool) (int64, error) {
+// observability carries the optional telemetry hookups into each round.
+type observability struct {
+	metrics bool
+	tracer  salsa.Tracer
+	live    *livePool
+}
+
+func runRound(alg salsa.Algorithm, producers, consumers, tasksPerProd, chunk int, stalled map[int]bool, obs observability) (int64, error) {
 	pool, err := salsa.New[task](salsa.Config{
 		Algorithm: alg,
 		Producers: producers,
 		Consumers: consumers,
 		ChunkSize: chunk,
+		Metrics:   obs.metrics,
+		Tracer:    obs.tracer,
 	})
 	if err != nil {
 		return 0, err
+	}
+	if obs.live != nil {
+		obs.live.p.Store(pool)
 	}
 	all := make([][]*task, producers)
 	for pi := range all {

@@ -94,4 +94,35 @@ func report(w io.Writer, topo *topology.Topology, source, placementName string,
 		fmt.Fprintf(w, "  consumer %d: core %d (node %d), steal order %v\n",
 			i, pl.ConsumerCores[i], pl.ConsumerNode(i), al[1:])
 	}
+
+	// The steal-distance matrix implied by the access lists: entry [t][v]
+	// is the NUMA distance a steal by thief t from victim v crosses, with
+	// the victim's rank in t's steal order in parentheses — rank 0 is
+	// tried first. Reading a row top-to-bottom by rank shows the
+	// nearest-first policy; comparing against salsa_steal_matrix_total
+	// from a /metrics scrape shows how traffic actually distributed.
+	fmt.Fprintln(w, "\nsteal-distance matrix (distance, rank in thief's steal order):")
+	fmt.Fprint(w, "  thief\\victim")
+	for v := 0; v < consumers; v++ {
+		fmt.Fprintf(w, "%10d", v)
+	}
+	fmt.Fprintln(w)
+	for t := 0; t < consumers; t++ {
+		rank := make(map[int]int, consumers)
+		for _, v := range pl.ConsumerAccessList(t) {
+			if v != t {
+				rank[v] = len(rank)
+			}
+		}
+		fmt.Fprintf(w, "  %11d ", t)
+		for v := 0; v < consumers; v++ {
+			if v == t {
+				fmt.Fprintf(w, "%10s", "-")
+				continue
+			}
+			d := topo.Distance[pl.ConsumerNode(t)][pl.ConsumerNode(v)]
+			fmt.Fprintf(w, "%10s", fmt.Sprintf("%d (%d)", d, rank[v]))
+		}
+		fmt.Fprintln(w)
+	}
 }

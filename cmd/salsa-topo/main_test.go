@@ -19,9 +19,40 @@ func TestReport(t *testing.T) {
 		"distance matrix:",
 		"placement (interleaved): 2 producers, 2 consumers",
 		"producer 0:", "consumer 1:", "steal order",
+		"steal-distance matrix",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportStealDistanceMatrix(t *testing.T) {
+	var sb strings.Builder
+	topo := topology.Synthetic(2, 2)
+	report(&sb, topo, "synthetic", "interleaved", topology.PlaceInterleaved, 2, 2)
+	out := sb.String()
+	// Interleaved placement on 2×2 puts consumer 0 on node 0 and
+	// consumer 1 on node 1: the only possible steal crosses one hop and
+	// is each thief's first choice.
+	lines := strings.Split(out, "\n")
+	var matrixLines []string
+	in := false
+	for _, l := range lines {
+		if strings.Contains(l, "steal-distance matrix") {
+			in = true
+			continue
+		}
+		if in && strings.TrimSpace(l) != "" {
+			matrixLines = append(matrixLines, l)
+		}
+	}
+	if len(matrixLines) != 3 { // header + one row per consumer
+		t.Fatalf("want 3 matrix lines, got %d:\n%s", len(matrixLines), out)
+	}
+	for _, row := range matrixLines[1:] {
+		if !strings.Contains(row, "-") || !strings.Contains(row, "(0)") {
+			t.Errorf("matrix row missing self marker or rank 0: %q", row)
 		}
 	}
 }

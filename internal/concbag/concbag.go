@@ -24,6 +24,7 @@ import (
 
 	"salsa/internal/indicator"
 	"salsa/internal/scpool"
+	"salsa/internal/telemetry"
 )
 
 // DefaultBlockSize is the paper's measured optimum for ConcBag (Fig. 1.8).
@@ -126,12 +127,24 @@ func (b *Bag[T]) appendBlock(l *prodList[T]) {
 
 // TryRemoveAny scans the bag starting at producer list `start`, claiming
 // the first task found with a CAS. Returns nil when the scan saw nothing.
+// A take from outside the consumer's predefined starting list (k > 0) is
+// reported as an unattributed steal: the bag is one shared structure, so
+// there is no single victim consumer to charge.
 func (b *Bag[T]) TryRemoveAny(cs *scpool.ConsumerState, start int) *T {
 	numLists := len(b.lists)
 	for k := 0; k < numLists; k++ {
 		l := b.lists[(start+k)%numLists]
 		for blk := l.head.Load(); blk != nil; blk = blk.next.Load() {
 			if t := b.scanBlock(cs, blk); t != nil {
+				if k > 0 {
+					if tr := cs.Tracer; tr != nil {
+						tr.OnSteal(telemetry.StealEvent{
+							Thief: cs.ID, Victim: telemetry.UnattributedVictim,
+							ThiefNode: cs.Node, VictimNode: telemetry.UnattributedVictim,
+							TasksMoved: 1,
+						})
+					}
+				}
 				return t
 			}
 		}

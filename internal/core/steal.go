@@ -4,6 +4,7 @@ import (
 	"unsafe"
 
 	"salsa/internal/scpool"
+	"salsa/internal/telemetry"
 )
 
 // Steal implements Algorithm 5 lines 108–138: transfer an entire chunk from
@@ -81,6 +82,7 @@ func (p *Pool[T]) Steal(cs *scpool.ConsumerState, victimPool scpool.SCPool[T]) *
 		return nil
 	}
 	cs.Ops.Steals.Inc()
+	fromHome := int(ch.home.Load())
 	// Migrate the chunk to this consumer's node per the allocation
 	// policy — the paper's chunks are page-sized precisely so NUMA data
 	// migration can follow a steal (§1.2). Under central allocation the
@@ -100,6 +102,19 @@ func (p *Pool[T]) Steal(cs *scpool.ConsumerState, victimPool scpool.SCPool[T]) *
 		p.recycle(sc.rec, ch)
 		sc.rec.Clear(hzSteal)
 		return nil
+	}
+	if tr := cs.Tracer; tr != nil {
+		moved := int(size - idx - 1)
+		tr.OnSteal(telemetry.StealEvent{
+			Thief: p.ownerIDv, Victim: victim.ownerIDv,
+			ThiefNode: p.ownerNode, VictimNode: victim.ownerNode,
+			TasksMoved: moved,
+		})
+		tr.OnChunkTransfer(telemetry.ChunkTransferEvent{
+			From: victim.ownerIDv, To: p.ownerIDv,
+			FromNode: fromHome, ToNode: int(ch.home.Load()),
+			Tasks: moved,
+		})
 	}
 	task := ch.tasks[idx+1].p.Load() // line 123
 	if task != nil {                 // line 124: found a task to take

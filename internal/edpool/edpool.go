@@ -28,6 +28,7 @@ import (
 	"salsa/internal/indicator"
 	"salsa/internal/msqueue"
 	"salsa/internal/scpool"
+	"salsa/internal/telemetry"
 )
 
 // DefaultDepth gives 4 leaf queues.
@@ -171,6 +172,19 @@ func (p *Pool[T]) Get(cs *scpool.ConsumerState) *T {
 				cs.Ops.CAS.Inc()
 				if t, ok := p.leaves[(leaf+k)%n].Dequeue(); ok {
 					p.ind.Clear()
+					// A dequeue from a leaf other than the one the
+					// tree routed us to is an unattributed steal:
+					// the pool is one shared structure with no
+					// victim consumer to charge.
+					if k > 0 {
+						if tr := cs.Tracer; tr != nil {
+							tr.OnSteal(telemetry.StealEvent{
+								Thief: cs.ID, Victim: telemetry.UnattributedVictim,
+								ThiefNode: cs.Node, VictimNode: telemetry.UnattributedVictim,
+								TasksMoved: 1,
+							})
+						}
+					}
 					return t
 				}
 			}

@@ -23,9 +23,11 @@ package framework
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"salsa/internal/scpool"
 	"salsa/internal/stats"
+	"salsa/internal/telemetry"
 	"salsa/internal/topology"
 )
 
@@ -65,6 +67,18 @@ type Config[T any] struct {
 	// leaves the policy open (§1.4 "subject for engineering
 	// optimizations" and found it worth 53% for ConcBag, §1.6.3).
 	StealOrder StealOrder
+
+	// Tracer, when non-nil, receives telemetry events (steals, chunk
+	// transfers, checkEmpty rounds, produce pressure) from every handle.
+	// Nil disables emission at the cost of one predictable branch per
+	// site.
+	Tracer telemetry.Tracer
+
+	// Latency enables wall-clock sampling of Put/Get/steal operations
+	// into the per-handle histograms (stats.Ops.PutLatency & co.). Off
+	// by default: sampling adds two time.Now() calls per operation,
+	// which the paper's microbenchmark regime would notice.
+	Latency bool
 }
 
 // StealOrder is a victim-iteration policy for steal attempts.
@@ -130,6 +144,7 @@ func New[T any](cfg Config[T]) (*Framework[T], error) {
 		pr := &Producer[T]{fw: fw, access: access}
 		pr.state.ID = i
 		pr.state.Node = pl.ProducerNode(i)
+		pr.state.Tracer = cfg.Tracer
 		fw.producers[i] = pr
 	}
 
@@ -145,6 +160,7 @@ func New[T any](cfg Config[T]) (*Framework[T], error) {
 		co := &Consumer[T]{fw: fw, myPool: fw.pools[i], victims: victims}
 		co.state.ID = i
 		co.state.Node = pl.ConsumerNode(i)
+		co.state.Tracer = cfg.Tracer
 		fw.consumers[i] = co
 	}
 	return fw, nil
@@ -192,8 +208,25 @@ type Producer[T any] struct {
 // Put inserts t (Algorithm 2's put()): produce() along the access list,
 // produceForce() on the closest pool as last resort. t must be non-nil.
 func (p *Producer[T]) Put(t *T) {
+	if !p.fw.cfg.Latency { // fast path: one predictable branch
+		p.put(t)
+		return
+	}
+	start := time.Now()
+	p.put(t)
+	p.state.Ops.PutLatency.ObserveSince(start)
+}
+
+func (p *Producer[T]) put(t *T) {
+	tr := p.state.Tracer
 	if p.fw.cfg.DisableBalancing {
 		if !p.access[0].Produce(&p.state, t) {
+			if tr != nil {
+				tr.OnProduceFail(telemetry.ProduceEvent{
+					Producer: p.state.ID, Node: p.state.Node, Pool: p.access[0].OwnerID()})
+				tr.OnForcePut(telemetry.ProduceEvent{
+					Producer: p.state.ID, Node: p.state.Node, Pool: p.access[0].OwnerID()})
+			}
 			p.access[0].ProduceForce(&p.state, t)
 		}
 		return
@@ -202,6 +235,14 @@ func (p *Producer[T]) Put(t *T) {
 		if pool.Produce(&p.state, t) {
 			return
 		}
+		if tr != nil {
+			tr.OnProduceFail(telemetry.ProduceEvent{
+				Producer: p.state.ID, Node: p.state.Node, Pool: pool.OwnerID()})
+		}
+	}
+	if tr != nil {
+		tr.OnForcePut(telemetry.ProduceEvent{
+			Producer: p.state.ID, Node: p.state.Node, Pool: p.access[0].OwnerID()})
 	}
 	p.access[0].ProduceForce(&p.state, t)
 }
@@ -231,6 +272,21 @@ type Consumer[T any] struct {
 // when the system was observed empty — linearizably so unless the framework
 // was configured with NonLinearizableEmpty.
 func (c *Consumer[T]) Get() (*T, bool) {
+	if !c.fw.cfg.Latency { // fast path: one predictable branch
+		return c.get()
+	}
+	start := time.Now()
+	t, ok := c.get()
+	if ok {
+		// Only successful retrievals are sampled, so spin-polling an
+		// empty pool (where Get runs the full emptiness protocol every
+		// call) does not drown the histogram in empty-pass latencies.
+		c.state.Ops.GetLatency.ObserveSince(start)
+	}
+	return t, ok
+}
+
+func (c *Consumer[T]) get() (*T, bool) {
 	for {
 		if t, ok := c.tryOnce(); ok {
 			return t, true
@@ -244,8 +300,19 @@ func (c *Consumer[T]) Get() (*T, bool) {
 
 // TryGet performs a single consume-then-steal traversal without the
 // emptiness protocol. A false result means "found nothing this pass", not
-// "the system was empty".
-func (c *Consumer[T]) TryGet() (*T, bool) { return c.tryOnce() }
+// "the system was empty". Latency sampling records only successful passes,
+// so spin-polling an empty pool does not drown the Get histogram.
+func (c *Consumer[T]) TryGet() (*T, bool) {
+	if !c.fw.cfg.Latency {
+		return c.tryOnce()
+	}
+	start := time.Now()
+	t, ok := c.tryOnce()
+	if ok {
+		c.state.Ops.GetLatency.ObserveSince(start)
+	}
+	return t, ok
+}
 
 // GetWait retrieves a task, spinning (with escalating yields) through empty
 // periods until a task arrives or stop is closed.
@@ -293,7 +360,16 @@ func (c *Consumer[T]) tryOnce() (*T, bool) {
 	}
 	for k := 0; k < n; k++ {
 		v := c.victims[(start+k)%n]
+		if !c.fw.cfg.Latency {
+			if t := c.myPool.Steal(&c.state, v); t != nil {
+				c.state.Ops.Gets.Inc()
+				return t, true
+			}
+			continue
+		}
+		stealStart := time.Now()
 		if t := c.myPool.Steal(&c.state, v); t != nil {
+			c.state.Ops.StealLatency.ObserveSince(stealStart)
 			c.state.Ops.Gets.Inc()
 			return t, true
 		}
@@ -309,17 +385,23 @@ func (c *Consumer[T]) tryOnce() (*T, bool) {
 // started (Lemma 6 / Claim 3).
 func (c *Consumer[T]) checkEmpty() bool {
 	n := len(c.fw.consumers)
+	tr := c.state.Tracer
 	for i := 0; i < n; i++ {
 		for _, p := range c.fw.pools {
 			if i == 0 {
 				p.SetIndicator(c.state.ID)
 			}
-			if !p.IsEmpty() {
+			if !p.IsEmpty() || !p.CheckIndicator(c.state.ID) {
+				if tr != nil {
+					tr.OnCheckEmptyRound(telemetry.CheckEmptyRoundEvent{
+						Consumer: c.state.ID, Round: i, Empty: false})
+				}
 				return false
 			}
-			if !p.CheckIndicator(c.state.ID) {
-				return false
-			}
+		}
+		if tr != nil {
+			tr.OnCheckEmptyRound(telemetry.CheckEmptyRoundEvent{
+				Consumer: c.state.ID, Round: i, Empty: true})
 		}
 	}
 	return true

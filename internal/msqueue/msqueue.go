@@ -103,13 +103,17 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 			q.tail.CompareAndSwap(tail, next)
 			continue
 		}
-		v := next.val
 		if q.countCAS {
 			q.deqCAS.Add(1)
 		}
 		if q.head.CompareAndSwap(head, next) {
-			// Clear the value in the new sentinel so the queue does
-			// not pin consumed payloads for the GC.
+			// Touch next.val only after winning the CAS: exactly one
+			// dequeuer unlinks each node, so the winner reads and
+			// clears the value with exclusive ownership. (Losers
+			// reading it before the CAS would race with this zeroing.)
+			// Clearing keeps the new sentinel from pinning consumed
+			// payloads for the GC.
+			v := next.val
 			next.val = zero
 			return v, true
 		}

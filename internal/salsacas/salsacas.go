@@ -18,6 +18,7 @@ import (
 	"salsa/internal/chunkpool"
 	"salsa/internal/indicator"
 	"salsa/internal/scpool"
+	"salsa/internal/telemetry"
 )
 
 // DefaultChunkSize matches SALSA's default so ablations compare like for
@@ -266,6 +267,13 @@ func (p *Pool[T]) Steal(cs *scpool.ConsumerState, victimPool scpool.SCPool[T]) *
 	sc.stealCursor = cur
 	if t != nil {
 		cs.Ops.Steals.Inc()
+		if tr := cs.Tracer; tr != nil {
+			tr.OnSteal(telemetry.StealEvent{
+				Thief: p.ownerIDv, Victim: victim.ownerIDv,
+				ThiefNode: p.ownerNode, VictimNode: victim.ownerNode,
+				TasksMoved: 1,
+			})
+		}
 	}
 	return t
 }
@@ -308,6 +316,17 @@ func (p *Pool[T]) takeFrom(cs *scpool.ConsumerState, src *Pool[T], cursor int) (
 				n.chunk.Store(nil)
 				if ch.recycled.CompareAndSwap(0, 1) {
 					p.chunks.Put(nil, ch)
+					if p != src {
+						// Consumption-rate-proportional balancing
+						// moved an empty spare across pools.
+						if tr := cs.Tracer; tr != nil {
+							tr.OnChunkTransfer(telemetry.ChunkTransferEvent{
+								From: src.ownerIDv, To: p.ownerIDv,
+								FromNode: int(ch.home.Load()), ToNode: int(ch.home.Load()),
+								Tasks: 0,
+							})
+						}
+					}
 				}
 				src.ind.Clear()
 			} else if ch.tasks[idx+2].Load() == nil {

@@ -12,6 +12,7 @@ package scpool
 
 import (
 	"salsa/internal/stats"
+	"salsa/internal/telemetry"
 )
 
 // ProducerState is the per-producer context threaded through Produce calls.
@@ -25,6 +26,10 @@ type ProducerState struct {
 	Node int
 	// Ops gathers this producer's operation counts.
 	Ops stats.Ops
+	// Tracer, when non-nil, receives telemetry events from the pool
+	// paths driven by this handle. Every emission site is an inline nil
+	// check, so the nil default costs one predictable branch.
+	Tracer telemetry.Tracer
 	// Scratch holds implementation-private state (e.g. SALSA's current
 	// chunk and insertion index). Owned by the SCPool implementation.
 	Scratch any
@@ -39,6 +44,9 @@ type ConsumerState struct {
 	Node int
 	// Ops gathers this consumer's operation counts.
 	Ops stats.Ops
+	// Tracer, when non-nil, receives telemetry events from the pool
+	// paths driven by this handle (steals, chunk transfers).
+	Tracer telemetry.Tracer
 	// Scratch holds implementation-private state (e.g. SALSA's cached
 	// current node).
 	Scratch any

@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+	"time"
+)
+
+// HistogramBuckets is the number of power-of-two latency buckets. Bucket 0
+// holds zero-duration samples; bucket i (i ≥ 1) holds samples whose
+// nanosecond value has bit length i, i.e. durations in [2^(i-1), 2^i) ns.
+// 40 buckets cover up to ~9 minutes, far beyond any pool operation.
+const HistogramBuckets = 40
+
+// Histogram is a single-writer power-of-two-bucket latency histogram. Like
+// Counter, it is updated only by the goroutine owning the enclosing Ops
+// block — each Observe is a handful of load+store atomic pairs, no RMW —
+// so embedding one next to the operation counters preserves the SALSA fast
+// path's freedom from read-modify-write instructions. Readers may observe a
+// mid-update histogram (count ahead of a bucket or vice versa) but never a
+// torn word; snapshots are therefore approximate to ±1 in-flight sample,
+// which is immaterial for percentile reporting.
+type Histogram struct {
+	count   Counter
+	sum     Counter // nanoseconds
+	buckets [HistogramBuckets]Counter
+}
+
+// bucketOf maps a nanosecond sample to its bucket index.
+func bucketOf(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns))
+	if b >= HistogramBuckets {
+		return HistogramBuckets - 1
+	}
+	return b
+}
+
+// Observe records one sample of ns nanoseconds. Single-writer, like
+// Counter.Inc.
+func (h *Histogram) Observe(ns int64) {
+	h.buckets[bucketOf(ns)].Inc()
+	h.count.Inc()
+	h.sum.Add(ns)
+}
+
+// ObserveSince records the time elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Nanoseconds())
+}
+
+// Snapshot returns a plain-value copy of the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	s.SumNs = h.sum.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramBucketBoundNs returns the inclusive upper bound, in nanoseconds,
+// of bucket i. The final bucket is unbounded ("+Inf" in Prometheus terms);
+// its nominal bound is returned for labelling.
+func HistogramBucketBoundNs(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram, safe to pass
+// around, merge and serialize.
+type HistogramSnapshot struct {
+	Count   int64
+	SumNs   int64
+	Buckets [HistogramBuckets]int64
+}
+
+// Add merges s2 into s. Merging is associative and commutative: buckets and
+// totals are plain sums, so any aggregation order over per-handle
+// histograms yields the same result.
+func (s *HistogramSnapshot) Add(s2 HistogramSnapshot) {
+	s.Count += s2.Count
+	s.SumNs += s2.SumNs
+	for i := range s.Buckets {
+		s.Buckets[i] += s2.Buckets[i]
+	}
+}
+
+// Mean returns the average sample duration, or 0 with no samples.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNs / s.Count)
+}
+
+// Quantile returns an upper bound on the q-quantile sample (0 < q ≤ 1): the
+// bucket bound below which at least q·Count samples fall. Power-of-two
+// buckets bound the error to a factor of two, which is adequate for spotting
+// latency-regime shifts (fast path vs. steal vs. checkEmpty). Returns 0 when
+// the histogram is empty.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Nearest-rank definition: the smallest sample with at least q·Count
+	// samples at or below it (ceiling, so P999 of 100 samples is the
+	// 100th, not the 99th).
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum int64
+	for i, b := range s.Buckets {
+		cum += b
+		if cum >= rank {
+			return time.Duration(HistogramBucketBoundNs(i))
+		}
+	}
+	return time.Duration(HistogramBucketBoundNs(HistogramBuckets - 1))
+}
+
+// P50 returns the median sample bound.
+func (s HistogramSnapshot) P50() time.Duration { return s.Quantile(0.50) }
+
+// P99 returns the 99th-percentile sample bound.
+func (s HistogramSnapshot) P99() time.Duration { return s.Quantile(0.99) }
+
+// P999 returns the 99.9th-percentile sample bound.
+func (s HistogramSnapshot) P999() time.Duration { return s.Quantile(0.999) }

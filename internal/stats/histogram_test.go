@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11},
+		{int64(1) << 62, HistogramBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestHistogramObserveAndSnapshot(t *testing.T) {
+	var h Histogram
+	samples := []int64{0, 1, 3, 100, 1000, 1_000_000}
+	var sum int64
+	for _, s := range samples {
+		h.Observe(s)
+		sum += s
+	}
+	s := h.Snapshot()
+	if s.Count != int64(len(samples)) {
+		t.Fatalf("Count = %d, want %d", s.Count, len(samples))
+	}
+	if s.SumNs != sum {
+		t.Fatalf("SumNs = %d, want %d", s.SumNs, sum)
+	}
+	var bucketTotal int64
+	for _, b := range s.Buckets {
+		bucketTotal += b
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+}
+
+func TestQuantileBounds(t *testing.T) {
+	var h Histogram
+	// 100 samples of ~1000ns: every quantile must land in the bucket
+	// containing 1000 (bound 1023ns).
+	for i := 0; i < 100; i++ {
+		h.Observe(1000)
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 1023*time.Nanosecond {
+			t.Errorf("Quantile(%g) = %v, want 1023ns", q, got)
+		}
+	}
+	if s.P50() != 1023 || s.P99() != 1023 || s.P999() != 1023 {
+		t.Errorf("P50/P99/P999 = %v/%v/%v, want 1023ns each", s.P50(), s.P99(), s.P999())
+	}
+	if got := s.Mean(); got != 1000*time.Nanosecond {
+		t.Errorf("Mean = %v, want 1µs", got)
+	}
+
+	// A quantile of an empty histogram is 0.
+	var empty HistogramSnapshot
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Error("empty histogram must report zero quantile and mean")
+	}
+}
+
+func TestQuantileSeparatesRegimes(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 99; i++ {
+		h.Observe(100) // fast path
+	}
+	h.Observe(1 << 20) // one slow outlier
+	s := h.Snapshot()
+	if p50 := s.P50(); p50 > 127*time.Nanosecond {
+		t.Errorf("P50 = %v, want ≤127ns", p50)
+	}
+	if p999 := s.P999(); p999 < time.Duration(1<<20) {
+		t.Errorf("P999 = %v, want ≥ the outlier bucket", p999)
+	}
+}
+
+// TestHistogramMergeAssociativity is the satellite-task check: merging
+// per-handle snapshots must be associative and commutative, so the
+// aggregation order in stats.Snapshot.Add can never change the result.
+func TestHistogramMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	parts := make([]HistogramSnapshot, 4)
+	for p := range parts {
+		var h Histogram
+		for i := 0; i < 1000; i++ {
+			h.Observe(rng.Int63n(1 << uint(5+p*7)))
+		}
+		parts[p] = h.Snapshot()
+	}
+
+	// ((a+b)+c)+d
+	left := parts[0]
+	left.Add(parts[1])
+	left.Add(parts[2])
+	left.Add(parts[3])
+	// a+((b+c)+d), built right-to-left
+	bc := parts[1]
+	bc.Add(parts[2])
+	bc.Add(parts[3])
+	right := parts[0]
+	right.Add(bc)
+	// reverse order (commutativity)
+	rev := parts[3]
+	rev.Add(parts[2])
+	rev.Add(parts[1])
+	rev.Add(parts[0])
+
+	if left != right || left != rev {
+		t.Fatalf("merge not associative/commutative:\nleft  %+v\nright %+v\nrev   %+v",
+			left, right, rev)
+	}
+	var want int64 = 4000
+	if left.Count != want {
+		t.Fatalf("merged Count = %d, want %d", left.Count, want)
+	}
+}
+
+func TestObserveSince(t *testing.T) {
+	var h Histogram
+	h.ObserveSince(time.Now().Add(-time.Millisecond))
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("Count = %d, want 1", s.Count)
+	}
+	if s.SumNs < int64(time.Millisecond) {
+		t.Fatalf("SumNs = %d, want ≥1ms", s.SumNs)
+	}
+}
+
+func TestHistogramBucketBoundNs(t *testing.T) {
+	if HistogramBucketBoundNs(0) != 0 {
+		t.Error("bucket 0 bound must be 0")
+	}
+	if HistogramBucketBoundNs(1) != 1 {
+		t.Error("bucket 1 bound must be 1")
+	}
+	if HistogramBucketBoundNs(10) != 1023 {
+		t.Error("bucket 10 bound must be 1023")
+	}
+}
+
+func TestCounterStore(t *testing.T) {
+	var c Counter
+	c.Add(41)
+	c.Inc()
+	if c.Load() != 42 {
+		t.Fatalf("Load = %d, want 42", c.Load())
+	}
+	c.Store(7)
+	if c.Load() != 7 {
+		t.Fatalf("after Store(7), Load = %d", c.Load())
+	}
+	c.Store(0)
+	if c.Load() != 0 {
+		t.Fatalf("after Store(0), Load = %d", c.Load())
+	}
+}

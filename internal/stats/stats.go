@@ -14,18 +14,35 @@ package stats
 
 import "sync/atomic"
 
-// Counter is a single-writer event counter. Inc must only be called by the
-// owning goroutine; Load may be called from anywhere.
+// Counter is a single-writer event counter. Inc, Add and Store must only be
+// called by the owning goroutine; Load may be called from anywhere.
 type Counter struct {
 	v atomic.Int64
 }
 
-// Inc adds one to the counter. Single-writer: two relaxed-cost atomic ops,
-// no RMW.
+// Inc adds one to the counter.
+//
+// Visibility guarantee, precisely: the counter is single-writer. Inc is an
+// atomic load followed by an atomic store of the same word — deliberately
+// not an atomic read-modify-write — which is only sound because no other
+// goroutine ever writes the counter. Concurrent readers calling Load may lag
+// (an increment published on one core takes time to become visible on
+// another, so a reader can observe any earlier value) but can never observe
+// a torn or out-of-thin-air value, and the sequence of values a single
+// reader observes is monotonically non-decreasing. This keeps the SALSA
+// fast path free of RMW instructions even while instrumented, and is
+// race-detector-clean.
 func (c *Counter) Inc() { c.v.Store(c.v.Load() + 1) }
 
-// Add adds n to the counter (single-writer).
+// Add adds n to the counter. Single-writer; same visibility guarantee as
+// Inc.
 func (c *Counter) Add(n int64) { c.v.Store(c.v.Load() + n) }
+
+// Store overwrites the counter with v. Single-writer: only the owning
+// goroutine may call it. Intended for resetting counters between snapshot
+// windows (delta reporting); readers racing a Store observe either the old
+// or the new value, never a mixture.
+func (c *Counter) Store(v int64) { c.v.Store(v) }
 
 // Load returns the current value.
 func (c *Counter) Load() int64 { return c.v.Load() }
@@ -71,6 +88,15 @@ type Ops struct {
 	RemoteTransfers Counter
 	LocalTransfers  Counter
 
+	// PutLatency, GetLatency and StealLatency are single-writer latency
+	// histograms for this handle's operations. They are populated only
+	// when the framework's latency sampling is enabled (telemetry); the
+	// fast paths otherwise never touch them, so the zero-valued
+	// histograms cost only their memory.
+	PutLatency   Histogram
+	GetLatency   Histogram
+	StealLatency Histogram
+
 	// pad keeps separately owned Ops blocks on distinct cache lines when
 	// they are allocated contiguously by the harness.
 	_ [64]byte
@@ -85,6 +111,11 @@ type Snapshot struct {
 	ChunkAllocs, ChunkReuses        int64
 	ProduceFull, ForcePuts          int64
 	RemoteTransfers, LocalTransfers int64
+
+	// Latency histograms, populated only when latency sampling is on.
+	// Percentile accessors: PutLatency.P50(), GetLatency.P99(), … — see
+	// HistogramSnapshot.
+	PutLatency, GetLatency, StealLatency HistogramSnapshot
 }
 
 // Snapshot returns a point-in-time copy of the counters.
@@ -97,6 +128,9 @@ func (o *Ops) Snapshot() Snapshot {
 		ChunkAllocs: o.ChunkAllocs.Load(), ChunkReuses: o.ChunkReuses.Load(),
 		ProduceFull: o.ProduceFull.Load(), ForcePuts: o.ForcePuts.Load(),
 		RemoteTransfers: o.RemoteTransfers.Load(), LocalTransfers: o.LocalTransfers.Load(),
+		PutLatency:   o.PutLatency.Snapshot(),
+		GetLatency:   o.GetLatency.Snapshot(),
+		StealLatency: o.StealLatency.Snapshot(),
 	}
 }
 
@@ -117,6 +151,9 @@ func (s *Snapshot) Add(s2 Snapshot) {
 	s.ForcePuts += s2.ForcePuts
 	s.RemoteTransfers += s2.RemoteTransfers
 	s.LocalTransfers += s2.LocalTransfers
+	s.PutLatency.Add(s2.PutLatency)
+	s.GetLatency.Add(s2.GetLatency)
+	s.StealLatency.Add(s2.StealLatency)
 }
 
 // Sum aggregates a set of snapshots.

@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// WriteDelta writes a one-line rate summary of the change from prev to cur
+// over dt — the periodic progress line salsa-bench/salsa-stress print with
+// -snapshot-every.
+func WriteDelta(w io.Writer, prev, cur Snapshot, dt time.Duration) {
+	secs := dt.Seconds()
+	rate := func(b, a int64) float64 {
+		if secs <= 0 {
+			return 0
+		}
+		if a < b {
+			// Counter reset (the source swapped to a fresh pool, as
+			// salsa-stress does each round): Prometheus-style, count
+			// from zero rather than reporting a negative rate.
+			b = 0
+		}
+		return float64(a-b) / secs
+	}
+	fmt.Fprintf(w,
+		"[%s] puts/s %.0f gets/s %.0f steals/s %.0f cas/s %.0f failed-cas/s %.0f checkempty-rounds/s %.0f get-p99 %v\n",
+		cur.Algorithm,
+		rate(prev.Ops.Puts, cur.Ops.Puts),
+		rate(prev.Ops.Gets, cur.Ops.Gets),
+		rate(prev.Ops.Steals, cur.Ops.Steals),
+		rate(prev.Ops.CAS, cur.Ops.CAS),
+		rate(prev.Ops.FailedCAS, cur.Ops.FailedCAS),
+		rate(sum(prev.CheckEmptyRounds), sum(cur.CheckEmptyRounds)),
+		cur.Ops.GetLatency.P99(),
+	)
+}
+
+// StartDeltaLoop spawns a goroutine printing WriteDelta lines for src every
+// interval until the returned stop function is called. Counter snapshots
+// are atomic reads, so the loop can run concurrently with the pool.
+func StartDeltaLoop(w io.Writer, src SnapshotSource, every time.Duration) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		prev := src.TelemetrySnapshot()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				cur := src.TelemetrySnapshot()
+				WriteDelta(w, prev, cur, every)
+				prev = cur
+			}
+		}
+	}()
+	return func() { close(done) }
+}

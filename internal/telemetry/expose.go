@@ -1,0 +1,282 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+
+	"salsa/internal/stats"
+)
+
+// Snapshot is a point-in-time view of everything the pool can report:
+// the aggregated operation census (with latency histograms), the collector's
+// steal matrices, and instantaneous gauges like chunk-pool occupancy.
+type Snapshot struct {
+	// Algorithm is the pool algorithm's display name.
+	Algorithm string
+	// Producers and Consumers are the configured thread counts.
+	Producers, Consumers int
+	// ConsumerNodes maps consumer id → NUMA node (nil if unknown).
+	ConsumerNodes []int
+
+	// Ops is the aggregated per-handle operation census, including the
+	// Put/Get/steal latency histograms when latency sampling is on.
+	Ops stats.Snapshot
+
+	// StealMatrix[t][v] counts successful steals by thief t from victim
+	// v. Nil when no Collector is attached.
+	StealMatrix [][]int64
+	// UnattributedSteals[t] counts thief t's steals from
+	// shared-structure substrates with no single victim.
+	UnattributedSteals []int64
+	// StealTasksMoved[t] totals tasks carried by thief t's steals.
+	StealTasksMoved []int64
+	// CrossNodeSteals and SameNodeSteals split steals by node crossing.
+	CrossNodeSteals, SameNodeSteals int64
+	// ChunkTransfersIn[c] counts chunks transferred into consumer c's
+	// pool (steals and cross-pool retirements).
+	ChunkTransfersIn []int64
+	// CheckEmptyRounds[c] and CheckEmptyAborts[c] count emptiness
+	// protocol rounds run / failed by consumer c.
+	CheckEmptyRounds, CheckEmptyAborts []int64
+	// ProduceFails[p] and ForcePuts[p] count producer p's balancing
+	// rejections and force expansions.
+	ProduceFails, ForcePuts []int64
+
+	// ChunkSpares[c] is the instantaneous chunk-pool occupancy of
+	// consumer c's pool — the signal producer-based balancing reads
+	// (§1.5.4). Nil for algorithms without chunk pools.
+	ChunkSpares []int
+}
+
+// SnapshotSource supplies snapshots to the exposition handlers. salsa.Pool
+// implements it; commands wrap it to point at whichever pool is live.
+type SnapshotSource interface {
+	TelemetrySnapshot() Snapshot
+}
+
+// sum totals a per-thread counter slice.
+func sum(xs []int64) int64 {
+	var t int64
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// promEscape escapes a label value per the Prometheus text format.
+func promEscape(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(s)
+}
+
+func writeCounter(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	fmt.Fprintf(w, "%s %d\n", name, v)
+}
+
+// WritePrometheus renders s in the Prometheus text exposition format
+// (version 0.0.4), stdlib only.
+func WritePrometheus(w io.Writer, s Snapshot) {
+	alg := promEscape(s.Algorithm)
+	fmt.Fprintf(w, "# HELP salsa_info Pool configuration.\n# TYPE salsa_info gauge\n")
+	fmt.Fprintf(w, "salsa_info{algorithm=%q,producers=\"%d\",consumers=\"%d\"} 1\n",
+		alg, s.Producers, s.Consumers)
+
+	o := s.Ops
+	writeCounter(w, "salsa_puts_total", "Completed Put operations.", o.Puts)
+	writeCounter(w, "salsa_gets_total", "Completed Get operations that returned a task.", o.Gets)
+	writeCounter(w, "salsa_gets_empty_total", "Get operations that returned empty after a successful checkEmpty.", o.GetsEmpty)
+	writeCounter(w, "salsa_cas_total", "CAS attempts issued in produce/consume/steal paths.", o.CAS)
+	writeCounter(w, "salsa_cas_failed_total", "Failed CAS attempts (contention signal).", o.FailedCAS)
+	writeCounter(w, "salsa_fastpath_total", "Retrievals completed on the CAS-free owner fast path.", o.FastPath)
+	writeCounter(w, "salsa_slowpath_total", "Retrievals that needed the stolen-chunk CAS path.", o.SlowPath)
+	writeCounter(w, "salsa_steals_total", "Successful steals.", o.Steals)
+	writeCounter(w, "salsa_steal_attempts_total", "Steal invocations.", o.StealAttempts)
+	writeCounter(w, "salsa_chunk_allocs_total", "Fresh chunk allocations.", o.ChunkAllocs)
+	writeCounter(w, "salsa_chunk_reuses_total", "Chunks recycled through a chunk pool.", o.ChunkReuses)
+	writeCounter(w, "salsa_produce_full_total", "produce() failures due to an exhausted chunk pool.", o.ProduceFull)
+	writeCounter(w, "salsa_force_puts_total", "produceForce expansions.", o.ForcePuts)
+	writeCounter(w, "salsa_remote_transfers_total", "Task transfers crossing NUMA nodes.", o.RemoteTransfers)
+	writeCounter(w, "salsa_local_transfers_total", "Same-node task transfers.", o.LocalTransfers)
+
+	if s.StealMatrix != nil {
+		node := func(c int) int {
+			if c >= 0 && c < len(s.ConsumerNodes) {
+				return s.ConsumerNodes[c]
+			}
+			return UnattributedVictim
+		}
+		fmt.Fprintf(w, "# HELP salsa_steal_matrix_total Successful steals by thief from victim.\n")
+		fmt.Fprintf(w, "# TYPE salsa_steal_matrix_total counter\n")
+		for t, row := range s.StealMatrix {
+			for v, n := range row {
+				if n == 0 {
+					continue
+				}
+				cross := node(t) != node(v) && node(t) != UnattributedVictim && node(v) != UnattributedVictim
+				fmt.Fprintf(w, "salsa_steal_matrix_total{thief=\"%d\",victim=\"%d\",cross_node=\"%t\"} %d\n",
+					t, v, cross, n)
+			}
+		}
+		writeCounter(w, "salsa_steal_unattributed_total",
+			"Steals from shared-structure substrates with no single victim.",
+			sum(s.UnattributedSteals))
+		writeCounter(w, "salsa_steal_tasks_moved_total", "Tasks carried by successful steals.",
+			sum(s.StealTasksMoved))
+		writeCounter(w, "salsa_steals_cross_node_total", "Steals that crossed a NUMA node boundary.",
+			s.CrossNodeSteals)
+		writeCounter(w, "salsa_steals_same_node_total", "Steals that stayed on one NUMA node.",
+			s.SameNodeSteals)
+
+		fmt.Fprintf(w, "# HELP salsa_chunk_transfers_in_total Chunks transferred into a consumer's pool.\n")
+		fmt.Fprintf(w, "# TYPE salsa_chunk_transfers_in_total counter\n")
+		for c, n := range s.ChunkTransfersIn {
+			fmt.Fprintf(w, "salsa_chunk_transfers_in_total{consumer=\"%d\"} %d\n", c, n)
+		}
+		fmt.Fprintf(w, "# HELP salsa_checkempty_rounds_total Emptiness-protocol rounds run per consumer.\n")
+		fmt.Fprintf(w, "# TYPE salsa_checkempty_rounds_total counter\n")
+		for c, n := range s.CheckEmptyRounds {
+			fmt.Fprintf(w, "salsa_checkempty_rounds_total{consumer=\"%d\"} %d\n", c, n)
+		}
+		fmt.Fprintf(w, "# HELP salsa_checkempty_aborts_total Emptiness-protocol rounds that failed per consumer.\n")
+		fmt.Fprintf(w, "# TYPE salsa_checkempty_aborts_total counter\n")
+		for c, n := range s.CheckEmptyAborts {
+			fmt.Fprintf(w, "salsa_checkempty_aborts_total{consumer=\"%d\"} %d\n", c, n)
+		}
+		fmt.Fprintf(w, "# HELP salsa_produce_fails_total Balancing rejections per producer.\n")
+		fmt.Fprintf(w, "# TYPE salsa_produce_fails_total counter\n")
+		for p, n := range s.ProduceFails {
+			fmt.Fprintf(w, "salsa_produce_fails_total{producer=\"%d\"} %d\n", p, n)
+		}
+	}
+
+	if s.ChunkSpares != nil {
+		fmt.Fprintf(w, "# HELP salsa_chunk_pool_spares Spare chunks in each consumer's chunk pool (balancing signal).\n")
+		fmt.Fprintf(w, "# TYPE salsa_chunk_pool_spares gauge\n")
+		for c, n := range s.ChunkSpares {
+			fmt.Fprintf(w, "salsa_chunk_pool_spares{consumer=\"%d\"} %d\n", c, n)
+		}
+	}
+
+	writeHistogram(w, "salsa_put_latency_seconds", "Put latency.", o.PutLatency)
+	writeHistogram(w, "salsa_get_latency_seconds", "Get latency.", o.GetLatency)
+	writeHistogram(w, "salsa_steal_latency_seconds", "Successful steal latency.", o.StealLatency)
+}
+
+// writeHistogram renders one latency histogram as a Prometheus histogram
+// plus explicit p50/p99/p999 gauges (power-of-two bucket bounds make the
+// quantiles a ≤2× upper bound; see stats.HistogramSnapshot.Quantile).
+func writeHistogram(w io.Writer, name, help string, h stats.HistogramSnapshot) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	lo := 0 // skip the empty low tail, keeping one zero bucket for shape
+	for lo < stats.HistogramBuckets-1 && h.Buckets[lo] == 0 && h.Buckets[lo+1] == 0 {
+		lo++
+	}
+	for i := lo; i < stats.HistogramBuckets; i++ {
+		cum += h.Buckets[i]
+		if i == stats.HistogramBuckets-1 {
+			break // rendered as +Inf below
+		}
+		if h.Buckets[i] == 0 && cum == h.Count {
+			continue // trim the empty high tail
+		}
+		le := float64(stats.HistogramBucketBoundNs(i)) / 1e9
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", le), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.SumNs)/1e9)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+
+	base := strings.TrimSuffix(name, "_seconds")
+	fmt.Fprintf(w, "# HELP %s_p50_seconds Median %s\n# TYPE %s_p50_seconds gauge\n", base, help, base)
+	fmt.Fprintf(w, "%s_p50_seconds %g\n", base, h.P50().Seconds())
+	fmt.Fprintf(w, "# HELP %s_p99_seconds 99th percentile %s\n# TYPE %s_p99_seconds gauge\n", base, help, base)
+	fmt.Fprintf(w, "%s_p99_seconds %g\n", base, h.P99().Seconds())
+	fmt.Fprintf(w, "# HELP %s_p999_seconds 99.9th percentile %s\n# TYPE %s_p999_seconds gauge\n", base, help, base)
+	fmt.Fprintf(w, "%s_p999_seconds %g\n", base, h.P999().Seconds())
+}
+
+// jsonSnapshot augments Snapshot with derived fields for the JSON view.
+type jsonSnapshot struct {
+	Snapshot
+	PutP50Ns, PutP99Ns     int64
+	GetP50Ns, GetP99Ns     int64
+	StealP50Ns, StealP99Ns int64
+}
+
+// WriteJSON renders s as indented JSON with derived percentile fields.
+func WriteJSON(w io.Writer, s Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonSnapshot{
+		Snapshot: s,
+		PutP50Ns: int64(s.Ops.PutLatency.P50()), PutP99Ns: int64(s.Ops.PutLatency.P99()),
+		GetP50Ns: int64(s.Ops.GetLatency.P50()), GetP99Ns: int64(s.Ops.GetLatency.P99()),
+		StealP50Ns: int64(s.Ops.StealLatency.P50()), StealP99Ns: int64(s.Ops.StealLatency.P99()),
+	})
+}
+
+// HandlerOptions configures Handler.
+type HandlerOptions struct {
+	// PProf mounts net/http/pprof under /debug/pprof/.
+	PProf bool
+}
+
+// Handler returns an http.Handler exposing src:
+//
+//	/metrics       Prometheus text format
+//	/metrics.json  indented JSON snapshot
+//	/debug/pprof/  (optional) the standard pprof handlers
+func Handler(src SnapshotSource, opts HandlerOptions) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, src.TelemetrySnapshot())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := WriteJSON(w, src.TelemetrySnapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	if opts.PProf {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// Server is a running metrics endpoint; see Serve.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP server for h on addr (host:port; port 0 picks a free
+// one). It returns once the listener is bound; serving continues in a
+// background goroutine until Close.
+func Serve(addr string, h http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down immediately.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestStealEventCrossNode(t *testing.T) {
+	cases := []struct {
+		e    StealEvent
+		want bool
+	}{
+		{StealEvent{ThiefNode: 0, VictimNode: 1}, true},
+		{StealEvent{ThiefNode: 1, VictimNode: 1}, false},
+		{StealEvent{ThiefNode: 0, VictimNode: UnattributedVictim}, false},
+	}
+	for _, c := range cases {
+		if got := c.e.CrossNode(); got != c.want {
+			t.Errorf("CrossNode(%+v) = %t, want %t", c.e, got, c.want)
+		}
+	}
+}
+
+func TestCollectorAggregation(t *testing.T) {
+	c := NewCollector(2, 3)
+	// Thief 1 steals twice from victim 0 (one cross-node) and once
+	// unattributed.
+	c.OnSteal(StealEvent{Thief: 1, Victim: 0, ThiefNode: 1, VictimNode: 0, TasksMoved: 10})
+	c.OnSteal(StealEvent{Thief: 1, Victim: 0, ThiefNode: 1, VictimNode: 1, TasksMoved: 5})
+	c.OnSteal(StealEvent{Thief: 1, Victim: UnattributedVictim, ThiefNode: 1, VictimNode: UnattributedVictim, TasksMoved: 1})
+	c.OnChunkTransfer(ChunkTransferEvent{From: 0, To: 1, Tasks: 10})
+	c.OnCheckEmptyRound(CheckEmptyRoundEvent{Consumer: 2, Round: 0, Empty: true})
+	c.OnCheckEmptyRound(CheckEmptyRoundEvent{Consumer: 2, Round: 1, Empty: false})
+	c.OnProduceFail(ProduceEvent{Producer: 0, Pool: 1})
+	c.OnForcePut(ProduceEvent{Producer: 1, Pool: 0})
+	// Out-of-range ids must be ignored, not panic.
+	c.OnSteal(StealEvent{Thief: 99, Victim: 0})
+	c.OnProduceFail(ProduceEvent{Producer: -1})
+
+	var s Snapshot
+	c.Fill(&s)
+	if got := s.StealMatrix[1][0]; got != 2 {
+		t.Errorf("StealMatrix[1][0] = %d, want 2", got)
+	}
+	if got := s.UnattributedSteals[1]; got != 1 {
+		t.Errorf("UnattributedSteals[1] = %d, want 1", got)
+	}
+	if got := s.StealTasksMoved[1]; got != 16 {
+		t.Errorf("StealTasksMoved[1] = %d, want 16", got)
+	}
+	if s.CrossNodeSteals != 1 || s.SameNodeSteals != 2 {
+		// The unattributed steal counts as same-node (unknowable).
+		t.Errorf("cross/same = %d/%d, want 1/2", s.CrossNodeSteals, s.SameNodeSteals)
+	}
+	if got := s.ChunkTransfersIn[1]; got != 1 {
+		t.Errorf("ChunkTransfersIn[1] = %d, want 1", got)
+	}
+	if s.CheckEmptyRounds[2] != 2 || s.CheckEmptyAborts[2] != 1 {
+		t.Errorf("checkEmpty rounds/aborts = %d/%d, want 2/1",
+			s.CheckEmptyRounds[2], s.CheckEmptyAborts[2])
+	}
+	if s.ProduceFails[0] != 1 || s.ForcePuts[1] != 1 {
+		t.Errorf("ProduceFails[0]/ForcePuts[1] = %d/%d, want 1/1",
+			s.ProduceFails[0], s.ForcePuts[1])
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Error("Multi of no tracers must be nil")
+	}
+	a := NewCollector(1, 1)
+	if got := Multi(nil, a); got != Tracer(a) {
+		t.Error("Multi of one tracer must return it directly")
+	}
+	b := NewCollector(1, 1)
+	m := Multi(a, b)
+	m.OnSteal(StealEvent{Thief: 0, Victim: 0})
+	var sa, sb Snapshot
+	a.Fill(&sa)
+	b.Fill(&sb)
+	if sa.StealMatrix[0][0] != 1 || sb.StealMatrix[0][0] != 1 {
+		t.Error("Multi must fan the event out to both collectors")
+	}
+}
+
+func TestLogTracer(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogTracer(&buf)
+	l.OnSteal(StealEvent{Thief: 1, Victim: 0, TasksMoved: 3})
+	l.OnChunkTransfer(ChunkTransferEvent{From: 0, To: 1})
+	l.OnCheckEmptyRound(CheckEmptyRoundEvent{Consumer: 0, Empty: true})
+	l.OnProduceFail(ProduceEvent{Producer: 0})
+	l.OnForcePut(ProduceEvent{Producer: 0})
+
+	sc := bufio.NewScanner(&buf)
+	var kinds []string
+	for sc.Scan() {
+		var rec struct {
+			TUs   int64           `json:"t_us"`
+			Event string          `json:"event"`
+			Data  json.RawMessage `json:"data"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		kinds = append(kinds, rec.Event)
+	}
+	want := []string{"steal", "chunk_transfer", "checkempty_round", "produce_fail", "force_put"}
+	if strings.Join(kinds, ",") != strings.Join(want, ",") {
+		t.Fatalf("events %v, want %v", kinds, want)
+	}
+}
+
+func TestWriteDelta(t *testing.T) {
+	prev := Snapshot{Algorithm: "SALSA"}
+	prev.Ops.Puts, prev.Ops.Gets = 1000, 800
+	cur := Snapshot{Algorithm: "SALSA"}
+	cur.Ops.Puts, cur.Ops.Gets, cur.Ops.Steals = 3000, 2800, 50
+
+	var buf bytes.Buffer
+	WriteDelta(&buf, prev, cur, 2*1e9) // 2s in time.Duration units
+	line := buf.String()
+	for _, want := range []string{"[SALSA]", "puts/s 1000", "gets/s 1000", "steals/s 25"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("delta line missing %q: %s", want, line)
+		}
+	}
+
+	// Counter reset (fresh pool swapped in): rates count from zero
+	// instead of going negative.
+	reset := Snapshot{Algorithm: "SALSA"}
+	reset.Ops.Puts = 500
+	buf.Reset()
+	WriteDelta(&buf, cur, reset, 2*1e9)
+	if strings.Contains(buf.String(), "/s -") {
+		t.Errorf("delta after reset must not be negative: %s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "puts/s 250") {
+		t.Errorf("delta after reset should count from zero: %s", buf.String())
+	}
+}

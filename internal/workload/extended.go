@@ -27,12 +27,12 @@ func FigExtended(o FigureOptions) (Figure, error) {
 	for _, alg := range extendedAlgorithms {
 		s := Series{Name: alg.String()}
 		for _, n := range threadSteps(o.MaxThreads/2, o.Quick) {
-			r, err := runMedian(Config{
+			r, err := runMedian(o.applyObservability(Config{
 				Algorithm: alg,
 				Producers: n,
 				Consumers: n,
 				Duration:  o.Duration,
-			}, o.Trials)
+			}), o.Trials)
 			if err != nil {
 				return fig, err
 			}

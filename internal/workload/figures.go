@@ -19,6 +19,11 @@ type Point struct {
 	FastPath   float64 // fraction of retrievals on the CAS-free fast path
 	RemoteFrac float64 // fraction of transfers crossing NUMA nodes
 	LinkWaitMs float64 // simulator: busiest-port queueing time (Fig 1.7)
+
+	// Latency percentiles (seconds); zero unless Config.Metrics sampled
+	// the run (power-of-two buckets: values are ≤2× upper bounds).
+	PutP50s, PutP99s float64
+	GetP50s, GetP99s float64
 }
 
 // Series is one curve (one algorithm/configuration).
@@ -44,6 +49,15 @@ type FigureOptions struct {
 	MaxThreads int           // sweep ceiling; default 16 (paper: 32)
 	Quick      bool          // coarser sweeps for smoke runs
 	Trials     int           // runs per point, median taken; default 3
+
+	// Metrics/Tracer/Observe flow into every point's Config (see the
+	// Config fields): latency percentiles in the CSVs, live metrics
+	// endpoints, event trace logs. Sampling perturbs the measured loop
+	// (two clock reads per operation), so leave Metrics off when the
+	// absolute throughput numbers matter.
+	Metrics bool
+	Tracer  salsa.Tracer
+	Observe func(pool *salsa.Pool[Task])
 }
 
 func (o FigureOptions) withDefaults() FigureOptions {
@@ -60,6 +74,15 @@ func (o FigureOptions) withDefaults() FigureOptions {
 		}
 	}
 	return o
+}
+
+// applyObservability copies the figure-level observability knobs onto one
+// point's Config.
+func (o FigureOptions) applyObservability(cfg Config) Config {
+	cfg.Metrics = o.Metrics
+	cfg.Tracer = o.Tracer
+	cfg.Observe = o.Observe
+	return cfg
 }
 
 // runMedian repeats a configuration `trials` times and returns the run with
@@ -97,6 +120,10 @@ func point(x string, r Result) Point {
 		FastPath:   r.Stats.FastPathRatio(),
 		RemoteFrac: remoteFrac,
 		LinkWaitMs: float64(r.SimStats.BusiestLinkWait) / float64(time.Millisecond),
+		PutP50s:    r.Stats.PutLatency.P50().Seconds(),
+		PutP99s:    r.Stats.PutLatency.P99().Seconds(),
+		GetP50s:    r.Stats.GetLatency.P50().Seconds(),
+		GetP99s:    r.Stats.GetLatency.P99().Seconds(),
 	}
 }
 
@@ -132,12 +159,12 @@ func Fig14a(o FigureOptions) (Figure, error) {
 	for _, alg := range paperAlgorithms {
 		s := Series{Name: alg.String()}
 		for _, n := range threadSteps(o.MaxThreads/2, o.Quick) {
-			r, err := runMedian(Config{
+			r, err := runMedian(o.applyObservability(Config{
 				Algorithm: alg,
 				Producers: n,
 				Consumers: n,
 				Duration:  o.Duration,
-			}, o.Trials)
+			}), o.Trials)
 			if err != nil {
 				return fig, err
 			}
@@ -178,12 +205,12 @@ func Fig14b(o FigureOptions) (Figure, error) {
 				cons = 1
 				prods = total - 1
 			}
-			r, err := runMedian(Config{
+			r, err := runMedian(o.applyObservability(Config{
 				Algorithm: alg,
 				Producers: prods,
 				Consumers: cons,
 				Duration:  o.Duration,
-			}, o.Trials)
+			}), o.Trials)
 			if err != nil {
 				return fig, err
 			}
@@ -216,12 +243,12 @@ func Fig15(o FigureOptions) (Figure, Figure, error) {
 		st := Series{Name: alg.String()}
 		sc := Series{Name: alg.String()}
 		for _, n := range steps {
-			r, err := runMedian(Config{
+			r, err := runMedian(o.applyObservability(Config{
 				Algorithm: alg,
 				Producers: 1,
 				Consumers: n,
 				Duration:  o.Duration,
-			}, o.Trials)
+			}), o.Trials)
 			if err != nil {
 				return tput, casFig, err
 			}
@@ -258,13 +285,13 @@ func Fig16(o FigureOptions) (Figure, error) {
 	for _, v := range variants {
 		s := Series{Name: v.name}
 		for _, n := range threadSteps(o.MaxThreads-1, o.Quick) {
-			r, err := runMedian(Config{
+			r, err := runMedian(o.applyObservability(Config{
 				Algorithm:        v.alg,
 				Producers:        1,
 				Consumers:        n,
 				Duration:         o.Duration,
 				DisableBalancing: !v.balancing,
-			}, o.Trials)
+			}), o.Trials)
 			if err != nil {
 				return fig, err
 			}
@@ -313,7 +340,7 @@ func Fig17(o FigureOptions) (Figure, error) {
 	for _, v := range variants {
 		s := Series{Name: v.name}
 		for _, n := range threadSteps(o.MaxThreads/2, o.Quick) {
-			r, err := runMedian(Config{
+			r, err := runMedian(o.applyObservability(Config{
 				Algorithm:  salsa.SALSA,
 				Producers:  n,
 				Consumers:  n,
@@ -322,7 +349,7 @@ func Fig17(o FigureOptions) (Figure, error) {
 				Allocation: v.alloc,
 				Simulate:   true,
 				SimParams:  numasim.Params{AccountingOnly: true},
-			}, o.Trials)
+			}), o.Trials)
 			if err != nil {
 				return fig, err
 			}
@@ -381,13 +408,13 @@ func Fig18(o FigureOptions) (Figure, error) {
 	for _, alg := range []salsa.Algorithm{salsa.SALSA, salsa.SALSACAS, salsa.ConcBag} {
 		s := Series{Name: alg.String()}
 		for _, size := range sizes {
-			r, err := runMedian(Config{
+			r, err := runMedian(o.applyObservability(Config{
 				Algorithm: alg,
 				Producers: n,
 				Consumers: n,
 				ChunkSize: size,
 				Duration:  o.Duration,
-			}, o.Trials)
+			}), o.Trials)
 			if err != nil {
 				return fig, err
 			}

@@ -87,7 +87,8 @@ func RenderTable(w io.Writer, fig Figure) error {
 func WriteCSV(w io.Writer, fig Figure) error {
 	cw := csv.NewWriter(w)
 	header := []string{"series", "x", "throughput_ktasks_per_ms", "cas_per_get",
-		"steals", "fastpath_ratio", "remote_frac", "linkbusy_ms"}
+		"steals", "fastpath_ratio", "remote_frac", "linkbusy_ms",
+		"put_p50_s", "put_p99_s", "get_p50_s", "get_p99_s"}
 	if err := cw.Write(header); err != nil {
 		return err
 	}
@@ -101,6 +102,10 @@ func WriteCSV(w io.Writer, fig Figure) error {
 				fmt.Sprintf("%.4f", p.FastPath),
 				fmt.Sprintf("%.4f", p.RemoteFrac),
 				fmt.Sprintf("%.4f", p.LinkWaitMs),
+				fmt.Sprintf("%.3g", p.PutP50s),
+				fmt.Sprintf("%.3g", p.PutP99s),
+				fmt.Sprintf("%.3g", p.GetP50s),
+				fmt.Sprintf("%.3g", p.GetP99s),
 			}
 			if err := cw.Write(rec); err != nil {
 				return err

@@ -60,6 +60,18 @@ type Config struct {
 	// StalledConsumers lists consumer ids that never run — the paper's
 	// robustness scenario of unexpected thread stalls.
 	StalledConsumers []int
+
+	// Metrics enables the pool's telemetry collector and latency
+	// sampling (salsa.Config.Metrics): latency percentiles then appear
+	// in the Result and figure CSVs, at the cost of two clock reads per
+	// operation in the measured loop.
+	Metrics bool
+	// Tracer forwards raw telemetry events (salsa.Config.Tracer).
+	Tracer salsa.Tracer
+	// Observe, when set, is handed the live pool right before the
+	// workers start — the hook salsa-bench/salsa-stress use to point a
+	// metrics endpoint at whichever pool is currently running.
+	Observe func(pool *salsa.Pool[Task])
 }
 
 func (c Config) withDefaults() Config {
@@ -123,6 +135,8 @@ func Run(cfg Config) (Result, error) {
 		// emptiness protocol (§1.6.2); the pool is never empty for
 		// long in these workloads anyway.
 		NonLinearizableEmpty: true,
+		Metrics:              cfg.Metrics,
+		Tracer:               cfg.Tracer,
 	}
 	if cfg.Simulate {
 		topo := topology.Synthetic(cfg.NUMANodes, cfg.CoresPerNode)
@@ -136,6 +150,9 @@ func Run(cfg Config) (Result, error) {
 	pool, err := salsa.New[Task](poolCfg)
 	if err != nil {
 		return Result{}, fmt.Errorf("workload: %w", err)
+	}
+	if cfg.Observe != nil {
+		cfg.Observe(pool)
 	}
 
 	stalled := make(map[int]bool, len(cfg.StalledConsumers))
@@ -252,10 +269,15 @@ func RunFixed(cfg Config, tasksPerProducer int) (Result, error) {
 		Allocation:       cfg.Allocation,
 		DisableBalancing: cfg.DisableBalancing,
 		StealOrder:       cfg.StealOrder,
+		Metrics:          cfg.Metrics,
+		Tracer:           cfg.Tracer,
 	}
 	pool, err := salsa.New[Task](poolCfg)
 	if err != nil {
 		return Result{}, fmt.Errorf("workload: %w", err)
+	}
+	if cfg.Observe != nil {
+		cfg.Observe(pool)
 	}
 	total := int64(cfg.Producers) * int64(tasksPerProducer)
 

@@ -6,7 +6,7 @@ import (
 )
 
 func TestChunkQOrdering(t *testing.T) {
-	p, err := New[task](0, 1, CHUNKQ)
+	p, err := New[task](0, 0, 1, CHUNKQ)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +28,7 @@ func TestChunkQOrdering(t *testing.T) {
 }
 
 func TestBasketsOrdering(t *testing.T) {
-	p, err := New[task](0, 1, BASKETS)
+	p, err := New[task](0, 0, 1, BASKETS)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,8 +46,8 @@ func TestBasketsOrdering(t *testing.T) {
 
 func TestExtendedDisciplinesStealAndIndicators(t *testing.T) {
 	for _, disc := range []Discipline{CHUNKQ, BASKETS} {
-		victim, _ := New[task](0, 2, disc)
-		thief, _ := New[task](1, 2, disc)
+		victim, _ := New[task](0, 0, 2, disc)
+		thief, _ := New[task](1, 0, 2, disc)
 		victim.Produce(prod(0), &task{id: 5})
 		victim.SetIndicator(1)
 		got := thief.Steal(cons(1), victim)
@@ -65,7 +65,7 @@ func TestExtendedDisciplinesStealAndIndicators(t *testing.T) {
 
 func TestExtendedDisciplinesConcurrent(t *testing.T) {
 	for _, disc := range []Discipline{CHUNKQ, BASKETS} {
-		pool, _ := New[task](0, 3, disc)
+		pool, _ := New[task](0, 0, 3, disc)
 		const (
 			producers = 2
 			consumers = 2

@@ -19,6 +19,7 @@ import (
 	"salsa/internal/msqueue"
 	"salsa/internal/scpool"
 	"salsa/internal/segqueue"
+	"salsa/internal/telemetry"
 )
 
 // Discipline selects the pool order.
@@ -42,22 +43,25 @@ const (
 
 // Pool adapts a queue or stack to the SCPool interface.
 type Pool[T any] struct {
-	ownerIDv int
-	disc     Discipline
-	q        *msqueue.Queue[*T]
-	s        *lifostack.Stack[*T]
-	cq       *segqueue.Queue[T]
-	bq       *basketsqueue.Queue[*T]
-	ind      *indicator.Indicator
+	ownerIDv  int
+	ownerNode int
+	disc      Discipline
+	q         *msqueue.Queue[*T]
+	s         *lifostack.Stack[*T]
+	cq        *segqueue.Queue[T]
+	bq        *basketsqueue.Queue[*T]
+	ind       *indicator.Indicator
 }
 
-// New builds a pool for consumer ownerID using the given discipline,
-// supporting emptiness probes by `consumers` consumers.
-func New[T any](ownerID, consumers int, disc Discipline) (*Pool[T], error) {
+// New builds a pool for consumer ownerID on NUMA node ownerNode using the
+// given discipline, supporting emptiness probes by `consumers` consumers.
+// The node is only descriptive for these baselines (a shared queue has no
+// locality to preserve); it lets steal telemetry attribute node crossings.
+func New[T any](ownerID, ownerNode, consumers int, disc Discipline) (*Pool[T], error) {
 	if consumers <= 0 {
 		return nil, fmt.Errorf("wsbase: consumers must be positive")
 	}
-	p := &Pool[T]{ownerIDv: ownerID, disc: disc, ind: indicator.New(consumers)}
+	p := &Pool[T]{ownerIDv: ownerID, ownerNode: ownerNode, disc: disc, ind: indicator.New(consumers)}
 	switch disc {
 	case FIFO:
 		p.q = msqueue.New[*T]()
@@ -155,6 +159,13 @@ func (p *Pool[T]) Steal(cs *scpool.ConsumerState, victimPool scpool.SCPool[T]) *
 	if t != nil {
 		cs.Ops.Steals.Inc()
 		cs.Ops.SlowPath.Inc()
+		if tr := cs.Tracer; tr != nil {
+			tr.OnSteal(telemetry.StealEvent{
+				Thief: p.ownerIDv, Victim: victim.ownerIDv,
+				ThiefNode: p.ownerNode, VictimNode: victim.ownerNode,
+				TasksMoved: 1,
+			})
+		}
 	}
 	return t
 }

@@ -13,7 +13,7 @@ func prod(id int) *scpool.ProducerState { return &scpool.ProducerState{ID: id} }
 func cons(id int) *scpool.ConsumerState { return &scpool.ConsumerState{ID: id} }
 
 func TestFIFOOrdering(t *testing.T) {
-	p, err := New[task](0, 1, FIFO)
+	p, err := New[task](0, 0, 1, FIFO)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +35,7 @@ func TestFIFOOrdering(t *testing.T) {
 }
 
 func TestLIFOOrdering(t *testing.T) {
-	p, err := New[task](0, 1, LIFO)
+	p, err := New[task](0, 0, 1, LIFO)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,8 +53,8 @@ func TestLIFOOrdering(t *testing.T) {
 
 func TestStealDequeuesFromVictim(t *testing.T) {
 	for _, disc := range []Discipline{FIFO, LIFO} {
-		victim, _ := New[task](0, 2, disc)
-		thief, _ := New[task](1, 2, disc)
+		victim, _ := New[task](0, 0, 2, disc)
+		thief, _ := New[task](1, 0, 2, disc)
 		victim.Produce(prod(0), &task{id: 7})
 		got := thief.Steal(cons(1), victim)
 		if got == nil || got.id != 7 {
@@ -67,7 +67,7 @@ func TestStealDequeuesFromVictim(t *testing.T) {
 }
 
 func TestEveryRetrievalCountsCAS(t *testing.T) {
-	p, _ := New[task](0, 1, FIFO)
+	p, _ := New[task](0, 0, 1, FIFO)
 	ps, cs := prod(0), cons(0)
 	const n = 100
 	for i := 0; i < n; i++ {
@@ -85,7 +85,7 @@ func TestEveryRetrievalCountsCAS(t *testing.T) {
 }
 
 func TestIndicatorClearedOnTake(t *testing.T) {
-	p, _ := New[task](0, 2, FIFO)
+	p, _ := New[task](0, 0, 2, FIFO)
 	p.Produce(prod(0), &task{id: 1})
 	p.SetIndicator(1)
 	if p.Consume(cons(0)) == nil {
@@ -98,7 +98,7 @@ func TestIndicatorClearedOnTake(t *testing.T) {
 
 func TestIsEmpty(t *testing.T) {
 	for _, disc := range []Discipline{FIFO, LIFO} {
-		p, _ := New[task](0, 1, disc)
+		p, _ := New[task](0, 0, 1, disc)
 		if !p.IsEmpty() {
 			t.Fatalf("disc %v: fresh pool not empty", disc)
 		}
@@ -116,10 +116,10 @@ func TestConcurrentStealContention(t *testing.T) {
 		thieves = 4
 		total   = 20000
 	)
-	victim, _ := New[task](0, thieves+1, FIFO)
+	victim, _ := New[task](0, 0, thieves+1, FIFO)
 	thiefPools := make([]*Pool[task], thieves)
 	for i := range thiefPools {
-		thiefPools[i], _ = New[task](i+1, thieves+1, FIFO)
+		thiefPools[i], _ = New[task](i+1, 0, thieves+1, FIFO)
 	}
 	var pwg sync.WaitGroup
 	pwg.Add(1)
@@ -176,13 +176,13 @@ func TestConcurrentStealContention(t *testing.T) {
 }
 
 func TestValidation(t *testing.T) {
-	if _, err := New[task](0, 0, FIFO); err == nil {
+	if _, err := New[task](0, 0, 0, FIFO); err == nil {
 		t.Error("consumers=0 accepted")
 	}
-	if _, err := New[task](0, 1, Discipline(9)); err == nil {
+	if _, err := New[task](0, 0, 1, Discipline(9)); err == nil {
 		t.Error("bogus discipline accepted")
 	}
-	p, _ := New[task](0, 1, FIFO)
+	p, _ := New[task](0, 0, 1, FIFO)
 	defer func() {
 		if recover() == nil {
 			t.Error("nil task accepted")

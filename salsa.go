@@ -29,6 +29,8 @@ package salsa
 import (
 	"fmt"
 
+	"salsa/internal/telemetry"
+
 	"salsa/internal/concbag"
 	"salsa/internal/core"
 	"salsa/internal/edpool"
@@ -191,6 +193,22 @@ type Config struct {
 	// InitialChunks pre-seeds each pool's spare-chunk pool. Defaults to
 	// 2 for SALSA/SALSA+CAS.
 	InitialChunks int
+
+	// Metrics enables the built-in telemetry collector (per-consumer
+	// steal matrices, checkEmpty tallies, producer pressure counters)
+	// and wall-clock latency sampling of Put/Get/steal into histograms.
+	// The collected data is read through Pool.TelemetrySnapshot,
+	// Pool.MetricsHandler or Pool.ServeMetrics. Collection follows the
+	// same single-writer no-RMW discipline as the operation counters;
+	// the main cost of enabling it is two clock reads per operation.
+	Metrics bool
+
+	// Tracer, when non-nil, receives raw telemetry events (steals,
+	// chunk transfers, emptiness rounds, producer pressure) in addition
+	// to — and independently of — the Metrics collector. Implementations
+	// must be concurrency-safe; see the Tracer docs. Leave nil unless
+	// event-level tracing is wanted: every event costs a dynamic call.
+	Tracer Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -214,7 +232,8 @@ type Pool[T any] struct {
 	fw        *framework.Framework[T]
 	topo      *topology.Topology
 	placement *topology.Placement
-	salsa     *core.Shared[T] // non-nil when Algorithm == SALSA
+	salsa     *core.Shared[T]      // non-nil when Algorithm == SALSA
+	collector *telemetry.Collector // non-nil when Config.Metrics
 	producers []*Producer[T]
 	consumers []*Consumer[T]
 }
@@ -249,6 +268,11 @@ func New[T any](cfg Config) (*Pool[T], error) {
 	if err != nil {
 		return nil, err
 	}
+	tracer := cfg.Tracer
+	if cfg.Metrics {
+		p.collector = telemetry.NewCollector(cfg.Producers, cfg.Consumers)
+		tracer = telemetry.Multi(p.collector, cfg.Tracer)
+	}
 	fw, err := framework.New(framework.Config[T]{
 		Producers:            cfg.Producers,
 		Consumers:            cfg.Consumers,
@@ -257,6 +281,8 @@ func New[T any](cfg Config) (*Pool[T], error) {
 		DisableBalancing:     cfg.DisableBalancing,
 		NonLinearizableEmpty: cfg.NonLinearizableEmpty,
 		StealOrder:           cfg.StealOrder,
+		Tracer:               tracer,
+		Latency:              cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -335,20 +361,20 @@ func (p *Pool[T]) poolFactory() (framework.PoolFactory[T], error) {
 			return bag.NewPool(owner)
 		}, nil
 	case WSMSQ:
-		return func(owner, _, _ int) (scpool.SCPool[T], error) {
-			return wsbase.New[T](owner, cfg.Consumers, wsbase.FIFO)
+		return func(owner, node, _ int) (scpool.SCPool[T], error) {
+			return wsbase.New[T](owner, node, cfg.Consumers, wsbase.FIFO)
 		}, nil
 	case WSLIFO:
-		return func(owner, _, _ int) (scpool.SCPool[T], error) {
-			return wsbase.New[T](owner, cfg.Consumers, wsbase.LIFO)
+		return func(owner, node, _ int) (scpool.SCPool[T], error) {
+			return wsbase.New[T](owner, node, cfg.Consumers, wsbase.LIFO)
 		}, nil
 	case WSCHUNKQ:
-		return func(owner, _, _ int) (scpool.SCPool[T], error) {
-			return wsbase.New[T](owner, cfg.Consumers, wsbase.CHUNKQ)
+		return func(owner, node, _ int) (scpool.SCPool[T], error) {
+			return wsbase.New[T](owner, node, cfg.Consumers, wsbase.CHUNKQ)
 		}, nil
 	case WSBaskets:
-		return func(owner, _, _ int) (scpool.SCPool[T], error) {
-			return wsbase.New[T](owner, cfg.Consumers, wsbase.BASKETS)
+		return func(owner, node, _ int) (scpool.SCPool[T], error) {
+			return wsbase.New[T](owner, node, cfg.Consumers, wsbase.BASKETS)
 		}, nil
 	case EDPool:
 		depth := 1
