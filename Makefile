@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-short check bench figures stress examples cover clean
+.PHONY: all build test race race-short check bench bench-smoke figures stress examples cover clean
 
 all: build test
 
@@ -21,11 +21,21 @@ race:
 race-short:
 	$(GO) test ./... -race -short
 
-# The full local gate: build + vet + tests + short race pass.
-check: build test race-short
+# The full local gate: build + vet + tests + short race pass + bench smoke.
+check: build test race-short bench-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Quick regression gate for the batched API: the Fig 1.4(a) baseline plus
+# the batch-size sweep at a fixed task count, recorded as JSON so runs can
+# be diffed (BENCH_batch.json is the committed reference). The count is
+# chosen so fixed startup costs are amortized (at 100x the numbers are
+# noise) while the whole gate stays under a few seconds.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig14a|BenchmarkBatch' -benchtime 1000000x . > bench_smoke.txt
+	$(GO) run ./cmd/benchjson -o BENCH_batch.json < bench_smoke.txt
+	@rm -f bench_smoke.txt
 
 # Regenerates every figure of the paper's evaluation (§1.6) plus the
 # extended-baseline sweep; writes tables to stdout and CSVs to results/.
@@ -47,5 +57,5 @@ cover:
 	$(GO) test ./... -coverprofile=cover.out && $(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out test_output.txt bench_output.txt bench_smoke.txt
 	rm -rf results

@@ -169,6 +169,43 @@ func BenchmarkFig18(b *testing.B) {
 	}
 }
 
+// BenchmarkBatch sweeps the API batch size on SALSA at the standard
+// balanced configuration: batch=1 is the single-task Put/Get baseline
+// (and must stay within noise of the pre-batching numbers); larger
+// batches amortize the access-list walk, hazard publish and chunk
+// validation across each run of consecutive tasks. The batchfast metric
+// is the fraction of retrievals completing on the amortized batch fast
+// path.
+func BenchmarkBatch(b *testing.B) {
+	for _, batch := range workload.BatchSteps {
+		b.Run(fmt.Sprintf("SALSA/batch%d", batch), func(b *testing.B) {
+			cfg := workload.Config{
+				Algorithm: salsa.SALSA,
+				Producers: benchPairs,
+				Consumers: benchPairs,
+				Batch:     batch,
+			}
+			per := b.N / cfg.Producers
+			if per < 1 {
+				per = 1
+			}
+			res, err := workload.RunFixed(cfg, per)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Consumed != int64(per)*int64(cfg.Producers) {
+				b.Fatalf("lost tasks: consumed %d of %d", res.Consumed, per*cfg.Producers)
+			}
+			b.ReportMetric(res.CASPerGet(), "cas/task")
+			b.ReportMetric(res.Stats.FastPathRatio(), "fastpath")
+			if res.Stats.Gets > 0 {
+				b.ReportMetric(float64(res.Stats.BatchFastPath)/float64(res.Stats.Gets), "batchfast")
+			}
+			b.ReportMetric(res.Stats.AvgGetBatch(), "avgbatch")
+		})
+	}
+}
+
 // BenchmarkUncontendedFastPath isolates the paper's headline property: a
 // single producer/consumer pair on SALSA, where every retrieval must ride
 // the CAS-free fast path. This is the per-operation floor of the system.

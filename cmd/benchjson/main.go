@@ -1,0 +1,95 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document, so benchmark results can be committed and diffed (see
+// BENCH_batch.json and the Makefile's bench-smoke target). Stdlib only.
+//
+// Usage:
+//
+//	go test -bench X ./... | go run ./cmd/benchjson [-o out.json]
+//
+// Each benchmark line becomes one record: the benchmark name, iteration
+// count, and every reported metric (ns/op, cas/task, fastpath, ...) keyed
+// by its unit. Non-benchmark lines (PASS, ok, warnings) are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one parsed benchmark result line.
+type Record struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// parseLine parses a `go test -bench` result line, e.g.
+//
+//	BenchmarkBatch/SALSA/batch32-8  100  94211 ns/op  0.02 cas/task
+//
+// returning ok=false for anything that is not a benchmark result.
+func parseLine(line string) (Record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Record{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Record{}, false
+	}
+	rec := Record{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	// The rest is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Record{}, false
+		}
+		rec.Metrics[fields[i+1]] = v
+	}
+	return rec, true
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var records []Record
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through so the run stays visible
+		if rec, ok := parseLine(line); ok {
+			records = append(records, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(records); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "# benchjson: %d records -> %s\n", len(records), *out)
+	}
+}

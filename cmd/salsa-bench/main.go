@@ -7,12 +7,15 @@
 //	salsa-bench [flags] <figure>...
 //
 // where <figure> is one or more of: fig1.4a fig1.4b fig1.5a fig1.5b fig1.6
-// fig1.7 fig1.8 all
+// fig1.7 fig1.8 ext batch all
 //
 // Flags:
 //
 //	-duration d       measurement window per data point (default 250ms;
 //	                  the paper used 20s per point)
+//	-batch n          tasks per API call for the non-batch figures
+//	                  (default 1 = single-task API; the `batch` figure
+//	                  sweeps sizes itself and ignores this)
 //	-threads n        sweep ceiling in total threads (default 16; paper: 32)
 //	-quick            coarser sweeps, for smoke runs
 //	-csv dir          also write each figure as CSV into dir
@@ -62,6 +65,7 @@ func main() {
 		duration    = flag.Duration("duration", 250*time.Millisecond, "measurement window per data point")
 		threads     = flag.Int("threads", 16, "sweep ceiling in total threads")
 		quick       = flag.Bool("quick", false, "coarser sweeps")
+		batch       = flag.Int("batch", 1, "tasks per API call for non-batch figures (1 = single-task API)")
 		csvDir      = flag.String("csv", "", "directory to write per-figure CSV files")
 		latency     = flag.Bool("latency", false, "sample Put/Get latency into the CSV percentile columns")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address during the run")
@@ -70,7 +74,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: salsa-bench [flags] <fig1.4a|fig1.4b|fig1.5a|fig1.5b|fig1.6|fig1.7|fig1.8|ext|all>...")
+		fmt.Fprintln(os.Stderr, "usage: salsa-bench [flags] <fig1.4a|fig1.4b|fig1.5a|fig1.5b|fig1.6|fig1.7|fig1.8|ext|batch|all>...")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -78,6 +82,7 @@ func main() {
 		Duration:   *duration,
 		MaxThreads: *threads,
 		Quick:      *quick,
+		Batch:      *batch,
 	}
 
 	live := &livePool{}
@@ -189,6 +194,10 @@ func collect(names []string, opts workload.FigureOptions) ([]workload.Figure, er
 			}
 		case "ext", "ext-baselines":
 			if err := add(workload.FigExtended(opts)); err != nil {
+				return nil, err
+			}
+		case "batch":
+			if err := add(workload.FigBatch(opts)); err != nil {
 				return nil, err
 			}
 		default:

@@ -13,8 +13,12 @@
 // Usage:
 //
 //	salsa-stress [-algorithm name] [-producers p] [-consumers c]
-//	             [-rounds r] [-tasks n] [-chunk s] [-stall frac]
+//	             [-rounds r] [-tasks n] [-chunk s] [-stall frac] [-batch b]
 //	             [-metrics-addr a] [-trace-log f] [-snapshot-every d]
+//
+// With -batch > 1 the producers insert via PutBatch and the consumers drain
+// via GetBatch, so the same invariants are checked against the batched API
+// paths (including the batch fast path racing chunk steals).
 //
 // With -metrics-addr the process serves /metrics (Prometheus text format)
 // and /metrics.json for the pool of the round currently running — a live
@@ -88,6 +92,7 @@ func main() {
 		tasks     = flag.Int("tasks", 50000, "tasks per producer per round")
 		chunk     = flag.Int("chunk", 64, "chunk/block size")
 		stall     = flag.Float64("stall", 0.25, "probability that a consumer stalls for a round")
+		batch     = flag.Int("batch", 1, "tasks per API call (1 = single-task Put/Get)")
 		seed      = flag.Int64("seed", 1, "rng seed for stall schedules")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address during the run")
@@ -142,7 +147,7 @@ func main() {
 				stalled[ci] = true
 			}
 		}
-		steals, err := runRound(alg, *producers, *consumers, *tasks, *chunk, stalled, obs)
+		steals, err := runRound(alg, *producers, *consumers, *tasks, *chunk, *batch, stalled, obs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "salsa-stress: round %d FAILED: %v\n", round, err)
 			os.Exit(1)
@@ -171,7 +176,7 @@ type observability struct {
 	live    *livePool
 }
 
-func runRound(alg salsa.Algorithm, producers, consumers, tasksPerProd, chunk int, stalled map[int]bool, obs observability) (int64, error) {
+func runRound(alg salsa.Algorithm, producers, consumers, tasksPerProd, chunk, batch int, stalled map[int]bool, obs observability) (int64, error) {
 	pool, err := salsa.New[task](salsa.Config{
 		Algorithm: alg,
 		Producers: producers,
@@ -201,6 +206,18 @@ func runRound(alg salsa.Algorithm, producers, consumers, tasksPerProd, chunk int
 		go func(pi int) {
 			defer pwg.Done()
 			p := pool.Producer(pi)
+			if batch > 1 {
+				ts := all[pi]
+				for len(ts) > 0 {
+					n := batch
+					if n > len(ts) {
+						n = len(ts)
+					}
+					p.PutBatch(ts[:n])
+					ts = ts[n:]
+				}
+				return
+			}
 			for _, t := range all[pi] {
 				p.Put(t)
 			}
@@ -220,6 +237,24 @@ func runRound(alg salsa.Algorithm, producers, consumers, tasksPerProd, chunk int
 			defer cwg.Done()
 			c := pool.Consumer(ci)
 			defer c.Close()
+			if batch > 1 {
+				buf := make([]*task, batch)
+				for {
+					wasDone := done.Load()
+					if n := c.GetBatch(buf); n > 0 {
+						for _, t := range buf[:n] {
+							if t.returned.Swap(true) {
+								dup.Add(1)
+							}
+						}
+						returned.Add(int64(n))
+						continue
+					}
+					if wasDone {
+						return
+					}
+				}
+			}
 			for {
 				wasDone := done.Load()
 				t, ok := c.Get()

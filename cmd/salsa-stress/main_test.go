@@ -31,7 +31,7 @@ func TestParseAlgorithm(t *testing.T) {
 
 func TestRunRoundDetectsNoViolations(t *testing.T) {
 	for _, alg := range []salsa.Algorithm{salsa.SALSA, salsa.WSMSQ} {
-		steals, err := runRound(alg, 2, 2, 2000, 32, map[int]bool{}, observability{})
+		steals, err := runRound(alg, 2, 2, 2000, 32, 1, map[int]bool{}, observability{})
 		if err != nil {
 			t.Fatalf("%v: %v", alg, err)
 		}
@@ -40,7 +40,15 @@ func TestRunRoundDetectsNoViolations(t *testing.T) {
 }
 
 func TestRunRoundWithStalledConsumer(t *testing.T) {
-	if _, err := runRound(salsa.SALSA, 2, 3, 3000, 16, map[int]bool{0: true}, observability{}); err != nil {
+	if _, err := runRound(salsa.SALSA, 2, 3, 3000, 16, 1, map[int]bool{0: true}, observability{}); err != nil {
 		t.Fatalf("stalled round failed: %v", err)
+	}
+}
+
+func TestRunRoundBatched(t *testing.T) {
+	for _, alg := range []salsa.Algorithm{salsa.SALSA, salsa.SALSACAS, salsa.WSMSQ} {
+		if _, err := runRound(alg, 2, 3, 3000, 16, 32, map[int]bool{0: true}, observability{}); err != nil {
+			t.Fatalf("%v batched round failed: %v", alg, err)
+		}
 	}
 }

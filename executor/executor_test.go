@@ -128,6 +128,103 @@ func TestBackloggedShutdownUnderLoad(t *testing.T) {
 	}
 }
 
+func TestSubmitBatchRunsAll(t *testing.T) {
+	e, err := New(Config{Workers: 3, DispatchBatch: 16, ChunkSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			batch := make([]Task, 25)
+			for i := 0; i < n/4; i += len(batch) {
+				for j := range batch {
+					batch[j] = func() { ran.Add(1) }
+				}
+				if err := e.SubmitBatch(batch); err != nil {
+					t.Errorf("SubmitBatch: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	e.Shutdown(true)
+	if ran.Load() != n {
+		t.Fatalf("ran %d of %d batched tasks", ran.Load(), n)
+	}
+}
+
+func TestSubmitBatchReusableSlice(t *testing.T) {
+	// SubmitBatch copies: the caller may overwrite its slice immediately
+	// after the call without corrupting queued tasks.
+	e, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum atomic.Int64
+	batch := make([]Task, 4)
+	const rounds = 100
+	for r := 0; r < rounds; r++ {
+		for j := range batch {
+			v := int64(r)
+			batch[j] = func() { sum.Add(v) }
+		}
+		if err := e.SubmitBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Shutdown(true)
+	want := int64(len(batch)) * rounds * (rounds - 1) / 2
+	if sum.Load() != want {
+		t.Fatalf("sum = %d, want %d (queued closures were clobbered)", sum.Load(), want)
+	}
+}
+
+func TestSubmitBatchValidation(t *testing.T) {
+	e, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SubmitBatch(nil); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+	if err := e.SubmitBatch([]Task{func() {}, nil}); err == nil {
+		t.Error("batch containing nil task accepted")
+	}
+	e.Shutdown(true)
+	if err := e.SubmitBatch([]Task{func() {}}); err != ErrShutdown {
+		t.Errorf("SubmitBatch after shutdown = %v, want ErrShutdown", err)
+	}
+}
+
+func TestDispatchBatchShutdownDrains(t *testing.T) {
+	// Batched workers must honour Shutdown(true)'s drain promise too.
+	e, err := New(Config{Workers: 2, SubmitLanes: 1, DispatchBatch: 8, ChunkSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int64
+	const n = 1000
+	for i := 0; i < n; i += 10 {
+		batch := make([]Task, 10)
+		for j := range batch {
+			batch[j] = func() { ran.Add(1) }
+		}
+		if err := e.SubmitBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Shutdown(true)
+	if ran.Load() != n {
+		t.Fatalf("Shutdown(true) returned with %d of %d tasks run", ran.Load(), n)
+	}
+}
+
 func TestStatsExposed(t *testing.T) {
 	e, err := New(Config{Workers: 2})
 	if err != nil {

@@ -17,6 +17,13 @@ type Producer[T any] struct {
 // re-inserting a pointer after it was consumed is fine.
 func (p *Producer[T]) Put(t *T) { p.h.Put(t) }
 
+// PutBatch inserts every task of ts (all non-nil), amortizing per-task
+// synchronization across the batch: the access-list walk happens once per
+// run, and batch-capable substrates (SALSA) fill consecutive chunk slots
+// with one chunk acquisition per chunk instead of per-call bookkeeping.
+// Semantically equivalent to calling Put on each task in order.
+func (p *Producer[T]) PutBatch(ts []*T) { p.h.PutBatch(ts) }
+
 // ID returns the handle's producer id.
 func (p *Producer[T]) ID() int { return p.h.ID() }
 
@@ -53,6 +60,19 @@ func (c *Consumer[T]) Get() (t *T, ok bool) { return c.h.Get() }
 // TryGet performs one consume-then-steal pass. ok=false means this pass
 // found nothing, not that the pool was empty.
 func (c *Consumer[T]) TryGet() (t *T, ok bool) { return c.h.TryGet() }
+
+// GetBatch retrieves up to len(dst) tasks into dst and returns the number
+// retrieved. Zero means the pool was empty at some instant during the call
+// (linearizable, unless configured with NonLinearizableEmpty) — the same
+// contract as Get's ok=false. Batch-capable substrates amortize the hazard
+// publish and chunk validation across each run of consecutive tasks, and a
+// successful steal drains the migrated chunk's remainder into dst instead
+// of surfacing one task.
+func (c *Consumer[T]) GetBatch(dst []*T) int { return c.h.GetBatch(dst) }
+
+// TryGetBatch performs one batched consume-then-steal pass. Zero means this
+// pass found nothing, not that the pool was empty.
+func (c *Consumer[T]) TryGetBatch(dst []*T) int { return c.h.TryGetBatch(dst) }
 
 // GetWait retrieves a task, spinning through empty periods until one
 // arrives or stop is closed.

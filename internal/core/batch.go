@@ -1,0 +1,249 @@
+package core
+
+import (
+	"unsafe"
+
+	"salsa/internal/scpool"
+)
+
+// This file implements the native batch paths of the SALSA SCPool — the
+// amortization layer over Algorithms 4–6. Batching never changes the
+// per-slot synchronization protocol; it removes the per-call overhead
+// around it:
+//
+//   - ProduceBatch pays one producer-scratch lookup, and one chunk-pool
+//     dequeue + ownership claim + list append per *chunk* (which the
+//     single-task path already amortizes) — but also one locality/census
+//     update per run instead of per task.
+//   - ConsumeBatch pays one hazard publish, one chunk re-validation and
+//     one list-traversal step per *run* of consecutive tasks, and flushes
+//     the operation census once per run.
+//
+// What is deliberately NOT amortized is the owner's take handshake: each
+// task is still announced individually (node.idx.Store(i+1)) and ownership
+// is re-checked after each announce. Announcing a whole run with a single
+// index store would be unsound: a thief serializes against the announce by
+// re-reading the node index after winning the ownership CAS (Algorithm 5
+// line 119) and assumes every slot at or below the announced index is the
+// ex-owner's responsibility — yet the ex-owner of a stolen chunk may take
+// at most ONE task, by CAS, on the slot it announced (§1.5.3). With a
+// k-slot announce, a thief that re-reads after the announce would skip k
+// slots of which the ex-owner may claim only the first: k−1 tasks would
+// vanish. Per-slot announcing keeps the steal race window identical to the
+// single-task path — the interleavings are exactly those of k consecutive
+// consume() calls. See DESIGN.md "Batching and amortized synchronization".
+
+// ProduceBatch implements scpool.BatchSCPool: insert a prefix of ts into
+// consecutive slots of the producer's current chunk, starting new chunks
+// from the pool's spares as needed. Returns the number inserted; a short
+// count means the chunk pool ran dry mid-batch (the same overload signal as
+// a failed Produce — the caller owns the suffix and routes it down its
+// access list).
+func (p *Pool[T]) ProduceBatch(ps *scpool.ProducerState, ts []*T) int {
+	if len(ts) == 0 {
+		return 0
+	}
+	sc := p.shared.producerScratch(ps) // one scratch lookup per batch
+	hook := p.shared.opts.OnAccess
+	inserted := 0
+	for inserted < len(ts) {
+		if sc.chunk == nil {
+			if !p.getChunk(ps, sc, false) {
+				break // no spare chunk: stop, report the prefix
+			}
+		}
+		run := len(sc.chunk.tasks) - sc.prodIdx
+		if rem := len(ts) - inserted; run > rem {
+			run = rem
+		}
+		home := int(sc.chunk.home.Load()) // stable: only steals re-home, and this chunk is unpublished-to-thieves only until listed; re-homes mid-fill merely skew locality accounting
+		for i := 0; i < run; i++ {
+			t := ts[inserted+i]
+			if t == nil {
+				panic("core: nil task")
+			}
+			if t == p.shared.taken {
+				panic("core: task aliases the TAKEN sentinel")
+			}
+			// Publish the task; same single atomic store per slot as
+			// the single-task path (consumers race on these slots, so
+			// the store itself cannot be batched).
+			sc.chunk.tasks[sc.prodIdx+i].p.Store(t)
+			if hook != nil {
+				hook(ps.Node, home)
+			}
+		}
+		if home == ps.Node {
+			ps.Ops.LocalTransfers.Add(int64(run))
+		} else {
+			ps.Ops.RemoteTransfers.Add(int64(run))
+		}
+		sc.prodIdx += run
+		if sc.prodIdx == len(sc.chunk.tasks) {
+			sc.chunk = nil // full; the next run starts a new chunk
+		}
+		inserted += run
+	}
+	ps.Ops.Puts.Add(int64(inserted))
+	return inserted
+}
+
+// ConsumeBatch implements scpool.BatchSCPool: drain up to len(dst) tasks,
+// preferring the cached current chunk and then fair-traversing the chunk
+// lists exactly like Consume. Only the pool owner may call it. Zero does
+// not linearize as emptiness.
+func (p *Pool[T]) ConsumeBatch(cs *scpool.ConsumerState, dst []*T) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	sc := p.shared.consumerScratch(cs)
+	n := 0
+	if cur := sc.current; cur != nil { // common case, as in Consume line 75
+		n = p.drainRun(cs, sc, cur, dst)
+		if n == len(dst) {
+			return n
+		}
+	}
+	// Fair traversal (Consume line 78), continued until dst is full or a
+	// full pass found nothing more.
+	numLists := len(p.lists)
+	start := sc.cursor
+	for k := 0; k < numLists && n < len(dst); k++ {
+		li := (start + k) % numLists
+		for e := p.lists[li].first(); e != nil && n < len(dst); e = e.next.Load() {
+			nd := e.node.Load()
+			ch := nd.chunk.Load()
+			if ch == nil || ownerID(ch.owner.Load()) != p.ownerIDv {
+				continue
+			}
+			if got := p.drainRun(cs, sc, nd, dst[n:]); got > 0 {
+				// Advance the fairness cursor past this list, like the
+				// single-task path, so one prolific producer cannot
+				// starve the rest across batch calls.
+				sc.cursor = (li + 1) % numLists
+				n += got
+			}
+		}
+	}
+	if n == 0 {
+		sc.cursor = (start + 1) % numLists
+		sc.current = nil
+	}
+	return n
+}
+
+// drainRun takes a run of consecutive tasks from n's chunk on the owner
+// fast path: one hazard publish, one chunk re-validation and one census
+// flush for the whole run; one announce + ownership re-check + TAKEN store
+// per task (the protocol-mandated minimum — see the file comment). The
+// run ends at dst exhaustion, chunk exhaustion (checkLast semantics fire
+// exactly once), the production frontier, or a steal racing the run, in
+// which case the one announced slot falls back to the single-task CAS slow
+// path and the run stops. sc.current is maintained exactly as the
+// single-task path would: the node stays cached only while the chunk is
+// live and owned.
+func (p *Pool[T]) drainRun(cs *scpool.ConsumerState, sc *consScratch[T], n *node[T], dst []*T) int {
+	ch := n.chunk.Load()
+	if ch == nil {
+		return 0
+	}
+	// Hazard on the chunk for the whole run; re-validate under it.
+	sc.rec.Set(hzConsume, unsafe.Pointer(ch))
+	if n.chunk.Load() != ch {
+		sc.rec.Clear(hzConsume)
+		return 0
+	}
+	size := int64(len(ch.tasks))
+	idx := n.idx.Load()
+	if idx+1 >= size {
+		sc.rec.Clear(hzConsume)
+		return 0 // exhausted; its checkLast is pending or done
+	}
+	task := ch.tasks[idx+1].p.Load()
+	if task == nil || task == p.shared.taken {
+		sc.rec.Clear(hzConsume)
+		return 0 // frontier (or stale node; see takeTask's TAKEN guard)
+	}
+	// Ownership pre-check before the first announce (Algorithm 5 line
+	// 88). Inside the run, each iteration's post-announce re-check
+	// doubles as the next announce's pre-check.
+	if ownerID(ch.owner.Load()) != p.ownerIDv {
+		sc.rec.Clear(hzConsume)
+		return 0
+	}
+	home := int(ch.home.Load())
+	hook := p.shared.opts.OnAccess
+	taken := 0
+	for {
+		n.idx.Store(idx + 1)                        // announce this take (line 90) — per task, never batched
+		if ownerID(ch.owner.Load()) != p.ownerIDv { // re-check (line 91)
+			// A steal raced the run: single-task slow path for the one
+			// announced slot (line 95) — we may take at most it, by CAS.
+			cs.Ops.SlowPath.Inc()
+			cs.Ops.CAS.Inc()
+			if ch.tasks[idx+1].p.CompareAndSwap(task, p.shared.taken) {
+				next := p.peekNext(ch, idx+2)
+				p.chargeTake(cs, ch)
+				p.checkLast(cs, sc, n, ch, idx+1, next, hzConsume)
+				dst[taken] = task
+				taken++
+			} else {
+				cs.Ops.FailedCAS.Inc()
+			}
+			sc.current = nil // line 97
+			p.flushRun(cs, taken, home, 0)
+			sc.rec.Clear(hzConsume)
+			return taken
+		}
+		// Fast path: peek the successor BEFORE marking (Algorithm 6
+		// needs to know whether this take may have been the last), then
+		// claim the slot with a plain store.
+		next := p.peekNext(ch, idx+2)
+		ch.tasks[idx+1].p.Store(p.shared.taken) // line 92
+		if hook != nil {
+			hook(cs.Node, home)
+		}
+		dst[taken] = task
+		taken++
+		idx++
+		if idx+1 == size { // finished the chunk: checkLast, exactly once
+			n.chunk.Store(nil)
+			sc.rec.Clear(hzConsume)
+			p.recycle(sc.rec, ch)
+			sc.current = nil
+			p.ind.Clear()
+			p.flushRun(cs, taken, home, taken)
+			return taken
+		}
+		if next == nil { // may have taken the last task in the pool
+			p.ind.Clear()
+			sc.current = n
+			p.flushRun(cs, taken, home, taken)
+			sc.rec.Clear(hzConsume)
+			return taken
+		}
+		if taken == len(dst) || next == p.shared.taken {
+			sc.current = n
+			p.flushRun(cs, taken, home, taken)
+			sc.rec.Clear(hzConsume)
+			return taken
+		}
+		task = next
+	}
+}
+
+// flushRun records a run's census in one shot: `fast` of the `taken` tasks
+// rode the CAS-free fast path (the slow-path single is already charged by
+// its own chargeTake), and every fast take transferred against the chunk
+// home read at run start.
+func (p *Pool[T]) flushRun(cs *scpool.ConsumerState, taken, home, fast int) {
+	if fast > 0 {
+		cs.Ops.FastPath.Add(int64(fast))
+		cs.Ops.BatchFastPath.Add(int64(fast))
+		if home == cs.Node {
+			cs.Ops.LocalTransfers.Add(int64(fast))
+		} else {
+			cs.Ops.RemoteTransfers.Add(int64(fast))
+		}
+	}
+}

@@ -42,13 +42,20 @@ func ownerTag(w uint64) uint64 { return w >> ownerIDBits }
 type Chunk[T any] struct {
 	// owner is the tagged owner word. The owner is the only consumer
 	// allowed to take tasks without CAS; a stealer first CASes the word
-	// to itself.
+	// to itself. It lives on its own cache line: a thief's ownership CAS
+	// (or a failed attempt re-reading the word) must not invalidate the
+	// line carrying the header fields the owner touches on every take —
+	// without the padding, every steal attempt against the chunk
+	// false-shares with the owner's fast path.
 	owner atomic.Uint64
+	_     [56]byte
 
 	// recycled guards the return of the chunk to a chunk pool: the
 	// consumer that CASes it 0→1 is the unique recycler for this
 	// residence. It is reset by the producer that next takes the chunk
-	// out of the pool, while it holds the chunk exclusively.
+	// out of the pool, while it holds the chunk exclusively. Padded
+	// apart from owner (above) so the recycle CAS of a finishing
+	// consumer does not bounce the owner word's line.
 	recycled atomic.Uint32
 
 	// home is the NUMA node the chunk is allocated on (allocation-policy
@@ -56,6 +63,8 @@ type Chunk[T any] struct {
 	// simulator). Atomic because a successful steal migrates the chunk
 	// to the thief's node (§1.2: "our use of page-size chunks allows
 	// for data migration in NUMA architectures to improve locality").
+	// Shares the recycled/tasks line: both are written at chunk
+	// transfer/recycle frequency, not per task.
 	home atomic.Int32
 
 	// tasks are the slots. The paper's default CHUNK_SIZE is 1000 tasks

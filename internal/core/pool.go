@@ -199,7 +199,11 @@ func (p *Pool[T]) Produce(ps *scpool.ProducerState, t *T) bool {
 }
 
 // ProduceForce implements produceForce(): it always succeeds, allocating a
-// new chunk when the pool has no spare.
+// new chunk when the pool has no spare. ForcePuts counts the *call*; the
+// forced allocations where force actually mattered are counted separately
+// (ForceExpands, in getChunk) so the balancing telemetry does not read a
+// force call that landed in the producer's current chunk — or grabbed a
+// spare off the chunk pool — as an expansion.
 func (p *Pool[T]) ProduceForce(ps *scpool.ProducerState, t *T) {
 	ps.Ops.ForcePuts.Inc()
 	p.insert(ps, t, true)
@@ -250,6 +254,7 @@ func (p *Pool[T]) getChunk(ps *scpool.ProducerState, sc *prodScratch[T], force b
 		}
 		ch = newChunk[T](p.shared.opts.ChunkSize, p.shared.opts.Alloc(ps.Node, p.ownerNode))
 		ps.Ops.ChunkAllocs.Inc()
+		ps.Ops.ForceExpands.Inc() // only reachable under force: the expansion that mattered
 	} else {
 		ch.resetForReuse()
 		// Re-home the chunk per the allocation policy: the paper's

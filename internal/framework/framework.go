@@ -247,6 +247,67 @@ func (p *Producer[T]) put(t *T) {
 	p.access[0].ProduceForce(&p.state, t)
 }
 
+// PutBatch inserts every task of ts, amortizing the access-list walk (and,
+// on batch-capable pools, the per-task synchronization) across the batch:
+// each pool on the access list is offered the whole remainder, a short
+// count is that pool's overload signal, and whatever no pool accepts is
+// force-inserted into the closest pool — exactly the producer-based
+// balancing of put(), applied to runs instead of single tasks. All tasks
+// in ts must be non-nil. With Latency enabled the whole call is sampled as
+// one PutLatency observation (batches are the unit of work here).
+func (p *Producer[T]) PutBatch(ts []*T) {
+	if len(ts) == 0 {
+		return
+	}
+	p.state.Ops.PutBatches.Inc()
+	p.state.Ops.PutBatchSize.Observe(int64(len(ts)))
+	if !p.fw.cfg.Latency {
+		p.putBatch(ts)
+		return
+	}
+	start := time.Now()
+	p.putBatch(ts)
+	p.state.Ops.PutLatency.ObserveSince(start)
+}
+
+func (p *Producer[T]) putBatch(ts []*T) {
+	tr := p.state.Tracer
+	if p.fw.cfg.DisableBalancing {
+		n := scpool.ProduceBatch(p.access[0], &p.state, ts)
+		if n < len(ts) {
+			if tr != nil {
+				tr.OnProduceFail(telemetry.ProduceEvent{
+					Producer: p.state.ID, Node: p.state.Node, Pool: p.access[0].OwnerID()})
+				tr.OnForcePut(telemetry.ProduceEvent{
+					Producer: p.state.ID, Node: p.state.Node, Pool: p.access[0].OwnerID()})
+			}
+			for _, t := range ts[n:] {
+				p.access[0].ProduceForce(&p.state, t)
+			}
+		}
+		return
+	}
+	rem := ts
+	for _, pool := range p.access {
+		n := scpool.ProduceBatch(pool, &p.state, rem)
+		rem = rem[n:]
+		if len(rem) == 0 {
+			return
+		}
+		if tr != nil {
+			tr.OnProduceFail(telemetry.ProduceEvent{
+				Producer: p.state.ID, Node: p.state.Node, Pool: pool.OwnerID()})
+		}
+	}
+	if tr != nil {
+		tr.OnForcePut(telemetry.ProduceEvent{
+			Producer: p.state.ID, Node: p.state.Node, Pool: p.access[0].OwnerID()})
+	}
+	for _, t := range rem {
+		p.access[0].ProduceForce(&p.state, t)
+	}
+}
+
 // Ops returns this producer's operation counters.
 func (p *Producer[T]) Ops() stats.Snapshot { return p.state.Ops.Snapshot() }
 
@@ -339,9 +400,21 @@ func (c *Consumer[T]) tryOnce() (*T, bool) {
 		c.state.Ops.Gets.Inc()
 		return t, true
 	}
+	if t := c.stealPass(); t != nil {
+		c.state.Ops.Gets.Inc()
+		return t, true
+	}
+	return nil, false
+}
+
+// stealPass walks the victims once in StealOrder and returns the first
+// stolen task, or nil when the pass came up dry. For chunk-stealing
+// substrates a success also migrates the rest of the stolen chunk into this
+// consumer's pool.
+func (c *Consumer[T]) stealPass() *T {
 	n := len(c.victims)
 	if n == 0 {
-		return nil, false
+		return nil
 	}
 	start := 0
 	switch c.fw.cfg.StealOrder {
@@ -362,19 +435,95 @@ func (c *Consumer[T]) tryOnce() (*T, bool) {
 		v := c.victims[(start+k)%n]
 		if !c.fw.cfg.Latency {
 			if t := c.myPool.Steal(&c.state, v); t != nil {
-				c.state.Ops.Gets.Inc()
-				return t, true
+				return t
 			}
 			continue
 		}
 		stealStart := time.Now()
 		if t := c.myPool.Steal(&c.state, v); t != nil {
 			c.state.Ops.StealLatency.ObserveSince(stealStart)
-			c.state.Ops.Gets.Inc()
-			return t, true
+			return t
 		}
 	}
-	return nil, false
+	return nil
+}
+
+// GetBatch retrieves up to len(dst) tasks, blocking like Get: it returns 0
+// only when the system was observed empty — linearizably so unless the
+// framework was configured with NonLinearizableEmpty. It amortizes the
+// consume traversal across the batch (one hazard publish and chunk
+// validation per run on SALSA) and, after a successful steal, drains the
+// migrated chunk's remainder into dst instead of returning a single task.
+// With Latency enabled a non-empty call is sampled as one GetLatency
+// observation.
+func (c *Consumer[T]) GetBatch(dst []*T) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	c.state.Ops.GetBatches.Inc()
+	if !c.fw.cfg.Latency {
+		return c.getBatch(dst)
+	}
+	start := time.Now()
+	n := c.getBatch(dst)
+	if n > 0 {
+		c.state.Ops.GetLatency.ObserveSince(start)
+	}
+	return n
+}
+
+func (c *Consumer[T]) getBatch(dst []*T) int {
+	for {
+		if n := c.tryBatchOnce(dst); n > 0 {
+			return n
+		}
+		if c.fw.cfg.NonLinearizableEmpty || c.checkEmpty() {
+			c.state.Ops.GetsEmpty.Inc()
+			return 0
+		}
+	}
+}
+
+// TryGetBatch performs a single batched consume-then-steal pass without the
+// emptiness protocol. Zero means "found nothing this pass", not "the system
+// was empty".
+func (c *Consumer[T]) TryGetBatch(dst []*T) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	c.state.Ops.GetBatches.Inc()
+	if !c.fw.cfg.Latency {
+		return c.tryBatchOnce(dst)
+	}
+	start := time.Now()
+	n := c.tryBatchOnce(dst)
+	if n > 0 {
+		c.state.Ops.GetLatency.ObserveSince(start)
+	}
+	return n
+}
+
+// tryBatchOnce fills dst from the consumer's own pool and resorts to one
+// steal pass only when that drain found nothing — SALSA's stealing policy
+// (steal when the own pool is dry, §1.4), applied at batch granularity. A
+// partial local fill returns immediately: scanning every victim to top up
+// an already non-empty batch would turn each underfull call into an
+// O(victims) walk and contend with the consumers that actually own those
+// chunks. After a successful steal the migrated chunk's remainder is
+// drained into dst, so a steal still yields a full run, not a single task.
+func (c *Consumer[T]) tryBatchOnce(dst []*T) int {
+	n := scpool.ConsumeBatch(c.myPool, &c.state, dst)
+	if n == 0 {
+		if t := c.stealPass(); t != nil {
+			dst[0] = t
+			n = 1 + scpool.ConsumeBatch(c.myPool, &c.state, dst[1:])
+		}
+	}
+	if n > 0 {
+		c.state.Ops.Gets.Add(int64(n))
+		c.state.Ops.GetBatchSize.Observe(int64(n))
+	}
+	return n
 }
 
 // checkEmpty implements Algorithm 2 lines 30–36: n traversals over all

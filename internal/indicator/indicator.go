@@ -16,10 +16,21 @@ import "sync/atomic"
 
 const bitsPerWord = 64
 
+// padWord is one indicator word on its own cache line. The indicator sits
+// on the pool's hottest write paths — every possibly-emptying take Clears
+// it, every emptiness probe Sets bits in it — and with multiple words (>64
+// consumers) the probing consumers of different word ranges must not
+// false-share; with one word, the padding still keeps the bit array off
+// the cache line of the surrounding allocation.
+type padWord struct {
+	w atomic.Uint64
+	_ [56]byte
+}
+
 // Indicator is an atomic bit array with one bit per consumer. All methods
 // are safe for concurrent use.
 type Indicator struct {
-	words []atomic.Uint64
+	words []padWord
 	n     int
 }
 
@@ -29,7 +40,7 @@ func New(n int) *Indicator {
 		panic("indicator: negative consumer count")
 	}
 	return &Indicator{
-		words: make([]atomic.Uint64, (n+bitsPerWord-1)/bitsPerWord),
+		words: make([]padWord, (n+bitsPerWord-1)/bitsPerWord),
 		n:     n,
 	}
 }
@@ -38,7 +49,7 @@ func New(n int) *Indicator {
 // probe. It is the setIndicator operation of Algorithm 1.
 func (in *Indicator) Set(id int) {
 	in.check(id)
-	in.words[id/bitsPerWord].Or(1 << (uint(id) % bitsPerWord))
+	in.words[id/bitsPerWord].w.Or(1 << (uint(id) % bitsPerWord))
 }
 
 // Check reports whether consumer id's bit is still set — i.e. that no
@@ -46,7 +57,7 @@ func (in *Indicator) Set(id int) {
 // checkIndicator operation of Algorithm 1.
 func (in *Indicator) Check(id int) bool {
 	in.check(id)
-	return in.words[id/bitsPerWord].Load()&(1<<(uint(id)%bitsPerWord)) != 0
+	return in.words[id/bitsPerWord].w.Load()&(1<<(uint(id)%bitsPerWord)) != 0
 }
 
 // Clear resets every consumer's bit. Called by operations that may have made
@@ -56,7 +67,7 @@ func (in *Indicator) Check(id int) bool {
 // per-word atomic stores provide.
 func (in *Indicator) Clear() {
 	for i := range in.words {
-		in.words[i].Store(0)
+		in.words[i].w.Store(0)
 	}
 }
 

@@ -212,6 +212,7 @@ func (p *Pool[T]) insert(ps *scpool.ProducerState, t *T, force bool) bool {
 			}
 			ch = newChunk[T](p.shared.opts.ChunkSize, p.shared.opts.Alloc(ps.Node, p.ownerNode))
 			ps.Ops.ChunkAllocs.Inc()
+			ps.Ops.ForceExpands.Inc() // reachable only under force (mirrors core)
 		} else {
 			ch.resetForReuse()
 			// Re-home on reuse, mirroring SALSA (the chunks are
@@ -243,6 +244,86 @@ func (p *Pool[T]) insert(ps *scpool.ProducerState, t *T, force bool) bool {
 	}
 	ps.Ops.Puts.Inc()
 	return true
+}
+
+// ProduceBatch inserts a prefix of ts into consecutive slots, paying the
+// scratch lookup and chunk acquisition once per run instead of per task.
+// The produce side of this baseline is structurally identical to SALSA's,
+// so it earns the same amortization; the consume side deliberately stays
+// per-task CAS (that is the ablation), so this pool does not implement
+// scpool.BatchSCPool's ConsumeBatch natively — the generic per-task
+// fallback applies. A short count means the chunk pool ran dry.
+func (p *Pool[T]) ProduceBatch(ps *scpool.ProducerState, ts []*T) int {
+	if len(ts) == 0 {
+		return 0
+	}
+	sc := p.shared.producerScratch(ps)
+	hook := p.shared.opts.OnAccess
+	inserted := 0
+	for inserted < len(ts) {
+		if sc.chunk == nil {
+			ch, ok := p.chunks.Get()
+			if !ok {
+				ps.Ops.ProduceFull.Inc()
+				break
+			}
+			ch.resetForReuse()
+			ch.home.Store(int32(p.shared.opts.Alloc(ps.Node, p.ownerNode)))
+			ps.Ops.ChunkReuses.Inc()
+			n := &node[T]{}
+			n.chunk.Store(ch)
+			n.idx.Store(-1)
+			myList := p.lists[ps.ID]
+			myList.prune()
+			myList.append(n)
+			sc.chunk = ch
+			sc.prodIdx = 0
+		}
+		run := len(sc.chunk.tasks) - sc.prodIdx
+		if rem := len(ts) - inserted; run > rem {
+			run = rem
+		}
+		home := int(sc.chunk.home.Load())
+		for i := 0; i < run; i++ {
+			t := ts[inserted+i]
+			if t == nil {
+				panic("salsacas: nil task")
+			}
+			sc.chunk.tasks[sc.prodIdx+i].Store(t)
+			if hook != nil {
+				hook(ps.Node, home)
+			}
+		}
+		if home == ps.Node {
+			ps.Ops.LocalTransfers.Add(int64(run))
+		} else {
+			ps.Ops.RemoteTransfers.Add(int64(run))
+		}
+		sc.prodIdx += run
+		if sc.prodIdx == len(sc.chunk.tasks) {
+			sc.chunk = nil
+		}
+		inserted += run
+	}
+	ps.Ops.Puts.Add(int64(inserted))
+	return inserted
+}
+
+// ConsumeBatch completes the scpool.BatchSCPool capability. It is a plain
+// per-task loop: every take in this baseline pays a CAS by construction, so
+// there is nothing to amortize on the consume side — which is precisely the
+// per-take synchronization cost the SALSA-vs-SALSA+CAS ablation measures.
+func (p *Pool[T]) ConsumeBatch(cs *scpool.ConsumerState, dst []*T) int {
+	n := 0
+	for n < len(dst) {
+		t := p.Consume(cs)
+		if t == nil {
+			break
+		}
+		dst[n] = t
+		n++
+	}
+	return n
 }
 
 // Consume claims one task from this pool with a single CAS.

@@ -93,3 +93,59 @@ type SCPool[T any] interface {
 	// CheckIndicator reports whether consumer id's bit is still set.
 	CheckIndicator(id int) bool
 }
+
+// BatchSCPool is the optional batch capability of an SCPool. An
+// implementation that can amortize per-task synchronization across a run of
+// tasks (SALSA: one chunk-pool/access-list decision per chunk on the
+// produce side, one hazard publish and chunk validation per run on the
+// consume side) exports native batch operations through this interface; the
+// framework discovers it with a type assertion and falls back to the
+// per-task calls for every other substrate, so batching is purely an
+// optimization — semantics are those of the equivalent per-task sequence.
+type BatchSCPool[T any] interface {
+	SCPool[T]
+
+	// ProduceBatch inserts a prefix of ts and returns its length. A
+	// short count means the pool ran out of space (same overload signal
+	// as a Produce returning false); the caller owns the untaken suffix.
+	ProduceBatch(p *ProducerState, ts []*T) int
+
+	// ConsumeBatch moves up to len(dst) tasks into dst and returns the
+	// number moved. Only the owning consumer may call it. Zero does not
+	// linearize as emptiness, exactly like a nil Consume.
+	ConsumeBatch(c *ConsumerState, dst []*T) int
+}
+
+// ProduceBatch inserts a prefix of ts into pool, using the native batch path
+// when the implementation has one and per-task Produce otherwise. Returns
+// the number inserted; a short count is the pool's overload signal.
+func ProduceBatch[T any](pool SCPool[T], p *ProducerState, ts []*T) int {
+	if b, ok := pool.(BatchSCPool[T]); ok {
+		return b.ProduceBatch(p, ts)
+	}
+	for i, t := range ts {
+		if !pool.Produce(p, t) {
+			return i
+		}
+	}
+	return len(ts)
+}
+
+// ConsumeBatch drains up to len(dst) tasks from pool into dst, using the
+// native batch path when available and per-task Consume otherwise. Returns
+// the number of tasks moved; zero does not linearize as emptiness.
+func ConsumeBatch[T any](pool SCPool[T], c *ConsumerState, dst []*T) int {
+	if b, ok := pool.(BatchSCPool[T]); ok {
+		return b.ConsumeBatch(c, dst)
+	}
+	n := 0
+	for n < len(dst) {
+		t := pool.Consume(c)
+		if t == nil {
+			break
+		}
+		dst[n] = t
+		n++
+	}
+	return n
+}

@@ -16,8 +16,15 @@ import "sync/atomic"
 
 // Counter is a single-writer event counter. Inc, Add and Store must only be
 // called by the owning goroutine; Load may be called from anywhere.
+//
+// The counter word is padded to a cache line so that counters owned by
+// different goroutines never false-share: a hot writer invalidating its
+// line must not stall an unrelated writer (or a metrics reader) that
+// happens to sit on the same 64 bytes. The cost is memory only — an Ops
+// block grows to a few KB per handle, and handles are per-thread.
 type Counter struct {
 	v atomic.Int64
+	_ [56]byte
 }
 
 // Inc adds one to the counter.
@@ -76,11 +83,25 @@ type Ops struct {
 	// ChunkAllocs counts fresh chunk allocations; ChunkReuses counts
 	// chunks recycled through a chunk pool. ProduceFull counts produce()
 	// failures due to an exhausted chunk pool (the producer-based
-	// balancing trigger). ForcePuts counts produceForce expansions.
-	ChunkAllocs Counter
-	ChunkReuses Counter
-	ProduceFull Counter
-	ForcePuts   Counter
+	// balancing trigger). ForcePuts counts produceForce *calls*;
+	// ForceExpands counts the subset where force actually mattered — a
+	// fresh chunk had to be allocated because the pool had no spare. A
+	// forced call that lands in the producer's current chunk or grabs a
+	// spare off the chunk pool expands nothing and must not read as
+	// balancing pressure.
+	ChunkAllocs  Counter
+	ChunkReuses  Counter
+	ProduceFull  Counter
+	ForcePuts    Counter
+	ForceExpands Counter
+
+	// PutBatches and GetBatches count completed batch API calls
+	// (PutBatch/GetBatch invocations that moved at least one task).
+	// BatchFastPath counts tasks retrieved inside a batched CAS-free
+	// owner run — the amortized subset of FastPath.
+	PutBatches    Counter
+	GetBatches    Counter
+	BatchFastPath Counter
 
 	// RemoteTransfers counts task transfers whose chunk home node
 	// differs from the accessing thread's node (NUMA traffic proxy);
@@ -97,6 +118,14 @@ type Ops struct {
 	GetLatency   Histogram
 	StealLatency Histogram
 
+	// PutBatchSize and GetBatchSize record the task-count distribution
+	// of batch operations (the histogram's value unit is tasks, not
+	// nanoseconds; power-of-two buckets). Always populated by the batch
+	// API — the per-call cost is one histogram observe, already amortized
+	// over the batch.
+	PutBatchSize Histogram
+	GetBatchSize Histogram
+
 	// pad keeps separately owned Ops blocks on distinct cache lines when
 	// they are allocated contiguously by the harness.
 	_ [64]byte
@@ -104,18 +133,22 @@ type Ops struct {
 
 // Snapshot is a plain-value copy of an Ops census, safe to pass around.
 type Snapshot struct {
-	Puts, Gets, GetsEmpty           int64
-	CAS, FailedCAS                  int64
-	FastPath, SlowPath              int64
-	Steals, StealAttempts           int64
-	ChunkAllocs, ChunkReuses        int64
-	ProduceFull, ForcePuts          int64
-	RemoteTransfers, LocalTransfers int64
+	Puts, Gets, GetsEmpty                 int64
+	CAS, FailedCAS                        int64
+	FastPath, SlowPath                    int64
+	Steals, StealAttempts                 int64
+	ChunkAllocs, ChunkReuses              int64
+	ProduceFull, ForcePuts, ForceExpands  int64
+	RemoteTransfers, LocalTransfers       int64
+	PutBatches, GetBatches, BatchFastPath int64
 
 	// Latency histograms, populated only when latency sampling is on.
 	// Percentile accessors: PutLatency.P50(), GetLatency.P99(), … — see
 	// HistogramSnapshot.
 	PutLatency, GetLatency, StealLatency HistogramSnapshot
+
+	// Batch-size distributions (value unit: tasks per call).
+	PutBatchSize, GetBatchSize HistogramSnapshot
 }
 
 // Snapshot returns a point-in-time copy of the counters.
@@ -127,10 +160,15 @@ func (o *Ops) Snapshot() Snapshot {
 		Steals: o.Steals.Load(), StealAttempts: o.StealAttempts.Load(),
 		ChunkAllocs: o.ChunkAllocs.Load(), ChunkReuses: o.ChunkReuses.Load(),
 		ProduceFull: o.ProduceFull.Load(), ForcePuts: o.ForcePuts.Load(),
+		ForceExpands:    o.ForceExpands.Load(),
 		RemoteTransfers: o.RemoteTransfers.Load(), LocalTransfers: o.LocalTransfers.Load(),
-		PutLatency:   o.PutLatency.Snapshot(),
-		GetLatency:   o.GetLatency.Snapshot(),
-		StealLatency: o.StealLatency.Snapshot(),
+		PutBatches: o.PutBatches.Load(), GetBatches: o.GetBatches.Load(),
+		BatchFastPath: o.BatchFastPath.Load(),
+		PutLatency:    o.PutLatency.Snapshot(),
+		GetLatency:    o.GetLatency.Snapshot(),
+		StealLatency:  o.StealLatency.Snapshot(),
+		PutBatchSize:  o.PutBatchSize.Snapshot(),
+		GetBatchSize:  o.GetBatchSize.Snapshot(),
 	}
 }
 
@@ -149,11 +187,17 @@ func (s *Snapshot) Add(s2 Snapshot) {
 	s.ChunkReuses += s2.ChunkReuses
 	s.ProduceFull += s2.ProduceFull
 	s.ForcePuts += s2.ForcePuts
+	s.ForceExpands += s2.ForceExpands
 	s.RemoteTransfers += s2.RemoteTransfers
 	s.LocalTransfers += s2.LocalTransfers
+	s.PutBatches += s2.PutBatches
+	s.GetBatches += s2.GetBatches
+	s.BatchFastPath += s2.BatchFastPath
 	s.PutLatency.Add(s2.PutLatency)
 	s.GetLatency.Add(s2.GetLatency)
 	s.StealLatency.Add(s2.StealLatency)
+	s.PutBatchSize.Add(s2.PutBatchSize)
+	s.GetBatchSize.Add(s2.GetBatchSize)
 }
 
 // Sum aggregates a set of snapshots.
@@ -173,6 +217,24 @@ func (s Snapshot) CASPerGet() float64 {
 		return 0
 	}
 	return float64(s.CAS) / float64(s.Gets)
+}
+
+// AvgPutBatch returns the mean tasks-per-call of PutBatch (0 when the batch
+// API was not used).
+func (s Snapshot) AvgPutBatch() float64 {
+	if s.PutBatchSize.Count == 0 {
+		return 0
+	}
+	return float64(s.PutBatchSize.SumNs) / float64(s.PutBatchSize.Count)
+}
+
+// AvgGetBatch returns the mean tasks-per-call of GetBatch (0 when the batch
+// API was not used).
+func (s Snapshot) AvgGetBatch() float64 {
+	if s.GetBatchSize.Count == 0 {
+		return 0
+	}
+	return float64(s.GetBatchSize.SumNs) / float64(s.GetBatchSize.Count)
 }
 
 // FastPathRatio returns the fraction of retrievals completed on the CAS-free

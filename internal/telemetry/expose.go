@@ -101,7 +101,11 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 	writeCounter(w, "salsa_chunk_allocs_total", "Fresh chunk allocations.", o.ChunkAllocs)
 	writeCounter(w, "salsa_chunk_reuses_total", "Chunks recycled through a chunk pool.", o.ChunkReuses)
 	writeCounter(w, "salsa_produce_full_total", "produce() failures due to an exhausted chunk pool.", o.ProduceFull)
-	writeCounter(w, "salsa_force_puts_total", "produceForce expansions.", o.ForcePuts)
+	writeCounter(w, "salsa_force_puts_total", "produceForce calls (the policy's last resort; counts calls, not allocations).", o.ForcePuts)
+	writeCounter(w, "salsa_force_expands_total", "Chunk allocations that only force made possible (pool had no spare).", o.ForceExpands)
+	writeCounter(w, "salsa_put_batches_total", "PutBatch calls.", o.PutBatches)
+	writeCounter(w, "salsa_get_batches_total", "GetBatch/TryGetBatch calls.", o.GetBatches)
+	writeCounter(w, "salsa_batch_fastpath_total", "Tasks retrieved on the amortized batch fast path (subset of salsa_fastpath_total).", o.BatchFastPath)
 	writeCounter(w, "salsa_remote_transfers_total", "Task transfers crossing NUMA nodes.", o.RemoteTransfers)
 	writeCounter(w, "salsa_local_transfers_total", "Same-node task transfers.", o.LocalTransfers)
 
@@ -167,6 +171,33 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 	writeHistogram(w, "salsa_put_latency_seconds", "Put latency.", o.PutLatency)
 	writeHistogram(w, "salsa_get_latency_seconds", "Get latency.", o.GetLatency)
 	writeHistogram(w, "salsa_steal_latency_seconds", "Successful steal latency.", o.StealLatency)
+	writeSizeHistogram(w, "salsa_put_batch_size_tasks", "Tasks per PutBatch call.", o.PutBatchSize)
+	writeSizeHistogram(w, "salsa_get_batch_size_tasks", "Tasks returned per non-empty GetBatch/TryGetBatch call.", o.GetBatchSize)
+}
+
+// writeSizeHistogram renders a histogram whose observations are counts of
+// tasks (not durations): bucket bounds stay in raw units instead of being
+// scaled to seconds.
+func writeSizeHistogram(w io.Writer, name, help string, h stats.HistogramSnapshot) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	lo := 0
+	for lo < stats.HistogramBuckets-1 && h.Buckets[lo] == 0 && h.Buckets[lo+1] == 0 {
+		lo++
+	}
+	for i := lo; i < stats.HistogramBuckets; i++ {
+		cum += h.Buckets[i]
+		if i == stats.HistogramBuckets-1 {
+			break
+		}
+		if h.Buckets[i] == 0 && cum == h.Count {
+			continue
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, stats.HistogramBucketBoundNs(i), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+	fmt.Fprintf(w, "%s_sum %d\n", name, h.SumNs)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
 }
 
 // writeHistogram renders one latency histogram as a Prometheus histogram

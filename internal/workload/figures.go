@@ -24,6 +24,14 @@ type Point struct {
 	// the run (power-of-two buckets: values are ≤2× upper bounds).
 	PutP50s, PutP99s float64
 	GetP50s, GetP99s float64
+
+	// Batch is the API batch size the point ran with (1 = single-task
+	// Put/TryGet). AvgGetBatch is the measured mean tasks per non-empty
+	// batched retrieval call; BatchFastFrac the fraction of retrievals
+	// completing on the amortized batch fast path. Both zero at Batch=1.
+	Batch         int
+	AvgGetBatch   float64
+	BatchFastFrac float64
 }
 
 // Series is one curve (one algorithm/configuration).
@@ -49,6 +57,7 @@ type FigureOptions struct {
 	MaxThreads int           // sweep ceiling; default 16 (paper: 32)
 	Quick      bool          // coarser sweeps for smoke runs
 	Trials     int           // runs per point, median taken; default 3
+	Batch      int           // tasks per API call (0/1 = single-task API); FigBatch sweeps its own sizes
 
 	// Metrics/Tracer/Observe flow into every point's Config (see the
 	// Config fields): latency percentiles in the CSVs, live metrics
@@ -82,6 +91,9 @@ func (o FigureOptions) applyObservability(cfg Config) Config {
 	cfg.Metrics = o.Metrics
 	cfg.Tracer = o.Tracer
 	cfg.Observe = o.Observe
+	if cfg.Batch == 0 {
+		cfg.Batch = o.Batch // figure-level batch size; FigBatch sets its own
+	}
 	return cfg
 }
 
@@ -112,18 +124,29 @@ func point(x string, r Result) Point {
 	if transfers > 0 {
 		remoteFrac = float64(r.Stats.RemoteTransfers) / float64(transfers)
 	}
+	batch := r.Config.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	batchFast := 0.0
+	if r.Stats.Gets > 0 {
+		batchFast = float64(r.Stats.BatchFastPath) / float64(r.Stats.Gets)
+	}
 	return Point{
-		X:          x,
-		Throughput: r.ThroughputKTasksPerMs(),
-		CASPerGet:  r.CASPerGet(),
-		Steals:     r.Stats.Steals,
-		FastPath:   r.Stats.FastPathRatio(),
-		RemoteFrac: remoteFrac,
-		LinkWaitMs: float64(r.SimStats.BusiestLinkWait) / float64(time.Millisecond),
-		PutP50s:    r.Stats.PutLatency.P50().Seconds(),
-		PutP99s:    r.Stats.PutLatency.P99().Seconds(),
-		GetP50s:    r.Stats.GetLatency.P50().Seconds(),
-		GetP99s:    r.Stats.GetLatency.P99().Seconds(),
+		X:             x,
+		Throughput:    r.ThroughputKTasksPerMs(),
+		CASPerGet:     r.CASPerGet(),
+		Steals:        r.Stats.Steals,
+		FastPath:      r.Stats.FastPathRatio(),
+		RemoteFrac:    remoteFrac,
+		LinkWaitMs:    float64(r.SimStats.BusiestLinkWait) / float64(time.Millisecond),
+		PutP50s:       r.Stats.PutLatency.P50().Seconds(),
+		PutP99s:       r.Stats.PutLatency.P99().Seconds(),
+		GetP50s:       r.Stats.GetLatency.P50().Seconds(),
+		GetP99s:       r.Stats.GetLatency.P99().Seconds(),
+		Batch:         batch,
+		AvgGetBatch:   r.Stats.AvgGetBatch(),
+		BatchFastFrac: batchFast,
 	}
 }
 
@@ -425,6 +448,51 @@ func Fig18(o FigureOptions) (Figure, error) {
 	return fig, nil
 }
 
+// BatchSteps are the API batch sizes swept by FigBatch and BenchmarkBatch.
+var BatchSteps = []int{1, 8, 32, 256}
+
+// FigBatch sweeps the API batch size at a balanced thread count for every
+// algorithm: batch=1 is the pre-batching single-task API; larger batches
+// amortize the access-list walk and (on SALSA) the hazard publish and chunk
+// validation per run. Substrates without a native batch path go through the
+// generic per-task fallback, so their curves isolate the framework-level
+// amortization alone.
+func FigBatch(o FigureOptions) (Figure, error) {
+	o = o.withDefaults()
+	n := o.MaxThreads / 2
+	if n < 1 {
+		n = 1
+	}
+	fig := Figure{
+		ID:     "batch",
+		Title:  fmt.Sprintf("System throughput vs API batch size — %d/%d workload", n, n),
+		XLabel: "tasks per API call",
+		YLabel: "1000 tasks/msec",
+	}
+	steps := BatchSteps
+	if o.Quick {
+		steps = []int{1, 32}
+	}
+	for _, alg := range paperAlgorithms {
+		s := Series{Name: alg.String()}
+		for _, b := range steps {
+			r, err := runMedian(o.applyObservability(Config{
+				Algorithm: alg,
+				Producers: n,
+				Consumers: n,
+				Duration:  o.Duration,
+				Batch:     b,
+			}), o.Trials)
+			if err != nil {
+				return fig, err
+			}
+			s.Points = append(s.Points, point(fmt.Sprintf("%d", b), r))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
 // AllFigures runs every reproduced figure in order.
 func AllFigures(o FigureOptions) ([]Figure, error) {
 	var out []Figure
@@ -458,5 +526,10 @@ func AllFigures(o FigureOptions) ([]Figure, error) {
 		return nil, err
 	}
 	out = append(out, f18)
+	fb, err := FigBatch(o)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, fb)
 	return out, nil
 }

@@ -101,6 +101,26 @@ func TestFig18(t *testing.T) {
 	checkFigure(t, fig, 3)
 }
 
+func TestFigBatch(t *testing.T) {
+	fig, err := FigBatch(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 5)
+	// Quick mode sweeps {1, 32}; every series carries the batch size both
+	// as the x label and in the point's Batch column.
+	for _, s := range fig.Series {
+		if len(s.Points) != 2 {
+			t.Fatalf("%s: %d points, want 2", s.Name, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if strconv.Itoa(p.Batch) != p.X {
+				t.Errorf("%s: batch column %d != x label %q", s.Name, p.Batch, p.X)
+			}
+		}
+	}
+}
+
 func TestAllFiguresQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full figure sweep")
@@ -109,7 +129,7 @@ func TestAllFiguresQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantIDs := []string{"fig1.4a", "fig1.4b", "fig1.5a", "fig1.5b", "fig1.6", "fig1.7", "fig1.8"}
+	wantIDs := []string{"fig1.4a", "fig1.4b", "fig1.5a", "fig1.5b", "fig1.6", "fig1.7", "fig1.8", "batch"}
 	if len(figs) != len(wantIDs) {
 		t.Fatalf("AllFigures returned %d figures, want %d", len(figs), len(wantIDs))
 	}

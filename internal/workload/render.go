@@ -88,7 +88,8 @@ func WriteCSV(w io.Writer, fig Figure) error {
 	cw := csv.NewWriter(w)
 	header := []string{"series", "x", "throughput_ktasks_per_ms", "cas_per_get",
 		"steals", "fastpath_ratio", "remote_frac", "linkbusy_ms",
-		"put_p50_s", "put_p99_s", "get_p50_s", "get_p99_s"}
+		"put_p50_s", "put_p99_s", "get_p50_s", "get_p99_s",
+		"batch", "avg_get_batch", "batch_fastpath_frac"}
 	if err := cw.Write(header); err != nil {
 		return err
 	}
@@ -106,6 +107,9 @@ func WriteCSV(w io.Writer, fig Figure) error {
 				fmt.Sprintf("%.3g", p.PutP99s),
 				fmt.Sprintf("%.3g", p.GetP50s),
 				fmt.Sprintf("%.3g", p.GetP99s),
+				fmt.Sprintf("%d", p.Batch),
+				fmt.Sprintf("%.2f", p.AvgGetBatch),
+				fmt.Sprintf("%.4f", p.BatchFastFrac),
 			}
 			if err := cw.Write(rec); err != nil {
 				return err

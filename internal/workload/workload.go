@@ -28,6 +28,12 @@ type Task struct {
 	Payload  uint64
 }
 
+// slabSize is how many Tasks the producer loops allocate per allocator
+// call. Tasks stay unique live pointers (the pool's contract); batching
+// the allocation keeps the harness's allocator cost identical across API
+// batch sizes, so the batch sweep measures synchronization, not malloc.
+const slabSize = 64
+
 // Config parameterises one benchmark run.
 type Config struct {
 	// Algorithm, thread counts and pool knobs, forwarded to salsa.New.
@@ -46,6 +52,12 @@ type Config struct {
 	// harness defaults to 300 ms, which is enough for the relative
 	// shapes on a container.
 	Duration time.Duration
+
+	// Batch is the number of tasks moved per API call: producers insert
+	// with PutBatch(batch tasks) and consumers drain with batch-sized
+	// TryGetBatch/GetBatch calls. 0 or 1 selects the single-task API —
+	// the pre-batching behaviour, measured identically.
+	Batch int
 
 	// Simulate attaches the NUMA interconnect simulator: every task
 	// transfer is charged on the modelled machine (Figure 1.7 mode).
@@ -183,11 +195,42 @@ func Run(cfg Config) (Result, error) {
 				defer p.Unpin()
 			}
 			n := 0
-			t := &Task{Producer: pi}
+			// Tasks must be unique live pointers; they are carved out of
+			// slabs of slabSize so the allocator cost per task is the
+			// same in every mode and the sweep isolates the API cost.
+			if b := cfg.Batch; b > 1 {
+				buf := make([]*Task, b)
+				var slab []Task
+				for !stop.Load() {
+					for i := range buf {
+						if len(slab) == 0 {
+							slab = make([]Task, slabSize)
+						}
+						t := &slab[0]
+						slab = slab[1:]
+						t.Producer, t.Seq = pi, n+i
+						buf[i] = t
+					}
+					p.PutBatch(buf)
+					n += b
+					// Same yield cadence as the single-task loop:
+					// roughly every 64 tasks.
+					if n%64 < b {
+						runtime.Gosched()
+					}
+				}
+				produced.Add(int64(n))
+				return
+			}
+			var slab []Task
 			for !stop.Load() {
-				t.Seq = n
+				if len(slab) == 0 {
+					slab = make([]Task, slabSize)
+				}
+				t := &slab[0]
+				slab = slab[1:]
+				t.Producer, t.Seq = pi, n
 				p.Put(t)
-				t = &Task{Producer: pi} // fresh pointer per put (tasks unique)
 				n++
 				// On hosts with fewer cores than threads the producer
 				// loop (which never blocks) can starve consumers
@@ -215,6 +258,18 @@ func Run(cfg Config) (Result, error) {
 			}
 			defer c.Close()
 			n := 0
+			if b := cfg.Batch; b > 1 {
+				buf := make([]*Task, b)
+				for !stop.Load() {
+					if got := c.TryGetBatch(buf); got > 0 {
+						n += got
+						continue
+					}
+					runtime.Gosched() // fruitless pass: hand the CPU over
+				}
+				consumed.Add(int64(n))
+				return
+			}
 			for !stop.Load() {
 				if _, ok := c.TryGet(); ok {
 					n++
@@ -293,8 +348,31 @@ func RunFixed(cfg Config, tasksPerProducer int) (Result, error) {
 		go func(pi int) {
 			defer pwg.Done()
 			p := pool.Producer(pi)
+			// Slab-allocated tasks, as in Run: unique pointers, equal
+			// allocator cost per task across API batch sizes.
+			var slab []Task
+			next := func(i int) *Task {
+				if len(slab) == 0 {
+					slab = make([]Task, slabSize)
+				}
+				t := &slab[0]
+				slab = slab[1:]
+				t.Producer, t.Seq = pi, i
+				return t
+			}
+			if b := cfg.Batch; b > 1 {
+				buf := make([]*Task, 0, b)
+				for i := 0; i < tasksPerProducer; i += len(buf) {
+					buf = buf[:0]
+					for j := i; j < tasksPerProducer && len(buf) < b; j++ {
+						buf = append(buf, next(j))
+					}
+					p.PutBatch(buf)
+				}
+				return
+			}
 			for i := 0; i < tasksPerProducer; i++ {
-				p.Put(&Task{Producer: pi, Seq: i})
+				p.Put(next(i))
 			}
 		}(pi)
 	}
@@ -306,9 +384,18 @@ func RunFixed(cfg Config, tasksPerProducer int) (Result, error) {
 			defer wg.Done()
 			c := pool.Consumer(ci)
 			defer c.Close()
+			var buf []*Task
+			if cfg.Batch > 1 {
+				buf = make([]*Task, cfg.Batch)
+			}
 			for consumed.Load() < total {
 				wasDone := done.Load()
-				if _, ok := c.Get(); ok {
+				if buf != nil {
+					if n := c.GetBatch(buf); n > 0 {
+						consumed.Add(int64(n))
+						continue
+					}
+				} else if _, ok := c.Get(); ok {
 					consumed.Add(1)
 					continue
 				}
@@ -322,6 +409,12 @@ func RunFixed(cfg Config, tasksPerProducer int) (Result, error) {
 						return
 					}
 				}
+				// Observed empty with production still running: yield
+				// instead of re-probing at once — same rationale as the
+				// timed loop above; on hosts with fewer cores than
+				// threads a spinning emptiness probe starves the very
+				// producers it is waiting for.
+				runtime.Gosched()
 			}
 		}(ci)
 	}

@@ -92,6 +92,107 @@ func TestCheckedHistories(t *testing.T) {
 	}
 }
 
+// TestCheckedHistoriesBatched repeats the checked run with the batched
+// API: producers insert via PutBatch, consumers drain via GetBatch. Each
+// task's Put/Get is logged with its enclosing batch call's interval — a
+// batch call is a sequence of the per-task operations, so every one of
+// them linearizes somewhere inside the call. A GetBatch returning 0 is an
+// emptiness claim with exactly Get's ⊥ contract and is checked as such.
+// This is the guard on "batching must never widen the steal race window":
+// any interleaving where an ex-owner over-claims after losing its chunk, or
+// where a run skips announced slots, shows up as a uniqueness or loss
+// violation.
+func TestCheckedHistoriesBatched(t *testing.T) {
+	const (
+		producers = 3
+		consumers = 3
+		perProd   = 3000
+		chunkSize = 16
+		batch     = 7 // odd: batch runs straddle chunk boundaries
+	)
+	for _, alg := range allAlgorithms {
+		t.Run(alg.String(), func(t *testing.T) {
+			pool, err := salsa.New[job](salsa.Config{
+				Producers: producers,
+				Consumers: consumers,
+				Algorithm: alg,
+				ChunkSize: chunkSize,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			taskID := func(j *job) uint64 {
+				return uint64(j.producer)<<32 | uint64(uint32(j.seq))
+			}
+
+			logs := make([]*check.Log, producers+consumers)
+			var done atomic.Bool
+			var pwg sync.WaitGroup
+			for pi := 0; pi < producers; pi++ {
+				pwg.Add(1)
+				go func(pi int) {
+					defer pwg.Done()
+					l := check.NewLog(perProd)
+					logs[pi] = l
+					p := pool.Producer(pi)
+					for s := 0; s < perProd; s += batch {
+						n := batch
+						if s+n > perProd {
+							n = perProd - s
+						}
+						buf := make([]*job, n)
+						for i := range buf {
+							buf[i] = &job{producer: pi, seq: s + i}
+						}
+						start := check.Now()
+						p.PutBatch(buf)
+						end := check.Now()
+						for _, j := range buf {
+							l.Put(taskID(j), start, end)
+						}
+					}
+				}(pi)
+			}
+			go func() { pwg.Wait(); done.Store(true) }()
+
+			var cwg sync.WaitGroup
+			for ci := 0; ci < consumers; ci++ {
+				cwg.Add(1)
+				go func(ci int) {
+					defer cwg.Done()
+					l := check.NewLog(perProd * 2)
+					logs[producers+ci] = l
+					c := pool.Consumer(ci)
+					defer c.Close()
+					dst := make([]*job, batch)
+					for {
+						wasDone := done.Load()
+						start := check.Now()
+						n := c.GetBatch(dst)
+						end := check.Now()
+						if n > 0 {
+							for _, j := range dst[:n] {
+								l.Get(taskID(j), start, end)
+							}
+							continue
+						}
+						l.Empty(start, end)
+						if wasDone {
+							return
+						}
+					}
+				}(ci)
+			}
+			cwg.Wait()
+
+			violations := check.Verify(logs, check.Options{ExpectDrained: true})
+			for _, v := range violations {
+				t.Error(v)
+			}
+		})
+	}
+}
+
 // TestCheckedHistoryWithStalls repeats the checked run for SALSA with a
 // consumer that stalls mid-stream (the robustness scenario of §1.1): the
 // invariants must survive arbitrary thread delays.
