@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-short check bench bench-smoke figures stress examples cover clean
+.PHONY: all build test race race-short race-churn check bench bench-smoke figures stress examples cover clean
 
 all: build test
 
@@ -21,8 +21,15 @@ race:
 race-short:
 	$(GO) test ./... -race -short
 
-# The full local gate: build + vet + tests + short race pass + bench smoke.
-check: build test race-short bench-smoke
+# Membership churn under the race detector: salsa-stress retires and
+# re-adds consumers mid-round (-churn) while asserting zero lost and zero
+# duplicated tasks; ~30s of elastic-membership hammering.
+race-churn:
+	$(GO) run -race ./cmd/salsa-stress -rounds 12 -tasks 30000 -churn 300 -stall 0.15
+
+# The full local gate: build + vet + tests + short race pass + membership
+# churn under race + bench smoke.
+check: build test race-short race-churn bench-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

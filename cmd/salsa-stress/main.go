@@ -14,11 +14,18 @@
 //
 //	salsa-stress [-algorithm name] [-producers p] [-consumers c]
 //	             [-rounds r] [-tasks n] [-chunk s] [-stall frac] [-batch b]
-//	             [-metrics-addr a] [-trace-log f] [-snapshot-every d]
+//	             [-churn n] [-metrics-addr a] [-trace-log f] [-snapshot-every d]
 //
 // With -batch > 1 the producers insert via PutBatch and the consumers drain
 // via GetBatch, so the same invariants are checked against the batched API
 // paths (including the batch fast path racing chunk steals).
+//
+// With -churn N the run exercises elastic membership: every N retrieved
+// tasks a random running consumer is retired (its goroutine stopped, its
+// pool abandoned with whatever backlog it held) and a fresh consumer is
+// added in its place. The same zero-lost / zero-duplicate accounting runs
+// at round end, so any task dropped or double-delivered across a
+// membership epoch fails the round.
 //
 // With -metrics-addr the process serves /metrics (Prometheus text format)
 // and /metrics.json for the pool of the round currently running — a live
@@ -32,6 +39,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -93,7 +101,8 @@ func main() {
 		chunk     = flag.Int("chunk", 64, "chunk/block size")
 		stall     = flag.Float64("stall", 0.25, "probability that a consumer stalls for a round")
 		batch     = flag.Int("batch", 1, "tasks per API call (1 = single-task Put/Get)")
-		seed      = flag.Int64("seed", 1, "rng seed for stall schedules")
+		churn     = flag.Int("churn", 0, "retire and re-add a random consumer every N retrieved tasks (0 = off)")
+		seed      = flag.Int64("seed", 1, "rng seed for stall and churn schedules")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address during the run")
 		traceLog    = flag.String("trace-log", "", "append JSONL telemetry events to this file")
@@ -147,15 +156,15 @@ func main() {
 				stalled[ci] = true
 			}
 		}
-		steals, err := runRound(alg, *producers, *consumers, *tasks, *chunk, *batch, stalled, obs)
+		steals, cycles, err := runRound(alg, *producers, *consumers, *tasks, *chunk, *batch, *churn, rng.Int63(), stalled, obs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "salsa-stress: round %d FAILED: %v\n", round, err)
 			os.Exit(1)
 		}
 		totalTasks += int64(*producers) * int64(*tasks)
 		totalSteals += steals
-		fmt.Printf("round %2d ok: %d tasks, %d chunk steals, stalled consumers %v\n",
-			round, *producers**tasks, steals, keys(stalled))
+		fmt.Printf("round %2d ok: %d tasks, %d chunk steals, %d churn cycles, stalled consumers %v\n",
+			round, *producers**tasks, steals, cycles, keys(stalled))
 	}
 	fmt.Printf("\nPASS: %s, %d rounds, %d tasks total, %d steals, %v elapsed\n",
 		alg, *rounds, totalTasks, totalSteals, time.Since(start).Round(time.Millisecond))
@@ -176,17 +185,28 @@ type observability struct {
 	live    *livePool
 }
 
-func runRound(alg salsa.Algorithm, producers, consumers, tasksPerProd, chunk, batch int, stalled map[int]bool, obs observability) (int64, error) {
+func runRound(alg salsa.Algorithm, producers, consumers, tasksPerProd, chunk, batch, churn int, churnSeed int64, stalled map[int]bool, obs observability) (int64, int64, error) {
+	// With churn on, budget consumer ids for the retire+re-add cycles: ids
+	// are never reused, so every cycle consumes one fresh id.
+	maxConsumers := consumers
+	if churn > 0 {
+		budget := producers*tasksPerProd/churn + 8
+		if budget > 512 {
+			budget = 512
+		}
+		maxConsumers = consumers + budget
+	}
 	pool, err := salsa.New[task](salsa.Config{
-		Algorithm: alg,
-		Producers: producers,
-		Consumers: consumers,
-		ChunkSize: chunk,
-		Metrics:   obs.metrics,
-		Tracer:    obs.tracer,
+		Algorithm:    alg,
+		Producers:    producers,
+		Consumers:    consumers,
+		MaxConsumers: maxConsumers,
+		ChunkSize:    chunk,
+		Metrics:      obs.metrics,
+		Tracer:       obs.tracer,
 	})
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if obs.live != nil {
 		obs.live.p.Store(pool)
@@ -228,65 +248,168 @@ func runRound(alg salsa.Algorithm, producers, consumers, tasksPerProd, chunk, ba
 	var returned atomic.Int64
 	var dup atomic.Int64
 	var cwg sync.WaitGroup
-	for ci := 0; ci < consumers; ci++ {
-		if stalled[ci] {
-			continue
-		}
-		cwg.Add(1)
-		go func(ci int) {
-			defer cwg.Done()
-			c := pool.Consumer(ci)
-			defer c.Close()
-			if batch > 1 {
-				buf := make([]*task, batch)
-				for {
-					wasDone := done.Load()
-					if n := c.GetBatch(buf); n > 0 {
-						for _, t := range buf[:n] {
-							if t.returned.Swap(true) {
-								dup.Add(1)
-							}
-						}
-						returned.Add(int64(n))
-						continue
-					}
-					if wasDone {
-						return
-					}
-				}
+
+	// ctls tracks the running consumer goroutines so the churner can stop
+	// one before retiring its id. Stalled consumers have no entry (they
+	// never run) and are never churned.
+	type workerCtl struct {
+		stop chan struct{} // closed by the churner to retire the worker
+		done chan struct{} // closed when the goroutine has exited
+	}
+	var (
+		ctlMu sync.Mutex
+		ctls  = map[int]*workerCtl{}
+	)
+	runConsumer := func(c *salsa.Consumer[task], ctl *workerCtl) {
+		defer cwg.Done()
+		defer close(ctl.done)
+		defer c.Close()
+		retired := func() bool {
+			select {
+			case <-ctl.stop:
+				// Retired mid-run: exit without draining, leaving the
+				// backlog for the survivors to reclaim.
+				return true
+			default:
+				return false
 			}
+		}
+		if batch > 1 {
+			buf := make([]*task, batch)
 			for {
+				if retired() {
+					return
+				}
 				wasDone := done.Load()
-				t, ok := c.Get()
-				if ok {
-					if t.returned.Swap(true) {
-						dup.Add(1)
+				if n := c.GetBatch(buf); n > 0 {
+					for _, t := range buf[:n] {
+						if t.returned.Swap(true) {
+							dup.Add(1)
+						}
 					}
-					returned.Add(1)
+					returned.Add(int64(n))
 					continue
 				}
 				if wasDone {
 					return
 				}
 			}
-		}(ci)
+		}
+		for {
+			if retired() {
+				return
+			}
+			wasDone := done.Load()
+			t, ok := c.Get()
+			if ok {
+				if t.returned.Swap(true) {
+					dup.Add(1)
+				}
+				returned.Add(1)
+				continue
+			}
+			if wasDone {
+				return
+			}
+		}
+	}
+	for ci := 0; ci < consumers; ci++ {
+		if stalled[ci] {
+			continue
+		}
+		ctl := &workerCtl{stop: make(chan struct{}), done: make(chan struct{})}
+		ctls[ci] = ctl
+		cwg.Add(1)
+		go runConsumer(pool.Consumer(ci), ctl)
+	}
+
+	// The churner retires a random running consumer every `churn`
+	// retrieved tasks and adds a fresh one in its place, until every task
+	// has been retrieved (membership churn keeps running through the
+	// post-production drain — the interesting window) or the id budget
+	// runs out.
+	var churnCycles atomic.Int64
+	var churnErr atomic.Pointer[error]
+	if churn > 0 {
+		want := int64(producers) * int64(tasksPerProd)
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			crng := rand.New(rand.NewSource(churnSeed))
+			next := int64(churn)
+			for {
+				// A fast round can drain before the first threshold is hit;
+				// perform at least one cycle regardless so every churn run
+				// exercises the retire+re-add path.
+				drained := returned.Load() >= want
+				if drained && churnCycles.Load() > 0 {
+					return
+				}
+				if !drained && returned.Load() < next {
+					time.Sleep(20 * time.Microsecond)
+					continue
+				}
+				next += int64(churn)
+
+				ctlMu.Lock()
+				ids := make([]int, 0, len(ctls))
+				for id := range ctls {
+					ids = append(ids, id)
+				}
+				ctlMu.Unlock()
+				if len(ids) < 2 {
+					if drained {
+						return
+					}
+					continue // always leave one running consumer
+				}
+				sort.Ints(ids)
+				victim := ids[crng.Intn(len(ids))]
+				ctlMu.Lock()
+				ctl := ctls[victim]
+				delete(ctls, victim)
+				ctlMu.Unlock()
+
+				close(ctl.stop)
+				<-ctl.done
+				if err := pool.RetireConsumer(victim); err != nil {
+					err = fmt.Errorf("churn: RetireConsumer(%d): %w", victim, err)
+					churnErr.Store(&err)
+					return
+				}
+				co, err := pool.AddConsumer()
+				if err != nil {
+					return // id budget exhausted: stop churning, keep draining
+				}
+				nctl := &workerCtl{stop: make(chan struct{}), done: make(chan struct{})}
+				ctlMu.Lock()
+				ctls[co.ID()] = nctl
+				ctlMu.Unlock()
+				cwg.Add(1)
+				go runConsumer(co, nctl)
+				churnCycles.Add(1)
+			}
+		}()
 	}
 	cwg.Wait()
 
+	if e := churnErr.Load(); e != nil {
+		return 0, 0, *e
+	}
 	if dup.Load() > 0 {
-		return 0, fmt.Errorf("%d tasks returned twice (uniqueness violated)", dup.Load())
+		return 0, 0, fmt.Errorf("%d tasks returned twice (uniqueness violated)", dup.Load())
 	}
 	want := int64(producers) * int64(tasksPerProd)
 	if returned.Load() != want {
-		return 0, fmt.Errorf("returned %d of %d tasks (loss or phantom emptiness)",
+		return 0, 0, fmt.Errorf("returned %d of %d tasks (loss or phantom emptiness)",
 			returned.Load(), want)
 	}
 	for pi := range all {
 		for _, t := range all[pi] {
 			if !t.returned.Load() {
-				return 0, fmt.Errorf("task %d/%d never returned", t.producer, t.seq)
+				return 0, 0, fmt.Errorf("task %d/%d never returned", t.producer, t.seq)
 			}
 		}
 	}
-	return pool.Stats().Steals, nil
+	return pool.Stats().Steals, churnCycles.Load(), nil
 }

@@ -1,0 +1,151 @@
+package executor
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAddRemoveWorker(t *testing.T) {
+	e, err := New(Config{Workers: 2, MaxWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Shutdown(true)
+	if got := e.Workers(); got != 2 {
+		t.Fatalf("Workers = %d, want 2", got)
+	}
+	id, err := e.AddWorker()
+	if err != nil {
+		t.Fatalf("AddWorker: %v", err)
+	}
+	if id != 2 {
+		t.Fatalf("new worker id = %d, want 2", id)
+	}
+	if got := e.Workers(); got != 3 {
+		t.Fatalf("Workers = %d after add, want 3", got)
+	}
+	if err := e.RemoveWorker(id); err != nil {
+		t.Fatalf("RemoveWorker: %v", err)
+	}
+	if got := e.Workers(); got != 2 {
+		t.Fatalf("Workers = %d after remove, want 2", got)
+	}
+	// Ids are never reused.
+	if err := e.RemoveWorker(id); err == nil {
+		t.Fatal("double RemoveWorker accepted")
+	}
+	if id2, err := e.AddWorker(); err != nil || id2 != 3 {
+		t.Fatalf("AddWorker after remove: id=%d err=%v, want 3", id2, err)
+	}
+	// Capacity is lifetime-total: ids 0..3 used up.
+	if _, err := e.AddWorker(); err == nil {
+		t.Fatal("AddWorker beyond MaxWorkers accepted")
+	}
+}
+
+func TestRemoveWorkerGuards(t *testing.T) {
+	e, err := New(Config{Workers: 1, MaxWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Shutdown(true)
+	if err := e.RemoveWorker(0); err == nil {
+		t.Fatal("removing the last worker accepted")
+	}
+	if err := e.RemoveWorker(5); err == nil {
+		t.Fatal("out-of-range RemoveWorker accepted")
+	}
+}
+
+func TestMaxWorkersValidation(t *testing.T) {
+	if _, err := New(Config{Workers: 4, MaxWorkers: 2}); err == nil {
+		t.Fatal("MaxWorkers below Workers accepted")
+	}
+}
+
+// TestRemoveWorkerLosesNoTasks: a worker retired with a backlog leaves its
+// tasks to the survivors — every submission still runs exactly once.
+func TestRemoveWorkerLosesNoTasks(t *testing.T) {
+	e, err := New(Config{Workers: 3, MaxWorkers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n/2; i++ {
+				if err := e.Submit(func() { ran.Add(1) }); err != nil {
+					t.Errorf("Submit: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	// Retire a worker while submissions are in flight.
+	time.Sleep(time.Millisecond)
+	if err := e.RemoveWorker(1); err != nil {
+		t.Fatalf("RemoveWorker: %v", err)
+	}
+	wg.Wait()
+	e.Shutdown(true)
+	if ran.Load() != n {
+		t.Fatalf("ran %d of %d tasks across a resize", ran.Load(), n)
+	}
+}
+
+// TestResize walks the live count up and down under load.
+func TestResize(t *testing.T) {
+	e, err := New(Config{Workers: 1, MaxWorkers: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	var ran atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			if err := e.Submit(func() { ran.Add(1) }); err != nil {
+				t.Errorf("Submit: %v", err)
+				return
+			}
+		}
+	}()
+	if err := e.Resize(4); err != nil {
+		t.Fatalf("Resize up: %v", err)
+	}
+	if got := e.Workers(); got != 4 {
+		t.Fatalf("Workers = %d after Resize(4)", got)
+	}
+	if err := e.Resize(2); err != nil {
+		t.Fatalf("Resize down: %v", err)
+	}
+	if got := e.Workers(); got != 2 {
+		t.Fatalf("Workers = %d after Resize(2)", got)
+	}
+	<-done
+	e.Shutdown(true)
+	if ran.Load() != n {
+		t.Fatalf("ran %d of %d tasks across resizes", ran.Load(), n)
+	}
+}
+
+func TestMembershipAfterShutdown(t *testing.T) {
+	e, err := New(Config{Workers: 2, MaxWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Shutdown(true)
+	if _, err := e.AddWorker(); err != ErrShutdown {
+		t.Fatalf("AddWorker after Shutdown: %v, want ErrShutdown", err)
+	}
+	if err := e.RemoveWorker(0); err != ErrShutdown {
+		t.Fatalf("RemoveWorker after Shutdown: %v, want ErrShutdown", err)
+	}
+}

@@ -31,8 +31,13 @@ var ErrShutdown = errors.New("executor: shut down")
 
 // Config sizes the executor.
 type Config struct {
-	// Workers is the number of consumer goroutines. Required.
+	// Workers is the initial number of consumer goroutines. Required.
 	Workers int
+	// MaxWorkers bounds the total number of workers ever started over
+	// the executor's lifetime (worker ids are never reused; see
+	// salsa.Config.MaxConsumers). Zero means Workers: a fixed-size
+	// executor with no AddWorker headroom.
+	MaxWorkers int
 	// SubmitLanes is the number of producer lanes; defaults to Workers.
 	// Size it to the expected number of concurrently submitting
 	// goroutines to keep lanes uncontended.
@@ -48,18 +53,42 @@ type Config struct {
 	DispatchBatch int
 }
 
-// Executor runs submitted tasks on a fixed worker set.
+// Executor runs submitted tasks on an elastic worker set: workers can be
+// added (AddWorker) and retired (RemoveWorker, Resize) at runtime. A
+// retiring worker exits without draining its backlog — the survivors
+// reclaim its queued tasks through the pool's abandoned-pool steal path, so
+// no submitted task is lost by a resize.
 type Executor struct {
 	pool  *salsa.Pool[Task]
 	lanes []lane
 	next  atomic.Uint64
 
-	stop     chan struct{}
-	workers  sync.WaitGroup
+	pin   bool
+	batch int
+
+	// mu guards workers (indexed by worker id; entries are never
+	// removed) and serializes membership changes.
+	mu      sync.Mutex
+	workers []*workerState
+
+	wg       sync.WaitGroup
 	shutdown atomic.Bool
 
 	executed atomic.Int64
 	panics   atomic.Int64
+}
+
+// workerState is the control block of one worker goroutine.
+type workerState struct {
+	// stop wakes the worker out of GetWait; closed once, either by
+	// RemoveWorker (retire) or Shutdown.
+	stop     chan struct{}
+	stopOnce sync.Once
+	// done is closed when the worker goroutine has exited.
+	done chan struct{}
+	// departing is set (under Executor.mu) when a RemoveWorker has
+	// claimed this worker; it leaves the live count at that instant.
+	departing bool
 }
 
 type lane struct {
@@ -73,13 +102,20 @@ func New(cfg Config) (*Executor, error) {
 	if cfg.Workers <= 0 {
 		return nil, fmt.Errorf("executor: Workers must be positive, got %d", cfg.Workers)
 	}
+	if cfg.MaxWorkers == 0 {
+		cfg.MaxWorkers = cfg.Workers
+	}
+	if cfg.MaxWorkers < cfg.Workers {
+		return nil, fmt.Errorf("executor: MaxWorkers %d below Workers %d", cfg.MaxWorkers, cfg.Workers)
+	}
 	if cfg.SubmitLanes <= 0 {
 		cfg.SubmitLanes = cfg.Workers
 	}
 	pool, err := salsa.New[Task](salsa.Config{
-		Producers: cfg.SubmitLanes,
-		Consumers: cfg.Workers,
-		ChunkSize: cfg.ChunkSize,
+		Producers:    cfg.SubmitLanes,
+		Consumers:    cfg.Workers,
+		MaxConsumers: cfg.MaxWorkers,
+		ChunkSize:    cfg.ChunkSize,
 	})
 	if err != nil {
 		return nil, err
@@ -87,34 +123,52 @@ func New(cfg Config) (*Executor, error) {
 	e := &Executor{
 		pool:  pool,
 		lanes: make([]lane, cfg.SubmitLanes),
-		stop:  make(chan struct{}),
+		pin:   cfg.PinWorkers,
+		batch: cfg.DispatchBatch,
 	}
 	for i := range e.lanes {
 		e.lanes[i].p = pool.Producer(i)
 	}
+	e.mu.Lock()
 	for w := 0; w < cfg.Workers; w++ {
-		e.workers.Add(1)
-		go e.worker(w, cfg.PinWorkers, cfg.DispatchBatch)
+		e.startWorker(pool.Consumer(w))
 	}
+	e.mu.Unlock()
 	return e, nil
 }
 
-func (e *Executor) worker(id int, pin bool, batch int) {
-	defer e.workers.Done()
-	c := e.pool.Consumer(id)
-	if pin {
+// startWorker registers a control block for c and launches its goroutine.
+// Caller holds e.mu; c's id must equal len(e.workers).
+func (e *Executor) startWorker(c *salsa.Consumer[Task]) {
+	ws := &workerState{stop: make(chan struct{}), done: make(chan struct{})}
+	e.workers = append(e.workers, ws)
+	e.wg.Add(1)
+	go e.worker(c, ws)
+}
+
+func (e *Executor) worker(c *salsa.Consumer[Task], ws *workerState) {
+	defer close(ws.done)
+	defer e.wg.Done()
+	if e.pin {
 		c.Pin()
 		defer c.Unpin()
 	}
 	defer c.Close()
 	var buf []*Task
-	if batch > 1 {
-		buf = make([]*Task, batch-1)
+	if e.batch > 1 {
+		buf = make([]*Task, e.batch-1)
 	}
 	for {
-		t, ok := c.GetWait(e.stop)
+		t, ok := c.GetWait(ws.stop)
 		if !ok {
-			// Stop requested: drain what is already in the pool so
+			if !e.shutdown.Load() {
+				// Retired by RemoveWorker: exit without draining. The
+				// backlog stays in this worker's pool, where the
+				// survivors reclaim it through the abandoned-pool
+				// steal path — resizing never loses a task.
+				return
+			}
+			// Shutdown: drain what is already in the pool so
 			// Shutdown(wait=true) keeps its promise, then exit on the
 			// linearizable empty.
 			for {
@@ -150,6 +204,105 @@ func (e *Executor) worker(id int, pin bool, batch int) {
 			}
 		}
 	}
+}
+
+// Workers returns the number of live (non-departed) workers.
+func (e *Executor) Workers() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.liveLocked()
+}
+
+func (e *Executor) liveLocked() int {
+	n := 0
+	for _, ws := range e.workers {
+		if !ws.departing {
+			n++
+		}
+	}
+	return n
+}
+
+// AddWorker starts one more worker at runtime and returns its id. Fails
+// after Shutdown, or when Config.MaxWorkers ids have been started (ids are
+// never reused, so capacity is lifetime-total).
+func (e *Executor) AddWorker() (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.shutdown.Load() {
+		return 0, ErrShutdown
+	}
+	c, err := e.pool.AddConsumer()
+	if err != nil {
+		return 0, err
+	}
+	e.startWorker(c)
+	return c.ID(), nil
+}
+
+// RemoveWorker retires worker id: its goroutine exits without draining, its
+// backlog is reclaimed by the surviving workers, and its id is never
+// reused. Blocks until the goroutine has exited. The last live worker
+// cannot be removed.
+func (e *Executor) RemoveWorker(id int) error {
+	e.mu.Lock()
+	if e.shutdown.Load() {
+		e.mu.Unlock()
+		return ErrShutdown
+	}
+	if id < 0 || id >= len(e.workers) {
+		e.mu.Unlock()
+		return fmt.Errorf("executor: worker id %d out of range [0,%d)", id, len(e.workers))
+	}
+	ws := e.workers[id]
+	if ws.departing {
+		e.mu.Unlock()
+		return fmt.Errorf("executor: worker %d already removed", id)
+	}
+	if e.liveLocked() <= 1 {
+		e.mu.Unlock()
+		return errors.New("executor: cannot remove the last worker")
+	}
+	ws.departing = true
+	e.mu.Unlock()
+
+	ws.stopOnce.Do(func() { close(ws.stop) })
+	<-ws.done
+	// The goroutine has closed its handle; RetireConsumer abandons the
+	// pool so producers fail over and survivors steal the backlog.
+	return e.pool.RetireConsumer(id)
+}
+
+// Resize adds or retires workers until the live count equals n (removals
+// pick the highest live ids first). Fails after Shutdown or when n exceeds
+// the remaining Config.MaxWorkers headroom.
+func (e *Executor) Resize(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("executor: Resize to %d", n)
+	}
+	for e.Workers() < n {
+		if _, err := e.AddWorker(); err != nil {
+			return err
+		}
+	}
+	for e.Workers() > n {
+		e.mu.Lock()
+		victim := -1
+		for id := len(e.workers) - 1; id >= 0; id-- {
+			if !e.workers[id].departing {
+				victim = id
+				break
+			}
+		}
+		e.mu.Unlock()
+		if victim < 0 {
+			return errors.New("executor: no removable worker")
+		}
+		if err := e.RemoveWorker(victim); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (e *Executor) run(t *Task) {
@@ -215,13 +368,17 @@ func (e *Executor) SubmitBatch(ts []Task) error {
 func (e *Executor) Shutdown(wait bool) {
 	if e.shutdown.Swap(true) {
 		if wait {
-			e.workers.Wait()
+			e.wg.Wait()
 		}
 		return
 	}
-	close(e.stop)
+	e.mu.Lock()
+	for _, ws := range e.workers {
+		ws.stopOnce.Do(func() { close(ws.stop) })
+	}
+	e.mu.Unlock()
 	if wait {
-		e.workers.Wait()
+		e.wg.Wait()
 	}
 }
 

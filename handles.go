@@ -1,6 +1,9 @@
 package salsa
 
 import (
+	"fmt"
+	"sync/atomic"
+
 	"salsa/internal/affinity"
 	"salsa/internal/framework"
 )
@@ -38,7 +41,7 @@ func (p *Producer[T]) Stats() Stats { return p.h.Ops() }
 // accepted the binding (Linux with enough CPUs); pinning is advisory
 // elsewhere. Pair with Unpin.
 func (p *Producer[T]) Pin() bool {
-	core := p.pool.placement.ProducerCores[p.h.ID()]
+	core := p.pool.fw.Placement().ProducerCores[p.h.ID()]
 	return affinity.Pin(core) == affinity.Pinned
 }
 
@@ -50,16 +53,37 @@ func (p *Producer[T]) Unpin() { affinity.Unpin() }
 type Consumer[T any] struct {
 	h    *framework.Consumer[T]
 	pool *Pool[T]
+
+	// closed is set by Close, RetireConsumer and KillConsumer. The Get
+	// family checks it first and panics deterministically: Close
+	// releases the handle's hazard record, and a racing retrieval would
+	// otherwise act on freed synchronization state — a silent
+	// use-after-free, not a recoverable condition.
+	closed atomic.Bool
+}
+
+// checkOpen panics when the handle was closed; see Close.
+func (c *Consumer[T]) checkOpen() {
+	if c.closed.Load() {
+		panic(fmt.Sprintf("salsa: consumer %d used after Close", c.h.ID()))
+	}
 }
 
 // Get retrieves a task. ok=false means the pool was empty at some instant
 // during the call (linearizable, unless the pool was configured with
-// NonLinearizableEmpty).
-func (c *Consumer[T]) Get() (t *T, ok bool) { return c.h.Get() }
+// NonLinearizableEmpty). Panics if the handle was closed.
+func (c *Consumer[T]) Get() (t *T, ok bool) {
+	c.checkOpen()
+	return c.h.Get()
+}
 
 // TryGet performs one consume-then-steal pass. ok=false means this pass
-// found nothing, not that the pool was empty.
-func (c *Consumer[T]) TryGet() (t *T, ok bool) { return c.h.TryGet() }
+// found nothing, not that the pool was empty. Panics if the handle was
+// closed.
+func (c *Consumer[T]) TryGet() (t *T, ok bool) {
+	c.checkOpen()
+	return c.h.TryGet()
+}
 
 // GetBatch retrieves up to len(dst) tasks into dst and returns the number
 // retrieved. Zero means the pool was empty at some instant during the call
@@ -68,15 +92,25 @@ func (c *Consumer[T]) TryGet() (t *T, ok bool) { return c.h.TryGet() }
 // publish and chunk validation across each run of consecutive tasks, and a
 // successful steal drains the migrated chunk's remainder into dst instead
 // of surfacing one task.
-func (c *Consumer[T]) GetBatch(dst []*T) int { return c.h.GetBatch(dst) }
+func (c *Consumer[T]) GetBatch(dst []*T) int {
+	c.checkOpen()
+	return c.h.GetBatch(dst)
+}
 
 // TryGetBatch performs one batched consume-then-steal pass. Zero means this
-// pass found nothing, not that the pool was empty.
-func (c *Consumer[T]) TryGetBatch(dst []*T) int { return c.h.TryGetBatch(dst) }
+// pass found nothing, not that the pool was empty. Panics if the handle
+// was closed.
+func (c *Consumer[T]) TryGetBatch(dst []*T) int {
+	c.checkOpen()
+	return c.h.TryGetBatch(dst)
+}
 
 // GetWait retrieves a task, spinning through empty periods until one
-// arrives or stop is closed.
-func (c *Consumer[T]) GetWait(stop <-chan struct{}) (t *T, ok bool) { return c.h.GetWait(stop) }
+// arrives or stop is closed. Panics if the handle was closed.
+func (c *Consumer[T]) GetWait(stop <-chan struct{}) (t *T, ok bool) {
+	c.checkOpen()
+	return c.h.GetWait(stop)
+}
 
 // ID returns the handle's consumer id.
 func (c *Consumer[T]) ID() int { return c.h.ID() }
@@ -88,9 +122,10 @@ func (c *Consumer[T]) Node() int { return c.h.Node() }
 func (c *Consumer[T]) Stats() Stats { return c.h.Ops() }
 
 // Pin locks the calling goroutine to an OS thread and binds it to the core
-// assigned to this consumer by the placement.
+// assigned to this consumer by the current membership epoch's placement
+// (consumers added at runtime get the least-loaded core at join time).
 func (c *Consumer[T]) Pin() bool {
-	core := c.pool.placement.ConsumerCores[c.h.ID()]
+	core := c.pool.fw.Placement().ConsumerCores[c.h.ID()]
 	return affinity.Pin(core) == affinity.Pinned
 }
 
@@ -98,8 +133,19 @@ func (c *Consumer[T]) Pin() bool {
 func (c *Consumer[T]) Unpin() { affinity.Unpin() }
 
 // Close releases per-consumer resources (SALSA's hazard record). Call when
-// the consuming goroutine retires; the handle must not be used afterwards.
+// the consuming goroutine retires. Idempotent: repeated Close calls are
+// no-ops, and a handle already closed by Pool.Close, RetireConsumer or
+// KillConsumer stays closed. After the first Close, any Get-family call
+// on this handle panics — the hazard record is gone, so retrieving
+// through a closed handle would race on freed synchronization state.
+//
+// Close does not remove the consumer from the pool's membership; its
+// SCPool keeps accepting produced tasks. To take the consumer out of
+// service, use Pool.RetireConsumer (which also closes the handle).
 func (c *Consumer[T]) Close() {
+	if c.closed.Swap(true) {
+		return
+	}
 	if c.pool.salsa != nil {
 		c.pool.salsa.ReleaseConsumer(c.h.State())
 	}

@@ -16,6 +16,14 @@
 // caller's retire list instead of being enqueued, and re-enters circulation
 // on a later flush. This is the reuse-safety role hazard pointers play in
 // the paper (§1.5.1); memory safety itself is the GC's job in Go.
+//
+// Under elastic membership, a departing consumer's spare chunks are moved
+// into a survivor's chunk pool through the ordinary Get/Put operations
+// (core.Pool.DrainSparesInto): the spares follow the live set, so the
+// producer-based balancing signal keeps pointing at consumers that can
+// actually drain work. The departing pool's in-use chunks are not touched —
+// survivors reclaim those through the steal path, and each re-enters a
+// live chunk pool when its last task is taken.
 package chunkpool
 
 import (

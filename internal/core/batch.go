@@ -40,7 +40,7 @@ import (
 // a failed Produce — the caller owns the suffix and routes it down its
 // access list).
 func (p *Pool[T]) ProduceBatch(ps *scpool.ProducerState, ts []*T) int {
-	if len(ts) == 0 {
+	if len(ts) == 0 || p.abandoned.Load() {
 		return 0
 	}
 	sc := p.shared.producerScratch(ps) // one scratch lookup per batch

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"salsa/internal/chunkpool"
 	"salsa/internal/hazard"
@@ -106,6 +107,11 @@ type Pool[T any] struct {
 
 	chunks *chunkpool.Pool[Chunk[T]]
 	ind    *indicator.Indicator
+
+	// abandoned marks a pool whose owner retired or crashed (elastic
+	// membership). Read on the produce paths only; the owner's consume
+	// fast path never touches it (a departed owner no longer consumes).
+	abandoned atomic.Bool
 }
 
 // NewPool creates the SCPool owned by consumer ownerID running on NUMA node
@@ -193,8 +199,12 @@ func (s *Shared[T]) ReleaseConsumer(cs *scpool.ConsumerState) {
 
 // Produce implements Algorithm 4's produce(): it fails (returns false) when
 // a fresh chunk is needed and the pool has no spare — the overload signal
-// that powers producer-based balancing.
+// that powers producer-based balancing — or when the pool was abandoned by
+// a membership change (same signal, reused: the producer routes onward).
 func (p *Pool[T]) Produce(ps *scpool.ProducerState, t *T) bool {
+	if p.abandoned.Load() {
+		return false
+	}
 	return p.insert(ps, t, false)
 }
 

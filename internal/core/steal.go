@@ -82,6 +82,11 @@ func (p *Pool[T]) Steal(cs *scpool.ConsumerState, victimPool scpool.SCPool[T]) *
 		return nil
 	}
 	cs.Ops.Steals.Inc()
+	if victim.abandoned.Load() {
+		// Reclamation census: this steal moved a chunk out of a pool
+		// whose owner departed — the membership-driven subset of steals.
+		cs.Ops.ReclaimedChunks.Inc()
+	}
 	fromHome := int(ch.home.Load())
 	// Migrate the chunk to this consumer's node per the allocation
 	// policy — the paper's chunks are page-sized precisely so NUMA data

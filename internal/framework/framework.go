@@ -23,8 +23,11 @@ package framework
 import (
 	"fmt"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"salsa/internal/membership"
 	"salsa/internal/scpool"
 	"salsa/internal/stats"
 	"salsa/internal/telemetry"
@@ -42,6 +45,14 @@ type Config[T any] struct {
 	// goroutine.
 	Producers int
 	Consumers int
+
+	// MaxConsumers bounds the total number of consumers ever registered,
+	// including departed ones: elastic membership (AddConsumer) assigns
+	// monotonic ids that are never reused, and substrate capacity
+	// (empty-indicator sizes, owner-word id ranges) is fixed at
+	// construction. Zero means Consumers — a fixed-membership pool. The
+	// SCPool factory must build pools sized for MaxConsumers ids.
+	MaxConsumers int
 
 	// Placement maps threads to cores/nodes and derives access lists.
 	// Nil means a UMA machine with Producers+Consumers cores.
@@ -98,11 +109,23 @@ const (
 
 // Framework wires pools, producers and consumers together.
 type Framework[T any] struct {
-	cfg       Config[T]
-	pools     []scpool.SCPool[T]
+	cfg Config[T]
+	reg *membership.Registry
+
+	// epoch is the atomically published membership view (pools, access
+	// lists, placement). Every hot-path operation loads it exactly once;
+	// membership changes build a new epoch under mu and swap the pointer.
+	epoch atomic.Pointer[epoch[T]]
+
+	// mu serializes membership changes and guards the handle registries
+	// below. Hot paths never take it.
+	mu        sync.Mutex
 	producers []*Producer[T]
-	consumers []*Consumer[T]
-	placement *topology.Placement
+	consumers []*Consumer[T] // by id; departed handles remain, flagged
+
+	// sparesDrained counts spare chunks moved out of departing pools
+	// into survivors (telemetry; written only under mu).
+	sparesDrained atomic.Int64
 }
 
 // New validates cfg, builds one SCPool per consumer and pre-wires all
@@ -112,6 +135,13 @@ func New[T any](cfg Config[T]) (*Framework[T], error) {
 		return nil, fmt.Errorf("framework: need at least one producer and one consumer, got %d/%d",
 			cfg.Producers, cfg.Consumers)
 	}
+	if cfg.MaxConsumers == 0 {
+		cfg.MaxConsumers = cfg.Consumers
+	}
+	if cfg.MaxConsumers < cfg.Consumers {
+		return nil, fmt.Errorf("framework: MaxConsumers %d below Consumers %d",
+			cfg.MaxConsumers, cfg.Consumers)
+	}
 	if cfg.NewPool == nil {
 		return nil, fmt.Errorf("framework: NewPool factory is required")
 	}
@@ -120,9 +150,13 @@ func New[T any](cfg Config[T]) (*Framework[T], error) {
 		pl = topology.Place(topology.UMA(cfg.Producers+cfg.Consumers),
 			cfg.Producers, cfg.Consumers, topology.PlaceInterleaved)
 	}
-	fw := &Framework[T]{cfg: cfg, placement: pl}
+	reg, err := membership.NewRegistry(cfg.Consumers, cfg.MaxConsumers)
+	if err != nil {
+		return nil, fmt.Errorf("framework: %w", err)
+	}
+	fw := &Framework[T]{cfg: cfg, reg: reg}
 
-	fw.pools = make([]scpool.SCPool[T], cfg.Consumers)
+	pools := make([]scpool.SCPool[T], cfg.Consumers)
 	for i := 0; i < cfg.Consumers; i++ {
 		p, err := cfg.NewPool(i, pl.ConsumerNode(i), cfg.Producers)
 		if err != nil {
@@ -131,17 +165,12 @@ func New[T any](cfg Config[T]) (*Framework[T], error) {
 		if p.OwnerID() != i {
 			return nil, fmt.Errorf("framework: pool %d reports owner %d", i, p.OwnerID())
 		}
-		fw.pools[i] = p
+		pools[i] = p
 	}
 
 	fw.producers = make([]*Producer[T], cfg.Producers)
 	for i := 0; i < cfg.Producers; i++ {
-		order := pl.ProducerAccessList(i)
-		access := make([]scpool.SCPool[T], len(order))
-		for k, c := range order {
-			access[k] = fw.pools[c]
-		}
-		pr := &Producer[T]{fw: fw, access: access}
+		pr := &Producer[T]{fw: fw}
 		pr.state.ID = i
 		pr.state.Node = pl.ProducerNode(i)
 		pr.state.Tracer = cfg.Tracer
@@ -150,19 +179,13 @@ func New[T any](cfg Config[T]) (*Framework[T], error) {
 
 	fw.consumers = make([]*Consumer[T], cfg.Consumers)
 	for i := 0; i < cfg.Consumers; i++ {
-		order := pl.ConsumerAccessList(i) // self first
-		victims := make([]scpool.SCPool[T], 0, len(order)-1)
-		for _, c := range order {
-			if c != i {
-				victims = append(victims, fw.pools[c])
-			}
-		}
-		co := &Consumer[T]{fw: fw, myPool: fw.pools[i], victims: victims}
+		co := &Consumer[T]{fw: fw, myPool: pools[i]}
 		co.state.ID = i
 		co.state.Node = pl.ConsumerNode(i)
 		co.state.Tracer = cfg.Tracer
 		fw.consumers[i] = co
 	}
+	fw.buildEpoch(reg.Epoch(), pl, pools, make([]bool, cfg.Consumers))
 	return fw, nil
 }
 
@@ -170,39 +193,51 @@ func New[T any](cfg Config[T]) (*Framework[T], error) {
 // goroutine at a time.
 func (fw *Framework[T]) Producer(i int) *Producer[T] { return fw.producers[i] }
 
-// Consumer returns consumer i's handle. Each handle must be driven by one
-// goroutine at a time.
-func (fw *Framework[T]) Consumer(i int) *Consumer[T] { return fw.consumers[i] }
+// Consumer returns consumer i's handle (including departed consumers').
+// Each handle must be driven by one goroutine at a time.
+func (fw *Framework[T]) Consumer(i int) *Consumer[T] {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return fw.consumers[i]
+}
 
 // Pool returns consumer i's SCPool (for tests and diagnostics).
-func (fw *Framework[T]) Pool(i int) scpool.SCPool[T] { return fw.pools[i] }
+func (fw *Framework[T]) Pool(i int) scpool.SCPool[T] { return fw.epoch.Load().pools[i] }
 
 // NumProducers returns the configured producer count.
 func (fw *Framework[T]) NumProducers() int { return len(fw.producers) }
 
-// NumConsumers returns the configured consumer count.
-func (fw *Framework[T]) NumConsumers() int { return len(fw.consumers) }
+// NumConsumers returns the number of consumers ever registered, departed
+// included (ids 0..NumConsumers-1 are all valid handle indices). See
+// LiveConsumers for the live count.
+func (fw *Framework[T]) NumConsumers() int { return len(fw.epoch.Load().pools) }
 
-// Placement returns the placement in effect.
-func (fw *Framework[T]) Placement() *topology.Placement { return fw.placement }
+// Placement returns the placement of the current membership epoch.
+func (fw *Framework[T]) Placement() *topology.Placement { return fw.epoch.Load().placement }
 
-// Stats aggregates the operation counters of every handle.
+// Stats aggregates the operation counters of every handle, departed
+// consumers included (their counts record work done while live).
 func (fw *Framework[T]) Stats() stats.Snapshot {
+	fw.mu.Lock()
+	consumers := fw.consumers[:len(fw.consumers):len(fw.consumers)]
+	fw.mu.Unlock()
 	var total stats.Snapshot
 	for _, p := range fw.producers {
 		total.Add(p.state.Ops.Snapshot())
 	}
-	for _, c := range fw.consumers {
+	for _, c := range consumers {
 		total.Add(c.state.Ops.Snapshot())
 	}
 	return total
 }
 
-// Producer inserts tasks according to the producer policy.
+// Producer inserts tasks according to the producer policy. The access list
+// is read from the current membership epoch on every call (one atomic
+// load), so producers fail over to the surviving pools the moment a
+// consumer departs and reach new pools the moment one joins.
 type Producer[T any] struct {
-	fw     *Framework[T]
-	state  scpool.ProducerState
-	access []scpool.SCPool[T]
+	fw    *Framework[T]
+	state scpool.ProducerState
 }
 
 // Put inserts t (Algorithm 2's put()): produce() along the access list,
@@ -219,19 +254,20 @@ func (p *Producer[T]) Put(t *T) {
 
 func (p *Producer[T]) put(t *T) {
 	tr := p.state.Tracer
+	access := p.fw.epoch.Load().prodAccess[p.state.ID]
 	if p.fw.cfg.DisableBalancing {
-		if !p.access[0].Produce(&p.state, t) {
+		if !access[0].Produce(&p.state, t) {
 			if tr != nil {
 				tr.OnProduceFail(telemetry.ProduceEvent{
-					Producer: p.state.ID, Node: p.state.Node, Pool: p.access[0].OwnerID()})
+					Producer: p.state.ID, Node: p.state.Node, Pool: access[0].OwnerID()})
 				tr.OnForcePut(telemetry.ProduceEvent{
-					Producer: p.state.ID, Node: p.state.Node, Pool: p.access[0].OwnerID()})
+					Producer: p.state.ID, Node: p.state.Node, Pool: access[0].OwnerID()})
 			}
-			p.access[0].ProduceForce(&p.state, t)
+			access[0].ProduceForce(&p.state, t)
 		}
 		return
 	}
-	for _, pool := range p.access {
+	for _, pool := range access {
 		if pool.Produce(&p.state, t) {
 			return
 		}
@@ -242,9 +278,12 @@ func (p *Producer[T]) put(t *T) {
 	}
 	if tr != nil {
 		tr.OnForcePut(telemetry.ProduceEvent{
-			Producer: p.state.ID, Node: p.state.Node, Pool: p.access[0].OwnerID()})
+			Producer: p.state.ID, Node: p.state.Node, Pool: access[0].OwnerID()})
 	}
-	p.access[0].ProduceForce(&p.state, t)
+	// The forced insert may land in a pool abandoned after the epoch was
+	// loaded; that is safe — abandoned pools remain steal victims and
+	// emptiness-scan subjects forever, so the straggler is reclaimed.
+	access[0].ProduceForce(&p.state, t)
 }
 
 // PutBatch inserts every task of ts, amortizing the access-list walk (and,
@@ -272,23 +311,24 @@ func (p *Producer[T]) PutBatch(ts []*T) {
 
 func (p *Producer[T]) putBatch(ts []*T) {
 	tr := p.state.Tracer
+	access := p.fw.epoch.Load().prodAccess[p.state.ID]
 	if p.fw.cfg.DisableBalancing {
-		n := scpool.ProduceBatch(p.access[0], &p.state, ts)
+		n := scpool.ProduceBatch(access[0], &p.state, ts)
 		if n < len(ts) {
 			if tr != nil {
 				tr.OnProduceFail(telemetry.ProduceEvent{
-					Producer: p.state.ID, Node: p.state.Node, Pool: p.access[0].OwnerID()})
+					Producer: p.state.ID, Node: p.state.Node, Pool: access[0].OwnerID()})
 				tr.OnForcePut(telemetry.ProduceEvent{
-					Producer: p.state.ID, Node: p.state.Node, Pool: p.access[0].OwnerID()})
+					Producer: p.state.ID, Node: p.state.Node, Pool: access[0].OwnerID()})
 			}
 			for _, t := range ts[n:] {
-				p.access[0].ProduceForce(&p.state, t)
+				access[0].ProduceForce(&p.state, t)
 			}
 		}
 		return
 	}
 	rem := ts
-	for _, pool := range p.access {
+	for _, pool := range access {
 		n := scpool.ProduceBatch(pool, &p.state, rem)
 		rem = rem[n:]
 		if len(rem) == 0 {
@@ -301,10 +341,10 @@ func (p *Producer[T]) putBatch(ts []*T) {
 	}
 	if tr != nil {
 		tr.OnForcePut(telemetry.ProduceEvent{
-			Producer: p.state.ID, Node: p.state.Node, Pool: p.access[0].OwnerID()})
+			Producer: p.state.ID, Node: p.state.Node, Pool: access[0].OwnerID()})
 	}
 	for _, t := range rem {
-		p.access[0].ProduceForce(&p.state, t)
+		access[0].ProduceForce(&p.state, t)
 	}
 }
 
@@ -319,20 +359,57 @@ func (p *Producer[T]) Node() int { return p.state.Node }
 
 // Consumer retrieves tasks according to the consumer policy.
 type Consumer[T any] struct {
-	fw      *Framework[T]
-	state   scpool.ConsumerState
-	myPool  scpool.SCPool[T]
+	fw     *Framework[T]
+	state  scpool.ConsumerState
+	myPool scpool.SCPool[T]
+
+	// ep/victims cache the membership view this handle last saw. The
+	// victim list is rebuilt (handle-locally, no locks) whenever the
+	// framework's epoch pointer moves; between epochs the hot path pays
+	// one atomic load and one pointer compare. Victims include abandoned
+	// pools — that is how survivors reclaim a departed consumer's tasks.
+	ep      *epoch[T]
 	victims []scpool.SCPool[T]
+
+	// departed is set when this consumer retires or is killed; the Get
+	// family panics afterwards (using a dead handle is a bug, not a
+	// race to lose tasks on).
+	departed atomic.Bool
 
 	// steal-order state (single-owner, like the handle itself)
 	rrNext int
 	rng    uint64
 }
 
+// refresh returns the current epoch, rebuilding the cached victim list
+// when membership changed since this handle last looked.
+func (c *Consumer[T]) refresh() *epoch[T] {
+	ep := c.fw.epoch.Load()
+	if ep != c.ep {
+		order := ep.placement.ConsumerAccessList(c.state.ID) // self first
+		victims := make([]scpool.SCPool[T], 0, len(order)-1)
+		for _, id := range order {
+			if id != c.state.ID {
+				victims = append(victims, ep.pools[id])
+			}
+		}
+		c.victims = victims
+		c.ep = ep
+	}
+	return ep
+}
+
+func (c *Consumer[T]) checkLive() {
+	if c.departed.Load() {
+		panic(fmt.Sprintf("framework: consumer %d handle used after retirement", c.state.ID))
+	}
+}
+
 // Get retrieves a task (Algorithm 2's get()). It returns ok=false only
 // when the system was observed empty — linearizably so unless the framework
 // was configured with NonLinearizableEmpty.
 func (c *Consumer[T]) Get() (*T, bool) {
+	c.checkLive()
 	if !c.fw.cfg.Latency { // fast path: one predictable branch
 		return c.get()
 	}
@@ -364,6 +441,7 @@ func (c *Consumer[T]) get() (*T, bool) {
 // "the system was empty". Latency sampling records only successful passes,
 // so spin-polling an empty pool does not drown the Get histogram.
 func (c *Consumer[T]) TryGet() (*T, bool) {
+	c.checkLive()
 	if !c.fw.cfg.Latency {
 		return c.tryOnce()
 	}
@@ -378,6 +456,7 @@ func (c *Consumer[T]) TryGet() (*T, bool) {
 // GetWait retrieves a task, spinning (with escalating yields) through empty
 // periods until a task arrives or stop is closed.
 func (c *Consumer[T]) GetWait(stop <-chan struct{}) (*T, bool) {
+	c.checkLive()
 	spins := 0
 	for {
 		if t, ok := c.tryOnce(); ok {
@@ -396,6 +475,7 @@ func (c *Consumer[T]) GetWait(stop <-chan struct{}) (*T, bool) {
 }
 
 func (c *Consumer[T]) tryOnce() (*T, bool) {
+	c.refresh()
 	if t := c.myPool.Consume(&c.state); t != nil {
 		c.state.Ops.Gets.Inc()
 		return t, true
@@ -457,6 +537,7 @@ func (c *Consumer[T]) stealPass() *T {
 // With Latency enabled a non-empty call is sampled as one GetLatency
 // observation.
 func (c *Consumer[T]) GetBatch(dst []*T) int {
+	c.checkLive()
 	if len(dst) == 0 {
 		return 0
 	}
@@ -488,6 +569,7 @@ func (c *Consumer[T]) getBatch(dst []*T) int {
 // emptiness protocol. Zero means "found nothing this pass", not "the system
 // was empty".
 func (c *Consumer[T]) TryGetBatch(dst []*T) int {
+	c.checkLive()
 	if len(dst) == 0 {
 		return 0
 	}
@@ -512,6 +594,7 @@ func (c *Consumer[T]) TryGetBatch(dst []*T) int {
 // chunks. After a successful steal the migrated chunk's remainder is
 // drained into dst, so a steal still yields a full run, not a single task.
 func (c *Consumer[T]) tryBatchOnce(dst []*T) int {
+	c.refresh()
 	n := scpool.ConsumeBatch(c.myPool, &c.state, dst)
 	if n == 0 {
 		if t := c.stealPass(); t != nil {
@@ -532,11 +615,22 @@ func (c *Consumer[T]) tryBatchOnce(dst []*T) int {
 // no possibly-emptying operation cleared the bit. n rounds absorb the up to
 // n−1 task-taking operations that may have been in flight when the probe
 // started (Lemma 6 / Claim 3).
+//
+// Membership makes two adjustments. The scan set is the epoch's full pool
+// list, abandoned pools included forever: a straggler task can land in an
+// abandoned pool (in-flight put, forced insert, a producer's current
+// chunk) and is reclaimable by steal, so it must refute emptiness. And the
+// probe pins the epoch it started on, aborting — returning "not empty",
+// which just makes get() retry — the moment the epoch pointer moves: a
+// consumer added mid-probe would otherwise have a pool this probe never
+// scanned. Round count n is the registered-consumer count, ≥ the live
+// count, so the Lemma 6 absorption argument carries over unchanged.
 func (c *Consumer[T]) checkEmpty() bool {
-	n := len(c.fw.consumers)
+	ep := c.refresh()
+	n := len(ep.pools)
 	tr := c.state.Tracer
 	for i := 0; i < n; i++ {
-		for _, p := range c.fw.pools {
+		for _, p := range ep.pools {
 			if i == 0 {
 				p.SetIndicator(c.state.ID)
 			}
@@ -547,6 +641,9 @@ func (c *Consumer[T]) checkEmpty() bool {
 				}
 				return false
 			}
+		}
+		if c.fw.epoch.Load() != ep {
+			return false // membership changed mid-probe; not linearizable
 		}
 		if tr != nil {
 			tr.OnCheckEmptyRound(telemetry.CheckEmptyRoundEvent{
@@ -564,6 +661,9 @@ func (c *Consumer[T]) ID() int { return c.state.ID }
 
 // Node returns the NUMA node the consumer is placed on.
 func (c *Consumer[T]) Node() int { return c.state.Node }
+
+// Departed reports whether this consumer has retired or been killed.
+func (c *Consumer[T]) Departed() bool { return c.departed.Load() }
 
 // State exposes the consumer's scpool state for implementation-specific
 // teardown (e.g. releasing SALSA's hazard record).

@@ -10,6 +10,15 @@
 // most n−1 task-taking operations can be pending when the probe starts, n
 // clean traversals guarantee one traversal during which the system really
 // was empty, making the ⊥ return linearizable (Claim 3 of the paper).
+//
+// Under elastic membership, indicators are sized for the pool's lifetime
+// consumer capacity (MaxConsumers) so consumers that join later have their
+// bit from the start, and the indicator of an abandoned (retired/crashed)
+// pool stays in every probe's scan set forever — the "permanently raised"
+// slot rule. In-flight produces and forced puts can land tasks in an
+// abandoned pool after its owner departs, so dropping it from the scan
+// would let checkEmpty linearize an emptiness a reclaimable task refutes;
+// see internal/framework/membership.go.
 package indicator
 
 import "sync/atomic"

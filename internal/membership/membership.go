@@ -1,0 +1,205 @@
+// Package membership tracks the consumer lifecycle of an elastic pool: the
+// bookkeeping half of runtime consumer join/retire/crash-recovery.
+//
+// The SALSA paper fixes the consumer set at construction time, but nothing
+// in its chunk-ownership mechanism requires that: a departed consumer's
+// chunks are reclaimable through the ordinary two-CAS steal path, so
+// membership can change while the pool serves traffic. This package owns
+// the control-plane state of that elasticity — which consumer ids exist,
+// which are live, and a monotonically increasing epoch stamped on every
+// change — while the data-plane consequences (access-list rebuilds, pool
+// abandonment, chunk reclamation) live in internal/framework and the
+// SCPool implementations.
+//
+// Rules enforced here:
+//
+//   - Ids are dense and monotonic: the initial consumers are 0..n-1, every
+//     Add returns the next id, and a retired id is never reused. Reuse
+//     would let a new consumer's pool alias an abandoned pool that still
+//     holds chunks (same owner id in the chunk ownership words), so the id
+//     space only grows, up to a fixed capacity chosen at construction.
+//   - At least one consumer stays live: retiring or killing the last live
+//     consumer fails. A pool with zero consumers could never drain, and
+//     producers would have no insertion target.
+//   - Transitions are Live → Retired (graceful) or Live → Crashed
+//     (fault-injection); both are terminal.
+//
+// The Registry serializes transitions with a mutex — membership changes
+// are control-plane rare — but reads used on data paths (Epoch) are plain
+// atomics so pool operations never block on a membership change in flight.
+package membership
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// State is a consumer's lifecycle state.
+type State int
+
+const (
+	// Unregistered marks an id that has not been allocated yet.
+	Unregistered State = iota
+	// Live is a consumer currently participating in the pool.
+	Live
+	// Retired is a consumer that left gracefully: its goroutine stopped
+	// driving the handle before the transition, so its hazard record was
+	// released and only its pool contents need reclaiming.
+	Retired
+	// Crashed is a consumer declared dead without its cooperation: its
+	// handle state (hazard record included) is abandoned in place and its
+	// pool contents are reclaimed by the survivors.
+	Crashed
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Unregistered:
+		return "unregistered"
+	case Live:
+		return "live"
+	case Retired:
+		return "retired"
+	case Crashed:
+		return "crashed"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Departed reports whether the state is terminal (Retired or Crashed).
+func (s State) Departed() bool { return s == Retired || s == Crashed }
+
+// Registry is the membership control plane: consumer states, the epoch
+// counter, and id allocation. All methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	states   []State // by consumer id; len(states) == registered count
+	live     int
+	capacity int
+	epoch    atomic.Uint64
+}
+
+// NewRegistry creates a registry with `initial` live consumers (ids
+// 0..initial-1) and room for ids up to capacity-1. capacity < initial is an
+// error; capacity == initial permits retirement but no growth.
+func NewRegistry(initial, capacity int) (*Registry, error) {
+	if initial <= 0 {
+		return nil, fmt.Errorf("membership: need at least one initial consumer, got %d", initial)
+	}
+	if capacity < initial {
+		return nil, fmt.Errorf("membership: capacity %d below initial consumer count %d",
+			capacity, initial)
+	}
+	r := &Registry{
+		states:   make([]State, initial, capacity),
+		live:     initial,
+		capacity: capacity,
+	}
+	for i := range r.states {
+		r.states[i] = Live
+	}
+	return r, nil
+}
+
+// Epoch returns the current membership epoch: 0 at construction,
+// incremented by every successful Add, Retire and Kill. Lock-free; data
+// paths may poll it.
+func (r *Registry) Epoch() uint64 { return r.epoch.Load() }
+
+// Capacity returns the maximum number of consumer ids the registry can
+// ever allocate (initial + adds; retired ids are not reused).
+func (r *Registry) Capacity() int { return r.capacity }
+
+// Registered returns the number of ids allocated so far (live + departed).
+func (r *Registry) Registered() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.states)
+}
+
+// LiveCount returns the number of live consumers.
+func (r *Registry) LiveCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.live
+}
+
+// State returns the state of id (Unregistered when out of range).
+func (r *Registry) State(id int) State {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id < 0 || id >= len(r.states) {
+		return Unregistered
+	}
+	return r.states[id]
+}
+
+// Live returns the live consumer ids in ascending order.
+func (r *Registry) Live() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]int, 0, r.live)
+	for id, s := range r.states {
+		if s == Live {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Add allocates the next consumer id as Live and bumps the epoch. Fails
+// when the id space is exhausted (capacity reached; retired ids are never
+// reused — see the package comment).
+func (r *Registry) Add() (id int, epoch uint64, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.states) >= r.capacity {
+		return 0, 0, fmt.Errorf(
+			"membership: id space exhausted (%d ids allocated, capacity %d; retired ids are not reused)",
+			len(r.states), r.capacity)
+	}
+	id = len(r.states)
+	r.states = append(r.states, Live)
+	r.live++
+	return id, r.epoch.Add(1), nil
+}
+
+// Retire marks id Retired and bumps the epoch. Fails when id is not live
+// or is the last live consumer.
+func (r *Registry) Retire(id int) (epoch uint64, err error) {
+	return r.depart(id, Retired)
+}
+
+// Kill marks id Crashed and bumps the epoch. Same validation as Retire.
+func (r *Registry) Kill(id int) (epoch uint64, err error) {
+	return r.depart(id, Crashed)
+}
+
+func (r *Registry) depart(id int, to State) (uint64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id < 0 || id >= len(r.states) {
+		return 0, fmt.Errorf("membership: consumer %d not registered", id)
+	}
+	if s := r.states[id]; s != Live {
+		return 0, fmt.Errorf("membership: consumer %d is %s, not live", id, s)
+	}
+	if r.live == 1 {
+		return 0, fmt.Errorf("membership: consumer %d is the last live consumer", id)
+	}
+	r.states[id] = to
+	r.live--
+	return r.epoch.Add(1), nil
+}
+
+// Snapshot returns a copy of all states by id (index == consumer id).
+func (r *Registry) Snapshot() []State {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]State, len(r.states))
+	copy(out, r.states)
+	return out
+}

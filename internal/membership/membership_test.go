@@ -1,0 +1,189 @@
+package membership
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNewRegistryValidation(t *testing.T) {
+	if _, err := NewRegistry(0, 4); err == nil {
+		t.Fatal("want error for zero initial consumers")
+	}
+	if _, err := NewRegistry(-1, 4); err == nil {
+		t.Fatal("want error for negative initial consumers")
+	}
+	if _, err := NewRegistry(4, 3); err == nil {
+		t.Fatal("want error for capacity below initial")
+	}
+	r, err := NewRegistry(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Epoch() != 0 {
+		t.Fatalf("fresh registry epoch = %d, want 0", r.Epoch())
+	}
+	if r.LiveCount() != 4 || r.Registered() != 4 || r.Capacity() != 4 {
+		t.Fatalf("counts = %d/%d/%d, want 4/4/4", r.LiveCount(), r.Registered(), r.Capacity())
+	}
+}
+
+func TestAddAllocatesMonotonicIDs(t *testing.T) {
+	r, _ := NewRegistry(2, 5)
+	for want := 2; want < 5; want++ {
+		id, epoch, err := r.Add()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != want {
+			t.Fatalf("Add returned id %d, want %d", id, want)
+		}
+		if epoch != uint64(want-1) {
+			t.Fatalf("Add epoch = %d, want %d", epoch, want-1)
+		}
+	}
+	if _, _, err := r.Add(); err == nil {
+		t.Fatal("want capacity error")
+	}
+}
+
+func TestRetiredIDsNeverReused(t *testing.T) {
+	r, _ := NewRegistry(2, 4)
+	if _, err := r.Retire(0); err != nil {
+		t.Fatal(err)
+	}
+	id, _, err := r.Add()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 2 {
+		t.Fatalf("Add after retire returned id %d, want a fresh id 2", id)
+	}
+	if got := r.State(0); got != Retired {
+		t.Fatalf("state(0) = %v, want Retired", got)
+	}
+}
+
+func TestRetireValidation(t *testing.T) {
+	r, _ := NewRegistry(2, 4)
+	if _, err := r.Retire(7); err == nil {
+		t.Fatal("want error retiring unregistered id")
+	}
+	if _, err := r.Retire(-1); err == nil {
+		t.Fatal("want error retiring negative id")
+	}
+	if _, err := r.Retire(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Retire(1); err == nil {
+		t.Fatal("want error on double retire")
+	}
+	if _, err := r.Kill(1); err == nil {
+		t.Fatal("want error killing a retired consumer")
+	}
+	if _, err := r.Retire(0); err == nil {
+		t.Fatal("want error retiring the last live consumer")
+	}
+	if got := r.LiveCount(); got != 1 {
+		t.Fatalf("live = %d, want 1", got)
+	}
+}
+
+func TestKillMarksCrashed(t *testing.T) {
+	r, _ := NewRegistry(3, 3)
+	if _, err := r.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.State(1); got != Crashed {
+		t.Fatalf("state(1) = %v, want Crashed", got)
+	}
+	if !Crashed.Departed() || !Retired.Departed() || Live.Departed() {
+		t.Fatal("Departed predicate wrong")
+	}
+	want := []State{Live, Crashed, Live}
+	got := r.Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("snapshot len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("snapshot[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEpochAdvancesPerChange(t *testing.T) {
+	r, _ := NewRegistry(2, 8)
+	var want uint64
+	if _, e, _ := r.Add(); e != want+1 {
+		t.Fatalf("epoch after add = %d, want %d", e, want+1)
+	}
+	want++
+	if e, _ := r.Retire(0); e != want+1 {
+		t.Fatalf("epoch after retire = %d, want %d", e, want+1)
+	}
+	want++
+	if e, _ := r.Kill(1); e != want+1 {
+		t.Fatalf("epoch after kill = %d, want %d", e, want+1)
+	}
+	want++
+	if r.Epoch() != want {
+		t.Fatalf("Epoch() = %d, want %d", r.Epoch(), want)
+	}
+	// Failed transitions must not advance the epoch.
+	if _, err := r.Retire(0); err == nil {
+		t.Fatal("want error")
+	}
+	if r.Epoch() != want {
+		t.Fatalf("failed retire advanced epoch to %d", r.Epoch())
+	}
+}
+
+func TestLiveListing(t *testing.T) {
+	r, _ := NewRegistry(3, 5)
+	r.Retire(1)
+	id, _, _ := r.Add()
+	live := r.Live()
+	want := []int{0, 2, id}
+	if len(live) != len(want) {
+		t.Fatalf("live = %v, want %v", live, want)
+	}
+	for i := range want {
+		if live[i] != want[i] {
+			t.Fatalf("live = %v, want %v", live, want)
+		}
+	}
+	if got := r.State(99); got != Unregistered {
+		t.Fatalf("state(99) = %v, want Unregistered", got)
+	}
+}
+
+// TestConcurrentChurn hammers the registry from many goroutines; the race
+// detector plus the final accounting validate the locking.
+func TestConcurrentChurn(t *testing.T) {
+	const workers = 8
+	r, _ := NewRegistry(workers, workers*16)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				id, _, err := r.Add()
+				if err != nil {
+					return
+				}
+				if _, err := r.Retire(id); err != nil {
+					t.Errorf("retire %d: %v", id, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.LiveCount(); got != workers {
+		t.Fatalf("live after churn = %d, want %d", got, workers)
+	}
+	if r.Registered() != workers+workers*10 {
+		t.Fatalf("registered = %d, want %d", r.Registered(), workers+workers*10)
+	}
+}

@@ -128,6 +128,10 @@ type Pool[T any] struct {
 	lists     []*list[T] // one per producer; no steal list (chunks never move)
 	chunks    *chunkpool.Pool[chunk[T]]
 	ind       *indicator.Indicator
+
+	// abandoned marks a pool whose owner retired or crashed (elastic
+	// membership). Read on the produce paths only.
+	abandoned atomic.Bool
 }
 
 // NewPool builds the pool owned by consumer ownerID on node ownerNode.
@@ -187,8 +191,12 @@ func (s *Shared[T]) consumerScratch(cs *scpool.ConsumerState) *consScratch[T] {
 }
 
 // Produce inserts t, failing when a fresh chunk is needed but the pool has
-// no spare (producer-based balancing, same as SALSA).
+// no spare (producer-based balancing, same as SALSA) — or when the pool was
+// abandoned by a membership change (same signal, reused).
 func (p *Pool[T]) Produce(ps *scpool.ProducerState, t *T) bool {
+	if p.abandoned.Load() {
+		return false
+	}
 	return p.insert(ps, t, false)
 }
 
@@ -254,7 +262,7 @@ func (p *Pool[T]) insert(ps *scpool.ProducerState, t *T, force bool) bool {
 // scpool.BatchSCPool's ConsumeBatch natively — the generic per-task
 // fallback applies. A short count means the chunk pool ran dry.
 func (p *Pool[T]) ProduceBatch(ps *scpool.ProducerState, ts []*T) int {
-	if len(ts) == 0 {
+	if len(ts) == 0 || p.abandoned.Load() {
 		return 0
 	}
 	sc := p.shared.producerScratch(ps)
@@ -397,6 +405,11 @@ func (p *Pool[T]) takeFrom(cs *scpool.ConsumerState, src *Pool[T], cursor int) (
 				n.chunk.Store(nil)
 				if ch.recycled.CompareAndSwap(0, 1) {
 					p.chunks.Put(nil, ch)
+					if p != src && src.abandoned.Load() {
+						// Reclamation census: the final take retired a
+						// chunk out of an abandoned pool.
+						cs.Ops.ReclaimedChunks.Inc()
+					}
 					if p != src {
 						// Consumption-rate-proportional balancing
 						// moved an empty spare across pools.

@@ -116,6 +116,89 @@ type BatchSCPool[T any] interface {
 	ConsumeBatch(c *ConsumerState, dst []*T) int
 }
 
+// Abandoner is the optional abandonment capability of an SCPool, used by
+// elastic membership (internal/framework) when a consumer retires or is
+// declared crashed. Abandon marks the pool as ownerless: subsequent Produce
+// calls fail (so producer-based balancing routes around the pool the same
+// way it routes around an overloaded one), while Consume-side structures
+// stay intact so surviving consumers reclaim the remaining tasks through
+// the ordinary Steal path. Abandon introduces no new synchronization on the
+// owner's consume fast path — it is a cold-path flag read only where
+// Produce already branches.
+//
+// Substrates without this capability still support membership changes
+// through the generic fallback: the framework stops routing producers to
+// the pool and keeps it on every survivor's victim list, so Steal drains
+// it; the only difference is that in-flight producers are not actively
+// repelled (their tasks land in the abandoned pool and are stolen later).
+type Abandoner interface {
+	// Abandon marks the pool ownerless. Idempotent.
+	Abandon()
+	// Abandoned reports whether Abandon has been called.
+	Abandoned() bool
+}
+
+// Abandon marks pool abandoned when it has the capability; it reports
+// whether the pool accepted the mark (false means the generic fallback —
+// routing exclusion plus steal-based draining — is all the framework gets).
+func Abandon[T any](pool SCPool[T]) bool {
+	if a, ok := pool.(Abandoner); ok {
+		a.Abandon()
+		return true
+	}
+	return false
+}
+
+// Abandoned reports whether pool is marked abandoned (always false for
+// substrates without the capability).
+func Abandoned[T any](pool SCPool[T]) bool {
+	if a, ok := pool.(Abandoner); ok {
+		return a.Abandoned()
+	}
+	return false
+}
+
+// SpareDrainer is the optional chunk-pool drain capability: a substrate
+// whose pools hold spare chunks (SALSA, SALSA+CAS) can hand an abandoned
+// pool's spares to a survivor so the memory and the producer-based
+// balancing signal follow the live consumer set. dst must be a pool of the
+// same implementation.
+type SpareDrainer[T any] interface {
+	// DrainSparesInto moves every spare chunk of this pool into dst's
+	// chunk pool and returns the number moved. Safe to call concurrently
+	// with pool operations; chunks that arrive after the drain are
+	// reclaimed by the next drain or stay until stolen producers stop.
+	DrainSparesInto(dst SCPool[T]) int
+}
+
+// DrainSpares moves src's spare chunks into dst when the substrate has the
+// capability, returning the number moved (0 otherwise).
+func DrainSpares[T any](src, dst SCPool[T]) int {
+	if d, ok := src.(SpareDrainer[T]); ok {
+		return d.DrainSparesInto(dst)
+	}
+	return 0
+}
+
+// TaskCounter is the optional visible-task census capability, used by
+// telemetry to report orphaned tasks awaiting reclamation in abandoned
+// pools. The count is an instantaneous scan, stale the moment it returns.
+type TaskCounter interface {
+	// VisibleTasks returns the number of produced, untaken tasks a scan
+	// of the pool observed.
+	VisibleTasks() int
+}
+
+// VisibleTasks returns pool's instantaneous untaken-task census, or 0 when
+// the substrate cannot count (shared-structure substrates attribute their
+// tasks to no single pool).
+func VisibleTasks[T any](pool SCPool[T]) int {
+	if c, ok := pool.(TaskCounter); ok {
+		return c.VisibleTasks()
+	}
+	return 0
+}
+
 // ProduceBatch inserts a prefix of ts into pool, using the native batch path
 // when the implementation has one and per-task Produce otherwise. Returns
 // the number inserted; a short count is the pool's overload signal.

@@ -77,8 +77,12 @@ type Ops struct {
 
 	// Steals counts successful chunk (or task, for single-task
 	// algorithms) steals; StealAttempts counts steal() invocations.
-	Steals        Counter
-	StealAttempts Counter
+	// ReclaimedChunks counts the membership-driven subset of Steals:
+	// chunks this handle stole out of an abandoned pool (owner retired
+	// or crashed), reclaiming its orphaned tasks for the survivors.
+	Steals          Counter
+	StealAttempts   Counter
+	ReclaimedChunks Counter
 
 	// ChunkAllocs counts fresh chunk allocations; ChunkReuses counts
 	// chunks recycled through a chunk pool. ProduceFull counts produce()
@@ -137,6 +141,7 @@ type Snapshot struct {
 	CAS, FailedCAS                        int64
 	FastPath, SlowPath                    int64
 	Steals, StealAttempts                 int64
+	ReclaimedChunks                       int64
 	ChunkAllocs, ChunkReuses              int64
 	ProduceFull, ForcePuts, ForceExpands  int64
 	RemoteTransfers, LocalTransfers       int64
@@ -158,7 +163,8 @@ func (o *Ops) Snapshot() Snapshot {
 		CAS: o.CAS.Load(), FailedCAS: o.FailedCAS.Load(),
 		FastPath: o.FastPath.Load(), SlowPath: o.SlowPath.Load(),
 		Steals: o.Steals.Load(), StealAttempts: o.StealAttempts.Load(),
-		ChunkAllocs: o.ChunkAllocs.Load(), ChunkReuses: o.ChunkReuses.Load(),
+		ReclaimedChunks: o.ReclaimedChunks.Load(),
+		ChunkAllocs:     o.ChunkAllocs.Load(), ChunkReuses: o.ChunkReuses.Load(),
 		ProduceFull: o.ProduceFull.Load(), ForcePuts: o.ForcePuts.Load(),
 		ForceExpands:    o.ForceExpands.Load(),
 		RemoteTransfers: o.RemoteTransfers.Load(), LocalTransfers: o.LocalTransfers.Load(),
@@ -183,6 +189,7 @@ func (s *Snapshot) Add(s2 Snapshot) {
 	s.SlowPath += s2.SlowPath
 	s.Steals += s2.Steals
 	s.StealAttempts += s2.StealAttempts
+	s.ReclaimedChunks += s2.ReclaimedChunks
 	s.ChunkAllocs += s2.ChunkAllocs
 	s.ChunkReuses += s2.ChunkReuses
 	s.ProduceFull += s2.ProduceFull

@@ -17,6 +17,14 @@ type Collector struct {
 
 	thief []thiefRow
 	prod  []prodRow
+
+	// Membership counters. Written only from inside the framework's
+	// membership lock — control-plane events are serialized, so the
+	// load+store Counter discipline holds with the lock as the
+	// single-writer guarantee. The matching gauges (epoch, live count,
+	// spares drained) come straight from the framework at snapshot time
+	// and are not duplicated here.
+	joins, retires, crashes stats.Counter
 }
 
 // thiefRow is one consumer's single-writer event block.
@@ -123,6 +131,19 @@ func (c *Collector) OnForcePut(e ProduceEvent) {
 	}
 }
 
+// OnMembershipChange implements MembershipTracer. Called only with the
+// framework's membership lock held.
+func (c *Collector) OnMembershipChange(e MembershipEvent) {
+	switch e.Kind {
+	case MemberJoined:
+		c.joins.Inc()
+	case MemberRetired:
+		c.retires.Inc()
+	case MemberCrashed:
+		c.crashes.Inc()
+	}
+}
+
 // fill copies the collector's counters into s. Readers may lag in-flight
 // increments (single-writer visibility) but never see torn values.
 func (c *Collector) fill(s *Snapshot) {
@@ -153,6 +174,9 @@ func (c *Collector) fill(s *Snapshot) {
 		s.ProduceFails[i] = c.prod[i].produceFails.Load()
 		s.ForcePuts[i] = c.prod[i].forcePuts.Load()
 	}
+	s.MemberJoins = c.joins.Load()
+	s.MemberRetires = c.retires.Load()
+	s.MemberCrashes = c.crashes.Load()
 }
 
 // Fill exports the collector's counters into a Snapshot (public wrapper

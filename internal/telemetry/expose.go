@@ -19,10 +19,26 @@ import (
 type Snapshot struct {
 	// Algorithm is the pool algorithm's display name.
 	Algorithm string
-	// Producers and Consumers are the configured thread counts.
+	// Producers is the configured producer count; Consumers counts every
+	// consumer id ever registered, departed ones included.
 	Producers, Consumers int
 	// ConsumerNodes maps consumer id → NUMA node (nil if unknown).
 	ConsumerNodes []int
+
+	// LiveConsumers is the number of consumers that have not departed.
+	LiveConsumers int
+	// MembershipEpoch is the current membership epoch: 0 at
+	// construction, +1 per AddConsumer/RetireConsumer/KillConsumer.
+	MembershipEpoch uint64
+	// MemberJoins, MemberRetires and MemberCrashes count membership
+	// changes by kind (Collector-backed; zero without metrics).
+	MemberJoins, MemberRetires, MemberCrashes int64
+	// SparesDrained totals the spare chunks moved out of departing pools
+	// into survivors.
+	SparesDrained int64
+	// OrphanedTasks is the instantaneous number of tasks still visible
+	// in abandoned pools, awaiting steal-reclamation by survivors.
+	OrphanedTasks int64
 
 	// Ops is the aggregated per-handle operation census, including the
 	// Put/Get/steal latency histograms when latency sampling is on.
@@ -80,6 +96,11 @@ func writeCounter(w io.Writer, name, help string, v int64) {
 	fmt.Fprintf(w, "%s %d\n", name, v)
 }
 
+func writeGauge(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	fmt.Fprintf(w, "%s %d\n", name, v)
+}
+
 // WritePrometheus renders s in the Prometheus text exposition format
 // (version 0.0.4), stdlib only.
 func WritePrometheus(w io.Writer, s Snapshot) {
@@ -108,6 +129,25 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 	writeCounter(w, "salsa_batch_fastpath_total", "Tasks retrieved on the amortized batch fast path (subset of salsa_fastpath_total).", o.BatchFastPath)
 	writeCounter(w, "salsa_remote_transfers_total", "Task transfers crossing NUMA nodes.", o.RemoteTransfers)
 	writeCounter(w, "salsa_local_transfers_total", "Same-node task transfers.", o.LocalTransfers)
+
+	// Elastic membership: the epoch/live gauges come from the framework
+	// (meaningful even without the Collector); the join/retire/crash
+	// breakdown is Collector-backed.
+	writeGauge(w, "salsa_membership_epoch",
+		"Membership epoch: 0 at construction, +1 per consumer join/retire/kill.",
+		int64(s.MembershipEpoch))
+	writeGauge(w, "salsa_live_consumers", "Consumers that have not departed.",
+		int64(s.LiveConsumers))
+	writeGauge(w, "salsa_orphaned_tasks",
+		"Tasks still visible in abandoned pools, awaiting steal-reclamation.",
+		s.OrphanedTasks)
+	writeCounter(w, "salsa_reclaimed_chunks_total",
+		"Chunks stolen out of abandoned pools by surviving consumers.", o.ReclaimedChunks)
+	writeCounter(w, "salsa_spares_drained_total",
+		"Spare chunks drained from departing pools into survivors.", s.SparesDrained)
+	writeCounter(w, "salsa_member_joins_total", "Consumers added at runtime.", s.MemberJoins)
+	writeCounter(w, "salsa_member_retires_total", "Consumers retired gracefully.", s.MemberRetires)
+	writeCounter(w, "salsa_member_crashes_total", "Consumers declared crashed.", s.MemberCrashes)
 
 	if s.StealMatrix != nil {
 		node := func(c int) int {

@@ -114,6 +114,67 @@ type ProduceEvent struct {
 	Pool int
 }
 
+// MembershipKind discriminates membership change events.
+type MembershipKind int
+
+const (
+	// MemberJoined: a consumer was added to a live pool (AddConsumer).
+	MemberJoined MembershipKind = iota
+	// MemberRetired: a consumer departed gracefully; its pool was
+	// abandoned and its spares drained into a survivor.
+	MemberRetired
+	// MemberCrashed: a consumer was declared dead without cooperation
+	// (KillConsumer); its pool was abandoned as-is.
+	MemberCrashed
+)
+
+// String returns the kind's wire name.
+func (k MembershipKind) String() string {
+	switch k {
+	case MemberJoined:
+		return "joined"
+	case MemberRetired:
+		return "retired"
+	case MemberCrashed:
+		return "crashed"
+	}
+	return "unknown"
+}
+
+// MembershipEvent describes one membership epoch transition.
+type MembershipEvent struct {
+	// Kind says what happened to the consumer.
+	Kind MembershipKind
+	// Consumer is the affected consumer id; Node its NUMA node.
+	Consumer, Node int
+	// Epoch is the membership epoch the change published.
+	Epoch uint64
+	// Live is the live consumer count after the change.
+	Live int
+	// SparesDrained is the number of spare chunks moved out of the
+	// departing pool into a survivor (0 for joins and for substrates
+	// without a chunk pool).
+	SparesDrained int
+}
+
+// MembershipTracer is the optional membership extension of Tracer.
+// Membership changes are control-plane events — rare, serialized by the
+// framework's membership lock — so they live outside the hot-path Tracer
+// interface: existing Tracer implementations keep compiling, and the
+// framework type-asserts at each (cold) emission site.
+type MembershipTracer interface {
+	// OnMembershipChange fires after a membership epoch is published.
+	OnMembershipChange(e MembershipEvent)
+}
+
+// EmitMembership forwards e to tr when tr implements MembershipTracer
+// (directly, or as a Multi whose members do).
+func EmitMembership(tr Tracer, e MembershipEvent) {
+	if mt, ok := tr.(MembershipTracer); ok {
+		mt.OnMembershipChange(e)
+	}
+}
+
 // multi fans events out to several tracers.
 type multi []Tracer
 
@@ -140,6 +201,16 @@ func (m multi) OnProduceFail(e ProduceEvent) {
 func (m multi) OnForcePut(e ProduceEvent) {
 	for _, t := range m {
 		t.OnForcePut(e)
+	}
+}
+
+// OnMembershipChange implements MembershipTracer by forwarding to every
+// member that supports the extension.
+func (m multi) OnMembershipChange(e MembershipEvent) {
+	for _, t := range m {
+		if mt, ok := t.(MembershipTracer); ok {
+			mt.OnMembershipChange(e)
+		}
 	}
 }
 
@@ -202,3 +273,6 @@ func (l *LogTracer) OnProduceFail(e ProduceEvent) { l.emit("produce_fail", e) }
 
 // OnForcePut implements Tracer.
 func (l *LogTracer) OnForcePut(e ProduceEvent) { l.emit("force_put", e) }
+
+// OnMembershipChange implements MembershipTracer.
+func (l *LogTracer) OnMembershipChange(e MembershipEvent) { l.emit("membership", e) }

@@ -143,3 +143,75 @@ func TestWriteDelta(t *testing.T) {
 		t.Errorf("delta after reset should count from zero: %s", buf.String())
 	}
 }
+
+func TestCollectorMembership(t *testing.T) {
+	c := NewCollector(1, 4)
+	c.OnMembershipChange(MembershipEvent{Kind: MemberJoined, Consumer: 2, Epoch: 1, Live: 3})
+	c.OnMembershipChange(MembershipEvent{Kind: MemberRetired, Consumer: 0, Epoch: 2, Live: 2, SparesDrained: 4})
+	c.OnMembershipChange(MembershipEvent{Kind: MemberCrashed, Consumer: 1, Epoch: 3, Live: 1})
+	c.OnMembershipChange(MembershipEvent{Kind: MemberCrashed, Consumer: 2, Epoch: 4, Live: 1})
+
+	var s Snapshot
+	c.Fill(&s)
+	if s.MemberJoins != 1 || s.MemberRetires != 1 || s.MemberCrashes != 2 {
+		t.Errorf("joins/retires/crashes = %d/%d/%d, want 1/1/2",
+			s.MemberJoins, s.MemberRetires, s.MemberCrashes)
+	}
+
+	// EmitMembership reaches a Collector through a Multi wrapper too.
+	var s2 Snapshot
+	c2 := NewCollector(1, 2)
+	EmitMembership(Multi(NewLogTracer(&bytes.Buffer{}), c2),
+		MembershipEvent{Kind: MemberJoined, Consumer: 1, Epoch: 1, Live: 2})
+	c2.Fill(&s2)
+	if s2.MemberJoins != 1 {
+		t.Errorf("MemberJoins through Multi = %d, want 1", s2.MemberJoins)
+	}
+}
+
+func TestPrometheusMembershipMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	s := Snapshot{
+		Algorithm:       "SALSA",
+		Producers:       1,
+		Consumers:       3,
+		LiveConsumers:   2,
+		MembershipEpoch: 5,
+		MemberJoins:     2,
+		MemberRetires:   1,
+		MemberCrashes:   1,
+		SparesDrained:   7,
+		OrphanedTasks:   9,
+	}
+	s.Ops.ReclaimedChunks = 11
+	WritePrometheus(&buf, s)
+	out := buf.String()
+	for _, want := range []string{
+		"salsa_membership_epoch 5",
+		"salsa_live_consumers 2",
+		"salsa_orphaned_tasks 9",
+		"salsa_reclaimed_chunks_total 11",
+		"salsa_spares_drained_total 7",
+		"salsa_member_joins_total 2",
+		"salsa_member_retires_total 1",
+		"salsa_member_crashes_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Prometheus output missing %q", want)
+		}
+	}
+}
+
+func TestMembershipKindString(t *testing.T) {
+	want := map[MembershipKind]string{
+		MemberJoined:       "joined",
+		MemberRetired:      "retired",
+		MemberCrashed:      "crashed",
+		MembershipKind(42): "unknown",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}

@@ -84,6 +84,38 @@ func Place(t *Topology, nProducers, nConsumers int, policy PlacementPolicy) *Pla
 	return p
 }
 
+// WithConsumerAdded returns a copy of the placement extended with one more
+// consumer (id = previous consumer count) and the core it was assigned.
+// The receiver is never mutated: membership epochs publish placements via
+// an atomic pointer, so extension must be copy-on-write.
+//
+// The new consumer lands on the least-loaded core — the one hosting the
+// fewest producers and consumers — with ties broken in node-major order.
+// The choice is deterministic so repeated join/retire churn is replayable.
+func (p *Placement) WithConsumerAdded() (*Placement, int) {
+	cores := p.Topo.NumCores()
+	load := make([]int, cores)
+	for _, c := range p.ProducerCores {
+		load[c]++
+	}
+	for _, c := range p.ConsumerCores {
+		load[c]++
+	}
+	best, bestLoad := -1, -1
+	for k := 0; k < cores; k++ {
+		core := orderNodeMajor(p.Topo, k)
+		if best == -1 || load[core] < bestLoad {
+			best, bestLoad = core, load[core]
+		}
+	}
+	np := &Placement{
+		Topo:          p.Topo,
+		ProducerCores: append([]int(nil), p.ProducerCores...),
+		ConsumerCores: append(append([]int(nil), p.ConsumerCores...), best),
+	}
+	return np, best
+}
+
 // orderNodeMajor enumerates cores node by node: position k maps to the k-th
 // core when nodes are visited in order.
 func orderNodeMajor(t *Topology, k int) int {

@@ -1,0 +1,486 @@
+package salsa_test
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"salsa"
+)
+
+// newElasticPool builds a pool with join headroom: capacity for max
+// consumer ids, starting with `consumers` live.
+func newElasticPool(t testing.TB, alg salsa.Algorithm, producers, consumers, max, chunk int) *salsa.Pool[job] {
+	t.Helper()
+	p, err := salsa.New[job](salsa.Config{
+		Producers:    producers,
+		Consumers:    consumers,
+		MaxConsumers: max,
+		Algorithm:    alg,
+		ChunkSize:    chunk,
+		NUMANodes:    4,
+		CoresPerNode: 4,
+	})
+	if err != nil {
+		t.Fatalf("New(%v): %v", alg, err)
+	}
+	return p
+}
+
+// TestKillReclamationAllSubstrates is the abandoned-pool reclamation
+// contract at the public API, on every substrate: every task produced
+// before KillConsumer is consumed exactly once by the survivors. SALSA and
+// SALSA+CAS exercise the native Abandon path (chunk-granularity steal
+// reclamation); the remaining substrates go through the generic fallback,
+// where departure is routing exclusion plus the victim staying on every
+// survivor's steal list.
+func TestKillReclamationAllSubstrates(t *testing.T) {
+	for _, alg := range allAlgorithms {
+		t.Run(alg.String(), func(t *testing.T) {
+			pool := newElasticPool(t, alg, 2, 3, 3, 8)
+			defer pool.Close()
+
+			const n = 600
+			var mu sync.Mutex
+			want := make(map[*job]bool, n)
+			for i := 0; i < n; i++ {
+				j := &job{producer: i % 2, seq: i}
+				want[j] = true
+				pool.Producer(i % 2).Put(j)
+			}
+
+			// The victim never ran, so it is quiescent: zero tasks may
+			// be lost, including everything queued in its own pool.
+			if err := pool.KillConsumer(1); err != nil {
+				t.Fatalf("KillConsumer: %v", err)
+			}
+			if got := pool.LiveConsumers(); got != 2 {
+				t.Fatalf("LiveConsumers = %d, want 2", got)
+			}
+			if got := pool.MembershipEpoch(); got != 1 {
+				t.Fatalf("MembershipEpoch = %d, want 1", got)
+			}
+
+			var wg sync.WaitGroup
+			for _, id := range []int{0, 2} {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					c := pool.Consumer(id)
+					for {
+						j, ok := c.Get()
+						if !ok {
+							return
+						}
+						mu.Lock()
+						if !want[j] {
+							mu.Unlock()
+							panic("task unknown or consumed twice")
+						}
+						delete(want, j)
+						mu.Unlock()
+					}
+				}(id)
+			}
+			wg.Wait()
+			if len(want) != 0 {
+				t.Fatalf("%d of %d tasks lost after kill", len(want), n)
+			}
+
+			// Post-kill inserts keep flowing to survivors.
+			extra := &job{seq: n}
+			pool.Producer(0).Put(extra)
+			if j, ok := pool.Consumer(0).Get(); !ok || j != extra {
+				t.Fatalf("post-kill Put not retrievable (ok=%v)", ok)
+			}
+		})
+	}
+}
+
+// TestAddRetireRoundTrip exercises join and graceful retirement through the
+// public API on every substrate.
+func TestAddRetireRoundTrip(t *testing.T) {
+	for _, alg := range allAlgorithms {
+		t.Run(alg.String(), func(t *testing.T) {
+			pool := newElasticPool(t, alg, 1, 1, 3, 8)
+			defer pool.Close()
+
+			co, err := pool.AddConsumer()
+			if err != nil {
+				t.Fatalf("AddConsumer: %v", err)
+			}
+			if co.ID() != 1 {
+				t.Fatalf("new consumer id = %d, want 1", co.ID())
+			}
+			if pool.Consumer(1) != co {
+				t.Fatal("Consumer(1) does not return the added handle")
+			}
+			if pool.NumConsumers() != 2 || pool.LiveConsumers() != 2 {
+				t.Fatalf("counts %d/%d after join", pool.NumConsumers(), pool.LiveConsumers())
+			}
+
+			// Tasks queued before the retirement of consumer 0 are
+			// reclaimed by the newcomer.
+			const n = 100
+			want := make(map[*job]bool, n)
+			for i := 0; i < n; i++ {
+				j := &job{seq: i}
+				want[j] = true
+				pool.Producer(0).Put(j)
+			}
+			if err := pool.RetireConsumer(0); err != nil {
+				t.Fatalf("RetireConsumer: %v", err)
+			}
+			if pool.LiveConsumers() != 1 {
+				t.Fatalf("LiveConsumers = %d after retire", pool.LiveConsumers())
+			}
+			for len(want) > 0 {
+				j, ok := co.Get()
+				if !ok {
+					t.Fatalf("Get reported empty with %d tasks outstanding", len(want))
+				}
+				if !want[j] {
+					t.Fatalf("task %d unknown or consumed twice", j.seq)
+				}
+				delete(want, j)
+			}
+			if _, ok := co.Get(); ok {
+				t.Fatal("Get returned a task from a drained system")
+			}
+		})
+	}
+}
+
+func TestMembershipErrors(t *testing.T) {
+	pool := newElasticPool(t, salsa.SALSA, 1, 1, 2, 8)
+	defer pool.Close()
+
+	if err := pool.RetireConsumer(-1); err == nil {
+		t.Error("RetireConsumer(-1) accepted")
+	}
+	if err := pool.KillConsumer(5); err == nil {
+		t.Error("KillConsumer(5) accepted")
+	}
+	// The last live consumer cannot depart.
+	if err := pool.RetireConsumer(0); err == nil {
+		t.Error("retiring the last live consumer accepted")
+	}
+	if _, err := pool.AddConsumer(); err != nil {
+		t.Fatalf("AddConsumer within capacity: %v", err)
+	}
+	if _, err := pool.AddConsumer(); err == nil {
+		t.Error("AddConsumer beyond MaxConsumers accepted")
+	}
+	if err := pool.RetireConsumer(0); err != nil {
+		t.Fatalf("RetireConsumer(0) with a survivor: %v", err)
+	}
+	// Ids are never reused: a departed consumer cannot depart again.
+	if err := pool.RetireConsumer(0); err == nil {
+		t.Error("double retire accepted")
+	}
+	if err := pool.KillConsumer(0); err == nil {
+		t.Error("killing a retired consumer accepted")
+	}
+}
+
+func TestMaxConsumersValidation(t *testing.T) {
+	_, err := salsa.New[job](salsa.Config{Producers: 1, Consumers: 4, MaxConsumers: 2})
+	if err == nil {
+		t.Fatal("MaxConsumers below Consumers accepted")
+	}
+}
+
+// TestConsumerCloseIdempotent is the Close contract: repeated Close is a
+// no-op, Pool.Close is repeatable, and every Get-family call on a closed
+// handle panics deterministically instead of racing on the freed hazard
+// record.
+func TestConsumerCloseIdempotent(t *testing.T) {
+	pool := newPool(t, salsa.SALSA, 1, 2, 8)
+	c := pool.Consumer(0)
+	c.Close()
+	c.Close() // second Close must be a no-op, not a double release
+	pool.Close()
+	pool.Close() // repeated Pool.Close is safe, including over closed handles
+
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s on a closed handle did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Get", func() { c.Get() })
+	mustPanic("TryGet", func() { c.TryGet() })
+	mustPanic("GetBatch", func() { c.GetBatch(make([]*job, 4)) })
+	mustPanic("TryGetBatch", func() { c.TryGetBatch(make([]*job, 4)) })
+	mustPanic("GetWait", func() {
+		stop := make(chan struct{})
+		close(stop)
+		c.GetWait(stop)
+	})
+}
+
+// TestRetiredHandleGetPanics: RetireConsumer closes the victim's handle, so
+// using it afterwards panics rather than touching an abandoned pool.
+func TestRetiredHandleGetPanics(t *testing.T) {
+	pool := newElasticPool(t, salsa.SALSA, 1, 2, 2, 8)
+	defer pool.Close()
+	victim := pool.Consumer(0)
+	if err := pool.RetireConsumer(0); err != nil {
+		t.Fatalf("RetireConsumer: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get on a retired handle did not panic")
+		}
+	}()
+	victim.Get()
+}
+
+// TestMembershipTelemetry: the snapshot and the Prometheus exposition track
+// membership epochs, orphaned tasks in abandoned pools, and reclamation.
+func TestMembershipTelemetry(t *testing.T) {
+	p, err := salsa.New[job](salsa.Config{
+		Producers:    1,
+		Consumers:    2,
+		MaxConsumers: 3,
+		ChunkSize:    8,
+		NUMANodes:    2,
+		CoresPerNode: 4,
+		Metrics:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	const n = 64
+	for i := 0; i < n; i++ {
+		p.Producer(0).Put(&job{seq: i})
+	}
+	if err := p.KillConsumer(1); err != nil {
+		t.Fatalf("KillConsumer: %v", err)
+	}
+
+	s := p.TelemetrySnapshot()
+	if s.MembershipEpoch != 1 || s.LiveConsumers != 1 || s.Consumers != 2 {
+		t.Fatalf("epoch/live/registered = %d/%d/%d, want 1/1/2",
+			s.MembershipEpoch, s.LiveConsumers, s.Consumers)
+	}
+	if s.MemberCrashes != 1 || s.MemberJoins != 0 {
+		t.Fatalf("crashes/joins = %d/%d, want 1/0", s.MemberCrashes, s.MemberJoins)
+	}
+	orphanedBefore := s.OrphanedTasks
+
+	// Drain everything; the orphan gauge must fall to zero and the
+	// reclaimed-chunk counter must have moved (SALSA native path).
+	survivor := p.Consumer(0)
+	drained := 0
+	for {
+		if _, ok := survivor.Get(); !ok {
+			break
+		}
+		drained++
+	}
+	if drained != n {
+		t.Fatalf("survivor drained %d tasks, want %d", drained, n)
+	}
+	s = p.TelemetrySnapshot()
+	if s.OrphanedTasks != 0 {
+		t.Fatalf("OrphanedTasks = %d after full drain (was %d)", s.OrphanedTasks, orphanedBefore)
+	}
+	if s.Ops.ReclaimedChunks == 0 {
+		t.Fatal("ReclaimedChunks = 0 after draining an abandoned pool")
+	}
+
+	// A join after the crash: collector rows for id 2 exist because the
+	// collector is sized for MaxConsumers.
+	co, err := p.AddConsumer()
+	if err != nil {
+		t.Fatalf("AddConsumer: %v", err)
+	}
+	p.Producer(0).Put(&job{seq: n})
+	if _, ok := co.Get(); !ok {
+		t.Fatal("added consumer found nothing")
+	}
+	s = p.TelemetrySnapshot()
+	if s.MembershipEpoch != 2 || s.MemberJoins != 1 || s.Consumers != 3 {
+		t.Fatalf("epoch/joins/registered = %d/%d/%d, want 2/1/3",
+			s.MembershipEpoch, s.MemberJoins, s.Consumers)
+	}
+
+	// The exposition carries the membership series.
+	rec := httptest.NewRecorder()
+	p.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"salsa_membership_epoch 2",
+		"salsa_live_consumers 2",
+		"salsa_reclaimed_chunks_total",
+		"salsa_member_crashes_total 1",
+		"salsa_member_joins_total 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestOrphanedTasksGauge: tasks stranded in an abandoned pool are visible in
+// the snapshot before survivors reclaim them.
+func TestOrphanedTasksGauge(t *testing.T) {
+	p, err := salsa.New[job](salsa.Config{
+		Producers:    2,
+		Consumers:    2,
+		MaxConsumers: 2,
+		ChunkSize:    4,
+		NUMANodes:    2,
+		CoresPerNode: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	const n = 40
+	for i := 0; i < n; i++ {
+		p.Producer(i % 2).Put(&job{seq: i})
+	}
+	if err := p.KillConsumer(0); err != nil {
+		t.Fatalf("KillConsumer: %v", err)
+	}
+	if got := p.TelemetrySnapshot().OrphanedTasks; got <= 0 {
+		t.Fatalf("OrphanedTasks = %d right after kill, want > 0", got)
+	}
+	for {
+		if _, ok := p.Consumer(1).Get(); !ok {
+			break
+		}
+	}
+	if got := p.TelemetrySnapshot().OrphanedTasks; got != 0 {
+		t.Fatalf("OrphanedTasks = %d after drain, want 0", got)
+	}
+}
+
+// TestChurnLinearizability hammers elastic membership at the public API:
+// producers insert continuously while a churner retires a random live
+// consumer and adds a replacement, and the final accounting demands every
+// task delivered exactly once across all membership epochs.
+func TestChurnLinearizability(t *testing.T) {
+	const (
+		producers = 2
+		consumers = 3
+		perProd   = 30000
+		cycles    = 12
+	)
+	p, err := salsa.New[job](salsa.Config{
+		Producers:    producers,
+		Consumers:    consumers,
+		MaxConsumers: consumers + cycles,
+		ChunkSize:    16,
+		NUMANodes:    2,
+		CoresPerNode: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	var produced sync.WaitGroup
+	for pi := 0; pi < producers; pi++ {
+		produced.Add(1)
+		go func(pi int) {
+			defer produced.Done()
+			h := p.Producer(pi)
+			for i := 0; i < perProd; i++ {
+				h.Put(&job{producer: pi, seq: i})
+			}
+		}(pi)
+	}
+
+	const total = producers * perProd
+	var (
+		retrieved atomic.Int64
+		dup       atomic.Int64
+		seen      sync.Map // *job -> struct{}
+		cwg       sync.WaitGroup
+	)
+	type ctl struct {
+		stop chan struct{}
+		done chan struct{}
+	}
+	runConsumer := func(c *salsa.Consumer[job], cc *ctl) {
+		defer cwg.Done()
+		defer close(cc.done)
+		for {
+			select {
+			case <-cc.stop:
+				return // retired: survivors reclaim the backlog
+			default:
+			}
+			if j, ok := c.Get(); ok {
+				if _, loaded := seen.LoadOrStore(j, struct{}{}); loaded {
+					dup.Add(1)
+				}
+				retrieved.Add(1)
+				continue
+			}
+			if retrieved.Load() >= total {
+				return
+			}
+		}
+	}
+	var mu sync.Mutex
+	ctls := map[int]*ctl{}
+	for ci := 0; ci < consumers; ci++ {
+		cc := &ctl{stop: make(chan struct{}), done: make(chan struct{})}
+		ctls[ci] = cc
+		cwg.Add(1)
+		go runConsumer(p.Consumer(ci), cc)
+	}
+
+	// Churn while production and drain are in flight.
+	for cycle := 0; cycle < cycles; cycle++ {
+		mu.Lock()
+		var victim int
+		for id := range ctls {
+			victim = id
+			break
+		}
+		cc := ctls[victim]
+		delete(ctls, victim)
+		mu.Unlock()
+
+		close(cc.stop)
+		<-cc.done
+		if err := p.RetireConsumer(victim); err != nil {
+			t.Fatalf("cycle %d: RetireConsumer(%d): %v", cycle, victim, err)
+		}
+		co, err := p.AddConsumer()
+		if err != nil {
+			t.Fatalf("cycle %d: AddConsumer: %v", cycle, err)
+		}
+		ncc := &ctl{stop: make(chan struct{}), done: make(chan struct{})}
+		mu.Lock()
+		ctls[co.ID()] = ncc
+		mu.Unlock()
+		cwg.Add(1)
+		go runConsumer(co, ncc)
+	}
+
+	produced.Wait()
+	cwg.Wait()
+	if dup.Load() != 0 {
+		t.Fatalf("%d tasks delivered twice across churn", dup.Load())
+	}
+	if got := retrieved.Load(); got != total {
+		t.Fatalf("retrieved %d of %d tasks across churn", got, total)
+	}
+	if got := p.MembershipEpoch(); got != 2*cycles {
+		t.Fatalf("MembershipEpoch = %d after %d retire+add cycles, want %d", got, cycles, 2*cycles)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"io"
 	"net/http"
 
+	"salsa/internal/scpool"
 	"salsa/internal/stats"
 	"salsa/internal/telemetry"
 )
@@ -59,28 +60,38 @@ func NewLogTracer(w io.Writer) Tracer { return telemetry.NewLogTracer(w) }
 // operations: counters are read atomically (readers may lag in-flight
 // increments but never see torn values).
 func (p *Pool[T]) TelemetrySnapshot() TelemetrySnapshot {
+	n := p.fw.NumConsumers() // every id ever registered, departed included
 	s := telemetry.Snapshot{
-		Algorithm: p.cfg.Algorithm.String(),
-		Producers: p.cfg.Producers,
-		Consumers: p.cfg.Consumers,
-		Ops:       p.fw.Stats(),
+		Algorithm:       p.cfg.Algorithm.String(),
+		Producers:       p.cfg.Producers,
+		Consumers:       n,
+		LiveConsumers:   p.fw.LiveConsumers(),
+		MembershipEpoch: p.fw.MembershipEpoch(),
+		SparesDrained:   p.fw.SparesDrained(),
+		Ops:             p.fw.Stats(),
 	}
-	s.ConsumerNodes = make([]int, p.cfg.Consumers)
+	pl := p.fw.Placement() // current epoch's placement, runtime joins included
+	s.ConsumerNodes = make([]int, n)
 	for i := range s.ConsumerNodes {
-		s.ConsumerNodes[i] = p.placement.ConsumerNode(i)
+		s.ConsumerNodes[i] = pl.ConsumerNode(i)
 	}
 	if p.collector != nil {
 		p.collector.Fill(&s)
 	}
 	// Chunk-pool occupancy, for the algorithms that have chunk pools
 	// (SALSA, SALSA+CAS). This is the signal producer-based balancing
-	// reads (§1.5.4).
-	for i := 0; i < p.cfg.Consumers; i++ {
-		if sp, ok := p.fw.Pool(i).(interface{ SpareChunks() int }); ok {
+	// reads (§1.5.4). Abandoned pools also contribute the orphaned-task
+	// gauge: tasks still queued there that survivors have yet to reclaim.
+	for i := 0; i < n; i++ {
+		pool := p.fw.Pool(i)
+		if sp, ok := pool.(interface{ SpareChunks() int }); ok {
 			if s.ChunkSpares == nil {
-				s.ChunkSpares = make([]int, p.cfg.Consumers)
+				s.ChunkSpares = make([]int, n)
 			}
 			s.ChunkSpares[i] = sp.SpareChunks()
+		}
+		if p.fw.ConsumerDeparted(i) {
+			s.OrphanedTasks += int64(scpool.VisibleTasks[T](pool))
 		}
 	}
 	return s

@@ -28,6 +28,7 @@ package salsa
 
 import (
 	"fmt"
+	"sync"
 
 	"salsa/internal/telemetry"
 
@@ -148,6 +149,16 @@ type Config struct {
 	Producers int
 	Consumers int
 
+	// MaxConsumers bounds the total number of consumers ever registered
+	// over the pool's lifetime, initial and added together. Elastic
+	// membership (AddConsumer / RetireConsumer / KillConsumer) assigns
+	// monotonic consumer ids that are never reused — a recycled id would
+	// alias a departed consumer's chunk-ownership words — and substrate
+	// capacity (empty-indicator sizes, owner-id ranges) is fixed at
+	// construction. Zero means Consumers: a fixed-membership pool with
+	// no join headroom.
+	MaxConsumers int
+
 	// Algorithm selects the implementation; default SALSA.
 	Algorithm Algorithm
 
@@ -222,6 +233,9 @@ func (c Config) withDefaults() Config {
 	if c.InitialChunks == 0 {
 		c.InitialChunks = 2
 	}
+	if c.MaxConsumers == 0 {
+		c.MaxConsumers = c.Consumers
+	}
 	return c
 }
 
@@ -231,10 +245,14 @@ type Pool[T any] struct {
 	cfg       Config
 	fw        *framework.Framework[T]
 	topo      *topology.Topology
-	placement *topology.Placement
+	placement *topology.Placement  // epoch-0 placement; fw holds the current one
 	salsa     *core.Shared[T]      // non-nil when Algorithm == SALSA
 	collector *telemetry.Collector // non-nil when Config.Metrics
 	producers []*Producer[T]
+
+	// mu guards consumers, which grows under AddConsumer. Handles are
+	// never removed; departed consumers keep their (closed) entry.
+	mu        sync.Mutex
 	consumers []*Consumer[T]
 }
 
@@ -244,6 +262,10 @@ func New[T any](cfg Config) (*Pool[T], error) {
 	if cfg.Producers <= 0 || cfg.Consumers <= 0 {
 		return nil, fmt.Errorf("salsa: Producers and Consumers must be positive (got %d, %d)",
 			cfg.Producers, cfg.Consumers)
+	}
+	if cfg.MaxConsumers < cfg.Consumers {
+		return nil, fmt.Errorf("salsa: MaxConsumers %d below Consumers %d",
+			cfg.MaxConsumers, cfg.Consumers)
 	}
 
 	topo, err := buildTopology(cfg)
@@ -270,12 +292,15 @@ func New[T any](cfg Config) (*Pool[T], error) {
 	}
 	tracer := cfg.Tracer
 	if cfg.Metrics {
-		p.collector = telemetry.NewCollector(cfg.Producers, cfg.Consumers)
+		// Sized for MaxConsumers: consumers that join later need their
+		// single-writer rows to exist up front.
+		p.collector = telemetry.NewCollector(cfg.Producers, cfg.MaxConsumers)
 		tracer = telemetry.Multi(p.collector, cfg.Tracer)
 	}
 	fw, err := framework.New(framework.Config[T]{
 		Producers:            cfg.Producers,
 		Consumers:            cfg.Consumers,
+		MaxConsumers:         cfg.MaxConsumers,
 		Placement:            placement,
 		NewPool:              factory,
 		DisableBalancing:     cfg.DisableBalancing,
@@ -312,6 +337,11 @@ func buildTopology(cfg Config) (*topology.Topology, error) {
 	return topology.UMA(cfg.Producers + cfg.Consumers), nil
 }
 
+// poolFactory builds the substrate factory. Every substrate is sized for
+// Config.MaxConsumers consumer ids (not the initial Consumers count):
+// empty-indicator slots, owner-id ranges and per-consumer regions must
+// already exist for consumers that join later, because capacity is fixed
+// at construction while membership is not.
 func (p *Pool[T]) poolFactory() (framework.PoolFactory[T], error) {
 	cfg := p.cfg
 	alloc := core.AllocLocal
@@ -322,7 +352,7 @@ func (p *Pool[T]) poolFactory() (framework.PoolFactory[T], error) {
 	case SALSA:
 		shared, err := core.NewShared[T](core.Options{
 			ChunkSize:     cfg.ChunkSize,
-			Consumers:     cfg.Consumers,
+			Consumers:     cfg.MaxConsumers,
 			Alloc:         alloc,
 			OnAccess:      cfg.OnAccess,
 			InitialChunks: cfg.InitialChunks,
@@ -337,7 +367,7 @@ func (p *Pool[T]) poolFactory() (framework.PoolFactory[T], error) {
 	case SALSACAS:
 		shared, err := salsacas.NewShared[T](salsacas.Options{
 			ChunkSize:     cfg.ChunkSize,
-			Consumers:     cfg.Consumers,
+			Consumers:     cfg.MaxConsumers,
 			Alloc:         alloc,
 			OnAccess:      cfg.OnAccess,
 			InitialChunks: cfg.InitialChunks,
@@ -352,7 +382,7 @@ func (p *Pool[T]) poolFactory() (framework.PoolFactory[T], error) {
 		bag, err := concbag.NewBag[T](concbag.Options{
 			BlockSize: cfg.ChunkSize,
 			Producers: cfg.Producers,
-			Consumers: cfg.Consumers,
+			Consumers: cfg.MaxConsumers,
 		})
 		if err != nil {
 			return nil, err
@@ -362,26 +392,26 @@ func (p *Pool[T]) poolFactory() (framework.PoolFactory[T], error) {
 		}, nil
 	case WSMSQ:
 		return func(owner, node, _ int) (scpool.SCPool[T], error) {
-			return wsbase.New[T](owner, node, cfg.Consumers, wsbase.FIFO)
+			return wsbase.New[T](owner, node, cfg.MaxConsumers, wsbase.FIFO)
 		}, nil
 	case WSLIFO:
 		return func(owner, node, _ int) (scpool.SCPool[T], error) {
-			return wsbase.New[T](owner, node, cfg.Consumers, wsbase.LIFO)
+			return wsbase.New[T](owner, node, cfg.MaxConsumers, wsbase.LIFO)
 		}, nil
 	case WSCHUNKQ:
 		return func(owner, node, _ int) (scpool.SCPool[T], error) {
-			return wsbase.New[T](owner, node, cfg.Consumers, wsbase.CHUNKQ)
+			return wsbase.New[T](owner, node, cfg.MaxConsumers, wsbase.CHUNKQ)
 		}, nil
 	case WSBaskets:
 		return func(owner, node, _ int) (scpool.SCPool[T], error) {
-			return wsbase.New[T](owner, node, cfg.Consumers, wsbase.BASKETS)
+			return wsbase.New[T](owner, node, cfg.MaxConsumers, wsbase.BASKETS)
 		}, nil
 	case EDPool:
 		depth := 1
-		for 1<<depth < cfg.Consumers && depth < 8 {
+		for 1<<depth < cfg.MaxConsumers && depth < 8 {
 			depth++
 		}
-		pool, err := edpool.New[T](edpool.Options{Depth: depth, Consumers: cfg.Consumers})
+		pool, err := edpool.New[T](edpool.Options{Depth: depth, Consumers: cfg.MaxConsumers})
 		if err != nil {
 			return nil, err
 		}
@@ -398,10 +428,84 @@ func (p *Pool[T]) poolFactory() (framework.PoolFactory[T], error) {
 // goroutine at a time.
 func (p *Pool[T]) Producer(i int) *Producer[T] { return p.producers[i] }
 
-// Consumer returns consumer handle i (0 ≤ i < Config.Consumers). Repeated
+// Consumer returns consumer handle i (0 ≤ i < NumConsumers). Repeated
 // calls return the same handle; a handle must be driven by a single
-// goroutine at a time.
-func (p *Pool[T]) Consumer(i int) *Consumer[T] { return p.consumers[i] }
+// goroutine at a time. Handles of departed consumers remain accessible
+// (closed; their Get panics).
+func (p *Pool[T]) Consumer(i int) *Consumer[T] {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.consumers[i]
+}
+
+// AddConsumer grows the live consumer set by one at runtime and returns
+// the new handle (id = previous NumConsumers). The consumer is placed on
+// the least-loaded core of the topology, producers start routing to it on
+// their next Put, and it participates in stealing and the emptiness
+// protocol immediately. Fails when Config.MaxConsumers ids have been
+// registered — ids are never reused, so capacity is lifetime-total.
+func (p *Pool[T]) AddConsumer() (*Consumer[T], error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h, err := p.fw.AddConsumer()
+	if err != nil {
+		return nil, err
+	}
+	c := &Consumer[T]{h: h, pool: p}
+	p.consumers = append(p.consumers, c)
+	return c, nil
+}
+
+// RetireConsumer gracefully removes consumer id from the live set. The
+// caller must have stopped the goroutine driving the handle first. The
+// departing pool is abandoned: producers fail over to the remaining
+// consumers, its spare chunks drain into the nearest live survivor, and
+// every task still queued in it is reclaimed — exactly once — by the
+// survivors through the ordinary steal path. The handle is closed (its
+// SALSA hazard record released); subsequent Get calls panic. The last
+// live consumer cannot retire.
+func (p *Pool[T]) RetireConsumer(id int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id < 0 || id >= len(p.consumers) {
+		return fmt.Errorf("salsa: consumer id %d out of range [0,%d)", id, len(p.consumers))
+	}
+	if err := p.fw.RetireConsumer(id); err != nil {
+		return err
+	}
+	c := p.consumers[id]
+	if !c.closed.Swap(true) && p.salsa != nil {
+		p.salsa.ReleaseConsumer(c.h.State())
+	}
+	return nil
+}
+
+// KillConsumer declares consumer id crashed — the fault-injection path.
+// Unlike RetireConsumer it assumes no cooperation from the victim: the
+// pool is abandoned and survivors reclaim its tasks, but the victim's
+// hazard record is never released (it may still be in use), which can
+// pin at most two chunks from recycling. If the victim was killed
+// mid-retrieval, at most its single announced in-flight task slot is
+// treated as consumed by thieves; a quiescent victim loses nothing.
+func (p *Pool[T]) KillConsumer(id int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id < 0 || id >= len(p.consumers) {
+		return fmt.Errorf("salsa: consumer id %d out of range [0,%d)", id, len(p.consumers))
+	}
+	if err := p.fw.KillConsumer(id); err != nil {
+		return err
+	}
+	p.consumers[id].closed.Store(true) // leak the hazard record, by design
+	return nil
+}
+
+// MembershipEpoch returns the current membership epoch: 0 at construction,
+// +1 for every AddConsumer, RetireConsumer or KillConsumer.
+func (p *Pool[T]) MembershipEpoch() uint64 { return p.fw.MembershipEpoch() }
+
+// LiveConsumers returns the number of consumers that have not departed.
+func (p *Pool[T]) LiveConsumers() int { return p.fw.LiveConsumers() }
 
 // Stats aggregates the operation counters of all handles.
 func (p *Pool[T]) Stats() Stats { return p.fw.Stats() }
@@ -410,7 +514,10 @@ func (p *Pool[T]) Stats() Stats { return p.fw.Stats() }
 // consumer handle. Call once after all worker goroutines have stopped;
 // equivalent to calling Close on each Consumer. Safe to call repeatedly.
 func (p *Pool[T]) Close() {
-	for _, c := range p.consumers {
+	p.mu.Lock()
+	consumers := p.consumers[:len(p.consumers):len(p.consumers)]
+	p.mu.Unlock()
+	for _, c := range consumers {
 		c.Close()
 	}
 }
@@ -418,16 +525,21 @@ func (p *Pool[T]) Close() {
 // NumProducers returns the configured producer count.
 func (p *Pool[T]) NumProducers() int { return p.cfg.Producers }
 
-// NumConsumers returns the configured consumer count.
-func (p *Pool[T]) NumConsumers() int { return p.cfg.Consumers }
+// NumConsumers returns the number of consumers ever registered (departed
+// included); consumer ids 0..NumConsumers-1 are valid Consumer indices.
+// See LiveConsumers for the live count.
+func (p *Pool[T]) NumConsumers() int { return p.fw.NumConsumers() }
 
 // Algorithm returns the configured algorithm.
 func (p *Pool[T]) Algorithm() Algorithm { return p.cfg.Algorithm }
 
 // ConsumerAccessList returns the stealing order of consumer i, nearest
-// first (self excluded) — diagnostic insight into the NUMA policy.
+// first (self excluded) — diagnostic insight into the NUMA policy. The
+// list reflects the current membership epoch and includes departed
+// consumers' pools: survivors keep stealing from abandoned pools to
+// reclaim their tasks.
 func (p *Pool[T]) ConsumerAccessList(i int) []int {
-	list := p.placement.ConsumerAccessList(i)
+	list := p.fw.Placement().ConsumerAccessList(i)
 	out := make([]int, 0, len(list)-1)
 	for _, c := range list {
 		if c != i {
@@ -437,8 +549,8 @@ func (p *Pool[T]) ConsumerAccessList(i int) []int {
 	return out
 }
 
-// ProducerAccessList returns the insertion order of producer i, nearest
-// consumer first.
+// ProducerAccessList returns the insertion order of producer i over all
+// registered consumers, nearest first (routing skips departed ones).
 func (p *Pool[T]) ProducerAccessList(i int) []int {
-	return append([]int(nil), p.placement.ProducerAccessList(i)...)
+	return append([]int(nil), p.fw.Placement().ProducerAccessList(i)...)
 }

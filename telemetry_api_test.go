@@ -160,11 +160,11 @@ type countingTracer struct {
 	steals, transfers, ceRounds, fails, forces atomic.Int64
 }
 
-func (ct *countingTracer) OnSteal(salsa.StealEvent)                  { ct.steals.Add(1) }
-func (ct *countingTracer) OnChunkTransfer(salsa.ChunkTransferEvent)  { ct.transfers.Add(1) }
+func (ct *countingTracer) OnSteal(salsa.StealEvent)                     { ct.steals.Add(1) }
+func (ct *countingTracer) OnChunkTransfer(salsa.ChunkTransferEvent)     { ct.transfers.Add(1) }
 func (ct *countingTracer) OnCheckEmptyRound(salsa.CheckEmptyRoundEvent) { ct.ceRounds.Add(1) }
-func (ct *countingTracer) OnProduceFail(salsa.ProduceEvent)          { ct.fails.Add(1) }
-func (ct *countingTracer) OnForcePut(salsa.ProduceEvent)             { ct.forces.Add(1) }
+func (ct *countingTracer) OnProduceFail(salsa.ProduceEvent)             { ct.fails.Add(1) }
+func (ct *countingTracer) OnForcePut(salsa.ProduceEvent)                { ct.forces.Add(1) }
 
 func TestCustomTracerComposesWithCollector(t *testing.T) {
 	ct := &countingTracer{}
