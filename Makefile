@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-short race-churn check bench bench-smoke figures stress examples cover clean
+.PHONY: all build test race race-short race-churn chaos check bench bench-smoke figures stress examples cover clean
 
 all: build test
 
@@ -27,9 +27,17 @@ race-short:
 race-churn:
 	$(GO) run -race ./cmd/salsa-stress -rounds 12 -tasks 30000 -churn 300 -stall 0.15
 
+# Scripted fault matrix under the race detector: salsa-chaos arms a seeded
+# failpoint schedule per scenario (delays, chunk-pool exhaustion, consumers
+# crashed mid-steal/mid-consume) and verifies zero-duplicate / budgeted-loss
+# accounting. Seeded and bounded (~1 min wall-clock); a failing round prints
+# a replayable FAIL line with its seed and schedule.
+chaos:
+	$(GO) run -race ./cmd/salsa-chaos -rounds 2 -tasks 10000
+
 # The full local gate: build + vet + tests + short race pass + membership
-# churn under race + bench smoke.
-check: build test race-short race-churn bench-smoke
+# churn under race + scripted chaos matrix under race + bench smoke.
+check: build test race-short race-churn chaos bench-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

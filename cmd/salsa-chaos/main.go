@@ -1,0 +1,151 @@
+// Command salsa-chaos runs a scripted fault matrix against the pool: each
+// scenario arms a seeded failpoint schedule (delays, simulated chunk-pool
+// exhaustion, consumers crashed inside their own synchronization windows)
+// and drives the shared stress verifier, which checks zero-duplicate /
+// zero-lost accounting with an explicit budget for scripted crashes.
+//
+// Every firing decision is a pure function of the seed, so a failure is
+// replayable: the FAIL line prints the base seed, the scenario and the
+// exact schedule spec; rerunning with `-run <scenario> -seed <base-seed>`
+// reproduces the same fault pattern (up to goroutine interleaving — which
+// is what the faults are there to shake out). Exit status is non-zero on
+// any failed round and the FAIL line is machine-checkable:
+//
+//	FAIL scenario=<name> round=<i> seed=<base> round-seed=<s> schedule="..." err="..."
+//
+// Usage:
+//
+//	salsa-chaos [-seed n] [-rounds r] [-producers p] [-consumers c]
+//	            [-tasks n] [-chunk s] [-stall frac] [-run substr] [-list]
+//
+// The matrix is intentionally small enough to run under -race in CI
+// (`make chaos`); raise -rounds or -tasks for longer soak runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"salsa"
+	"salsa/internal/chaos"
+	"salsa/internal/failpoint"
+)
+
+// scenario is one cell of the fault matrix.
+type scenario struct {
+	name string
+	// spec is the failpoint schedule (see failpoint.ParseSchedule).
+	spec string
+	// churn retires+re-adds a consumer every n retrieved tasks (0 = off).
+	churn int
+	// batch switches the round to the batched API when > 1.
+	batch int
+}
+
+// matrix is the scripted fault matrix. Sites that simulate task-affecting
+// faults carry #count caps so the crash/loss budget stays small and the
+// round stays meaningful; timing faults (delay/yield) run uncapped.
+var matrix = []scenario{
+	{name: "baseline", spec: ""},
+	{name: "produce-delay", spec: "produce.before-publish=delay:50us@0.02"},
+	{name: "chunk-exhaustion", spec: "chunkpool.exhausted=fail@0.2"},
+	{name: "consume-windows", spec: "consume.before-announce=fail@0.02,consume.after-announce=delay:50us@0.05"},
+	{name: "lost-slot", spec: "consume.after-announce=fail@0.001#8"},
+	{name: "steal-windows", spec: "steal.before-owner-cas=fail@0.2,steal.after-owner-cas=delay:100us@0.5"},
+	{name: "checkempty-squeeze", spec: "checkempty.between-scans=delay:200us@0.5"},
+	{name: "kill-mid-steal", spec: "membership.kill-mid-steal=kill@0.2#2"},
+	{name: "kill-mid-consume", spec: "consume.before-announce=kill@0.001#2"},
+	{name: "epoch-stall", spec: "membership.before-epoch-publish=delay:500us", churn: 400},
+	{name: "churn-under-fire", spec: "steal.after-owner-cas=delay:50us@0.2,chunkpool.exhausted=fail@0.1", churn: 500},
+	{name: "batch-kill-mid-steal", spec: "membership.kill-mid-steal=kill@0.2#2", batch: 8},
+	{name: "everything", spec: "chunkpool.exhausted=fail@0.05,consume.before-announce=fail@0.01," +
+		"steal.before-owner-cas=fail@0.02,checkempty.between-scans=yield@0.5," +
+		"membership.kill-mid-steal=kill@0.1#2", churn: 600, batch: 4},
+}
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 1, "base seed; round seeds derive from it deterministically")
+		rounds    = flag.Int("rounds", 3, "rounds per scenario")
+		producers = flag.Int("producers", 4, "producer goroutines")
+		consumers = flag.Int("consumers", 4, "consumer goroutines")
+		tasks     = flag.Int("tasks", 20000, "tasks per producer per round")
+		chunk     = flag.Int("chunk", 64, "chunk size")
+		stall     = flag.Float64("stall", 0.25, "probability that a consumer stalls for a round")
+		run       = flag.String("run", "", "only run scenarios whose name contains this substring")
+		list      = flag.Bool("list", false, "print the scenario matrix and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, sc := range matrix {
+			fmt.Printf("%-22s churn=%-4d batch=%-2d %s\n", sc.name, sc.churn, sc.batch, sc.spec)
+		}
+		return
+	}
+
+	start := time.Now()
+	ranScenarios, failed := 0, 0
+	for si, sc := range matrix {
+		if *run != "" && !strings.Contains(sc.name, *run) {
+			continue
+		}
+		ranScenarios++
+		for round := 0; round < *rounds; round++ {
+			// Deterministic per-(scenario,round) seed from the base seed.
+			roundSeed := *seed*1_000_003 + int64(si)*10_007 + int64(round)
+			sched, err := failpoint.ParseSchedule(uint64(roundSeed), sc.spec)
+			if err != nil {
+				fmt.Printf("FAIL scenario=%s round=%d seed=%d round-seed=%d schedule=%q err=%q\n",
+					sc.name, round, *seed, roundSeed, sc.spec, err.Error())
+				os.Exit(1)
+			}
+			rng := rand.New(rand.NewSource(roundSeed))
+			stalled := map[int]bool{}
+			for ci := 0; ci < *consumers; ci++ {
+				if rng.Float64() < *stall && len(stalled) < *consumers-1 {
+					stalled[ci] = true
+				}
+			}
+			res, err := chaos.RunRound(chaos.Options{
+				Algorithm:        salsa.SALSA,
+				Producers:        *producers,
+				Consumers:        *consumers,
+				TasksPerProducer: *tasks,
+				ChunkSize:        *chunk,
+				Batch:            sc.batch,
+				Churn:            sc.churn,
+				Seed:             roundSeed,
+				Stalled:          stalled,
+				Schedule:         sched,
+			})
+			if err != nil {
+				fmt.Printf("FAIL scenario=%s round=%d seed=%d round-seed=%d schedule=%q err=%q\n",
+					sc.name, round, *seed, roundSeed, sc.spec, err.Error())
+				os.Exit(1)
+			}
+			fmt.Printf("ok scenario=%s round=%d steals=%d kills=%d lost=%d churn=%d fired=%d\n",
+				sc.name, round, res.Steals, res.Kills, res.Lost, res.ChurnCycles, totalFired(res.Fired))
+			failpoint.Reset() // belt and braces between rounds
+		}
+	}
+	if *run != "" && ranScenarios == 0 {
+		fmt.Fprintf(os.Stderr, "salsa-chaos: no scenario matches -run %q\n", *run)
+		os.Exit(2)
+	}
+	_ = failed
+	fmt.Printf("\nPASS: %d scenarios x %d rounds, %v elapsed\n",
+		ranScenarios, *rounds, time.Since(start).Round(time.Millisecond))
+}
+
+func totalFired(m map[string]int64) int64 {
+	var n int64
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

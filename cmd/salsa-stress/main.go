@@ -14,7 +14,8 @@
 //
 //	salsa-stress [-algorithm name] [-producers p] [-consumers c]
 //	             [-rounds r] [-tasks n] [-chunk s] [-stall frac] [-batch b]
-//	             [-churn n] [-metrics-addr a] [-trace-log f] [-snapshot-every d]
+//	             [-churn n] [-fail-rate f] [-schedule spec] [-chaos-seed n]
+//	             [-metrics-addr a] [-trace-log f] [-snapshot-every d]
 //
 // With -batch > 1 the producers insert via PutBatch and the consumers drain
 // via GetBatch, so the same invariants are checked against the batched API
@@ -26,6 +27,18 @@
 // added in its place. The same zero-lost / zero-duplicate accounting runs
 // at round end, so any task dropped or double-delivered across a
 // membership epoch fails the round.
+//
+// With -fail-rate F the failpoint registry is armed with a default fault
+// mix at per-visit probability F — simulated chunk-pool exhaustion,
+// pre-announce consume failures, pre-CAS steal abandonment and checkEmpty
+// yields; none of these may lose a task, so the strict accounting still
+// applies. -schedule overrides the mix with an explicit failpoint spec
+// (see cmd/salsa-chaos for scripted kill scenarios). -chaos-seed seeds the
+// schedule's deterministic firing decisions independently of -seed.
+//
+// A failing round prints a machine-checkable line to stdout and exits 1:
+//
+//	FAIL round=<i> seed=<n> chaos-seed=<n> schedule="..." err="..."
 //
 // With -metrics-addr the process serves /metrics (Prometheus text format)
 // and /metrics.json for the pool of the round currently running — a live
@@ -39,34 +52,14 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"sort"
 	"strings"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"salsa"
+	"salsa/internal/chaos"
+	"salsa/internal/failpoint"
 	"salsa/internal/telemetry"
 )
-
-// livePool tracks the pool of the currently running round for the metrics
-// endpoint (each round builds a fresh pool).
-type livePool struct {
-	p atomic.Pointer[salsa.Pool[task]]
-}
-
-func (l *livePool) TelemetrySnapshot() telemetry.Snapshot {
-	if p := l.p.Load(); p != nil {
-		return p.TelemetrySnapshot()
-	}
-	return telemetry.Snapshot{Algorithm: "idle"}
-}
-
-type task struct {
-	producer int32
-	seq      int32
-	returned atomic.Bool
-}
 
 func parseAlgorithm(s string) (salsa.Algorithm, error) {
 	switch strings.ToLower(s) {
@@ -91,6 +84,14 @@ func parseAlgorithm(s string) (salsa.Algorithm, error) {
 	}
 }
 
+// defaultFaultMix is the -fail-rate fault set: timing and availability
+// faults only, so zero-lost accounting stays strict. The %f placeholders
+// take the per-visit rate.
+const defaultFaultMix = "chunkpool.exhausted=fail@%g," +
+	"consume.before-announce=fail@%g," +
+	"steal.before-owner-cas=fail@%g," +
+	"checkempty.between-scans=yield@%g"
+
 func main() {
 	var (
 		algName   = flag.String("algorithm", "salsa", "salsa|salsa+cas|concbag|ws-msq|ws-lifo|ed-pool|ws-chunkq|ws-baskets")
@@ -104,6 +105,10 @@ func main() {
 		churn     = flag.Int("churn", 0, "retire and re-add a random consumer every N retrieved tasks (0 = off)")
 		seed      = flag.Int64("seed", 1, "rng seed for stall and churn schedules")
 
+		failRate  = flag.Float64("fail-rate", 0, "arm the default failpoint mix at this per-visit probability (0 = off)")
+		schedSpec = flag.String("schedule", "", "explicit failpoint schedule spec (overrides -fail-rate)")
+		chaosSeed = flag.Int64("chaos-seed", 0, "seed for failpoint firing decisions (0 = derive from -seed)")
+
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address during the run")
 		traceLog    = flag.String("trace-log", "", "append JSONL telemetry events to this file")
 		snapEvery   = flag.Duration("snapshot-every", 0, "print telemetry deltas to stderr at this interval")
@@ -115,12 +120,29 @@ func main() {
 		os.Exit(2)
 	}
 	rng := rand.New(rand.NewSource(*seed))
+	if *chaosSeed == 0 {
+		*chaosSeed = *seed
+	}
+	spec := *schedSpec
+	if spec == "" && *failRate > 0 {
+		if *failRate > 1 {
+			fmt.Fprintf(os.Stderr, "salsa-stress: -fail-rate %g outside (0,1]\n", *failRate)
+			os.Exit(2)
+		}
+		spec = fmt.Sprintf(defaultFaultMix, *failRate, *failRate, *failRate, *failRate)
+	}
+	if spec != "" && alg != salsa.SALSA && alg != salsa.SALSACAS {
+		// Failpoint sites live in the chunk-based substrates; other
+		// algorithms would silently run fault-free.
+		fmt.Fprintf(os.Stderr, "salsa-stress: -fail-rate/-schedule require -algorithm salsa or salsa+cas\n")
+		os.Exit(2)
+	}
 
-	obs := observability{}
-	live := &livePool{}
+	live := &chaos.Live{}
+	obsMetrics := false
+	var tracer salsa.Tracer
 	if *metricsAddr != "" || *snapEvery > 0 {
-		obs.metrics = true
-		obs.live = live
+		obsMetrics = true
 	}
 	if *metricsAddr != "" {
 		srv, err := telemetry.Serve(*metricsAddr, telemetry.Handler(live, telemetry.HandlerOptions{PProf: true}))
@@ -138,9 +160,8 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		obs.metrics = true
-		obs.live = live
-		obs.tracer = telemetry.NewLogTracer(f)
+		obsMetrics = true
+		tracer = telemetry.NewLogTracer(f)
 	}
 	if *snapEvery > 0 {
 		stop := telemetry.StartDeltaLoop(os.Stderr, live, *snapEvery)
@@ -148,7 +169,7 @@ func main() {
 	}
 
 	start := time.Now()
-	var totalTasks, totalSteals int64
+	var totalTasks, totalSteals, totalFired int64
 	for round := 0; round < *rounds; round++ {
 		stalled := map[int]bool{}
 		for ci := 0; ci < *consumers; ci++ {
@@ -156,18 +177,47 @@ func main() {
 				stalled[ci] = true
 			}
 		}
-		steals, cycles, err := runRound(alg, *producers, *consumers, *tasks, *chunk, *batch, *churn, rng.Int63(), stalled, obs)
+		var sched *failpoint.Schedule
+		roundChaosSeed := uint64(*chaosSeed) + uint64(round)
+		if spec != "" {
+			sched, err = failpoint.ParseSchedule(roundChaosSeed, spec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "salsa-stress: bad schedule: %v\n", err)
+				os.Exit(2)
+			}
+		}
+		res, err := chaos.RunRound(chaos.Options{
+			Algorithm:        alg,
+			Producers:        *producers,
+			Consumers:        *consumers,
+			TasksPerProducer: *tasks,
+			ChunkSize:        *chunk,
+			Batch:            *batch,
+			Churn:            *churn,
+			Seed:             rng.Int63(),
+			Stalled:          stalled,
+			Schedule:         sched,
+			Metrics:          obsMetrics,
+			Tracer:           tracer,
+			Live:             live,
+		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "salsa-stress: round %d FAILED: %v\n", round, err)
+			fmt.Printf("FAIL round=%d seed=%d chaos-seed=%d schedule=%q err=%q\n",
+				round, *seed, roundChaosSeed, spec, err.Error())
 			os.Exit(1)
 		}
 		totalTasks += int64(*producers) * int64(*tasks)
-		totalSteals += steals
-		fmt.Printf("round %2d ok: %d tasks, %d chunk steals, %d churn cycles, stalled consumers %v\n",
-			round, *producers**tasks, steals, cycles, keys(stalled))
+		totalSteals += res.Steals
+		var firedN int64
+		for _, v := range res.Fired {
+			firedN += v
+		}
+		totalFired += firedN
+		fmt.Printf("round %2d ok: %d tasks, %d chunk steals, %d churn cycles, %d faults fired, stalled consumers %v\n",
+			round, *producers**tasks, res.Steals, res.ChurnCycles, firedN, keys(stalled))
 	}
-	fmt.Printf("\nPASS: %s, %d rounds, %d tasks total, %d steals, %v elapsed\n",
-		alg, *rounds, totalTasks, totalSteals, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("\nPASS: %s, %d rounds, %d tasks total, %d steals, %d faults fired, %v elapsed\n",
+		alg, *rounds, totalTasks, totalSteals, totalFired, time.Since(start).Round(time.Millisecond))
 }
 
 func keys(m map[int]bool) []int {
@@ -176,240 +226,4 @@ func keys(m map[int]bool) []int {
 		out = append(out, k)
 	}
 	return out
-}
-
-// observability carries the optional telemetry hookups into each round.
-type observability struct {
-	metrics bool
-	tracer  salsa.Tracer
-	live    *livePool
-}
-
-func runRound(alg salsa.Algorithm, producers, consumers, tasksPerProd, chunk, batch, churn int, churnSeed int64, stalled map[int]bool, obs observability) (int64, int64, error) {
-	// With churn on, budget consumer ids for the retire+re-add cycles: ids
-	// are never reused, so every cycle consumes one fresh id.
-	maxConsumers := consumers
-	if churn > 0 {
-		budget := producers*tasksPerProd/churn + 8
-		if budget > 512 {
-			budget = 512
-		}
-		maxConsumers = consumers + budget
-	}
-	pool, err := salsa.New[task](salsa.Config{
-		Algorithm:    alg,
-		Producers:    producers,
-		Consumers:    consumers,
-		MaxConsumers: maxConsumers,
-		ChunkSize:    chunk,
-		Metrics:      obs.metrics,
-		Tracer:       obs.tracer,
-	})
-	if err != nil {
-		return 0, 0, err
-	}
-	if obs.live != nil {
-		obs.live.p.Store(pool)
-	}
-	all := make([][]*task, producers)
-	for pi := range all {
-		all[pi] = make([]*task, tasksPerProd)
-		for i := range all[pi] {
-			all[pi][i] = &task{producer: int32(pi), seq: int32(i)}
-		}
-	}
-
-	var done atomic.Bool
-	var pwg sync.WaitGroup
-	for pi := 0; pi < producers; pi++ {
-		pwg.Add(1)
-		go func(pi int) {
-			defer pwg.Done()
-			p := pool.Producer(pi)
-			if batch > 1 {
-				ts := all[pi]
-				for len(ts) > 0 {
-					n := batch
-					if n > len(ts) {
-						n = len(ts)
-					}
-					p.PutBatch(ts[:n])
-					ts = ts[n:]
-				}
-				return
-			}
-			for _, t := range all[pi] {
-				p.Put(t)
-			}
-		}(pi)
-	}
-	go func() { pwg.Wait(); done.Store(true) }()
-
-	var returned atomic.Int64
-	var dup atomic.Int64
-	var cwg sync.WaitGroup
-
-	// ctls tracks the running consumer goroutines so the churner can stop
-	// one before retiring its id. Stalled consumers have no entry (they
-	// never run) and are never churned.
-	type workerCtl struct {
-		stop chan struct{} // closed by the churner to retire the worker
-		done chan struct{} // closed when the goroutine has exited
-	}
-	var (
-		ctlMu sync.Mutex
-		ctls  = map[int]*workerCtl{}
-	)
-	runConsumer := func(c *salsa.Consumer[task], ctl *workerCtl) {
-		defer cwg.Done()
-		defer close(ctl.done)
-		defer c.Close()
-		retired := func() bool {
-			select {
-			case <-ctl.stop:
-				// Retired mid-run: exit without draining, leaving the
-				// backlog for the survivors to reclaim.
-				return true
-			default:
-				return false
-			}
-		}
-		if batch > 1 {
-			buf := make([]*task, batch)
-			for {
-				if retired() {
-					return
-				}
-				wasDone := done.Load()
-				if n := c.GetBatch(buf); n > 0 {
-					for _, t := range buf[:n] {
-						if t.returned.Swap(true) {
-							dup.Add(1)
-						}
-					}
-					returned.Add(int64(n))
-					continue
-				}
-				if wasDone {
-					return
-				}
-			}
-		}
-		for {
-			if retired() {
-				return
-			}
-			wasDone := done.Load()
-			t, ok := c.Get()
-			if ok {
-				if t.returned.Swap(true) {
-					dup.Add(1)
-				}
-				returned.Add(1)
-				continue
-			}
-			if wasDone {
-				return
-			}
-		}
-	}
-	for ci := 0; ci < consumers; ci++ {
-		if stalled[ci] {
-			continue
-		}
-		ctl := &workerCtl{stop: make(chan struct{}), done: make(chan struct{})}
-		ctls[ci] = ctl
-		cwg.Add(1)
-		go runConsumer(pool.Consumer(ci), ctl)
-	}
-
-	// The churner retires a random running consumer every `churn`
-	// retrieved tasks and adds a fresh one in its place, until every task
-	// has been retrieved (membership churn keeps running through the
-	// post-production drain — the interesting window) or the id budget
-	// runs out.
-	var churnCycles atomic.Int64
-	var churnErr atomic.Pointer[error]
-	if churn > 0 {
-		want := int64(producers) * int64(tasksPerProd)
-		cwg.Add(1)
-		go func() {
-			defer cwg.Done()
-			crng := rand.New(rand.NewSource(churnSeed))
-			next := int64(churn)
-			for {
-				// A fast round can drain before the first threshold is hit;
-				// perform at least one cycle regardless so every churn run
-				// exercises the retire+re-add path.
-				drained := returned.Load() >= want
-				if drained && churnCycles.Load() > 0 {
-					return
-				}
-				if !drained && returned.Load() < next {
-					time.Sleep(20 * time.Microsecond)
-					continue
-				}
-				next += int64(churn)
-
-				ctlMu.Lock()
-				ids := make([]int, 0, len(ctls))
-				for id := range ctls {
-					ids = append(ids, id)
-				}
-				ctlMu.Unlock()
-				if len(ids) < 2 {
-					if drained {
-						return
-					}
-					continue // always leave one running consumer
-				}
-				sort.Ints(ids)
-				victim := ids[crng.Intn(len(ids))]
-				ctlMu.Lock()
-				ctl := ctls[victim]
-				delete(ctls, victim)
-				ctlMu.Unlock()
-
-				close(ctl.stop)
-				<-ctl.done
-				if err := pool.RetireConsumer(victim); err != nil {
-					err = fmt.Errorf("churn: RetireConsumer(%d): %w", victim, err)
-					churnErr.Store(&err)
-					return
-				}
-				co, err := pool.AddConsumer()
-				if err != nil {
-					return // id budget exhausted: stop churning, keep draining
-				}
-				nctl := &workerCtl{stop: make(chan struct{}), done: make(chan struct{})}
-				ctlMu.Lock()
-				ctls[co.ID()] = nctl
-				ctlMu.Unlock()
-				cwg.Add(1)
-				go runConsumer(co, nctl)
-				churnCycles.Add(1)
-			}
-		}()
-	}
-	cwg.Wait()
-
-	if e := churnErr.Load(); e != nil {
-		return 0, 0, *e
-	}
-	if dup.Load() > 0 {
-		return 0, 0, fmt.Errorf("%d tasks returned twice (uniqueness violated)", dup.Load())
-	}
-	want := int64(producers) * int64(tasksPerProd)
-	if returned.Load() != want {
-		return 0, 0, fmt.Errorf("returned %d of %d tasks (loss or phantom emptiness)",
-			returned.Load(), want)
-	}
-	for pi := range all {
-		for _, t := range all[pi] {
-			if !t.returned.Load() {
-				return 0, 0, fmt.Errorf("task %d/%d never returned", t.producer, t.seq)
-			}
-		}
-	}
-	return pool.Stats().Steals, churnCycles.Load(), nil
 }

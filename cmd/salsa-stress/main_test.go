@@ -28,55 +28,3 @@ func TestParseAlgorithm(t *testing.T) {
 		t.Error("bogus algorithm accepted")
 	}
 }
-
-func TestRunRoundDetectsNoViolations(t *testing.T) {
-	for _, alg := range []salsa.Algorithm{salsa.SALSA, salsa.WSMSQ} {
-		steals, _, err := runRound(alg, 2, 2, 2000, 32, 1, 0, 1, map[int]bool{}, observability{})
-		if err != nil {
-			t.Fatalf("%v: %v", alg, err)
-		}
-		_ = steals
-	}
-}
-
-func TestRunRoundWithStalledConsumer(t *testing.T) {
-	if _, _, err := runRound(salsa.SALSA, 2, 3, 3000, 16, 1, 0, 1, map[int]bool{0: true}, observability{}); err != nil {
-		t.Fatalf("stalled round failed: %v", err)
-	}
-}
-
-func TestRunRoundBatched(t *testing.T) {
-	for _, alg := range []salsa.Algorithm{salsa.SALSA, salsa.SALSACAS, salsa.WSMSQ} {
-		if _, _, err := runRound(alg, 2, 3, 3000, 16, 32, 0, 1, map[int]bool{0: true}, observability{}); err != nil {
-			t.Fatalf("%v batched round failed: %v", alg, err)
-		}
-	}
-}
-
-// churnRound runs one round with churn enabled; the churner guarantees at
-// least one retire+re-add cycle even when the round drains before the first
-// pacing threshold, so a zero cycle count is a real failure.
-func churnRound(t *testing.T, alg salsa.Algorithm, batch int) {
-	t.Helper()
-	_, cycles, err := runRound(alg, 2, 3, 30000, 16, batch, 150, 7, map[int]bool{}, observability{})
-	if err != nil {
-		t.Fatalf("%v churn round failed: %v", alg, err)
-	}
-	if cycles == 0 {
-		t.Errorf("%v: churn round performed no membership cycles", alg)
-	}
-}
-
-// TestRunRoundWithChurn drives the elastic-membership path: consumers are
-// retired and re-added mid-round while the zero-lost / zero-duplicate
-// accounting runs at round end.
-func TestRunRoundWithChurn(t *testing.T) {
-	for _, alg := range []salsa.Algorithm{salsa.SALSA, salsa.SALSACAS, salsa.WSMSQ} {
-		churnRound(t, alg, 1)
-	}
-}
-
-// TestRunRoundChurnBatched combines churn with the batched API paths.
-func TestRunRoundChurnBatched(t *testing.T) {
-	churnRound(t, salsa.SALSA, 16)
-}

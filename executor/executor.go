@@ -14,12 +14,14 @@
 package executor
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"salsa"
+	"salsa/internal/backoff"
 )
 
 // Task is a unit of work. Panics inside a task are recovered and counted,
@@ -51,6 +53,12 @@ type Config struct {
 	// SALSA fast path) instead of one. 0 or 1 keeps per-task dispatch.
 	// Tasks still execute one at a time, in retrieval order.
 	DispatchBatch int
+	// PanicHandler, when non-nil, is called with the recovered value each
+	// time a task panics. It runs on the worker goroutine, after the panic
+	// counter increments; a panic inside the handler itself is swallowed
+	// (the worker must survive arbitrary task behaviour). Nil keeps the
+	// default count-and-continue behaviour.
+	PanicHandler func(recovered any)
 }
 
 // Executor runs submitted tasks on an elastic worker set: workers can be
@@ -63,8 +71,9 @@ type Executor struct {
 	lanes []lane
 	next  atomic.Uint64
 
-	pin   bool
-	batch int
+	pin     bool
+	batch   int
+	onPanic func(recovered any)
 
 	// mu guards workers (indexed by worker id; entries are never
 	// removed) and serializes membership changes.
@@ -121,10 +130,11 @@ func New(cfg Config) (*Executor, error) {
 		return nil, err
 	}
 	e := &Executor{
-		pool:  pool,
-		lanes: make([]lane, cfg.SubmitLanes),
-		pin:   cfg.PinWorkers,
-		batch: cfg.DispatchBatch,
+		pool:    pool,
+		lanes:   make([]lane, cfg.SubmitLanes),
+		pin:     cfg.PinWorkers,
+		batch:   cfg.DispatchBatch,
+		onPanic: cfg.PanicHandler,
 	}
 	for i := range e.lanes {
 		e.lanes[i].p = pool.Producer(i)
@@ -309,6 +319,14 @@ func (e *Executor) run(t *Task) {
 	defer func() {
 		if r := recover(); r != nil {
 			e.panics.Add(1)
+			if h := e.onPanic; h != nil {
+				// The handler gets its own recover: a panicking handler
+				// must not take the worker down either.
+				func() {
+					defer func() { _ = recover() }()
+					h(r)
+				}()
+			}
 		}
 	}()
 	(*t)()
@@ -328,6 +346,54 @@ func (e *Executor) Submit(t Task) error {
 	l.p.Put(&t)
 	l.mu.Unlock()
 	return nil
+}
+
+// TrySubmit schedules t like Submit but without the pool's force-expansion
+// escape hatch: when every consumer pool reachable from the chosen lane
+// refuses the insert (chunk capacity exhausted), it returns
+// salsa.ErrSaturated instead of growing the pool — the executor's typed
+// backpressure signal. Safe to call from any goroutine.
+func (e *Executor) TrySubmit(t Task) error {
+	if t == nil {
+		return errors.New("executor: nil task")
+	}
+	if e.shutdown.Load() {
+		return ErrShutdown
+	}
+	l := &e.lanes[e.next.Add(1)%uint64(len(e.lanes))]
+	l.mu.Lock()
+	err := l.p.TryPut(&t)
+	l.mu.Unlock()
+	return err
+}
+
+// SubmitContext schedules t, blocking under saturation with bounded
+// spin→yield→sleep backoff until the pool accepts the task, ctx is
+// cancelled (deadlines count — ctx.Err() is returned), or the executor
+// shuts down. Unlike Submit it never force-expands the pool: it is the
+// blocking face of TrySubmit's backpressure. Safe to call from any
+// goroutine.
+func (e *Executor) SubmitContext(ctx context.Context, t Task) error {
+	if t == nil {
+		return errors.New("executor: nil task")
+	}
+	var bo backoff.Backoff
+	for {
+		if e.shutdown.Load() {
+			return ErrShutdown
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		l := &e.lanes[e.next.Add(1)%uint64(len(e.lanes))]
+		l.mu.Lock()
+		err := l.p.TryPut(&t)
+		l.mu.Unlock()
+		if !errors.Is(err, salsa.ErrSaturated) {
+			return err
+		}
+		bo.Pause()
+	}
 }
 
 // SubmitBatch schedules every task of ts for execution, paying the lane
@@ -391,3 +457,13 @@ func (e *Executor) Panics() int64 { return e.panics.Load() }
 
 // Stats exposes the underlying pool's operation census.
 func (e *Executor) Stats() salsa.Stats { return e.pool.Stats() }
+
+// TelemetrySnapshot captures the underlying pool's telemetry plus the
+// executor's own counters (TaskPanics feeds salsa_task_panics_total).
+// Executor therefore satisfies telemetry's SnapshotSource, so an executor
+// can be mounted directly on the metrics endpoint.
+func (e *Executor) TelemetrySnapshot() salsa.TelemetrySnapshot {
+	s := e.pool.TelemetrySnapshot()
+	s.TaskPanics = e.panics.Load()
+	return s
+}

@@ -1,12 +1,26 @@
 package salsa
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
 
 	"salsa/internal/affinity"
 	"salsa/internal/framework"
 )
+
+// ErrSaturated is returned by TryPut and TryPutBatch when every consumer
+// pool on the producer's access list refused the insert — the pool is out
+// of chunk-pool capacity everywhere this producer may reach. Put would have
+// force-expanded the closest pool instead; TryPut turns that silent
+// expansion into typed backpressure the caller can act on (shed, block,
+// retry after a pause).
+var ErrSaturated = errors.New("salsa: pool saturated: every reachable consumer pool refused the insert")
+
+// ErrKilled is returned by GetContext when the consumer was declared
+// crashed by KillConsumer while the call was waiting.
+var ErrKilled = errors.New("salsa: consumer killed")
 
 // Producer inserts tasks into the pool. Each handle is single-goroutine;
 // create one handle per producing goroutine.
@@ -26,6 +40,30 @@ func (p *Producer[T]) Put(t *T) { p.h.Put(t) }
 // with one chunk acquisition per chunk instead of per-call bookkeeping.
 // Semantically equivalent to calling Put on each task in order.
 func (p *Producer[T]) PutBatch(ts []*T) { p.h.PutBatch(ts) }
+
+// TryPut inserts t like Put but without the force-expansion escape hatch:
+// when every pool on the producer's access list refuses the insert (chunk
+// pools exhausted everywhere), the task is rejected with ErrSaturated and
+// the caller keeps ownership of t. Use it to build bounded pipelines where
+// overload should surface as backpressure instead of unbounded memory
+// growth.
+func (p *Producer[T]) TryPut(t *T) error {
+	if p.h.TryPut(t) {
+		return nil
+	}
+	return ErrSaturated
+}
+
+// TryPutBatch inserts a prefix of ts and returns how many tasks were
+// accepted. err is ErrSaturated exactly when n < len(ts); tasks ts[n:]
+// remain owned by the caller.
+func (p *Producer[T]) TryPutBatch(ts []*T) (n int, err error) {
+	n = p.h.TryPutBatch(ts)
+	if n < len(ts) {
+		return n, ErrSaturated
+	}
+	return n, nil
+}
 
 // ID returns the handle's producer id.
 func (p *Producer[T]) ID() int { return p.h.ID() }
@@ -59,21 +97,39 @@ type Consumer[T any] struct {
 	// releases the handle's hazard record, and a racing retrieval would
 	// otherwise act on freed synchronization state — a silent
 	// use-after-free, not a recoverable condition.
+	//
+	// killed is the exception: KillConsumer raises it before closed, and
+	// a killed handle soft-fails (Get returns empty, GetContext returns
+	// ErrKilled) instead of panicking. A kill models a crash and can fire
+	// from *inside* the victim's own retrieval — a failpoint hook in a
+	// steal window calling KillConsumer — so the in-flight call must be
+	// able to unwind through the retry loop. Its hazard record is leaked
+	// by design, so no use-after-free is possible either.
 	closed atomic.Bool
+	killed atomic.Bool
 }
 
-// checkOpen panics when the handle was closed; see Close.
-func (c *Consumer[T]) checkOpen() {
+// checkOpen panics when the handle was closed — unless the close was a
+// kill, which soft-fails; see the field comment. Returns true when the
+// caller may proceed into the framework handle, false when it must report
+// empty.
+func (c *Consumer[T]) checkOpen() bool {
+	if c.killed.Load() {
+		return false
+	}
 	if c.closed.Load() {
 		panic(fmt.Sprintf("salsa: consumer %d used after Close", c.h.ID()))
 	}
+	return true
 }
 
 // Get retrieves a task. ok=false means the pool was empty at some instant
 // during the call (linearizable, unless the pool was configured with
 // NonLinearizableEmpty). Panics if the handle was closed.
 func (c *Consumer[T]) Get() (t *T, ok bool) {
-	c.checkOpen()
+	if !c.checkOpen() {
+		return nil, false
+	}
 	return c.h.Get()
 }
 
@@ -81,7 +137,9 @@ func (c *Consumer[T]) Get() (t *T, ok bool) {
 // found nothing, not that the pool was empty. Panics if the handle was
 // closed.
 func (c *Consumer[T]) TryGet() (t *T, ok bool) {
-	c.checkOpen()
+	if !c.checkOpen() {
+		return nil, false
+	}
 	return c.h.TryGet()
 }
 
@@ -93,7 +151,9 @@ func (c *Consumer[T]) TryGet() (t *T, ok bool) {
 // successful steal drains the migrated chunk's remainder into dst instead
 // of surfacing one task.
 func (c *Consumer[T]) GetBatch(dst []*T) int {
-	c.checkOpen()
+	if !c.checkOpen() {
+		return 0
+	}
 	return c.h.GetBatch(dst)
 }
 
@@ -101,19 +161,46 @@ func (c *Consumer[T]) GetBatch(dst []*T) int {
 // pass found nothing, not that the pool was empty. Panics if the handle
 // was closed.
 func (c *Consumer[T]) TryGetBatch(dst []*T) int {
-	c.checkOpen()
+	if !c.checkOpen() {
+		return 0
+	}
 	return c.h.TryGetBatch(dst)
 }
 
-// GetWait retrieves a task, spinning through empty periods until one
-// arrives or stop is closed. Panics if the handle was closed.
+// GetWait retrieves a task, waiting through empty periods — bounded
+// spin→yield→sleep backoff, not a hot spin — until one arrives or stop is
+// closed. Panics if the handle was closed.
 func (c *Consumer[T]) GetWait(stop <-chan struct{}) (t *T, ok bool) {
-	c.checkOpen()
+	if !c.checkOpen() {
+		return nil, false
+	}
 	return c.h.GetWait(stop)
+}
+
+// GetContext retrieves a task, waiting like GetWait until one arrives or
+// ctx is cancelled (deadlines count). On cancellation it returns ctx.Err();
+// if the consumer is declared crashed by KillConsumer while waiting it
+// returns ErrKilled. A parked waiter observes cancellation within the
+// backoff's maximum sleep (1ms). Panics if the handle was closed.
+func (c *Consumer[T]) GetContext(ctx context.Context) (*T, error) {
+	if !c.checkOpen() {
+		return nil, ErrKilled
+	}
+	t, err := c.h.GetContext(ctx)
+	if errors.Is(err, framework.ErrKilled) {
+		return nil, ErrKilled
+	}
+	return t, err
 }
 
 // ID returns the handle's consumer id.
 func (c *Consumer[T]) ID() int { return c.h.ID() }
+
+// Killed reports whether this consumer was declared crashed by
+// KillConsumer. A killed handle's Get family returns empty (soft-fail, not
+// the Close panic), so a driving loop that sees empty should consult Killed
+// to distinguish "pool drained" from "I am dead".
+func (c *Consumer[T]) Killed() bool { return c.killed.Load() }
 
 // Node returns the NUMA node this consumer is placed on.
 func (c *Consumer[T]) Node() int { return c.h.Node() }

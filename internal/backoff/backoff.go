@@ -1,0 +1,110 @@
+// Package backoff provides the bounded spin→yield→sleep escalation used by
+// every blocking retry loop in the pool (framework Get/GetWait/GetContext,
+// the executor's worker loop, the workload harness).
+//
+// A raw `for { try() }` loop — even one that sprinkles runtime.Gosched() —
+// is a livelock risk: under GOMAXPROCS=1 a spinner that never sleeps can
+// monopolize the only P in lockstep with the scheduler while the goroutine
+// it waits on (a stalled producer, a consumer holding the last chunk) never
+// runs long enough to make progress, and on a loaded machine it burns a
+// core to poll a condition that changes at millisecond scale. The paper's
+// algorithms are lock-free, so any single retry is cheap; the policy
+// question is purely how long to stay hot.
+//
+// The escalation is the classic three-phase design. The first Spins
+// attempts return immediately (the condition usually flips within
+// nanoseconds under load). The next Yields attempts surrender the P with
+// runtime.Gosched(), letting same-P goroutines run — this alone fixes the
+// GOMAXPROCS=1 livelock. After that the waiter parks in timed sleeps that
+// double from MinSleep to MaxSleep, capping wake-up latency at MaxSleep
+// while reducing a long-idle consumer's cost to ~1/MaxSleep wakeups per
+// second. Parks are reported so callers can feed a telemetry counter
+// (salsa_backoff_parks_total): a high park rate is the "consumers outrun
+// producers" pressure signal.
+package backoff
+
+import (
+	"runtime"
+	"time"
+)
+
+// Defaults, chosen so that a waiter stays latency-optimal for ~a µs of
+// spinning, scheduler-friendly for a handful of yields, and cheap forever
+// after (1 ms max sleep keeps worst-case wakeup well under any human or
+// network deadline while bounding idle CPU at ~1k wakeups/s/consumer).
+const (
+	DefaultSpins    = 64
+	DefaultYields   = 16
+	DefaultMinSleep = 20 * time.Microsecond
+	DefaultMaxSleep = time.Millisecond
+)
+
+// Backoff escalates a single waiter's retry pacing. The zero value uses the
+// defaults; a Backoff must not be shared between goroutines.
+type Backoff struct {
+	// Spins is the number of leading attempts that return immediately.
+	Spins int
+	// Yields is the number of attempts after Spins that runtime.Gosched.
+	Yields int
+	// MinSleep/MaxSleep bound the timed-sleep phase; the sleep doubles
+	// from MinSleep until it saturates at MaxSleep.
+	MinSleep time.Duration
+	MaxSleep time.Duration
+
+	attempts int
+	sleep    time.Duration
+	parks    int64
+}
+
+func (b *Backoff) defaults() {
+	if b.Spins == 0 {
+		b.Spins = DefaultSpins
+	}
+	if b.Yields == 0 {
+		b.Yields = DefaultYields
+	}
+	if b.MinSleep == 0 {
+		b.MinSleep = DefaultMinSleep
+	}
+	if b.MaxSleep == 0 {
+		b.MaxSleep = DefaultMaxSleep
+	}
+}
+
+// Pause blocks the caller according to the escalation phase and reports
+// whether it parked (slept) — the signal callers count into telemetry.
+func (b *Backoff) Pause() (parked bool) {
+	b.defaults()
+	b.attempts++
+	switch {
+	case b.attempts <= b.Spins:
+		return false
+	case b.attempts <= b.Spins+b.Yields:
+		runtime.Gosched()
+		return false
+	default:
+		if b.sleep == 0 {
+			b.sleep = b.MinSleep
+		}
+		time.Sleep(b.sleep)
+		if b.sleep < b.MaxSleep {
+			b.sleep *= 2
+			if b.sleep > b.MaxSleep {
+				b.sleep = b.MaxSleep
+			}
+		}
+		b.parks++
+		return true
+	}
+}
+
+// Reset returns the backoff to the spin phase. Call after the awaited
+// condition fires so the next wait starts hot again.
+func (b *Backoff) Reset() {
+	b.attempts = 0
+	b.sleep = 0
+}
+
+// Parks returns the total number of timed sleeps since creation (Reset does
+// not clear it).
+func (b *Backoff) Parks() int64 { return b.parks }

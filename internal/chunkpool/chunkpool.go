@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"unsafe"
 
+	"salsa/internal/failpoint"
 	"salsa/internal/hazard"
 	"salsa/internal/msqueue"
 )
@@ -50,7 +51,13 @@ func New[C any](dom *hazard.Domain) *Pool[C] {
 
 // Get removes a spare chunk from the pool. Returns false when none is
 // available — the produce() failure that triggers producer-based balancing.
+// The chunkpool.exhausted failpoint can force that failure on demand, which
+// exercises the whole balancing/backpressure cascade (access-list failover,
+// forced expansion, ErrSaturated) without actually draining a pool.
 func (p *Pool[C]) Get() (*C, bool) {
+	if failpoint.Fail(failpoint.ChunkpoolExhausted, -1) {
+		return nil, false
+	}
 	c, ok := p.q.Dequeue()
 	if ok {
 		p.size.Add(-1)

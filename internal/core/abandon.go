@@ -25,7 +25,13 @@ import (
 // both are safe because the pool remains on every survivor's victim list
 // and in the emptiness scan forever, so such stragglers are stolen, not
 // lost. Idempotent; safe to call concurrently with pool operations.
-func (p *Pool[T]) Abandon() { p.abandoned.Store(true) }
+func (p *Pool[T]) Abandon() {
+	// Mark the id departed before the pool abandoned: once any thread can
+	// observe the abandonment, the steal path's departed-owner rescue is
+	// already willing to reclaim chunks stranded under this id.
+	p.shared.markDeparted(p.ownerIDv)
+	p.abandoned.Store(true)
+}
 
 // Abandoned reports whether Abandon has been called.
 func (p *Pool[T]) Abandoned() bool { return p.abandoned.Load() }

@@ -3,6 +3,7 @@ package core
 import (
 	"unsafe"
 
+	"salsa/internal/failpoint"
 	"salsa/internal/scpool"
 )
 
@@ -57,6 +58,7 @@ func (p *Pool[T]) ProduceBatch(ps *scpool.ProducerState, ts []*T) int {
 			run = rem
 		}
 		home := int(sc.chunk.home.Load()) // stable: only steals re-home, and this chunk is unpublished-to-thieves only until listed; re-homes mid-fill merely skew locality accounting
+		failpoint.Inject(failpoint.ProduceBeforePublish, ps.ID)
 		for i := 0; i < run; i++ {
 			t := ts[inserted+i]
 			if t == nil {
@@ -175,7 +177,22 @@ func (p *Pool[T]) drainRun(cs *scpool.ConsumerState, sc *consScratch[T], n *node
 	hook := p.shared.opts.OnAccess
 	taken := 0
 	for {
-		n.idx.Store(idx + 1)                        // announce this take (line 90) — per task, never batched
+		// Same simulated-death gates as takeTask, per slot: before the
+		// announce the run unwinds loss-free; after it, the announced
+		// slot is abandoned (at most one task lost per fire).
+		if failpoint.Fail(failpoint.ConsumeBeforeAnnounce, p.ownerIDv) {
+			sc.current = n
+			p.flushRun(cs, taken, home, taken)
+			sc.rec.Clear(hzConsume)
+			return taken
+		}
+		n.idx.Store(idx + 1) // announce this take (line 90) — per task, never batched
+		if failpoint.Fail(failpoint.ConsumeAfterAnnounce, p.ownerIDv) {
+			sc.current = nil
+			p.flushRun(cs, taken, home, taken)
+			sc.rec.Clear(hzConsume)
+			return taken
+		}
 		if ownerID(ch.owner.Load()) != p.ownerIDv { // re-check (line 91)
 			// A steal raced the run: single-task slow path for the one
 			// announced slot (line 95) — we may take at most it, by CAS.

@@ -3,6 +3,7 @@ package core
 import (
 	"unsafe"
 
+	"salsa/internal/failpoint"
 	"salsa/internal/scpool"
 )
 
@@ -91,7 +92,19 @@ func (p *Pool[T]) takeTask(cs *scpool.ConsumerState, sc *consScratch[T], n *node
 	if ownerID(ch.owner.Load()) != p.ownerIDv {
 		return nil
 	}
-	n.idx.Store(idx + 1)                        // announce the take to the world (line 90)
+	// Simulated death before the announce is loss-free: nothing has been
+	// claimed, the take simply unwinds.
+	if failpoint.Fail(failpoint.ConsumeBeforeAnnounce, p.ownerIDv) {
+		return nil
+	}
+	n.idx.Store(idx + 1) // announce the take to the world (line 90)
+	// Simulated death after the announce abandons the one announced slot:
+	// the index is published but the task is never returned. Thieves (and
+	// this owner's later takes) treat the slot as consumed — the paper's
+	// crash model, at most one task lost per fire (KillConsumer docs).
+	if failpoint.Fail(failpoint.ConsumeAfterAnnounce, p.ownerIDv) {
+		return nil
+	}
 	if ownerID(ch.owner.Load()) == p.ownerIDv { // still ours: fast path (line 91)
 		next := p.peekNext(ch, idx+2)
 		ch.tasks[idx+1].p.Store(p.shared.taken) // line 92

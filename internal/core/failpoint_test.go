@@ -1,0 +1,248 @@
+package core
+
+import (
+	"testing"
+
+	"salsa/internal/failpoint"
+)
+
+// These tests script consumer crashes inside the steal and consume windows
+// through the failpoint sites, at the core layer where the interleaving is
+// fully deterministic: one goroutine drives every pool, so the test reaches
+// the exact instruction boundary the paper's crash model argues about.
+
+// TestFailpointKillMidStealStrandedChunkRescued scripts the nastiest crash
+// the membership layer must survive: a thief dies between winning the
+// ownership CAS (Algorithm 5 line 116) and publishing its replacement node
+// (line 131). The chunk is then owned by a dead id and reachable only
+// through stale-snapshot nodes, which the §1.5.3 snapshot discipline would
+// reject forever — the departed-owner rescue is the only way back. With the
+// rescue reverted this test fails: the survivor's drain loop exhausts its
+// iteration bound with the stranded chunk's tasks unreachable.
+func TestFailpointKillMidStealStrandedChunkRescued(t *testing.T) {
+	const chunkSize, total = 4, 29
+	s := newFamily(t, chunkSize, 3)
+	victim := mkPool(t, s, 0, 1)
+	thief := mkPool(t, s, 1, 1)
+	rescuer := mkPool(t, s, 2, 1)
+	ps := prod(0)
+
+	for i := 0; i < total; i++ {
+		victim.ProduceForce(ps, &task{id: i})
+	}
+
+	// Crash the thief inside the post-CAS window, once: declaring it
+	// departed first (as KillConsumer does) and then simulating the death
+	// by making the gate report failure.
+	defer failpoint.Reset()
+	fired := 0
+	failpoint.Set(failpoint.MembershipKillMidSteal, func(_ failpoint.Site, id int) bool {
+		if id != thief.OwnerID() || fired > 0 {
+			return false
+		}
+		fired++
+		thief.Abandon()
+		return true
+	})
+
+	// An emptiness probe is in flight when the crash happens; the rescue
+	// steal must invalidate it like any other steal would.
+	victim.SetIndicator(rescuer.OwnerID())
+
+	csThief := cons(1)
+	if got := thief.Steal(csThief, victim); got != nil {
+		t.Fatalf("killed thief returned task %d from beyond the grave", got.id)
+	}
+	if fired != 1 {
+		t.Fatalf("kill-mid-steal failpoint fired %d times, want 1", fired)
+	}
+	if got := csThief.Ops.Steals.Load(); got != 1 {
+		t.Fatalf("thief won %d ownership CAS, want 1 (the crashed steal)", got)
+	}
+	// The stranded chunk's tasks are still visible — owned by a dead id,
+	// but not lost yet. The rescue has to make that "yet" permanent.
+	if got := victim.VisibleTasks(); got != total {
+		t.Fatalf("%d tasks visible after the crash, want %d", got, total)
+	}
+
+	csRescue := cons(2)
+	seen := make(map[int]int)
+	for i := 0; len(seen) < total; i++ {
+		if i > 100*total {
+			t.Fatalf("drain stalled with %d/%d tasks recovered: the stranded chunk was never rescued", len(seen), total)
+		}
+		tk := rescuer.Consume(csRescue)
+		if tk == nil {
+			tk = rescuer.Steal(csRescue, victim)
+		}
+		if tk == nil {
+			tk = rescuer.Steal(csRescue, thief)
+		}
+		if tk == nil {
+			continue
+		}
+		if seen[tk.id] > 0 {
+			t.Fatalf("task %d delivered twice", tk.id)
+		}
+		seen[tk.id]++
+	}
+	if got := csRescue.Ops.Steals.Load(); got == 0 {
+		t.Fatal("rescuer never stole — the tasks did not come through the rescue path")
+	}
+	// The rescue went through a steal, so the pending emptiness probe must
+	// have been invalidated — a probe that survived it could certify empty
+	// while the stranded tasks were still in flight.
+	if victim.CheckIndicator(rescuer.OwnerID()) {
+		t.Fatal("victim's indicator survived the rescue steal")
+	}
+
+	// Quiescent aftermath: the drained system is stably empty, and the
+	// abandoned pool's indicator slot, once raised, stays raised — the
+	// checkEmpty protocol can certify emptiness across the dead consumer.
+	for name, p := range map[string]*Pool[task]{"victim": victim, "thief": thief, "rescuer": rescuer} {
+		p.SetIndicator(rescuer.OwnerID())
+		if !p.IsEmpty() {
+			t.Fatalf("%s pool not empty after full drain", name)
+		}
+		if !p.CheckIndicator(rescuer.OwnerID()) {
+			t.Fatalf("%s pool's indicator slot did not stay raised over an emptiness scan", name)
+		}
+	}
+}
+
+// TestFailpointKillBeforeAnnounceIsLossFree crashes the owner just before
+// the announce (line 90): nothing was claimed, so the crash forfeits
+// nothing — a survivor recovers every task exactly once.
+func TestFailpointKillBeforeAnnounceIsLossFree(t *testing.T) {
+	const chunkSize, total, ownerTakes = 4, 23, 5
+	s := newFamily(t, chunkSize, 2)
+	owner := mkPool(t, s, 0, 1)
+	survivor := mkPool(t, s, 1, 1)
+	ps, csOwner, csSurv := prod(0), cons(0), cons(1)
+
+	seen := make(map[int]int)
+	for i := 0; i < total; i++ {
+		owner.ProduceForce(ps, &task{id: i})
+	}
+	for i := 0; i < ownerTakes; i++ {
+		tk := owner.Consume(csOwner)
+		if tk == nil {
+			t.Fatalf("owner Consume %d returned nil on a full pool", i)
+		}
+		seen[tk.id]++
+	}
+
+	// From here on the owner is dead: every take it attempts dies before
+	// the announce. Its final Consume call must come up empty-handed.
+	defer failpoint.Reset()
+	failpoint.Set(failpoint.ConsumeBeforeAnnounce, func(_ failpoint.Site, id int) bool {
+		return id == owner.OwnerID()
+	})
+	if tk := owner.Consume(csOwner); tk != nil {
+		t.Fatalf("dying owner still returned task %d", tk.id)
+	}
+	owner.Abandon()
+
+	drainInto(t, seen, survivor, owner, total)
+	if len(seen) != total {
+		t.Fatalf("recovered %d distinct tasks, want %d (pre-announce death is loss-free)", len(seen), total)
+	}
+	assertStablyEmpty(t, csSurv.ID, owner, survivor)
+}
+
+// TestFailpointKillAfterAnnounceForfeitsExactlyAnnouncedSlots crashes the
+// owner between the announce and the take (the §1.5.3 window). Each firing
+// publishes an index advance that is never backed by a returned task; per
+// the crash model thieves must treat those slots as consumed, so the run
+// loses exactly one task per firing — no more (nothing else may vanish) and
+// no fewer (an announced slot is unrecoverable by design).
+func TestFailpointKillAfterAnnounceForfeitsExactlyAnnouncedSlots(t *testing.T) {
+	const chunkSize, total, ownerTakes = 4, 23, 5
+	s := newFamily(t, chunkSize, 2)
+	owner := mkPool(t, s, 0, 1)
+	survivor := mkPool(t, s, 1, 1)
+	ps, csOwner, csSurv := prod(0), cons(0), cons(1)
+
+	seen := make(map[int]int)
+	for i := 0; i < total; i++ {
+		owner.ProduceForce(ps, &task{id: i})
+	}
+	for i := 0; i < ownerTakes; i++ {
+		tk := owner.Consume(csOwner)
+		if tk == nil {
+			t.Fatalf("owner Consume %d returned nil on a full pool", i)
+		}
+		seen[tk.id]++
+	}
+
+	defer failpoint.Reset()
+	fires := 0
+	failpoint.Set(failpoint.ConsumeAfterAnnounce, func(_ failpoint.Site, id int) bool {
+		if id != owner.OwnerID() {
+			return false
+		}
+		fires++
+		return true
+	})
+	// The dying Consume announces take after take, each one gated into a
+	// simulated death; it returns nothing, leaving `fires` slots forfeit.
+	if tk := owner.Consume(csOwner); tk != nil {
+		t.Fatalf("dying owner still returned task %d", tk.id)
+	}
+	if fires == 0 {
+		t.Fatal("consume.after-announce never fired")
+	}
+	owner.Abandon()
+
+	want := total - ownerTakes - fires
+	drainInto(t, seen, survivor, owner, ownerTakes+want)
+	if got := len(seen); got != ownerTakes+want {
+		t.Fatalf("recovered %d distinct tasks, want %d (%d announced slots forfeited)",
+			got, ownerTakes+want, fires)
+	}
+	assertStablyEmpty(t, csSurv.ID, owner, survivor)
+}
+
+// drainInto steals everything reachable from victim into seen via survivor,
+// failing on duplicates, until seen holds want tasks or the iteration bound
+// trips (which reports tasks lost beyond the scripted budget).
+func drainInto(t *testing.T, seen map[int]int, survivor, victim *Pool[task], want int) {
+	t.Helper()
+	csSurv := cons(survivor.OwnerID())
+	for i := 0; len(seen) < want; i++ {
+		if i > 1000*(want+1) {
+			t.Fatalf("drain stalled at %d/%d recovered tasks", len(seen), want)
+		}
+		tk := survivor.Consume(csSurv)
+		if tk == nil {
+			tk = survivor.Steal(csSurv, victim)
+		}
+		if tk == nil {
+			continue
+		}
+		if seen[tk.id] > 0 {
+			t.Fatalf("task %d delivered twice", tk.id)
+		}
+		seen[tk.id]++
+	}
+}
+
+// assertStablyEmpty verifies the post-crash quiescent state: both pools
+// scan empty and the abandoned pool's indicator slot, once raised, stays
+// raised across emptiness scans — the property checkEmpty needs to certify
+// a linearizable ⊥ over a dead consumer's pool.
+func assertStablyEmpty(t *testing.T, proberID int, abandoned, live *Pool[task]) {
+	t.Helper()
+	for _, p := range []*Pool[task]{abandoned, live} {
+		p.SetIndicator(proberID)
+		if !p.IsEmpty() {
+			t.Fatal("pool not empty after drain")
+		}
+		if !p.CheckIndicator(proberID) {
+			t.Fatal("indicator slot did not stay raised on a quiescent pool")
+		}
+	}
+	if !abandoned.Abandoned() {
+		t.Fatal("abandoned pool lost its abandoned flag")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"salsa/internal/chunkpool"
+	"salsa/internal/failpoint"
 	"salsa/internal/hazard"
 	"salsa/internal/indicator"
 	"salsa/internal/scpool"
@@ -71,6 +72,14 @@ type Shared[T any] struct {
 	opts  Options
 	taken *T
 	dom   hazard.Domain
+
+	// departed[id] is raised when consumer id leaves the family (retire
+	// or crash) and never cleared — ids are monotonic and not reused.
+	// The steal path's departed-owner rescue reads it (see Steal): a
+	// chunk whose current owner has departed may be claimed with a
+	// fresh-read expected word, because a departed id never consumes or
+	// advances a node index again.
+	departed []atomic.Bool
 }
 
 // NewShared validates the options and creates the family context.
@@ -83,7 +92,23 @@ func NewShared[T any](opts Options) (*Shared[T], error) {
 		return nil, fmt.Errorf("core: at most %d consumers supported, got %d",
 			MaxConsumers, opts.Consumers)
 	}
-	return &Shared[T]{opts: opts, taken: new(T)}, nil
+	return &Shared[T]{
+		opts:     opts,
+		taken:    new(T),
+		departed: make([]atomic.Bool, opts.Consumers),
+	}, nil
+}
+
+// markDeparted records that consumer id will never act on the family again.
+func (s *Shared[T]) markDeparted(id int) {
+	if id >= 0 && id < len(s.departed) {
+		s.departed[id].Store(true)
+	}
+}
+
+// ownerDeparted reports whether consumer id has left the family.
+func (s *Shared[T]) ownerDeparted(id int) bool {
+	return id >= 0 && id < len(s.departed) && s.departed[id].Load()
 }
 
 // Taken exposes the TAKEN sentinel for tests; user tasks must never alias it.
@@ -232,6 +257,10 @@ func (p *Pool[T]) insert(ps *scpool.ProducerState, t *T, force bool) bool {
 			return false
 		}
 	}
+	// Slot reserved, task not yet visible — a stall here is the produce
+	// side's widest inconsistency window (consumers see a nil slot that
+	// is about to fill).
+	failpoint.Inject(failpoint.ProduceBeforePublish, ps.ID)
 	// Publish the task. The atomic store orders after the node append in
 	// getChunk, so a consumer that sees the task also sees the node.
 	sc.chunk.tasks[sc.prodIdx].p.Store(t)

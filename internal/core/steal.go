@@ -3,6 +3,7 @@ package core
 import (
 	"unsafe"
 
+	"salsa/internal/failpoint"
 	"salsa/internal/scpool"
 	"salsa/internal/telemetry"
 )
@@ -59,9 +60,27 @@ func (p *Pool[T]) Steal(cs *scpool.ConsumerState, victimPool scpool.SCPool[T]) *
 	// discipline and proves this one safe. (Erratum to the paper; see
 	// DESIGN.md §7.)
 	oldOwner := prevNode.ownerSnapshot
+	rescued := false
 	if ownerID(oldOwner) != victim.ownerIDv || ch.owner.Load() != oldOwner {
-		sc.rec.Clear(hzSteal)
-		return nil
+		// Departed-owner rescue (DESIGN.md §9). A thief that crashes
+		// between winning the ownership CAS (line 116) and publishing
+		// its replacement node (line 131) leaves the chunk owned by a
+		// dead id while every node still referencing it carries a stale
+		// snapshot — the snapshot discipline above would then reject the
+		// chunk forever: no surviving owner consumes it, no snapshot
+		// ever matches, and IsEmpty keeps reporting tasks nobody can
+		// reach. A fresh-read expected word is safe here, and only here,
+		// because a departed id never consumes or advances a node index
+		// again, so the stale-node double-take the snapshot rule guards
+		// against cannot start; exclusivity among concurrent rescuers
+		// still comes from the single ownership CAS below.
+		cur := ch.owner.Load()
+		if oid := ownerID(cur); oid == p.ownerIDv || !p.shared.ownerDeparted(oid) {
+			sc.rec.Clear(hzSteal)
+			return nil
+		}
+		oldOwner = cur
+		rescued = true
 	}
 	size := int64(len(ch.tasks))
 	prevIdx := prevNode.idx.Load() // line 112
@@ -73,8 +92,16 @@ func (p *Pool[T]) Steal(cs *scpool.ConsumerState, victimPool scpool.SCPool[T]) *
 	stealList := p.lists[p.stealIdx]
 	myEntry := stealList.append(prevNode) // line 115: make it stealable from my list
 
+	// Simulated thief death before the ownership CAS is harmless — the
+	// victim still owns the chunk — but the freshly appended entry stays
+	// behind, exactly as a real crash would leave it.
+	if failpoint.Fail(failpoint.StealBeforeOwnerCAS, p.ownerIDv) {
+		sc.rec.Clear(hzSteal)
+		return nil
+	}
+
 	cs.Ops.CAS.Inc()
-	if ownerID(oldOwner) != victim.ownerIDv ||
+	if (!rescued && ownerID(oldOwner) != victim.ownerIDv) ||
 		!ch.owner.CompareAndSwap(oldOwner, packOwner(p.ownerIDv, ownerTag(oldOwner)+1)) { // line 116
 		cs.Ops.FailedCAS.Inc()
 		stealList.remove(myEntry) // line 117
@@ -82,6 +109,19 @@ func (p *Pool[T]) Steal(cs *scpool.ConsumerState, victimPool scpool.SCPool[T]) *
 		return nil
 	}
 	cs.Ops.Steals.Inc()
+	// The nastiest window in the algorithm: ownership is ours, but the
+	// replacement node is not yet published (lines 116–131).
+	failpoint.Inject(failpoint.StealAfterOwnerCAS, p.ownerIDv)
+	if failpoint.Fail(failpoint.MembershipKillMidSteal, p.ownerIDv) {
+		// Simulated thief crash inside the window: the chunk is left
+		// owned by this (now-departed) id, reachable only through
+		// stale-snapshot nodes, for the departed-owner rescue above to
+		// reclaim. The hazard record is deliberately left published —
+		// KillConsumer leaks the crashed consumer's record by design,
+		// and clearing it here would let the chunk be recycled under a
+		// rescuer still acting through the stale node.
+		return nil
+	}
 	if victim.abandoned.Load() {
 		// Reclamation census: this steal moved a chunk out of a pool
 		// whose owner departed — the membership-driven subset of steals.
@@ -170,6 +210,13 @@ func (p *Pool[T]) Steal(cs *scpool.ConsumerState, victimPool scpool.SCPool[T]) *
 // still owned by the victim and visibly holds an untaken task. The paper
 // leaves this policy open ("different policies possible"); a rotating scan
 // spreads concurrent thieves over the victim's producers.
+//
+// Beyond the paper: a chunk whose current owner has *departed* is also
+// eligible, whoever's list it surfaces in — that is how survivors discover
+// chunks stranded by a thief crash inside the two-CAS window (the dead
+// thief's pre-CAS steal-list entry, or the original victim's superseded
+// node, both still reference it). Steal's departed-owner rescue takes it
+// from there.
 func (p *Pool[T]) chooseVictimNode(sc *consScratch[T], victim *Pool[T]) *node[T] {
 	numLists := len(victim.lists)
 	start := sc.stealCursor % numLists
@@ -178,7 +225,11 @@ func (p *Pool[T]) chooseVictimNode(sc *consScratch[T], victim *Pool[T]) *node[T]
 		for e := victim.lists[li].first(); e != nil; e = e.next.Load() {
 			n := e.node.Load()
 			ch := n.chunk.Load()
-			if ch == nil || ownerID(ch.owner.Load()) != victim.ownerIDv {
+			if ch == nil {
+				continue
+			}
+			if oid := ownerID(ch.owner.Load()); oid != victim.ownerIDv &&
+				(oid == p.ownerIDv || !p.shared.ownerDeparted(oid)) {
 				continue
 			}
 			idx := n.idx.Load()

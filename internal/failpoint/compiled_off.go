@@ -1,0 +1,8 @@
+//go:build salsa_nofailpoint
+
+package failpoint
+
+// Compiled is false under the salsa_nofailpoint tag: Inject/Fail reduce to
+// constant-false branches the compiler deletes, so hot paths carry no
+// atomics and no calls from the fault-injection layer.
+const Compiled = false

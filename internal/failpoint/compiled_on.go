@@ -1,0 +1,9 @@
+//go:build !salsa_nofailpoint
+
+package failpoint
+
+// Compiled reports whether failpoint sites are compiled into this build.
+// Default builds keep them live (one atomic load per site when unarmed) so
+// ordinary `go test` can script faults; build with -tags salsa_nofailpoint
+// to turn every site into dead code.
+const Compiled = true

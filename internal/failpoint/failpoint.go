@@ -1,0 +1,252 @@
+// Package failpoint is a fault-injection layer for the pool's narrow
+// synchronization windows.
+//
+// The paper's correctness argument lives in windows a few instructions wide:
+// the two-CAS steal race (§1.5.3), the announce-then-recheck consume path,
+// the checkEmpty indicator rounds (§1.5.5). Stress runs only visit those
+// interleavings by luck; a failpoint visits them on purpose. Each hot path
+// declares named sites (Site) at its delicate points; a test or the chaos
+// harness registers hooks that inject delays, forced yields, simulated
+// chunk-pool exhaustion, or a consumer crash exactly inside the window.
+//
+// Cost discipline. Sites are evaluated through Inject/Fail, whose fast path
+// is `Compiled && armed.Load() != 0` — one inlined atomic load of a
+// read-mostly word when the package is compiled in and no hook is
+// registered. Builds with the `salsa_nofailpoint` tag set Compiled to a
+// constant false, so the compiler deletes every site body entirely: a
+// disabled build pays zero atomics and zero branches on the fast path (see
+// DESIGN.md §9). The default build keeps sites live so ordinary `go test`
+// can script faults without special tags.
+//
+// Concurrency. Hook registration (Set/Clear/Reset) is a control-plane
+// operation serialized on an internal mutex; evaluation is lock-free. Hooks
+// run on the calling goroutine, inside the window — they may sleep, yield,
+// or call back into control-plane APIs like KillConsumer, but must not call
+// back into the data-plane operation that hosts the site.
+package failpoint
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Site names one injection point in the pool's synchronization windows.
+type Site int32
+
+const (
+	// ProduceBeforePublish fires in the produce path after a chunk slot
+	// has been reserved but before the task pointer is published.
+	// Inject-only. id = producer id.
+	ProduceBeforePublish Site = iota
+
+	// ChunkpoolExhausted gates every spare-chunk dequeue. A hook
+	// returning true simulates an empty chunk pool — produce() fails,
+	// triggering producer-based balancing failover and, when every pool
+	// refuses, forced expansion (or ErrSaturated on the TryPut path).
+	// id = -1 (the chunk pool does not know its caller).
+	ChunkpoolExhausted
+
+	// ConsumeBeforeAnnounce gates the consume path just before the
+	// owner announces a take by advancing the node index. A hook
+	// returning true simulates the consumer dying there: the take
+	// unwinds with no task and no announcement — loss-free, because
+	// nothing was claimed yet. id = consumer id.
+	ConsumeBeforeAnnounce
+
+	// ConsumeAfterAnnounce gates the window between the announce and
+	// the ownership re-check — the heart of the §1.5.3 race. A hook
+	// returning true simulates the consumer dying with one slot
+	// announced; per the crash model, thieves treat that single slot as
+	// consumed, so each fire can lose at most one task. id = consumer id.
+	ConsumeAfterAnnounce
+
+	// StealBeforeOwnerCAS fires between publishing the victim node in
+	// the thief's steal list and the ownership CAS (Algorithm 5 lines
+	// 115–116). Gate: true simulates the thief dying there — harmless,
+	// the chunk is still owned by the victim. id = consumer id (thief).
+	StealBeforeOwnerCAS
+
+	// StealAfterOwnerCAS fires immediately after the thief wins the
+	// ownership CAS, before the replacement node is published (lines
+	// 116–131) — the nastiest window in the algorithm. Inject-only
+	// (delays/yields stretch the two-CAS race); crashes here are
+	// scripted through MembershipKillMidSteal. id = consumer id (thief).
+	StealAfterOwnerCAS
+
+	// MembershipKillMidSteal gates the same post-CAS window as
+	// StealAfterOwnerCAS. A hook returning true simulates the thief
+	// crashing mid-steal: the chunk is left stranded under the dead
+	// thief's ownership and the survivors' rescue path (DESIGN.md §9)
+	// must reclaim it. The schedule's kill action declares the consumer
+	// crashed (KillFunc) before dying. id = consumer id (thief).
+	MembershipKillMidSteal
+
+	// MembershipBeforeEpochPublish fires inside a membership departure
+	// after the pool is abandoned and its spares drained, but before
+	// the next epoch is published — the window where producers still
+	// route to a pool that already refuses inserts. Inject-only.
+	// id = departing consumer id.
+	MembershipBeforeEpochPublish
+
+	// CheckEmptyBetweenScans fires between rounds of the checkEmpty
+	// protocol — stretching the probe is the classic attack on
+	// linearizable emptiness, which the indicator rounds must absorb.
+	// Inject-only. id = probing consumer id.
+	CheckEmptyBetweenScans
+
+	// NumSites is the number of defined sites.
+	NumSites
+)
+
+var siteNames = [NumSites]string{
+	ProduceBeforePublish:         "produce.before-publish",
+	ChunkpoolExhausted:           "chunkpool.exhausted",
+	ConsumeBeforeAnnounce:        "consume.before-announce",
+	ConsumeAfterAnnounce:         "consume.after-announce",
+	StealBeforeOwnerCAS:          "steal.before-owner-cas",
+	StealAfterOwnerCAS:           "steal.after-owner-cas",
+	MembershipKillMidSteal:       "membership.kill-mid-steal",
+	MembershipBeforeEpochPublish: "membership.before-epoch-publish",
+	CheckEmptyBetweenScans:       "checkempty.between-scans",
+}
+
+// String returns the site's catalogue name (e.g. "steal.after-owner-cas").
+func (s Site) String() string {
+	if s >= 0 && s < NumSites {
+		return siteNames[s]
+	}
+	return fmt.Sprintf("site(%d)", int32(s))
+}
+
+// ParseSite resolves a catalogue name back to its Site.
+func ParseSite(name string) (Site, error) {
+	for s, n := range siteNames {
+		if n == name {
+			return Site(s), nil
+		}
+	}
+	return 0, fmt.Errorf("failpoint: unknown site %q", name)
+}
+
+// SiteNames returns the full site catalogue in declaration order.
+func SiteNames() []string {
+	return append([]string(nil), siteNames[:]...)
+}
+
+// Hook runs inside a site's window on the goroutine that hit it. id is the
+// acting handle's id (consumer id for consume/steal/checkempty sites,
+// producer id for produce sites, -1 when the layer does not know). The
+// return value matters only at gate sites (evaluated via Fail): true
+// simulates the site's failure — an exhausted chunk pool, a crashed
+// consumer — and false lets the operation proceed.
+type Hook func(site Site, id int) bool
+
+var (
+	// armed counts registered hooks; the fast path is a single load.
+	armed atomic.Int32
+	hooks [NumSites]atomic.Pointer[Hook]
+
+	// mu serializes registration (control plane only).
+	mu sync.Mutex
+
+	// killFunc is the registered crash-declaration callback; see SetKillFunc.
+	killFunc atomic.Pointer[func(id int) bool]
+)
+
+// Active reports whether any hook is registered (false in salsa_nofailpoint
+// builds, where the call compiles to a constant).
+func Active() bool { return Compiled && armed.Load() != 0 }
+
+// Inject evaluates an inject-only site: the hook's side effects (sleep,
+// yield, crash declarations) happen inside the window; its return value is
+// ignored. Free when no hook is registered; compiled out entirely under the
+// salsa_nofailpoint tag.
+func Inject(site Site, id int) {
+	if Compiled && armed.Load() != 0 {
+		eval(site, id)
+	}
+}
+
+// Fail evaluates a gate site and reports whether the hook asked the caller
+// to simulate the site's failure. Free when no hook is registered; compiled
+// out entirely (constant false) under the salsa_nofailpoint tag.
+func Fail(site Site, id int) bool {
+	if Compiled && armed.Load() != 0 {
+		return eval(site, id)
+	}
+	return false
+}
+
+func eval(site Site, id int) bool {
+	if site < 0 || site >= NumSites {
+		return false
+	}
+	if h := hooks[site].Load(); h != nil {
+		return (*h)(site, id)
+	}
+	return false
+}
+
+// Set registers h at site, replacing any previous hook. A nil h is Clear.
+func Set(site Site, h Hook) {
+	if site < 0 || site >= NumSites {
+		panic(fmt.Sprintf("failpoint: Set on invalid site %d", site))
+	}
+	if h == nil {
+		Clear(site)
+		return
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if hooks[site].Swap(&h) == nil {
+		armed.Add(1)
+	}
+}
+
+// Clear removes the hook at site, if any.
+func Clear(site Site) {
+	if site < 0 || site >= NumSites {
+		return
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if hooks[site].Swap(nil) != nil {
+		armed.Add(-1)
+	}
+}
+
+// Reset clears every hook and the kill function. Tests and the chaos
+// harness call it between scenarios.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	for i := range hooks {
+		if hooks[i].Swap(nil) != nil {
+			armed.Add(-1)
+		}
+	}
+	killFunc.Store(nil)
+}
+
+// SetKillFunc registers the crash-declaration callback used by kill actions:
+// it receives the consumer id acting at the site and returns whether the
+// kill was granted (the harness refuses, e.g., to kill the last live
+// consumer). A kill action whose callback declines does not simulate death.
+// Pass nil to unregister.
+func SetKillFunc(f func(id int) bool) {
+	if f == nil {
+		killFunc.Store(nil)
+		return
+	}
+	killFunc.Store(&f)
+}
+
+// Kill invokes the registered kill function for id, reporting whether a
+// crash was actually declared. With no function registered it reports false.
+func Kill(id int) bool {
+	if f := killFunc.Load(); f != nil {
+		return (*f)(id)
+	}
+	return false
+}

@@ -1,0 +1,362 @@
+package failpoint
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Kind is the action a schedule rule performs when it fires.
+type Kind int
+
+const (
+	// KindDelay sleeps for the rule's Delay inside the window.
+	KindDelay Kind = iota
+	// KindYield calls runtime.Gosched inside the window.
+	KindYield
+	// KindFail makes the gate site report failure (e.g. an exhausted
+	// chunk pool, a consumer dying before/after its announce). At
+	// inject-only sites the result is ignored, so KindFail degrades to
+	// a no-op there.
+	KindFail
+	// KindKill declares the acting consumer crashed via the registered
+	// kill function, then reports failure so the site's gate simulates
+	// the death. If the kill function declines (or none is registered)
+	// the rule does not fire and its Count budget is not consumed.
+	KindKill
+)
+
+var kindNames = map[Kind]string{
+	KindDelay: "delay",
+	KindYield: "yield",
+	KindFail:  "fail",
+	KindKill:  "kill",
+}
+
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+func parseKind(name string) (Kind, error) {
+	for k, n := range kindNames {
+		if n == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("failpoint: unknown action %q (want delay|yield|fail|kill)", name)
+}
+
+// Rule scripts one site's behaviour within a Schedule.
+type Rule struct {
+	Site  Site
+	Kind  Kind
+	Delay time.Duration // KindDelay only
+	// Rate is the per-visit firing probability in [0,1]. 1 fires on
+	// every visit. Decisions are a pure function of (schedule seed,
+	// site, visit ordinal), so a given seed replays identically.
+	Rate float64
+	// Count caps how many times the rule fires; 0 means unlimited.
+	Count int
+}
+
+// ruleState pairs a Rule with its mutable visit/firing counters, keeping
+// Rule itself a copyable value.
+type ruleState struct {
+	Rule
+	visits atomic.Uint64
+	fired  atomic.Int64
+}
+
+// String renders the rule in schedule-spec syntax.
+func (r Rule) String() string {
+	var b strings.Builder
+	b.WriteString(r.Site.String())
+	b.WriteByte('=')
+	b.WriteString(r.Kind.String())
+	if r.Kind == KindDelay {
+		b.WriteByte(':')
+		b.WriteString(r.Delay.String())
+	}
+	if r.Rate > 0 && r.Rate < 1 {
+		fmt.Fprintf(&b, "@%s", strconv.FormatFloat(r.Rate, 'g', -1, 64))
+	}
+	if r.Count > 0 {
+		fmt.Fprintf(&b, "#%d", r.Count)
+	}
+	return b.String()
+}
+
+// Schedule is a seeded, replayable set of rules. Arm registers one hook per
+// scripted site; every firing decision derives from the seed alone, so
+// printing Seed()+Spec() after a failure is enough to reproduce it (up to
+// the scheduler interleaving the faults provoke).
+type Schedule struct {
+	seed  uint64
+	rules []*ruleState
+	armed bool
+}
+
+// NewSchedule builds an empty schedule with the given seed.
+func NewSchedule(seed uint64) *Schedule {
+	return &Schedule{seed: seed}
+}
+
+// Seed returns the schedule's seed.
+func (s *Schedule) Seed() uint64 { return s.seed }
+
+// Add appends a rule. Rate outside (0,1] is normalized to 1 (always fire).
+// A kill rule on the membership.before-epoch-publish site is silently
+// downgraded to fail: that site fires inside the membership control plane
+// with its locks held, and the kill function re-enters the same locks —
+// a guaranteed self-deadlock, never a useful fault.
+func (s *Schedule) Add(r Rule) *Schedule {
+	if r.Rate <= 0 || r.Rate > 1 {
+		r.Rate = 1
+	}
+	if r.Kind == KindKill && r.Site == MembershipBeforeEpochPublish {
+		r.Kind = KindFail
+	}
+	// The converse upgrade on the mid-steal site: its gate simulates the
+	// thief dying after the ownership CAS, which is only sound when the
+	// thief is actually declared crashed (the stranded chunk is reclaimed
+	// through the departed-owner rescue). A bare fail would strand the
+	// chunk under a live owner and silently lose its tasks.
+	if r.Kind == KindFail && r.Site == MembershipKillMidSteal {
+		r.Kind = KindKill
+	}
+	s.rules = append(s.rules, &ruleState{Rule: r})
+	return s
+}
+
+// ParseSchedule parses a comma-separated schedule spec with seed. Each rule
+// is `site=action[:delay][@rate][#count]`:
+//
+//	steal.after-owner-cas=delay:200us@0.2
+//	membership.kill-mid-steal=kill@0.01#2
+//	chunkpool.exhausted=fail@0.5
+//	checkempty.between-scans=yield
+//
+// delay applies to the delay action; @rate is a probability in (0,1]
+// (default 1); #count caps total firings (default unlimited).
+func ParseSchedule(seed uint64, spec string) (*Schedule, error) {
+	s := NewSchedule(seed)
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return s, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		siteStr, actionStr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("failpoint: rule %q: want site=action[:delay][@rate][#count]", part)
+		}
+		site, err := ParseSite(strings.TrimSpace(siteStr))
+		if err != nil {
+			return nil, err
+		}
+		r := Rule{Site: site, Rate: 1}
+		if head, cntStr, found := cutLast(actionStr, '#'); found {
+			n, err := strconv.Atoi(cntStr)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("failpoint: rule %q: bad count %q", part, cntStr)
+			}
+			r.Count = n
+			actionStr = head
+		}
+		actionStr = strings.TrimSpace(actionStr)
+		if head, rateStr, found := cutLast(actionStr, '@'); found {
+			rate, err := strconv.ParseFloat(rateStr, 64)
+			if err != nil || rate <= 0 || rate > 1 {
+				return nil, fmt.Errorf("failpoint: rule %q: bad rate %q (want (0,1])", part, rateStr)
+			}
+			r.Rate = rate
+			actionStr = head
+		}
+		kindStr, delayStr, hasDelay := strings.Cut(actionStr, ":")
+		r.Kind, err = parseKind(strings.TrimSpace(kindStr))
+		if err != nil {
+			return nil, fmt.Errorf("failpoint: rule %q: %v", part, err)
+		}
+		if hasDelay {
+			if r.Kind != KindDelay {
+				return nil, fmt.Errorf("failpoint: rule %q: duration only valid for delay", part)
+			}
+			d, err := time.ParseDuration(strings.TrimSpace(delayStr))
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("failpoint: rule %q: bad duration %q", part, delayStr)
+			}
+			r.Delay = d
+		} else if r.Kind == KindDelay {
+			r.Delay = 100 * time.Microsecond
+		}
+		s.Add(r)
+	}
+	return s, nil
+}
+
+// cutLast splits s at the last occurrence of sep, trimming space from both
+// halves. The `#count` and `@rate` suffixes bind after the delay, so they
+// must be cut from the right.
+func cutLast(s string, sep byte) (before, after string, found bool) {
+	if i := strings.LastIndexByte(s, sep); i >= 0 {
+		return strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+1:]), true
+	}
+	return strings.TrimSpace(s), "", false
+}
+
+// Spec renders the schedule back to its parseable spec string, with rules
+// grouped per site in declaration order.
+func (s *Schedule) Spec() string {
+	parts := make([]string, len(s.rules))
+	for i, r := range s.rules {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Fired returns how many times each rule has fired, keyed by the rule's
+// spec string (for post-run diagnostics).
+func (s *Schedule) Fired() map[string]int64 {
+	out := make(map[string]int64, len(s.rules))
+	for _, r := range s.rules {
+		out[r.String()] += r.fired.Load()
+	}
+	return out
+}
+
+// FiredRule pairs a rule (by value) with its firing count so far.
+type FiredRule struct {
+	Rule
+	Fired int64
+}
+
+// FiredRules returns every rule with its firing count, in declaration
+// order — the structured counterpart of Fired for callers that need the
+// rule's Site/Kind (e.g. a harness computing a crash loss budget).
+func (s *Schedule) FiredRules() []FiredRule {
+	out := make([]FiredRule, len(s.rules))
+	for i, r := range s.rules {
+		out[i] = FiredRule{Rule: r.Rule, Fired: r.fired.Load()}
+	}
+	return out
+}
+
+// TotalFired returns the total number of rule firings so far.
+func (s *Schedule) TotalFired() int64 {
+	var n int64
+	for _, r := range s.rules {
+		n += r.fired.Load()
+	}
+	return n
+}
+
+// Arm registers the schedule's rules with the global registry (one hook per
+// scripted site; multiple rules on one site are evaluated in declaration
+// order, first firing action wins). Arm replaces any hooks previously set
+// on those sites. Call Disarm (or Reset) when done.
+func (s *Schedule) Arm() {
+	bySite := make(map[Site][]*ruleState)
+	var order []Site
+	for _, r := range s.rules {
+		if _, seen := bySite[r.Site]; !seen {
+			order = append(order, r.Site)
+		}
+		bySite[r.Site] = append(bySite[r.Site], r)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, site := range order {
+		rules := bySite[site]
+		seed := s.seed
+		Set(site, func(site Site, id int) bool {
+			for _, r := range rules {
+				if r.apply(seed, site, id) {
+					return true
+				}
+			}
+			return false
+		})
+	}
+	s.armed = true
+}
+
+// Disarm clears the hooks Arm registered. Firing counters survive for
+// post-run inspection; re-Arm continues the visit sequence.
+func (s *Schedule) Disarm() {
+	if !s.armed {
+		return
+	}
+	seen := make(map[Site]bool)
+	for _, r := range s.rules {
+		if !seen[r.Site] {
+			seen[r.Site] = true
+			Clear(r.Site)
+		}
+	}
+	s.armed = false
+}
+
+// apply evaluates one rule for one visit; reports whether the rule fired
+// with a failure result (gate sites treat true as "simulate the failure").
+func (r *ruleState) apply(seed uint64, site Site, id int) bool {
+	visit := r.visits.Add(1) - 1
+	if r.Rate < 1 {
+		// Deterministic per-visit coin flip: a pure function of
+		// (seed, site, visit), independent of scheduling.
+		h := splitmix64(seed ^ (uint64(site)+1)<<32 ^ visit)
+		if float64(h>>11)/(1<<53) >= r.Rate {
+			return false
+		}
+	}
+	if r.Count > 0 {
+		// Reserve a firing slot; release it below if a kill declines.
+		if r.fired.Add(1) > int64(r.Count) {
+			r.fired.Add(-1)
+			return false
+		}
+	}
+	switch r.Kind {
+	case KindDelay:
+		time.Sleep(r.Delay)
+	case KindYield:
+		runtime.Gosched()
+	case KindFail:
+		if r.Count == 0 {
+			r.fired.Add(1)
+		}
+		return true
+	case KindKill:
+		if !Kill(id) {
+			if r.Count > 0 {
+				r.fired.Add(-1)
+			}
+			return false
+		}
+		if r.Count == 0 {
+			r.fired.Add(1)
+		}
+		return true
+	}
+	if r.Count == 0 {
+		r.fired.Add(1)
+	}
+	return false
+}
+
+// splitmix64 is the SplitMix64 finalizer — a cheap, well-mixed hash used
+// for replayable per-visit firing decisions.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

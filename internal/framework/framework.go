@@ -21,18 +21,25 @@
 package framework
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"salsa/internal/backoff"
+	"salsa/internal/failpoint"
 	"salsa/internal/membership"
 	"salsa/internal/scpool"
 	"salsa/internal/stats"
 	"salsa/internal/telemetry"
 	"salsa/internal/topology"
 )
+
+// ErrKilled is returned by GetContext when the consumer was declared
+// crashed (KillConsumer) while the call was in flight or before it.
+var ErrKilled = errors.New("framework: consumer killed")
 
 // PoolFactory builds the SCPool owned by consumer ownerID on NUMA node
 // ownerNode, with producer lists for `producers` producers.
@@ -348,6 +355,76 @@ func (p *Producer[T]) putBatch(ts []*T) {
 	}
 }
 
+// TryPut inserts t without the produceForce escape hatch: the access list is
+// walked exactly as in put(), but when every pool refuses (chunk pools
+// exhausted everywhere the producer may reach) the task is rejected instead
+// of force-expanding the closest pool. This is the typed backpressure path —
+// the caller keeps ownership of t and decides whether to retry, shed, or
+// block. Rejections are counted in SaturatedPuts.
+func (p *Producer[T]) TryPut(t *T) bool {
+	tr := p.state.Tracer
+	access := p.fw.epoch.Load().prodAccess[p.state.ID]
+	if p.fw.cfg.DisableBalancing {
+		if access[0].Produce(&p.state, t) {
+			return true
+		}
+		if tr != nil {
+			tr.OnProduceFail(telemetry.ProduceEvent{
+				Producer: p.state.ID, Node: p.state.Node, Pool: access[0].OwnerID()})
+		}
+		p.state.Ops.SaturatedPuts.Inc()
+		return false
+	}
+	for _, pool := range access {
+		if pool.Produce(&p.state, t) {
+			return true
+		}
+		if tr != nil {
+			tr.OnProduceFail(telemetry.ProduceEvent{
+				Producer: p.state.ID, Node: p.state.Node, Pool: pool.OwnerID()})
+		}
+	}
+	p.state.Ops.SaturatedPuts.Inc()
+	return false
+}
+
+// TryPutBatch inserts a prefix of ts, walking the access list like
+// putBatch() but never force-expanding: it returns how many tasks were
+// accepted (0 ≤ n ≤ len(ts)); tasks ts[n:] remain owned by the caller. A
+// short return is the saturation signal and is counted in SaturatedPuts.
+func (p *Producer[T]) TryPutBatch(ts []*T) int {
+	if len(ts) == 0 {
+		return 0
+	}
+	tr := p.state.Tracer
+	access := p.fw.epoch.Load().prodAccess[p.state.ID]
+	if p.fw.cfg.DisableBalancing {
+		n := scpool.ProduceBatch(access[0], &p.state, ts)
+		if n < len(ts) {
+			if tr != nil {
+				tr.OnProduceFail(telemetry.ProduceEvent{
+					Producer: p.state.ID, Node: p.state.Node, Pool: access[0].OwnerID()})
+			}
+			p.state.Ops.SaturatedPuts.Inc()
+		}
+		return n
+	}
+	rem := ts
+	for _, pool := range access {
+		n := scpool.ProduceBatch(pool, &p.state, rem)
+		rem = rem[n:]
+		if len(rem) == 0 {
+			return len(ts)
+		}
+		if tr != nil {
+			tr.OnProduceFail(telemetry.ProduceEvent{
+				Producer: p.state.ID, Node: p.state.Node, Pool: pool.OwnerID()})
+		}
+	}
+	p.state.Ops.SaturatedPuts.Inc()
+	return len(ts) - len(rem)
+}
+
 // Ops returns this producer's operation counters.
 func (p *Producer[T]) Ops() stats.Snapshot { return p.state.Ops.Snapshot() }
 
@@ -371,10 +448,16 @@ type Consumer[T any] struct {
 	ep      *epoch[T]
 	victims []scpool.SCPool[T]
 
-	// departed is set when this consumer retires or is killed; the Get
-	// family panics afterwards (using a dead handle is a bug, not a
-	// race to lose tasks on).
+	// departed is set when this consumer retires or is killed. Using a
+	// retired handle panics (a bug, not a race to lose tasks on); a
+	// *killed* handle instead soft-fails — killed is set first, and the
+	// Get family returns empty. The distinction matters because a kill
+	// can fire from inside the victim's own retrieval (a failpoint in a
+	// steal window calling KillConsumer): the in-flight call must be
+	// able to unwind through its retry loop and report empty, not panic
+	// out of the middle of the data plane.
 	departed atomic.Bool
+	killed   atomic.Bool
 
 	// steal-order state (single-owner, like the handle itself)
 	rrNext int
@@ -400,7 +483,7 @@ func (c *Consumer[T]) refresh() *epoch[T] {
 }
 
 func (c *Consumer[T]) checkLive() {
-	if c.departed.Load() {
+	if c.departed.Load() && !c.killed.Load() {
 		panic(fmt.Sprintf("framework: consumer %d handle used after retirement", c.state.ID))
 	}
 }
@@ -425,13 +508,25 @@ func (c *Consumer[T]) Get() (*T, bool) {
 }
 
 func (c *Consumer[T]) get() (*T, bool) {
+	var bo backoff.Backoff
 	for {
 		if t, ok := c.tryOnce(); ok {
 			return t, true
 		}
+		if c.killed.Load() {
+			return nil, false // crashed mid-retrieval: unwind as empty
+		}
 		if c.fw.cfg.NonLinearizableEmpty || c.checkEmpty() {
 			c.state.Ops.GetsEmpty.Inc()
 			return nil, false
+		}
+		// checkEmpty refuting emptiness means some operation is in
+		// flight; pause with escalation rather than spin the retry hot.
+		// Unbounded hot retries livelock under GOMAXPROCS=1: the spinner
+		// can monopolize the only P while the in-flight producer or
+		// consumer it waits on never runs to completion.
+		if bo.Pause() {
+			c.state.Ops.Parks.Inc()
 		}
 	}
 }
@@ -453,23 +548,50 @@ func (c *Consumer[T]) TryGet() (*T, bool) {
 	return t, ok
 }
 
-// GetWait retrieves a task, spinning (with escalating yields) through empty
-// periods until a task arrives or stop is closed.
+// GetWait retrieves a task, waiting through empty periods with bounded
+// spin→yield→sleep backoff until a task arrives or stop is closed. A parked
+// waiter wakes within the backoff's max sleep (1ms) of stop closing.
 func (c *Consumer[T]) GetWait(stop <-chan struct{}) (*T, bool) {
 	c.checkLive()
-	spins := 0
+	var bo backoff.Backoff
 	for {
 		if t, ok := c.tryOnce(); ok {
 			return t, true
+		}
+		if c.killed.Load() {
+			return nil, false // crashed mid-retrieval: unwind as empty
 		}
 		select {
 		case <-stop:
 			return nil, false
 		default:
 		}
-		spins++
-		if spins > 64 {
-			runtime.Gosched()
+		if bo.Pause() {
+			c.state.Ops.Parks.Inc()
+		}
+	}
+}
+
+// GetContext retrieves a task, waiting like GetWait until one arrives or
+// ctx is cancelled (its deadline counts). Returns ctx.Err() on
+// cancellation and ErrKilled if the consumer is declared crashed while
+// waiting. A parked waiter observes cancellation within the backoff's max
+// sleep (1ms).
+func (c *Consumer[T]) GetContext(ctx context.Context) (*T, error) {
+	c.checkLive()
+	var bo backoff.Backoff
+	for {
+		if t, ok := c.tryOnce(); ok {
+			return t, nil
+		}
+		if c.killed.Load() {
+			return nil, ErrKilled
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if bo.Pause() {
+			c.state.Ops.Parks.Inc()
 		}
 	}
 }
@@ -554,13 +676,20 @@ func (c *Consumer[T]) GetBatch(dst []*T) int {
 }
 
 func (c *Consumer[T]) getBatch(dst []*T) int {
+	var bo backoff.Backoff
 	for {
 		if n := c.tryBatchOnce(dst); n > 0 {
 			return n
 		}
+		if c.killed.Load() {
+			return 0 // crashed mid-retrieval: unwind as empty
+		}
 		if c.fw.cfg.NonLinearizableEmpty || c.checkEmpty() {
 			c.state.Ops.GetsEmpty.Inc()
 			return 0
+		}
+		if bo.Pause() { // see get(): bounded backoff, not a hot retry
+			c.state.Ops.Parks.Inc()
 		}
 	}
 }
@@ -630,6 +759,13 @@ func (c *Consumer[T]) checkEmpty() bool {
 	n := len(ep.pools)
 	tr := c.state.Tracer
 	for i := 0; i < n; i++ {
+		if i > 0 {
+			// Widens the window between indicator planting and the later
+			// verification rounds so chaos schedules can interleave a
+			// produce or steal that must clear the bit and refute
+			// emptiness.
+			failpoint.Inject(failpoint.CheckEmptyBetweenScans, c.state.ID)
+		}
 		for _, p := range ep.pools {
 			if i == 0 {
 				p.SetIndicator(c.state.ID)

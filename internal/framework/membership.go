@@ -3,6 +3,7 @@ package framework
 import (
 	"fmt"
 
+	"salsa/internal/failpoint"
 	"salsa/internal/membership"
 	"salsa/internal/scpool"
 	"salsa/internal/telemetry"
@@ -240,7 +241,19 @@ func (fw *Framework[T]) depart(id int, kind telemetry.MembershipKind) error {
 	}
 	fw.sparesDrained.Add(int64(drained))
 
+	// killed must be raised before departed: checkLive panics on a departed
+	// handle unless it is killed, and a kill can fire from inside the
+	// victim's own retrieval (a failpoint hook calling KillConsumer), which
+	// must unwind as empty rather than observe a departed/!killed window.
+	if kind == telemetry.MemberCrashed {
+		fw.consumers[id].killed.Store(true)
+	}
 	fw.consumers[id].departed.Store(true)
+	// Between the registry transition above and the epoch publish below,
+	// producers still route to the abandoned pool and checkEmpty still
+	// scans the old live set; chaos schedules use this window to assert the
+	// straggler-reclaim path.
+	failpoint.Inject(failpoint.MembershipBeforeEpochPublish, id)
 	newEp := fw.buildEpoch(version, ep.placement, ep.pools, abandoned)
 
 	telemetry.EmitMembership(fw.cfg.Tracer, telemetry.MembershipEvent{

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"salsa/internal/chunkpool"
+	"salsa/internal/failpoint"
 	"salsa/internal/indicator"
 	"salsa/internal/scpool"
 	"salsa/internal/telemetry"
@@ -237,6 +238,7 @@ func (p *Pool[T]) insert(ps *scpool.ProducerState, t *T, force bool) bool {
 		sc.chunk = ch
 		sc.prodIdx = 0
 	}
+	failpoint.Inject(failpoint.ProduceBeforePublish, ps.ID)
 	sc.chunk.tasks[sc.prodIdx].Store(t)
 	if hook := p.shared.opts.OnAccess; hook != nil {
 		hook(ps.Node, int(sc.chunk.home.Load()))
@@ -292,6 +294,7 @@ func (p *Pool[T]) ProduceBatch(ps *scpool.ProducerState, ts []*T) int {
 			run = rem
 		}
 		home := int(sc.chunk.home.Load())
+		failpoint.Inject(failpoint.ProduceBeforePublish, ps.ID)
 		for i := 0; i < run; i++ {
 			t := ts[inserted+i]
 			if t == nil {
@@ -393,6 +396,12 @@ func (p *Pool[T]) takeFrom(cs *scpool.ConsumerState, src *Pool[T], cursor int) (
 			t := ch.tasks[idx+1].Load()
 			if t == nil {
 				continue
+			}
+			// In this baseline the index CAS *is* the take, so dying just
+			// before it is always loss-free — there is no announced-but-
+			// untaken window for an after-announce site to model.
+			if failpoint.Fail(failpoint.ConsumeBeforeAnnounce, p.ownerIDv) {
+				return nil, li
 			}
 			cs.Ops.CAS.Inc()
 			if !n.idx.CompareAndSwap(idx, idx+1) {

@@ -99,6 +99,18 @@ type Ops struct {
 	ForcePuts    Counter
 	ForceExpands Counter
 
+	// Parks counts the times a blocking retrieval (Get/GetWait/GetContext
+	// and the executor's worker loop) escalated past spinning and yielding
+	// into a timed sleep — the bounded-backoff pressure signal. A high
+	// park rate means consumers are outrunning producers.
+	Parks Counter
+
+	// SaturatedPuts counts TryPut/TryPutBatch calls (or batch suffixes)
+	// rejected with ErrSaturated because every pool on the access list
+	// refused the insert — the typed backpressure signal, as opposed to
+	// ForcePuts' silent expansion.
+	SaturatedPuts Counter
+
 	// PutBatches and GetBatches count completed batch API calls
 	// (PutBatch/GetBatch invocations that moved at least one task).
 	// BatchFastPath counts tasks retrieved inside a batched CAS-free
@@ -145,6 +157,7 @@ type Snapshot struct {
 	ChunkAllocs, ChunkReuses              int64
 	ProduceFull, ForcePuts, ForceExpands  int64
 	RemoteTransfers, LocalTransfers       int64
+	Parks, SaturatedPuts                  int64
 	PutBatches, GetBatches, BatchFastPath int64
 
 	// Latency histograms, populated only when latency sampling is on.
@@ -168,6 +181,7 @@ func (o *Ops) Snapshot() Snapshot {
 		ProduceFull: o.ProduceFull.Load(), ForcePuts: o.ForcePuts.Load(),
 		ForceExpands:    o.ForceExpands.Load(),
 		RemoteTransfers: o.RemoteTransfers.Load(), LocalTransfers: o.LocalTransfers.Load(),
+		Parks: o.Parks.Load(), SaturatedPuts: o.SaturatedPuts.Load(),
 		PutBatches: o.PutBatches.Load(), GetBatches: o.GetBatches.Load(),
 		BatchFastPath: o.BatchFastPath.Load(),
 		PutLatency:    o.PutLatency.Snapshot(),
@@ -197,6 +211,8 @@ func (s *Snapshot) Add(s2 Snapshot) {
 	s.ForceExpands += s2.ForceExpands
 	s.RemoteTransfers += s2.RemoteTransfers
 	s.LocalTransfers += s2.LocalTransfers
+	s.Parks += s2.Parks
+	s.SaturatedPuts += s2.SaturatedPuts
 	s.PutBatches += s2.PutBatches
 	s.GetBatches += s2.GetBatches
 	s.BatchFastPath += s2.BatchFastPath

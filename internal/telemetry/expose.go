@@ -40,6 +40,11 @@ type Snapshot struct {
 	// in abandoned pools, awaiting steal-reclamation by survivors.
 	OrphanedTasks int64
 
+	// TaskPanics counts tasks that panicked inside an executor worker
+	// (recovered, worker survived). Zero for bare pools — only the
+	// executor's TelemetrySnapshot fills it in.
+	TaskPanics int64
+
 	// Ops is the aggregated per-handle operation census, including the
 	// Put/Get/steal latency histograms when latency sampling is on.
 	Ops stats.Snapshot
@@ -129,6 +134,15 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 	writeCounter(w, "salsa_batch_fastpath_total", "Tasks retrieved on the amortized batch fast path (subset of salsa_fastpath_total).", o.BatchFastPath)
 	writeCounter(w, "salsa_remote_transfers_total", "Task transfers crossing NUMA nodes.", o.RemoteTransfers)
 	writeCounter(w, "salsa_local_transfers_total", "Same-node task transfers.", o.LocalTransfers)
+	writeCounter(w, "salsa_backoff_parks_total",
+		"Blocking retrievals that escalated past spin/yield into a timed sleep (consumers outrunning producers).",
+		o.Parks)
+	writeCounter(w, "salsa_saturated_puts_total",
+		"TryPut/TryPutBatch rejections: every pool on the access list refused the insert.",
+		o.SaturatedPuts)
+	writeCounter(w, "salsa_task_panics_total",
+		"Executor tasks that panicked (recovered; the worker survived).",
+		s.TaskPanics)
 
 	// Elastic membership: the epoch/live gauges come from the framework
 	// (meaningful even without the Collector); the join/retire/crash

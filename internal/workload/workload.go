@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"salsa"
+	"salsa/internal/backoff"
 	"salsa/internal/numasim"
 	"salsa/internal/topology"
 )
@@ -258,14 +259,25 @@ func Run(cfg Config) (Result, error) {
 			}
 			defer c.Close()
 			n := 0
+			// A fruitless pass means the producers are behind. On the
+			// paper's machine an idle consumer spins on its own core; on
+			// a host with fewer cores than threads it must back off —
+			// otherwise the O(consumers×producers) steal scans of idle
+			// consumers crowd out the very producers they are waiting
+			// for and invert every throughput curve. The escalating
+			// pause (rather than an unconditional Gosched) also bounds
+			// idle CPU when the stop flag is the only thing left to
+			// observe.
+			var bo backoff.Backoff
 			if b := cfg.Batch; b > 1 {
 				buf := make([]*Task, b)
 				for !stop.Load() {
 					if got := c.TryGetBatch(buf); got > 0 {
 						n += got
+						bo.Reset()
 						continue
 					}
-					runtime.Gosched() // fruitless pass: hand the CPU over
+					bo.Pause()
 				}
 				consumed.Add(int64(n))
 				return
@@ -273,16 +285,10 @@ func Run(cfg Config) (Result, error) {
 			for !stop.Load() {
 				if _, ok := c.TryGet(); ok {
 					n++
+					bo.Reset()
 					continue
 				}
-				// A fruitless pass means the producers are behind. On
-				// the paper's machine an idle consumer spins on its
-				// own core; on a host with fewer cores than threads it
-				// must hand the CPU over at once — otherwise the
-				// O(consumers×producers) steal scans of idle consumers
-				// crowd out the very producers they are waiting for
-				// and invert every throughput curve.
-				runtime.Gosched()
+				bo.Pause()
 			}
 			consumed.Add(int64(n))
 		}(ci)
@@ -388,15 +394,18 @@ func RunFixed(cfg Config, tasksPerProducer int) (Result, error) {
 			if cfg.Batch > 1 {
 				buf = make([]*Task, cfg.Batch)
 			}
+			var bo backoff.Backoff
 			for consumed.Load() < total {
 				wasDone := done.Load()
 				if buf != nil {
 					if n := c.GetBatch(buf); n > 0 {
 						consumed.Add(int64(n))
+						bo.Reset()
 						continue
 					}
 				} else if _, ok := c.Get(); ok {
 					consumed.Add(1)
+					bo.Reset()
 					continue
 				}
 				if wasDone && consumed.Load() >= total {
@@ -409,12 +418,14 @@ func RunFixed(cfg Config, tasksPerProducer int) (Result, error) {
 						return
 					}
 				}
-				// Observed empty with production still running: yield
+				// Observed empty with production still running: back off
 				// instead of re-probing at once — same rationale as the
 				// timed loop above; on hosts with fewer cores than
 				// threads a spinning emptiness probe starves the very
-				// producers it is waiting for.
-				runtime.Gosched()
+				// producers it is waiting for, and under GOMAXPROCS=1 a
+				// pure yield loop can run in lockstep with another
+				// yielding waiter forever.
+				bo.Pause()
 			}
 		}(ci)
 	}

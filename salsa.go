@@ -496,6 +496,9 @@ func (p *Pool[T]) KillConsumer(id int) error {
 	if err := p.fw.KillConsumer(id); err != nil {
 		return err
 	}
+	// killed before closed: a retrieval racing the kill must fall into the
+	// soft-fail path (report empty), never the closed panic.
+	p.consumers[id].killed.Store(true)
 	p.consumers[id].closed.Store(true) // leak the hazard record, by design
 	return nil
 }
