@@ -9,7 +9,9 @@
 // runs long enough to make progress, and on a loaded machine it burns a
 // core to poll a condition that changes at millisecond scale. The paper's
 // algorithms are lock-free, so any single retry is cheap; the policy
-// question is purely how long to stay hot.
+// question is purely how long to stay hot. Loops that must not sleep at
+// all — retries inside a nominally non-blocking operation — cap the
+// escalation at the yield phase with YieldOnly.
 //
 // The escalation is the classic three-phase design. The first Spins
 // attempts return immediately (the condition usually flips within
@@ -51,6 +53,17 @@ type Backoff struct {
 	MinSleep time.Duration
 	MaxSleep time.Duration
 
+	// YieldOnly caps the escalation at the yield phase: attempts past
+	// Spins+Yields keep yielding instead of parking in timed sleeps, so
+	// Pause never reports a park. This is for callers whose contract is
+	// non-blocking-but-bounded — framework Get/GetBatch retry only while
+	// checkEmpty refutes emptiness, and a millisecond sleep there would
+	// turn a linearizable-emptiness probe into a latency spike — while
+	// the yields still fix the GOMAXPROCS=1 livelock. Explicitly
+	// blocking waits (GetWait/GetContext, executor workers) leave it
+	// false and park.
+	YieldOnly bool
+
 	attempts int
 	sleep    time.Duration
 	parks    int64
@@ -80,6 +93,9 @@ func (b *Backoff) Pause() (parked bool) {
 	case b.attempts <= b.Spins:
 		return false
 	case b.attempts <= b.Spins+b.Yields:
+		runtime.Gosched()
+		return false
+	case b.YieldOnly:
 		runtime.Gosched()
 		return false
 	default:

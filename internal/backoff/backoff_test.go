@@ -39,6 +39,39 @@ func TestSleepDoublesAndSaturates(t *testing.T) {
 	}
 }
 
+// TestYieldOnlyNeverParks: with YieldOnly the escalation caps at the yield
+// phase — no attempt ever sleeps, so no park is reported and a nominally
+// non-blocking caller (framework Get/GetBatch) keeps its latency bound.
+func TestYieldOnlyNeverParks(t *testing.T) {
+	b := &Backoff{Spins: 2, Yields: 2, MinSleep: time.Microsecond, MaxSleep: time.Microsecond, YieldOnly: true}
+	for i := 0; i < 50; i++ {
+		if b.Pause() {
+			t.Fatalf("YieldOnly attempt %d parked", i)
+		}
+	}
+	if got := b.Parks(); got != 0 {
+		t.Fatalf("Parks = %d, want 0 under YieldOnly", got)
+	}
+}
+
+// TestYieldOnlySingleProcProgress: the yield cap must preserve the
+// GOMAXPROCS=1 livelock fix — past-phase attempts still Gosched.
+func TestYieldOnlySingleProcProgress(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	var ready atomic.Bool
+	go func() {
+		ready.Store(true)
+	}()
+	b := &Backoff{YieldOnly: true}
+	deadline := time.Now().Add(5 * time.Second)
+	for !ready.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("YieldOnly waiter starved the signaling goroutine on GOMAXPROCS=1")
+		}
+		b.Pause()
+	}
+}
+
 func TestResetRestartsSpinPhase(t *testing.T) {
 	b := &Backoff{Spins: 2, Yields: 1, MinSleep: time.Microsecond, MaxSleep: time.Microsecond}
 	for i := 0; i < 10; i++ {

@@ -193,9 +193,15 @@ func (p *Pool[T]) drainRun(cs *scpool.ConsumerState, sc *consScratch[T], n *node
 			sc.rec.Clear(hzConsume)
 			return taken
 		}
-		if ownerID(ch.owner.Load()) != p.ownerIDv { // re-check (line 91)
-			// A steal raced the run: single-task slow path for the one
-			// announced slot (line 95) — we may take at most it, by CAS.
+		// Re-check (line 91), extended with the consumer's own departed
+		// flag: a consumer killed asynchronously mid-run must stop
+		// plain-storing — its chunks are already rescue-eligible — and
+		// may finish only the one announced slot, by CAS, capping what a
+		// killed-but-running consumer claims per call at the same single
+		// slot as the crash model's takeTask bound.
+		if ownerID(ch.owner.Load()) != p.ownerIDv || p.selfDeparted.Load() {
+			// A steal raced the run (or this owner was killed): single-
+			// task slow path for the one announced slot (line 95).
 			cs.Ops.SlowPath.Inc()
 			cs.Ops.CAS.Inc()
 			if ch.tasks[idx+1].p.CompareAndSwap(task, p.shared.taken) {

@@ -105,7 +105,14 @@ func (p *Pool[T]) takeTask(cs *scpool.ConsumerState, sc *consScratch[T], n *node
 	if failpoint.Fail(failpoint.ConsumeAfterAnnounce, p.ownerIDv) {
 		return nil
 	}
-	if ownerID(ch.owner.Load()) == p.ownerIDv { // still ours: fast path (line 91)
+	// Post-announce re-check (line 91), extended with our own departed
+	// flag: a *killed* consumer keeps running (KillConsumer assumes no
+	// cooperation), and the instant its id is departed its chunks are
+	// rescue-eligible — a rescuer may republish this chunk and thieves
+	// may race this very slot, so a departed owner must commit by CAS,
+	// never by plain store.
+	if ownerID(ch.owner.Load()) == p.ownerIDv && !p.selfDeparted.Load() {
+		// Still ours: fast path (line 91).
 		next := p.peekNext(ch, idx+2)
 		ch.tasks[idx+1].p.Store(p.shared.taken) // line 92
 		cs.Ops.FastPath.Inc()
@@ -113,9 +120,9 @@ func (p *Pool[T]) takeTask(cs *scpool.ConsumerState, sc *consScratch[T], n *node
 		p.checkLast(cs, sc, n, ch, idx+1, next, hzConsume) // line 93
 		return task
 	}
-	// The chunk was stolen between the announce and the re-check; we may
-	// take at most this one task, and only by CAS (line 95), because the
-	// thief may race us for the same slot.
+	// The chunk was stolen between the announce and the re-check (or this
+	// owner was killed mid-take); we may take at most this one task, and
+	// only by CAS (line 95), because a thief may race us for the same slot.
 	cs.Ops.SlowPath.Inc()
 	success := false
 	if task != p.shared.taken {

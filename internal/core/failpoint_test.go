@@ -203,6 +203,186 @@ func TestFailpointKillAfterAnnounceForfeitsExactlyAnnouncedSlots(t *testing.T) {
 	assertStablyEmpty(t, csSurv.ID, owner, survivor)
 }
 
+// TestRescueHonorsDepartedOwnerInFlightAnnounce reconstructs the
+// asynchronous-kill double-take: consumer V steals chunk C from O and keeps
+// consuming it; a stale node in O's list still references C (the
+// two-referring-nodes window between Algorithm 5 lines 131 and 132, which a
+// slow thief can observe long after it closes); V is killed mid-take with a
+// slot announced only on its replacement node; then thief T rescues C
+// through the stale node. The rescue must republish past V's in-flight
+// announce — republishing at the stale node's frozen index would let a
+// thief CAS the announced slot's still-live task while V's pending plain
+// store also commits it, delivering the task twice. The announced slot
+// belongs to V: thieves never touch it, V may still complete it.
+func TestRescueHonorsDepartedOwnerInFlightAnnounce(t *testing.T) {
+	if !failpoint.Compiled {
+		t.Skip("requires failpoints (built with salsa_nofailpoint)")
+	}
+	const chunkSize = 8
+	s := newFamily(t, chunkSize, 3)
+	orig := mkPool(t, s, 0, 1)    // O: the chunk's first owner
+	vic := mkPool(t, s, 1, 1)     // V: steals C, is killed mid-take
+	rescuer := mkPool(t, s, 2, 1) // T: rescues C through the stale node
+	ps := prod(0)
+
+	tasks := make([]*task, chunkSize)
+	for i := range tasks {
+		tasks[i] = &task{id: i}
+		orig.ProduceForce(ps, tasks[i])
+	}
+	// Locate C and O's node referencing it before the steal supersedes it.
+	var stale *node[task]
+	var ch *Chunk[task]
+	for _, l := range orig.lists {
+		for e := l.first(); e != nil; e = e.next.Load() {
+			if n := e.node.Load(); n.chunk.Load() != nil {
+				stale, ch = n, n.chunk.Load()
+			}
+		}
+	}
+	if stale == nil {
+		t.Fatal("no listed chunk after producing")
+	}
+
+	// V steals C (taking slot 0) and consumes slots 1-3 on the fast path.
+	csVic := cons(1)
+	if got := vic.Steal(csVic, orig); got != tasks[0] {
+		t.Fatalf("victim's steal returned %v, want task 0", got)
+	}
+	for i := 1; i <= 3; i++ {
+		if got := vic.Consume(csVic); got != tasks[i] {
+			t.Fatalf("victim Consume returned %v, want task %d", got, i)
+		}
+	}
+	// Reconstruct the stale-node view a slow thief can hold: the steal
+	// cleared O's node (line 132), but a thief that validated it under a
+	// hazard before the clear still acts through it.
+	if stale.chunk.Load() != nil {
+		t.Fatal("victim's steal did not clear the superseded node")
+	}
+	stale.chunk.Store(ch)
+
+	// V announces slot 4 and is killed before committing it: the announce
+	// lives only on V's replacement node, in V's own steal list. Exactly
+	// one announce: the first take dies after announcing, and every retry
+	// Consume makes on the way out dies loss-free before announcing.
+	defer failpoint.Reset()
+	announced := false
+	failpoint.Set(failpoint.ConsumeBeforeAnnounce, func(_ failpoint.Site, id int) bool {
+		return id == vic.OwnerID() && announced
+	})
+	failpoint.Set(failpoint.ConsumeAfterAnnounce, func(_ failpoint.Site, id int) bool {
+		if id != vic.OwnerID() || announced {
+			return false
+		}
+		announced = true
+		return true
+	})
+	if got := vic.Consume(csVic); got != nil {
+		t.Fatalf("dying victim still returned task %d", got.id)
+	}
+	failpoint.Clear(failpoint.ConsumeBeforeAnnounce)
+	failpoint.Clear(failpoint.ConsumeAfterAnnounce)
+	vic.Abandon()
+
+	// T rescues C through the stale node. The republished index must cover
+	// V's announce: the first task T can reach is slot 5, never slot 4.
+	csRes := cons(2)
+	got := rescuer.Steal(csRes, orig)
+	if got == nil {
+		t.Fatal("rescue steal through the stale node found no task (republished at the frozen index?)")
+	}
+	if got == tasks[4] {
+		t.Fatal("rescue steal delivered the victim's announced slot")
+	}
+	if got != tasks[5] {
+		t.Fatalf("rescue steal returned task %d, want 5 (first slot past the announce)", got.id)
+	}
+	seen := map[int]int{got.id: 1}
+	for i := 0; i < 100; i++ {
+		tk := rescuer.Consume(csRes)
+		if tk == nil {
+			tk = rescuer.Steal(csRes, orig)
+		}
+		if tk == nil {
+			tk = rescuer.Steal(csRes, vic)
+		}
+		if tk == nil {
+			break
+		}
+		if tk == tasks[4] {
+			t.Fatal("the victim's announced slot was delivered by a thief")
+		}
+		if seen[tk.id] > 0 {
+			t.Fatalf("task %d delivered twice", tk.id)
+		}
+		seen[tk.id]++
+	}
+	if len(seen) != 3 { // slots 5..7
+		t.Fatalf("rescuer recovered %d tasks, want 3", len(seen))
+	}
+	// The announced slot is still V's: its task pointer was never CASed, so
+	// V's delayed commit (the plain store it was killed in front of) lands
+	// on a live slot and the task is delivered exactly once — by V.
+	if got := ch.tasks[4].p.Load(); got != tasks[4] {
+		t.Fatalf("announced slot no longer holds its task (got %v)", got)
+	}
+}
+
+// TestDepartedOwnerCommitsByCAS: once its id is departed, a still-running
+// owner's takes must leave the plain-store fast path — its chunks are
+// rescue-eligible, so every commit has to win a CAS a racing thief could
+// contend. Covers both takeTask (Consume) and drainRun (ConsumeBatch).
+func TestDepartedOwnerCommitsByCAS(t *testing.T) {
+	const chunkSize, total = 4, 12
+	s := newFamily(t, chunkSize, 2)
+	p := mkPool(t, s, 0, 1)
+	ps, cs := prod(0), cons(0)
+
+	tasks := make([]*task, total)
+	for i := range tasks {
+		tasks[i] = &task{id: i}
+		p.ProduceForce(ps, tasks[i])
+	}
+	if got := p.Consume(cs); got == nil {
+		t.Fatal("Consume before departure returned nil")
+	}
+	if fast := cs.Ops.FastPath.Load(); fast != 1 {
+		t.Fatalf("pre-departure take used FastPath %d times, want 1", fast)
+	}
+
+	p.Abandon() // the owner keeps running: KillConsumer is uncooperative
+
+	fastBefore := cs.Ops.FastPath.Load()
+	seen := make(map[int]int)
+	dst := make([]*task, 3)
+	if n := p.ConsumeBatch(cs, dst); n != len(dst) {
+		t.Fatalf("departed ConsumeBatch returned %d, want %d", n, len(dst))
+	}
+	for _, tk := range dst {
+		seen[tk.id]++
+	}
+	for {
+		tk := p.Consume(cs)
+		if tk == nil {
+			break
+		}
+		if seen[tk.id] > 0 {
+			t.Fatalf("task %d delivered twice", tk.id)
+		}
+		seen[tk.id]++
+	}
+	if len(seen) != total-1 {
+		t.Fatalf("departed owner drained %d tasks, want %d", len(seen), total-1)
+	}
+	if fast := cs.Ops.FastPath.Load(); fast != fastBefore {
+		t.Fatalf("departed owner still used the plain-store fast path (%d new takes)", fast-fastBefore)
+	}
+	if slow := cs.Ops.SlowPath.Load(); slow < int64(total-1) {
+		t.Fatalf("SlowPath = %d, want ≥ %d (every departed take must CAS)", slow, total-1)
+	}
+}
+
 // drainInto steals everything reachable from victim into seen via survivor,
 // failing on duplicates, until seen holds want tasks or the iteration bound
 // trips (which reports tasks lost beyond the scripted budget).

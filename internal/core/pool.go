@@ -77,9 +77,18 @@ type Shared[T any] struct {
 	// or crash) and never cleared — ids are monotonic and not reused.
 	// The steal path's departed-owner rescue reads it (see Steal): a
 	// chunk whose current owner has departed may be claimed with a
-	// fresh-read expected word, because a departed id never consumes or
-	// advances a node index again.
+	// fresh-read expected word. The id's pool (below) may still be
+	// running — KillConsumer needs no cooperation from the victim — so
+	// the rescue must re-read the departed owner's announces and the
+	// owner's own take paths must stop plain-storing once the flag is up
+	// (see Steal's rescue and takeTask/drainRun).
 	departed []atomic.Bool
+
+	// pools[id] is consumer id's pool, registered by NewPool. The rescue
+	// path reads it to re-scan a departed owner's lists for in-flight
+	// announces before republishing a rescued chunk; ids are never
+	// reused, so a slot is written at most once per distinct owner.
+	pools []atomic.Pointer[Pool[T]]
 }
 
 // NewShared validates the options and creates the family context.
@@ -96,6 +105,7 @@ func NewShared[T any](opts Options) (*Shared[T], error) {
 		opts:     opts,
 		taken:    new(T),
 		departed: make([]atomic.Bool, opts.Consumers),
+		pools:    make([]atomic.Pointer[Pool[T]], opts.Consumers),
 	}, nil
 }
 
@@ -109,6 +119,14 @@ func (s *Shared[T]) markDeparted(id int) {
 // ownerDeparted reports whether consumer id has left the family.
 func (s *Shared[T]) ownerDeparted(id int) bool {
 	return id >= 0 && id < len(s.departed) && s.departed[id].Load()
+}
+
+// poolByID returns consumer id's registered pool, or nil.
+func (s *Shared[T]) poolByID(id int) *Pool[T] {
+	if id < 0 || id >= len(s.pools) {
+		return nil
+	}
+	return s.pools[id].Load()
 }
 
 // Taken exposes the TAKEN sentinel for tests; user tasks must never alias it.
@@ -134,9 +152,16 @@ type Pool[T any] struct {
 	ind    *indicator.Indicator
 
 	// abandoned marks a pool whose owner retired or crashed (elastic
-	// membership). Read on the produce paths only; the owner's consume
-	// fast path never touches it (a departed owner no longer consumes).
+	// membership). Read on the produce paths only.
 	abandoned atomic.Bool
+
+	// selfDeparted aliases shared.departed[ownerIDv]. The owner's take
+	// paths read it after every announce: a *killed* owner can still be
+	// running (KillConsumer assumes no cooperation), and the moment its
+	// id is departed its chunks become rescue-eligible, so it must stop
+	// committing takes with plain stores and drop to the single-slot CAS
+	// slow path (see takeTask/drainRun and the rescue in Steal).
+	selfDeparted *atomic.Bool
 }
 
 // NewPool creates the SCPool owned by consumer ownerID running on NUMA node
@@ -157,12 +182,14 @@ func (s *Shared[T]) NewPool(ownerID, ownerNode, producers int) (*Pool[T], error)
 		chunks:    chunkpool.New[Chunk[T]](&s.dom),
 		ind:       indicator.New(s.opts.Consumers),
 	}
+	p.selfDeparted = &s.departed[ownerID]
 	for i := range p.lists {
 		p.lists[i] = newList[T]()
 	}
 	for i := 0; i < s.opts.InitialChunks; i++ {
 		p.chunks.Put(nil, newChunk[T](s.opts.ChunkSize, s.opts.Alloc(ownerNode, ownerNode)))
 	}
+	s.pools[ownerID].Store(p)
 	return p, nil
 }
 

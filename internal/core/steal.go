@@ -69,11 +69,16 @@ func (p *Pool[T]) Steal(cs *scpool.ConsumerState, victimPool scpool.SCPool[T]) *
 		// snapshot — the snapshot discipline above would then reject the
 		// chunk forever: no surviving owner consumes it, no snapshot
 		// ever matches, and IsEmpty keeps reporting tasks nobody can
-		// reach. A fresh-read expected word is safe here, and only here,
-		// because a departed id never consumes or advances a node index
-		// again, so the stale-node double-take the snapshot rule guards
-		// against cannot start; exclusivity among concurrent rescuers
-		// still comes from the single ownership CAS below.
+		// reach. A fresh-read expected word is allowed here, and only
+		// here; exclusivity among concurrent rescuers still comes from
+		// the single ownership CAS below. A departed id is NOT assumed
+		// quiesced — KillConsumer needs no cooperation, so the ex-owner
+		// may still be mid-take with an announce published only on its
+		// own (otherwise unreachable) node. The post-CAS re-scan below
+		// recovers those announces before the chunk is republished, and
+		// the owner's take paths stop plain-storing once their id is
+		// departed (takeTask/drainRun); together these keep the rescue
+		// from re-exposing a slot the ex-owner can still commit.
 		cur := ch.owner.Load()
 		if oid := ownerID(cur); oid == p.ownerIDv || !p.shared.ownerDeparted(oid) {
 			sc.rec.Clear(hzSteal)
@@ -138,7 +143,31 @@ func (p *Pool[T]) Steal(cs *scpool.ConsumerState, victimPool scpool.SCPool[T]) *
 	victim.ind.Clear()
 
 	idx := prevNode.idx.Load() // line 119: re-read after the ownership fence
-	if idx+1 == size {         // line 120: chunk drained while we were stealing
+	if rescued {
+		// The line-119 re-read is the paper's announce handshake: any
+		// take the ex-owner fast-pathed before losing the ownership CAS
+		// is visible in the index the thief re-reads, so the thief never
+		// contends for an announced slot. On a rescue that handshake is
+		// broken — prevNode is a superseded node whose index froze long
+		// ago, while the departed ex-owner's real announce lives on the
+		// replacement node in its OWN lists (an owner only ever consumes
+		// through its own lists), which nothing else references. Re-read
+		// the announce from every node of the departed owner's pool that
+		// still points at this chunk and republish past the highest one.
+		// This is sound for the same reason the paper's re-read is: a
+		// fast-path take's announce precedes its ownership re-check, and
+		// that re-check must have read the pre-rescue owner word (or the
+		// owner would have taken the CAS slow path), so it is ordered
+		// before our CAS and therefore visible to this scan. The covered
+		// slot is treated exactly like a crash-forfeited announce: at
+		// most one task lost, never one duplicated.
+		if dead := p.shared.poolByID(ownerID(oldOwner)); dead != nil {
+			if a := dead.maxAnnouncedIdx(ch); a > idx {
+				idx = a
+			}
+		}
+	}
+	if idx+1 == size { // line 120: chunk drained while we were stealing
 		stealList.remove(myEntry)
 		// Hygiene beyond the paper's pseudo-code: we now own an
 		// exhausted chunk that would otherwise dangle in the victim's
@@ -245,4 +274,25 @@ func (p *Pool[T]) chooseVictimNode(sc *consScratch[T], victim *Pool[T]) *node[T]
 	}
 	sc.stealCursor = (start + 1) % numLists
 	return nil
+}
+
+// maxAnnouncedIdx returns the highest index announced for ch by any node in
+// this pool's lists, or -1 when none references it. The rescue path calls it
+// on a departed owner's pool, after winning the ownership CAS, to honor the
+// ex-owner's in-flight announce (see Steal); the lists are single-writer
+// multi-reader, so a foreign traversal is always safe.
+func (p *Pool[T]) maxAnnouncedIdx(ch *Chunk[T]) int64 {
+	top := int64(-1)
+	for _, l := range p.lists {
+		for e := l.first(); e != nil; e = e.next.Load() {
+			n := e.node.Load()
+			if n.chunk.Load() != ch {
+				continue
+			}
+			if idx := n.idx.Load(); idx > top {
+				top = idx
+			}
+		}
+	}
+	return top
 }

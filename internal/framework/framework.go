@@ -508,7 +508,14 @@ func (c *Consumer[T]) Get() (*T, bool) {
 }
 
 func (c *Consumer[T]) get() (*T, bool) {
-	var bo backoff.Backoff
+	// YieldOnly: Get is not a blocking wait — it retries only while
+	// checkEmpty refutes emptiness — so the backoff escalates to yields
+	// (fixing the GOMAXPROCS=1 livelock where a hot spinner monopolizes
+	// the only P against the in-flight operation it waits on) but never
+	// to timed sleeps: parking here would give a nominally non-sleeping
+	// emptiness probe millisecond latency spikes under contention. The
+	// explicitly blocking GetWait/GetContext paths park.
+	bo := backoff.Backoff{YieldOnly: true}
 	for {
 		if t, ok := c.tryOnce(); ok {
 			return t, true
@@ -520,14 +527,7 @@ func (c *Consumer[T]) get() (*T, bool) {
 			c.state.Ops.GetsEmpty.Inc()
 			return nil, false
 		}
-		// checkEmpty refuting emptiness means some operation is in
-		// flight; pause with escalation rather than spin the retry hot.
-		// Unbounded hot retries livelock under GOMAXPROCS=1: the spinner
-		// can monopolize the only P while the in-flight producer or
-		// consumer it waits on never runs to completion.
-		if bo.Pause() {
-			c.state.Ops.Parks.Inc()
-		}
+		bo.Pause()
 	}
 }
 
@@ -676,7 +676,7 @@ func (c *Consumer[T]) GetBatch(dst []*T) int {
 }
 
 func (c *Consumer[T]) getBatch(dst []*T) int {
-	var bo backoff.Backoff
+	bo := backoff.Backoff{YieldOnly: true} // see get(): yields, never sleeps
 	for {
 		if n := c.tryBatchOnce(dst); n > 0 {
 			return n
@@ -688,9 +688,7 @@ func (c *Consumer[T]) getBatch(dst []*T) int {
 			c.state.Ops.GetsEmpty.Inc()
 			return 0
 		}
-		if bo.Pause() { // see get(): bounded backoff, not a hot retry
-			c.state.Ops.Parks.Inc()
-		}
+		bo.Pause()
 	}
 }
 

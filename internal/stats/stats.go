@@ -99,10 +99,11 @@ type Ops struct {
 	ForcePuts    Counter
 	ForceExpands Counter
 
-	// Parks counts the times a blocking retrieval (Get/GetWait/GetContext
-	// and the executor's worker loop) escalated past spinning and yielding
+	// Parks counts the times a blocking retrieval (GetWait/GetContext and
+	// the executor's worker loop) escalated past spinning and yielding
 	// into a timed sleep — the bounded-backoff pressure signal. A high
-	// park rate means consumers are outrunning producers.
+	// park rate means consumers are outrunning producers. Plain Get and
+	// GetBatch never park: their retries cap at the yield phase.
 	Parks Counter
 
 	// SaturatedPuts counts TryPut/TryPutBatch calls (or batch suffixes)
