@@ -2,7 +2,11 @@
 
 GO ?= go
 
-.PHONY: all build test race race-short race-churn chaos check bench bench-smoke figures stress examples cover clean
+.PHONY: all build test race race-short race-churn chaos dst check bench bench-smoke figures stress examples cover clean
+
+# Coverage floor for `make cover` (total statement coverage, percent).
+# Raise it when coverage rises; never lower it to make a failure go away.
+COVER_FLOOR ?= 72.0
 
 all: build test
 
@@ -35,9 +39,18 @@ race-churn:
 chaos:
 	$(GO) run -race ./cmd/salsa-chaos -rounds 2 -tasks 10000
 
+# Deterministic interleaving explorer over the real pool code: seeded
+# random walk plus PCT priority schedules across the whole scenario matrix
+# (internal/dst). Bounded to a few seconds; a failure prints the seed, the
+# minimized schedule, and a ready-to-paste -replay line.
+dst:
+	$(GO) run ./cmd/salsa-dst -schedules 150 -seed 1
+	$(GO) run ./cmd/salsa-dst -strategy pct -schedules 100 -seed 1
+
 # The full local gate: build + vet + tests + short race pass + membership
-# churn under race + scripted chaos matrix under race + bench smoke.
-check: build test race-short race-churn chaos bench-smoke
+# churn under race + scripted chaos matrix under race + deterministic
+# schedule exploration + coverage floor + bench smoke.
+check: build test race-short race-churn chaos dst cover bench-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -53,9 +66,11 @@ bench-smoke:
 	@rm -f bench_smoke.txt
 
 # Regenerates every figure of the paper's evaluation (§1.6) plus the
-# extended-baseline sweep; writes tables to stdout and CSVs to results/.
+# extended-baseline sweep; writes CSVs to results/ and the human-readable
+# tables to results/figures_output.txt (and stdout).
 figures:
-	$(GO) run ./cmd/salsa-bench -duration 250ms -threads 16 -csv results all ext
+	@mkdir -p results
+	$(GO) run ./cmd/salsa-bench -duration 250ms -threads 16 -csv results all ext | tee results/figures_output.txt
 
 stress:
 	$(GO) run ./cmd/salsa-stress -rounds 20
@@ -68,9 +83,22 @@ examples:
 	$(GO) run ./examples/mapreduce
 	$(GO) run ./examples/metrics
 
+# Coverage gate: per-package and total statement coverage recorded to
+# results/coverage.txt, with the total checked against COVER_FLOOR.
 cover:
-	$(GO) test ./... -coverprofile=cover.out && $(GO) tool cover -func=cover.out | tail -1
+	@mkdir -p results
+	$(GO) test ./... -coverprofile=cover.out
+	$(GO) tool cover -func=cover.out > results/coverage.txt
+	@tail -1 results/coverage.txt
+	@awk -v floor=$(COVER_FLOOR) 'END { \
+		pct = $$NF; sub(/%/, "", pct); \
+		if (pct + 0 < floor + 0) { \
+			printf "coverage %.1f%% is below the floor %.1f%%\n", pct, floor; exit 1 \
+		} \
+		printf "coverage %.1f%% >= floor %.1f%%\n", pct, floor }' results/coverage.txt
 
+# Removes generated scratch files. Deliberately leaves results/ alone: the
+# committed CSVs, coverage.txt, and figures_output.txt live there.
 clean:
 	rm -f cover.out test_output.txt bench_output.txt bench_smoke.txt
-	rm -rf results
+	rm -f salsa-dst salsa-bench salsa-stress salsa-chaos benchjson

@@ -1,0 +1,137 @@
+// Command salsa-dst explores deterministic interleavings of the real pool
+// code (internal/dst). Every run at fixed flags is byte-for-byte
+// reproducible: a failure report prints the seed, the minimized schedule,
+// and a ready-to-paste -replay invocation.
+//
+// Usage:
+//
+//	salsa-dst -list
+//	salsa-dst [-scenario NAME] [-strategy random|pct|dfs] [-seed N]
+//	          [-schedules N] [-max-steps N] [-pct-depth N] [-dfs-depth N] [-v]
+//	salsa-dst -scenario NAME -replay 0,0,1,1,...
+//
+// Exit status 1 when any scenario fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"salsa/internal/dst"
+	"salsa/internal/telemetry"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list scenarios and exit")
+		scenario  = flag.String("scenario", "", "run only this scenario (default: all)")
+		strategy  = flag.String("strategy", "random", "schedule strategy: random, pct, or dfs")
+		seed      = flag.Uint64("seed", 1, "master seed; schedule i derives from (seed, i)")
+		schedules = flag.Int("schedules", 200, "schedules to explore per scenario")
+		maxSteps  = flag.Int("max-steps", 500, "strategy decisions per schedule")
+		pctDepth  = flag.Int("pct-depth", 3, "PCT bug depth d (d-1 priority change points)")
+		dfsDepth  = flag.Int("dfs-depth", 12, "DFS decision-tree depth bound")
+		replay    = flag.String("replay", "", "comma-separated choice list to replay (requires -scenario)")
+		metrics   = flag.Bool("metrics", false, "print explorer counters in Prometheus format after the run")
+		verbose   = flag.Bool("v", false, "log every explored schedule")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, sc := range dst.Scenarios() {
+			fmt.Printf("%-20s %s\n", sc.Name, sc.Doc)
+		}
+		return
+	}
+
+	scenarios := dst.Scenarios()
+	if *scenario != "" {
+		sc, ok := dst.ScenarioByName(*scenario)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "salsa-dst: unknown scenario %q (try -list)\n", *scenario)
+			os.Exit(2)
+		}
+		scenarios = []dst.Scenario{sc}
+	}
+
+	if *replay != "" {
+		if len(scenarios) != 1 {
+			fmt.Fprintln(os.Stderr, "salsa-dst: -replay requires -scenario")
+			os.Exit(2)
+		}
+		os.Exit(runReplay(scenarios[0], *replay, *maxSteps))
+	}
+
+	opts := dst.Options{
+		Strategy:  *strategy,
+		Seed:      *seed,
+		Schedules: *schedules,
+		MaxSteps:  *maxSteps,
+		PCTDepth:  *pctDepth,
+		DFSDepth:  *dfsDepth,
+	}
+	if *verbose {
+		opts.Log = os.Stdout
+	}
+
+	failed := 0
+	for _, sc := range scenarios {
+		rep := dst.Explore(sc, opts)
+		if rep.Failure != nil {
+			failed++
+			f := rep.Failure
+			fmt.Printf("FAIL %-20s strategy=%s seed=0x%x schedule=%d err=%q\n",
+				rep.Scenario, rep.Strategy, rep.Seed, f.Schedule, f.Err)
+			fmt.Printf("  minimized schedule (%d choices):\n%s", len(f.Choices), dst.FormatTrace(f.MinTrace))
+			fmt.Printf("  replay: salsa-dst -scenario %s -replay %s\n", sc.Name, f.ReplayArg())
+			continue
+		}
+		extra := ""
+		if rep.Exhausted {
+			extra = " exhausted=true"
+		}
+		fmt.Printf("ok   %-20s strategy=%s seed=0x%x schedules=%d steps=%d parks=%d capped=%d%s\n",
+			rep.Scenario, rep.Strategy, rep.Seed, rep.Schedules, rep.Steps, rep.Parks, rep.Capped, extra)
+	}
+	if *metrics {
+		telemetry.WriteDSTPrometheus(os.Stdout)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func runReplay(sc dst.Scenario, arg string, maxSteps int) int {
+	choices, err := parseChoices(arg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "salsa-dst: bad -replay list: %v\n", err)
+		return 2
+	}
+	ctl, verr := dst.Replay(sc, choices, maxSteps)
+	fmt.Printf("replay %s (%d choices, %d steps):\n%s", sc.Name, len(choices), ctl.Steps(), dst.FormatTrace(ctl.Trace()))
+	if verr != nil {
+		fmt.Printf("FAIL %s: %v\n", sc.Name, verr)
+		return 1
+	}
+	fmt.Printf("ok   %s\n", sc.Name)
+	return 0
+}
+
+func parseChoices(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -27,6 +27,7 @@ package backoff
 
 import (
 	"runtime"
+	"sync/atomic"
 	"time"
 )
 
@@ -71,10 +72,18 @@ type Backoff struct {
 
 func (b *Backoff) defaults() {
 	if b.Spins == 0 {
-		b.Spins = DefaultSpins
+		if v := overrideSpins.Load(); v > 0 {
+			b.Spins = int(v)
+		} else {
+			b.Spins = DefaultSpins
+		}
 	}
 	if b.Yields == 0 {
-		b.Yields = DefaultYields
+		if v := overrideYields.Load(); v > 0 {
+			b.Yields = int(v)
+		} else {
+			b.Yields = DefaultYields
+		}
 	}
 	if b.MinSleep == 0 {
 		b.MinSleep = DefaultMinSleep
@@ -84,11 +93,70 @@ func (b *Backoff) defaults() {
 	}
 }
 
+// PauseInfo describes one Pause decision to the registered observer.
+type PauseInfo struct {
+	// Attempt is the 1-based attempt count since the last Reset.
+	Attempt int
+	// WouldSleep reports that the attempt is past the spin and yield
+	// phases — the point where a default backoff parks in a timed sleep.
+	// A YieldOnly backoff caps the escalation here instead of sleeping.
+	WouldSleep bool
+	// YieldOnly mirrors the Backoff's cap.
+	YieldOnly bool
+}
+
+// PauseObserver intercepts Pause: while one is registered, Pause performs no
+// spinning, yielding, or sleeping of its own — the observer is expected to
+// surrender control instead (the schedule controller parks the goroutine and
+// wakes it deterministically). Park accounting (Parks, the return value of
+// Pause) is unchanged, so callers' telemetry still sees would-be sleeps.
+type PauseObserver func(PauseInfo)
+
+var (
+	pauseObs atomic.Pointer[PauseObserver]
+
+	// overrideSpins/overrideYields replace the zero-value defaults when
+	// positive; see SetTestDefaults. Consulted only on a Backoff's first
+	// Pause (defaults fill once), so the steady-state cost is zero.
+	overrideSpins  atomic.Int32
+	overrideYields atomic.Int32
+)
+
+// SetPauseObserver registers f as the process-wide Pause interceptor; nil
+// unregisters. Control-plane only: the schedule controller brackets its runs
+// with it, and nothing else should touch it.
+func SetPauseObserver(f PauseObserver) {
+	if f == nil {
+		pauseObs.Store(nil)
+		return
+	}
+	pauseObs.Store(&f)
+}
+
+// SetTestDefaults overrides the zero-value Spins/Yields defaults process-wide
+// (non-positive restores the normal defaults). The schedule explorer shrinks
+// the phases so a retry loop reaches the escalation boundaries within a
+// handful of scheduled steps instead of eighty; production code never calls
+// this.
+func SetTestDefaults(spins, yields int) {
+	overrideSpins.Store(int32(spins))
+	overrideYields.Store(int32(yields))
+}
+
 // Pause blocks the caller according to the escalation phase and reports
 // whether it parked (slept) — the signal callers count into telemetry.
 func (b *Backoff) Pause() (parked bool) {
 	b.defaults()
 	b.attempts++
+	if o := pauseObs.Load(); o != nil {
+		wouldSleep := b.attempts > b.Spins+b.Yields
+		(*o)(PauseInfo{Attempt: b.attempts, WouldSleep: wouldSleep, YieldOnly: b.YieldOnly})
+		if wouldSleep && !b.YieldOnly {
+			b.parks++
+			return true
+		}
+		return false
+	}
 	switch {
 	case b.attempts <= b.Spins:
 		return false

@@ -220,7 +220,9 @@ func (p *Pool[T]) drainRun(cs *scpool.ConsumerState, sc *consScratch[T], n *node
 		}
 		// Fast path: peek the successor BEFORE marking (Algorithm 6
 		// needs to know whether this take may have been the last), then
-		// claim the slot with a plain store.
+		// claim the slot with a plain store. Same pre-commit window as
+		// takeTask, per slot.
+		failpoint.Inject(failpoint.ConsumeBeforeCommit, p.ownerIDv)
 		next := p.peekNext(ch, idx+2)
 		ch.tasks[idx+1].p.Store(p.shared.taken) // line 92
 		if hook != nil {

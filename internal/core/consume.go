@@ -112,7 +112,11 @@ func (p *Pool[T]) takeTask(cs *scpool.ConsumerState, sc *consScratch[T], n *node
 	// may race this very slot, so a departed owner must commit by CAS,
 	// never by plain store.
 	if ownerID(ch.owner.Load()) == p.ownerIDv && !p.selfDeparted.Load() {
-		// Still ours: fast path (line 91).
+		// Still ours: fast path (line 91). The re-check has passed but the
+		// plain store below has not happened — the last instant the world
+		// can still move under this take (a kill declared right here makes
+		// the chunk rescue-eligible while the store is pending).
+		failpoint.Inject(failpoint.ConsumeBeforeCommit, p.ownerIDv)
 		next := p.peekNext(ch, idx+2)
 		ch.tasks[idx+1].p.Store(p.shared.taken) // line 92
 		cs.Ops.FastPath.Inc()

@@ -1,0 +1,26 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"salsa/internal/failpoint"
+)
+
+// debugDisableRescueRescan disables Steal's post-CAS re-scan of a departed
+// ex-owner's in-flight announces (the DESIGN.md §9 rescue-safety fix). It
+// exists ONLY so the schedule explorer can demonstrate that it finds the
+// double-delivery the re-scan prevents (internal/dst's teeth test); nothing
+// outside tests may set it. The read is guarded by failpoint.Compiled, so
+// salsa_nofailpoint builds constant-fold the toggle away entirely.
+var debugDisableRescueRescan atomic.Bool
+
+// SetDebugDisableRescueRescan toggles the departed-owner rescue re-scan off
+// (true) or back on (false) and returns the previous value. Test-only; has
+// no effect in salsa_nofailpoint builds (see DebugRescueRescanToggleable).
+func SetDebugDisableRescueRescan(disabled bool) bool {
+	return debugDisableRescueRescan.Swap(disabled)
+}
+
+// DebugRescueRescanToggleable reports whether the toggle is compiled in.
+// Tests that need the re-scan disabled skip when this is false.
+func DebugRescueRescanToggleable() bool { return failpoint.Compiled }

@@ -47,6 +47,10 @@ func (p *Pool[T]) Steal(cs *scpool.ConsumerState, victimPool scpool.SCPool[T]) *
 		sc.rec.Clear(hzSteal)
 		return nil
 	}
+	// The node is validated but its ownership word not yet examined: a
+	// thief frozen here can watch the chunk be stolen, consumed, or its
+	// owner depart, and must then survive acting through a stale node.
+	failpoint.Inject(failpoint.StealAfterValidate, p.ownerIDv)
 	// The expected value for the ownership CAS is the owner word as it
 	// was when prevNode was created — NOT a fresh read. A fresh read
 	// admits the three-consumer §1.5.3 variant in which the chunk is
@@ -161,9 +165,11 @@ func (p *Pool[T]) Steal(cs *scpool.ConsumerState, victimPool scpool.SCPool[T]) *
 		// before our CAS and therefore visible to this scan. The covered
 		// slot is treated exactly like a crash-forfeited announce: at
 		// most one task lost, never one duplicated.
-		if dead := p.shared.poolByID(ownerID(oldOwner)); dead != nil {
-			if a := dead.maxAnnouncedIdx(ch); a > idx {
-				idx = a
+		if !(failpoint.Compiled && debugDisableRescueRescan.Load()) {
+			if dead := p.shared.poolByID(ownerID(oldOwner)); dead != nil {
+				if a := dead.maxAnnouncedIdx(ch); a > idx {
+					idx = a
+				}
 			}
 		}
 	}

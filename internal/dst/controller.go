@@ -1,0 +1,306 @@
+// Package dst is a deterministic-schedule explorer for the real pool code.
+//
+// The model checker (internal/modelcheck) proves the algorithm's abstract
+// transition system; chaos and stress runs hammer the real code but leave
+// interleavings to the OS scheduler. This package closes the gap in the
+// style of FoundationDB-simulation and CHESS/PCT testing: scenario
+// goroutines run the REAL internal/core + internal/framework paths, but a
+// Controller serializes them — exactly one registered goroutine runs at a
+// time, and every failpoint site visit (failpoint.SetObserver), every
+// backoff pause (backoff.SetPauseObserver), and every explicit
+// Controller.Yield parks the running goroutine and hands control back. A
+// Strategy then picks the next goroutine: a seeded random walk, a PCT
+// priority schedule, a bounded exhaustive DFS, or a verbatim replay of a
+// recorded choice list. Same seed ⇒ same choices ⇒ byte-identical schedule,
+// so any failure an exploration finds is replayable and shrinkable.
+//
+// What this can and cannot prove: unlike modelcheck, dst executes real Go
+// memory operations, so it only explores interleavings at the declared
+// yield points — instruction-level races between two points are invisible
+// (that is the race detector's job), and real state cannot be memoized, so
+// the DFS re-executes the scenario from scratch per schedule instead of
+// hashing states. In exchange, every bug it finds is a bug in the shipped
+// code, not the model. See DESIGN.md §10.
+package dst
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"salsa/internal/backoff"
+	"salsa/internal/failpoint"
+)
+
+// runMu serializes whole Controller runs: the failpoint observer and the
+// backoff pause observer are process-wide, so only one controlled run may
+// exist at a time.
+var runMu sync.Mutex
+
+// Step records one scheduler decision: goroutine G (by spawn order) was
+// granted control and ran until it parked at Site ("done" when it finished).
+type Step struct {
+	G    int
+	Name string
+	Site string
+}
+
+func (s Step) String() string { return fmt.Sprintf("%s@%s", s.Name, s.Site) }
+
+// FormatTrace renders a schedule as a numbered, human-readable step list.
+func FormatTrace(trace []Step) string {
+	var b strings.Builder
+	for i, s := range trace {
+		fmt.Fprintf(&b, "  %3d. g%d %s\n", i+1, s.G, s.String())
+	}
+	return b.String()
+}
+
+type goroutineState struct {
+	id     int
+	name   string
+	resume chan struct{}
+	done   bool
+	site   string
+}
+
+// Controller serializes a set of spawned goroutines over the real pool
+// code. Usage: construct, Spawn the scenario goroutines (they stay parked),
+// then Run — which installs the yield hooks, repeatedly grants one
+// goroutine at a time per the Strategy, and returns once every goroutine
+// has finished. All Controller state may be inspected after Run returns.
+type Controller struct {
+	strategy Strategy
+	maxSteps int
+	watchdog time.Duration
+
+	gs      []*goroutineState
+	handoff chan *goroutineState
+	wg      sync.WaitGroup
+	cur     *goroutineState
+	started bool
+
+	// released flips when the controller stops scheduling (watchdog
+	// abort): parked goroutines are freed to run to completion
+	// unserialized, purely so Run can clean up and report.
+	released bool
+	relMu    sync.Mutex
+
+	panicMu sync.Mutex
+	panics  []string
+
+	// Recorded schedule: choices[i] is the goroutine id granted at step
+	// i, widths[i] how many goroutines were runnable at that decision —
+	// the branching factor the DFS enumerates. trace adds the yield-point
+	// labels for human consumption.
+	choices []int
+	widths  []int
+	trace   []Step
+	steps   int
+
+	// Backoff census for the whole run: would-sleep pauses from parking
+	// backoffs (parks) and from YieldOnly backoffs capped at the yield
+	// phase (capped). A scenario asserting "this path never sleeps"
+	// checks parks == 0 and uses capped as proof the boundary was hit.
+	parks  int
+	capped int
+}
+
+// NewController creates a controller with the given strategy and step
+// budget. Past maxSteps scheduling continues deterministically (lowest
+// runnable id first) until every goroutine finishes, so a schedule is
+// always run to completion; the budget only bounds the strategy's freedom.
+func NewController(strategy Strategy, maxSteps int) *Controller {
+	if maxSteps <= 0 {
+		maxSteps = 10000
+	}
+	return &Controller{
+		strategy: strategy,
+		maxSteps: maxSteps,
+		watchdog: 30 * time.Second,
+		handoff:  make(chan *goroutineState),
+	}
+}
+
+// Spawn registers a scenario goroutine. The function does not start running
+// until Run grants it. Spawn must be called before Run.
+func (c *Controller) Spawn(name string, fn func()) {
+	if c.started {
+		panic("dst: Spawn after Run")
+	}
+	g := &goroutineState{id: len(c.gs), name: name, resume: make(chan struct{}), site: "start"}
+	c.gs = append(c.gs, g)
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		<-g.resume
+		defer func() {
+			if r := recover(); r != nil {
+				c.panicMu.Lock()
+				c.panics = append(c.panics, fmt.Sprintf("%s: %v", g.name, r))
+				c.panicMu.Unlock()
+			}
+			g.done = true
+			g.site = "done"
+			if !c.isReleased() {
+				c.handoff <- g
+			}
+		}()
+		fn()
+	}()
+}
+
+// Yield parks the calling scenario goroutine at an explicitly named
+// scheduling point. Scenario retry loops MUST call it once per iteration:
+// an operation that finds nothing (Consume on an empty pool, Steal with no
+// victim chunk) passes through no failpoint site, and a loop with no yield
+// point runs forever inside a single scheduling step.
+func (c *Controller) Yield(label string) { c.yieldAt(label) }
+
+func (c *Controller) isReleased() bool {
+	c.relMu.Lock()
+	defer c.relMu.Unlock()
+	return c.released
+}
+
+// yieldAt parks the current goroutine and hands control to the run loop.
+// Called from scenario goroutines via the hooks; strict serialization means
+// the caller IS c.cur (only one granted goroutine exists at a time).
+func (c *Controller) yieldAt(label string) {
+	if c.isReleased() {
+		return
+	}
+	g := c.cur
+	if g == nil || g.done {
+		return
+	}
+	g.site = label
+	c.handoff <- g
+	<-g.resume
+}
+
+// BackoffParks returns the number of would-sleep pauses from parking
+// (non-YieldOnly) backoffs observed during Run.
+func (c *Controller) BackoffParks() int { return c.parks }
+
+// BackoffCapped returns the number of would-sleep pauses that YieldOnly
+// backoffs capped at the yield phase during Run.
+func (c *Controller) BackoffCapped() int { return c.capped }
+
+// Choices returns the recorded goroutine-id choice list — the schedule's
+// replayable identity (see ReplayStrategy).
+func (c *Controller) Choices() []int { return append([]int(nil), c.choices...) }
+
+// Widths returns the branching factor at each recorded decision.
+func (c *Controller) Widths() []int { return append([]int(nil), c.widths...) }
+
+// Trace returns the recorded human-readable schedule.
+func (c *Controller) Trace() []Step { return append([]Step(nil), c.trace...) }
+
+// Steps returns the number of scheduler decisions made.
+func (c *Controller) Steps() int { return c.steps }
+
+// Panics returns the recovered panic messages, sorted for determinism.
+func (c *Controller) Panics() []string {
+	c.panicMu.Lock()
+	defer c.panicMu.Unlock()
+	out := append([]string(nil), c.panics...)
+	sort.Strings(out)
+	return out
+}
+
+func (c *Controller) runnable() []int {
+	ids := make([]int, 0, len(c.gs))
+	for _, g := range c.gs {
+		if !g.done {
+			ids = append(ids, g.id)
+		}
+	}
+	return ids
+}
+
+// Run executes the schedule to completion: every spawned goroutine runs
+// until it finishes, one at a time, in the order the strategy dictates.
+func (c *Controller) Run() {
+	if c.started {
+		panic("dst: Run called twice")
+	}
+	c.started = true
+	runMu.Lock()
+	defer runMu.Unlock()
+
+	failpoint.SetObserver(func(site failpoint.Site, id int) {
+		c.yieldAt(site.String())
+	})
+	backoff.SetPauseObserver(func(info backoff.PauseInfo) {
+		if info.WouldSleep {
+			if info.YieldOnly {
+				c.capped++
+			} else {
+				c.parks++
+			}
+		}
+		c.yieldAt("backoff.pause")
+	})
+	defer func() {
+		failpoint.SetObserver(nil)
+		backoff.SetPauseObserver(nil)
+	}()
+
+	for {
+		runnable := c.runnable()
+		if len(runnable) == 0 {
+			break
+		}
+		pick := runnable[0]
+		if c.steps < c.maxSteps && len(c.Panics()) == 0 && c.strategy != nil {
+			p := c.strategy.Pick(c.steps, runnable)
+			for _, id := range runnable {
+				if id == p {
+					pick = p
+					break
+				}
+			}
+		}
+		c.choices = append(c.choices, pick)
+		c.widths = append(c.widths, len(runnable))
+		g := c.gs[pick]
+		c.cur = g
+		g.resume <- struct{}{}
+		got := c.waitHandoff()
+		c.trace = append(c.trace, Step{G: got.id, Name: got.name, Site: got.site})
+		c.steps++
+	}
+	c.wg.Wait()
+}
+
+func (c *Controller) waitHandoff() *goroutineState {
+	timer := time.NewTimer(c.watchdog)
+	defer timer.Stop()
+	select {
+	case g := <-c.handoff:
+		return g
+	case <-timer.C:
+		// The granted goroutine blocked outside the controller's yield
+		// points (a real channel/mutex wait the scenario failed to keep
+		// off the controlled paths). Release everything so Run's cleanup
+		// can proceed, then fail loudly — this is a scenario bug, and the
+		// wall-clock timer never fires on a healthy schedule, so
+		// determinism is unaffected.
+		c.relMu.Lock()
+		c.released = true
+		c.relMu.Unlock()
+		for _, g := range c.gs {
+			if !g.done && g != c.cur {
+				select {
+				case g.resume <- struct{}{}:
+				default:
+				}
+			}
+		}
+		panic(fmt.Sprintf("dst: goroutine %q did not yield or finish within %v (blocked outside controlled yield points?) after\n%s",
+			c.cur.name, c.watchdog, FormatTrace(c.trace)))
+	}
+}

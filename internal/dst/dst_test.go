@@ -1,0 +1,228 @@
+package dst
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"salsa/internal/core"
+)
+
+// TestControllerSerializes drives a toy pair of goroutines with a replay
+// schedule and checks strict serialization: plain (unsynchronized) state is
+// safe because exactly one goroutine runs between yields, and the trace
+// follows the choice list verbatim.
+func TestControllerSerializes(t *testing.T) {
+	var log []string
+	mk := func(ctl *Controller, name string) func() {
+		return func() {
+			for i := 0; i < 3; i++ {
+				ctl.Yield("loop")
+				log = append(log, name)
+			}
+		}
+	}
+	ctl := NewController(NewReplay([]int{0, 1, 0, 1, 0, 1}), 100)
+	ctl.Spawn("a", mk(ctl, "a"))
+	ctl.Spawn("b", mk(ctl, "b"))
+	ctl.Run()
+
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	if !reflect.DeepEqual(log, want) {
+		t.Fatalf("interleaving = %v, want %v", log, want)
+	}
+	if p := ctl.Panics(); len(p) != 0 {
+		t.Fatalf("unexpected panics: %v", p)
+	}
+	if len(ctl.Choices()) != len(ctl.Widths()) || len(ctl.Choices()) != ctl.Steps() {
+		t.Fatalf("choices/widths/steps out of sync: %d/%d/%d",
+			len(ctl.Choices()), len(ctl.Widths()), ctl.Steps())
+	}
+}
+
+// TestExploreDeterministic runs the same exploration twice and demands
+// byte-identical logs and equal reports — the contract that makes a printed
+// seed a complete reproduction recipe.
+func TestExploreDeterministic(t *testing.T) {
+	sc, ok := ScenarioByName("steal-race")
+	if !ok {
+		t.Fatal("scenario missing")
+	}
+	run := func() (Report, []byte) {
+		var buf bytes.Buffer
+		rep := Explore(sc, Options{Strategy: "random", Seed: 0xC0FFEE, Schedules: 25, Log: &buf})
+		return rep, buf.Bytes()
+	}
+	r1, l1 := run()
+	r2, l2 := run()
+	if !bytes.Equal(l1, l2) {
+		t.Fatalf("logs differ between identical explorations:\n--- first\n%s--- second\n%s", l1, l2)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("reports differ: %+v vs %+v", r1, r2)
+	}
+	if r1.Failure != nil {
+		t.Fatalf("steal-race failed unexpectedly: %+v", r1.Failure)
+	}
+}
+
+// TestScenariosCleanUnderRandom sweeps the whole matrix with the default
+// random strategy: the shipped algorithm must hold its conservation
+// invariant on every explored schedule.
+func TestScenariosCleanUnderRandom(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			rep := Explore(sc, Options{Strategy: "random", Seed: 0x5A15A, Schedules: 40})
+			if rep.Failure != nil {
+				t.Fatalf("schedule %d failed: %s\nreplay: -scenario %s -replay %s\n%s",
+					rep.Failure.Schedule, rep.Failure.Err, sc.Name,
+					rep.Failure.ReplayArg(), FormatTrace(rep.Failure.MinTrace))
+			}
+			if rep.Parks != 0 {
+				t.Fatalf("scenario %s parked %d times; DST schedules must never hit a timed sleep", sc.Name, rep.Parks)
+			}
+		})
+	}
+}
+
+// TestScenariosCleanUnderPCT sweeps the matrix with PCT priority schedules,
+// which concentrate on the deep orderings a uniform walk dilutes.
+func TestScenariosCleanUnderPCT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			rep := Explore(sc, Options{Strategy: "pct", Seed: 0xB0BA, Schedules: 40, PCTDepth: 4})
+			if rep.Failure != nil {
+				t.Fatalf("schedule %d failed: %s\n%s",
+					rep.Failure.Schedule, rep.Failure.Err, FormatTrace(rep.Failure.MinTrace))
+			}
+		})
+	}
+}
+
+// TestRescueRescanTeeth proves the explorer has teeth: with the PR-4 rescue
+// re-scan disabled (the shipped fix turned off via the test-only toggle),
+// the bounded DFS must find the double-delivery within its default budget,
+// and the minimized schedule must replay to the same failure. With the fix
+// enabled, the same search comes back clean.
+func TestRescueRescanTeeth(t *testing.T) {
+	if !core.DebugRescueRescanToggleable() {
+		t.Skip("rescue re-scan toggle compiled out (salsa_nofailpoint)")
+	}
+	sc, ok := ScenarioByName("rescue-announce")
+	if !ok {
+		t.Fatal("scenario missing")
+	}
+	opts := Options{Strategy: "dfs", Seed: 1, Schedules: 400, DFSDepth: 10}
+
+	prev := core.SetDebugDisableRescueRescan(true)
+	defer core.SetDebugDisableRescueRescan(prev)
+
+	rep := Explore(sc, opts)
+	if rep.Failure == nil {
+		t.Fatalf("rescue re-scan disabled but DFS found no failure in %d schedules (exhausted=%v)",
+			rep.Schedules, rep.Exhausted)
+	}
+	f := rep.Failure
+	t.Logf("found at schedule %d: %s\nminimized (%d choices): %s\n%s",
+		f.Schedule, f.Err, len(f.Choices), f.ReplayArg(), FormatTrace(f.MinTrace))
+	if len(f.Choices) > len(ctlChoicesUpperBound) {
+		t.Errorf("minimized schedule has %d choices; shrinking should get below %d",
+			len(f.Choices), len(ctlChoicesUpperBound))
+	}
+	// The minimized choice list must reproduce a failure on its own.
+	if _, err := Replay(sc, f.Choices, opts.MaxSteps); err == nil {
+		t.Fatalf("minimized schedule %v did not reproduce the failure", f.Choices)
+	} else if err.Error() != f.MinErr {
+		t.Fatalf("replay error %q != minimized error %q", err, f.MinErr)
+	}
+
+	// And with the shipped fix back on, the very same search is clean.
+	core.SetDebugDisableRescueRescan(false)
+	if rep := Explore(sc, opts); rep.Failure != nil {
+		t.Fatalf("fix enabled but DFS still failed: %s\n%s",
+			rep.Failure.Err, FormatTrace(rep.Failure.MinTrace))
+	}
+}
+
+// ctlChoicesUpperBound bounds the minimized teeth schedule: the critical
+// prefix is one thief step plus eight victim steps; shrinking must not
+// return something wildly larger.
+var ctlChoicesUpperBound = make([]int, 12)
+
+// TestDFSExhaustsToyTree checks the odometer actually enumerates and
+// terminates: a two-goroutine scenario with a tiny depth bound must report
+// Exhausted before the schedule budget runs out.
+func TestDFSExhaustsToyTree(t *testing.T) {
+	sc := Scenario{
+		Name: "toy",
+		Build: func(ctl *Controller) Checker {
+			n := 0
+			for g := 0; g < 2; g++ {
+				ctl.Spawn("g", func() {
+					for i := 0; i < 2; i++ {
+						ctl.Yield("loop")
+						n++
+					}
+				})
+			}
+			return func(*Controller) error { return nil }
+		},
+	}
+	rep := Explore(sc, Options{Strategy: "dfs", Schedules: 100, DFSDepth: 3})
+	if !rep.Exhausted {
+		t.Fatalf("depth-3 toy tree not exhausted in %d schedules", rep.Schedules)
+	}
+	// Depth 3 over width ≤ 2 decisions: at most 2^3 = 8 distinct prefixes.
+	if rep.Schedules > 8 {
+		t.Fatalf("toy tree took %d schedules, want ≤ 8", rep.Schedules)
+	}
+}
+
+// TestShrinkMinimizes checks the shrinker on a synthetic always-fails-late
+// scenario: a failure triggered by a counter must shrink to at most the
+// choices that matter.
+func TestShrinkMinimizes(t *testing.T) {
+	sc := Scenario{
+		Name: "synthetic",
+		Build: func(ctl *Controller) Checker {
+			hits := 0
+			ctl.Spawn("a", func() {
+				for i := 0; i < 6; i++ {
+					ctl.Yield("a")
+				}
+			})
+			ctl.Spawn("b", func() {
+				for i := 0; i < 6; i++ {
+					ctl.Yield("b")
+					hits++
+				}
+			})
+			return func(*Controller) error {
+				if hits >= 6 {
+					return errTooManyHits
+				}
+				return nil
+			}
+		},
+	}
+	rep := Explore(sc, Options{Strategy: "random", Seed: 7, Schedules: 50})
+	if rep.Failure == nil {
+		t.Skip("synthetic failure not hit under this seed")
+	}
+	// The scenario fails on EVERY schedule (b always runs to completion via
+	// the deterministic tail), so shrinking should reach the empty prefix.
+	if len(rep.Failure.Choices) != 0 {
+		t.Fatalf("shrink left %d choices, want 0: %v", len(rep.Failure.Choices), rep.Failure.Choices)
+	}
+}
+
+var errTooManyHits = &dstErr{"b completed all its iterations"}
+
+type dstErr struct{ s string }
+
+func (e *dstErr) Error() string { return e.s }

@@ -61,6 +61,24 @@ const (
 	// consumed, so each fire can lose at most one task. id = consumer id.
 	ConsumeAfterAnnounce
 
+	// ConsumeBeforeCommit fires on the owner's fast path after the
+	// post-announce ownership re-check has passed but before the plain
+	// store that commits the take — the last instant at which the
+	// announced slot is still racing the world. A consumer frozen here
+	// that is then declared departed commits into a chunk the rescue
+	// path may already have republished (DESIGN.md §9); the schedule
+	// explorer lives in this window. Inject-only. id = consumer id.
+	ConsumeBeforeCommit
+
+	// StealAfterValidate fires once a thief has hazard-validated a
+	// victim node but not yet examined the chunk's ownership word — the
+	// window in which the node can go stale (its chunk stolen, its
+	// owner departed) while the thief still believes it. Freezing a
+	// thief here forces the snapshot check and the departed-owner
+	// rescue to run against a world that moved on. Inject-only.
+	// id = consumer id (thief).
+	StealAfterValidate
+
 	// StealBeforeOwnerCAS fires between publishing the victim node in
 	// the thief's steal list and the ownership CAS (Algorithm 5 lines
 	// 115–116). Gate: true simulates the thief dying there — harmless,
@@ -104,6 +122,8 @@ var siteNames = [NumSites]string{
 	ChunkpoolExhausted:           "chunkpool.exhausted",
 	ConsumeBeforeAnnounce:        "consume.before-announce",
 	ConsumeAfterAnnounce:         "consume.after-announce",
+	ConsumeBeforeCommit:          "consume.before-commit",
+	StealAfterValidate:           "steal.after-validate",
 	StealBeforeOwnerCAS:          "steal.before-owner-cas",
 	StealAfterOwnerCAS:           "steal.after-owner-cas",
 	MembershipKillMidSteal:       "membership.kill-mid-steal",
@@ -142,10 +162,23 @@ func SiteNames() []string {
 // consumer — and false lets the operation proceed.
 type Hook func(site Site, id int) bool
 
+// Observer is a site-visit callback registered with SetObserver: it runs at
+// EVERY armed site visit, after the site's own hook (if any) has evaluated,
+// so a hook-driven state change (a crash declaration, a simulated failure)
+// is already in effect when the observer sees the visit. The schedule
+// controller (internal/dst) registers one to turn every site into a
+// cooperative yield point.
+type Observer func(site Site, id int)
+
 var (
 	// armed counts registered hooks; the fast path is a single load.
+	// A registered observer is counted too, so the disarmed fast path
+	// stays exactly one atomic load.
 	armed atomic.Int32
 	hooks [NumSites]atomic.Pointer[Hook]
+
+	// observer is the registered site-visit callback; see SetObserver.
+	observer atomic.Pointer[Observer]
 
 	// mu serializes registration (control plane only).
 	mu sync.Mutex
@@ -182,10 +215,18 @@ func eval(site Site, id int) bool {
 	if site < 0 || site >= NumSites {
 		return false
 	}
+	failed := false
 	if h := hooks[site].Load(); h != nil {
-		return (*h)(site, id)
+		failed = (*h)(site, id)
 	}
-	return false
+	// Observer runs last: a kill or failure the hook just declared must be
+	// visible to the rest of the system while the observer (typically a
+	// schedule controller parking this goroutine) holds the caller inside
+	// the window.
+	if o := observer.Load(); o != nil {
+		(*o)(site, id)
+	}
+	return failed
 }
 
 // Set registers h at site, replacing any previous hook. A nil h is Clear.
@@ -217,7 +258,10 @@ func Clear(site Site) {
 }
 
 // Reset clears every hook and the kill function. Tests and the chaos
-// harness call it between scenarios.
+// harness call it between scenarios. The observer is deliberately NOT
+// cleared: it belongs to the schedule controller, whose lifetime brackets
+// whole runs, and a scenario's Reset must not tear down the controller
+// that is driving it. Use SetObserver(nil) to remove it.
 func Reset() {
 	mu.Lock()
 	defer mu.Unlock()
@@ -227,6 +271,26 @@ func Reset() {
 		}
 	}
 	killFunc.Store(nil)
+}
+
+// SetObserver registers f as the global site-visit observer, replacing any
+// previous one; nil unregisters. Registration arms the package (the
+// disarmed fast path is unchanged — one atomic load). At most one observer
+// exists at a time; the schedule controller serializes its runs around it.
+func SetObserver(f Observer) {
+	mu.Lock()
+	defer mu.Unlock()
+	var p *Observer
+	if f != nil {
+		p = &f
+	}
+	old := observer.Swap(p)
+	switch {
+	case old == nil && p != nil:
+		armed.Add(1)
+	case old != nil && p == nil:
+		armed.Add(-1)
+	}
 }
 
 // SetKillFunc registers the crash-declaration callback used by kill actions:

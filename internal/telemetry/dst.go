@@ -1,0 +1,35 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+
+	"salsa/internal/stats"
+)
+
+// DST aggregates the deterministic-schedule explorer's census
+// (internal/dst): process-wide, monotonic, incremented only by explorer
+// runs — disjoint from the per-pool Snapshot, which describes one pool
+// instance. cmd/salsa-dst prints them and WriteDSTPrometheus exposes them
+// in the same text format as the pool metrics.
+var DST struct {
+	// Schedules counts fully executed schedules (including shrink replays).
+	Schedules stats.Counter
+	// Steps counts scheduler decisions across all schedules.
+	Steps stats.Counter
+	// Failures counts schedules whose checker (or a panic) failed.
+	Failures stats.Counter
+	// ShrinkRuns counts the replays spent minimizing failing schedules.
+	ShrinkRuns stats.Counter
+}
+
+// WriteDSTPrometheus writes the explorer counters in Prometheus text format.
+func WriteDSTPrometheus(w io.Writer) {
+	write := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	write("salsa_dst_schedules_total", "Schedules executed by the deterministic explorer.", DST.Schedules.Load())
+	write("salsa_dst_steps_total", "Scheduler decisions made across explored schedules.", DST.Steps.Load())
+	write("salsa_dst_failures_total", "Explored schedules whose checker failed.", DST.Failures.Load())
+	write("salsa_dst_shrink_runs_total", "Replays spent minimizing failing schedules.", DST.ShrinkRuns.Load())
+}

@@ -1,9 +1,12 @@
 package salsa_test
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"salsa"
 	"salsa/internal/check"
@@ -190,6 +193,118 @@ func TestCheckedHistoriesBatched(t *testing.T) {
 				t.Error(v)
 			}
 		})
+	}
+}
+
+// TestCheckedHistoriesCancellation drives the checked run through
+// GetContext with contexts that cancel mid-flight (tight deadlines) and
+// contexts cancelled before the call even starts. The contract under test:
+// a cancelled GetContext is a NO-OP in the sequential history — it either
+// returns a task (logged as a normal Get) or returns ctx.Err() having
+// taken nothing, in which case it must not appear in the history at all.
+// In particular a cancellation return is NOT an emptiness claim, so it is
+// never logged as ⊥; emptiness is only ever certified by the final plain
+// Gets. Lost or duplicated tasks from a half-finished cancelled call would
+// surface as uniqueness or loss violations.
+func TestCheckedHistoriesCancellation(t *testing.T) {
+	const (
+		producers = 2
+		consumers = 3
+		perProd   = 3000
+		chunkSize = 16
+	)
+	pool, err := salsa.New[job](salsa.Config{
+		Producers: producers,
+		Consumers: consumers,
+		Algorithm: salsa.SALSA,
+		ChunkSize: chunkSize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	taskID := func(j *job) uint64 { return uint64(j.producer)<<32 | uint64(uint32(j.seq)) }
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel() // pre-cancelled: GetContext must still be loss-free
+
+	logs := make([]*check.Log, producers+consumers)
+	var done atomic.Bool
+	var pwg sync.WaitGroup
+	for pi := 0; pi < producers; pi++ {
+		pwg.Add(1)
+		go func(pi int) {
+			defer pwg.Done()
+			l := check.NewLog(perProd)
+			logs[pi] = l
+			p := pool.Producer(pi)
+			for s := 0; s < perProd; s++ {
+				j := &job{producer: pi, seq: s}
+				start := check.Now()
+				p.Put(j)
+				l.Put(taskID(j), start, check.Now())
+			}
+		}(pi)
+	}
+	go func() { pwg.Wait(); done.Store(true) }()
+
+	var cwg sync.WaitGroup
+	for ci := 0; ci < consumers; ci++ {
+		cwg.Add(1)
+		go func(ci int) {
+			defer cwg.Done()
+			l := check.NewLog(perProd * 2)
+			logs[producers+ci] = l
+			c := pool.Consumer(ci)
+			defer c.Close()
+			for i := 0; ; i++ {
+				wasDone := done.Load()
+
+				// Alternate pre-cancelled contexts with deadlines tight
+				// enough to fire while the call is in flight.
+				ctx := context.Context(cancelled)
+				var stop context.CancelFunc
+				if i%3 != 0 {
+					ctx, stop = context.WithTimeout(context.Background(), 50*time.Microsecond)
+				}
+				start := check.Now()
+				j, err := c.GetContext(ctx)
+				end := check.Now()
+				if stop != nil {
+					stop()
+				}
+				if err == nil {
+					l.Get(taskID(j), start, end)
+					continue
+				}
+				// Cancelled: the call must have been a no-op. Nothing is
+				// logged — and crucially not an Empty — so any task a
+				// half-run call swallowed would show up as lost.
+				if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+					t.Errorf("GetContext returned unexpected error: %v", err)
+					return
+				}
+				if !wasDone {
+					continue
+				}
+				// Production finished: certify emptiness with plain Gets,
+				// which are the only ⊥ claims in this history.
+				start = check.Now()
+				j2, ok := c.Get()
+				end = check.Now()
+				if ok {
+					l.Get(taskID(j2), start, end)
+					continue
+				}
+				l.Empty(start, end)
+				return
+			}
+		}(ci)
+	}
+	cwg.Wait()
+
+	violations := check.Verify(logs, check.Options{ExpectDrained: true})
+	for _, v := range violations {
+		t.Error(v)
 	}
 }
 
