@@ -2,7 +2,11 @@
 
 GO ?= go
 
-.PHONY: all build test race race-short race-churn chaos dst check bench bench-smoke figures stress examples cover clean
+.PHONY: all build test race race-short race-churn chaos dst check bench bench-smoke flight-smoke figures stress examples cover clean
+
+# Allowed fractional ns/op increase for the flight-recorder overhead guard
+# (bench-smoke compares the noflight and armed runs against the reference).
+FLIGHT_TOL ?= 0.5
 
 # Coverage floor for `make cover` (total statement coverage, percent).
 # Raise it when coverage rises; never lower it to make a failure go away.
@@ -49,8 +53,8 @@ dst:
 
 # The full local gate: build + vet + tests + short race pass + membership
 # churn under race + scripted chaos matrix under race + deterministic
-# schedule exploration + coverage floor + bench smoke.
-check: build test race-short race-churn chaos dst cover bench-smoke
+# schedule exploration + coverage floor + flight round-trip + bench smoke.
+check: build test race-short race-churn chaos dst cover flight-smoke bench-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -60,10 +64,28 @@ bench:
 # be diffed (BENCH_batch.json is the committed reference). The count is
 # chosen so fixed startup costs are amortized (at 100x the numbers are
 # noise) while the whole gate stays under a few seconds.
+#
+# The reference then guards the flight recorder's cost: the same benchmarks
+# rerun with the recorder compiled out (salsa_noflight) and with it armed
+# (SALSA_FLIGHT_BENCH=1, every hot-path event recorded) must both stay
+# within FLIGHT_TOL of the freshly recorded baseline.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig14a|BenchmarkBatch' -benchtime 1000000x . > bench_smoke.txt
 	$(GO) run ./cmd/benchjson -o BENCH_batch.json < bench_smoke.txt
-	@rm -f bench_smoke.txt
+	$(GO) test -run '^$$' -tags salsa_noflight -bench 'BenchmarkFig14a|BenchmarkBatch' -benchtime 1000000x . > bench_noflight.txt
+	$(GO) run ./cmd/benchjson -compare BENCH_batch.json -tol $(FLIGHT_TOL) < bench_noflight.txt > /dev/null
+	SALSA_FLIGHT_BENCH=1 $(GO) test -run '^$$' -bench 'BenchmarkFig14a|BenchmarkBatch' -benchtime 1000000x . > bench_armed.txt
+	$(GO) run ./cmd/benchjson -compare BENCH_batch.json -tol $(FLIGHT_TOL) < bench_armed.txt > /dev/null
+	@rm -f bench_smoke.txt bench_noflight.txt bench_armed.txt
+
+# Flight-recorder round trip: record a stress round with the recorder
+# armed, dump it, and run salsa-doctor over the dump — a healthy round must
+# analyze clean (doctor exits 1 on any anomaly).
+flight-smoke:
+	@mkdir -p results
+	$(GO) run ./cmd/salsa-stress -rounds 1 -tasks 5000 -producers 2 -consumers 2 \
+		-flight-dir results -flight-always
+	$(GO) run ./cmd/salsa-doctor -timeline 5 results/flight-stress-r0.bin
 
 # Regenerates every figure of the paper's evaluation (§1.6) plus the
 # extended-baseline sweep; writes CSVs to results/ and the human-readable
@@ -101,4 +123,5 @@ cover:
 # committed CSVs, coverage.txt, and figures_output.txt live there.
 clean:
 	rm -f cover.out test_output.txt bench_output.txt bench_smoke.txt
-	rm -f salsa-dst salsa-bench salsa-stress salsa-chaos benchjson
+	rm -f bench_noflight.txt bench_armed.txt
+	rm -f salsa-dst salsa-bench salsa-stress salsa-chaos salsa-doctor benchjson

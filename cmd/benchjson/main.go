@@ -5,10 +5,19 @@
 // Usage:
 //
 //	go test -bench X ./... | go run ./cmd/benchjson [-o out.json]
+//	go test -bench X ./... | go run ./cmd/benchjson -compare ref.json [-tol 0.5]
 //
 // Each benchmark line becomes one record: the benchmark name, iteration
 // count, and every reported metric (ns/op, cas/task, fastpath, ...) keyed
 // by its unit. Non-benchmark lines (PASS, ok, warnings) are ignored.
+//
+// With -compare the parsed run is checked against a previously recorded
+// JSON reference instead of being written out: any benchmark whose ns/op
+// exceeds the reference by more than the -tol fraction is an offender, and
+// the command exits 1 listing every one. This is the bench-smoke guard
+// that keeps the flight recorder's disarmed and armed-but-idle overhead
+// honest (benchmarks present in only one of the two sets are reported but
+// not failed — new benchmarks must not break the gate).
 package main
 
 import (
@@ -56,6 +65,8 @@ func parseLine(line string) (Record, bool) {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	compare := flag.String("compare", "", "compare the run against this JSON reference instead of emitting JSON")
+	tol := flag.Float64("tol", 0.5, "with -compare: allowed fractional ns/op increase over the reference")
 	flag.Parse()
 
 	var records []Record
@@ -71,6 +82,10 @@ func main() {
 	if err := sc.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *compare != "" {
+		os.Exit(compareRun(records, *compare, *tol))
 	}
 
 	w := os.Stdout
@@ -92,4 +107,68 @@ func main() {
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "# benchjson: %d records -> %s\n", len(records), *out)
 	}
+}
+
+// compareRun checks the parsed run's ns/op against a recorded reference and
+// returns the exit code: 0 within tolerance, 1 with offenders listed, 2 on
+// a bad reference or an empty run.
+func compareRun(records []Record, refPath string, tol float64) int {
+	refData, err := os.ReadFile(refPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	var refs []Record
+	if err := json.Unmarshal(refData, &refs); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: parsing %s: %v\n", refPath, err)
+		return 2
+	}
+	refNs := map[string]float64{}
+	for _, r := range refs {
+		if v, ok := r.Metrics["ns/op"]; ok {
+			refNs[r.Name] = v
+		}
+	}
+	if len(records) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin; nothing to compare")
+		return 2
+	}
+
+	var offenders []string
+	compared := 0
+	for _, rec := range records {
+		cur, ok := rec.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		ref, ok := refNs[rec.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "# benchjson: %s not in %s, skipping\n", rec.Name, refPath)
+			continue
+		}
+		compared++
+		ratio := cur / ref
+		verdict := "ok"
+		if cur > ref*(1+tol) {
+			verdict = "FAIL"
+			offenders = append(offenders,
+				fmt.Sprintf("%s: %.0f ns/op vs reference %.0f (%.2fx > allowed %.2fx)",
+					rec.Name, cur, ref, ratio, 1+tol))
+		}
+		fmt.Fprintf(os.Stderr, "# benchjson: %-40s %8.0f vs %8.0f ns/op (%.2fx) %s\n",
+			rec.Name, cur, ref, ratio, verdict)
+	}
+	if compared == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmark matched the reference %s\n", refPath)
+		return 2
+	}
+	if len(offenders) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed past tolerance %.2f:\n", len(offenders), tol)
+		for _, o := range offenders {
+			fmt.Fprintf(os.Stderr, "  %s\n", o)
+		}
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "# benchjson: %d benchmarks within %.2fx of %s\n", compared, 1+tol, refPath)
+	return 0
 }

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -78,6 +79,7 @@ func main() {
 		stall     = flag.Float64("stall", 0.25, "probability that a consumer stalls for a round")
 		run       = flag.String("run", "", "only run scenarios whose name contains this substring")
 		list      = flag.Bool("list", false, "print the scenario matrix and exit")
+		flightDir = flag.String("flight-dir", "results", "directory for flight-recorder dumps on FAIL (empty = off)")
 	)
 	flag.Parse()
 
@@ -111,6 +113,11 @@ func main() {
 					stalled[ci] = true
 				}
 			}
+			dump := ""
+			if *flightDir != "" {
+				dump = filepath.Join(*flightDir,
+					fmt.Sprintf("flight-chaos-%s-r%d.bin", sc.name, round))
+			}
 			res, err := chaos.RunRound(chaos.Options{
 				Algorithm:        salsa.SALSA,
 				Producers:        *producers,
@@ -122,8 +129,12 @@ func main() {
 				Seed:             roundSeed,
 				Stalled:          stalled,
 				Schedule:         sched,
+				FlightDump:       dump,
 			})
 			if err != nil {
+				// err already carries the dump path and a timeline excerpt
+				// when the flight recorder is compiled in; salsa-doctor
+				// reads the full dump.
 				fmt.Printf("FAIL scenario=%s round=%d seed=%d round-seed=%d schedule=%q err=%q\n",
 					sc.name, round, *seed, roundSeed, sc.spec, err.Error())
 				os.Exit(1)

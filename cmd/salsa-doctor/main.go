@@ -1,0 +1,170 @@
+// Command salsa-doctor is the causal analyzer for flight-recorder dumps:
+// the post-mortem half of the always-on black box. It loads one or more
+// binary dumps (written by chaos/stress/DST FAIL paths or the stall
+// watchdog), merges the per-goroutine rings into one global timeline,
+// reconstructs chunk lifecycles (publish → steal chain → takes → drain)
+// and per-task causal paths, and reports the anomaly patterns the
+// checkers look for by hand:
+//
+//   - double-take: two successful takes of the same (chunk, slot) — the
+//     exactly-once violation, printed with both consumers' ids and the
+//     full causal path of the implicated chunk;
+//   - orphaned-chunk: published, never drained, and no take after its
+//     last ownership change — stuck backlog;
+//   - steal-storm: a consumer burning failed steals with no progress;
+//   - checkempty-livelock: repeated emptiness aborts with no take.
+//
+// Usage:
+//
+//	salsa-doctor [-timeline n] [-lifecycles] [-json] [-anomalies-only] dump.bin...
+//
+// Exit status: 0 clean, 1 when any dump contains an anomaly, 2 on usage
+// or read errors. The exit code makes it scriptable: `make flight-smoke`
+// asserts a healthy round analyzes clean.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"salsa/internal/flight"
+)
+
+func main() {
+	var (
+		timeline   = flag.Int("timeline", 0, "print the last n merged timeline events per dump")
+		lifecycles = flag.Bool("lifecycles", false, "print every reconstructed chunk lifecycle")
+		jsonOut    = flag.Bool("json", false, "emit one JSON report per dump instead of text")
+		anomOnly   = flag.Bool("anomalies-only", false, "text mode: print only the anomaly lines")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: salsa-doctor [-timeline n] [-lifecycles] [-json] dump.bin...")
+		os.Exit(2)
+	}
+
+	anomalies := 0
+	for _, path := range flag.Args() {
+		d, err := flight.ReadDumpFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "salsa-doctor: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		rep := flight.Analyze(d)
+		anomalies += len(rep.Anomalies)
+		if *jsonOut {
+			if err := writeJSON(os.Stdout, path, d, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "salsa-doctor: %v\n", err)
+				os.Exit(2)
+			}
+			continue
+		}
+		printText(path, d, rep, *timeline, *lifecycles, *anomOnly)
+	}
+	if anomalies > 0 {
+		os.Exit(1)
+	}
+}
+
+func printText(path string, d *flight.Dump, rep *flight.Report, timeline int, lifecycles, anomOnly bool) {
+	if anomOnly {
+		for _, a := range rep.Anomalies {
+			fmt.Printf("%s: [%s] %s\n", path, a.Kind, a.Summary)
+		}
+		return
+	}
+	fmt.Printf("== %s\n", path)
+	fmt.Printf("reason: %s", d.Meta.Reason)
+	if d.Meta.Context != "" {
+		fmt.Printf(" (%s)", d.Meta.Context)
+	}
+	fmt.Printf("\ncaptured: %s (recorder enabled %s)\n",
+		d.Meta.CapturedAt.Format("2006-01-02 15:04:05.000"),
+		d.Meta.EnabledAt.Format("15:04:05.000"))
+	fmt.Printf("recorder: %d consumer + %d producer rings of %d events",
+		d.Meta.Consumers, d.Meta.Producers, d.Meta.RingSize)
+	if d.Meta.Dropped > 0 {
+		fmt.Printf(" (%d events dropped)", d.Meta.Dropped)
+	}
+	fmt.Println()
+	fmt.Println(rep.Summarize())
+
+	// Every anomaly gets its causal path: the implicating events plus, for
+	// chunk-scoped anomalies, the chunk's whole reconstructed lifecycle.
+	for _, a := range rep.Anomalies {
+		fmt.Printf("\n[%s] %s\n", a.Kind, a.Summary)
+		for _, e := range a.Events {
+			fmt.Printf("  %s\n", flight.FormatEvent(e))
+		}
+		if a.FID != 0 {
+			for _, lc := range rep.Lifecycles {
+				if lc.FID == a.FID {
+					fmt.Printf("  causal path of chunk %d:\n", a.FID)
+					printLifecycle("    ", lc)
+				}
+			}
+		}
+	}
+	if lifecycles {
+		fmt.Printf("\nchunk lifecycles (%d):\n", len(rep.Lifecycles))
+		for _, lc := range rep.Lifecycles {
+			fmt.Printf("  chunk %d:\n", lc.FID)
+			printLifecycle("    ", lc)
+		}
+	}
+	if timeline > 0 {
+		fmt.Printf("\ntimeline (last %d):\n%s\n", timeline, flight.Excerpt(d, timeline))
+	}
+	if d.Meta.Stacks != "" {
+		fmt.Printf("\ngoroutine stacks at capture:\n%s\n", d.Meta.Stacks)
+	}
+	fmt.Println()
+}
+
+func printLifecycle(indent string, lc *flight.Lifecycle) {
+	if lc.Publish != nil {
+		fmt.Printf("%s%s\n", indent, flight.FormatEvent(*lc.Publish))
+	} else {
+		fmt.Printf("%s(publish predates the ring)\n", indent)
+	}
+	for _, e := range lc.Steals {
+		fmt.Printf("%s%s\n", indent, flight.FormatEvent(e))
+	}
+	for _, e := range lc.Rescues {
+		fmt.Printf("%s%s\n", indent, flight.FormatEvent(e))
+	}
+	fmt.Printf("%sowners: %v, takes: %d", indent, lc.Owners, len(lc.Takes))
+	if lc.Drained != nil {
+		fmt.Printf(", drained by consumer %d", lc.Drained.ID)
+	} else {
+		fmt.Printf(", never drained")
+	}
+	fmt.Println()
+	for _, t := range lc.Takes {
+		fmt.Printf("%s  consumer %d took slot %d via %s (t=%d)\n",
+			indent, t.Consumer, t.Slot, t.Via, t.TS)
+	}
+}
+
+// jsonReport is the machine-readable per-dump report.
+type jsonReport struct {
+	Path      string           `json:"path"`
+	Meta      flight.Meta      `json:"meta"`
+	Anomalies []flight.Anomaly `json:"anomalies"`
+	Events    int              `json:"events"`
+	Chunks    int              `json:"chunks"`
+}
+
+func writeJSON(w *os.File, path string, d *flight.Dump, rep *flight.Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonReport{
+		Path:      path,
+		Meta:      d.Meta,
+		Anomalies: rep.Anomalies,
+		Events:    len(rep.Events),
+		Chunks:    len(rep.Lifecycles),
+	})
+}

@@ -17,10 +17,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"salsa/internal/dst"
+	"salsa/internal/flight"
 	"salsa/internal/telemetry"
 )
 
@@ -37,6 +39,7 @@ func main() {
 		replay    = flag.String("replay", "", "comma-separated choice list to replay (requires -scenario)")
 		metrics   = flag.Bool("metrics", false, "print explorer counters in Prometheus format after the run")
 		verbose   = flag.Bool("v", false, "log every explored schedule")
+		flightDir = flag.String("flight-dir", "results", "directory for flight dumps of failing schedules (empty = off)")
 	)
 	flag.Parse()
 
@@ -62,7 +65,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "salsa-dst: -replay requires -scenario")
 			os.Exit(2)
 		}
-		os.Exit(runReplay(scenarios[0], *replay, *maxSteps))
+		os.Exit(runReplay(scenarios[0], *replay, *maxSteps, *flightDir))
 	}
 
 	opts := dst.Options{
@@ -87,6 +90,10 @@ func main() {
 				rep.Scenario, rep.Strategy, rep.Seed, f.Schedule, f.Err)
 			fmt.Printf("  minimized schedule (%d choices):\n%s", len(f.Choices), dst.FormatTrace(f.MinTrace))
 			fmt.Printf("  replay: salsa-dst -scenario %s -replay %s\n", sc.Name, f.ReplayArg())
+			// Re-run the minimized schedule with the flight recorder armed
+			// (exploration itself stays unarmed to keep its output contract)
+			// and leave the black box next to the verdict for salsa-doctor.
+			writeFlightDump(sc, f.Choices, *maxSteps, *flightDir)
 			continue
 		}
 		extra := ""
@@ -104,7 +111,7 @@ func main() {
 	}
 }
 
-func runReplay(sc dst.Scenario, arg string, maxSteps int) int {
+func runReplay(sc dst.Scenario, arg string, maxSteps int, flightDir string) int {
 	choices, err := parseChoices(arg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "salsa-dst: bad -replay list: %v\n", err)
@@ -114,10 +121,31 @@ func runReplay(sc dst.Scenario, arg string, maxSteps int) int {
 	fmt.Printf("replay %s (%d choices, %d steps):\n%s", sc.Name, len(choices), ctl.Steps(), dst.FormatTrace(ctl.Trace()))
 	if verr != nil {
 		fmt.Printf("FAIL %s: %v\n", sc.Name, verr)
+		writeFlightDump(sc, choices, maxSteps, flightDir)
 		return 1
 	}
 	fmt.Printf("ok   %s\n", sc.Name)
 	return 0
+}
+
+// writeFlightDump replays a failing choice list with the flight recorder
+// armed and writes the dump plus a short timeline excerpt. Best-effort: a
+// schedule that only fails without instrumentation (or a noflight build)
+// just skips the dump.
+func writeFlightDump(sc dst.Scenario, choices []int, maxSteps int, flightDir string) {
+	if flightDir == "" {
+		return
+	}
+	d, _, _ := dst.ReplayWithFlight(sc, choices, maxSteps)
+	if d == nil {
+		return
+	}
+	path := filepath.Join(flightDir, fmt.Sprintf("flight-dst-%s.bin", sc.Name))
+	if err := d.WriteFile(path); err != nil {
+		fmt.Fprintf(os.Stderr, "salsa-dst: writing flight dump: %v\n", err)
+		return
+	}
+	fmt.Printf("  flight dump: %s (inspect with salsa-doctor)\n%s", path, flight.Excerpt(d, 40))
 }
 
 func parseChoices(s string) ([]int, error) {

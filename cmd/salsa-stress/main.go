@@ -52,6 +52,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -112,6 +113,9 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address during the run")
 		traceLog    = flag.String("trace-log", "", "append JSONL telemetry events to this file")
 		snapEvery   = flag.Duration("snapshot-every", 0, "print telemetry deltas to stderr at this interval")
+
+		flightDir    = flag.String("flight-dir", "results", "directory for flight-recorder dumps on FAIL (empty = off)")
+		flightAlways = flag.Bool("flight-always", false, "write a flight dump even for passing rounds (smoke/corpus capture)")
 	)
 	flag.Parse()
 	alg, err := parseAlgorithm(*algName)
@@ -186,6 +190,10 @@ func main() {
 				os.Exit(2)
 			}
 		}
+		dump := ""
+		if *flightDir != "" {
+			dump = filepath.Join(*flightDir, fmt.Sprintf("flight-stress-r%d.bin", round))
+		}
 		res, err := chaos.RunRound(chaos.Options{
 			Algorithm:        alg,
 			Producers:        *producers,
@@ -200,6 +208,8 @@ func main() {
 			Metrics:          obsMetrics,
 			Tracer:           tracer,
 			Live:             live,
+			FlightDump:       dump,
+			FlightAlways:     *flightAlways,
 		})
 		if err != nil {
 			fmt.Printf("FAIL round=%d seed=%d chaos-seed=%d schedule=%q err=%q\n",

@@ -17,6 +17,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -159,6 +161,19 @@ func (e *Executor) startWorker(c *salsa.Consumer[Task]) {
 func (e *Executor) worker(c *salsa.Consumer[Task], ws *workerState) {
 	defer close(ws.done)
 	defer e.wg.Done()
+	// Label the goroutine so CPU profiles attribute samples per consumer
+	// and per NUMA node (go tool pprof -tagfocus salsa_worker=3; see
+	// README "Observability"). pprof.Do costs one labeled-context swap at
+	// worker startup — nothing per task.
+	pprof.Do(context.Background(), pprof.Labels(
+		"salsa_worker", strconv.Itoa(c.ID()),
+		"numa_node", strconv.Itoa(c.Node()),
+	), func(context.Context) {
+		e.workerLoop(c, ws)
+	})
+}
+
+func (e *Executor) workerLoop(c *salsa.Consumer[Task], ws *workerState) {
 	if e.pin {
 		c.Pin()
 		defer c.Unpin()

@@ -1,0 +1,27 @@
+package salsa_test
+
+import (
+	"os"
+	"testing"
+
+	"salsa/internal/flight"
+)
+
+// TestMain arms the flight recorder for the entire test/bench binary when
+// SALSA_FLIGHT_BENCH=1. bench-smoke uses it for the armed overhead guard:
+// the same benchmarks run three ways — recorder compiled out
+// (salsa_noflight), compiled in but disarmed (the default), and armed with
+// every hot-path event being recorded — and each way must stay within
+// tolerance of the committed reference (BENCH_batch.json). Arming is a
+// no-op when the recorder is compiled out, so the noflight run can share
+// this TestMain.
+func TestMain(m *testing.M) {
+	if os.Getenv("SALSA_FLIGHT_BENCH") == "1" && flight.Compiled {
+		flight.Enable(flight.Options{
+			Consumers: 64,
+			Producers: 64,
+			RingSize:  flight.DefaultRingSize,
+		})
+	}
+	os.Exit(m.Run())
+}

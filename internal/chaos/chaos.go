@@ -25,6 +25,7 @@ import (
 
 	"salsa"
 	"salsa/internal/failpoint"
+	"salsa/internal/flight"
 	"salsa/internal/telemetry"
 )
 
@@ -78,6 +79,14 @@ type Options struct {
 	Metrics bool
 	Tracer  salsa.Tracer
 	Live    *Live
+
+	// FlightDump, when non-empty, arms the flight recorder for the round
+	// and writes a binary dump to this path whenever the round fails, so
+	// the verdict ships with the black box that explains it. FlightAlways
+	// additionally writes the dump when the round passes (smoke tests and
+	// corpus capture). No-ops under the salsa_noflight build tag.
+	FlightDump   string
+	FlightAlways bool
 }
 
 // Result summarizes a passed round.
@@ -133,6 +142,33 @@ func RunRound(o Options) (Result, error) {
 	}
 	kb := killBudget(o.Schedule)
 	maxConsumers += kb + 2
+
+	// Flight recorder: armed for the whole round, sized for every consumer
+	// id the round can ever mint. fail() snapshots the rings into the dump
+	// file and folds a timeline excerpt into the verdict; pass() only
+	// writes when the caller asked for an unconditional dump.
+	fail := func(err error) error { return err }
+	pass := func() {}
+	if o.FlightDump != "" && flight.Compiled {
+		flight.Enable(flight.Options{
+			Consumers: maxConsumers,
+			Producers: o.Producers,
+			RingSize:  flight.DefaultRingSize,
+		})
+		defer flight.Reset()
+		fail = func(err error) error {
+			d, werr := flight.CaptureToFile(o.FlightDump, "chaos-fail", err.Error(), true)
+			if werr != nil {
+				return fmt.Errorf("%w (flight dump %s failed: %v)", err, o.FlightDump, werr)
+			}
+			return fmt.Errorf("%w\nflight dump: %s\n%s", err, o.FlightDump, flight.Excerpt(d, 40))
+		}
+		pass = func() {
+			if o.FlightAlways {
+				flight.CaptureToFile(o.FlightDump, "chaos-pass", "round passed", false)
+			}
+		}
+	}
 
 	pool, err := salsa.New[Task](salsa.Config{
 		Algorithm:    o.Algorithm,
@@ -386,10 +422,10 @@ func RunRound(o Options) (Result, error) {
 	res.Steals = pool.Stats().Steals
 
 	if e := churnErr.Load(); e != nil {
-		return res, *e
+		return res, fail(*e)
 	}
 	if d := dup.Load(); d > 0 {
-		return res, fmt.Errorf("%d tasks returned twice (uniqueness violated)", d)
+		return res, fail(fmt.Errorf("%d tasks returned twice (uniqueness violated)", d))
 	}
 	// Loss budget: a consumer crashed mid-Get forfeits at most its one
 	// announced slot, and a scripted post-announce failure forfeits the
@@ -404,21 +440,22 @@ func RunRound(o Options) (Result, error) {
 	}
 	res.Lost = want - returned.Load()
 	if res.Lost > budget {
-		return res, fmt.Errorf("returned %d of %d tasks: lost %d exceeds crash budget %d (task loss or phantom emptiness)",
-			returned.Load(), want, res.Lost, budget)
+		return res, fail(fmt.Errorf("returned %d of %d tasks: lost %d exceeds crash budget %d (task loss or phantom emptiness)",
+			returned.Load(), want, res.Lost, budget))
 	}
 	if res.Lost < 0 {
-		return res, fmt.Errorf("returned %d of %d tasks: over-delivery escaped the duplicate check",
-			returned.Load(), want)
+		return res, fail(fmt.Errorf("returned %d of %d tasks: over-delivery escaped the duplicate check",
+			returned.Load(), want))
 	}
 	if budget == 0 {
 		for pi := range all {
 			for _, t := range all[pi] {
 				if !t.returned.Load() {
-					return res, fmt.Errorf("task %d/%d never returned", t.Producer, t.Seq)
+					return res, fail(fmt.Errorf("task %d/%d never returned", t.Producer, t.Seq))
 				}
 			}
 		}
 	}
+	pass()
 	return res, nil
 }

@@ -4,6 +4,7 @@ import (
 	"unsafe"
 
 	"salsa/internal/failpoint"
+	"salsa/internal/flight"
 	"salsa/internal/scpool"
 )
 
@@ -176,12 +177,24 @@ func (p *Pool[T]) drainRun(cs *scpool.ConsumerState, sc *consScratch[T], n *node
 	home := int(ch.home.Load())
 	hook := p.shared.opts.OnAccess
 	taken := 0
+	// The run's fast-path takes cover the contiguous slots
+	// [firstSlot, firstSlot+taken); journalRun records them as a single
+	// KTakeBatch event at run end, so the journal cost amortizes across
+	// the run instead of charging every task a full event write.
+	firstSlot := idx + 1
+	journalRun := func() {
+		if taken > 0 && flight.Enabled() {
+			flight.RecordC(cs.ID, flight.KTakeBatch, ch.fid.Load(),
+				int32(firstSlot), int32(taken))
+		}
+	}
 	for {
 		// Same simulated-death gates as takeTask, per slot: before the
 		// announce the run unwinds loss-free; after it, the announced
 		// slot is abandoned (at most one task lost per fire).
 		if failpoint.Fail(failpoint.ConsumeBeforeAnnounce, p.ownerIDv) {
 			sc.current = n
+			journalRun()
 			p.flushRun(cs, taken, home, taken)
 			sc.rec.Clear(hzConsume)
 			return taken
@@ -189,6 +202,7 @@ func (p *Pool[T]) drainRun(cs *scpool.ConsumerState, sc *consScratch[T], n *node
 		n.idx.Store(idx + 1) // announce this take (line 90) — per task, never batched
 		if failpoint.Fail(failpoint.ConsumeAfterAnnounce, p.ownerIDv) {
 			sc.current = nil
+			journalRun()
 			p.flushRun(cs, taken, home, taken)
 			sc.rec.Clear(hzConsume)
 			return taken
@@ -201,10 +215,16 @@ func (p *Pool[T]) drainRun(cs *scpool.ConsumerState, sc *consScratch[T], n *node
 		// slot as the crash model's takeTask bound.
 		if ownerID(ch.owner.Load()) != p.ownerIDv || p.selfDeparted.Load() {
 			// A steal raced the run (or this owner was killed): single-
-			// task slow path for the one announced slot (line 95).
+			// task slow path for the one announced slot (line 95). Journal
+			// the fast takes committed so far before the slow take's own
+			// event, preserving their order in the ring.
+			journalRun()
 			cs.Ops.SlowPath.Inc()
 			cs.Ops.CAS.Inc()
 			if ch.tasks[idx+1].p.CompareAndSwap(task, p.shared.taken) {
+				if flight.Enabled() {
+					flight.RecordC(cs.ID, flight.KTakeSlow, ch.fid.Load(), int32(idx+1), 1)
+				}
 				next := p.peekNext(ch, idx+2)
 				p.chargeTake(cs, ch)
 				p.checkLast(cs, sc, n, ch, idx+1, next, hzConsume)
@@ -212,6 +232,9 @@ func (p *Pool[T]) drainRun(cs *scpool.ConsumerState, sc *consScratch[T], n *node
 				taken++
 			} else {
 				cs.Ops.FailedCAS.Inc()
+				if flight.Enabled() {
+					flight.RecordC(cs.ID, flight.KTakeSlow, ch.fid.Load(), int32(idx+1), 0)
+				}
 			}
 			sc.current = nil // line 97
 			p.flushRun(cs, taken, home, 0)
@@ -232,6 +255,10 @@ func (p *Pool[T]) drainRun(cs *scpool.ConsumerState, sc *consScratch[T], n *node
 		taken++
 		idx++
 		if idx+1 == size { // finished the chunk: checkLast, exactly once
+			journalRun()
+			if flight.Enabled() {
+				flight.RecordC(cs.ID, flight.KChunkDrained, ch.fid.Load(), 0, 0)
+			}
 			n.chunk.Store(nil)
 			sc.rec.Clear(hzConsume)
 			p.recycle(sc.rec, ch)
@@ -243,12 +270,14 @@ func (p *Pool[T]) drainRun(cs *scpool.ConsumerState, sc *consScratch[T], n *node
 		if next == nil { // may have taken the last task in the pool
 			p.ind.Clear()
 			sc.current = n
+			journalRun()
 			p.flushRun(cs, taken, home, taken)
 			sc.rec.Clear(hzConsume)
 			return taken
 		}
 		if taken == len(dst) || next == p.shared.taken {
 			sc.current = n
+			journalRun()
 			p.flushRun(cs, taken, home, taken)
 			sc.rec.Clear(hzConsume)
 			return taken

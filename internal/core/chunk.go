@@ -11,7 +11,11 @@
 // producers.
 package core
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"salsa/internal/flight"
+)
 
 // Owner-word layout: low 16 bits hold the consumer id, high 48 bits a tag
 // incremented on every ownership change.
@@ -67,6 +71,15 @@ type Chunk[T any] struct {
 	// transfer/recycle frequency, not per task.
 	home atomic.Int32
 
+	// fid is the chunk's flight-recorder id, identifying one *residence*
+	// of the chunk: assigned at allocation and re-assigned on every
+	// recycle (resetForReuse), so journal events never alias two
+	// generations of the same allocation. Atomic because thieves holding
+	// a stale chunk pointer may read it while a producer resets the
+	// chunk; written only on the (cold) alloc/reuse path. Constant 0 in
+	// salsa_noflight builds.
+	fid atomic.Uint64
+
 	// tasks are the slots. The paper's default CHUNK_SIZE is 1000 tasks
 	// (~8 KB of pointers), its measured optimum for SALSA (Fig. 1.8).
 	tasks []taskSlot[T]
@@ -82,8 +95,13 @@ func newChunk[T any](size int, home int) *Chunk[T] {
 	c := &Chunk[T]{tasks: make([]taskSlot[T], size)}
 	c.home.Store(int32(home))
 	c.owner.Store(packOwner(NoOwner, 0))
+	c.fid.Store(flight.NextChunkID())
 	return c
 }
+
+// FlightID returns the chunk's current flight-recorder residence id
+// (0 in salsa_noflight builds).
+func (c *Chunk[T]) FlightID() uint64 { return c.fid.Load() }
 
 // Size returns the chunk capacity in tasks.
 func (c *Chunk[T]) Size() int { return len(c.tasks) }
@@ -102,4 +120,5 @@ func (c *Chunk[T]) resetForReuse() {
 		c.tasks[i].p.Store(nil)
 	}
 	c.recycled.Store(0)
+	c.fid.Store(flight.NextChunkID())
 }

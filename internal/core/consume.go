@@ -4,6 +4,7 @@ import (
 	"unsafe"
 
 	"salsa/internal/failpoint"
+	"salsa/internal/flight"
 	"salsa/internal/scpool"
 )
 
@@ -120,6 +121,9 @@ func (p *Pool[T]) takeTask(cs *scpool.ConsumerState, sc *consScratch[T], n *node
 		next := p.peekNext(ch, idx+2)
 		ch.tasks[idx+1].p.Store(p.shared.taken) // line 92
 		cs.Ops.FastPath.Inc()
+		if flight.Enabled() {
+			flight.RecordC(cs.ID, flight.KTakeFast, ch.fid.Load(), int32(idx+1), 0)
+		}
 		p.chargeTake(cs, ch)
 		p.checkLast(cs, sc, n, ch, idx+1, next, hzConsume) // line 93
 		return task
@@ -135,6 +139,13 @@ func (p *Pool[T]) takeTask(cs *scpool.ConsumerState, sc *consScratch[T], n *node
 		if !success {
 			cs.Ops.FailedCAS.Inc()
 		}
+	}
+	if flight.Enabled() {
+		won := int32(0)
+		if success {
+			won = 1
+		}
+		flight.RecordC(cs.ID, flight.KTakeSlow, ch.fid.Load(), int32(idx+1), won)
 	}
 	if success {
 		next := p.peekNext(ch, idx+2)
@@ -169,6 +180,9 @@ func (p *Pool[T]) peekNext(ch *Chunk[T], i int64) *T {
 func (p *Pool[T]) checkLast(cs *scpool.ConsumerState, sc *consScratch[T],
 	n *node[T], ch *Chunk[T], curIdx int64, next *T, hzSlot int) {
 	if curIdx+1 == int64(len(ch.tasks)) { // finished the chunk (line 100)
+		if flight.Enabled() {
+			flight.RecordC(cs.ID, flight.KChunkDrained, ch.fid.Load(), 0, 0)
+		}
 		n.chunk.Store(nil)
 		sc.rec.Clear(hzSlot)
 		p.recycle(sc.rec, ch)

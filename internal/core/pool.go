@@ -6,6 +6,7 @@ import (
 
 	"salsa/internal/chunkpool"
 	"salsa/internal/failpoint"
+	"salsa/internal/flight"
 	"salsa/internal/hazard"
 	"salsa/internal/indicator"
 	"salsa/internal/scpool"
@@ -316,11 +317,17 @@ func (p *Pool[T]) getChunk(ps *scpool.ProducerState, sc *prodScratch[T], force b
 	if !ok {
 		if !force {
 			ps.Ops.ProduceFull.Inc()
+			if flight.Enabled() {
+				flight.RecordP(ps.ID, flight.KProduceFail, 0, int32(p.ownerIDv), 0)
+			}
 			return false
 		}
 		ch = newChunk[T](p.shared.opts.ChunkSize, p.shared.opts.Alloc(ps.Node, p.ownerNode))
 		ps.Ops.ChunkAllocs.Inc()
 		ps.Ops.ForceExpands.Inc() // only reachable under force: the expansion that mattered
+		if flight.Enabled() {
+			flight.RecordP(ps.ID, flight.KForceExpand, 0, int32(p.ownerIDv), 0)
+		}
 	} else {
 		ch.resetForReuse()
 		// Re-home the chunk per the allocation policy: the paper's
@@ -339,6 +346,10 @@ func (p *Pool[T]) getChunk(ps *scpool.ProducerState, sc *prodScratch[T], force b
 	myList := p.lists[ps.ID]
 	myList.prune() // lazy reclamation of consumed/stolen entries
 	myList.append(newNode(ch, -1, claimed))
+	if flight.Enabled() {
+		flight.RecordP(ps.ID, flight.KChunkPublish, ch.fid.Load(),
+			int32(p.ownerIDv), ch.home.Load())
+	}
 	sc.chunk = ch
 	sc.prodIdx = 0
 	return true

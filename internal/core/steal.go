@@ -4,6 +4,7 @@ import (
 	"unsafe"
 
 	"salsa/internal/failpoint"
+	"salsa/internal/flight"
 	"salsa/internal/scpool"
 	"salsa/internal/telemetry"
 )
@@ -113,11 +114,18 @@ func (p *Pool[T]) Steal(cs *scpool.ConsumerState, victimPool scpool.SCPool[T]) *
 	if (!rescued && ownerID(oldOwner) != victim.ownerIDv) ||
 		!ch.owner.CompareAndSwap(oldOwner, packOwner(p.ownerIDv, ownerTag(oldOwner)+1)) { // line 116
 		cs.Ops.FailedCAS.Inc()
+		if flight.Enabled() {
+			flight.RecordC(cs.ID, flight.KStealFail, ch.fid.Load(), int32(victim.ownerIDv), 0)
+		}
 		stealList.remove(myEntry) // line 117
 		sc.rec.Clear(hzSteal)
 		return nil
 	}
 	cs.Ops.Steals.Inc()
+	if flight.Enabled() {
+		flight.RecordC(cs.ID, flight.KStealWin, ch.fid.Load(), int32(victim.ownerIDv),
+			int32(p.ownerNode)<<16|int32(victim.ownerNode)&0xffff)
+	}
 	// The nastiest window in the algorithm: ownership is ours, but the
 	// replacement node is not yet published (lines 116–131).
 	failpoint.Inject(failpoint.StealAfterOwnerCAS, p.ownerIDv)
@@ -165,15 +173,28 @@ func (p *Pool[T]) Steal(cs *scpool.ConsumerState, victimPool scpool.SCPool[T]) *
 		// before our CAS and therefore visible to this scan. The covered
 		// slot is treated exactly like a crash-forfeited announce: at
 		// most one task lost, never one duplicated.
+		cs.Ops.RescueSteals.Inc()
 		if !(failpoint.Compiled && debugDisableRescueRescan.Load()) {
 			if dead := p.shared.poolByID(ownerID(oldOwner)); dead != nil {
 				if a := dead.maxAnnouncedIdx(ch); a > idx {
 					idx = a
+					cs.Ops.RescueRescans.Inc()
+					if flight.Enabled() {
+						flight.RecordC(cs.ID, flight.KRescueRescan, ch.fid.Load(),
+							int32(ownerID(oldOwner)), int32(a))
+					}
 				}
 			}
 		}
+		if flight.Enabled() {
+			flight.RecordC(cs.ID, flight.KStealRescue, ch.fid.Load(),
+				int32(ownerID(oldOwner)), int32(idx))
+		}
 	}
 	if idx+1 == size { // line 120: chunk drained while we were stealing
+		if flight.Enabled() {
+			flight.RecordC(cs.ID, flight.KChunkDrained, ch.fid.Load(), 0, 0)
+		}
 		stealList.remove(myEntry)
 		// Hygiene beyond the paper's pseudo-code: we now own an
 		// exhausted chunk that would otherwise dangle in the victim's
@@ -227,6 +248,13 @@ func (p *Pool[T]) Steal(cs *scpool.ConsumerState, victimPool scpool.SCPool[T]) *
 			cs.Ops.FailedCAS.Inc()
 			task = nil
 		}
+	}
+	if flight.Enabled() {
+		won := int32(0)
+		if task != nil {
+			won = 1
+		}
+		flight.RecordC(cs.ID, flight.KTakeSteal, ch.fid.Load(), int32(idx), won)
 	}
 	next := p.peekNext(ch, idx+1)
 	if task != nil {

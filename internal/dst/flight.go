@@ -1,0 +1,41 @@
+package dst
+
+import "salsa/internal/flight"
+
+// ReplayWithFlight re-runs a recorded choice list with the flight recorder
+// armed and returns the captured dump alongside the ordinary replay
+// verdict. Recording is ring-local stores only — it never yields, blocks
+// or takes a scheduler decision — so arming it cannot change which
+// interleaving a choice list reproduces; the dump is a faithful black box
+// for the exact schedule the explorer minimized.
+//
+// Exploration itself always runs unarmed (Explore's byte-identical output
+// contract); capture is a dedicated replay of an already-found schedule.
+// Returns a nil dump when the recorder is compiled out (salsa_noflight).
+func ReplayWithFlight(sc Scenario, choices []int, maxSteps int) (*flight.Dump, *Controller, error) {
+	if !flight.Compiled {
+		ctl, err := Replay(sc, choices, maxSteps)
+		return nil, ctl, err
+	}
+	// Generous fixed sizes: DST scenarios use single-digit actor counts,
+	// and ring ids just need to cover every consumer/producer id a
+	// scenario might register. Precise: a replay records a handful of
+	// causally dense events, so each one carries a real clock read — the
+	// coarse shared clock would collapse the whole schedule onto one or
+	// two stamps and surrender the cross-ring interleaving the doctor's
+	// excerpt exists to show.
+	flight.Enable(flight.Options{
+		Consumers: 64,
+		Producers: 16,
+		RingSize:  flight.DefaultRingSize,
+		Precise:   true,
+	})
+	defer flight.Reset()
+	ctl, err := Replay(sc, choices, maxSteps)
+	ctx := "replay passed"
+	if err != nil {
+		ctx = err.Error()
+	}
+	d := flight.Capture("dst-replay", ctx, false)
+	return d, ctl, err
+}

@@ -1,0 +1,107 @@
+package dst
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"salsa/internal/core"
+	"salsa/internal/flight"
+)
+
+// TestCorpusPR4FlightDoubleTake is the flight recorder's acceptance
+// regression: replaying the pinned PR-4 double-delivery schedule with the
+// recorder armed must yield a dump from which salsa-doctor's analyzer
+// reconstructs the violation — one double-take anomaly naming the two
+// conflicting takes of the same (chunk, slot) with their consumer ids
+// (victim 1 commits its announced slot on the fast path, thief 2 takes the
+// same slot through the stolen chunk). The dump round-trips through the
+// binary format first, so the assertion covers exactly what the doctor
+// reads off disk.
+func TestCorpusPR4FlightDoubleTake(t *testing.T) {
+	if !flight.Compiled {
+		t.Skip("flight recorder compiled out (salsa_noflight)")
+	}
+	if !core.DebugRescueRescanToggleable() {
+		t.Skip("rescue re-scan toggle compiled out (salsa_nofailpoint)")
+	}
+	sc, ok := ScenarioByName("rescue-announce")
+	if !ok {
+		t.Fatal("scenario missing")
+	}
+
+	prev := core.SetDebugDisableRescueRescan(true)
+	defer core.SetDebugDisableRescueRescan(prev)
+	d, ctl, err := ReplayWithFlight(sc, pr4RescueChoices, 500)
+	if err == nil {
+		t.Fatalf("recorded schedule no longer reproduces the double delivery\n%s",
+			FormatTrace(ctl.Trace()))
+	}
+	if !strings.Contains(err.Error(), "delivered twice") {
+		t.Fatalf("got %q, want a double-delivery error", err)
+	}
+	if d == nil {
+		t.Fatal("armed replay produced no dump")
+	}
+
+	// Round-trip through the binary dump format: the analyzer must work
+	// from what lands on disk, not the in-memory capture.
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	rt, err := flight.ReadDump(&buf)
+	if err != nil {
+		t.Fatalf("ReadDump: %v", err)
+	}
+
+	rep := flight.Analyze(rt)
+	dts := rep.DoubleTakes()
+	if len(dts) != 1 {
+		t.Fatalf("got %d double-take anomalies, want 1\n%s", len(dts), rep.Summarize())
+	}
+	a := dts[0]
+	if len(a.Consumers) != 2 || a.Consumers[0] != 1 || a.Consumers[1] != 2 {
+		t.Fatalf("double-take implicates consumers %v, want [1 2] (victim, thief)\n[%s] %s",
+			a.Consumers, a.Kind, a.Summary)
+	}
+	if a.FID == 0 {
+		t.Fatalf("double-take carries no chunk flight id: %s", a.Summary)
+	}
+	if a.Slot < 0 {
+		t.Fatalf("double-take carries no slot: %s", a.Summary)
+	}
+	if len(a.Events) < 2 {
+		t.Fatalf("double-take carries %d implicating events, want the two takes", len(a.Events))
+	}
+
+	// The implicated chunk's lifecycle must exist and show the theft chain
+	// that set the violation up (pool 0's chunk stolen twice: victim then
+	// thief), so the doctor can print the causal path.
+	var lc *flight.Lifecycle
+	for _, c := range rep.Lifecycles {
+		if c.FID == a.FID {
+			lc = c
+		}
+	}
+	if lc == nil {
+		t.Fatalf("no lifecycle reconstructed for implicated chunk %d", a.FID)
+	}
+	if len(lc.Steals) == 0 {
+		t.Fatalf("implicated chunk %d shows no steals; the rescue chain is the whole story", a.FID)
+	}
+
+	// With the shipped fix the same schedule must record clean: no
+	// anomaly, exactly-once.
+	core.SetDebugDisableRescueRescan(false)
+	d2, _, err := ReplayWithFlight(sc, pr4RescueChoices, 500)
+	if err != nil {
+		t.Fatalf("shipped fix: recorded schedule failed: %v", err)
+	}
+	if d2 == nil {
+		t.Fatal("fixed replay produced no dump")
+	}
+	if got := flight.Analyze(d2).DoubleTakes(); len(got) != 0 {
+		t.Fatalf("shipped fix still shows %d double-takes: %s", len(got), got[0].Summary)
+	}
+}

@@ -1,0 +1,517 @@
+package flight
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file is salsa-doctor's brain, kept in the library so the chaos and
+// DST failure paths can attach the same causal analysis to their error
+// messages without shelling out to the binary.
+
+// Timeline is every event of a dump merged into one global order: by
+// monotonic timestamp, then ring (role, id), then ring-local sequence.
+// Per-ring sequence numbers break timestamp ties from the same writer, so
+// a single goroutine's events never reorder even at equal nanotimes (DST
+// runs, where scheduling is serialized, produce many equal stamps).
+type Timeline []Event
+
+// Timeline merges the dump's rings.
+func (d *Dump) Timeline() Timeline {
+	var n int
+	for _, rg := range d.Rings {
+		n += len(rg.Events)
+	}
+	tl := make(Timeline, 0, n)
+	for _, rg := range d.Rings {
+		tl = append(tl, rg.Events...)
+	}
+	sort.SliceStable(tl, func(i, j int) bool {
+		a, b := tl[i], tl[j]
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.Role != b.Role {
+			return a.Role < b.Role
+		}
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		return a.Seq < b.Seq
+	})
+	return tl
+}
+
+// Take is one successful task take extracted from the timeline.
+type Take struct {
+	// Consumer is the taking consumer's id; Slot the chunk slot index.
+	Consumer int
+	Slot     int32
+	// Via is the take's path: KTakeFast, KTakeSlow, KTakeSteal, or
+	// KTakeBatch (one batched-run event expands to one Take per slot).
+	Via Kind
+	// TS is the event's timestamp.
+	TS int64
+}
+
+// Lifecycle reconstructs one chunk residence (alloc → publish → steal
+// chain → drain), keyed by the chunk's flight id. Recycling starts a new
+// flight id, hence a new Lifecycle.
+type Lifecycle struct {
+	FID uint64
+	// Publish is the KChunkPublish event, nil if it predates the ring.
+	Publish *Event
+	// Owners is the ownership chain: the publishing pool, then each
+	// steal winner in timeline order.
+	Owners []int
+	// Steals are the KStealWin events, Rescues the KStealRescue events.
+	Steals  []Event
+	Rescues []Event
+	// Takes are the successful takes, in timeline order.
+	Takes []Take
+	// Drained is the KChunkDrained event, nil if never observed.
+	Drained *Event
+}
+
+// Anomaly is one suspicious pattern the analyzer found.
+type Anomaly struct {
+	// Kind is a stable machine-checkable tag: "double-take",
+	// "orphaned-chunk", "steal-storm", "checkempty-livelock".
+	Kind string `json:"kind"`
+	// Summary is the one-line human description.
+	Summary string `json:"summary"`
+	// FID is the implicated chunk flight id (0 when not chunk-scoped).
+	FID uint64 `json:"fid,omitempty"`
+	// Slot is the implicated slot index (-1 when not slot-scoped).
+	Slot int32 `json:"slot"`
+	// Consumers are the implicated consumer ids, ascending.
+	Consumers []int `json:"consumers,omitempty"`
+	// Events are the implicating events, timeline order.
+	Events []Event `json:"events,omitempty"`
+}
+
+// Report is the full analysis of one dump.
+type Report struct {
+	// Lifecycles holds one entry per chunk flight id seen, in first-seen
+	// timeline order.
+	Lifecycles []*Lifecycle
+	// Anomalies, most severe kinds first (double-take, orphaned-chunk,
+	// steal-storm, checkempty-livelock).
+	Anomalies []Anomaly
+	// KindCounts tallies events by kind across the whole dump.
+	KindCounts map[Kind]int
+	// Events is the merged timeline the report was computed from.
+	Events Timeline
+}
+
+// successfulTake reports whether e commits a task take, and at which slot.
+func successfulTake(e Event) (slot int32, ok bool) {
+	switch e.Kind {
+	case KTakeFast:
+		return e.B, true
+	case KTakeSlow, KTakeSteal:
+		return e.B, e.C == 1
+	}
+	return 0, false
+}
+
+// stealStormWindow / stealStormCount: a steal storm is stealStormCount
+// failed steals by one consumer within stealStormWindow ns with no
+// successful steal or take between them.
+const (
+	stealStormWindow = int64(50_000_000) // 50ms
+	stealStormCount  = 32
+)
+
+// livelockAbortCount: checkempty-livelock fires when a consumer logs this
+// many KCheckEmptyAbort events with no successful take in between.
+const livelockAbortCount = 64
+
+// Analyze merges the dump and reconstructs lifecycles and anomalies.
+func Analyze(d *Dump) *Report {
+	tl := d.Timeline()
+	r := &Report{KindCounts: map[Kind]int{}, Events: tl}
+	byFID := map[uint64]*Lifecycle{}
+	life := func(fid uint64) *Lifecycle {
+		lc := byFID[fid]
+		if lc == nil {
+			lc = &Lifecycle{FID: fid}
+			byFID[fid] = lc
+			r.Lifecycles = append(r.Lifecycles, lc)
+		}
+		return lc
+	}
+
+	for i := range tl {
+		e := tl[i]
+		r.KindCounts[e.Kind]++
+		switch e.Kind {
+		case KChunkPublish:
+			lc := life(e.A)
+			lc.Publish = &tl[i]
+		case KStealWin:
+			lc := life(e.A)
+			lc.Steals = append(lc.Steals, e)
+		case KStealRescue:
+			life(e.A).Rescues = append(life(e.A).Rescues, e)
+		case KChunkDrained:
+			lc := life(e.A)
+			lc.Drained = &tl[i]
+		case KTakeFast, KTakeSlow, KTakeSteal:
+			if slot, ok := successfulTake(e); ok {
+				life(e.A).Takes = append(life(e.A).Takes, Take{
+					Consumer: e.ID, Slot: slot, Via: e.Kind, TS: e.TS,
+				})
+			}
+		case KTakeBatch:
+			lc := life(e.A)
+			for s := int32(0); s < e.C; s++ {
+				lc.Takes = append(lc.Takes, Take{
+					Consumer: e.ID, Slot: e.B + s, Via: e.Kind, TS: e.TS,
+				})
+			}
+		}
+	}
+
+	// The ownership chain is built from the events' roles, not their raw
+	// timeline positions: the publishing pool always precedes the steal
+	// winners, even when the coarse event clock lands the publish and the
+	// first steal on the same stamp and the merge order between their two
+	// rings is arbitrary.
+	for _, lc := range r.Lifecycles {
+		if lc.Publish != nil {
+			lc.Owners = append(lc.Owners, int(lc.Publish.B))
+		}
+		for _, s := range lc.Steals {
+			lc.Owners = append(lc.Owners, s.ID)
+		}
+	}
+
+	r.Anomalies = append(r.Anomalies, findDoubleTakes(tl)...)
+	var newest int64
+	if len(tl) > 0 {
+		newest = tl[len(tl)-1].TS
+	}
+	r.Anomalies = append(r.Anomalies, findOrphanedChunks(r.Lifecycles, d.TruncationHorizon(), newest)...)
+	r.Anomalies = append(r.Anomalies, findStealStorms(tl)...)
+	r.Anomalies = append(r.Anomalies, findCheckEmptyLivelock(tl)...)
+	return r
+}
+
+// findDoubleTakes flags every (chunk flight id, slot) taken successfully
+// more than once — the Lemma 12 (uniqueness) violation the two-CAS steal
+// protocol exists to prevent.
+func findDoubleTakes(tl Timeline) []Anomaly {
+	type key struct {
+		fid  uint64
+		slot int32
+	}
+	takes := map[key][]Event{}
+	var order []key
+	add := func(e Event, slot int32) {
+		k := key{e.A, slot}
+		if len(takes[k]) == 0 {
+			order = append(order, k)
+		}
+		takes[k] = append(takes[k], e)
+	}
+	for _, e := range tl {
+		if e.A == 0 {
+			continue
+		}
+		if e.Kind == KTakeBatch {
+			// One batched-run event covers slots [B, B+C): each slot is a
+			// committed take, so each participates in the uniqueness check.
+			for s := int32(0); s < e.C; s++ {
+				add(e, e.B+s)
+			}
+			continue
+		}
+		if slot, ok := successfulTake(e); ok {
+			add(e, slot)
+		}
+	}
+	var out []Anomaly
+	for _, k := range order {
+		ev := takes[k]
+		if len(ev) < 2 {
+			continue
+		}
+		cons := consumerSet(ev)
+		var who []string
+		for _, e := range ev {
+			who = append(who, fmt.Sprintf("consumer %d via %s at t=%dns", e.ID, e.Kind, e.TS))
+		}
+		out = append(out, Anomaly{
+			Kind: "double-take",
+			Summary: fmt.Sprintf("chunk %d slot %d taken %d times: %s",
+				k.fid, k.slot, len(ev), strings.Join(who, "; ")),
+			FID:       k.fid,
+			Slot:      k.slot,
+			Consumers: cons,
+			Events:    ev,
+		})
+	}
+	return out
+}
+
+// orphanMinAge: a chunk younger than this at capture is presumed still in
+// flight, not orphaned — a producer may be filling it or its consumer may
+// simply not have reached it yet.
+const orphanMinAge = int64(50_000_000) // 50ms
+
+// findOrphanedChunks flags chunks that were published, never drained, and
+// whose last observed owner produced no take after the chunk's last
+// ownership change — tasks potentially stranded behind a departed owner.
+//
+// Chunks published before the truncation horizon are skipped: a wrapped
+// ring has evicted its oldest events, so the absence of a take or drain
+// for an old chunk proves nothing (the event may simply be gone). Only
+// where the rings are complete is absence evidence.
+func findOrphanedChunks(lcs []*Lifecycle, horizon, newest int64) []Anomaly {
+	var out []Anomaly
+	for _, lc := range lcs {
+		if lc.Publish == nil || lc.Drained != nil {
+			continue
+		}
+		if lc.Publish.TS < horizon || newest-lc.Publish.TS < orphanMinAge {
+			continue
+		}
+		// Last ownership event (publish or last steal).
+		lastOwnerTS := lc.Publish.TS
+		if n := len(lc.Steals); n > 0 {
+			lastOwnerTS = lc.Steals[n-1].TS
+		}
+		active := false
+		for _, t := range lc.Takes {
+			if t.TS >= lastOwnerTS {
+				active = true
+				break
+			}
+		}
+		if active {
+			continue
+		}
+		out = append(out, Anomaly{
+			Kind: "orphaned-chunk",
+			Summary: fmt.Sprintf("chunk %d published to pool %d, never drained, no takes after its last ownership change (owners %v)",
+				lc.FID, lc.Owners[0], lc.Owners),
+			FID:  lc.FID,
+			Slot: -1,
+		})
+	}
+	return out
+}
+
+// findStealStorms flags bursts of failed steals from one consumer with
+// nothing gained in between — the signature of thieves chasing each other
+// around a nearly-empty pool set.
+func findStealStorms(tl Timeline) []Anomaly {
+	type state struct {
+		count   int
+		firstTS int64
+		events  []Event
+	}
+	st := map[int]*state{}
+	var out []Anomaly
+	flush := func(id int, s *state) {
+		if s.count >= stealStormCount {
+			out = append(out, Anomaly{
+				Kind: "steal-storm",
+				Summary: fmt.Sprintf("consumer %d: %d failed steals in %.1fms with no take or steal win",
+					id, s.count, float64(s.events[len(s.events)-1].TS-s.firstTS)/1e6),
+				Slot:      -1,
+				Consumers: []int{id},
+				Events:    s.events,
+			})
+		}
+		*s = state{}
+	}
+	for _, e := range tl {
+		if e.Role != RoleConsumer {
+			continue
+		}
+		s := st[e.ID]
+		if s == nil {
+			s = &state{}
+			st[e.ID] = s
+		}
+		switch e.Kind {
+		case KStealFail:
+			if s.count == 0 {
+				s.firstTS = e.TS
+			} else if e.TS-s.firstTS > stealStormWindow {
+				flush(e.ID, s)
+				s.firstTS = e.TS
+			}
+			s.count++
+			s.events = append(s.events, e)
+		case KStealWin, KTakeFast, KTakeSlow, KTakeSteal, KTakeBatch:
+			flush(e.ID, s)
+		}
+	}
+	for id, s := range st {
+		flush(id, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Consumers[0] < out[j].Consumers[0] })
+	return out
+}
+
+// findCheckEmptyLivelock flags consumers whose emptiness probes keep
+// aborting (indicator resets / epoch moves) without the consumer ever
+// taking a task — the livelock signature of a perpetually disturbed probe.
+func findCheckEmptyLivelock(tl Timeline) []Anomaly {
+	aborts := map[int]int{}
+	evs := map[int][]Event{}
+	var out []Anomaly
+	for _, e := range tl {
+		if e.Role != RoleConsumer {
+			continue
+		}
+		switch e.Kind {
+		case KCheckEmptyAbort:
+			aborts[e.ID]++
+			evs[e.ID] = append(evs[e.ID], e)
+		case KTakeFast, KTakeSlow, KTakeSteal, KTakeBatch, KGetEmpty:
+			_, took := successfulTake(e)
+			if took || e.Kind == KTakeBatch || e.Kind == KGetEmpty {
+				aborts[e.ID] = 0
+				evs[e.ID] = nil
+			}
+		}
+	}
+	var ids []int
+	for id, n := range aborts {
+		if n >= livelockAbortCount {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		out = append(out, Anomaly{
+			Kind: "checkempty-livelock",
+			Summary: fmt.Sprintf("consumer %d: %d consecutive checkEmpty aborts with no take and no confirmed empty",
+				id, aborts[id]),
+			Slot:      -1,
+			Consumers: []int{id},
+			Events:    evs[id],
+		})
+	}
+	return out
+}
+
+// DoubleTakes returns just the double-take anomalies.
+func (r *Report) DoubleTakes() []Anomaly {
+	var out []Anomaly
+	for _, a := range r.Anomalies {
+		if a.Kind == "double-take" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// consumerSet returns the distinct consumer ids of events, ascending.
+func consumerSet(evs []Event) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, e := range evs {
+		if !seen[e.ID] {
+			seen[e.ID] = true
+			out = append(out, e.ID)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FormatEvent renders one event as a single line.
+func FormatEvent(e Event) string {
+	who := fmt.Sprintf("%s %d", e.Role, e.ID)
+	if e.Role == RoleControl {
+		who = "control"
+	}
+	detail := ""
+	switch e.Kind {
+	case KChunkPublish:
+		detail = fmt.Sprintf("chunk=%d pool=%d node=%d", e.A, e.B, e.C)
+	case KForceExpand, KProduceFail:
+		detail = fmt.Sprintf("pool=%d", e.B)
+	case KTakeFast:
+		detail = fmt.Sprintf("chunk=%d slot=%d", e.A, e.B)
+	case KTakeSlow, KTakeSteal:
+		won := "lost"
+		if e.C == 1 {
+			won = "won"
+		}
+		detail = fmt.Sprintf("chunk=%d slot=%d %s", e.A, e.B, won)
+	case KTakeBatch:
+		detail = fmt.Sprintf("chunk=%d slots=[%d,%d)", e.A, e.B, e.B+e.C)
+	case KStealWin:
+		detail = fmt.Sprintf("chunk=%d victim=%d nodes=%d->%d", e.A, e.B, e.C>>16, e.C&0xffff)
+	case KStealFail:
+		detail = fmt.Sprintf("chunk=%d victim=%d", e.A, e.B)
+	case KStealRescue:
+		detail = fmt.Sprintf("chunk=%d dead-owner=%d idx=%d", e.A, e.B, e.C)
+	case KRescueRescan:
+		detail = fmt.Sprintf("chunk=%d dead-owner=%d advanced-to=%d", e.A, e.B, e.C)
+	case KChunkDrained:
+		detail = fmt.Sprintf("chunk=%d", e.A)
+	case KCheckEmptyAbort:
+		detail = fmt.Sprintf("round=%d", e.C)
+	case KMemberJoin, KMemberRetire, KMemberCrash:
+		detail = fmt.Sprintf("epoch=%d consumer=%d node=%d", e.A, e.B, e.C)
+	}
+	if detail != "" {
+		detail = " " + detail
+	}
+	return fmt.Sprintf("t=%-12d %-11s #%-5d %-16s%s", e.TS, who, e.Seq, e.Kind, detail)
+}
+
+// Excerpt renders the last n events of the dump's merged timeline, one
+// line each — the snippet the chaos and DST checkers attach to failures.
+func Excerpt(d *Dump, n int) string {
+	tl := d.Timeline()
+	if len(tl) == 0 {
+		return "(no events recorded)"
+	}
+	start := 0
+	if len(tl) > n {
+		start = len(tl) - n
+	}
+	var b strings.Builder
+	if start > 0 {
+		fmt.Fprintf(&b, "... (%d earlier events)\n", start)
+	}
+	for _, e := range tl[start:] {
+		b.WriteString(FormatEvent(e))
+		b.WriteByte('\n')
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// Summarize renders the report's headline: event totals, lifecycle counts
+// and each anomaly on one line.
+func (r *Report) Summarize() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "events: %d across %d kinds; chunk lifecycles: %d\n",
+		len(r.Events), len(r.KindCounts), len(r.Lifecycles))
+	var kinds []Kind
+	for k := range r.KindCounts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "  %-16s %d\n", k, r.KindCounts[k])
+	}
+	if len(r.Anomalies) == 0 {
+		b.WriteString("anomalies: none\n")
+	} else {
+		fmt.Fprintf(&b, "anomalies: %d\n", len(r.Anomalies))
+		for _, a := range r.Anomalies {
+			fmt.Fprintf(&b, "  [%s] %s\n", a.Kind, a.Summary)
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -1,0 +1,8 @@
+//go:build salsa_noflight
+
+package flight
+
+// Compiled is false under the salsa_noflight tag: every Record*/BeginOp
+// site reduces to a constant-false branch the compiler deletes, so hot
+// paths carry no atomics and no calls from the recording layer.
+const Compiled = false

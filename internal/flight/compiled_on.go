@@ -1,0 +1,9 @@
+//go:build !salsa_noflight
+
+package flight
+
+// Compiled reports whether flight-recorder sites are compiled into this
+// build. Default builds keep them live (one atomic load per site when
+// disarmed) so any harness can arm the black box; build with
+// -tags salsa_noflight to turn every site into dead code.
+const Compiled = true

@@ -1,0 +1,296 @@
+package flight
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+)
+
+// Dump is a point-in-time capture of the recorder: metadata plus every
+// ring's surviving events. It is what the watchdog and the FAIL paths
+// write to disk and what salsa-doctor loads.
+type Dump struct {
+	Meta  Meta       `json:"meta"`
+	Rings []RingDump `json:"rings"`
+}
+
+// Meta describes the circumstances of a capture.
+type Meta struct {
+	// Reason says why the dump was taken ("chaos-fail", "watchdog-stall",
+	// "smoke", ...).
+	Reason string `json:"reason"`
+	// Context is free-form harness context (the failing error, membership
+	// epoch, schedule spec).
+	Context string `json:"context,omitempty"`
+	// CapturedAt is the wall clock at capture; EnabledAt anchors the
+	// events' monotonic TS values (TS 0 == EnabledAt).
+	CapturedAt time.Time `json:"captured_at"`
+	EnabledAt  time.Time `json:"enabled_at"`
+	// Consumers/Producers/RingSize echo the recorder's Options.
+	Consumers int `json:"consumers"`
+	Producers int `json:"producers"`
+	RingSize  int `json:"ring_size"`
+	// Dropped counts events lost to ring-count overflow.
+	Dropped int64 `json:"dropped,omitempty"`
+	// Stacks is an optional all-goroutine stack capture (watchdog dumps).
+	Stacks string `json:"stacks,omitempty"`
+}
+
+// RingDump is one ring's events, oldest first.
+type RingDump struct {
+	Role   Role    `json:"role"`
+	ID     int     `json:"id"`
+	Events []Event `json:"events"`
+}
+
+// Capture snapshots the installed recorder. Returns nil when no recorder
+// is installed (or the package is compiled out). Safe to call while
+// writers are still recording: torn slots are skipped, never misread.
+func Capture(reason, context string, withStacks bool) *Dump {
+	r := installed()
+	if r == nil {
+		return nil
+	}
+	d := &Dump{Meta: Meta{
+		Reason:     reason,
+		Context:    context,
+		CapturedAt: time.Now(),
+		EnabledAt:  r.wall,
+		Consumers:  len(r.consumers),
+		Producers:  len(r.producers),
+		RingSize:   int(r.consumers[0].mask + 1),
+		Dropped:    r.dropped.Load(),
+	}}
+	if withStacks {
+		buf := make([]byte, 1<<20)
+		d.Meta.Stacks = string(buf[:runtime.Stack(buf, true)])
+	}
+	for id, rg := range r.consumers {
+		if ev := rg.snapshot(RoleConsumer, id); len(ev) > 0 {
+			d.Rings = append(d.Rings, RingDump{Role: RoleConsumer, ID: id, Events: ev})
+		}
+	}
+	for id, rg := range r.producers {
+		if ev := rg.snapshot(RoleProducer, id); len(ev) > 0 {
+			d.Rings = append(d.Rings, RingDump{Role: RoleProducer, ID: id, Events: ev})
+		}
+	}
+	if ev := r.control.snapshot(RoleControl, 0); len(ev) > 0 {
+		d.Rings = append(d.Rings, RingDump{Role: RoleControl, ID: 0, Events: ev})
+	}
+	return d
+}
+
+// Binary dump format (all integers little-endian):
+//
+//	magic    [8]byte  "SALSAFL1"
+//	metaLen  uint32
+//	meta     metaLen bytes of JSON (Meta)
+//	nrings   uint32
+//	per ring:
+//	  role    uint8
+//	  id      uint32
+//	  nevents uint32
+//	  events  nevents * 4 * uint64 (the ring wire words)
+var dumpMagic = [8]byte{'S', 'A', 'L', 'S', 'A', 'F', 'L', '1'}
+
+// WriteTo serializes the dump in the binary format above.
+func (d *Dump) WriteTo(w io.Writer) (int64, error) {
+	meta, err := json.Marshal(d.Meta)
+	if err != nil {
+		return 0, err
+	}
+	cw := &countWriter{w: w}
+	if _, err := cw.Write(dumpMagic[:]); err != nil {
+		return cw.n, err
+	}
+	var u32 [4]byte
+	putU32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(u32[:], v)
+		_, err := cw.Write(u32[:])
+		return err
+	}
+	if err := putU32(uint32(len(meta))); err != nil {
+		return cw.n, err
+	}
+	if _, err := cw.Write(meta); err != nil {
+		return cw.n, err
+	}
+	if err := putU32(uint32(len(d.Rings))); err != nil {
+		return cw.n, err
+	}
+	var word [8]byte
+	for _, rg := range d.Rings {
+		if _, err := cw.Write([]byte{byte(rg.Role)}); err != nil {
+			return cw.n, err
+		}
+		if err := putU32(uint32(rg.ID)); err != nil {
+			return cw.n, err
+		}
+		if err := putU32(uint32(len(rg.Events))); err != nil {
+			return cw.n, err
+		}
+		for _, e := range rg.Events {
+			for _, v := range e.encode() {
+				binary.LittleEndian.PutUint64(word[:], v)
+				if _, err := cw.Write(word[:]); err != nil {
+					return cw.n, err
+				}
+			}
+		}
+	}
+	return cw.n, nil
+}
+
+// WriteFile writes the dump to path (0644), creating the parent directory
+// if needed — FAIL paths must not lose the black box to a missing
+// results/ dir on a fresh checkout.
+func (d *Dump) WriteFile(path string) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := d.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// maxDumpRings and maxDumpEvents bound what ReadDump will allocate from a
+// length header, so a truncated or corrupt file fails instead of OOMing.
+const (
+	maxDumpRings  = 1 << 20
+	maxDumpEvents = 1 << 26
+)
+
+// ReadDump parses a binary dump.
+func ReadDump(r io.Reader) (*Dump, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("flight: reading magic: %w", err)
+	}
+	if magic != dumpMagic {
+		return nil, fmt.Errorf("flight: bad magic %q (not a flight dump)", magic[:])
+	}
+	var u32 [4]byte
+	readU32 := func() (uint32, error) {
+		if _, err := io.ReadFull(r, u32[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(u32[:]), nil
+	}
+	metaLen, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("flight: reading meta length: %w", err)
+	}
+	if metaLen > maxDumpEvents {
+		return nil, fmt.Errorf("flight: implausible meta length %d", metaLen)
+	}
+	metaBuf := make([]byte, metaLen)
+	if _, err := io.ReadFull(r, metaBuf); err != nil {
+		return nil, fmt.Errorf("flight: reading meta: %w", err)
+	}
+	d := &Dump{}
+	if err := json.Unmarshal(metaBuf, &d.Meta); err != nil {
+		return nil, fmt.Errorf("flight: decoding meta: %w", err)
+	}
+	nrings, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("flight: reading ring count: %w", err)
+	}
+	if nrings > maxDumpRings {
+		return nil, fmt.Errorf("flight: implausible ring count %d", nrings)
+	}
+	var word [8]byte
+	for ri := uint32(0); ri < nrings; ri++ {
+		var roleB [1]byte
+		if _, err := io.ReadFull(r, roleB[:]); err != nil {
+			return nil, fmt.Errorf("flight: ring %d role: %w", ri, err)
+		}
+		id, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("flight: ring %d id: %w", ri, err)
+		}
+		nev, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("flight: ring %d event count: %w", ri, err)
+		}
+		if nev > maxDumpEvents {
+			return nil, fmt.Errorf("flight: ring %d implausible event count %d", ri, nev)
+		}
+		rg := RingDump{Role: Role(roleB[0]), ID: int(id), Events: make([]Event, 0, nev)}
+		for ei := uint32(0); ei < nev; ei++ {
+			var w [ringWords]uint64
+			for wi := range w {
+				if _, err := io.ReadFull(r, word[:]); err != nil {
+					return nil, fmt.Errorf("flight: ring %d event %d: %w", ri, ei, err)
+				}
+				w[wi] = binary.LittleEndian.Uint64(word[:])
+			}
+			rg.Events = append(rg.Events, decode(rg.Role, rg.ID, w))
+		}
+		d.Rings = append(d.Rings, rg)
+	}
+	return d, nil
+}
+
+// ReadDumpFile loads a binary dump from path.
+func ReadDumpFile(path string) (*Dump, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadDump(f)
+}
+
+// TruncationHorizon returns the earliest timestamp at which the dump is
+// known complete. A ring whose oldest retained event has Seq > 1 wrapped:
+// everything older than that event was evicted, so only events at or
+// after the horizon can support absence-based reasoning ("no take was
+// recorded"). 0 means no ring wrapped and the dump is complete.
+func (d *Dump) TruncationHorizon() int64 {
+	var h int64
+	for _, rg := range d.Rings {
+		if len(rg.Events) > 0 && rg.Events[0].Seq > 1 && rg.Events[0].TS > h {
+			h = rg.Events[0].TS
+		}
+	}
+	return h
+}
+
+// CaptureToFile captures the installed recorder and writes it to path in
+// one step, returning the dump. A nil dump (no recorder) is not an error.
+func CaptureToFile(path, reason, context string, withStacks bool) (*Dump, error) {
+	d := Capture(reason, context, withStacks)
+	if d == nil {
+		return nil, nil
+	}
+	if err := d.WriteFile(path); err != nil {
+		return d, err
+	}
+	return d, nil
+}
+
+// countWriter tracks bytes written for WriteTo's return value.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

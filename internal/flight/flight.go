@@ -1,0 +1,555 @@
+// Package flight is the pool's black box: an always-available, lock-free
+// event journal that records the orderings SALSA's correctness argument is
+// actually about — who published a chunk, who announced an index, who won
+// the ownership CAS — without adding any ordering the algorithm does not
+// already have.
+//
+// Layout. The recorder owns one fixed-size ring per consumer slot and one
+// per producer slot, plus a single control ring for membership events.
+// Every data ring is strictly single-writer: the owning goroutine (the
+// consumer or producer whose id it is) is the only writer, so recording an
+// event is a handful of plain atomic *stores* — load+store sequence
+// numbers, never a read-modify-write — the same discipline as the counters
+// and histograms in internal/stats. The control ring's writers are already
+// serialized by the framework's membership lock, so it needs no extra
+// synchronization either.
+//
+// Torn-read protocol. Dump and watchdog readers run concurrently with
+// writers, so each event publishes through a per-slot sequence word: the
+// writer stores 0 (invalidating the slot), the payload words, and finally
+// the sequence number. A reader loads the sequence word, the payload, then
+// the sequence word again; any mismatch means the writer lapped it mid-read
+// and the slot is discarded as torn. The ring's cursor is a plain
+// owner-local word that no reader touches — readers recover the newest
+// sequence by scanning the per-slot sequence words — so appending an event
+// costs exactly five atomic stores. No reader ever blocks a writer.
+//
+// Cost discipline. Sites call Record* through the same armed-atomic fast
+// path as internal/failpoint: `Compiled && armed.Load() != 0` — one inlined
+// atomic load when the recorder is compiled in but not enabled. Builds with
+// the `salsa_noflight` tag set Compiled to constant false and every site
+// body becomes dead code (see DESIGN.md §11). Arming is a control-plane
+// operation (Enable/Disable/Reset, serialized on a mutex); one harness owns
+// the recorder at a time, which is what keeps the per-id rings
+// single-writer.
+package flight
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind discriminates recorded events. The 8-bit value is packed into the
+// event's third word, so there is room for 255 kinds.
+type Kind uint8
+
+const (
+	// KNone marks an empty slot; never recorded.
+	KNone Kind = iota
+
+	// KChunkPublish: a producer obtained a chunk (fresh or recycled) and
+	// published it into a pool. a = chunk flight id, b = owning consumer
+	// (pool) id, c = chunk home node.
+	KChunkPublish
+	// KForceExpand: the whole access list was full and the producer
+	// force-expanded the nearest pool. b = pool id.
+	KForceExpand
+	// KProduceFail: produce() on one pool failed for lack of spare
+	// chunks. b = rejecting pool id.
+	KProduceFail
+
+	// KTakeFast: the owner committed a take on the CAS-free fast path
+	// (plain TAKEN store after the post-announce ownership re-check).
+	// a = chunk flight id, b = slot index.
+	KTakeFast
+	// KTakeSlow: the owner fell to the CAS slow path after losing
+	// ownership. a = chunk flight id, b = slot index, c = 1 won / 0 lost.
+	KTakeSlow
+	// KTakeSteal: a thief's single-task CAS on a freshly stolen chunk.
+	// a = chunk flight id, b = slot index, c = 1 won / 0 lost.
+	KTakeSteal
+	// KTakeBatch: a batched consume's run of CAS-free fast-path takes,
+	// recorded as one event so the per-task journal cost amortizes across
+	// the run. a = chunk flight id, b = first slot index, c = slot count
+	// (the run covered slots [b, b+c)). Analysis expands it back into
+	// per-slot takes.
+	KTakeBatch
+
+	// KStealWin: the thief won the two-CAS chunk steal. a = chunk flight
+	// id, b = victim consumer id, c = thiefNode<<16 | victimNode.
+	KStealWin
+	// KStealFail: the ownership CAS lost. a = chunk flight id, b = victim
+	// consumer id.
+	KStealFail
+	// KStealRescue: the steal reclaimed a chunk from a departed owner.
+	// a = chunk flight id, b = departed owner id, c = announced index the
+	// thief honored.
+	KStealRescue
+	// KRescueRescan: the post-CAS re-scan of a departed owner's announced
+	// index advanced the rescue index. a = chunk flight id, b = departed
+	// owner id, c = index advanced to.
+	KRescueRescan
+	// KChunkDrained: a chunk's last task was consumed and the chunk was
+	// retired toward recycling. a = chunk flight id.
+	KChunkDrained
+
+	// KGetEmpty: a retrieval completed empty (checkEmpty confirmed ⊥).
+	KGetEmpty
+	// KCheckEmptyAbort: an emptiness probe aborted and restarted
+	// (indicator reset or epoch moved). c = round reached.
+	KCheckEmptyAbort
+	// KPark: a blocking retrieval parked (backoff slept) waiting for work.
+	KPark
+
+	// KMemberJoin/KMemberRetire/KMemberCrash: membership epoch
+	// transitions (control ring). b = consumer id, c = node; a = epoch.
+	KMemberJoin
+	KMemberRetire
+	KMemberCrash
+
+	// NumKinds is the number of defined kinds.
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{
+	KNone:            "none",
+	KChunkPublish:    "chunk-publish",
+	KForceExpand:     "force-expand",
+	KProduceFail:     "produce-fail",
+	KTakeFast:        "take-fast",
+	KTakeSlow:        "take-slow",
+	KTakeSteal:       "take-steal",
+	KTakeBatch:       "take-batch",
+	KStealWin:        "steal-win",
+	KStealFail:       "steal-fail",
+	KStealRescue:     "steal-rescue",
+	KRescueRescan:    "rescue-rescan",
+	KChunkDrained:    "chunk-drained",
+	KGetEmpty:        "get-empty",
+	KCheckEmptyAbort: "checkempty-abort",
+	KPark:            "park",
+	KMemberJoin:      "member-join",
+	KMemberRetire:    "member-retire",
+	KMemberCrash:     "member-crash",
+}
+
+// String returns the kind's wire name.
+func (k Kind) String() string {
+	if k < NumKinds {
+		return kindNames[k]
+	}
+	return "kind(?)"
+}
+
+// Role says which class of goroutine owns a ring.
+type Role uint8
+
+const (
+	// RoleConsumer rings are written by consumer goroutines.
+	RoleConsumer Role = iota
+	// RoleProducer rings are written by producer goroutines.
+	RoleProducer
+	// RoleControl is the single membership ring (writers serialized by
+	// the framework's membership lock).
+	RoleControl
+)
+
+// String returns the role's wire name.
+func (r Role) String() string {
+	switch r {
+	case RoleConsumer:
+		return "consumer"
+	case RoleProducer:
+		return "producer"
+	case RoleControl:
+		return "control"
+	}
+	return "role(?)"
+}
+
+// Event is one decoded journal entry.
+type Event struct {
+	// Role and ID identify the ring (and therefore the recording
+	// goroutine): the consumer/producer id, or 0 for the control ring.
+	Role Role `json:"role"`
+	ID   int  `json:"id"`
+	// Seq is the ring-local sequence number (1-based, monotonic).
+	Seq uint64 `json:"seq"`
+	// TS is nanoseconds since the recorder was enabled (monotonic clock).
+	TS int64 `json:"ts_ns"`
+	// Kind discriminates the payload fields A, B, C (see the Kind docs).
+	Kind Kind   `json:"kind"`
+	A    uint64 `json:"a"`
+	B    int32  `json:"b"`
+	C    int32  `json:"c"`
+}
+
+// Event wire layout: 4 little-endian uint64 words.
+//
+//	w0 = seq   (published last; 0 marks an empty or in-flight slot)
+//	w1 = ts    (ns since enable)
+//	w2 = kind<<56 | a (56-bit payload, chunk flight id)
+//	w3 = b<<32 | c    (two int32 payloads)
+const (
+	ringWords = 4
+	maskA     = (uint64(1) << 56) - 1
+)
+
+func packW2(kind Kind, a uint64) uint64 { return uint64(kind)<<56 | a&maskA }
+func packW3(b, c int32) uint64          { return uint64(uint32(b))<<32 | uint64(uint32(c)) }
+
+func decode(role Role, id int, w [ringWords]uint64) Event {
+	return Event{
+		Role: role,
+		ID:   id,
+		Seq:  w[0],
+		TS:   int64(w[1]),
+		Kind: Kind(w[2] >> 56),
+		A:    w[2] & maskA,
+		B:    int32(uint32(w[3] >> 32)),
+		C:    int32(uint32(w[3])),
+	}
+}
+
+func (e Event) encode() [ringWords]uint64 {
+	return [ringWords]uint64{e.Seq, uint64(e.TS), packW2(e.Kind, e.A), packW3(e.B, e.C)}
+}
+
+// ring is one single-writer event journal. pos is a plain word touched
+// only by the owning goroutine — readers never load it; they recover the
+// newest sequence with newest(), a scan of the per-slot sequence words —
+// which keeps the append path at five atomic stores with no cursor store.
+type ring struct {
+	pos  uint64 // events ever written (== seq of the newest); owner-only
+	_    [56]byte
+	buf  []atomic.Uint64
+	mask uint64
+}
+
+func newRing(size int) *ring {
+	// Round up to a power of two so wrap is a mask, not a division.
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &ring{buf: make([]atomic.Uint64, n*ringWords), mask: uint64(n - 1)}
+}
+
+// record appends one event. Owner-only: five atomic stores, no RMW, no
+// atomic cursor update (pos is plain and owner-local).
+func (r *ring) record(ts int64, kind Kind, a uint64, b, c int32) {
+	seq := r.pos + 1
+	i := ((seq - 1) & r.mask) * ringWords
+	r.buf[i+0].Store(0) // invalidate: readers treat seq 0 as torn/empty
+	r.buf[i+1].Store(uint64(ts))
+	r.buf[i+2].Store(packW2(kind, a))
+	r.buf[i+3].Store(packW3(b, c))
+	r.buf[i+0].Store(seq) // publish
+	r.pos = seq
+}
+
+// newest returns the highest published sequence number — the reader-side
+// substitute for the owner-local cursor. Writing seq S+1 only invalidates
+// the slot S+1 lands in, never the slot holding S (for any ring of at
+// least two slots), so the scan's max is always the newest published
+// event or better. Cold path: dump capture and watchdog ticks only.
+func (r *ring) newest() uint64 {
+	var max uint64
+	for i := uint64(0); i < uint64(len(r.buf)); i += ringWords {
+		if s := r.buf[i].Load(); s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// snapshot decodes the ring's surviving events, oldest first, skipping
+// slots torn by a concurrent writer.
+func (r *ring) snapshot(role Role, id int) []Event {
+	pos := r.newest()
+	size := r.mask + 1
+	first := uint64(1)
+	if pos > size {
+		first = pos - size + 1
+	}
+	events := make([]Event, 0, pos-first+1)
+	for seq := first; seq <= pos; seq++ {
+		i := ((seq - 1) & r.mask) * ringWords
+		var w [ringWords]uint64
+		w[0] = r.buf[i+0].Load()
+		if w[0] != seq {
+			continue // overwritten (or mid-write) since we read pos
+		}
+		w[1] = r.buf[i+1].Load()
+		w[2] = r.buf[i+2].Load()
+		w[3] = r.buf[i+3].Load()
+		if r.buf[i+0].Load() != seq {
+			continue // writer lapped us between the two seq loads
+		}
+		events = append(events, decode(role, id, w))
+	}
+	return events
+}
+
+// Recorder is one armed journal: per-id rings plus the watchdog's
+// per-consumer in-flight markers. At most one Recorder is installed at a
+// time (Enable replaces, Reset removes).
+type Recorder struct {
+	consumers []*ring
+	producers []*ring
+	control   *ring
+	// opMark[i] is the token of the blocking retrieval consumer i is
+	// inside, 0 when idle. Written by the consumer (a plain counter bump
+	// plus one store — no clock read on the hot path), read by the
+	// watchdog, which clocks how long it has observed the same token
+	// itself. opSeq[i] is the owner-local token source; tokens never
+	// repeat, so the watchdog cannot mistake a new retrieval that reused
+	// a value for one stuck op.
+	opMark []atomic.Int64
+	opSeq  []int64
+	// epoch is the monotonic time origin for TS values; wall anchors it
+	// for humans reading dumps.
+	epoch time.Time
+	wall  time.Time
+	// clock is the event timestamp source when precise is false: the
+	// enable-relative ns, advanced every clockTick by a dedicated ticker
+	// goroutine, so stamping an event is one atomic load instead of an
+	// OS clock read (tens of ns on some hosts — the single largest cost
+	// of an armed event after the ring stores). Per-ring sequence numbers
+	// keep exact per-goroutine order regardless; the coarse stamp only
+	// bounds cross-ring interleaving resolution to clockTick. Harnesses
+	// that capture low-rate, causally dense schedules (DST replays) set
+	// Options.Precise to stamp events with the real clock instead.
+	clock   atomic.Int64
+	precise bool
+	// dropped counts events whose id exceeded the allocated rings —
+	// a sizing error, counted (RMW is fine here) instead of crashing.
+	dropped atomic.Int64
+}
+
+var (
+	// armed gates every record site; the disarmed fast path is one load.
+	armed atomic.Int32
+	// rec is the installed recorder (nil when none).
+	rec atomic.Pointer[Recorder]
+	// mu serializes Enable/Disable/Reset (control plane only).
+	mu sync.Mutex
+	// chunkIDs hands out chunk flight ids; see NextChunkID.
+	chunkIDs atomic.Uint64
+)
+
+// Options sizes a recorder.
+type Options struct {
+	// Consumers and Producers are ring counts; ids at or above the count
+	// are dropped (and counted), not recorded.
+	Consumers, Producers int
+	// RingSize is events retained per ring (rounded up to a power of
+	// two). 0 means DefaultRingSize.
+	RingSize int
+	// Precise stamps every event with a real monotonic clock read
+	// instead of the recorder's coarse shared clock (see Recorder.clock).
+	// Set it for low-rate captures whose cross-ring event interleaving
+	// must be exact — DST replays — and leave it off for production-rate
+	// workloads, where the coarse clock is what keeps an armed event
+	// cheap.
+	Precise bool
+}
+
+// clockTick is the coarse clock's resolution. Well under every
+// time-window constant the analyzer uses (steal-storm window, orphan
+// minimum age), and two orders of magnitude finer than the default stall
+// deadline.
+const clockTick = 100 * time.Microsecond
+
+// DefaultRingSize is the per-ring event capacity when Options.RingSize is 0.
+const DefaultRingSize = 4096
+
+// Enable installs and arms a fresh recorder. It replaces any previous one
+// (whose events are discarded). The caller is the recorder's owner: the
+// single-writer argument needs exactly one harness arming at a time.
+func Enable(o Options) {
+	if !Compiled {
+		return
+	}
+	if o.RingSize <= 0 {
+		o.RingSize = DefaultRingSize
+	}
+	if o.Consumers < 1 {
+		o.Consumers = 1
+	}
+	if o.Producers < 1 {
+		o.Producers = 1
+	}
+	r := &Recorder{
+		consumers: make([]*ring, o.Consumers),
+		producers: make([]*ring, o.Producers),
+		control:   newRing(o.RingSize),
+		opMark:    make([]atomic.Int64, o.Consumers),
+		opSeq:     make([]int64, o.Consumers),
+		epoch:     time.Now(),
+		wall:      time.Now(),
+		precise:   o.Precise,
+	}
+	for i := range r.consumers {
+		r.consumers[i] = newRing(o.RingSize)
+	}
+	for i := range r.producers {
+		r.producers[i] = newRing(o.RingSize)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	rec.Store(r)
+	armed.Store(1)
+	if !r.precise {
+		// The coarse clock's ticker retires itself within one tick of the
+		// recorder being replaced or reset.
+		go func() {
+			t := time.NewTicker(clockTick)
+			defer t.Stop()
+			for range t.C {
+				if rec.Load() != r {
+					return
+				}
+				r.clock.Store(r.now())
+			}
+		}()
+	}
+}
+
+// Disable disarms recording but keeps the recorder installed, so its rings
+// can still be captured (Capture) after the workload stops.
+func Disable() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Store(0)
+}
+
+// Reset disarms and removes the recorder, discarding all events.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Store(0)
+	rec.Store(nil)
+}
+
+// Enabled reports whether recording is armed. Constant false (and every
+// guarded site dead code) under the salsa_noflight tag. Sites whose event
+// arguments cost anything to evaluate (an atomic chunk-id load, a packed
+// node pair) guard on Enabled so the disarmed path stays one atomic load.
+func Enabled() bool { return Compiled && armed.Load() != 0 }
+
+// now returns r's enable-relative monotonic timestamp (a real clock
+// read; control-plane and watchdog use only).
+func (r *Recorder) now() int64 { return int64(time.Since(r.epoch)) }
+
+// stamp returns the timestamp to record on an event: the real clock when
+// the recorder is precise, otherwise the coarse shared clock — one atomic
+// load, the hot-path default.
+func (r *Recorder) stamp() int64 {
+	if r.precise {
+		return r.now()
+	}
+	return r.clock.Load()
+}
+
+// RecordC records an event on consumer id's ring. Call only from the
+// consumer goroutine that owns id (single-writer). Free when disarmed.
+func RecordC(id int, kind Kind, a uint64, b, c int32) {
+	if !Enabled() {
+		return
+	}
+	r := rec.Load()
+	if r == nil {
+		return
+	}
+	if id < 0 || id >= len(r.consumers) {
+		r.dropped.Add(1)
+		return
+	}
+	r.consumers[id].record(r.stamp(), kind, a, b, c)
+}
+
+// RecordP records an event on producer id's ring. Call only from the
+// producer goroutine that owns id. Free when disarmed.
+func RecordP(id int, kind Kind, a uint64, b, c int32) {
+	if !Enabled() {
+		return
+	}
+	r := rec.Load()
+	if r == nil {
+		return
+	}
+	if id < 0 || id >= len(r.producers) {
+		r.dropped.Add(1)
+		return
+	}
+	r.producers[id].record(r.stamp(), kind, a, b, c)
+}
+
+// RecordControl records a membership event on the control ring. Callers
+// are already serialized by the framework's membership lock, which is what
+// keeps the control ring single-writer. Free when disarmed.
+func RecordControl(kind Kind, epoch uint64, b, c int32) {
+	if !Enabled() {
+		return
+	}
+	r := rec.Load()
+	if r == nil {
+		return
+	}
+	r.control.record(r.stamp(), kind, epoch, b, c)
+}
+
+// BeginOp marks consumer id as inside a blocking retrieval; the watchdog
+// flags a marker it has watched past its deadline with no ring progress
+// as a stall. Call from the consumer goroutine. The marker is a fresh
+// token, not a timestamp — no clock read; the watchdog supplies the
+// clock by remembering when it first saw each token. Free when disarmed.
+func BeginOp(id int) {
+	if !Enabled() {
+		return
+	}
+	r := rec.Load()
+	if r == nil || id < 0 || id >= len(r.opMark) {
+		return
+	}
+	r.opSeq[id]++
+	r.opMark[id].Store(r.opSeq[id])
+}
+
+// EndOp clears consumer id's in-flight marker. Free when disarmed.
+func EndOp(id int) {
+	if !Enabled() {
+		return
+	}
+	r := rec.Load()
+	if r == nil || id < 0 || id >= len(r.opMark) {
+		return
+	}
+	r.opMark[id].Store(0)
+}
+
+// NextChunkID returns a fresh chunk flight id. Chunk ids identify one
+// *residence* of a chunk — recycling assigns a new id — so lifecycle
+// reconstruction never aliases two generations of the same allocation.
+// Called on the chunk-allocation path (once per chunk, not per task), where
+// the counter's RMW is harmless. Constant 0 under salsa_noflight.
+func NextChunkID() uint64 {
+	if !Compiled {
+		return 0
+	}
+	return chunkIDs.Add(1)
+}
+
+// Dropped returns the number of events discarded because their id exceeded
+// the recorder's ring count (0 with no recorder installed).
+func Dropped() int64 {
+	if r := rec.Load(); r != nil {
+		return r.dropped.Load()
+	}
+	return 0
+}
+
+// installed returns the current recorder, nil if none.
+func installed() *Recorder { return rec.Load() }

@@ -1,0 +1,159 @@
+package flight
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// The stall watchdog turns the recorder into an active black box: a
+// consumer that entered a blocking retrieval (BeginOp) and has neither
+// finished it nor advanced its ring past the deadline is declared stalled,
+// and the watchdog captures an automatic dump with all-goroutine stacks
+// and whatever context the harness supplies (membership epoch, schedule).
+//
+// Progress has two signals on purpose: EndOp catches ordinary completion,
+// and ring movement catches a consumer that is alive inside one long
+// retrieval (a steal chain grinding through victims is progress, even
+// when the Get has not returned yet).
+//
+// All clocks live here, not on the hot path: BeginOp publishes an opaque
+// token, and the watchdog times how long it has been observing the same
+// token, exactly as it times how long a ring has been static. An op is
+// stalled only once both its token and its ring have sat unchanged across
+// a full deadline of watchdog observation.
+
+// WatchdogOptions configures StartWatchdog.
+type WatchdogOptions struct {
+	// Deadline is how long a blocking retrieval may go without progress
+	// before it is declared stalled. 0 means DefaultStallDeadline.
+	Deadline time.Duration
+	// Interval is the poll period. 0 means Deadline/4 (min 1ms).
+	Interval time.Duration
+	// DumpPath, when non-empty, is where stall dumps are written.
+	DumpPath string
+	// Context, when non-nil, supplies harness context (membership epoch,
+	// live set) captured into the dump's metadata at stall time.
+	Context func() string
+	// OnStall, when non-nil, is invoked (on the watchdog goroutine) for
+	// each stall verdict after the dump attempt. Tests hook it.
+	OnStall func(consumer int, stalledFor time.Duration, d *Dump)
+	// Cooldown rate-limits dumps: after one stall verdict the watchdog
+	// stays quiet this long. 0 means 5×Deadline.
+	Cooldown time.Duration
+}
+
+// DefaultStallDeadline is WatchdogOptions.Deadline's zero-value meaning.
+const DefaultStallDeadline = 2 * time.Second
+
+// StartWatchdog starts the stall watchdog against the currently installed
+// recorder and returns a stop function. With no recorder installed (or a
+// salsa_noflight build) it is a no-op. The watchdog holds the recorder it
+// started with: a later Enable installs a new recorder and the old
+// watchdog retires itself on its next tick.
+func StartWatchdog(o WatchdogOptions) (stop func()) {
+	r := installed()
+	if !Compiled || r == nil {
+		return func() {}
+	}
+	if o.Deadline <= 0 {
+		o.Deadline = DefaultStallDeadline
+	}
+	if o.Interval <= 0 {
+		o.Interval = o.Deadline / 4
+		if o.Interval < time.Millisecond {
+			o.Interval = time.Millisecond
+		}
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 5 * o.Deadline
+	}
+	done := make(chan struct{})
+	var stopped atomic.Bool
+	go watch(r, o, done)
+	return func() {
+		if stopped.CompareAndSwap(false, true) {
+			close(done)
+		}
+	}
+}
+
+func watch(r *Recorder, o WatchdogOptions, done <-chan struct{}) {
+	lastPos := make([]uint64, len(r.consumers))
+	// lastMove[i] is the recorder-relative ns when consumer i's ring last
+	// advanced; lastTok/tokSince track the in-flight op token the same way
+	// (both seeded at start so a pre-existing park gets a full deadline
+	// before its first verdict).
+	lastMove := make([]int64, len(r.consumers))
+	lastTok := make([]int64, len(r.consumers))
+	tokSince := make([]int64, len(r.consumers))
+	start := r.now()
+	for i := range lastMove {
+		lastMove[i] = start
+		tokSince[i] = start
+		lastPos[i] = r.consumers[i].newest()
+		lastTok[i] = r.opMark[i].Load()
+	}
+	var quietUntil int64
+	t := time.NewTicker(o.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+		}
+		if installed() != r {
+			return // a new recorder replaced ours; retire
+		}
+		now := r.now()
+		for i := range r.consumers {
+			pos := r.consumers[i].newest()
+			if pos != lastPos[i] {
+				lastPos[i] = pos
+				lastMove[i] = now
+				continue
+			}
+			tok := r.opMark[i].Load()
+			if tok != lastTok[i] {
+				lastTok[i] = tok
+				tokSince[i] = now // a different (or no) op: restart its clock
+			}
+			if tok == 0 {
+				lastMove[i] = now // idle: not a stall candidate
+				continue
+			}
+			sinceOp := now - tokSince[i]
+			sinceMove := now - lastMove[i]
+			if sinceOp < int64(o.Deadline) || sinceMove < int64(o.Deadline) {
+				continue
+			}
+			if now < quietUntil {
+				continue
+			}
+			quietUntil = now + int64(o.Cooldown)
+			stalledFor := time.Duration(min64(sinceOp, sinceMove))
+			ctx := fmt.Sprintf("consumer %d stalled %v in a blocking retrieval (deadline %v)",
+				i, stalledFor.Round(time.Millisecond), o.Deadline)
+			if o.Context != nil {
+				ctx += "\n" + o.Context()
+			}
+			d := Capture("watchdog-stall", ctx, true)
+			if d != nil && o.DumpPath != "" {
+				_ = d.WriteFile(o.DumpPath)
+			}
+			if o.OnStall != nil {
+				o.OnStall(i, stalledFor, d)
+			}
+			lastMove[i] = now // restart the clocks instead of re-reporting
+			tokSince[i] = now
+		}
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -30,6 +30,7 @@ import (
 
 	"salsa/internal/backoff"
 	"salsa/internal/failpoint"
+	"salsa/internal/flight"
 	"salsa/internal/membership"
 	"salsa/internal/scpool"
 	"salsa/internal/stats"
@@ -508,6 +509,14 @@ func (c *Consumer[T]) Get() (*T, bool) {
 }
 
 func (c *Consumer[T]) get() (*T, bool) {
+	// The first pass runs without a watchdog marker: a single
+	// consume-then-steal traversal is bounded straight-line code that
+	// cannot stall, so the common found-a-task case skips the BeginOp /
+	// EndOp stores entirely. Only a retrieval that enters the retry loop
+	// below — where checkEmpty refutation can spin — marks itself.
+	if t, ok := c.tryOnce(); ok {
+		return t, true
+	}
 	// YieldOnly: Get is not a blocking wait — it retries only while
 	// checkEmpty refutes emptiness — so the backoff escalates to yields
 	// (fixing the GOMAXPROCS=1 livelock where a hot spinner monopolizes
@@ -516,18 +525,21 @@ func (c *Consumer[T]) get() (*T, bool) {
 	// emptiness probe millisecond latency spikes under contention. The
 	// explicitly blocking GetWait/GetContext paths park.
 	bo := backoff.Backoff{YieldOnly: true}
+	flight.BeginOp(c.state.ID)
+	defer flight.EndOp(c.state.ID)
 	for {
-		if t, ok := c.tryOnce(); ok {
-			return t, true
-		}
 		if c.killed.Load() {
 			return nil, false // crashed mid-retrieval: unwind as empty
 		}
 		if c.fw.cfg.NonLinearizableEmpty || c.checkEmpty() {
 			c.state.Ops.GetsEmpty.Inc()
+			flight.RecordC(c.state.ID, flight.KGetEmpty, 0, 0, 0)
 			return nil, false
 		}
 		bo.Pause()
+		if t, ok := c.tryOnce(); ok {
+			return t, true
+		}
 	}
 }
 
@@ -553,11 +565,13 @@ func (c *Consumer[T]) TryGet() (*T, bool) {
 // waiter wakes within the backoff's max sleep (1ms) of stop closing.
 func (c *Consumer[T]) GetWait(stop <-chan struct{}) (*T, bool) {
 	c.checkLive()
+	if t, ok := c.tryOnce(); ok {
+		return t, true // bounded first pass: no watchdog marker (see get)
+	}
 	var bo backoff.Backoff
+	flight.BeginOp(c.state.ID)
+	defer flight.EndOp(c.state.ID)
 	for {
-		if t, ok := c.tryOnce(); ok {
-			return t, true
-		}
 		if c.killed.Load() {
 			return nil, false // crashed mid-retrieval: unwind as empty
 		}
@@ -568,6 +582,10 @@ func (c *Consumer[T]) GetWait(stop <-chan struct{}) (*T, bool) {
 		}
 		if bo.Pause() {
 			c.state.Ops.Parks.Inc()
+			flight.RecordC(c.state.ID, flight.KPark, 0, 0, 0)
+		}
+		if t, ok := c.tryOnce(); ok {
+			return t, true
 		}
 	}
 }
@@ -579,11 +597,13 @@ func (c *Consumer[T]) GetWait(stop <-chan struct{}) (*T, bool) {
 // sleep (1ms).
 func (c *Consumer[T]) GetContext(ctx context.Context) (*T, error) {
 	c.checkLive()
+	if t, ok := c.tryOnce(); ok {
+		return t, nil // bounded first pass: no watchdog marker (see get)
+	}
 	var bo backoff.Backoff
+	flight.BeginOp(c.state.ID)
+	defer flight.EndOp(c.state.ID)
 	for {
-		if t, ok := c.tryOnce(); ok {
-			return t, nil
-		}
 		if c.killed.Load() {
 			return nil, ErrKilled
 		}
@@ -592,6 +612,10 @@ func (c *Consumer[T]) GetContext(ctx context.Context) (*T, error) {
 		}
 		if bo.Pause() {
 			c.state.Ops.Parks.Inc()
+			flight.RecordC(c.state.ID, flight.KPark, 0, 0, 0)
+		}
+		if t, ok := c.tryOnce(); ok {
+			return t, nil
 		}
 	}
 }
@@ -676,19 +700,25 @@ func (c *Consumer[T]) GetBatch(dst []*T) int {
 }
 
 func (c *Consumer[T]) getBatch(dst []*T) int {
+	if n := c.tryBatchOnce(dst); n > 0 {
+		return n // bounded first pass: no watchdog marker (see get)
+	}
 	bo := backoff.Backoff{YieldOnly: true} // see get(): yields, never sleeps
+	flight.BeginOp(c.state.ID)
+	defer flight.EndOp(c.state.ID)
 	for {
-		if n := c.tryBatchOnce(dst); n > 0 {
-			return n
-		}
 		if c.killed.Load() {
 			return 0 // crashed mid-retrieval: unwind as empty
 		}
 		if c.fw.cfg.NonLinearizableEmpty || c.checkEmpty() {
 			c.state.Ops.GetsEmpty.Inc()
+			flight.RecordC(c.state.ID, flight.KGetEmpty, 0, 0, 0)
 			return 0
 		}
 		bo.Pause()
+		if n := c.tryBatchOnce(dst); n > 0 {
+			return n
+		}
 	}
 }
 
@@ -773,11 +803,15 @@ func (c *Consumer[T]) checkEmpty() bool {
 					tr.OnCheckEmptyRound(telemetry.CheckEmptyRoundEvent{
 						Consumer: c.state.ID, Round: i, Empty: false})
 				}
+				flight.RecordC(c.state.ID, flight.KCheckEmptyAbort, 0, 0, int32(i))
 				return false
 			}
 		}
 		if c.fw.epoch.Load() != ep {
-			return false // membership changed mid-probe; not linearizable
+			// Membership changed mid-probe; not linearizable. b=1 marks
+			// the epoch-moved abort apart from plain refutations.
+			flight.RecordC(c.state.ID, flight.KCheckEmptyAbort, 0, 1, int32(i))
+			return false
 		}
 		if tr != nil {
 			tr.OnCheckEmptyRound(telemetry.CheckEmptyRoundEvent{

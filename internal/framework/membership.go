@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"salsa/internal/failpoint"
+	"salsa/internal/flight"
 	"salsa/internal/membership"
 	"salsa/internal/scpool"
 	"salsa/internal/telemetry"
@@ -175,6 +176,8 @@ func (fw *Framework[T]) AddConsumer() (*Consumer[T], error) {
 		Kind: telemetry.MemberJoined, Consumer: id, Node: node,
 		Epoch: version, Live: len(newEp.live),
 	})
+	// Control ring: writers are serialized by fw.mu (held by our caller).
+	flight.RecordControl(flight.KMemberJoin, version, int32(id), int32(node))
 	return co, nil
 }
 
@@ -260,6 +263,12 @@ func (fw *Framework[T]) depart(id int, kind telemetry.MembershipKind) error {
 		Kind: kind, Consumer: id, Node: ep.placement.ConsumerNode(id),
 		Epoch: version, Live: len(newEp.live), SparesDrained: drained,
 	})
+	fk := flight.KMemberRetire
+	if kind == telemetry.MemberCrashed {
+		fk = flight.KMemberCrash
+	}
+	// Control ring: writers are serialized by fw.mu (held above).
+	flight.RecordControl(fk, version, int32(id), int32(ep.placement.ConsumerNode(id)))
 	return nil
 }
 

@@ -84,6 +84,15 @@ type Ops struct {
 	StealAttempts   Counter
 	ReclaimedChunks Counter
 
+	// RescueSteals counts the steals that went through the departed-owner
+	// rescue path (DESIGN.md §9): the ownership CAS was won against a
+	// dead consumer's id via a fresh-read expected word. RescueRescans
+	// counts the post-CAS announce re-scans that actually advanced the
+	// republished index past the stale node's — each one is an in-flight
+	// announce of the dead owner honored instead of re-exposed.
+	RescueSteals  Counter
+	RescueRescans Counter
+
 	// ChunkAllocs counts fresh chunk allocations; ChunkReuses counts
 	// chunks recycled through a chunk pool. ProduceFull counts produce()
 	// failures due to an exhausted chunk pool (the producer-based
@@ -155,6 +164,7 @@ type Snapshot struct {
 	FastPath, SlowPath                    int64
 	Steals, StealAttempts                 int64
 	ReclaimedChunks                       int64
+	RescueSteals, RescueRescans           int64
 	ChunkAllocs, ChunkReuses              int64
 	ProduceFull, ForcePuts, ForceExpands  int64
 	RemoteTransfers, LocalTransfers       int64
@@ -178,6 +188,7 @@ func (o *Ops) Snapshot() Snapshot {
 		FastPath: o.FastPath.Load(), SlowPath: o.SlowPath.Load(),
 		Steals: o.Steals.Load(), StealAttempts: o.StealAttempts.Load(),
 		ReclaimedChunks: o.ReclaimedChunks.Load(),
+		RescueSteals:    o.RescueSteals.Load(), RescueRescans: o.RescueRescans.Load(),
 		ChunkAllocs:     o.ChunkAllocs.Load(), ChunkReuses: o.ChunkReuses.Load(),
 		ProduceFull: o.ProduceFull.Load(), ForcePuts: o.ForcePuts.Load(),
 		ForceExpands:    o.ForceExpands.Load(),
@@ -205,6 +216,8 @@ func (s *Snapshot) Add(s2 Snapshot) {
 	s.Steals += s2.Steals
 	s.StealAttempts += s2.StealAttempts
 	s.ReclaimedChunks += s2.ReclaimedChunks
+	s.RescueSteals += s2.RescueSteals
+	s.RescueRescans += s2.RescueRescans
 	s.ChunkAllocs += s2.ChunkAllocs
 	s.ChunkReuses += s2.ChunkReuses
 	s.ProduceFull += s2.ProduceFull

@@ -157,6 +157,12 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 		s.OrphanedTasks)
 	writeCounter(w, "salsa_reclaimed_chunks_total",
 		"Chunks stolen out of abandoned pools by surviving consumers.", o.ReclaimedChunks)
+	writeCounter(w, "salsa_rescue_steals_total",
+		"Steals that reclaimed a chunk from a departed owner via the rescue path (DESIGN.md section 9).",
+		o.RescueSteals)
+	writeCounter(w, "salsa_rescue_rescans_total",
+		"Post-CAS announce re-scans that advanced a rescued chunk's index past the stale node's (a departed owner's in-flight announce honored).",
+		o.RescueRescans)
 	writeCounter(w, "salsa_spares_drained_total",
 		"Spare chunks drained from departing pools into survivors.", s.SparesDrained)
 	writeCounter(w, "salsa_member_joins_total", "Consumers added at runtime.", s.MemberJoins)
