@@ -8,6 +8,12 @@ GO ?= go
 # (bench-smoke compares the noflight and armed runs against the reference).
 FLIGHT_TOL ?= 0.5
 
+# Allowed fractional ns/op increase for the allocation-gate benchmarks.
+# Generous on purpose: BENCH_alloc.json's committed reference guards the
+# allocs/op column (exact, -alloctol 0); its ns/op only has to stay within
+# shouting distance so a grossly broken build still trips the gate.
+ALLOC_NS_TOL ?= 1.0
+
 # Coverage floor for `make cover` (total statement coverage, percent).
 # Raise it when coverage rises; never lower it to make a failure go away.
 COVER_FLOOR ?= 72.0
@@ -69,6 +75,12 @@ bench:
 # rerun with the recorder compiled out (salsa_noflight) and with it armed
 # (SALSA_FLIGHT_BENCH=1, every hot-path event recorded) must both stay
 # within FLIGHT_TOL of the freshly recorded baseline.
+#
+# The allocation gate runs last: BenchmarkAlloc (steady-state Put/Get
+# bursts, lanes off and on) with -benchmem against the *committed*
+# BENCH_alloc.json — allocs/op must not grow at all (-alloctol 0) — and
+# only then is the reference refreshed. A hot path that starts allocating
+# fails here before the regression ships.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig14a|BenchmarkBatch' -benchtime 1000000x . > bench_smoke.txt
 	$(GO) run ./cmd/benchjson -o BENCH_batch.json < bench_smoke.txt
@@ -76,7 +88,10 @@ bench-smoke:
 	$(GO) run ./cmd/benchjson -compare BENCH_batch.json -tol $(FLIGHT_TOL) < bench_noflight.txt > /dev/null
 	SALSA_FLIGHT_BENCH=1 $(GO) test -run '^$$' -bench 'BenchmarkFig14a|BenchmarkBatch' -benchtime 1000000x . > bench_armed.txt
 	$(GO) run ./cmd/benchjson -compare BENCH_batch.json -tol $(FLIGHT_TOL) < bench_armed.txt > /dev/null
-	@rm -f bench_smoke.txt bench_noflight.txt bench_armed.txt
+	$(GO) test -run '^$$' -bench '^BenchmarkAlloc$$' -benchmem -benchtime 300000x . > bench_alloc.txt
+	$(GO) run ./cmd/benchjson -compare BENCH_alloc.json -tol $(ALLOC_NS_TOL) -alloctol 0 < bench_alloc.txt > /dev/null
+	$(GO) run ./cmd/benchjson -o BENCH_alloc.json < bench_alloc.txt
+	@rm -f bench_smoke.txt bench_noflight.txt bench_armed.txt bench_alloc.txt
 
 # Flight-recorder round trip: record a stress round with the recorder
 # armed, dump it, and run salsa-doctor over the dump — a healthy round must
@@ -123,5 +138,5 @@ cover:
 # committed CSVs, coverage.txt, and figures_output.txt live there.
 clean:
 	rm -f cover.out test_output.txt bench_output.txt bench_smoke.txt
-	rm -f bench_noflight.txt bench_armed.txt
+	rm -f bench_noflight.txt bench_armed.txt bench_alloc.txt
 	rm -f salsa-dst salsa-bench salsa-stress salsa-chaos salsa-doctor benchjson

@@ -18,6 +18,15 @@
 // that keeps the flight recorder's disarmed and armed-but-idle overhead
 // honest (benchmarks present in only one of the two sets are reported but
 // not failed — new benchmarks must not break the gate).
+//
+// Allocation metrics get their own rule: when both the run and the
+// reference carry allocs/op (a `go test -benchmem` run against a
+// reference recorded the same way), the comparison is absolute — the run
+// fails if allocs/op grew by more than -alloctol (default 0). ns/op needs
+// a fractional tolerance because wall time is noisy; allocs/op is an
+// exact integer from the runtime's allocation counter, so the steady
+// state either allocates or it does not, and a 0 -> 1 regression must
+// fail no matter what fraction it represents.
 package main
 
 import (
@@ -67,6 +76,7 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	compare := flag.String("compare", "", "compare the run against this JSON reference instead of emitting JSON")
 	tol := flag.Float64("tol", 0.5, "with -compare: allowed fractional ns/op increase over the reference")
+	allocTol := flag.Float64("alloctol", 0, "with -compare: allowed absolute allocs/op increase over the reference")
 	flag.Parse()
 
 	var records []Record
@@ -85,7 +95,7 @@ func main() {
 	}
 
 	if *compare != "" {
-		os.Exit(compareRun(records, *compare, *tol))
+		os.Exit(compareRun(records, *compare, *tol, *allocTol))
 	}
 
 	w := os.Stdout
@@ -109,10 +119,11 @@ func main() {
 	}
 }
 
-// compareRun checks the parsed run's ns/op against a recorded reference and
-// returns the exit code: 0 within tolerance, 1 with offenders listed, 2 on
-// a bad reference or an empty run.
-func compareRun(records []Record, refPath string, tol float64) int {
+// compareRun checks the parsed run's ns/op (fractional tolerance) and
+// allocs/op (absolute tolerance) against a recorded reference and returns
+// the exit code: 0 within tolerance, 1 with offenders listed, 2 on a bad
+// reference or an empty run.
+func compareRun(records []Record, refPath string, tol, allocTol float64) int {
 	refData, err := os.ReadFile(refPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -124,9 +135,13 @@ func compareRun(records []Record, refPath string, tol float64) int {
 		return 2
 	}
 	refNs := map[string]float64{}
+	refAllocs := map[string]float64{}
 	for _, r := range refs {
 		if v, ok := r.Metrics["ns/op"]; ok {
 			refNs[r.Name] = v
+		}
+		if v, ok := r.Metrics["allocs/op"]; ok {
+			refAllocs[r.Name] = v
 		}
 	}
 	if len(records) == 0 {
@@ -157,6 +172,19 @@ func compareRun(records []Record, refPath string, tol float64) int {
 		}
 		fmt.Fprintf(os.Stderr, "# benchjson: %-40s %8.0f vs %8.0f ns/op (%.2fx) %s\n",
 			rec.Name, cur, ref, ratio, verdict)
+
+		// Allocation gate: exact accounting, absolute tolerance. Only
+		// benchmarks whose reference was recorded with -benchmem
+		// participate, so text-only references keep working.
+		curAllocs, haveCur := rec.Metrics["allocs/op"]
+		refA, haveRef := refAllocs[rec.Name]
+		if haveCur && haveRef && curAllocs > refA+allocTol {
+			offenders = append(offenders,
+				fmt.Sprintf("%s: %.0f allocs/op vs reference %.0f (allowed +%.0f)",
+					rec.Name, curAllocs, refA, allocTol))
+			fmt.Fprintf(os.Stderr, "# benchjson: %-40s %8.0f vs %8.0f allocs/op FAIL\n",
+				rec.Name, curAllocs, refA)
+		}
 	}
 	if compared == 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: no benchmark matched the reference %s\n", refPath)

@@ -1,0 +1,51 @@
+package atomicx
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// The shim must round-trip values identically in both build modes (run
+// with and without -tags salsa_relaxed; CI's relaxed job does both).
+func TestAccessorsRoundTrip(t *testing.T) {
+	var u64 atomic.Uint64
+	u64.Store(0xdeadbeefcafe)
+	if got := LoadAcqU64(&u64); got != 0xdeadbeefcafe {
+		t.Fatalf("LoadAcqU64 = %#x", got)
+	}
+
+	var i64 atomic.Int64
+	StoreSCI64(&i64, -42)
+	if got := LoadAcqI64(&i64); got != -42 {
+		t.Fatalf("LoadAcqI64 = %d", got)
+	}
+
+	var p atomic.Pointer[int]
+	v := new(int)
+	StoreRelPtr(&p, v)
+	if got := LoadAcqPtr(&p); got != v {
+		t.Fatalf("LoadAcqPtr = %p, want %p", got, v)
+	}
+}
+
+// The Rlx word types must round-trip in both builds: aliases of the
+// sync/atomic types in the strict build, plain-word stand-ins under
+// salsa_relaxed (where the methods still satisfy the same contracts).
+func TestRlxTypesRoundTrip(t *testing.T) {
+	var r64 RlxI64
+	if got := r64.Load(); got != 0 {
+		t.Fatalf("zero RlxI64 = %d", got)
+	}
+	r64.Store(-99)
+	if got := r64.Load(); got != -99 {
+		t.Fatalf("RlxI64 round-trip = %d", got)
+	}
+
+	var r32 RlxI32
+	r32.Store(3)
+	if got := r32.Load(); got != 3 {
+		t.Fatalf("RlxI32 round-trip = %d", got)
+	}
+
+	t.Logf("Relaxed build: %v", Relaxed)
+}

@@ -1,0 +1,26 @@
+//go:build !salsa_relaxed || race
+
+package atomicx
+
+import "sync/atomic"
+
+// Strict build (default, and any `-race` build): the Rlx types alias the
+// sync/atomic types outright, so `x.Load()` / `x.Store(v)` on a relaxed-
+// eligible field compiles to exactly the seq-cst intrinsic it always was —
+// the alias only documents that no ordering is *required* there.
+//
+// Aliases (not defined types with forwarding methods) matter for
+// performance: the hot pool code is generic, and the compiler does not
+// inline cross-package calls into imported generic instantiations — a
+// forwarding method would be a real CALL on the fast path. The sync/atomic
+// method on the aliased type is intrinsified instead. See DESIGN.md §12.
+
+const relaxed = false
+
+// RlxI64 is an int64 word needing single-copy atomicity but no ordering
+// (single-writer statistics counters).
+type RlxI64 = atomic.Int64
+
+// RlxI32 is an int32 word needing single-copy atomicity but no ordering
+// (chunk home-node metadata).
+type RlxI32 = atomic.Int32

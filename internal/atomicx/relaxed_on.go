@@ -1,0 +1,35 @@
+//go:build salsa_relaxed && !race
+
+package atomicx
+
+// Ablation build: the Rlx types carry plain (non-atomic) words and their
+// accessors compile to plain loads and stores, so the cost of Go promoting
+// "relaxed would do" to "seq-cst is all Go has" is directly measurable.
+// The methods are tiny on purpose — small enough for the compiler to
+// inline them even inside imported generic instantiations, keeping the
+// ablation's codegen call-free like the strict build's intrinsics.
+//
+// NOT sound in production: plain 64-bit accesses can tear on 32-bit
+// targets, and concurrent metrics readers formally race with the plain
+// stores (benign for monotonic telemetry, but a data race nonetheless —
+// which is why `-race` builds keep the strict aliases).
+
+const relaxed = true
+
+// RlxI64 is the plain-word ablation stand-in for atomic.Int64.
+type RlxI64 struct{ v int64 }
+
+// Load returns the word with a plain load.
+func (x *RlxI64) Load() int64 { return x.v }
+
+// Store writes the word with a plain store.
+func (x *RlxI64) Store(v int64) { x.v = v }
+
+// RlxI32 is the plain-word ablation stand-in for atomic.Int32.
+type RlxI32 struct{ v int32 }
+
+// Load returns the word with a plain load.
+func (x *RlxI32) Load() int32 { return x.v }
+
+// Store writes the word with a plain store.
+func (x *RlxI32) Store(v int32) { x.v = v }

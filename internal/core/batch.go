@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync/atomic"
 	"unsafe"
 
 	"salsa/internal/failpoint"
@@ -58,8 +59,10 @@ func (p *Pool[T]) ProduceBatch(ps *scpool.ProducerState, ts []*T) int {
 		if rem := len(ts) - inserted; run > rem {
 			run = rem
 		}
-		home := int(sc.chunk.home.Load()) // stable: only steals re-home, and this chunk is unpublished-to-thieves only until listed; re-homes mid-fill merely skew locality accounting
-		failpoint.Inject(failpoint.ProduceBeforePublish, ps.ID)
+		home := sc.home // cached at getChunk; re-homes mid-fill merely skew locality accounting (see prodScratch.home)
+		if failpoint.Compiled && failpoint.Armed.Load() != 0 {
+			failpoint.Inject(failpoint.ProduceBeforePublish, ps.ID)
+		}
 		for i := 0; i < run; i++ {
 			t := ts[inserted+i]
 			if t == nil {
@@ -68,18 +71,19 @@ func (p *Pool[T]) ProduceBatch(ps *scpool.ProducerState, ts []*T) int {
 			if t == p.shared.taken {
 				panic("core: task aliases the TAKEN sentinel")
 			}
-			// Publish the task; same single atomic store per slot as
-			// the single-task path (consumers race on these slots, so
-			// the store itself cannot be batched).
+			// Publish the task; same single release store (StoreRelPtr)
+			// per slot as the single-task path (consumers race on these
+			// slots, so the store itself cannot be batched).
 			sc.chunk.tasks[sc.prodIdx+i].p.Store(t)
 			if hook != nil {
 				hook(ps.Node, home)
 			}
 		}
+		// Call-free single-writer accumulation (stats.Counter.V docs).
 		if home == ps.Node {
-			ps.Ops.LocalTransfers.Add(int64(run))
+			ps.Ops.LocalTransfers.V.Store(ps.Ops.LocalTransfers.V.Load() + int64(run))
 		} else {
-			ps.Ops.RemoteTransfers.Add(int64(run))
+			ps.Ops.RemoteTransfers.V.Store(ps.Ops.RemoteTransfers.V.Load() + int64(run))
 		}
 		sc.prodIdx += run
 		if sc.prodIdx == len(sc.chunk.tasks) {
@@ -87,7 +91,7 @@ func (p *Pool[T]) ProduceBatch(ps *scpool.ProducerState, ts []*T) int {
 		}
 		inserted += run
 	}
-	ps.Ops.Puts.Add(int64(inserted))
+	ps.Ops.Puts.V.Store(ps.Ops.Puts.V.Load() + int64(inserted))
 	return inserted
 }
 
@@ -150,31 +154,35 @@ func (p *Pool[T]) drainRun(cs *scpool.ConsumerState, sc *consScratch[T], n *node
 	if ch == nil {
 		return 0
 	}
-	// Hazard on the chunk for the whole run; re-validate under it.
-	sc.rec.Set(hzConsume, unsafe.Pointer(ch))
+	// Hazard on the chunk for the whole run; re-validate under it. Same
+	// call-free repeat-publish spelling as takeTask (hazard.Record.Slots).
+	if atomic.LoadPointer(&sc.rec.Slots[hzConsume]) != unsafe.Pointer(ch) {
+		atomic.StorePointer(&sc.rec.Slots[hzConsume], unsafe.Pointer(ch))
+	}
 	if n.chunk.Load() != ch {
 		sc.rec.Clear(hzConsume)
 		return 0
 	}
 	size := int64(len(ch.tasks))
-	idx := n.idx.Load()
+	idx := n.idx.Load() // ordering: acquire (LoadAcqI64 vocabulary; hot sites spell ops direct — atomicx docs)
 	if idx+1 >= size {
 		sc.rec.Clear(hzConsume)
 		return 0 // exhausted; its checkLast is pending or done
 	}
-	task := ch.tasks[idx+1].p.Load()
+	task := ch.tasks[idx+1].p.Load() // ordering: acquire (LoadAcqPtr)
 	if task == nil || task == p.shared.taken {
 		sc.rec.Clear(hzConsume)
 		return 0 // frontier (or stale node; see takeTask's TAKEN guard)
 	}
 	// Ownership pre-check before the first announce (Algorithm 5 line
-	// 88). Inside the run, each iteration's post-announce re-check
-	// doubles as the next announce's pre-check.
-	if ownerID(ch.owner.Load()) != p.ownerIDv {
+	// 88; acquire load of the owner word, LoadAcqU64). Inside the run,
+	// each iteration's post-announce re-check doubles as the next
+	// announce's pre-check.
+	if int(ch.owner.Load()&ownerIDMask) != p.ownerIDv {
 		sc.rec.Clear(hzConsume)
 		return 0
 	}
-	home := int(ch.home.Load())
+	home := int(ch.home.Load()) // relaxed-eligible metadata (DESIGN.md §12)
 	hook := p.shared.opts.OnAccess
 	taken := 0
 	// The run's fast-path takes cover the contiguous slots
@@ -191,16 +199,22 @@ func (p *Pool[T]) drainRun(cs *scpool.ConsumerState, sc *consScratch[T], n *node
 	for {
 		// Same simulated-death gates as takeTask, per slot: before the
 		// announce the run unwinds loss-free; after it, the announced
-		// slot is abandoned (at most one task lost per fire).
-		if failpoint.Fail(failpoint.ConsumeBeforeAnnounce, p.ownerIDv) {
+		// slot is abandoned (at most one task lost per fire). Armed
+		// guards spelled at the sites (one inlined load when disarmed).
+		if failpoint.Compiled && failpoint.Armed.Load() != 0 &&
+			failpoint.Fail(failpoint.ConsumeBeforeAnnounce, p.ownerIDv) {
 			sc.current = n
 			journalRun()
 			p.flushRun(cs, taken, home, taken)
 			sc.rec.Clear(hzConsume)
 			return taken
 		}
-		n.idx.Store(idx + 1) // announce this take (line 90) — per task, never batched
-		if failpoint.Fail(failpoint.ConsumeAfterAnnounce, p.ownerIDv) {
+		// Announce this take (line 90) — per task, never batched, and
+		// sequentially consistent (StoreSCI64) like takeTask's announce
+		// (DESIGN.md §12).
+		n.idx.Store(idx + 1)
+		if failpoint.Compiled && failpoint.Armed.Load() != 0 &&
+			failpoint.Fail(failpoint.ConsumeAfterAnnounce, p.ownerIDv) {
 			sc.current = nil
 			journalRun()
 			p.flushRun(cs, taken, home, taken)
@@ -213,7 +227,7 @@ func (p *Pool[T]) drainRun(cs *scpool.ConsumerState, sc *consScratch[T], n *node
 		// may finish only the one announced slot, by CAS, capping what a
 		// killed-but-running consumer claims per call at the same single
 		// slot as the crash model's takeTask bound.
-		if ownerID(ch.owner.Load()) != p.ownerIDv || p.selfDeparted.Load() {
+		if int(ch.owner.Load()&ownerIDMask) != p.ownerIDv || p.selfDeparted.Load() {
 			// A steal raced the run (or this owner was killed): single-
 			// task slow path for the one announced slot (line 95). Journal
 			// the fast takes committed so far before the slow take's own
@@ -245,9 +259,11 @@ func (p *Pool[T]) drainRun(cs *scpool.ConsumerState, sc *consScratch[T], n *node
 		// needs to know whether this take may have been the last), then
 		// claim the slot with a plain store. Same pre-commit window as
 		// takeTask, per slot.
-		failpoint.Inject(failpoint.ConsumeBeforeCommit, p.ownerIDv)
+		if failpoint.Compiled && failpoint.Armed.Load() != 0 {
+			failpoint.Inject(failpoint.ConsumeBeforeCommit, p.ownerIDv)
+		}
 		next := p.peekNext(ch, idx+2)
-		ch.tasks[idx+1].p.Store(p.shared.taken) // line 92
+		ch.tasks[idx+1].p.Store(p.shared.taken) // line 92; ordering: release (StoreRelPtr)
 		if hook != nil {
 			hook(cs.Node, home)
 		}
@@ -291,13 +307,14 @@ func (p *Pool[T]) drainRun(cs *scpool.ConsumerState, sc *consScratch[T], n *node
 // its own chargeTake), and every fast take transferred against the chunk
 // home read at run start.
 func (p *Pool[T]) flushRun(cs *scpool.ConsumerState, taken, home, fast int) {
+	// Call-free single-writer accumulation (stats.Counter.V docs).
 	if fast > 0 {
-		cs.Ops.FastPath.Add(int64(fast))
-		cs.Ops.BatchFastPath.Add(int64(fast))
+		cs.Ops.FastPath.V.Store(cs.Ops.FastPath.V.Load() + int64(fast))
+		cs.Ops.BatchFastPath.V.Store(cs.Ops.BatchFastPath.V.Load() + int64(fast))
 		if home == cs.Node {
-			cs.Ops.LocalTransfers.Add(int64(fast))
+			cs.Ops.LocalTransfers.V.Store(cs.Ops.LocalTransfers.V.Load() + int64(fast))
 		} else {
-			cs.Ops.RemoteTransfers.Add(int64(fast))
+			cs.Ops.RemoteTransfers.V.Store(cs.Ops.RemoteTransfers.V.Load() + int64(fast))
 		}
 	}
 }

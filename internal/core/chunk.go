@@ -14,6 +14,7 @@ package core
 import (
 	"sync/atomic"
 
+	"salsa/internal/atomicx"
 	"salsa/internal/flight"
 )
 
@@ -66,10 +67,13 @@ type Chunk[T any] struct {
 	// metadata consumed by the locality accounting and the interconnect
 	// simulator). Atomic because a successful steal migrates the chunk
 	// to the thief's node (§1.2: "our use of page-size chunks allows
-	// for data migration in NUMA architectures to improve locality").
-	// Shares the recycled/tasks line: both are written at chunk
-	// transfer/recycle frequency, not per task.
-	home atomic.Int32
+	// for data migration in NUMA architectures to improve locality") —
+	// but relaxed-eligible (atomicx.RlxI32): readers need an untorn
+	// value, not ordering, so the salsa_relaxed ablation demotes these
+	// accesses to plain ops (DESIGN.md §12). Shares the recycled/tasks
+	// line: both are written at chunk transfer/recycle frequency, not
+	// per task.
+	home atomicx.RlxI32
 
 	// fid is the chunk's flight-recorder id, identifying one *residence*
 	// of the chunk: assigned at allocation and re-assigned on every
@@ -79,6 +83,20 @@ type Chunk[T any] struct {
 	// chunk; written only on the (cold) alloc/reuse path. Constant 0 in
 	// salsa_noflight builds.
 	fid atomic.Uint64
+
+	// used is the high-water mark of slots produced into this residence:
+	// slots [0, used) have been (or are being) published, slots [used,
+	// len(tasks)) are still in their zeroed state. resetForReuse clears
+	// only [0, used) — the SNIPPETS-style minimal clearing — which makes
+	// recycling a never-filled spare (InitialChunks, or a shed slot array
+	// re-entering via the spare tier) free instead of a full-chunk sweep.
+	//
+	// Plain (non-atomic) on purpose: it is written only by the producer
+	// currently filling the chunk (which holds it exclusively via its
+	// scratch) and read only by the next exclusive holder after the chunk
+	// has travelled through a chunk pool — the pool's atomic queue
+	// operations carry the happens-before edge.
+	used int32
 
 	// tasks are the slots. The paper's default CHUNK_SIZE is 1000 tasks
 	// (~8 KB of pointers), its measured optimum for SALSA (Fig. 1.8).
@@ -91,8 +109,19 @@ type taskSlot[T any] struct {
 	p atomic.Pointer[T]
 }
 
+// newChunk allocates a fresh chunk: header plus a zeroed slot array. The
+// slot-array acquisition is split out (chunkFrom) so the force-expand path
+// can source the array from the family's recycled spare tier instead of
+// the allocator — see Shared.takeSpareChunk.
 func newChunk[T any](size int, home int) *Chunk[T] {
-	c := &Chunk[T]{tasks: make([]taskSlot[T], size)}
+	return chunkFrom(make([]taskSlot[T], size), home)
+}
+
+// chunkFrom builds a chunk header around arr, which must be clean: every
+// slot nil, as a fresh allocation or a shed-time-cleared spare array. The
+// header starts unowned, unrecycled, with a fresh flight id and used == 0.
+func chunkFrom[T any](arr []taskSlot[T], home int) *Chunk[T] {
+	c := &Chunk[T]{tasks: arr}
 	c.home.Store(int32(home))
 	c.owner.Store(packOwner(NoOwner, 0))
 	c.fid.Store(flight.NextChunkID())
@@ -112,13 +141,22 @@ func (c *Chunk[T]) Home() int { return int(c.home.Load()) }
 // OwnerID returns the consumer currently owning the chunk (or NoOwner).
 func (c *Chunk[T]) OwnerID() int { return ownerID(c.owner.Load()) }
 
-// resetForReuse clears all slots and the recycle guard. Called by a
+// resetForReuse clears the used slots and the recycle guard. Called by a
 // producer that holds the chunk exclusively (just dequeued from a chunk
 // pool, not yet published in any list).
+//
+// Clearing [0, used) is sufficient: slots beyond the high-water mark were
+// never published this residence and are still nil. The bound also covers
+// every leak-relevant slot — a chunk reaches a chunk pool only after its
+// announced index walked to the end, and the announce cannot pass an
+// unproduced (nil) slot, so a recycled chunk is fully produced (used ==
+// len(tasks)) and any abandoned task pointer (crash-model after-announce
+// loss) sits below used. TestRecycleMinimalClearingNoLeak pins this.
 func (c *Chunk[T]) resetForReuse() {
-	for i := range c.tasks {
+	for i := int32(0); i < c.used; i++ {
 		c.tasks[i].p.Store(nil)
 	}
+	c.used = 0
 	c.recycled.Store(0)
 	c.fid.Store(flight.NextChunkID())
 }

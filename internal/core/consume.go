@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync/atomic"
 	"unsafe"
 
 	"salsa/internal/failpoint"
@@ -62,18 +63,23 @@ func (p *Pool[T]) takeTask(cs *scpool.ConsumerState, sc *consScratch[T], n *node
 	}
 	// Publish a hazard on the chunk before acting, so the chunk-pool
 	// gate defers reuse while this call is in flight; then re-validate
-	// the source still references it.
-	sc.rec.Set(hzConsume, unsafe.Pointer(ch))
+	// the source still references it. Spelled via Record.Slots rather
+	// than Record.Set: the repeat-publish elision (slot already protects
+	// ch — the common case of hammering the cached current chunk) then
+	// costs one inlined load instead of an un-inlinable CALL per take.
+	if atomic.LoadPointer(&sc.rec.Slots[hzConsume]) != unsafe.Pointer(ch) {
+		atomic.StorePointer(&sc.rec.Slots[hzConsume], unsafe.Pointer(ch))
+	}
 	if n.chunk.Load() != ch {
 		sc.rec.Clear(hzConsume)
 		return nil
 	}
 	size := int64(len(ch.tasks))
-	idx := n.idx.Load()
+	idx := n.idx.Load() // ordering: acquire (atomicx.LoadAcqI64 vocabulary; hot sites spell the op direct — see atomicx docs)
 	if idx+1 >= size {
 		return nil // chunk exhausted; its checkLast is pending or done
 	}
-	task := ch.tasks[idx+1].p.Load()
+	task := ch.tasks[idx+1].p.Load() // ordering: acquire (LoadAcqPtr)
 	if task == nil {
 		return nil // no inserted task yet (line 87)
 	}
@@ -89,43 +95,73 @@ func (p *Pool[T]) takeTask(cs *scpool.ConsumerState, sc *consScratch[T], n *node
 	}
 	// Ownership check before committing (line 88). This also enforces
 	// §1.5.3's rule that an ex-owner only takes tasks that existed
-	// before the chunk was stolen.
-	if ownerID(ch.owner.Load()) != p.ownerIDv {
+	// before the chunk was stolen. The owner-word load wants acquire
+	// ordering (LoadAcqU64); the id unpack is ownerID, spelled inline —
+	// the compiler will not inline even that call here (atomicx docs).
+	if int(ch.owner.Load()&ownerIDMask) != p.ownerIDv {
 		return nil
 	}
 	// Simulated death before the announce is loss-free: nothing has been
-	// claimed, the take simply unwinds.
-	if failpoint.Fail(failpoint.ConsumeBeforeAnnounce, p.ownerIDv) {
+	// claimed, the take simply unwinds. (Armed guard spelled at the call
+	// site so a disarmed run pays one inlined load, not a CALL.)
+	if failpoint.Compiled && failpoint.Armed.Load() != 0 &&
+		failpoint.Fail(failpoint.ConsumeBeforeAnnounce, p.ownerIDv) {
 		return nil
 	}
-	n.idx.Store(idx + 1) // announce the take to the world (line 90)
+	// Announce the take to the world (line 90). Sequentially consistent on
+	// purpose (StoreSCI64): the announce-store / owner-re-load pair below
+	// forms a store-load handshake with the thief's owner-CAS /
+	// index-re-read (DESIGN.md §12) — release ordering alone would allow
+	// both sides to miss each other and double-take the slot.
+	n.idx.Store(idx + 1)
 	// Simulated death after the announce abandons the one announced slot:
 	// the index is published but the task is never returned. Thieves (and
 	// this owner's later takes) treat the slot as consumed — the paper's
 	// crash model, at most one task lost per fire (KillConsumer docs).
-	if failpoint.Fail(failpoint.ConsumeAfterAnnounce, p.ownerIDv) {
+	if failpoint.Compiled && failpoint.Armed.Load() != 0 &&
+		failpoint.Fail(failpoint.ConsumeAfterAnnounce, p.ownerIDv) {
 		return nil
 	}
-	// Post-announce re-check (line 91), extended with our own departed
-	// flag: a *killed* consumer keeps running (KillConsumer assumes no
-	// cooperation), and the instant its id is departed its chunks are
-	// rescue-eligible — a rescuer may republish this chunk and thieves
-	// may race this very slot, so a departed owner must commit by CAS,
-	// never by plain store.
-	if ownerID(ch.owner.Load()) == p.ownerIDv && !p.selfDeparted.Load() {
+	// Post-announce re-check (line 91; acquire, LoadAcqU64), extended with
+	// our own departed flag: a *killed* consumer keeps running
+	// (KillConsumer assumes no cooperation), and the instant its id is
+	// departed its chunks are rescue-eligible — a rescuer may republish
+	// this chunk and thieves may race this very slot, so a departed owner
+	// must commit by CAS, never by plain store.
+	if int(ch.owner.Load()&ownerIDMask) == p.ownerIDv && !p.selfDeparted.Load() {
 		// Still ours: fast path (line 91). The re-check has passed but the
 		// plain store below has not happened — the last instant the world
 		// can still move under this take (a kill declared right here makes
 		// the chunk rescue-eligible while the store is pending).
-		failpoint.Inject(failpoint.ConsumeBeforeCommit, p.ownerIDv)
+		if failpoint.Compiled && failpoint.Armed.Load() != 0 {
+			failpoint.Inject(failpoint.ConsumeBeforeCommit, p.ownerIDv)
+		}
 		next := p.peekNext(ch, idx+2)
-		ch.tasks[idx+1].p.Store(p.shared.taken) // line 92
-		cs.Ops.FastPath.Inc()
+		ch.tasks[idx+1].p.Store(p.shared.taken) // line 92; ordering: release (StoreRelPtr)
+		// Call-free single-writer increment (stats.Counter.V docs).
+		cs.Ops.FastPath.V.Store(cs.Ops.FastPath.V.Load() + 1)
 		if flight.Enabled() {
 			flight.RecordC(cs.ID, flight.KTakeFast, ch.fid.Load(), int32(idx+1), 0)
 		}
-		p.chargeTake(cs, ch)
-		p.checkLast(cs, sc, n, ch, idx+1, next, hzConsume) // line 93
+		// chargeTake, spelled inline (its CALL is not inlinable here —
+		// atomicx docs): home is relaxed-eligible metadata (DESIGN.md §12).
+		home := int(ch.home.Load())
+		if hook := p.shared.opts.OnAccess; hook != nil {
+			hook(cs.Node, home)
+		}
+		if home == cs.Node {
+			cs.Ops.LocalTransfers.V.Store(cs.Ops.LocalTransfers.V.Load() + 1)
+		} else {
+			cs.Ops.RemoteTransfers.V.Store(cs.Ops.RemoteTransfers.V.Load() + 1)
+		}
+		// checkLast (line 93), common cases inline: mid-chunk with a
+		// produced successor does nothing; the chunk-finished branch is the
+		// cold helper.
+		if idx+2 == size {
+			p.finishChunk(cs, sc, n, ch, hzConsume)
+		} else if next == nil {
+			p.ind.Clear() // may have taken the last task in the pool
+		}
 		return task
 	}
 	// The chunk was stolen between the announce and the re-check (or this
@@ -180,14 +216,7 @@ func (p *Pool[T]) peekNext(ch *Chunk[T], i int64) *T {
 func (p *Pool[T]) checkLast(cs *scpool.ConsumerState, sc *consScratch[T],
 	n *node[T], ch *Chunk[T], curIdx int64, next *T, hzSlot int) {
 	if curIdx+1 == int64(len(ch.tasks)) { // finished the chunk (line 100)
-		if flight.Enabled() {
-			flight.RecordC(cs.ID, flight.KChunkDrained, ch.fid.Load(), 0, 0)
-		}
-		n.chunk.Store(nil)
-		sc.rec.Clear(hzSlot)
-		p.recycle(sc.rec, ch)
-		sc.current = nil
-		p.ind.Clear()
+		p.finishChunk(cs, sc, n, ch, hzSlot)
 		return
 	}
 	if next == nil { // may have taken the last task in the pool
@@ -195,15 +224,35 @@ func (p *Pool[T]) checkLast(cs *scpool.ConsumerState, sc *consScratch[T],
 	}
 }
 
+// finishChunk is checkLast's chunk-finished branch (Algorithm 6 line 100),
+// split out so hot paths can inline the cheap mid-chunk cases and call this
+// only once per drained chunk: unlink, recycle (uniqueness enforced by the
+// chunk's recycle guard, reuse deferred by the hazard gate), clear the
+// empty-indicator.
+func (p *Pool[T]) finishChunk(cs *scpool.ConsumerState, sc *consScratch[T],
+	n *node[T], ch *Chunk[T], hzSlot int) {
+	if flight.Enabled() {
+		flight.RecordC(cs.ID, flight.KChunkDrained, ch.fid.Load(), 0, 0)
+	}
+	n.chunk.Store(nil)
+	sc.rec.Clear(hzSlot)
+	p.recycle(sc.rec, ch)
+	sc.current = nil
+	p.ind.Clear()
+}
+
 // chargeTake records the locality of a task retrieval and, when the family
 // is wired to the NUMA simulator, charges the modelled transfer.
 func (p *Pool[T]) chargeTake(cs *scpool.ConsumerState, ch *Chunk[T]) {
+	// Locality metadata only: home is a relaxed-eligible word (DESIGN.md
+	// §12), read once for both the hook and the census.
+	home := int(ch.home.Load())
 	if hook := p.shared.opts.OnAccess; hook != nil {
-		hook(cs.Node, int(ch.home.Load()))
+		hook(cs.Node, home)
 	}
-	if int(ch.home.Load()) == cs.Node {
-		cs.Ops.LocalTransfers.Inc()
+	if home == cs.Node {
+		cs.Ops.LocalTransfers.V.Store(cs.Ops.LocalTransfers.V.Load() + 1)
 	} else {
-		cs.Ops.RemoteTransfers.Inc()
+		cs.Ops.RemoteTransfers.V.Store(cs.Ops.RemoteTransfers.V.Load() + 1)
 	}
 }

@@ -175,6 +175,7 @@ func TestNodeInitialState(t *testing.T) {
 
 func TestResetForReuseClearsEverything(t *testing.T) {
 	ch := newChunk[task](4, 0)
+	ch.used = int32(len(ch.tasks)) // claim-time watermark, as getChunk sets it
 	for i := range ch.tasks {
 		ch.tasks[i].p.Store(&task{id: i})
 	}

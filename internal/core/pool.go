@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"salsa/internal/chunkpool"
 	"salsa/internal/failpoint"
@@ -90,7 +92,25 @@ type Shared[T any] struct {
 	// announces before republishing a rescued chunk; ids are never
 	// reused, so a slot is written at most once per distinct owner.
 	pools []atomic.Pointer[Pool[T]]
+
+	// spares is the family-wide spare tier behind the per-pool chunk
+	// pools: a sync.Pool of *cleared* slot arrays (boxed as *[]taskSlot).
+	// It is fed by recycle() shedding arrays when a pool's chunk pool
+	// exceeds spareShedThreshold, and consulted by getChunk's force-expand
+	// path (takeSpareChunk), so transient overload spikes stop hitting the
+	// Go allocator for the 8 KB slot array — the chunk header is the only
+	// allocation left. GC pressure drains it for free, which is exactly
+	// the right policy for a tier that only exists to absorb spikes.
+	spares sync.Pool
 }
+
+// spareShedThreshold is the per-pool chunk-pool occupancy above which
+// recycle() routes the chunk's slot array to the family-wide spare tier
+// instead of hoarding it locally. Generous enough that the steady state of
+// every benchmark keeps its chunks local (shedding never triggers on the
+// fast recycle loop), small enough that a pool that ballooned under a
+// transient imbalance gives the memory back to the family.
+const spareShedThreshold = 32
 
 // NewShared validates the options and creates the family context.
 func NewShared[T any](opts Options) (*Shared[T], error) {
@@ -211,6 +231,13 @@ func (p *Pool[T]) SpareChunks() int { return p.chunks.Size() }
 type prodScratch[T any] struct {
 	chunk   *Chunk[T]
 	prodIdx int
+
+	// home caches chunk.home as a plain int for the insert fast path,
+	// read once at getChunk instead of atomically per put. A successful
+	// steal re-homes the chunk mid-fill; tolerating the skew in locality
+	// accounting is the same documented trade ProduceBatch already makes
+	// (its per-run home read), now extended to the single-task path.
+	home int
 }
 
 func (s *Shared[T]) producerScratch(ps *scpool.ProducerState) *prodScratch[T] {
@@ -287,24 +314,29 @@ func (p *Pool[T]) insert(ps *scpool.ProducerState, t *T, force bool) bool {
 	}
 	// Slot reserved, task not yet visible — a stall here is the produce
 	// side's widest inconsistency window (consumers see a nil slot that
-	// is about to fill).
-	failpoint.Inject(failpoint.ProduceBeforePublish, ps.ID)
-	// Publish the task. The atomic store orders after the node append in
-	// getChunk, so a consumer that sees the task also sees the node.
+	// is about to fill). Armed guard spelled at the site: one inlined
+	// load when disarmed, instead of an un-inlinable Inject CALL.
+	if failpoint.Compiled && failpoint.Armed.Load() != 0 {
+		failpoint.Inject(failpoint.ProduceBeforePublish, ps.ID)
+	}
+	// Publish the task: a release store (StoreRelPtr, DESIGN.md §12) — it
+	// orders after the node append in getChunk, so a consumer that sees
+	// the task also sees the node.
 	sc.chunk.tasks[sc.prodIdx].p.Store(t)
 	if hook := p.shared.opts.OnAccess; hook != nil {
-		hook(ps.Node, int(sc.chunk.home.Load()))
+		hook(ps.Node, sc.home)
 	}
-	if int(sc.chunk.home.Load()) == ps.Node {
-		ps.Ops.LocalTransfers.Inc()
+	// Call-free single-writer increments (stats.Counter.V docs).
+	if sc.home == ps.Node {
+		ps.Ops.LocalTransfers.V.Store(ps.Ops.LocalTransfers.V.Load() + 1)
 	} else {
-		ps.Ops.RemoteTransfers.Inc()
+		ps.Ops.RemoteTransfers.V.Store(ps.Ops.RemoteTransfers.V.Load() + 1)
 	}
 	sc.prodIdx++
 	if sc.prodIdx == len(sc.chunk.tasks) {
 		sc.chunk = nil // full; next insert starts a new chunk
 	}
-	ps.Ops.Puts.Inc()
+	ps.Ops.Puts.V.Store(ps.Ops.Puts.V.Load() + 1)
 	return true
 }
 
@@ -322,8 +354,13 @@ func (p *Pool[T]) getChunk(ps *scpool.ProducerState, sc *prodScratch[T], force b
 			}
 			return false
 		}
-		ch = newChunk[T](p.shared.opts.ChunkSize, p.shared.opts.Alloc(ps.Node, p.ownerNode))
-		ps.Ops.ChunkAllocs.Inc()
+		var fromSpare bool
+		ch, fromSpare = p.shared.takeSpareChunk(p.shared.opts.Alloc(ps.Node, p.ownerNode))
+		if fromSpare {
+			ps.Ops.ChunkReuses.Inc() // slot array recirculated, no allocator hit
+		} else {
+			ps.Ops.ChunkAllocs.Inc()
+		}
 		ps.Ops.ForceExpands.Inc() // only reachable under force: the expansion that mattered
 		if flight.Enabled() {
 			flight.RecordP(ps.ID, flight.KForceExpand, 0, int32(p.ownerIDv), 0)
@@ -336,6 +373,12 @@ func (p *Pool[T]) getChunk(ps *scpool.ProducerState, sc *prodScratch[T], force b
 		ch.home.Store(int32(p.shared.opts.Alloc(ps.Node, p.ownerNode)))
 		ps.Ops.ChunkReuses.Inc()
 	}
+	// Claim-time watermark: the chunk is about to be filled, and a chunk
+	// can only recycle once fully drained — hence fully produced — so len
+	// is the exact used count for every chunk that re-enters a pool, and
+	// a safe over-approximation if this fill is abandoned midway. Set
+	// while exclusive; costs nothing on the per-put path (see Chunk.used).
+	ch.used = int32(len(ch.tasks))
 	// The producer holds the chunk exclusively here (dequeued, not yet
 	// listed); a plain tagged store claims it for the pool owner while
 	// invalidating any stale steal that captured the previous tag.
@@ -352,6 +395,50 @@ func (p *Pool[T]) getChunk(ps *scpool.ProducerState, sc *prodScratch[T], force b
 	}
 	sc.chunk = ch
 	sc.prodIdx = 0
+	sc.home = int(ch.home.Load())
+	return true
+}
+
+// takeSpareChunk builds a chunk for a force-expand: from a recycled slot
+// array off the family's spare tier when one is available (fromSpare=true,
+// no allocator pressure beyond the small header), else a fresh allocation.
+// Tier arrays are cleared at shed time, satisfying chunkFrom's contract.
+func (s *Shared[T]) takeSpareChunk(home int) (ch *Chunk[T], fromSpare bool) {
+	if v, _ := s.spares.Get().(*[]taskSlot[T]); v != nil && len(*v) == s.opts.ChunkSize {
+		return chunkFrom(*v, home), true
+	}
+	return newChunk[T](s.opts.ChunkSize, home), false
+}
+
+// shedChunk moves ch's slot array into the family-wide spare tier. Called
+// by the unique recycler (recycled CAS won) when the local chunk pool is
+// already rich. Returns false — caller keeps the chunk local — when any
+// other hazard record still protects ch: the deferred-retire machinery of
+// chunkpool.Put owns that case.
+//
+// While unprotected and recycled the chunk is exclusively ours (the same
+// condition under which getChunk mutates a dequeued chunk's slots), so the
+// plain header writes below are safe. Defense in depth, mirroring the
+// claim-time tag bump: the dead header's owner word is re-tagged to
+// NoOwner, so a stale owner's ownership check and a stale thief's
+// snapshot CAS both fail against it, and the used slots are cleared so the
+// pooled array pins no prior-residence tasks (GC reachability) and hands a
+// clean array to chunkFrom.
+func (s *Shared[T]) shedChunk(rec *hazard.Record, ch *Chunk[T]) bool {
+	if rec == nil {
+		return false
+	}
+	rec.Flush()
+	if s.dom.ProtectedExcept(unsafe.Pointer(ch), rec) {
+		return false
+	}
+	ch.owner.Store(packOwner(NoOwner, ownerTag(ch.owner.Load())+1))
+	for i := int32(0); i < ch.used; i++ {
+		ch.tasks[i].p.Store(nil)
+	}
+	ch.used = 0
+	arr := ch.tasks
+	s.spares.Put(&arr)
 	return true
 }
 
@@ -362,6 +449,12 @@ func (p *Pool[T]) getChunk(ps *scpool.ProducerState, sc *prodScratch[T], force b
 // any other thread still acts on the chunk.
 func (p *Pool[T]) recycle(rec *hazard.Record, ch *Chunk[T]) {
 	if ch.recycled.CompareAndSwap(0, 1) {
+		// Rich pool: give the slot array back to the family-wide spare
+		// tier instead of hoarding it (the header is dropped — the next
+		// force-expand rebuilds one around the array for free).
+		if p.chunks.Size() >= spareShedThreshold && p.shared.shedChunk(rec, ch) {
+			return
+		}
 		p.chunks.Put(rec, ch)
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"unsafe"
 
+	"salsa/internal/atomicx"
 	"salsa/internal/failpoint"
 	"salsa/internal/flight"
 	"salsa/internal/scpool"
@@ -66,7 +67,7 @@ func (p *Pool[T]) Steal(cs *scpool.ConsumerState, victimPool scpool.SCPool[T]) *
 	// DESIGN.md §7.)
 	oldOwner := prevNode.ownerSnapshot
 	rescued := false
-	if ownerID(oldOwner) != victim.ownerIDv || ch.owner.Load() != oldOwner {
+	if ownerID(oldOwner) != victim.ownerIDv || atomicx.LoadAcqU64(&ch.owner) != oldOwner {
 		// Departed-owner rescue (DESIGN.md §9). A thief that crashes
 		// between winning the ownership CAS (line 116) and publishing
 		// its replacement node (line 131) leaves the chunk owned by a
@@ -84,7 +85,7 @@ func (p *Pool[T]) Steal(cs *scpool.ConsumerState, victimPool scpool.SCPool[T]) *
 		// the owner's take paths stop plain-storing once their id is
 		// departed (takeTask/drainRun); together these keep the rescue
 		// from re-exposing a slot the ex-owner can still commit.
-		cur := ch.owner.Load()
+		cur := atomicx.LoadAcqU64(&ch.owner)
 		if oid := ownerID(cur); oid == p.ownerIDv || !p.shared.ownerDeparted(oid) {
 			sc.rec.Clear(hzSteal)
 			return nil
@@ -93,8 +94,8 @@ func (p *Pool[T]) Steal(cs *scpool.ConsumerState, victimPool scpool.SCPool[T]) *
 		rescued = true
 	}
 	size := int64(len(ch.tasks))
-	prevIdx := prevNode.idx.Load() // line 112
-	if prevIdx+1 == size || ch.tasks[prevIdx+1].p.Load() == nil {
+	prevIdx := atomicx.LoadAcqI64(&prevNode.idx) // line 112
+	if prevIdx+1 == size || atomicx.LoadAcqPtr(&ch.tasks[prevIdx+1].p) == nil {
 		sc.rec.Clear(hzSteal)
 		return nil // line 113: nothing left to steal here
 	}
@@ -144,7 +145,7 @@ func (p *Pool[T]) Steal(cs *scpool.ConsumerState, victimPool scpool.SCPool[T]) *
 		// whose owner departed — the membership-driven subset of steals.
 		cs.Ops.ReclaimedChunks.Inc()
 	}
-	fromHome := int(ch.home.Load())
+	fromHome := int(ch.home.Load()) // relaxed-eligible metadata (DESIGN.md §12)
 	// Migrate the chunk to this consumer's node per the allocation
 	// policy — the paper's chunks are page-sized precisely so NUMA data
 	// migration can follow a steal (§1.2). Under central allocation the
@@ -154,7 +155,11 @@ func (p *Pool[T]) Steal(cs *scpool.ConsumerState, victimPool scpool.SCPool[T]) *
 	// emptiness probes before reading the index (Algorithm 6 extension).
 	victim.ind.Clear()
 
-	idx := prevNode.idx.Load() // line 119: re-read after the ownership fence
+	// Line 119: re-read the announce after the ownership CAS. This is the
+	// thief's side of the announce handshake (DESIGN.md §12): the CAS is a
+	// full barrier, so an announce sequenced before the ex-owner's failed
+	// ownership re-check is visible here.
+	idx := atomicx.LoadAcqI64(&prevNode.idx)
 	if rescued {
 		// The line-119 re-read is the paper's announce handshake: any
 		// take the ex-owner fast-pathed before losing the ownership CAS
@@ -217,12 +222,12 @@ func (p *Pool[T]) Steal(cs *scpool.ConsumerState, victimPool scpool.SCPool[T]) *
 			Tasks: moved,
 		})
 	}
-	task := ch.tasks[idx+1].p.Load() // line 123
+	task := atomicx.LoadAcqPtr(&ch.tasks[idx+1].p) // line 123
 	if task != nil {                 // line 124: found a task to take
 		// If the chunk has already been re-stolen from us and the
 		// victim's index moved since line 112, the new thief may not
 		// observe our index; back off (line 125–127).
-		if ownerID(ch.owner.Load()) != p.ownerIDv && idx != prevIdx {
+		if ownerID(atomicx.LoadAcqU64(&ch.owner)) != p.ownerIDv && idx != prevIdx {
 			stealList.remove(myEntry)
 			sc.rec.Clear(hzSteal)
 			return nil
@@ -261,7 +266,7 @@ func (p *Pool[T]) Steal(cs *scpool.ConsumerState, victimPool scpool.SCPool[T]) *
 		p.chargeTake(cs, ch)
 	}
 	p.checkLast(cs, sc, nn, ch, idx, next, hzSteal) // line 136
-	if ownerID(ch.owner.Load()) == p.ownerIDv {     // line 137
+	if ownerID(atomicx.LoadAcqU64(&ch.owner)) == p.ownerIDv { // line 137
 		sc.current = nn
 	}
 	sc.rec.Clear(hzSteal)

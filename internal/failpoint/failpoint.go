@@ -10,7 +10,7 @@
 // chunk-pool exhaustion, or a consumer crash exactly inside the window.
 //
 // Cost discipline. Sites are evaluated through Inject/Fail, whose fast path
-// is `Compiled && armed.Load() != 0` — one inlined atomic load of a
+// is `Compiled && Armed.Load() != 0` — one inlined atomic load of a
 // read-mostly word when the package is compiled in and no hook is
 // registered. Builds with the `salsa_nofailpoint` tag set Compiled to a
 // constant false, so the compiler deletes every site body entirely: a
@@ -113,6 +113,14 @@ const (
 	// Inject-only. id = probing consumer id.
 	CheckEmptyBetweenScans
 
+	// LaneFlushBeforePublish fires inside a producer's SPSC lane flush,
+	// after the buffered run has been drained out of the lane but
+	// before it is published into chunks through the batch produce
+	// path — the window in which the run is visible neither in the lane
+	// nor in any pool, so an emptiness probe racing the flush is the
+	// classic attack. Inject-only. id = producer id.
+	LaneFlushBeforePublish
+
 	// NumSites is the number of defined sites.
 	NumSites
 )
@@ -129,6 +137,7 @@ var siteNames = [NumSites]string{
 	MembershipKillMidSteal:       "membership.kill-mid-steal",
 	MembershipBeforeEpochPublish: "membership.before-epoch-publish",
 	CheckEmptyBetweenScans:       "checkempty.between-scans",
+	LaneFlushBeforePublish:       "lane.flush-before-publish",
 }
 
 // String returns the site's catalogue name (e.g. "steal.after-owner-cas").
@@ -170,11 +179,21 @@ type Hook func(site Site, id int) bool
 // cooperative yield point.
 type Observer func(site Site, id int)
 
+// Armed counts registered hooks; the disarmed fast path is a single load of
+// it. A registered observer is counted too. Exported as a raw atomic — not
+// behind an accessor — because the pool's hot paths are generic and the
+// compiler does not inline cross-package calls into imported generic
+// instantiations: even trivial Fail/Inject calls cost a real CALL there.
+// Hot sites therefore guard the call themselves,
+//
+//	if failpoint.Compiled && failpoint.Armed.Load() != 0 { failpoint.Inject(...) }
+//
+// which compiles to one inlined atomic load and a never-taken branch when
+// disarmed (and to nothing at all under salsa_nofailpoint). Treat Armed as
+// read-only outside this package; registration keeps it in sync.
+var Armed atomic.Int32
+
 var (
-	// armed counts registered hooks; the fast path is a single load.
-	// A registered observer is counted too, so the disarmed fast path
-	// stays exactly one atomic load.
-	armed atomic.Int32
 	hooks [NumSites]atomic.Pointer[Hook]
 
 	// observer is the registered site-visit callback; see SetObserver.
@@ -189,14 +208,14 @@ var (
 
 // Active reports whether any hook is registered (false in salsa_nofailpoint
 // builds, where the call compiles to a constant).
-func Active() bool { return Compiled && armed.Load() != 0 }
+func Active() bool { return Compiled && Armed.Load() != 0 }
 
 // Inject evaluates an inject-only site: the hook's side effects (sleep,
 // yield, crash declarations) happen inside the window; its return value is
 // ignored. Free when no hook is registered; compiled out entirely under the
 // salsa_nofailpoint tag.
 func Inject(site Site, id int) {
-	if Compiled && armed.Load() != 0 {
+	if Compiled && Armed.Load() != 0 {
 		eval(site, id)
 	}
 }
@@ -205,7 +224,7 @@ func Inject(site Site, id int) {
 // to simulate the site's failure. Free when no hook is registered; compiled
 // out entirely (constant false) under the salsa_nofailpoint tag.
 func Fail(site Site, id int) bool {
-	if Compiled && armed.Load() != 0 {
+	if Compiled && Armed.Load() != 0 {
 		return eval(site, id)
 	}
 	return false
@@ -241,7 +260,7 @@ func Set(site Site, h Hook) {
 	mu.Lock()
 	defer mu.Unlock()
 	if hooks[site].Swap(&h) == nil {
-		armed.Add(1)
+		Armed.Add(1)
 	}
 }
 
@@ -253,7 +272,7 @@ func Clear(site Site) {
 	mu.Lock()
 	defer mu.Unlock()
 	if hooks[site].Swap(nil) != nil {
-		armed.Add(-1)
+		Armed.Add(-1)
 	}
 }
 
@@ -267,7 +286,7 @@ func Reset() {
 	defer mu.Unlock()
 	for i := range hooks {
 		if hooks[i].Swap(nil) != nil {
-			armed.Add(-1)
+			Armed.Add(-1)
 		}
 	}
 	killFunc.Store(nil)
@@ -287,9 +306,9 @@ func SetObserver(f Observer) {
 	old := observer.Swap(p)
 	switch {
 	case old == nil && p != nil:
-		armed.Add(1)
+		Armed.Add(1)
 	case old != nil && p == nil:
-		armed.Add(-1)
+		Armed.Add(-1)
 	}
 }
 

@@ -38,7 +38,19 @@ const scanThreshold = 64
 // Record is a per-thread hazard record. A Record must be used by a single
 // goroutine at a time; Release returns it to the domain for reuse.
 type Record struct {
-	slots  [SlotsPerRecord]atomic.Pointer[byte]
+	// Slots hold the published hazard pointers. Raw unsafe.Pointer words
+	// accessed through the atomic.LoadPointer/StorePointer intrinsics
+	// (rather than atomic.Pointer[byte]) so that Set — on the consume
+	// fast path — stays within the compiler's inlining budget.
+	//
+	// Exported so that SALSA's generic hot paths can spell Set's
+	// re-publish elision themselves: the compiler does not inline
+	// cross-package calls into imported generic instantiations, so even
+	// the elided Set costs a CALL per take there. Outside this package,
+	// access Slots only through the atomic.LoadPointer/StorePointer
+	// intrinsics, and only from the record's owning goroutine (the slots
+	// are single-writer; concurrent scanners read them atomically).
+	Slots  [SlotsPerRecord]unsafe.Pointer
 	active atomic.Bool
 	next   *Record // immutable once linked into the domain list
 
@@ -84,8 +96,8 @@ func (d *Domain) Acquire() *Record {
 // Release clears the record's slots, hands its retire list to a final scan,
 // and marks the record reusable by other goroutines.
 func (r *Record) Release() {
-	for i := range r.slots {
-		r.slots[i].Store(nil)
+	for i := range r.Slots {
+		atomic.StorePointer(&r.Slots[i], nil)
 	}
 	r.scan()
 	// Anything still unreclaimable is parked on another active record so
@@ -100,7 +112,7 @@ func (r *Record) Release() {
 func (r *Record) Protect(i int, addr *atomic.Pointer[byte]) *byte {
 	for {
 		p := addr.Load()
-		r.slots[i].Store(p)
+		atomic.StorePointer(&r.Slots[i], unsafe.Pointer(p))
 		if addr.Load() == p {
 			return p
 		}
@@ -110,11 +122,22 @@ func (r *Record) Protect(i int, addr *atomic.Pointer[byte]) *byte {
 // Set publishes p directly in slot i (for pointers obtained and validated by
 // other means, e.g. SALSA's owner-tag CAS).
 func (r *Record) Set(i int, p unsafe.Pointer) {
-	r.slots[i].Store((*byte)(p))
+	// Re-publish elision: when the slot already holds p — the common case
+	// of a consumer hammering its cached current chunk — skip the store.
+	// The slot is single-writer (only the owning goroutine stores it), so
+	// the plain-ordered load is exact, and the earlier store's publication
+	// has been continuously visible since: at no instant did the slot not
+	// protect p, so a scanner's view is identical with or without the
+	// redundant store. This removes a full-barrier store (XCHG plus GC
+	// write barrier on amd64) from the per-take fast path.
+	if atomic.LoadPointer(&r.Slots[i]) == p {
+		return
+	}
+	atomic.StorePointer(&r.Slots[i], p)
 }
 
 // Clear empties slot i.
-func (r *Record) Clear(i int) { r.slots[i].Store(nil) }
+func (r *Record) Clear(i int) { atomic.StorePointer(&r.Slots[i], nil) }
 
 // Retire schedules p for reclamation once no record protects it. The free
 // callback runs at most once, from whichever thread completes the scan.
@@ -132,9 +155,9 @@ func (r *Record) scan() {
 	}
 	protected := make(map[unsafe.Pointer]struct{}, scanThreshold)
 	for rec := r.dom.head.Load(); rec != nil; rec = rec.next {
-		for i := range rec.slots {
-			if p := rec.slots[i].Load(); p != nil {
-				protected[unsafe.Pointer(p)] = struct{}{}
+		for i := range rec.Slots {
+			if p := atomic.LoadPointer(&rec.Slots[i]); p != nil {
+				protected[p] = struct{}{}
 			}
 		}
 	}
@@ -170,8 +193,8 @@ func (d *Domain) ProtectedExcept(p unsafe.Pointer, except *Record) bool {
 		if rec == except {
 			continue
 		}
-		for i := range rec.slots {
-			if unsafe.Pointer(rec.slots[i].Load()) == p {
+		for i := range rec.Slots {
+			if atomic.LoadPointer(&rec.Slots[i]) == p {
 				return true
 			}
 		}

@@ -62,7 +62,7 @@ func TestProtectValidatesLoad(t *testing.T) {
 	if got != b {
 		t.Fatal("Protect returned a different pointer")
 	}
-	if r.slots[0].Load() != b {
+	if (*byte)(atomic.LoadPointer(&r.Slots[0])) != b {
 		t.Fatal("hazard slot not published")
 	}
 }

@@ -1,0 +1,126 @@
+// Package lane implements a fixed-size single-producer/single-consumer
+// ring buffer — the front buffer behind Config.LaneSize. A producer handle
+// accumulates puts in its lane and publishes them into chunks as one batch
+// run, so the per-task cost of the produce path (access-list walk, chunk
+// bookkeeping, slot publication) is paid once per run instead of once per
+// task.
+//
+// The design is the classic FastFlow-style SPSC buffer (Torquati,
+// "Single-Producer/Single-Consumer Queues on Shared Cache Multi-Core
+// Systems"): the slot array itself carries the synchronization — a nil
+// slot means empty, a non-nil slot means full — so the producer never
+// reads the consumer's head index and the consumer never reads the
+// producer's tail index. Each side's index lives on its own cache line and
+// is written only by that side; the only cross-core traffic is the slot
+// cache line actually being handed over. Push is a release store (the
+// task's fields happen-before its visibility), Pop an acquire load.
+//
+// In the pool, both roles are usually played by the same goroutine (the
+// producer pushes; the same producer drains on flush), but the ring is
+// kept honestly SPSC so a concurrent reader — telemetry, a watchdog, or a
+// future consumer-side drain — observes a consistent frontier.
+package lane
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// pad is one cache line of separation (64 bytes covers x86-64 and most
+// arm64; the harm of guessing low is bounded: false sharing, not
+// corruption).
+type pad [64]byte
+
+// Ring is a fixed-capacity SPSC ring of task pointers. The zero value is
+// not usable; construct with New. All pushed pointers must be non-nil —
+// nil is the empty-slot sentinel.
+type Ring[T any] struct {
+	// slots carries the synchronization (see package docs). Accessed
+	// with atomic.LoadPointer/StorePointer, which the compiler inlines
+	// even inside imported generic instantiations (atomicx docs).
+	slots []unsafe.Pointer
+	mask  uint64
+
+	_ pad
+	// head is the next slot to pop. Written only by the popping side.
+	head atomic.Uint64
+	_    pad
+	// tail is the next slot to push. Written only by the pushing side.
+	tail atomic.Uint64
+	_    pad
+}
+
+// New builds a ring with capacity rounded up to the next power of two
+// (minimum 2). capacity must be positive.
+func New[T any](capacity int) *Ring[T] {
+	if capacity <= 0 {
+		panic("lane: capacity must be positive")
+	}
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	return &Ring[T]{slots: make([]unsafe.Pointer, n), mask: uint64(n - 1)}
+}
+
+// Cap returns the ring's capacity in tasks.
+func (r *Ring[T]) Cap() int { return len(r.slots) }
+
+// Push appends t to the ring. It returns false when the ring is full —
+// the caller's signal to flush. t must be non-nil. Only one goroutine may
+// push at a time.
+func (r *Ring[T]) Push(t *T) bool {
+	tail := r.tail.Load() // own index: plain value, no contention
+	slot := &r.slots[tail&r.mask]
+	if atomic.LoadPointer(slot) != nil {
+		return false // consumer has not drained this lap yet
+	}
+	// Release: publishing the pointer makes the task's fields visible to
+	// the popping side (Go atomics are seq-cst; release is the part the
+	// algorithm needs — DESIGN.md §12).
+	atomic.StorePointer(slot, unsafe.Pointer(t))
+	r.tail.Store(tail + 1)
+	return true
+}
+
+// Pop removes and returns the oldest task, or nil when the ring is empty.
+// Only one goroutine may pop at a time.
+func (r *Ring[T]) Pop() *T {
+	head := r.head.Load() // own index: plain value, no contention
+	slot := &r.slots[head&r.mask]
+	p := atomic.LoadPointer(slot) // acquire: pairs with Push's store
+	if p == nil {
+		return nil
+	}
+	atomic.StorePointer(slot, nil) // release the slot back to the pusher
+	r.head.Store(head + 1)
+	return (*T)(p)
+}
+
+// PopRun drains up to len(dst) tasks into dst and returns how many were
+// popped. Only one goroutine may pop at a time.
+func (r *Ring[T]) PopRun(dst []*T) int {
+	head := r.head.Load()
+	n := 0
+	for n < len(dst) {
+		slot := &r.slots[(head+uint64(n))&r.mask]
+		p := atomic.LoadPointer(slot)
+		if p == nil {
+			break
+		}
+		atomic.StorePointer(slot, nil)
+		dst[n] = (*T)(p)
+		n++
+	}
+	if n > 0 {
+		r.head.Store(head + uint64(n))
+	}
+	return n
+}
+
+// Len reports how many tasks are buffered. Exact when called by either
+// endpoint's goroutine; a concurrent reader gets a value that was true at
+// some instant during the call.
+func (r *Ring[T]) Len() int {
+	return int(r.tail.Load() - r.head.Load())
+}

@@ -1,0 +1,150 @@
+package lane
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{1, 2}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {64, 64}, {100, 128},
+	} {
+		if got := New[int](tc.ask).Cap(); got != tc.want {
+			t.Errorf("New(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+func TestNonPositiveCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New[int](0)
+}
+
+func TestFillDrainWraparound(t *testing.T) {
+	r := New[int](4)
+	vals := make([]int, 64)
+	// Repeated partial fills force the indices around the ring several
+	// laps, so the mask arithmetic and the nil-slot handover both wrap.
+	next, popped := 0, 0
+	for round := 0; round < 16; round++ {
+		for i := 0; i < 3; i++ {
+			vals[next] = next
+			if !r.Push(&vals[next]) {
+				t.Fatalf("round %d: push %d failed with %d buffered", round, next, r.Len())
+			}
+			next++
+		}
+		for i := 0; i < 3; i++ {
+			p := r.Pop()
+			if p == nil {
+				t.Fatalf("round %d: pop returned empty with %d buffered", round, r.Len())
+			}
+			if *p != popped {
+				t.Fatalf("round %d: popped %d, want %d (FIFO violated)", round, *p, popped)
+			}
+			popped++
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("drained ring reports Len %d", r.Len())
+	}
+	if r.Pop() != nil {
+		t.Fatal("Pop on empty ring returned a task")
+	}
+}
+
+func TestPushFullReportsFalse(t *testing.T) {
+	r := New[int](4)
+	vals := [5]int{}
+	for i := 0; i < 4; i++ {
+		if !r.Push(&vals[i]) {
+			t.Fatalf("push %d failed below capacity", i)
+		}
+	}
+	if r.Push(&vals[4]) {
+		t.Fatal("push succeeded on a full ring")
+	}
+	if r.Len() != 4 {
+		t.Fatalf("full ring reports Len %d, want 4", r.Len())
+	}
+}
+
+func TestPopRun(t *testing.T) {
+	r := New[int](8)
+	vals := [6]int{}
+	for i := range vals {
+		vals[i] = i
+		r.Push(&vals[i])
+	}
+	dst := make([]*int, 4)
+	if n := r.PopRun(dst); n != 4 {
+		t.Fatalf("PopRun short: %d", n)
+	}
+	for i := 0; i < 4; i++ {
+		if *dst[i] != i {
+			t.Fatalf("PopRun[%d] = %d, want %d", i, *dst[i], i)
+		}
+	}
+	// Second run drains the remainder and reports the short count.
+	if n := r.PopRun(dst); n != 2 {
+		t.Fatalf("second PopRun = %d, want 2", n)
+	}
+	if *dst[0] != 4 || *dst[1] != 5 {
+		t.Fatalf("second PopRun returned %d,%d, want 4,5", *dst[0], *dst[1])
+	}
+	if n := r.PopRun(dst); n != 0 {
+		t.Fatalf("PopRun on empty ring = %d", n)
+	}
+}
+
+// TestSPSCConcurrent hammers the ring from one pushing and one popping
+// goroutine: every value must arrive exactly once, in order. Run with
+// -race this doubles as the memory-model check on the slot handover.
+func TestSPSCConcurrent(t *testing.T) {
+	const total = 50000
+	r := New[int](64)
+	vals := make([]int, total)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			vals[i] = i
+			for !r.Push(&vals[i]) {
+				runtime.Gosched() // GOMAXPROCS=1 hosts need the popper scheduled
+			}
+		}
+	}()
+	var fail string
+	go func() {
+		defer wg.Done()
+		dst := make([]*int, 16)
+		want := 0
+		for want < total {
+			n := r.PopRun(dst)
+			if n == 0 {
+				runtime.Gosched()
+				continue
+			}
+			for _, p := range dst[:n] {
+				if *p != want {
+					fail = "out of order or duplicated delivery"
+					return
+				}
+				want++
+			}
+		}
+	}()
+	wg.Wait()
+	if fail != "" {
+		t.Fatal(fail)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("ring not empty after SPSC run: %d", r.Len())
+	}
+}

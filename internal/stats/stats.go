@@ -12,10 +12,13 @@
 // blocks.
 package stats
 
-import "sync/atomic"
+import (
+	"salsa/internal/atomicx"
+)
 
-// Counter is a single-writer event counter. Inc, Add and Store must only be
-// called by the owning goroutine; Load may be called from anywhere.
+// Counter is a single-writer event counter. Inc, Add, Store and direct V
+// writes must only come from the owning goroutine; Load (or V.Load) may be
+// called from anywhere.
 //
 // The counter word is padded to a cache line so that counters owned by
 // different goroutines never false-share: a hot writer invalidating its
@@ -23,7 +26,17 @@ import "sync/atomic"
 // happens to sit on the same 64 bytes. The cost is memory only — an Ops
 // block grows to a few KB per handle, and handles are per-thread.
 type Counter struct {
-	v atomic.Int64
+	// V is the counter word, deliberately exported: the pool's hot paths
+	// are generic, and the compiler does not inline cross-package calls
+	// into imported generic instantiations, so even a trivial c.Inc()
+	// there costs a real CALL (measured ~2 ns each, several per
+	// operation). Hot sites instead spell the single-writer increment
+	// directly — c.V.Store(c.V.Load() + 1) — which compiles to the
+	// sync/atomic intrinsics (or plain ops under salsa_relaxed; the word
+	// is an atomicx.RlxI64 because a single-writer counter needs
+	// single-copy atomicity but no ordering, DESIGN.md §12). Everyone
+	// else should use the methods.
+	V atomicx.RlxI64
 	_ [56]byte
 }
 
@@ -39,20 +52,20 @@ type Counter struct {
 // reader observes is monotonically non-decreasing. This keeps the SALSA
 // fast path free of RMW instructions even while instrumented, and is
 // race-detector-clean.
-func (c *Counter) Inc() { c.v.Store(c.v.Load() + 1) }
+func (c *Counter) Inc() { c.V.Store(c.V.Load() + 1) }
 
 // Add adds n to the counter. Single-writer; same visibility guarantee as
 // Inc.
-func (c *Counter) Add(n int64) { c.v.Store(c.v.Load() + n) }
+func (c *Counter) Add(n int64) { c.V.Store(c.V.Load() + n) }
 
 // Store overwrites the counter with v. Single-writer: only the owning
 // goroutine may call it. Intended for resetting counters between snapshot
 // windows (delta reporting); readers racing a Store observe either the old
 // or the new value, never a mixture.
-func (c *Counter) Store(v int64) { c.v.Store(v) }
+func (c *Counter) Store(v int64) { c.V.Store(v) }
 
 // Load returns the current value.
-func (c *Counter) Load() int64 { return c.v.Load() }
+func (c *Counter) Load() int64 { return c.V.Load() }
 
 // Ops is the per-handle operation census. Fields count events in the pool
 // code paths exercised by that handle.
@@ -129,6 +142,13 @@ type Ops struct {
 	GetBatches    Counter
 	BatchFastPath Counter
 
+	// LaneFlushes counts SPSC produce-lane flushes performed by this
+	// producer handle (a flush moves the lane's buffered run into chunks
+	// via the batch produce path); LaneFlushSize records the run-size
+	// distribution in tasks. Zero unless Config.LaneSize > 0.
+	LaneFlushes   Counter
+	LaneFlushSize Histogram
+
 	// RemoteTransfers counts task transfers whose chunk home node
 	// differs from the accessing thread's node (NUMA traffic proxy);
 	// LocalTransfers counts same-node transfers.
@@ -170,6 +190,7 @@ type Snapshot struct {
 	RemoteTransfers, LocalTransfers       int64
 	Parks, SaturatedPuts                  int64
 	PutBatches, GetBatches, BatchFastPath int64
+	LaneFlushes                           int64
 
 	// Latency histograms, populated only when latency sampling is on.
 	// Percentile accessors: PutLatency.P50(), GetLatency.P99(), … — see
@@ -178,6 +199,9 @@ type Snapshot struct {
 
 	// Batch-size distributions (value unit: tasks per call).
 	PutBatchSize, GetBatchSize HistogramSnapshot
+
+	// Lane-flush run-size distribution (value unit: tasks per flush).
+	LaneFlushSize HistogramSnapshot
 }
 
 // Snapshot returns a point-in-time copy of the counters.
@@ -196,11 +220,13 @@ func (o *Ops) Snapshot() Snapshot {
 		Parks: o.Parks.Load(), SaturatedPuts: o.SaturatedPuts.Load(),
 		PutBatches: o.PutBatches.Load(), GetBatches: o.GetBatches.Load(),
 		BatchFastPath: o.BatchFastPath.Load(),
+		LaneFlushes:   o.LaneFlushes.Load(),
 		PutLatency:    o.PutLatency.Snapshot(),
 		GetLatency:    o.GetLatency.Snapshot(),
 		StealLatency:  o.StealLatency.Snapshot(),
 		PutBatchSize:  o.PutBatchSize.Snapshot(),
 		GetBatchSize:  o.GetBatchSize.Snapshot(),
+		LaneFlushSize: o.LaneFlushSize.Snapshot(),
 	}
 }
 
@@ -230,11 +256,13 @@ func (s *Snapshot) Add(s2 Snapshot) {
 	s.PutBatches += s2.PutBatches
 	s.GetBatches += s2.GetBatches
 	s.BatchFastPath += s2.BatchFastPath
+	s.LaneFlushes += s2.LaneFlushes
 	s.PutLatency.Add(s2.PutLatency)
 	s.GetLatency.Add(s2.GetLatency)
 	s.StealLatency.Add(s2.StealLatency)
 	s.PutBatchSize.Add(s2.PutBatchSize)
 	s.GetBatchSize.Add(s2.GetBatchSize)
+	s.LaneFlushSize.Add(s2.LaneFlushSize)
 }
 
 // Sum aggregates a set of snapshots.

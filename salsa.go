@@ -205,6 +205,22 @@ type Config struct {
 	// 2 for SALSA/SALSA+CAS.
 	InitialChunks int
 
+	// LaneSize, when positive, gives every producer handle a fixed-size
+	// SPSC front lane of that many tasks (rounded up to a power of
+	// two): Put buffers into the lane and the whole run is published
+	// into chunks through the batch produce path when the lane fills or
+	// Producer.Flush is called, amortizing the per-task produce cost
+	// across the run (Torquati-style producer batching).
+	//
+	// Semantics trade-off: tasks buffered in a lane are NOT yet in the
+	// pool — they are invisible to Get, to stealing and to the
+	// linearizable emptiness protocol until flushed, and they live in
+	// the producer's goroutine (a crashed producer loses its unflushed
+	// run, exactly like tasks it had not yet Put). Producers must call
+	// Flush before relying on buffered tasks being retrievable. Zero
+	// disables lanes — the default, and the paper's put() semantics.
+	LaneSize int
+
 	// Metrics enables the built-in telemetry collector (per-consumer
 	// steal matrices, checkEmpty tallies, producer pressure counters)
 	// and wall-clock latency sampling of Put/Get/steal into histograms.
@@ -308,6 +324,7 @@ func New[T any](cfg Config) (*Pool[T], error) {
 		StealOrder:           cfg.StealOrder,
 		Tracer:               tracer,
 		Latency:              cfg.Metrics,
+		LaneSize:             cfg.LaneSize,
 	})
 	if err != nil {
 		return nil, err
