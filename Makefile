@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-short race-churn chaos dst check bench bench-smoke flight-smoke figures stress examples cover clean
+.PHONY: all build test race race-short race-churn chaos dst check bench bench-smoke flight-smoke serve-smoke figures stress examples cover clean
 
 # Allowed fractional ns/op increase for the flight-recorder overhead guard
 # (bench-smoke compares the noflight and armed runs against the reference).
@@ -59,8 +59,9 @@ dst:
 
 # The full local gate: build + vet + tests + short race pass + membership
 # churn under race + scripted chaos matrix under race + deterministic
-# schedule exploration + coverage floor + flight round-trip + bench smoke.
-check: build test race-short race-churn chaos dst cover flight-smoke bench-smoke
+# schedule exploration + coverage floor + flight round-trip + distributed
+# service smoke + bench smoke.
+check: build test race-short race-churn chaos dst cover flight-smoke serve-smoke bench-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -102,6 +103,15 @@ flight-smoke:
 		-flight-dir results -flight-always
 	$(GO) run ./cmd/salsa-doctor -timeline 5 results/flight-stress-r0.bin
 
+# Distributed-service smoke: boots a real shard server on loopback TCP,
+# drives a full exactly-once round through the wire protocol (with a
+# mid-stream worker drain/rejoin), and scrapes /metrics over HTTP. On
+# failure the shard's flight dump lands in results/flight-serve-smoke.bin
+# (salsa-doctor reads it).
+serve-smoke:
+	@mkdir -p results
+	$(GO) run ./cmd/salsa-server -smoke
+
 # Regenerates every figure of the paper's evaluation (§1.6) plus the
 # extended-baseline sweep; writes CSVs to results/ and the human-readable
 # tables to results/figures_output.txt (and stdout).
@@ -121,11 +131,13 @@ examples:
 	$(GO) run ./examples/metrics
 
 # Coverage gate: per-package and total statement coverage recorded to
-# results/coverage.txt, with the total checked against COVER_FLOOR.
+# results/coverage.txt, with the total checked against COVER_FLOOR. The
+# profile itself goes under results/ too (gitignored) so no scratch file
+# lands at the repo root.
 cover:
 	@mkdir -p results
-	$(GO) test ./... -coverprofile=cover.out
-	$(GO) tool cover -func=cover.out > results/coverage.txt
+	$(GO) test ./... -coverprofile=results/cover.out
+	$(GO) tool cover -func=results/cover.out > results/coverage.txt
 	@tail -1 results/coverage.txt
 	@awk -v floor=$(COVER_FLOOR) 'END { \
 		pct = $$NF; sub(/%/, "", pct); \
@@ -137,6 +149,7 @@ cover:
 # Removes generated scratch files. Deliberately leaves results/ alone: the
 # committed CSVs, coverage.txt, and figures_output.txt live there.
 clean:
-	rm -f cover.out test_output.txt bench_output.txt bench_smoke.txt
+	rm -f cover.out results/cover.out test_output.txt bench_output.txt bench_smoke.txt
 	rm -f bench_noflight.txt bench_armed.txt bench_alloc.txt
 	rm -f salsa-dst salsa-bench salsa-stress salsa-chaos salsa-doctor benchjson
+	rm -f salsa-server salsa-worker

@@ -1,0 +1,173 @@
+// Command salsa-worker is the client side of the distributed task
+// service: it either joins shards as a worker (default) or drives them as
+// a producer (-produce).
+//
+// Worker mode joins ONE shard (workers are shard-local consumers; run one
+// process per shard you want drained), fetches task batches over the
+// wire, and executes them on a local salsa-backed executor — so the
+// remote pool feeds an in-process pool, and a slow local executor
+// propagates backpressure to the shard by simply fetching less. -work
+// simulates per-task CPU time. SIGINT retires the worker gracefully
+// (DRAIN: remaining chunks are republished before the consumer leaves);
+// a SIGKILL'd worker is instead declared crashed by the shard's lease
+// monitor and its chunks are rescued — both paths end with no task lost.
+//
+// Producer mode routes task batches across ALL listed shards: each batch
+// goes to the producer's home shard first and spills to the others when a
+// shard answers SATURATED (the wire form of ErrSaturated backpressure).
+//
+// Usage:
+//
+//	salsa-worker [-addr host:port] [-batch n] [-wait d] [-work d] [-threads n]
+//	salsa-worker -produce n [-addr host:port,host:port,...] [-batch n] [-payload n]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"salsa"
+	"salsa/executor"
+	"salsa/internal/remote"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7400", "shard address; producer mode takes a comma-separated list")
+		batch   = flag.Int("batch", 256, "tasks per wire round trip")
+		wait    = flag.Duration("wait", 200*time.Millisecond, "server-side wait per GET_BATCH when the shard is empty")
+		work    = flag.Duration("work", 0, "simulated CPU time per task")
+		threads = flag.Int("threads", 4, "local executor workers")
+		produce = flag.Int("produce", 0, "produce this many tasks instead of consuming")
+		payload = flag.Int("payload", 64, "task body size in producer mode")
+		home    = flag.Int("home", 0, "home shard index in producer mode")
+	)
+	flag.Parse()
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+	log.SetPrefix("salsa-worker: ")
+
+	if *produce > 0 {
+		if err := runProducer(strings.Split(*addr, ","), *produce, *batch, *payload, *home); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := runWorker(*addr, *batch, *wait, *work, *threads); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runWorker(addr string, batch int, wait, work time.Duration, threads int) error {
+	w, err := remote.DialWorker(addr, remote.WorkerOptions{})
+	if err != nil {
+		return err
+	}
+	exec, err := executor.New(executor.Config{Workers: threads})
+	if err != nil {
+		return err
+	}
+	log.Printf("joined %s as consumer %d (lease %v), executing on %d threads", addr, w.ID(), w.Lease(), threads)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	var executed, fetched atomic.Int64
+	for {
+		select {
+		case s := <-sig:
+			fmt.Fprintln(os.Stderr)
+			log.Printf("%v: draining (fetched %d, executed %d)", s, fetched.Load(), executed.Load())
+			if err := w.Drain(); err != nil {
+				return fmt.Errorf("drain: %w", err)
+			}
+			exec.Shutdown(true)
+			log.Printf("retired cleanly, %d tasks executed", executed.Load())
+			return nil
+		default:
+		}
+		bodies, err := w.GetBatch(batch, wait)
+		if err != nil {
+			exec.Shutdown(true)
+			if errors.Is(err, salsa.ErrKilled) {
+				return fmt.Errorf("shard declared this worker crashed (lease expired?): %w", err)
+			}
+			return err
+		}
+		if len(bodies) == 0 {
+			continue
+		}
+		// GetBatch bodies alias the connection's read buffer until the
+		// next call, but the executor outlives this iteration: copy.
+		tasks := make([]executor.Task, len(bodies))
+		for i, b := range bodies {
+			body := append([]byte(nil), b...)
+			tasks[i] = func() {
+				if work > 0 {
+					spin(work)
+				}
+				_ = body
+				executed.Add(1)
+			}
+		}
+		fetched.Add(int64(len(tasks)))
+		// Local saturation is backpressure, not failure: keep resubmitting
+		// the remainder, which stalls fetching and lets the shard's other
+		// workers (or SATURATED toward producers) absorb the load.
+		for off := 0; off < len(tasks); {
+			n, err := exec.TrySubmitBatch(tasks[off:])
+			off += n
+			if err != nil {
+				if errors.Is(err, salsa.ErrSaturated) && off < len(tasks) {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				return fmt.Errorf("local executor: %w", err)
+			}
+		}
+	}
+}
+
+// spin busy-waits to model CPU-bound task work (sleep would model IO and
+// free the thread, understating executor pressure).
+func spin(d time.Duration) {
+	for end := time.Now().Add(d); time.Now().Before(end); {
+	}
+}
+
+func runProducer(addrs []string, total, batch, payload, home int) error {
+	pr, err := remote.DialProducer(addrs, remote.ProducerOptions{Home: home})
+	if err != nil {
+		return err
+	}
+	defer pr.Close()
+	log.Printf("producing %d tasks of %dB across %d shard(s), home %d", total, payload, len(addrs), home)
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	body := make([]byte, payload)
+	run := make([][]byte, 0, batch)
+	start := time.Now()
+	for i := 0; i < total; i++ {
+		rng.Read(body)
+		run = append(run, body)
+		if len(run) == batch || i == total-1 {
+			if err := pr.Produce(ctx, run); err != nil {
+				return fmt.Errorf("after %d tasks: %w", i+1-len(run), err)
+			}
+			run = run[:0]
+		}
+	}
+	el := time.Since(start)
+	log.Printf("done: %d tasks in %v (%.0f tasks/s)", total, el.Round(time.Millisecond), float64(total)/el.Seconds())
+	return nil
+}

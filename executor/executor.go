@@ -444,6 +444,39 @@ func (e *Executor) SubmitBatch(ts []Task) error {
 	return nil
 }
 
+// TrySubmitBatch schedules a prefix of ts like SubmitBatch but without the
+// pool's force-expansion escape hatch: it returns how many tasks were
+// accepted, and err is salsa.ErrSaturated exactly when n < len(ts) — the
+// batched face of TrySubmit's backpressure, and what a fetch loop feeding
+// the executor from elsewhere (e.g. a remote shard) uses to stop pulling
+// work it cannot queue. The accepted prefix is copied out of ts (Submit's
+// by-value semantics); ts[n:] stays entirely the caller's. Safe to call
+// from any goroutine.
+func (e *Executor) TrySubmitBatch(ts []Task) (n int, err error) {
+	if len(ts) == 0 {
+		return 0, nil
+	}
+	for _, t := range ts {
+		if t == nil {
+			return 0, errors.New("executor: nil task")
+		}
+	}
+	if e.shutdown.Load() {
+		return 0, ErrShutdown
+	}
+	tasks := make([]Task, len(ts))
+	copy(tasks, ts)
+	ptrs := make([]*Task, len(ts))
+	for i := range tasks {
+		ptrs[i] = &tasks[i]
+	}
+	l := &e.lanes[e.next.Add(1)%uint64(len(e.lanes))]
+	l.mu.Lock()
+	n, err = l.p.TryPutBatch(ptrs)
+	l.mu.Unlock()
+	return n, err
+}
+
 // Shutdown stops accepting submissions. With wait=true it blocks until the
 // workers have drained every task already submitted.
 func (e *Executor) Shutdown(wait bool) {

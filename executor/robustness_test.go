@@ -135,3 +135,48 @@ func TestSubmitContextCancellation(t *testing.T) {
 		t.Fatal("accepted task never ran")
 	}
 }
+
+// TestTrySubmitBatchSaturation is the batched face of the same contract:
+// under exhaustion the whole run is refused with n = 0 and ErrSaturated
+// (the caller keeps every task); with pressure lifted the run is accepted
+// whole and executes.
+func TestTrySubmitBatchSaturation(t *testing.T) {
+	e, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Shutdown(false)
+
+	defer failpoint.Reset()
+	failpoint.Set(failpoint.ChunkpoolExhausted, func(failpoint.Site, int) bool { return true })
+
+	var ran atomic.Int64
+	batch := []Task{
+		func() { ran.Add(1) },
+		func() { ran.Add(1) },
+		func() { ran.Add(1) },
+	}
+	n, err := e.TrySubmitBatch(batch)
+	if n != 0 || !errors.Is(err, salsa.ErrSaturated) {
+		t.Fatalf("TrySubmitBatch under exhaustion = (%d, %v), want (0, ErrSaturated)", n, err)
+	}
+
+	failpoint.Reset()
+	n, err = e.TrySubmitBatch(batch)
+	if n != len(batch) || err != nil {
+		t.Fatalf("TrySubmitBatch after pressure lifted = (%d, %v), want (%d, nil)", n, err, len(batch))
+	}
+	if n, err := e.TrySubmitBatch(nil); n != 0 || err != nil {
+		t.Fatalf("TrySubmitBatch(nil) = (%d, %v), want (0, nil)", n, err)
+	}
+	if _, err := e.TrySubmitBatch([]Task{func() {}, nil}); err == nil {
+		t.Fatal("TrySubmitBatch accepted a nil task")
+	}
+	e.Shutdown(true)
+	if ran.Load() != int64(len(batch)) {
+		t.Fatalf("ran %d of %d accepted tasks", ran.Load(), len(batch))
+	}
+	if _, err := e.TrySubmitBatch(batch); err != ErrShutdown {
+		t.Fatalf("TrySubmitBatch after shutdown = %v, want ErrShutdown", err)
+	}
+}

@@ -29,12 +29,11 @@ import (
 	"salsa/internal/telemetry"
 )
 
-// Task is the verifier's task payload: identity plus a returned flag that
-// catches double delivery.
+// Task is the verifier's task payload: the (producer, seq) identity the
+// round's Ledger accounts for.
 type Task struct {
 	Producer int32
 	Seq      int32
-	returned atomic.Bool
 }
 
 // Live tracks the pool of the currently running round so a metrics endpoint
@@ -129,7 +128,6 @@ func killBudget(s *failpoint.Schedule) int {
 // needed to reproduce: the caller already knows (seed, schedule).
 func RunRound(o Options) (Result, error) {
 	var res Result
-	want := int64(o.Producers) * int64(o.TasksPerProducer)
 
 	// Budget never-reused consumer ids for churn cycles and kills.
 	maxConsumers := o.Consumers
@@ -238,8 +236,7 @@ func RunRound(o Options) (Result, error) {
 	}
 	go func() { pwg.Wait(); done.Store(true) }()
 
-	var returned atomic.Int64
-	var dup atomic.Int64
+	ledger := NewLedger(o.Producers, o.TasksPerProducer)
 	var cwg sync.WaitGroup
 
 	// ctls tracks running consumer goroutines by id so the churner can
@@ -252,7 +249,7 @@ func RunRound(o Options) (Result, error) {
 		ctlMu sync.Mutex
 		ctls  = map[int]*workerCtl{}
 	)
-	drained := func() bool { return returned.Load() >= want }
+	drained := ledger.Drained
 
 	var runConsumer func(c *salsa.Consumer[Task], ctl *workerCtl)
 	// replaceKilled swaps a crashed worker for a fresh consumer so the
@@ -287,10 +284,9 @@ func RunRound(o Options) (Result, error) {
 			}
 		}
 		record := func(t *Task) {
-			if t.returned.Swap(true) {
-				dup.Add(1)
-			}
-			returned.Add(1)
+			// Identities come straight from the pool's own pointers, so
+			// out-of-universe errors are impossible here.
+			_ = ledger.Record(int(t.Producer), int(t.Seq))
 		}
 		if o.Batch > 1 {
 			buf := make([]*Task, o.Batch)
@@ -357,7 +353,7 @@ func RunRound(o Options) (Result, error) {
 				if drained() && churnCycles.Load() > 0 {
 					return
 				}
-				if !drained() && returned.Load() < next {
+				if !drained() && ledger.Delivered() < next {
 					time.Sleep(20 * time.Microsecond)
 					continue
 				}
@@ -424,9 +420,6 @@ func RunRound(o Options) (Result, error) {
 	if e := churnErr.Load(); e != nil {
 		return res, fail(*e)
 	}
-	if d := dup.Load(); d > 0 {
-		return res, fail(fmt.Errorf("%d tasks returned twice (uniqueness violated)", d))
-	}
 	// Loss budget: a consumer crashed mid-Get forfeits at most its one
 	// announced slot, and a scripted post-announce failure forfeits the
 	// slot it abandoned. Everything else must drain exactly once.
@@ -438,23 +431,9 @@ func RunRound(o Options) (Result, error) {
 			}
 		}
 	}
-	res.Lost = want - returned.Load()
-	if res.Lost > budget {
-		return res, fail(fmt.Errorf("returned %d of %d tasks: lost %d exceeds crash budget %d (task loss or phantom emptiness)",
-			returned.Load(), want, res.Lost, budget))
-	}
-	if res.Lost < 0 {
-		return res, fail(fmt.Errorf("returned %d of %d tasks: over-delivery escaped the duplicate check",
-			returned.Load(), want))
-	}
-	if budget == 0 {
-		for pi := range all {
-			for _, t := range all[pi] {
-				if !t.returned.Load() {
-					return res, fail(fmt.Errorf("task %d/%d never returned", t.Producer, t.Seq))
-				}
-			}
-		}
+	res.Lost = ledger.Lost()
+	if err := ledger.Verify(budget); err != nil {
+		return res, fail(err)
 	}
 	pass()
 	return res, nil

@@ -1,0 +1,108 @@
+package chaos
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Ledger is the exactly-once accounting core of the harness, factored out
+// of RunRound so harnesses that move tasks across other transports — the
+// remote loopback tests and cmd/salsa-server's smoke round, where task
+// identity travels as (producer, seq) pairs in wire frames rather than
+// pool pointers — verify delivery with the same bookkeeping and emit the
+// same verdict vocabulary.
+//
+// The task universe is the dense rectangle producers × perProducer. Record
+// is wait-free (one atomic swap plus two increments) and safe from any
+// number of goroutines; the accessors are monotone snapshots.
+type Ledger struct {
+	producers   int
+	perProducer int
+	// seen[p*perProducer+s] flips on first delivery; later deliveries of
+	// the same task are tallied as duplicates.
+	seen []atomic.Bool
+	// delivered counts every Record, duplicates included — the harness's
+	// drain condition must keep moving on a dup+loss round, so progress
+	// is measured in deliveries, not unique tasks.
+	delivered atomic.Int64
+	dups      atomic.Int64
+}
+
+// NewLedger returns a ledger for producers × perProducer tasks.
+func NewLedger(producers, perProducer int) *Ledger {
+	return &Ledger{
+		producers:   producers,
+		perProducer: perProducer,
+		seen:        make([]atomic.Bool, producers*perProducer),
+	}
+}
+
+// Record tallies one delivery of task (p, seq). Duplicates are counted,
+// not rejected — Verify turns them into a verdict at the end. The error is
+// reserved for identities outside the task universe, which on a wire
+// transport means a corrupted or foreign frame.
+func (l *Ledger) Record(p, seq int) error {
+	if p < 0 || p >= l.producers || seq < 0 || seq >= l.perProducer {
+		return fmt.Errorf("chaos: delivery outside the task universe: producer %d seq %d (universe %d x %d)",
+			p, seq, l.producers, l.perProducer)
+	}
+	if l.seen[p*l.perProducer+seq].Swap(true) {
+		l.dups.Add(1)
+	}
+	l.delivered.Add(1)
+	return nil
+}
+
+// Want is the universe size: the delivery count of a perfect round.
+func (l *Ledger) Want() int64 { return int64(l.producers) * int64(l.perProducer) }
+
+// Delivered counts every recorded delivery, duplicates included.
+func (l *Ledger) Delivered() int64 { return l.delivered.Load() }
+
+// Dups counts deliveries of already-delivered tasks.
+func (l *Ledger) Dups() int64 { return l.dups.Load() }
+
+// Lost is Want − Delivered: negative when over-delivery outpaced loss.
+func (l *Ledger) Lost() int64 { return l.Want() - l.Delivered() }
+
+// Drained reports whether deliveries have reached the universe size — the
+// harness's loop-termination condition. Deliberately counts duplicates:
+// on a dup+loss round the missing task never arrives, and a unique-count
+// condition would spin forever.
+func (l *Ledger) Drained() bool { return l.Delivered() >= l.Want() }
+
+// FirstMissing returns the first never-delivered task in producer-major
+// order, for zero-budget verdicts.
+func (l *Ledger) FirstMissing() (p, seq int, ok bool) {
+	for i := range l.seen {
+		if !l.seen[i].Load() {
+			return i / l.perProducer, i % l.perProducer, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Verify renders the round's verdict under a crash budget: zero
+// duplicates, loss within budget, and — when the budget is zero — every
+// task accounted for by name. The message forms match RunRound's
+// historical verdicts so round reports stay greppable across harnesses.
+func (l *Ledger) Verify(budget int64) error {
+	if d := l.Dups(); d > 0 {
+		return fmt.Errorf("%d tasks returned twice (uniqueness violated)", d)
+	}
+	lost := l.Lost()
+	if lost > budget {
+		return fmt.Errorf("returned %d of %d tasks: lost %d exceeds crash budget %d (task loss or phantom emptiness)",
+			l.Delivered(), l.Want(), lost, budget)
+	}
+	if lost < 0 {
+		return fmt.Errorf("returned %d of %d tasks: over-delivery escaped the duplicate check",
+			l.Delivered(), l.Want())
+	}
+	if budget == 0 {
+		if p, seq, missing := l.FirstMissing(); missing {
+			return fmt.Errorf("task %d/%d never returned", p, seq)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package chaos
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLedgerCleanRound(t *testing.T) {
+	l := NewLedger(3, 100)
+	if l.Want() != 300 {
+		t.Fatalf("Want = %d, want 300", l.Want())
+	}
+	// Deliver every task once, concurrently.
+	var wg sync.WaitGroup
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for s := 0; s < 100; s++ {
+				if err := l.Record(p, s); err != nil {
+					t.Errorf("Record(%d,%d): %v", p, s, err)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if !l.Drained() || l.Delivered() != 300 || l.Dups() != 0 || l.Lost() != 0 {
+		t.Fatalf("delivered=%d dups=%d lost=%d drained=%t",
+			l.Delivered(), l.Dups(), l.Lost(), l.Drained())
+	}
+	if err := l.Verify(0); err != nil {
+		t.Fatalf("Verify(0) on a clean round: %v", err)
+	}
+}
+
+func TestLedgerDetectsDuplicates(t *testing.T) {
+	l := NewLedger(1, 10)
+	for s := 0; s < 10; s++ {
+		_ = l.Record(0, s)
+	}
+	_ = l.Record(0, 4)
+	if l.Dups() != 1 {
+		t.Fatalf("Dups = %d, want 1", l.Dups())
+	}
+	err := l.Verify(0)
+	if err == nil || !strings.Contains(err.Error(), "uniqueness violated") {
+		t.Fatalf("Verify = %v, want a uniqueness verdict", err)
+	}
+}
+
+func TestLedgerLossBudget(t *testing.T) {
+	l := NewLedger(2, 5)
+	for s := 0; s < 5; s++ {
+		_ = l.Record(0, s)
+	}
+	for s := 0; s < 4; s++ {
+		_ = l.Record(1, s)
+	}
+	if p, seq, ok := l.FirstMissing(); !ok || p != 1 || seq != 4 {
+		t.Fatalf("FirstMissing = (%d,%d,%t), want (1,4,true)", p, seq, ok)
+	}
+	if err := l.Verify(1); err != nil {
+		t.Fatalf("Verify(1) with one budgeted loss: %v", err)
+	}
+	err := l.Verify(0)
+	if err == nil || !strings.Contains(err.Error(), "exceeds crash budget") {
+		t.Fatalf("Verify(0) = %v, want a budget verdict", err)
+	}
+}
+
+func TestLedgerRejectsForeignIdentity(t *testing.T) {
+	l := NewLedger(2, 5)
+	for _, c := range [][2]int{{-1, 0}, {2, 0}, {0, -1}, {0, 5}} {
+		if err := l.Record(c[0], c[1]); err == nil {
+			t.Fatalf("Record(%d,%d) accepted an out-of-universe identity", c[0], c[1])
+		}
+	}
+	if l.Delivered() != 0 {
+		t.Fatalf("rejected deliveries were tallied: %d", l.Delivered())
+	}
+}
+
+// Drained must count duplicates: on a dup+loss round the missing task never
+// arrives and the harness's loop-termination condition has to keep moving.
+func TestLedgerDrainedCountsDuplicates(t *testing.T) {
+	l := NewLedger(1, 2)
+	_ = l.Record(0, 0)
+	_ = l.Record(0, 0) // dup; task (0,1) is lost
+	if !l.Drained() {
+		t.Fatal("Drained() false after want deliveries (dup+loss round would hang)")
+	}
+	if err := l.Verify(1); err == nil {
+		t.Fatal("Verify must still flag the duplicate even within a loss budget")
+	}
+}

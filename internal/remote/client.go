@@ -1,0 +1,333 @@
+package remote
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"salsa"
+)
+
+// dialTimeout is the default connection/handshake timeout.
+const dialTimeout = 5 * time.Second
+
+// roundTrip sends one request frame and reads the response. A KindErr
+// response is materialized as its mapped Go error (see ErrMsg.Error).
+func roundTrip(fc *framedConn, k Kind, payload []byte) (Frame, error) {
+	if err := fc.write(k, payload); err != nil {
+		return Frame{}, err
+	}
+	f, err := fc.read()
+	if err != nil {
+		return Frame{}, err
+	}
+	if f.Kind == KindErr {
+		e, derr := DecodeErrMsg(f.Payload)
+		if derr != nil {
+			return Frame{}, derr
+		}
+		return f, e.Error()
+	}
+	return f, nil
+}
+
+// dial connects to a shard and completes the HELLO handshake for role.
+func dial(addr string, role Role, maxPayload int) (*framedConn, error) {
+	c, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
+	}
+	fc := newFramedConn(c, maxPayload)
+	if err := fc.write(KindHello, AppendHello(nil, Hello{Role: role})); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return fc, nil
+}
+
+// Policy orders the shards a producer tries for one run. Implementations
+// must be deterministic given (home, n): the scheduler consults the
+// policy once per insertion attempt.
+type Policy interface {
+	// Order appends to dst the shard indices to try, most preferred
+	// first, and returns the extended slice. home is the producer's home
+	// shard, n the shard count.
+	Order(home, n int, dst []int) []int
+}
+
+// HomeFirst is the default routing policy: the home shard, then the rest
+// in ring order. The home shard keeps a producer's runs co-located (the
+// localized work-stealing argument: steals and their cache misses stay
+// rare when each producer's work concentrates near its consumers), and
+// the ring spill bounds how far a run travels when the home refuses it.
+type HomeFirst struct{}
+
+// Order implements Policy.
+func (HomeFirst) Order(home, n int, dst []int) []int {
+	for i := 0; i < n; i++ {
+		dst = append(dst, (home+i)%n)
+	}
+	return dst
+}
+
+// ProducerOptions configures DialProducer.
+type ProducerOptions struct {
+	// Home is the index into the shard address list of this producer's
+	// home shard. Default 0.
+	Home int
+	// Policy orders shards per insertion attempt. Default HomeFirst.
+	Policy Policy
+	// MaxPayload bounds frame payloads. Default DefaultMaxPayload.
+	MaxPayload int
+}
+
+// Producer is the scheduler-side insertion router: one wire connection
+// per shard, a routing policy, and spill-on-SATURATED. Single-goroutine,
+// like the in-process producer handle it fronts.
+type Producer struct {
+	shards []*framedConn
+	home   int
+	policy Policy
+	order  []int
+	enc    []byte
+	// retryAfter is the most recent backpressure hint, surfaced after a
+	// fully saturated TryProduce for Produce's pacing.
+	retryAfter time.Duration
+}
+
+// DialProducer connects to every shard in addrs and leases a producer
+// lane on each.
+func DialProducer(addrs []string, o ProducerOptions) (*Producer, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("remote: no shard addresses")
+	}
+	if o.Policy == nil {
+		o.Policy = HomeFirst{}
+	}
+	if o.Home < 0 || o.Home >= len(addrs) {
+		o.Home = 0
+	}
+	p := &Producer{home: o.Home, policy: o.Policy}
+	for _, addr := range addrs {
+		fc, err := dial(addr, RoleProducer, o.MaxPayload)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		// The lane lease: the server answers HELLO with ACK{A: lane id}
+		// once a lane is free, or ERR CodeCapacity.
+		f, err := fc.read()
+		if err != nil {
+			fc.Close()
+			p.Close()
+			return nil, fmt.Errorf("remote: %s: lane lease: %w", addr, err)
+		}
+		if f.Kind == KindErr {
+			e, derr := DecodeErrMsg(f.Payload)
+			fc.Close()
+			p.Close()
+			if derr != nil {
+				return nil, derr
+			}
+			return nil, e.Error()
+		}
+		if f.Kind != KindAck {
+			fc.Close()
+			p.Close()
+			return nil, fmt.Errorf("%w: %v to HELLO", ErrProtocol, f.Kind)
+		}
+		p.shards = append(p.shards, fc)
+	}
+	return p, nil
+}
+
+// TryProduce inserts the run with one pass over the policy's shard order:
+// each shard accepts a prefix (ACK) or refuses (SATURATED), and the
+// remainder spills to the next shard. Returns salsa.ErrSaturated when
+// tasks remain after the pass — the caller keeps ownership of the whole
+// batch (accepted tasks are owned by their shards, but the wire protocol
+// carries copies, so retrying with RemainingAfter is the caller's
+// contract: use Produce unless you track acceptance yourself).
+//
+// To keep the API aligned with salsa.Producer.TryPutBatch, TryProduce
+// reports n: the count of tasks accepted across all shards (a prefix of
+// batch).
+func (p *Producer) TryProduce(batch [][]byte) (n int, err error) {
+	p.order = p.policy.Order(p.home, len(p.shards), p.order[:0])
+	remaining := batch
+	for _, si := range p.order {
+		if len(remaining) == 0 {
+			break
+		}
+		fc := p.shards[si]
+		p.enc = AppendBatch(p.enc[:0], Batch{Tasks: remaining})
+		f, err := roundTrip(fc, KindPutBatch, p.enc)
+		if err != nil {
+			return len(batch) - len(remaining), err
+		}
+		switch f.Kind {
+		case KindAck:
+			a, err := DecodeAck(f.Payload)
+			if err != nil {
+				return len(batch) - len(remaining), err
+			}
+			if a.A > uint64(len(remaining)) {
+				return len(batch) - len(remaining), fmt.Errorf("%w: shard accepted %d of %d", ErrBadFrame, a.A, len(remaining))
+			}
+			remaining = remaining[a.A:]
+		case KindSaturated:
+			sat, err := DecodeSaturated(f.Payload)
+			if err != nil {
+				return len(batch) - len(remaining), err
+			}
+			if d := time.Duration(sat.RetryAfterMs) * time.Millisecond; d > 0 {
+				p.retryAfter = d
+			}
+		default:
+			return len(batch) - len(remaining), fmt.Errorf("%w: %v to PUT_BATCH", ErrProtocol, f.Kind)
+		}
+	}
+	n = len(batch) - len(remaining)
+	if len(remaining) > 0 {
+		return n, salsa.ErrSaturated
+	}
+	return n, nil
+}
+
+// Produce inserts the whole run, blocking through saturation: every pass
+// spills per the policy, and when all shards refuse, it sleeps the
+// shards' retry-after hint before the next pass. Returns ctx.Err() if the
+// context ends first.
+func (p *Producer) Produce(ctx context.Context, batch [][]byte) error {
+	remaining := batch
+	for len(remaining) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		n, err := p.TryProduce(remaining)
+		remaining = remaining[n:]
+		if err == nil {
+			continue
+		}
+		if err != salsa.ErrSaturated {
+			return err
+		}
+		pause := p.retryAfter
+		if pause <= 0 {
+			pause = 2 * time.Millisecond
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(pause):
+		}
+	}
+	return nil
+}
+
+// Close drains the lane leases gracefully and severs the connections.
+func (p *Producer) Close() {
+	for _, fc := range p.shards {
+		if fc == nil {
+			continue
+		}
+		// Best-effort DRAIN so the server returns the lane promptly
+		// instead of discovering the dead peer on its next read.
+		fc.write(KindDrain, nil)
+		fc.read()
+		fc.Close()
+	}
+	p.shards = nil
+}
+
+// WorkerOptions configures DialWorker.
+type WorkerOptions struct {
+	// MaxPayload bounds frame payloads. Default DefaultMaxPayload.
+	MaxPayload int
+}
+
+// Worker is the execution-side retrieval handle: one shard connection
+// whose consumer membership, lease, and kill semantics mirror an
+// in-process consumer handle. Single-goroutine.
+type Worker struct {
+	fc    *framedConn
+	id    int
+	lease time.Duration
+}
+
+// DialWorker connects to a shard and joins its consumer membership.
+// Returns ErrCapacity (wrapped) when the shard's lifetime consumer-id
+// capacity is exhausted.
+func DialWorker(addr string, o WorkerOptions) (*Worker, error) {
+	fc, err := dial(addr, RoleWorker, o.MaxPayload)
+	if err != nil {
+		return nil, err
+	}
+	f, err := roundTrip(fc, KindJoin, nil)
+	if err != nil {
+		fc.Close()
+		return nil, err
+	}
+	if f.Kind != KindAck {
+		fc.Close()
+		return nil, fmt.Errorf("%w: %v to JOIN", ErrProtocol, f.Kind)
+	}
+	a, err := DecodeAck(f.Payload)
+	if err != nil {
+		fc.Close()
+		return nil, err
+	}
+	return &Worker{
+		fc:    fc,
+		id:    int(a.A),
+		lease: time.Duration(a.B) * time.Millisecond,
+	}, nil
+}
+
+// ID returns the worker's consumer id on its shard.
+func (w *Worker) ID() int { return w.id }
+
+// Lease returns the shard's liveness lease: the worker must send a frame
+// (GetBatch or Ping) at least this often or be declared crashed.
+func (w *Worker) Lease() time.Duration { return w.lease }
+
+// GetBatch retrieves up to max tasks, holding the request server-side for
+// at most wait when the shard is dry (an empty result is a dry shard, not
+// an emptiness proof). The returned bodies alias the connection's read
+// buffer and are valid until the next call; callers that retain them must
+// copy. Returns salsa.ErrKilled (wrapped) once the shard has declared
+// this worker crashed.
+func (w *Worker) GetBatch(max int, wait time.Duration) ([][]byte, error) {
+	req := AppendGetReq(nil, GetReq{Max: uint32(max), WaitMs: uint32(wait.Milliseconds())})
+	f, err := roundTrip(w.fc, KindGetBatch, req)
+	if err != nil {
+		return nil, err
+	}
+	if f.Kind != KindTasks {
+		return nil, fmt.Errorf("%w: %v to GET_BATCH", ErrProtocol, f.Kind)
+	}
+	b, err := DecodeBatch(f.Payload, KindTasks)
+	if err != nil {
+		return nil, err
+	}
+	return b.Tasks, nil
+}
+
+// Ping refreshes the lease without retrieving.
+func (w *Worker) Ping() error {
+	_, err := roundTrip(w.fc, KindPing, nil)
+	return err
+}
+
+// Drain departs gracefully: the shard retires the consumer (its spare
+// chunks migrate to survivors) and the connection closes.
+func (w *Worker) Drain() error {
+	_, err := roundTrip(w.fc, KindDrain, nil)
+	w.fc.Close()
+	return err
+}
+
+// Close severs the connection without draining — crash semantics: the
+// shard kills the consumer and the rescue path reclaims its chunks.
+func (w *Worker) Close() { w.fc.Close() }

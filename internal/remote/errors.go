@@ -1,0 +1,99 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"salsa"
+)
+
+// Code is the typed error vocabulary of KindErr frames. The goal is that
+// a remote caller sees the *same* sentinel errors as an in-process caller:
+// the server maps a pool error to a Code with CodeOf, the client maps the
+// Code back to the canonical sentinel with Sentinel, and errors.Is works
+// identically on both sides of the wire.
+type Code uint8
+
+// Wire error codes. Values are wire-stable: append, never renumber.
+const (
+	// CodeUnknown is any error without a dedicated code. It maps back
+	// to a plain error carrying the message, no sentinel.
+	CodeUnknown Code = 0
+	// CodeSaturated is salsa.ErrSaturated: every chunk pool reachable
+	// from the producer's lane refused the insert. (PUT_BATCH refusals
+	// use the dedicated SATURATED frame, which carries a retry-after
+	// hint; CodeSaturated exists for completeness so any path that
+	// returns the pool error still crosses the wire typed.)
+	CodeSaturated Code = 1
+	// CodeKilled is salsa.ErrKilled: the connection's consumer was
+	// forcibly removed (lease expiry, operator kill).
+	CodeKilled Code = 2
+	// CodeCanceled is context.Canceled.
+	CodeCanceled Code = 3
+	// CodeDeadline is context.DeadlineExceeded.
+	CodeDeadline Code = 4
+	// CodeCapacity is ErrCapacity: the shard's lifetime consumer-id
+	// capacity (Config.MaxConsumers) or producer-lane supply is
+	// exhausted; the worker should join another shard.
+	CodeCapacity Code = 5
+	// CodeProtocol is ErrProtocol: the peer broke the framing contract
+	// (unexpected kind, malformed payload). The connection is closed.
+	CodeProtocol Code = 6
+)
+
+// Sentinels owned by this package.
+var (
+	// ErrCapacity reports that a shard cannot accept another producer
+	// lane lease or worker join.
+	ErrCapacity = errors.New("remote: shard capacity exhausted")
+	// ErrProtocol reports a peer that broke the framing contract.
+	ErrProtocol = errors.New("remote: protocol violation")
+)
+
+// codeTable pairs each code with its canonical sentinel; kept as a slice
+// so both directions of the mapping read from one source of truth.
+var codeTable = []struct {
+	code Code
+	err  error
+}{
+	{CodeSaturated, salsa.ErrSaturated},
+	{CodeKilled, salsa.ErrKilled},
+	{CodeCanceled, context.Canceled},
+	{CodeDeadline, context.DeadlineExceeded},
+	{CodeCapacity, ErrCapacity},
+	{CodeProtocol, ErrProtocol},
+}
+
+// CodeOf maps an error to its wire code. Wrapped errors match via
+// errors.Is; anything unrecognized is CodeUnknown.
+func CodeOf(err error) Code {
+	for _, e := range codeTable {
+		if errors.Is(err, e.err) {
+			return e.code
+		}
+	}
+	return CodeUnknown
+}
+
+// Sentinel returns the canonical error a code stands for, or nil for
+// CodeUnknown (and any future code this build does not know).
+func (c Code) Sentinel() error {
+	for _, e := range codeTable {
+		if e.code == c {
+			return e.err
+		}
+	}
+	return nil
+}
+
+// Error materializes a received ErrMsg as a Go error that wraps the
+// code's sentinel, so client-side errors.Is(err, salsa.ErrKilled) etc.
+// behave exactly as in-process.
+func (e ErrMsg) Error() error {
+	sent := e.Code.Sentinel()
+	if sent == nil {
+		return fmt.Errorf("remote: shard error: %s", e.Msg)
+	}
+	return fmt.Errorf("remote: shard error: %s: %w", e.Msg, sent)
+}

@@ -1,0 +1,69 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"salsa"
+)
+
+// TestErrorCodeMappingBothDirections is the contract of the typed error
+// vocabulary: every canonical error maps to its code (including when
+// wrapped), and every code materializes back to an error that errors.Is
+// recognizes as the same sentinel — so remote callers branch on
+// salsa.ErrSaturated / salsa.ErrKilled / context errors exactly like
+// in-process callers.
+func TestErrorCodeMappingBothDirections(t *testing.T) {
+	cases := []struct {
+		code Code
+		err  error
+	}{
+		{CodeSaturated, salsa.ErrSaturated},
+		{CodeKilled, salsa.ErrKilled},
+		{CodeCanceled, context.Canceled},
+		{CodeDeadline, context.DeadlineExceeded},
+		{CodeCapacity, ErrCapacity},
+		{CodeProtocol, ErrProtocol},
+	}
+	for _, tc := range cases {
+		// Forward: error → code, bare and wrapped.
+		if got := CodeOf(tc.err); got != tc.code {
+			t.Errorf("CodeOf(%v) = %v, want %v", tc.err, got, tc.code)
+		}
+		wrapped := fmt.Errorf("shard 3: %w", tc.err)
+		if got := CodeOf(wrapped); got != tc.code {
+			t.Errorf("CodeOf(wrapped %v) = %v, want %v", tc.err, got, tc.code)
+		}
+		// Backward: code → sentinel.
+		if got := tc.code.Sentinel(); !errors.Is(got, tc.err) {
+			t.Errorf("Sentinel(%v) = %v, want %v", tc.code, got, tc.err)
+		}
+		// Through the wire: encode an ErrMsg, decode it, materialize it,
+		// and check errors.Is still matches the canonical sentinel.
+		payload := AppendErrMsg(nil, ErrMsg{Code: tc.code, Msg: "boom"})
+		em, derr := DecodeErrMsg(payload)
+		if derr != nil {
+			t.Fatalf("DecodeErrMsg: %v", derr)
+		}
+		if !errors.Is(em.Error(), tc.err) {
+			t.Errorf("wire round-trip of %v lost the sentinel: %v", tc.code, em.Error())
+		}
+	}
+}
+
+func TestErrorCodeUnknown(t *testing.T) {
+	if got := CodeOf(errors.New("novel failure")); got != CodeUnknown {
+		t.Fatalf("CodeOf(novel) = %v, want CodeUnknown", got)
+	}
+	if CodeUnknown.Sentinel() != nil {
+		t.Fatal("CodeUnknown must have no sentinel")
+	}
+	// Unknown codes (future protocol versions) degrade to a plain error.
+	em := ErrMsg{Code: Code(200), Msg: "from the future"}
+	err := em.Error()
+	if err == nil || errors.Is(err, salsa.ErrSaturated) || errors.Is(err, salsa.ErrKilled) {
+		t.Fatalf("unknown code mapped to a sentinel: %v", err)
+	}
+}

@@ -1,0 +1,346 @@
+package remote
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"salsa/internal/chaos"
+	"salsa/internal/failpoint"
+	"salsa/internal/telemetry"
+)
+
+// TestLoopbackExactlyOnceWithWorkerKill is the acceptance test of the
+// distributed service: 50k tasks from 4 producers cross 2 shards and 8
+// workers over real TCP, one worker is killed mid-steal, and the round
+// must still account for every task exactly once (kill budget 1, per the
+// crash model).
+//
+// The kill is not a polite disconnect — it is engineered to strand pool
+// state so the whole remote fault chain is exercised end to end:
+//
+//  1. A failpoint freezes the victim worker's server-side goroutine in
+//     the post-ownership-CAS steal window (StealAfterOwnerCAS, the
+//     nastiest window in the algorithm): the victim now owns a chunk it
+//     will never publish, and its TCP peer goes silent (the client is
+//     blocked waiting for the response that never comes).
+//  2. The shard's lease monitor sees the silence, declares the worker
+//     crashed (salsa_remote_worker_leases_expired_total), and kills the
+//     consumer (salsa_member_crashes_total).
+//  3. The stranded chunk's tasks are unreachable through any ordinary
+//     path — its pre-CAS owner finds the ownership word changed, other
+//     thieves find a live-looking foreign owner — until the departed-
+//     owner rescue path (DESIGN.md §9) reclaims it, which the test
+//     verifies via salsa_rescue_steals_total > 0 in metrics scraped over
+//     HTTP, exactly as an operator would.
+//
+// Determinism of the rescue: the victim is the ONLY running worker on its
+// shard until the freeze fires (the other shard-0 workers park on a
+// channel, pinging to keep their leases; shard 1 runs normally). House
+// pools receive inserts but have no consuming goroutine, so the victim
+// must steal to drain them — and its first steal win freezes it. At that
+// instant every unconsumed slot of the frozen chunk is unreachable until
+// rescue (no concurrent owner exists to race the announce), so the drain
+// cannot complete without at least one rescue steal.
+func TestLoopbackExactlyOnceWithWorkerKill(t *testing.T) {
+	if !failpoint.Compiled {
+		t.Skip("needs failpoint sites (built with salsa_nofailpoint)")
+	}
+	const (
+		producersN      = 4
+		perProducer     = 12500 // 50k total
+		workersPerShard = 4
+		batch           = 250
+		lease           = 400 * time.Millisecond
+	)
+
+	// Shard 0 gets TWO house consumers so its worker ids run 2..5 while
+	// shard 1's (one house consumer) run 1..4: failpoint sites are
+	// process-global and identify thieves only by consumer id, so the
+	// victim's id — the LAST shard-0 join, 2+workersPerShard-1 = 5 —
+	// must be unique across both in-process shards.
+	const victimID = 2 + workersPerShard - 1
+
+	srv0, err := NewServer("127.0.0.1:0", Options{
+		Lanes: producersN, House: 2, MaxWorkers: 8,
+		ChunkSize: 128, LeaseTimeout: lease, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1, err := NewServer("127.0.0.1:0", Options{
+		Lanes: producersN, House: 1, MaxWorkers: 8,
+		ChunkSize: 128, LeaseTimeout: lease, Logf: t.Logf,
+	})
+	if err != nil {
+		srv0.Close()
+		t.Fatal(err)
+	}
+	addrs := []string{srv0.Addr(), srv1.Addr()}
+
+	// Metrics endpoint for shard 0, scraped over real HTTP at the end.
+	ms0, err := telemetry.Serve("127.0.0.1:0", srv0.Handler())
+	if err != nil {
+		srv0.Close()
+		srv1.Close()
+		t.Fatal(err)
+	}
+
+	var (
+		stalled    = make(chan struct{}) // closed when the victim freezes
+		release    = make(chan struct{}) // closed at teardown to thaw it
+		stallOnce  sync.Once
+		cleanupped sync.Once
+	)
+	failpoint.Set(failpoint.StealAfterOwnerCAS, func(_ failpoint.Site, id int) bool {
+		if id != victimID {
+			return false
+		}
+		select {
+		case <-release: // post-teardown visits pass through
+			return false
+		default:
+		}
+		stallOnce.Do(func() { close(stalled) })
+		<-release
+		return false
+	})
+	cleanup := func() {
+		cleanupped.Do(func() {
+			close(release) // thaw the frozen server goroutine first,
+			srv0.Close()   // or Close's wg.Wait would deadlock on it
+			srv1.Close()
+			failpoint.Reset()
+			ms0.Close()
+		})
+	}
+	defer cleanup()
+
+	ledger := chaos.NewLedger(producersN, perProducer)
+	deadline := time.After(2 * time.Minute)
+	errs := make(chan error, 32)
+
+	// encodeTask/decodeTask carry the ledger identity as the wire body.
+	encodeTask := func(p, seq int) []byte {
+		b := make([]byte, 8)
+		binary.BigEndian.PutUint32(b, uint32(p))
+		binary.BigEndian.PutUint32(b[4:], uint32(seq))
+		return b
+	}
+	record := func(bodies [][]byte) error {
+		for _, b := range bodies {
+			if len(b) != 8 {
+				return fmt.Errorf("task body of %d bytes", len(b))
+			}
+			p := int(binary.BigEndian.Uint32(b))
+			seq := int(binary.BigEndian.Uint32(b[4:]))
+			if err := ledger.Record(p, seq); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Shard-0 workers join serially so their consumer ids are
+	// deterministic: survivors 2,3,4, then the victim as 5.
+	survivors := make([]*Worker, 0, workersPerShard-1)
+	for i := 0; i < workersPerShard-1; i++ {
+		w, err := DialWorker(addrs[0], WorkerOptions{})
+		if err != nil {
+			t.Fatalf("shard0 worker %d: %v", i, err)
+		}
+		survivors = append(survivors, w)
+	}
+	victim, err := DialWorker(addrs[0], WorkerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if victim.ID() != victimID {
+		t.Fatalf("victim joined as consumer %d, want %d", victim.ID(), victimID)
+	}
+
+	var wg sync.WaitGroup // producers + survivors + shard-1 workers
+	drain := func(w *Worker, parkUntil <-chan struct{}) {
+		defer wg.Done()
+		if parkUntil != nil {
+			// Parked workers ping to keep their leases alive: the lease
+			// monitor must kill exactly one consumer — the frozen one.
+			for parked := true; parked; {
+				select {
+				case <-parkUntil:
+					parked = false
+				case <-time.After(lease / 4):
+					if err := w.Ping(); err != nil {
+						errs <- fmt.Errorf("worker %d ping: %w", w.ID(), err)
+						return
+					}
+				}
+			}
+		}
+		for !ledger.Drained() {
+			bodies, err := w.GetBatch(batch, 50*time.Millisecond)
+			if err != nil {
+				errs <- fmt.Errorf("worker %d: %w", w.ID(), err)
+				return
+			}
+			if err := record(bodies); err != nil {
+				errs <- err
+				return
+			}
+		}
+		if err := w.Drain(); err != nil {
+			errs <- fmt.Errorf("worker %d drain: %w", w.ID(), err)
+		}
+	}
+
+	goSurvivors := make(chan struct{})
+	for _, w := range survivors {
+		wg.Add(1)
+		go drain(w, goSurvivors)
+	}
+	for i := 0; i < workersPerShard; i++ {
+		w, err := DialWorker(addrs[1], WorkerOptions{})
+		if err != nil {
+			t.Fatalf("shard1 worker %d: %v", i, err)
+		}
+		wg.Add(1)
+		go drain(w, nil)
+	}
+
+	// The victim runs its own loop: it records normally until its frozen
+	// GET_BATCH never answers, then the lease monitor severs the
+	// connection and the pending read fails — the expected crash.
+	// (The freeze happens *inside* the server's TryGetBatch, so the
+	// victim's pending request simply never answers until the lease
+	// monitor severs the connection.)
+	victimDone := make(chan struct{})
+	go func() {
+		defer close(victimDone)
+		for !ledger.Drained() {
+			bodies, err := victim.GetBatch(batch, 50*time.Millisecond)
+			if err != nil {
+				return // killed: the point of the exercise
+			}
+			if err := record(bodies); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	// Producers: 12.5k tasks each, homed alternately on the two shards,
+	// spilling on SATURATED per the routing policy.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	for pi := 0; pi < producersN; pi++ {
+		wg.Add(1)
+		go func(pi int) {
+			defer wg.Done()
+			pr, err := DialProducer(addrs, ProducerOptions{Home: pi % len(addrs)})
+			if err != nil {
+				errs <- fmt.Errorf("producer %d: %w", pi, err)
+				return
+			}
+			defer pr.Close()
+			run := make([][]byte, 0, batch)
+			for seq := 0; seq < perProducer; seq++ {
+				run = append(run, encodeTask(pi, seq))
+				if len(run) == batch || seq == perProducer-1 {
+					if err := pr.Produce(ctx, run); err != nil {
+						errs <- fmt.Errorf("producer %d: %w", pi, err)
+						return
+					}
+					run = run[:0]
+				}
+			}
+		}(pi)
+	}
+
+	// Phase 1: the victim, alone on shard 0, must hit its first steal win
+	// and freeze.
+	select {
+	case <-stalled:
+	case err := <-errs:
+		t.Fatal(err)
+	case <-deadline:
+		t.Fatal("victim never reached the steal window")
+	}
+	close(goSurvivors) // phase 2: survivors drain through the kill + rescue
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case err := <-errs:
+		t.Fatal(err)
+	case <-deadline:
+		t.Fatalf("round wedged: %d of %d delivered", ledger.Delivered(), ledger.Want())
+	}
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	// Exactly-once under a kill budget of 1: the victim was frozen
+	// pre-announce, so in practice nothing is lost, but the crash model
+	// allows its one announced slot.
+	if err := ledger.Verify(1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Operator-view verification: scrape shard 0 the way a dashboard
+	// would and assert the whole fault chain left its telemetry trail.
+	snap := scrapeJSON(t, ms0.Addr())
+	if snap.Ops.RescueSteals < 1 {
+		t.Errorf("rescue_steals_total = %d, want >= 1 (stranded chunk was never rescued)", snap.Ops.RescueSteals)
+	}
+	if snap.MemberCrashes < 1 {
+		t.Errorf("member_crashes_total = %d, want >= 1", snap.MemberCrashes)
+	}
+	if snap.RemoteLeasesExpired < 1 {
+		t.Errorf("remote_worker_leases_expired_total = %d, want >= 1", snap.RemoteLeasesExpired)
+	}
+	for _, kind := range []string{"PUT_BATCH", "GET_BATCH", "TASKS", "JOIN", "HELLO"} {
+		if snap.RemoteFrames[kind] == 0 {
+			t.Errorf("remote_frames_total{kind=%q} = 0, want > 0", kind)
+		}
+	}
+
+	cleanup()
+	select {
+	case <-victimDone:
+	case <-time.After(10 * time.Second):
+		t.Error("victim goroutine never unwound after release")
+	}
+}
+
+type scrapedSnapshot struct {
+	MemberCrashes       int64
+	RemoteSaturated     int64
+	RemoteLeasesExpired int64
+	RemoteFrames        map[string]int64
+	Ops                 struct {
+		Steals       int64
+		RescueSteals int64
+	}
+}
+
+func scrapeJSON(t *testing.T, addr string) scrapedSnapshot {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics.json")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	var snap scrapedSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("scrape decode: %v", err)
+	}
+	return snap
+}

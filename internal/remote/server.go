@@ -1,0 +1,532 @@
+package remote
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"salsa"
+	"salsa/internal/flight"
+	"salsa/internal/telemetry"
+)
+
+// Task is the unit a shard queues: an opaque byte payload. Identity and
+// semantics belong to the application on both ends of the wire; the shard
+// only moves runs of them through its in-process SALSA pool.
+type Task struct{ Body []byte }
+
+// Options configures a shard server.
+type Options struct {
+	// Lanes is the number of wire producer lanes — pool producer handles
+	// leased to producer connections, one at a time (handles are
+	// single-goroutine). A producer connection beyond the lane supply
+	// waits for a free lane and is refused with CodeCapacity after
+	// LeaseTimeout. Default 4.
+	Lanes int
+	// House is the number of resident consumers the pool starts with.
+	// They never run: their chunk pools serve as insertion capacity and
+	// steal sources for workers, and — because the membership registry
+	// refuses to depart the last live consumer — they guarantee worker
+	// joins, drains and kills always succeed regardless of worker churn.
+	// Default 1; must be ≥ 1.
+	House int
+	// MaxWorkers is the lifetime worker-join capacity (consumer ids are
+	// never reused; see Config.MaxConsumers). Joins beyond it are
+	// refused with CodeCapacity. Default 64.
+	MaxWorkers int
+	// ChunkSize and InitialChunks forward to salsa.Config.
+	ChunkSize     int
+	InitialChunks int
+	// LeaseTimeout is the worker liveness lease. Any frame from the
+	// worker's connection refreshes it; a worker silent for longer is
+	// declared crashed: its consumer is killed (the rescue path reclaims
+	// its chunks) and its connection is closed. Default 3s.
+	LeaseTimeout time.Duration
+	// RetryAfter is the backpressure hint carried by SATURATED frames.
+	// Default 2ms.
+	RetryAfter time.Duration
+	// MaxPayload bounds accepted frame payloads. Default
+	// DefaultMaxPayload.
+	MaxPayload int
+	// MaxBatch clamps the task count served per GET_BATCH. Default 1024.
+	MaxBatch int
+	// MaxWait clamps the client-supplied GET_BATCH hold time. The server
+	// answers an empty TASKS frame at the deadline, so a waiting worker
+	// keeps producing lease-refreshing traffic. Default 1s.
+	MaxWait time.Duration
+	// Logf, when non-nil, receives one line per membership-affecting
+	// event (joins, drains, lease expiries, kills).
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) defaults() {
+	if o.Lanes <= 0 {
+		o.Lanes = 4
+	}
+	if o.House <= 0 {
+		o.House = 1
+	}
+	if o.MaxWorkers <= 0 {
+		o.MaxWorkers = 64
+	}
+	if o.LeaseTimeout <= 0 {
+		o.LeaseTimeout = 3 * time.Second
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = 2 * time.Millisecond
+	}
+	if o.MaxPayload <= 0 {
+		o.MaxPayload = DefaultMaxPayload
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 1024
+	}
+	if o.MaxWait <= 0 {
+		o.MaxWait = time.Second
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// workerSession is the server side of one joined worker: the consumer id,
+// the connection (closed to evict), and the lease clock.
+type workerSession struct {
+	id   int
+	conn net.Conn
+	// lastSeen is the UnixNano stamp of the last frame from the peer.
+	lastSeen atomic.Int64
+	// departed flips exactly once — whoever wins the flip (DRAIN handler,
+	// dead-peer cleanup, or the lease monitor) departs the consumer, so a
+	// drain racing an expiry cannot double-depart an id.
+	departed atomic.Bool
+}
+
+// Server hosts one SALSA pool as a network shard: producer connections
+// lease pool producer lanes and stream PUT_BATCH, worker connections join
+// the pool's consumer membership and stream GET_BATCH, and the pool's own
+// signals cross the wire typed — saturation as SATURATED backpressure
+// frames, kills as CodeKilled, silence as lease expiry → KillConsumer.
+type Server struct {
+	o    Options
+	pool *salsa.Pool[Task]
+	ln   net.Listener
+
+	// lanes is the free-list of producer handles; a handle is on the
+	// channel exactly when no connection is using it.
+	lanes chan *salsa.Producer[Task]
+
+	// Wire census, exposed via TelemetrySnapshot. Plain atomics (not the
+	// pool's single-writer counters): frames from many connections land
+	// here.
+	frames        [kindCount]atomic.Int64
+	saturated     atomic.Int64
+	leasesExpired atomic.Int64
+
+	mu       sync.Mutex
+	sessions map[int]*workerSession
+	conns    map[net.Conn]struct{}
+
+	closed atomic.Bool
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewServer builds the shard pool, binds addr (host:port; port 0 picks a
+// free one — see Addr) and starts serving.
+func NewServer(addr string, o Options) (*Server, error) {
+	o.defaults()
+	pool, err := salsa.New[Task](salsa.Config{
+		Producers:     o.Lanes,
+		Consumers:     o.House,
+		MaxConsumers:  o.House + o.MaxWorkers,
+		ChunkSize:     o.ChunkSize,
+		InitialChunks: o.InitialChunks,
+		Metrics:       true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("remote: shard pool: %w", err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		pool.Close()
+		return nil, fmt.Errorf("remote: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		o:        o,
+		pool:     pool,
+		ln:       ln,
+		lanes:    make(chan *salsa.Producer[Task], o.Lanes),
+		sessions: make(map[int]*workerSession),
+		conns:    make(map[net.Conn]struct{}),
+		stop:     make(chan struct{}),
+	}
+	for i := 0; i < o.Lanes; i++ {
+		s.lanes <- pool.Producer(i)
+	}
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.leaseLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, severs every connection, waits for the
+// connection handlers, and closes the pool.
+func (s *Server) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	close(s.stop)
+	s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.pool.Close()
+}
+
+func (s *Server) count(k Kind) {
+	if k.valid() {
+		s.frames[k].Add(1)
+	}
+}
+
+// send writes a frame and counts it in the wire census.
+func (s *Server) send(fc *framedConn, k Kind, payload []byte) error {
+	s.count(k)
+	return fc.write(k, payload)
+}
+
+func (s *Server) sendErr(fc *framedConn, err error) error {
+	s.count(KindErr)
+	return fc.writeErr(err)
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(c)
+	}
+}
+
+func (s *Server) handleConn(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+	fc := newFramedConn(c, s.o.MaxPayload)
+	f, err := fc.read()
+	if err != nil {
+		return
+	}
+	s.count(f.Kind)
+	if f.Kind != KindHello {
+		s.sendErr(fc, fmt.Errorf("%w: first frame must be HELLO, got %v", ErrProtocol, f.Kind))
+		return
+	}
+	h, err := DecodeHello(f.Payload)
+	if err != nil {
+		s.sendErr(fc, fmt.Errorf("%w: %v", ErrProtocol, err))
+		return
+	}
+	switch h.Role {
+	case RoleProducer:
+		s.serveProducer(fc)
+	case RoleWorker:
+		s.serveWorker(fc, c)
+	}
+}
+
+// serveProducer leases a lane to the connection and streams PUT_BATCH →
+// ACK/SATURATED until the peer drains or disconnects.
+func (s *Server) serveProducer(fc *framedConn) {
+	var lane *salsa.Producer[Task]
+	select {
+	case lane = <-s.lanes:
+	case <-s.stop:
+		return
+	case <-time.After(s.o.LeaseTimeout):
+		s.sendErr(fc, fmt.Errorf("%w: all %d producer lanes leased", ErrCapacity, s.o.Lanes))
+		return
+	}
+	defer func() { s.lanes <- lane }()
+	if s.send(fc, KindAck, AppendAck(nil, Ack{A: uint64(lane.ID())})) != nil {
+		return
+	}
+	retryMs := uint32(s.o.RetryAfter.Milliseconds())
+	if retryMs == 0 {
+		retryMs = 1
+	}
+	for {
+		f, err := fc.read()
+		if err != nil {
+			return
+		}
+		s.count(f.Kind)
+		switch f.Kind {
+		case KindPutBatch:
+			b, err := DecodeBatch(f.Payload, KindPutBatch)
+			if err != nil {
+				s.sendErr(fc, fmt.Errorf("%w: %v", ErrProtocol, err))
+				return
+			}
+			// Copy out of the read buffer: the pool owns accepted tasks
+			// past this request's lifetime.
+			tasks := make([]Task, len(b.Tasks))
+			ptrs := make([]*Task, len(b.Tasks))
+			for i, body := range b.Tasks {
+				tasks[i] = Task{Body: append([]byte(nil), body...)}
+				ptrs[i] = &tasks[i]
+			}
+			n, perr := lane.TryPutBatch(ptrs)
+			if n < len(ptrs) {
+				// The pool refused part or all of the run: its chunk
+				// pools are exhausted everywhere this lane reaches.
+				// Cross-shard backpressure, not an error.
+				s.saturated.Add(1)
+				_ = perr // always salsa.ErrSaturated here
+			}
+			var werr error
+			if n == 0 && len(ptrs) > 0 {
+				werr = s.send(fc, KindSaturated, AppendSaturated(nil, SaturatedMsg{RetryAfterMs: retryMs}))
+			} else {
+				werr = s.send(fc, KindAck, AppendAck(nil, Ack{A: uint64(n)}))
+			}
+			if werr != nil {
+				return
+			}
+		case KindPing:
+			if s.send(fc, KindAck, AppendAck(nil, Ack{})) != nil {
+				return
+			}
+		case KindDrain:
+			s.send(fc, KindAck, AppendAck(nil, Ack{}))
+			return
+		default:
+			s.sendErr(fc, fmt.Errorf("%w: unexpected %v on a producer connection", ErrProtocol, f.Kind))
+			return
+		}
+	}
+}
+
+// serveWorker joins the connection to the pool's consumer membership and
+// streams GET_BATCH → TASKS until the peer drains, dies, or is evicted.
+func (s *Server) serveWorker(fc *framedConn, c net.Conn) {
+	// The join handshake: JOIN must follow HELLO before any retrieval.
+	f, err := fc.read()
+	if err != nil {
+		return
+	}
+	s.count(f.Kind)
+	if f.Kind != KindJoin {
+		s.sendErr(fc, fmt.Errorf("%w: worker must JOIN before %v", ErrProtocol, f.Kind))
+		return
+	}
+	cons, err := s.pool.AddConsumer()
+	if err != nil {
+		s.sendErr(fc, fmt.Errorf("%w: %v", ErrCapacity, err))
+		return
+	}
+	sess := &workerSession{id: cons.ID(), conn: c}
+	sess.lastSeen.Store(time.Now().UnixNano())
+	s.mu.Lock()
+	s.sessions[sess.id] = sess
+	s.mu.Unlock()
+	s.o.Logf("remote: worker %s joined as consumer %d", c.RemoteAddr(), sess.id)
+	defer func() {
+		s.mu.Lock()
+		delete(s.sessions, sess.id)
+		s.mu.Unlock()
+		// Dead peer without a DRAIN: a crash. Kill the consumer so its
+		// chunks go back through the abandoned-pool/rescue reclamation.
+		if sess.departed.CompareAndSwap(false, true) {
+			if kerr := s.pool.KillConsumer(sess.id); kerr == nil {
+				s.o.Logf("remote: worker %d vanished, consumer killed", sess.id)
+			}
+		}
+	}()
+	if s.send(fc, KindAck, AppendAck(nil, Ack{
+		A: uint64(sess.id),
+		B: uint64(s.o.LeaseTimeout.Milliseconds()),
+	})) != nil {
+		return
+	}
+
+	buf := make([]*Task, s.o.MaxBatch)
+	enc := make([]byte, 0, 4096)
+	bodies := make([][]byte, 0, s.o.MaxBatch)
+	for {
+		f, err := fc.read()
+		if err != nil {
+			return
+		}
+		sess.lastSeen.Store(time.Now().UnixNano())
+		s.count(f.Kind)
+		switch f.Kind {
+		case KindGetBatch:
+			g, err := DecodeGetReq(f.Payload)
+			if err != nil {
+				s.sendErr(fc, fmt.Errorf("%w: %v", ErrProtocol, err))
+				return
+			}
+			max := int(g.Max)
+			if max <= 0 || max > s.o.MaxBatch {
+				max = s.o.MaxBatch
+			}
+			wait := time.Duration(g.WaitMs) * time.Millisecond
+			if wait > s.o.MaxWait {
+				wait = s.o.MaxWait
+			}
+			// Bounded poll instead of a blocking GetBatch: answering an
+			// empty TASKS frame at the deadline keeps the request/response
+			// cadence — and with it the worker's lease traffic — alive
+			// while the shard is dry.
+			deadline := time.Now().Add(wait)
+			var n int
+			for {
+				n = cons.TryGetBatch(buf[:max])
+				if n > 0 || cons.Killed() || !time.Now().Before(deadline) {
+					break
+				}
+				select {
+				case <-s.stop:
+					return
+				case <-time.After(200 * time.Microsecond):
+				}
+			}
+			if n == 0 && cons.Killed() {
+				s.sendErr(fc, fmt.Errorf("remote: consumer %d: %w", sess.id, salsa.ErrKilled))
+				return
+			}
+			bodies = bodies[:0]
+			for _, t := range buf[:n] {
+				bodies = append(bodies, t.Body)
+			}
+			enc = AppendBatch(enc[:0], Batch{Tasks: bodies})
+			if s.send(fc, KindTasks, enc) != nil {
+				return
+			}
+			clear(buf[:n])
+		case KindPing:
+			if s.send(fc, KindAck, AppendAck(nil, Ack{})) != nil {
+				return
+			}
+		case KindDrain:
+			if sess.departed.CompareAndSwap(false, true) {
+				// This goroutine is the handle's single driver and is done
+				// driving it, so the retire's quiescence precondition
+				// holds by construction.
+				if rerr := s.pool.RetireConsumer(sess.id); rerr != nil {
+					s.sendErr(fc, rerr)
+					return
+				}
+				s.o.Logf("remote: worker %d drained", sess.id)
+			}
+			s.send(fc, KindAck, AppendAck(nil, Ack{}))
+			return
+		default:
+			s.sendErr(fc, fmt.Errorf("%w: unexpected %v on a worker connection", ErrProtocol, f.Kind))
+			return
+		}
+	}
+}
+
+// leaseLoop evicts workers whose lease expired: the consumer is killed
+// (chunk rescue takes over its backlog) and the connection is closed so
+// the handler goroutine unwinds.
+func (s *Server) leaseLoop() {
+	defer s.wg.Done()
+	tick := s.o.LeaseTimeout / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+		}
+		now := time.Now().UnixNano()
+		var expired []*workerSession
+		s.mu.Lock()
+		for _, sess := range s.sessions {
+			if !sess.departed.Load() && now-sess.lastSeen.Load() > int64(s.o.LeaseTimeout) {
+				expired = append(expired, sess)
+			}
+		}
+		s.mu.Unlock()
+		for _, sess := range expired {
+			if !sess.departed.CompareAndSwap(false, true) {
+				continue // drained or already evicted in the race window
+			}
+			s.leasesExpired.Add(1)
+			if err := s.pool.KillConsumer(sess.id); err == nil {
+				s.o.Logf("remote: worker %d lease expired, consumer killed", sess.id)
+			}
+			sess.conn.Close()
+		}
+	}
+}
+
+// TelemetrySnapshot implements telemetry.SnapshotSource: the pool's own
+// snapshot plus the shard's wire census.
+func (s *Server) TelemetrySnapshot() telemetry.Snapshot {
+	snap := s.pool.TelemetrySnapshot()
+	rf := make(map[string]int64, int(kindCount)-1)
+	for k := KindHello; k < kindCount; k++ {
+		rf[k.String()] = s.frames[k].Load()
+	}
+	snap.RemoteFrames = rf
+	snap.RemoteSaturated = s.saturated.Load()
+	snap.RemoteLeasesExpired = s.leasesExpired.Load()
+	return snap
+}
+
+// Handler returns the shard's HTTP surface: the standard telemetry
+// exposition (/metrics, /metrics.json) plus /debug/flight, which captures
+// and streams a flight-recorder dump when the recorder is armed (the
+// salsa-server daemon arms it at startup; binary format per
+// internal/flight, readable with salsa-doctor).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	th := telemetry.Handler(s, telemetry.HandlerOptions{})
+	mux.Handle("/metrics", th)
+	mux.Handle("/metrics.json", th)
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		if !flight.Enabled() {
+			http.Error(w, "flight recorder not armed (run salsa-server with -flight)", http.StatusNotFound)
+			return
+		}
+		d := flight.Capture("http", r.RemoteAddr, false)
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition", `attachment; filename="flight-shard.bin"`)
+		d.WriteTo(w)
+	})
+	return mux
+}

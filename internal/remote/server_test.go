@@ -1,0 +1,265 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"salsa"
+	"salsa/internal/failpoint"
+	"salsa/internal/flight"
+)
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		KindHello: "HELLO", KindAck: "ACK", KindErr: "ERR",
+		KindPutBatch: "PUT_BATCH", KindGetBatch: "GET_BATCH",
+		KindTasks: "TASKS", KindSaturated: "SATURATED",
+		KindJoin: "JOIN", KindDrain: "DRAIN", KindPing: "PING",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	// Unknown kinds must still produce something printable: these strings
+	// are metric label values and log fragments, never indexes.
+	if s := Kind(0).String(); s == "" {
+		t.Error("Kind(0).String() empty")
+	}
+	if s := Kind(250).String(); s == "" {
+		t.Error("Kind(250).String() empty")
+	}
+	for r, s := range map[Role]string{RoleProducer: "producer", RoleWorker: "worker"} {
+		if r.String() != s {
+			t.Errorf("Role(%d).String() = %q, want %q", r, r.String(), s)
+		}
+	}
+	if s := Role(9).String(); s == "" {
+		t.Error("Role(9).String() empty")
+	}
+}
+
+// TestHandlerSurface drives every route of the shard's HTTP handler:
+// Prometheus text, JSON, and the flight endpoint in both its disarmed
+// (404) and armed (binary dump) states.
+func TestHandlerSurface(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", Options{Lanes: 1, House: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "salsa_remote_frames_total") {
+		t.Errorf("/metrics: code %d, wire census present: %v", code, strings.Contains(body, "salsa_remote_frames_total"))
+	}
+	if code, body := get("/metrics.json"); code != 200 || !strings.Contains(body, "RemoteFrames") {
+		t.Errorf("/metrics.json: code %d, RemoteFrames present: %v", code, strings.Contains(body, "RemoteFrames"))
+	}
+	if code, _ := get("/debug/flight"); code != http.StatusNotFound {
+		t.Errorf("/debug/flight disarmed: code %d, want 404", code)
+	}
+	if flight.Compiled {
+		flight.Enable(flight.Options{Consumers: 2, Producers: 1})
+		defer flight.Reset()
+		code, body := get("/debug/flight")
+		if code != 200 || len(body) == 0 {
+			t.Errorf("/debug/flight armed: code %d, %d bytes", code, len(body))
+		}
+	}
+}
+
+// TestProducerSaturationAndRetry forces the shard's pool into
+// ErrSaturated via the chunk-pool-exhaustion failpoint and checks the
+// whole backpressure loop: the shard answers SATURATED (counted in
+// telemetry), TryProduce surfaces salsa.ErrSaturated with its partial
+// count, a blocked Produce honors context cancellation, and once the
+// exhaustion lifts the same producer completes.
+func TestProducerSaturationAndRetry(t *testing.T) {
+	if !failpoint.Compiled {
+		t.Skip("needs failpoint sites (built with salsa_nofailpoint)")
+	}
+	srv, err := NewServer("127.0.0.1:0", Options{
+		Lanes: 1, House: 1, RetryAfter: time.Millisecond, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	pr, err := DialProducer([]string{srv.Addr()}, ProducerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	batch := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+
+	failpoint.Set(failpoint.ChunkpoolExhausted, func(failpoint.Site, int) bool { return true })
+	defer failpoint.Reset()
+	n, err := pr.TryProduce(batch)
+	if n != 0 || !errors.Is(err, salsa.ErrSaturated) {
+		t.Fatalf("TryProduce under exhaustion = (%d, %v), want (0, ErrSaturated)", n, err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := pr.Produce(ctx, batch); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Produce under sustained exhaustion = %v, want DeadlineExceeded", err)
+	}
+
+	failpoint.Reset()
+	if err := pr.Produce(context.Background(), batch); err != nil {
+		t.Fatalf("Produce after exhaustion lifted: %v", err)
+	}
+	if sat := srv.TelemetrySnapshot().RemoteSaturated; sat < 1 {
+		t.Errorf("salsa_remote_saturated_total = %d, want >= 1", sat)
+	}
+
+	// Drain the three accepted tasks so the round ends accounted-for.
+	w, err := DialWorker(srv.Addr(), WorkerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for deadline := time.Now().Add(5 * time.Second); got < len(batch); {
+		bodies, err := w.GetBatch(8, 20*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got += len(bodies)
+		if time.Now().After(deadline) {
+			t.Fatalf("drained %d of %d", got, len(batch))
+		}
+	}
+	if err := w.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDialErrors covers the client's refusal paths: an unreachable shard
+// and a shard past its worker capacity.
+func TestDialErrors(t *testing.T) {
+	if _, err := DialProducer([]string{"127.0.0.1:1"}, ProducerOptions{}); err == nil {
+		t.Error("DialProducer to a dead address succeeded")
+	}
+	if _, err := DialWorker("127.0.0.1:1", WorkerOptions{}); err == nil {
+		t.Error("DialWorker to a dead address succeeded")
+	}
+
+	srv, err := NewServer("127.0.0.1:0", Options{Lanes: 1, House: 1, MaxWorkers: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	w, err := DialWorker(srv.Addr(), WorkerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := DialWorker(srv.Addr(), WorkerOptions{}); !errors.Is(err, ErrCapacity) {
+		t.Errorf("join past MaxWorkers = %v, want ErrCapacity", err)
+	}
+
+	// A router with one dead shard in the list must fail the dial as a
+	// whole (and close the connections it already opened).
+	if _, err := DialProducer([]string{srv.Addr(), "127.0.0.1:1"}, ProducerOptions{}); err == nil {
+		t.Error("DialProducer with a dead shard in the list succeeded")
+	}
+	// An out-of-range Home clamps to shard 0 rather than failing: the
+	// field is a placement hint, not an address.
+	pr, err := DialProducer([]string{srv.Addr()}, ProducerOptions{Home: 7})
+	if err != nil {
+		t.Fatalf("DialProducer with out-of-range Home: %v", err)
+	}
+	pr.Close()
+}
+
+// TestServerProtocolViolations speaks raw frames at the server and
+// checks every refusal answers with a typed PROTOCOL error (or a clean
+// close) instead of wedging the connection: a shard must survive
+// confused and hostile peers.
+func TestServerProtocolViolations(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", Options{Lanes: 1, House: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// expectErr dials raw, sends the given frames, and requires an ERR
+	// response carrying CodeProtocol.
+	expectErr := func(name string, frames ...[]byte) {
+		t.Helper()
+		c, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		for _, fr := range frames {
+			if _, err := c.Write(fr); err != nil {
+				t.Fatalf("%s: write: %v", name, err)
+			}
+		}
+		fc := newFramedConn(c, DefaultMaxPayload)
+		f, err := fc.read()
+		for err == nil && f.Kind == KindAck { // skip e.g. the lane-lease ACK
+			f, err = fc.read()
+		}
+		if err != nil {
+			t.Fatalf("%s: no ERR frame before close: %v", name, err)
+		}
+		if f.Kind != KindErr {
+			t.Fatalf("%s: got %v, want ERR", name, f.Kind)
+		}
+		em, err := DecodeErrMsg(f.Payload)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if em.Code != CodeProtocol {
+			t.Errorf("%s: code %d, want CodeProtocol", name, em.Code)
+		}
+	}
+
+	expectErr("first frame not HELLO",
+		AppendFrame(nil, KindPing, nil))
+	expectErr("producer sends GET_BATCH",
+		AppendFrame(nil, KindHello, AppendHello(nil, Hello{Role: RoleProducer})),
+		AppendFrame(nil, KindGetBatch, AppendGetReq(nil, GetReq{Max: 1})))
+	expectErr("worker's first frame not JOIN",
+		AppendFrame(nil, KindHello, AppendHello(nil, Hello{Role: RoleWorker})),
+		AppendFrame(nil, KindPing, nil))
+	expectErr("malformed PUT_BATCH payload",
+		AppendFrame(nil, KindHello, AppendHello(nil, Hello{Role: RoleProducer})),
+		AppendFrame(nil, KindPutBatch, []byte{0xff}))
+
+	// An unknown HELLO role gets no service: the server just closes.
+	c, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write(AppendFrame(nil, KindHello, []byte{99})); err != nil {
+		t.Fatal(err)
+	}
+	fc := newFramedConn(c, DefaultMaxPayload)
+	if f, err := fc.read(); err == nil && f.Kind != KindErr {
+		t.Errorf("unknown role: got %v, want ERR or close", f.Kind)
+	}
+}

@@ -1,0 +1,134 @@
+package remote
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"salsa"
+)
+
+// TestRunSmoke runs the serve-smoke gate in-process: the same round
+// `make serve-smoke` and CI execute via `salsa-server -smoke`, kept
+// small enough for the ordinary test suite so a regression in the
+// drain/rejoin or scrape logic fails here first, not only in the gate.
+func TestRunSmoke(t *testing.T) {
+	tasks := 12000
+	if testing.Short() {
+		tasks = 3000
+	}
+	if err := RunSmoke(SmokeOptions{Tasks: tasks, Logf: t.Logf}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkerLifecycle covers the session surface the bigger tests only
+// graze: lease introspection, explicit Ping refreshes outlasting the
+// lease, and the crash-semantics Close (severed connection → the shard
+// kills the consumer, visible in the membership census).
+func TestWorkerLifecycle(t *testing.T) {
+	const lease = 200 * time.Millisecond
+	srv, err := NewServer("127.0.0.1:0", Options{
+		Lanes: 1, House: 1, MaxWorkers: 4, LeaseTimeout: lease, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	w, err := DialWorker(srv.Addr(), WorkerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Lease() != lease {
+		t.Errorf("Lease() = %v, want %v", w.Lease(), lease)
+	}
+	// Pings alone must keep the lease alive well past its timeout.
+	deadline := time.Now().Add(2 * lease)
+	for time.Now().Before(deadline) {
+		if err := w.Ping(); err != nil {
+			t.Fatalf("ping: %v", err)
+		}
+		time.Sleep(lease / 4)
+	}
+	if err := w.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// A second worker crashes (Close without Drain): the dead-peer path
+	// must kill its consumer, not retire it.
+	w2, err := DialWorker(srv.Addr(), WorkerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	crashDeadline := time.Now().Add(5 * time.Second)
+	for {
+		snap := srv.TelemetrySnapshot()
+		if snap.MemberCrashes >= 1 && snap.MemberRetires >= 1 {
+			break
+		}
+		if time.Now().After(crashDeadline) {
+			t.Fatalf("crashes=%d retires=%d, want >=1 each", snap.MemberCrashes, snap.MemberRetires)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestPromValue(t *testing.T) {
+	page := strings.Join([]string{
+		"# HELP salsa_remote_saturated_total x",
+		"# TYPE salsa_remote_saturated_total counter",
+		"salsa_remote_saturated_total 7",
+		`salsa_remote_frames_total{kind="PUT_BATCH"} 1289`,
+		`salsa_remote_frames_total{kind="TASKS"} 0`,
+		"salsa_live_consumers 3",
+		"salsa_bogus notanumber",
+	}, "\n")
+	cases := []struct {
+		series string
+		want   float64
+		ok     bool
+	}{
+		{"salsa_remote_saturated_total", 7, true},
+		{`salsa_remote_frames_total{kind="PUT_BATCH"}`, 1289, true},
+		{`salsa_remote_frames_total{kind="TASKS"}`, 0, true},
+		{"salsa_live_consumers", 3, true},
+		{"salsa_absent_total", 0, false},
+		{"salsa_bogus", 0, false},
+		// A series name that is a prefix of another must not match it.
+		{"salsa_remote_frames_total", 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := promValue(page, tc.series)
+		if ok != tc.ok || got != tc.want {
+			t.Errorf("promValue(%s) = (%v, %v), want (%v, %v)", tc.series, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+// TestWorkerKilledError pins the cross-wire error identity: a worker the
+// shard has killed sees salsa.ErrKilled through errors.Is, exactly like
+// an in-process consumer.
+func TestWorkerKilledError(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", Options{
+		Lanes: 1, House: 1, MaxWorkers: 2, LeaseTimeout: time.Minute, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	w, err := DialWorker(srv.Addr(), WorkerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := srv.pool.KillConsumer(w.ID()); err != nil {
+		t.Fatal(err)
+	}
+	_, err = w.GetBatch(8, 10*time.Millisecond)
+	if !errors.Is(err, salsa.ErrKilled) {
+		t.Fatalf("GetBatch after kill = %v, want salsa.ErrKilled", err)
+	}
+}

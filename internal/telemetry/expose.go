@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strings"
 	"time"
 
@@ -73,6 +74,19 @@ type Snapshot struct {
 	// consumer c's pool — the signal producer-based balancing reads
 	// (§1.5.4). Nil for algorithms without chunk pools.
 	ChunkSpares []int
+
+	// RemoteFrames counts wire frames handled by a shard server (sent
+	// and received), keyed by frame kind name. Nil for in-process pools:
+	// only internal/remote's Server fills the Remote* fields, and the
+	// exposition omits the families when the map is nil.
+	RemoteFrames map[string]int64
+	// RemoteSaturated counts PUT_BATCH requests a shard refused (fully
+	// or partially) with a wire-level SATURATED backpressure frame.
+	RemoteSaturated int64
+	// RemoteLeasesExpired counts worker leases that expired — each one a
+	// dead TCP peer turned into KillConsumer, whose chunks the rescue
+	// path reclaims.
+	RemoteLeasesExpired int64
 }
 
 // SnapshotSource supplies snapshots to the exposition handlers. salsa.Pool
@@ -219,6 +233,28 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 		for p, n := range s.ProduceFails {
 			fmt.Fprintf(w, "salsa_produce_fails_total{producer=\"%d\"} %d\n", p, n)
 		}
+	}
+
+	// Wire-layer counters, present only for shard servers (internal/
+	// remote): frame census by kind, saturation refusals, and expired
+	// worker leases.
+	if s.RemoteFrames != nil {
+		fmt.Fprintf(w, "# HELP salsa_remote_frames_total Wire frames handled by the shard server, by frame kind.\n")
+		fmt.Fprintf(w, "# TYPE salsa_remote_frames_total counter\n")
+		kinds := make([]string, 0, len(s.RemoteFrames))
+		for k := range s.RemoteFrames {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			fmt.Fprintf(w, "salsa_remote_frames_total{kind=%q} %d\n", promEscape(k), s.RemoteFrames[k])
+		}
+		writeCounter(w, "salsa_remote_saturated_total",
+			"PUT_BATCH requests refused with a wire-level SATURATED backpressure frame.",
+			s.RemoteSaturated)
+		writeCounter(w, "salsa_remote_worker_leases_expired_total",
+			"Worker leases that expired: dead TCP peers turned into KillConsumer.",
+			s.RemoteLeasesExpired)
 	}
 
 	if s.ChunkSpares != nil {

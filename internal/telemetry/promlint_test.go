@@ -332,3 +332,68 @@ func TestLaneExposition(t *testing.T) {
 		t.Errorf("flush-size histogram count %v disagrees with salsa_lane_flushes_total %v", cnt, nf)
 	}
 }
+
+// TestRemoteExposition lints the remote-service families: they must
+// appear — correctly HELP'd, typed and labelled — exactly when the
+// snapshot carries the shard server's wire census, and must be absent
+// from in-process expositions (nil RemoteFrames), where they would read
+// as a shard that has never seen a frame rather than a pool with no wire
+// at all.
+func TestRemoteExposition(t *testing.T) {
+	pool, err := salsa.New[int](salsa.Config{Producers: 1, Consumers: 1, Metrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runPool(t, pool, 100)
+
+	// In-process snapshot: no remote families.
+	var buf bytes.Buffer
+	telemetry.WritePrometheus(&buf, pool.TelemetrySnapshot())
+	fams := parseExposition(t, buf.String())
+	for _, name := range []string{
+		"salsa_remote_frames_total",
+		"salsa_remote_saturated_total",
+		"salsa_remote_worker_leases_expired_total",
+	} {
+		if fams[name] != nil {
+			t.Errorf("family %s exposed by an in-process snapshot", name)
+		}
+	}
+
+	// Shard-server snapshot: wire census attached.
+	snap := pool.TelemetrySnapshot()
+	snap.RemoteFrames = map[string]int64{
+		"HELLO": 2, "PUT_BATCH": 80, "GET_BATCH": 95, "TASKS": 95, "ERR": 0,
+	}
+	snap.RemoteSaturated = 3
+	snap.RemoteLeasesExpired = 1
+	buf.Reset()
+	telemetry.WritePrometheus(&buf, snap)
+	fams = parseExposition(t, buf.String())
+
+	frames := fams["salsa_remote_frames_total"]
+	if frames == nil || frames.typ != "counter" {
+		t.Fatal("salsa_remote_frames_total missing or not a counter")
+	}
+	for kind, want := range map[string]float64{"HELLO": 2, "PUT_BATCH": 80, "GET_BATCH": 95, "TASKS": 95, "ERR": 0} {
+		key := fmt.Sprintf("salsa_remote_frames_total{kind=%q}", kind)
+		got, ok := frames.samples[key]
+		if !ok {
+			t.Errorf("%s missing (every kind must be exposed, zeros included)", key)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s = %v, want %v", key, got, want)
+		}
+	}
+	if f := fams["salsa_remote_saturated_total"]; f == nil || f.typ != "counter" {
+		t.Error("salsa_remote_saturated_total missing or not a counter")
+	} else if v := f.samples["salsa_remote_saturated_total"]; v != 3 {
+		t.Errorf("salsa_remote_saturated_total = %v, want 3", v)
+	}
+	if f := fams["salsa_remote_worker_leases_expired_total"]; f == nil || f.typ != "counter" {
+		t.Error("salsa_remote_worker_leases_expired_total missing or not a counter")
+	} else if v := f.samples["salsa_remote_worker_leases_expired_total"]; v != 1 {
+		t.Errorf("salsa_remote_worker_leases_expired_total = %v, want 1", v)
+	}
+}
