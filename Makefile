@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-short race-churn chaos dst check bench bench-smoke flight-smoke serve-smoke figures stress examples cover clean
+.PHONY: all build test race race-short race-churn chaos cluster-chaos dst check bench bench-smoke flight-smoke serve-smoke figures stress examples cover clean
 
 # Allowed fractional ns/op increase for the flight-recorder overhead guard
 # (bench-smoke compares the noflight and armed runs against the reference).
@@ -49,6 +49,16 @@ race-churn:
 chaos:
 	$(GO) run -race ./cmd/salsa-chaos -rounds 2 -tasks 10000
 
+# Cluster fault matrix under the race detector: two real TCP shards behind
+# seeded netchaos proxies (delays, resets, blackholes, drips on the
+# producer, worker and handoff paths), producer failover, a mid-round
+# quiesce handoff, and exactly-once ledger accounting. A failing scenario
+# prints a replayable FAIL line and leaves a flight dump plus a
+# netchaos-<scenario>.txt schedule artifact in results/.
+cluster-chaos:
+	@mkdir -p results
+	$(GO) run -race ./cmd/salsa-chaos -cluster -rounds 1 -flight-dir results
+
 # Deterministic interleaving explorer over the real pool code: seeded
 # random walk plus PCT priority schedules across the whole scenario matrix
 # (internal/dst). Bounded to a few seconds; a failure prints the seed, the
@@ -58,10 +68,10 @@ dst:
 	$(GO) run ./cmd/salsa-dst -strategy pct -schedules 100 -seed 1
 
 # The full local gate: build + vet + tests + short race pass + membership
-# churn under race + scripted chaos matrix under race + deterministic
-# schedule exploration + coverage floor + flight round-trip + distributed
-# service smoke + bench smoke.
-check: build test race-short race-churn chaos dst cover flight-smoke serve-smoke bench-smoke
+# churn under race + scripted chaos matrix under race + cluster fault
+# matrix under race + deterministic schedule exploration + coverage floor
+# + flight round-trip + distributed service smoke + bench smoke.
+check: build test race-short race-churn chaos cluster-chaos dst cover flight-smoke serve-smoke bench-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -12,15 +12,26 @@
 // Usage:
 //
 //	salsa-server [-addr host:port] [-http host:port] [-lanes n] [-house n]
-//	             [-max-workers n] [-chunk n] [-lease d] [-flight] [-quiet]
+//	             [-max-workers n] [-chunk n] [-lease d] [-auth-token s]
+//	             [-flight] [-quiet]
 //
 //	salsa-server -smoke [-smoke-tasks n]
+//
+//	salsa-server -quiesce -addr host:port [-quiesce-peer host:port]
+//	             [-auth-token s]
 //
 // -smoke runs the self-contained serve-smoke gate (boot a shard on
 // loopback, drive a full exactly-once round with a mid-stream worker
 // drain/rejoin, scrape /metrics) and exits non-zero on any violation;
 // `make serve-smoke` and CI use it as the end-to-end check that the
 // service stack works on a real network path.
+//
+// -quiesce is the admin mode: instead of hosting a shard it asks the
+// shard at -addr to drain itself into -quiesce-peer (fence producers,
+// retire workers, hand residual tasks to the peer exactly once) and
+// exits 0 with the handoff count once the shard is drained. With no
+// peer the drain only succeeds on an empty shard. -auth-token must
+// match the target shard's token.
 package main
 
 import (
@@ -40,17 +51,21 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:7400", "TCP address for the wire protocol")
-		httpAddr   = flag.String("http", "127.0.0.1:7401", "HTTP address for telemetry (/metrics, /metrics.json, /debug/flight)")
-		lanes      = flag.Int("lanes", 4, "producer insertion lanes (wire producers lease one each)")
-		house      = flag.Int("house", 1, "house consumers kept in-process (>=1; they anchor stealing while no workers are joined)")
-		maxWorkers = flag.Int("max-workers", 64, "max concurrently joined wire workers")
-		chunk      = flag.Int("chunk", 0, "chunk size (0 = pool default)")
-		lease      = flag.Duration("lease", 3*time.Second, "worker lease: a connection silent this long is declared crashed")
-		armFlight  = flag.Bool("flight", false, "arm the flight recorder (serves dumps at /debug/flight)")
-		quiet      = flag.Bool("quiet", false, "suppress per-session log lines")
-		smoke      = flag.Bool("smoke", false, "run the serve-smoke gate and exit")
-		smokeTasks = flag.Int("smoke-tasks", 0, "serve-smoke round size (0 = default)")
+		addr           = flag.String("addr", "127.0.0.1:7400", "TCP address for the wire protocol")
+		httpAddr       = flag.String("http", "127.0.0.1:7401", "HTTP address for telemetry (/metrics, /metrics.json, /debug/flight)")
+		lanes          = flag.Int("lanes", 4, "producer insertion lanes (wire producers lease one each)")
+		house          = flag.Int("house", 1, "house consumers kept in-process (>=1; they anchor stealing while no workers are joined)")
+		maxWorkers     = flag.Int("max-workers", 64, "max concurrently joined wire workers")
+		chunk          = flag.Int("chunk", 0, "chunk size (0 = pool default)")
+		lease          = flag.Duration("lease", 3*time.Second, "worker lease: a connection silent this long is declared crashed")
+		authToken      = flag.String("auth-token", "", "shared secret every HELLO/QUIESCE must carry (empty = open shard)")
+		armFlight      = flag.Bool("flight", false, "arm the flight recorder (serves dumps at /debug/flight)")
+		quiet          = flag.Bool("quiet", false, "suppress per-session log lines")
+		smoke          = flag.Bool("smoke", false, "run the serve-smoke gate and exit")
+		smokeTasks     = flag.Int("smoke-tasks", 0, "serve-smoke round size (0 = default)")
+		quiesce        = flag.Bool("quiesce", false, "admin mode: drain the shard at -addr into -quiesce-peer and exit")
+		quiescePeer    = flag.String("quiesce-peer", "", "handoff peer for -quiesce (empty = drain must find the shard empty)")
+		quiesceTimeout = flag.Duration("quiesce-timeout", 90*time.Second, "client-side bound on the -quiesce drain")
 	)
 	flag.Parse()
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
@@ -70,6 +85,15 @@ func main() {
 			log.Printf("FAIL: %v", err)
 			os.Exit(1)
 		}
+		return
+	}
+
+	if *quiesce {
+		moved, err := remote.Quiesce(*addr, *quiescePeer, *authToken, *quiesceTimeout)
+		if err != nil {
+			log.Fatalf("quiesce %s: %v", *addr, err)
+		}
+		log.Printf("quiesced %s: %d tasks handed off to %q", *addr, moved, *quiescePeer)
 		return
 	}
 
@@ -94,6 +118,7 @@ func main() {
 		MaxWorkers:   *maxWorkers,
 		ChunkSize:    *chunk,
 		LeaseTimeout: *lease,
+		AuthToken:    *authToken,
 		Logf:         logf,
 	})
 	if err != nil {

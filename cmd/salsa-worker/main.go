@@ -16,10 +16,19 @@
 // goes to the producer's home shard first and spills to the others when a
 // shard answers SATURATED (the wire form of ErrSaturated backpressure).
 //
+// Both modes harden against an imperfect network: -dial-retries bounds
+// reconnect attempts on transport errors (jittered exponential backoff;
+// typed refusals like capacity, draining or a bad token never retry),
+// and -auth-token carries the shard's shared secret. Producer mode
+// additionally retries an interrupted insert under the same sequence
+// number, so the shard's idempotency window keeps retries exactly-once.
+//
 // Usage:
 //
 //	salsa-worker [-addr host:port] [-batch n] [-wait d] [-work d] [-threads n]
+//	             [-auth-token s] [-dial-retries n]
 //	salsa-worker -produce n [-addr host:port,host:port,...] [-batch n] [-payload n]
+//	             [-auth-token s] [-dial-retries n]
 package main
 
 import (
@@ -43,32 +52,37 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7400", "shard address; producer mode takes a comma-separated list")
-		batch   = flag.Int("batch", 256, "tasks per wire round trip")
-		wait    = flag.Duration("wait", 200*time.Millisecond, "server-side wait per GET_BATCH when the shard is empty")
-		work    = flag.Duration("work", 0, "simulated CPU time per task")
-		threads = flag.Int("threads", 4, "local executor workers")
-		produce = flag.Int("produce", 0, "produce this many tasks instead of consuming")
-		payload = flag.Int("payload", 64, "task body size in producer mode")
-		home    = flag.Int("home", 0, "home shard index in producer mode")
+		addr        = flag.String("addr", "127.0.0.1:7400", "shard address; producer mode takes a comma-separated list")
+		batch       = flag.Int("batch", 256, "tasks per wire round trip")
+		wait        = flag.Duration("wait", 200*time.Millisecond, "server-side wait per GET_BATCH when the shard is empty")
+		work        = flag.Duration("work", 0, "simulated CPU time per task")
+		threads     = flag.Int("threads", 4, "local executor workers")
+		produce     = flag.Int("produce", 0, "produce this many tasks instead of consuming")
+		payload     = flag.Int("payload", 64, "task body size in producer mode")
+		home        = flag.Int("home", 0, "home shard index in producer mode")
+		token       = flag.String("auth-token", "", "shard auth token carried in HELLO")
+		dialRetries = flag.Int("dial-retries", 5, "extra dial attempts on transport errors (typed refusals never retry)")
 	)
 	flag.Parse()
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
 	log.SetPrefix("salsa-worker: ")
 
 	if *produce > 0 {
-		if err := runProducer(strings.Split(*addr, ","), *produce, *batch, *payload, *home); err != nil {
+		if err := runProducer(strings.Split(*addr, ","), *produce, *batch, *payload, *home, *token, *dialRetries); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
-	if err := runWorker(*addr, *batch, *wait, *work, *threads); err != nil {
+	if err := runWorker(*addr, *batch, *wait, *work, *threads, *token, *dialRetries); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func runWorker(addr string, batch int, wait, work time.Duration, threads int) error {
-	w, err := remote.DialWorker(addr, remote.WorkerOptions{})
+func runWorker(addr string, batch int, wait, work time.Duration, threads int, token string, dialRetries int) error {
+	w, err := remote.DialWorker(addr, remote.WorkerOptions{
+		Token:       token,
+		DialRetries: dialRetries,
+	})
 	if err != nil {
 		return err
 	}
@@ -143,8 +157,18 @@ func spin(d time.Duration) {
 	}
 }
 
-func runProducer(addrs []string, total, batch, payload, home int) error {
-	pr, err := remote.DialProducer(addrs, remote.ProducerOptions{Home: home})
+func runProducer(addrs []string, total, batch, payload, home int, token string, dialRetries int) error {
+	// DialRetries keeps a slow-to-boot or briefly unreachable shard from
+	// being fatal (it used to be: any dial error killed the producer);
+	// Retries keeps a mid-stream transport cut from being fatal either —
+	// the batch is re-sent under the same sequence number and the
+	// shard's dedup window discards whatever already committed.
+	pr, err := remote.DialProducer(addrs, remote.ProducerOptions{
+		Home:        home,
+		Token:       token,
+		Retries:     3,
+		DialRetries: dialRetries,
+	})
 	if err != nil {
 		return err
 	}

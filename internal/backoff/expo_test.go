@@ -1,0 +1,73 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+func TestExpoBoundsAndGrowth(t *testing.T) {
+	e := &Expo{Min: 10 * time.Millisecond, Max: 160 * time.Millisecond, Seed: 42}
+	step := 10 * time.Millisecond
+	for i := 0; i < 12; i++ {
+		d := e.Next()
+		if d < step/2 || d > step {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", i, d, step/2, step)
+		}
+		if step < 160*time.Millisecond {
+			step *= 2
+		}
+		if step > 160*time.Millisecond {
+			step = 160 * time.Millisecond
+		}
+	}
+	if e.Attempt() != 12 {
+		t.Fatalf("Attempt() = %d, want 12", e.Attempt())
+	}
+	e.Reset()
+	if e.Attempt() != 0 {
+		t.Fatalf("Attempt() after Reset = %d, want 0", e.Attempt())
+	}
+	if d := e.Next(); d < 5*time.Millisecond || d > 10*time.Millisecond {
+		t.Fatalf("first delay after Reset = %v, want within [5ms, 10ms]", d)
+	}
+}
+
+// TestExpoReplayable is the seed contract: a chaos run that prints its
+// seed must replay the exact same retry timeline.
+func TestExpoReplayable(t *testing.T) {
+	a := &Expo{Seed: 7}
+	b := &Expo{Seed: 7}
+	c := &Expo{Seed: 8}
+	differs := false
+	for i := 0; i < 10; i++ {
+		da, db, dc := a.Next(), b.Next(), c.Next()
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", i, da, db)
+		}
+		if da != dc {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("seeds 7 and 8 produced identical 10-delay sequences")
+	}
+}
+
+func TestExpoDefaultsAndDegenerateBounds(t *testing.T) {
+	var e Expo // zero value: defaults apply
+	if d := e.Next(); d < DefaultExpoMin/2 || d > DefaultExpoMin {
+		t.Fatalf("zero-value first delay = %v, want within [%v, %v]", d, DefaultExpoMin/2, DefaultExpoMin)
+	}
+	for i := 0; i < 40; i++ { // far past saturation; must not overflow
+		if d := e.Next(); d < 0 || d > DefaultExpoMax {
+			t.Fatalf("attempt %d: delay %v outside [0, %v]", i, d, DefaultExpoMax)
+		}
+	}
+	// Max below Min collapses to a fixed step at Min.
+	inv := &Expo{Min: 20 * time.Millisecond, Max: time.Millisecond}
+	for i := 0; i < 5; i++ {
+		if d := inv.Next(); d < 10*time.Millisecond || d > 20*time.Millisecond {
+			t.Fatalf("inverted bounds attempt %d: delay %v", i, d)
+		}
+	}
+}

@@ -192,7 +192,7 @@ func (p *Pool[T]) drainRun(cs *scpool.ConsumerState, sc *consScratch[T], n *node
 	firstSlot := idx + 1
 	journalRun := func() {
 		if taken > 0 && flight.Enabled() {
-			flight.RecordC(cs.ID, flight.KTakeBatch, ch.fid.Load(),
+			flight.RecordC(cs.FID, flight.KTakeBatch, ch.fid.Load(),
 				int32(firstSlot), int32(taken))
 		}
 	}
@@ -237,7 +237,7 @@ func (p *Pool[T]) drainRun(cs *scpool.ConsumerState, sc *consScratch[T], n *node
 			cs.Ops.CAS.Inc()
 			if ch.tasks[idx+1].p.CompareAndSwap(task, p.shared.taken) {
 				if flight.Enabled() {
-					flight.RecordC(cs.ID, flight.KTakeSlow, ch.fid.Load(), int32(idx+1), 1)
+					flight.RecordC(cs.FID, flight.KTakeSlow, ch.fid.Load(), int32(idx+1), 1)
 				}
 				next := p.peekNext(ch, idx+2)
 				p.chargeTake(cs, ch)
@@ -247,7 +247,7 @@ func (p *Pool[T]) drainRun(cs *scpool.ConsumerState, sc *consScratch[T], n *node
 			} else {
 				cs.Ops.FailedCAS.Inc()
 				if flight.Enabled() {
-					flight.RecordC(cs.ID, flight.KTakeSlow, ch.fid.Load(), int32(idx+1), 0)
+					flight.RecordC(cs.FID, flight.KTakeSlow, ch.fid.Load(), int32(idx+1), 0)
 				}
 			}
 			sc.current = nil // line 97
@@ -273,7 +273,7 @@ func (p *Pool[T]) drainRun(cs *scpool.ConsumerState, sc *consScratch[T], n *node
 		if idx+1 == size { // finished the chunk: checkLast, exactly once
 			journalRun()
 			if flight.Enabled() {
-				flight.RecordC(cs.ID, flight.KChunkDrained, ch.fid.Load(), 0, 0)
+				flight.RecordC(cs.FID, flight.KChunkDrained, ch.fid.Load(), 0, 0)
 			}
 			n.chunk.Store(nil)
 			sc.rec.Clear(hzConsume)

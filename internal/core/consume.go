@@ -141,7 +141,7 @@ func (p *Pool[T]) takeTask(cs *scpool.ConsumerState, sc *consScratch[T], n *node
 		// Call-free single-writer increment (stats.Counter.V docs).
 		cs.Ops.FastPath.V.Store(cs.Ops.FastPath.V.Load() + 1)
 		if flight.Enabled() {
-			flight.RecordC(cs.ID, flight.KTakeFast, ch.fid.Load(), int32(idx+1), 0)
+			flight.RecordC(cs.FID, flight.KTakeFast, ch.fid.Load(), int32(idx+1), 0)
 		}
 		// chargeTake, spelled inline (its CALL is not inlinable here —
 		// atomicx docs): home is relaxed-eligible metadata (DESIGN.md §12).
@@ -181,7 +181,7 @@ func (p *Pool[T]) takeTask(cs *scpool.ConsumerState, sc *consScratch[T], n *node
 		if success {
 			won = 1
 		}
-		flight.RecordC(cs.ID, flight.KTakeSlow, ch.fid.Load(), int32(idx+1), won)
+		flight.RecordC(cs.FID, flight.KTakeSlow, ch.fid.Load(), int32(idx+1), won)
 	}
 	if success {
 		next := p.peekNext(ch, idx+2)
@@ -232,7 +232,7 @@ func (p *Pool[T]) checkLast(cs *scpool.ConsumerState, sc *consScratch[T],
 func (p *Pool[T]) finishChunk(cs *scpool.ConsumerState, sc *consScratch[T],
 	n *node[T], ch *Chunk[T], hzSlot int) {
 	if flight.Enabled() {
-		flight.RecordC(cs.ID, flight.KChunkDrained, ch.fid.Load(), 0, 0)
+		flight.RecordC(cs.FID, flight.KChunkDrained, ch.fid.Load(), 0, 0)
 	}
 	n.chunk.Store(nil)
 	sc.rec.Clear(hzSlot)

@@ -350,7 +350,7 @@ func (p *Pool[T]) getChunk(ps *scpool.ProducerState, sc *prodScratch[T], force b
 		if !force {
 			ps.Ops.ProduceFull.Inc()
 			if flight.Enabled() {
-				flight.RecordP(ps.ID, flight.KProduceFail, 0, int32(p.ownerIDv), 0)
+				flight.RecordP(ps.FID, flight.KProduceFail, 0, int32(p.ownerIDv), 0)
 			}
 			return false
 		}
@@ -363,7 +363,7 @@ func (p *Pool[T]) getChunk(ps *scpool.ProducerState, sc *prodScratch[T], force b
 		}
 		ps.Ops.ForceExpands.Inc() // only reachable under force: the expansion that mattered
 		if flight.Enabled() {
-			flight.RecordP(ps.ID, flight.KForceExpand, 0, int32(p.ownerIDv), 0)
+			flight.RecordP(ps.FID, flight.KForceExpand, 0, int32(p.ownerIDv), 0)
 		}
 	} else {
 		ch.resetForReuse()
@@ -390,7 +390,7 @@ func (p *Pool[T]) getChunk(ps *scpool.ProducerState, sc *prodScratch[T], force b
 	myList.prune() // lazy reclamation of consumed/stolen entries
 	myList.append(newNode(ch, -1, claimed))
 	if flight.Enabled() {
-		flight.RecordP(ps.ID, flight.KChunkPublish, ch.fid.Load(),
+		flight.RecordP(ps.FID, flight.KChunkPublish, ch.fid.Load(),
 			int32(p.ownerIDv), ch.home.Load())
 	}
 	sc.chunk = ch

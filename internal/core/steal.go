@@ -116,7 +116,7 @@ func (p *Pool[T]) Steal(cs *scpool.ConsumerState, victimPool scpool.SCPool[T]) *
 		!ch.owner.CompareAndSwap(oldOwner, packOwner(p.ownerIDv, ownerTag(oldOwner)+1)) { // line 116
 		cs.Ops.FailedCAS.Inc()
 		if flight.Enabled() {
-			flight.RecordC(cs.ID, flight.KStealFail, ch.fid.Load(), int32(victim.ownerIDv), 0)
+			flight.RecordC(cs.FID, flight.KStealFail, ch.fid.Load(), int32(victim.ownerIDv), 0)
 		}
 		stealList.remove(myEntry) // line 117
 		sc.rec.Clear(hzSteal)
@@ -124,7 +124,7 @@ func (p *Pool[T]) Steal(cs *scpool.ConsumerState, victimPool scpool.SCPool[T]) *
 	}
 	cs.Ops.Steals.Inc()
 	if flight.Enabled() {
-		flight.RecordC(cs.ID, flight.KStealWin, ch.fid.Load(), int32(victim.ownerIDv),
+		flight.RecordC(cs.FID, flight.KStealWin, ch.fid.Load(), int32(victim.ownerIDv),
 			int32(p.ownerNode)<<16|int32(victim.ownerNode)&0xffff)
 	}
 	// The nastiest window in the algorithm: ownership is ours, but the
@@ -185,20 +185,20 @@ func (p *Pool[T]) Steal(cs *scpool.ConsumerState, victimPool scpool.SCPool[T]) *
 					idx = a
 					cs.Ops.RescueRescans.Inc()
 					if flight.Enabled() {
-						flight.RecordC(cs.ID, flight.KRescueRescan, ch.fid.Load(),
+						flight.RecordC(cs.FID, flight.KRescueRescan, ch.fid.Load(),
 							int32(ownerID(oldOwner)), int32(a))
 					}
 				}
 			}
 		}
 		if flight.Enabled() {
-			flight.RecordC(cs.ID, flight.KStealRescue, ch.fid.Load(),
+			flight.RecordC(cs.FID, flight.KStealRescue, ch.fid.Load(),
 				int32(ownerID(oldOwner)), int32(idx))
 		}
 	}
 	if idx+1 == size { // line 120: chunk drained while we were stealing
 		if flight.Enabled() {
-			flight.RecordC(cs.ID, flight.KChunkDrained, ch.fid.Load(), 0, 0)
+			flight.RecordC(cs.FID, flight.KChunkDrained, ch.fid.Load(), 0, 0)
 		}
 		stealList.remove(myEntry)
 		// Hygiene beyond the paper's pseudo-code: we now own an
@@ -223,7 +223,7 @@ func (p *Pool[T]) Steal(cs *scpool.ConsumerState, victimPool scpool.SCPool[T]) *
 		})
 	}
 	task := atomicx.LoadAcqPtr(&ch.tasks[idx+1].p) // line 123
-	if task != nil {                 // line 124: found a task to take
+	if task != nil {                               // line 124: found a task to take
 		// If the chunk has already been re-stolen from us and the
 		// victim's index moved since line 112, the new thief may not
 		// observe our index; back off (line 125–127).
@@ -259,13 +259,13 @@ func (p *Pool[T]) Steal(cs *scpool.ConsumerState, victimPool scpool.SCPool[T]) *
 		if task != nil {
 			won = 1
 		}
-		flight.RecordC(cs.ID, flight.KTakeSteal, ch.fid.Load(), int32(idx), won)
+		flight.RecordC(cs.FID, flight.KTakeSteal, ch.fid.Load(), int32(idx), won)
 	}
 	next := p.peekNext(ch, idx+1)
 	if task != nil {
 		p.chargeTake(cs, ch)
 	}
-	p.checkLast(cs, sc, nn, ch, idx, next, hzSteal) // line 136
+	p.checkLast(cs, sc, nn, ch, idx, next, hzSteal)           // line 136
 	if ownerID(atomicx.LoadAcqU64(&ch.owner)) == p.ownerIDv { // line 137
 		sc.current = nn
 	}

@@ -71,7 +71,7 @@ func newCoreWorld(chunkSize, consumers int) *coreWorld {
 }
 
 func (w *coreWorld) produce(pool, n int) {
-	ps := &scpool.ProducerState{ID: 0}
+	ps := &scpool.ProducerState{ID: 0, FID: 0}
 	for i := 0; i < n; i++ {
 		t := len(w.tasks)
 		w.tasks = append(w.tasks, new(int))
@@ -93,7 +93,7 @@ func (w *coreWorld) check(*Controller) error {
 }
 
 // cons returns a fresh consumer state for pool id.
-func cons(id int) *scpool.ConsumerState { return &scpool.ConsumerState{ID: id} }
+func cons(id int) *scpool.ConsumerState { return &scpool.ConsumerState{ID: id, FID: id} }
 
 // stealRace: the §1.5.3 two-consumer duel — the owner drains its chunk
 // while a thief steals it; announced slots must fall to the single-CAS

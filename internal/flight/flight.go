@@ -225,6 +225,9 @@ type ring struct {
 	_    [56]byte
 	buf  []atomic.Uint64
 	mask uint64
+	// sharedPos is the cursor for multi-writer rings (recordShared); a
+	// ring uses either pos (owner-only record) or sharedPos, never both.
+	sharedPos atomic.Uint64
 }
 
 func newRing(size int) *ring {
@@ -247,6 +250,22 @@ func (r *ring) record(ts int64, kind Kind, a uint64, b, c int32) {
 	r.buf[i+3].Store(packW3(b, c))
 	r.buf[i+0].Store(seq) // publish
 	r.pos = seq
+}
+
+// recordShared appends one event from any goroutine: the cursor is an
+// atomic fetch-add instead of the owner-local counter. Two writers a full
+// ring apart can collide on a slot; the torn slot fails snapshot's seq
+// re-check and is skipped, never misread. Used for the control ring,
+// whose writers span every pool sharing the process recorder — cold path
+// (membership events only), so the RMW is irrelevant.
+func (r *ring) recordShared(ts int64, kind Kind, a uint64, b, c int32) {
+	seq := r.sharedPos.Add(1)
+	i := ((seq - 1) & r.mask) * ringWords
+	r.buf[i+0].Store(0) // invalidate: readers treat seq 0 as torn/empty
+	r.buf[i+1].Store(uint64(ts))
+	r.buf[i+2].Store(packW2(kind, a))
+	r.buf[i+3].Store(packW3(b, c))
+	r.buf[i+0].Store(seq) // publish
 }
 
 // newest returns the highest published sequence number — the reader-side
@@ -487,9 +506,12 @@ func RecordP(id int, kind Kind, a uint64, b, c int32) {
 	r.producers[id].record(r.stamp(), kind, a, b, c)
 }
 
-// RecordControl records a membership event on the control ring. Callers
-// are already serialized by the framework's membership lock, which is what
-// keeps the control ring single-writer. Free when disarmed.
+// RecordControl records a membership event on the control ring. The
+// control ring is multi-writer (recordShared): within one pool callers
+// are serialized by the framework's membership lock, but several pools
+// can share the process recorder (disjoint actor-id ranges via
+// FlightBase), and their membership events interleave here. Free when
+// disarmed.
 func RecordControl(kind Kind, epoch uint64, b, c int32) {
 	if !Enabled() {
 		return
@@ -498,7 +520,7 @@ func RecordControl(kind Kind, epoch uint64, b, c int32) {
 	if r == nil {
 		return
 	}
-	r.control.record(r.stamp(), kind, epoch, b, c)
+	r.control.recordShared(r.stamp(), kind, epoch, b, c)
 }
 
 // BeginOp marks consumer id as inside a blocking retrieval; the watchdog

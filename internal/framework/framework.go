@@ -100,6 +100,13 @@ type Config[T any] struct {
 	// which the paper's microbenchmark regime would notice.
 	Latency bool
 
+	// FlightBase offsets the flight-recorder actor ids of every handle:
+	// producer/consumer i records as actor FlightBase+i. The recorder is
+	// process-global and its per-actor rings are single-writer, so when
+	// several pools share one process each must claim a disjoint id range.
+	// Zero (the default) is correct for a single pool.
+	FlightBase int
+
 	// LaneSize, when positive, gives every producer handle an SPSC
 	// front lane of that many tasks (rounded up to a power of two):
 	// Put buffers into the lane and publishes whole runs through the
@@ -197,6 +204,7 @@ func New[T any](cfg Config[T]) (*Framework[T], error) {
 	for i := 0; i < cfg.Producers; i++ {
 		pr := &Producer[T]{fw: fw}
 		pr.state.ID = i
+		pr.state.FID = cfg.FlightBase + i
 		pr.state.Node = pl.ProducerNode(i)
 		pr.state.Tracer = cfg.Tracer
 		if cfg.LaneSize > 0 {
@@ -210,6 +218,7 @@ func New[T any](cfg Config[T]) (*Framework[T], error) {
 	for i := 0; i < cfg.Consumers; i++ {
 		co := &Consumer[T]{fw: fw, myPool: pools[i]}
 		co.state.ID = i
+		co.state.FID = cfg.FlightBase + i
 		co.state.Node = pl.ConsumerNode(i)
 		co.state.Tracer = cfg.Tracer
 		fw.consumers[i] = co
@@ -617,15 +626,15 @@ func (c *Consumer[T]) get() (*T, bool) {
 	// emptiness probe millisecond latency spikes under contention. The
 	// explicitly blocking GetWait/GetContext paths park.
 	bo := backoff.Backoff{YieldOnly: true}
-	flight.BeginOp(c.state.ID)
-	defer flight.EndOp(c.state.ID)
+	flight.BeginOp(c.state.FID)
+	defer flight.EndOp(c.state.FID)
 	for {
 		if c.killed.Load() {
 			return nil, false // crashed mid-retrieval: unwind as empty
 		}
 		if c.fw.cfg.NonLinearizableEmpty || c.checkEmpty() {
 			c.state.Ops.GetsEmpty.Inc()
-			flight.RecordC(c.state.ID, flight.KGetEmpty, 0, 0, 0)
+			flight.RecordC(c.state.FID, flight.KGetEmpty, 0, 0, 0)
 			return nil, false
 		}
 		bo.Pause()
@@ -661,8 +670,8 @@ func (c *Consumer[T]) GetWait(stop <-chan struct{}) (*T, bool) {
 		return t, true // bounded first pass: no watchdog marker (see get)
 	}
 	var bo backoff.Backoff
-	flight.BeginOp(c.state.ID)
-	defer flight.EndOp(c.state.ID)
+	flight.BeginOp(c.state.FID)
+	defer flight.EndOp(c.state.FID)
 	for {
 		if c.killed.Load() {
 			return nil, false // crashed mid-retrieval: unwind as empty
@@ -674,7 +683,7 @@ func (c *Consumer[T]) GetWait(stop <-chan struct{}) (*T, bool) {
 		}
 		if bo.Pause() {
 			c.state.Ops.Parks.Inc()
-			flight.RecordC(c.state.ID, flight.KPark, 0, 0, 0)
+			flight.RecordC(c.state.FID, flight.KPark, 0, 0, 0)
 		}
 		if t, ok := c.tryOnce(); ok {
 			return t, true
@@ -693,8 +702,8 @@ func (c *Consumer[T]) GetContext(ctx context.Context) (*T, error) {
 		return t, nil // bounded first pass: no watchdog marker (see get)
 	}
 	var bo backoff.Backoff
-	flight.BeginOp(c.state.ID)
-	defer flight.EndOp(c.state.ID)
+	flight.BeginOp(c.state.FID)
+	defer flight.EndOp(c.state.FID)
 	for {
 		if c.killed.Load() {
 			return nil, ErrKilled
@@ -704,7 +713,7 @@ func (c *Consumer[T]) GetContext(ctx context.Context) (*T, error) {
 		}
 		if bo.Pause() {
 			c.state.Ops.Parks.Inc()
-			flight.RecordC(c.state.ID, flight.KPark, 0, 0, 0)
+			flight.RecordC(c.state.FID, flight.KPark, 0, 0, 0)
 		}
 		if t, ok := c.tryOnce(); ok {
 			return t, nil
@@ -800,15 +809,15 @@ func (c *Consumer[T]) getBatch(dst []*T) int {
 		return n // bounded first pass: no watchdog marker (see get)
 	}
 	bo := backoff.Backoff{YieldOnly: true} // see get(): yields, never sleeps
-	flight.BeginOp(c.state.ID)
-	defer flight.EndOp(c.state.ID)
+	flight.BeginOp(c.state.FID)
+	defer flight.EndOp(c.state.FID)
 	for {
 		if c.killed.Load() {
 			return 0 // crashed mid-retrieval: unwind as empty
 		}
 		if c.fw.cfg.NonLinearizableEmpty || c.checkEmpty() {
 			c.state.Ops.GetsEmpty.Inc()
-			flight.RecordC(c.state.ID, flight.KGetEmpty, 0, 0, 0)
+			flight.RecordC(c.state.FID, flight.KGetEmpty, 0, 0, 0)
 			return 0
 		}
 		bo.Pause()
@@ -899,14 +908,14 @@ func (c *Consumer[T]) checkEmpty() bool {
 					tr.OnCheckEmptyRound(telemetry.CheckEmptyRoundEvent{
 						Consumer: c.state.ID, Round: i, Empty: false})
 				}
-				flight.RecordC(c.state.ID, flight.KCheckEmptyAbort, 0, 0, int32(i))
+				flight.RecordC(c.state.FID, flight.KCheckEmptyAbort, 0, 0, int32(i))
 				return false
 			}
 		}
 		if c.fw.epoch.Load() != ep {
 			// Membership changed mid-probe; not linearizable. b=1 marks
 			// the epoch-moved abort apart from plain refutations.
-			flight.RecordC(c.state.ID, flight.KCheckEmptyAbort, 0, 1, int32(i))
+			flight.RecordC(c.state.FID, flight.KCheckEmptyAbort, 0, 1, int32(i))
 			return false
 		}
 		if tr != nil {

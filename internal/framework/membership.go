@@ -164,6 +164,7 @@ func (fw *Framework[T]) AddConsumer() (*Consumer[T], error) {
 
 	co := &Consumer[T]{fw: fw, myPool: pool}
 	co.state.ID = id
+	co.state.FID = fw.cfg.FlightBase + id
 	co.state.Node = node
 	co.state.Tracer = fw.cfg.Tracer
 	fw.consumers = append(fw.consumers, co)
@@ -176,8 +177,9 @@ func (fw *Framework[T]) AddConsumer() (*Consumer[T], error) {
 		Kind: telemetry.MemberJoined, Consumer: id, Node: node,
 		Epoch: version, Live: len(newEp.live),
 	})
-	// Control ring: writers are serialized by fw.mu (held by our caller).
-	flight.RecordControl(flight.KMemberJoin, version, int32(id), int32(node))
+	// Control ring: multi-writer-safe; id is namespaced by FlightBase so
+	// co-resident pools' membership events stay distinguishable.
+	flight.RecordControl(flight.KMemberJoin, version, int32(fw.cfg.FlightBase+id), int32(node))
 	return co, nil
 }
 
@@ -267,8 +269,9 @@ func (fw *Framework[T]) depart(id int, kind telemetry.MembershipKind) error {
 	if kind == telemetry.MemberCrashed {
 		fk = flight.KMemberCrash
 	}
-	// Control ring: writers are serialized by fw.mu (held above).
-	flight.RecordControl(fk, version, int32(id), int32(ep.placement.ConsumerNode(id)))
+	// Control ring: multi-writer-safe; id is namespaced by FlightBase so
+	// co-resident pools' membership events stay distinguishable.
+	flight.RecordControl(fk, version, int32(fw.cfg.FlightBase+id), int32(ep.placement.ConsumerNode(id)))
 	return nil
 }
 

@@ -2,18 +2,28 @@ package remote
 
 import (
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"time"
 
 	"salsa"
+	"salsa/internal/backoff"
 )
 
-// dialTimeout is the default connection/handshake timeout.
+// dialTimeout is the default connection/handshake timeout. Every dial
+// runs its HELLO handshake under this deadline, so a blackholed accept
+// (TCP handshake completes, nothing ever answers) fails the dial instead
+// of hanging the client forever.
 const dialTimeout = 5 * time.Second
 
 // roundTrip sends one request frame and reads the response. A KindErr
-// response is materialized as its mapped Go error (see ErrMsg.Error).
+// response is materialized as its mapped Go error (see ErrMsg.Error);
+// the returned Frame's Kind stays KindErr so callers can tell a typed
+// server answer (the request's outcome is KNOWN) from a transport error
+// (outcome unknown — the retry/idempotency machinery's distinction).
 func roundTrip(fc *framedConn, k Kind, payload []byte) (Frame, error) {
 	if err := fc.write(k, payload); err != nil {
 		return Frame{}, err
@@ -32,18 +42,29 @@ func roundTrip(fc *framedConn, k Kind, payload []byte) (Frame, error) {
 	return f, nil
 }
 
-// dial connects to a shard and completes the HELLO handshake for role.
-func dial(addr string, role Role, maxPayload int) (*framedConn, error) {
+// dial connects to a shard and completes the HELLO for role under the
+// dial deadline. The deadline is cleared before the conn is returned.
+func dial(addr string, role Role, token string, maxPayload int) (*framedConn, error) {
 	c, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
 	}
+	c.SetDeadline(time.Now().Add(dialTimeout))
 	fc := newFramedConn(c, maxPayload)
-	if err := fc.write(KindHello, AppendHello(nil, Hello{Role: role})); err != nil {
+	if err := fc.write(KindHello, AppendHello(nil, Hello{Role: role, Token: []byte(token)})); err != nil {
 		c.Close()
 		return nil, err
 	}
 	return fc, nil
+}
+
+// fatalRefusal reports a typed server refusal that retrying cannot fix:
+// bad credentials, a protocol break, or a capacity/draining refusal —
+// the caller should fail over or give up, not redial the same shard.
+func fatalRefusal(err error) bool {
+	return errors.Is(err, ErrUnauthorized) || errors.Is(err, ErrProtocol) ||
+		errors.Is(err, ErrBadFrame) || errors.Is(err, ErrCapacity) ||
+		errors.Is(err, ErrDraining)
 }
 
 // Policy orders the shards a producer tries for one run. Implementations
@@ -80,24 +101,82 @@ type ProducerOptions struct {
 	Policy Policy
 	// MaxPayload bounds frame payloads. Default DefaultMaxPayload.
 	MaxPayload int
+	// Token is the shard auth token (satellite of the cluster fault
+	// work: HELLO carries it, the shard compares constant-time).
+	Token string
+	// OpTimeout, when positive, bounds each wire round trip. Zero means
+	// no deadline (the PR-8 behavior): a round trip blocks until the
+	// server answers or the connection dies.
+	OpTimeout time.Duration
+	// Retries is how many times one insertion attempt survives a
+	// transport error on the same shard (reconnect + re-send under the
+	// SAME sequence number, so the shard's dedup window collapses the
+	// ambiguity). Default 2.
+	Retries int
+	// DialRetries bounds extra attempts per shard during DialProducer
+	// itself. Default 0: a dead shard fails the dial, as before.
+	DialRetries int
+	// BackoffSeed seeds the jittered reconnect/re-probe backoff so a
+	// chaos run replays its retry timeline. 0 derives one from the
+	// producer token.
+	BackoffSeed uint64
+}
+
+// shardState is one shard's connection plus its failover state.
+type shardState struct {
+	addr string
+	fc   *framedConn
+	// down marks a demoted shard: dialing or speaking to it failed.
+	// Demoted shards are skipped by the router until probeAt, then
+	// re-probed — a blackholed shard costs one timed-out probe per
+	// backoff step instead of stalling every insert.
+	down    bool
+	probeAt time.Time
+	bo      backoff.Expo
+	// everUp distinguishes a reconnect (counted) from the first dial.
+	everUp bool
 }
 
 // Producer is the scheduler-side insertion router: one wire connection
-// per shard, a routing policy, and spill-on-SATURATED. Single-goroutine,
-// like the in-process producer handle it fronts.
+// per shard, a routing policy, spill-on-SATURATED, and failover with
+// idempotent retry. Single-goroutine, like the in-process producer
+// handle it fronts.
 type Producer struct {
-	shards []*framedConn
+	shards []*shardState
 	home   int
 	policy Policy
 	order  []int
 	enc    []byte
+
+	o ProducerOptions
+
+	// token+seq are the idempotency identity carried by every
+	// PUT_BATCH: the shard's dedup window replays the original ACK if a
+	// retry re-sends a committed sequence number.
+	token uint64
+	seq   uint64
+
+	reconnects int64
+
 	// retryAfter is the most recent backpressure hint, surfaced after a
 	// fully saturated TryProduce for Produce's pacing.
 	retryAfter time.Duration
 }
 
+// newPutToken draws a random nonzero idempotency token.
+func newPutToken() uint64 {
+	var b [8]byte
+	for {
+		cryptorand.Read(b[:])
+		if v := binary.BigEndian.Uint64(b[:]); v != 0 {
+			return v
+		}
+	}
+}
+
 // DialProducer connects to every shard in addrs and leases a producer
-// lane on each.
+// lane on each. Transport failures retry up to DialRetries per shard;
+// typed refusals (unauthorized, capacity, draining) fail immediately.
 func DialProducer(addrs []string, o ProducerOptions) (*Producer, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("remote: no shard addresses")
@@ -108,47 +187,170 @@ func DialProducer(addrs []string, o ProducerOptions) (*Producer, error) {
 	if o.Home < 0 || o.Home >= len(addrs) {
 		o.Home = 0
 	}
-	p := &Producer{home: o.Home, policy: o.Policy}
-	for _, addr := range addrs {
-		fc, err := dial(addr, RoleProducer, o.MaxPayload)
-		if err != nil {
-			p.Close()
-			return nil, err
+	if o.Retries == 0 {
+		o.Retries = 2
+	}
+	p := &Producer{home: o.Home, policy: o.Policy, o: o, token: newPutToken()}
+	seed := o.BackoffSeed
+	if seed == 0 {
+		seed = p.token
+	}
+	for i, addr := range addrs {
+		st := &shardState{addr: addr}
+		st.bo.Seed = seed ^ uint64(i+1)*0x9e3779b97f4a7c15
+		p.shards = append(p.shards, st)
+		var err error
+		for attempt := 0; ; attempt++ {
+			err = p.connect(st)
+			if err == nil || fatalRefusal(err) || attempt >= o.DialRetries {
+				break
+			}
+			time.Sleep(st.bo.Next())
 		}
-		// The lane lease: the server answers HELLO with ACK{A: lane id}
-		// once a lane is free, or ERR CodeCapacity.
-		f, err := fc.read()
 		if err != nil {
-			fc.Close()
 			p.Close()
 			return nil, fmt.Errorf("remote: %s: lane lease: %w", addr, err)
 		}
-		if f.Kind == KindErr {
-			e, derr := DecodeErrMsg(f.Payload)
-			fc.Close()
-			p.Close()
-			if derr != nil {
-				return nil, derr
-			}
-			return nil, e.Error()
-		}
-		if f.Kind != KindAck {
-			fc.Close()
-			p.Close()
-			return nil, fmt.Errorf("%w: %v to HELLO", ErrProtocol, f.Kind)
-		}
-		p.shards = append(p.shards, fc)
 	}
 	return p, nil
 }
 
-// TryProduce inserts the run with one pass over the policy's shard order:
-// each shard accepts a prefix (ACK) or refuses (SATURATED), and the
-// remainder spills to the next shard. Returns salsa.ErrSaturated when
-// tasks remain after the pass — the caller keeps ownership of the whole
-// batch (accepted tasks are owned by their shards, but the wire protocol
-// carries copies, so retrying with RemainingAfter is the caller's
-// contract: use Produce unless you track acceptance yourself).
+// connect dials the shard and completes the lane-lease handshake. On
+// success the connection carries no deadline (per-op deadlines are set
+// by the caller when OpTimeout is configured).
+func (p *Producer) connect(st *shardState) error {
+	fc, err := dial(st.addr, RoleProducer, p.o.Token, p.o.MaxPayload)
+	if err != nil {
+		return err
+	}
+	// The lane lease: the server answers HELLO with ACK{A: lane id}
+	// once a lane is free, or ERR (capacity, unauthorized, draining).
+	f, err := fc.read()
+	if err != nil {
+		fc.Close()
+		return err
+	}
+	if f.Kind == KindErr {
+		e, derr := DecodeErrMsg(f.Payload)
+		fc.Close()
+		if derr != nil {
+			return derr
+		}
+		return e.Error()
+	}
+	if f.Kind != KindAck {
+		fc.Close()
+		return fmt.Errorf("%w: %v to HELLO", ErrProtocol, f.Kind)
+	}
+	fc.c.SetDeadline(time.Time{})
+	if st.everUp {
+		p.reconnects++
+	}
+	st.everUp = true
+	st.fc = fc
+	return nil
+}
+
+// Reconnects returns how many times this producer re-dialed a shard
+// (the client-side view of salsa_remote_reconnects_total).
+func (p *Producer) Reconnects() int64 { return p.reconnects }
+
+// demote marks a shard down and schedules its next probe.
+func (p *Producer) demote(st *shardState) {
+	if st.fc != nil {
+		st.fc.Close()
+		st.fc = nil
+	}
+	st.down = true
+	st.probeAt = time.Now().Add(st.bo.Next())
+}
+
+// putShard sends one PUT_BATCH for remaining to the shard, reconnecting
+// and re-sending under the SAME sequence number across transport errors
+// (the shard's dedup window makes the retry idempotent). Returns the
+// accepted count; err is salsa.ErrSaturated for a saturation refusal,
+// ErrDraining for a quiescing shard, or the final transport error once
+// the retry budget is spent (the shard is demoted by then).
+func (p *Producer) putShard(st *shardState, remaining [][]byte) (int, error) {
+	seq := p.seq
+	p.seq++
+	p.enc = AppendPutReq(p.enc[:0], PutReq{Token: p.token, Seq: seq, B: Batch{Tasks: remaining}})
+	var lastErr error
+	for attempt := 0; attempt <= p.o.Retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(st.bo.Next())
+		}
+		if st.fc == nil {
+			if err := p.connect(st); err != nil {
+				lastErr = err
+				if fatalRefusal(err) {
+					p.demote(st)
+					return 0, err
+				}
+				continue
+			}
+		}
+		if p.o.OpTimeout > 0 {
+			st.fc.c.SetDeadline(time.Now().Add(p.o.OpTimeout))
+		}
+		f, err := roundTrip(st.fc, KindPutBatch, p.enc)
+		if p.o.OpTimeout > 0 && st.fc != nil {
+			st.fc.c.SetDeadline(time.Time{})
+		}
+		if err != nil && f.Kind != KindErr {
+			// Transport error: the outcome is unknown — the batch may
+			// or may not have committed. Reconnect and re-send the
+			// same (token, seq); the dedup window collapses the
+			// ambiguity to exactly-once.
+			st.fc.Close()
+			st.fc = nil
+			lastErr = err
+			continue
+		}
+		if err != nil {
+			// Typed server answer: the outcome is known (nothing
+			// committed — every ERR on this path precedes the insert).
+			if errors.Is(err, ErrDraining) {
+				p.demote(st)
+			}
+			return 0, err
+		}
+		st.bo.Reset()
+		st.down = false
+		switch f.Kind {
+		case KindAck:
+			a, err := DecodeAck(f.Payload)
+			if err != nil {
+				return 0, err
+			}
+			if a.A > uint64(len(remaining)) {
+				return 0, fmt.Errorf("%w: shard accepted %d of %d", ErrBadFrame, a.A, len(remaining))
+			}
+			return int(a.A), nil
+		case KindSaturated:
+			sat, err := DecodeSaturated(f.Payload)
+			if err != nil {
+				return 0, err
+			}
+			if d := time.Duration(sat.RetryAfterMs) * time.Millisecond; d > 0 {
+				p.retryAfter = d
+			}
+			return 0, salsa.ErrSaturated
+		default:
+			return 0, fmt.Errorf("%w: %v to PUT_BATCH", ErrProtocol, f.Kind)
+		}
+	}
+	p.demote(st)
+	return 0, lastErr
+}
+
+// TryProduce inserts the run with one pass over the policy's shard
+// order: each shard accepts a prefix (ACK) or refuses (SATURATED /
+// draining / dead), and the remainder spills to the next shard. Demoted
+// shards are skipped until their re-probe timer; a pass that skips
+// everything probes anyway rather than refusing outright. Returns
+// salsa.ErrSaturated (possibly wrapping the last shard failure) when
+// tasks remain after the pass.
 //
 // To keep the API aligned with salsa.Producer.TryPutBatch, TryProduce
 // reports n: the count of tasks accepted across all shards (a prefix of
@@ -156,49 +358,54 @@ func DialProducer(addrs []string, o ProducerOptions) (*Producer, error) {
 func (p *Producer) TryProduce(batch [][]byte) (n int, err error) {
 	p.order = p.policy.Order(p.home, len(p.shards), p.order[:0])
 	remaining := batch
+	now := time.Now()
+	skipProbes := true
+	allSkipped := true
+	for _, si := range p.order {
+		st := p.shards[si]
+		if !(st.down && now.Before(st.probeAt)) {
+			allSkipped = false
+			break
+		}
+	}
+	if allSkipped {
+		skipProbes = false // every shard is demoted: probe them all
+	}
+	var lastErr error
 	for _, si := range p.order {
 		if len(remaining) == 0 {
 			break
 		}
-		fc := p.shards[si]
-		p.enc = AppendBatch(p.enc[:0], Batch{Tasks: remaining})
-		f, err := roundTrip(fc, KindPutBatch, p.enc)
-		if err != nil {
+		st := p.shards[si]
+		if skipProbes && st.down && now.Before(st.probeAt) {
+			continue
+		}
+		k, err := p.putShard(st, remaining)
+		remaining = remaining[k:]
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, ErrUnauthorized) || errors.Is(err, ErrProtocol) || errors.Is(err, ErrBadFrame) {
+			// Credential/protocol failures are not routing signals:
+			// surface them instead of burning the batch on spills.
 			return len(batch) - len(remaining), err
 		}
-		switch f.Kind {
-		case KindAck:
-			a, err := DecodeAck(f.Payload)
-			if err != nil {
-				return len(batch) - len(remaining), err
-			}
-			if a.A > uint64(len(remaining)) {
-				return len(batch) - len(remaining), fmt.Errorf("%w: shard accepted %d of %d", ErrBadFrame, a.A, len(remaining))
-			}
-			remaining = remaining[a.A:]
-		case KindSaturated:
-			sat, err := DecodeSaturated(f.Payload)
-			if err != nil {
-				return len(batch) - len(remaining), err
-			}
-			if d := time.Duration(sat.RetryAfterMs) * time.Millisecond; d > 0 {
-				p.retryAfter = d
-			}
-		default:
-			return len(batch) - len(remaining), fmt.Errorf("%w: %v to PUT_BATCH", ErrProtocol, f.Kind)
-		}
+		lastErr = err // saturated / draining / transport: spill onward
 	}
 	n = len(batch) - len(remaining)
 	if len(remaining) > 0 {
+		if lastErr != nil && !errors.Is(lastErr, salsa.ErrSaturated) {
+			return n, fmt.Errorf("%w (last shard: %v)", salsa.ErrSaturated, lastErr)
+		}
 		return n, salsa.ErrSaturated
 	}
 	return n, nil
 }
 
-// Produce inserts the whole run, blocking through saturation: every pass
-// spills per the policy, and when all shards refuse, it sleeps the
-// shards' retry-after hint before the next pass. Returns ctx.Err() if the
-// context ends first.
+// Produce inserts the whole run, blocking through saturation and
+// outages: every pass spills per the policy, and when no shard accepts,
+// it sleeps the shards' retry-after hint before the next pass. Returns
+// ctx.Err() if the context ends first.
 func (p *Producer) Produce(ctx context.Context, batch [][]byte) error {
 	remaining := batch
 	for len(remaining) > 0 {
@@ -210,7 +417,7 @@ func (p *Producer) Produce(ctx context.Context, batch [][]byte) error {
 		if err == nil {
 			continue
 		}
-		if err != salsa.ErrSaturated {
+		if !errors.Is(err, salsa.ErrSaturated) {
 			return err
 		}
 		pause := p.retryAfter
@@ -228,15 +435,17 @@ func (p *Producer) Produce(ctx context.Context, batch [][]byte) error {
 
 // Close drains the lane leases gracefully and severs the connections.
 func (p *Producer) Close() {
-	for _, fc := range p.shards {
-		if fc == nil {
+	for _, st := range p.shards {
+		if st == nil || st.fc == nil {
 			continue
 		}
 		// Best-effort DRAIN so the server returns the lane promptly
 		// instead of discovering the dead peer on its next read.
-		fc.write(KindDrain, nil)
-		fc.read()
-		fc.Close()
+		st.fc.c.SetDeadline(time.Now().Add(time.Second))
+		st.fc.write(KindDrain, nil)
+		st.fc.read()
+		st.fc.Close()
+		st.fc = nil
 	}
 	p.shards = nil
 }
@@ -245,6 +454,18 @@ func (p *Producer) Close() {
 type WorkerOptions struct {
 	// MaxPayload bounds frame payloads. Default DefaultMaxPayload.
 	MaxPayload int
+	// Token is the shard auth token carried in HELLO.
+	Token string
+	// OpTimeout, when positive, bounds each round trip beyond the
+	// server-side wait (GetBatch waits wait+OpTimeout). Zero means no
+	// deadline, the PR-8 behavior.
+	OpTimeout time.Duration
+	// DialRetries bounds extra dial attempts on transport failure.
+	// Typed refusals (capacity, draining, unauthorized) never retry.
+	// Default 0.
+	DialRetries int
+	// BackoffSeed seeds the dial-retry backoff; 0 uses a fixed seed.
+	BackoffSeed uint64
 }
 
 // Worker is the execution-side retrieval handle: one shard connection
@@ -254,13 +475,34 @@ type Worker struct {
 	fc    *framedConn
 	id    int
 	lease time.Duration
+	o     WorkerOptions
 }
 
 // DialWorker connects to a shard and joins its consumer membership.
-// Returns ErrCapacity (wrapped) when the shard's lifetime consumer-id
-// capacity is exhausted.
+// Returns ErrCapacity (wrapped) when the shard's lifetime worker budget
+// is exhausted, ErrDraining when it is quiescing, ErrUnauthorized on a
+// token mismatch; transport failures retry up to DialRetries.
 func DialWorker(addr string, o WorkerOptions) (*Worker, error) {
-	fc, err := dial(addr, RoleWorker, o.MaxPayload)
+	bo := backoff.Expo{Seed: o.BackoffSeed ^ 0x77}
+	var lastErr error
+	for attempt := 0; attempt <= o.DialRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(bo.Next())
+		}
+		w, err := dialWorkerOnce(addr, o)
+		if err == nil {
+			return w, nil
+		}
+		lastErr = err
+		if fatalRefusal(err) {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+func dialWorkerOnce(addr string, o WorkerOptions) (*Worker, error) {
+	fc, err := dial(addr, RoleWorker, o.Token, o.MaxPayload)
 	if err != nil {
 		return nil, err
 	}
@@ -278,10 +520,12 @@ func DialWorker(addr string, o WorkerOptions) (*Worker, error) {
 		fc.Close()
 		return nil, err
 	}
+	fc.c.SetDeadline(time.Time{})
 	return &Worker{
 		fc:    fc,
 		id:    int(a.A),
 		lease: time.Duration(a.B) * time.Millisecond,
+		o:     o,
 	}, nil
 }
 
@@ -297,8 +541,13 @@ func (w *Worker) Lease() time.Duration { return w.lease }
 // an emptiness proof). The returned bodies alias the connection's read
 // buffer and are valid until the next call; callers that retain them must
 // copy. Returns salsa.ErrKilled (wrapped) once the shard has declared
-// this worker crashed.
+// this worker crashed, ErrDraining once it is quiescing (re-join another
+// shard; this consumer is retired).
 func (w *Worker) GetBatch(max int, wait time.Duration) ([][]byte, error) {
+	if w.o.OpTimeout > 0 {
+		w.fc.c.SetDeadline(time.Now().Add(wait + w.o.OpTimeout))
+		defer w.fc.c.SetDeadline(time.Time{})
+	}
 	req := AppendGetReq(nil, GetReq{Max: uint32(max), WaitMs: uint32(wait.Milliseconds())})
 	f, err := roundTrip(w.fc, KindGetBatch, req)
 	if err != nil {
@@ -316,6 +565,10 @@ func (w *Worker) GetBatch(max int, wait time.Duration) ([][]byte, error) {
 
 // Ping refreshes the lease without retrieving.
 func (w *Worker) Ping() error {
+	if w.o.OpTimeout > 0 {
+		w.fc.c.SetDeadline(time.Now().Add(w.o.OpTimeout))
+		defer w.fc.c.SetDeadline(time.Time{})
+	}
 	_, err := roundTrip(w.fc, KindPing, nil)
 	return err
 }
@@ -323,6 +576,9 @@ func (w *Worker) Ping() error {
 // Drain departs gracefully: the shard retires the consumer (its spare
 // chunks migrate to survivors) and the connection closes.
 func (w *Worker) Drain() error {
+	if w.o.OpTimeout > 0 {
+		w.fc.c.SetDeadline(time.Now().Add(w.o.OpTimeout))
+	}
 	_, err := roundTrip(w.fc, KindDrain, nil)
 	w.fc.Close()
 	return err

@@ -1,0 +1,329 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"salsa"
+)
+
+// fakeReply scripts one PUT_BATCH response from a fakeShard.
+type fakeReply struct {
+	accept    int // ACK count (when saturated is false)
+	saturated bool
+	retryMs   uint32
+}
+
+// fakeShard is a scripted wire peer: it completes the producer handshake
+// and answers each PUT_BATCH from its script (accept-all once the script
+// runs out), recording the bodies each request carried. It lets the
+// router's spill policy be tested against exact, deterministic shard
+// behavior — real servers refuse saturation states on demand only under
+// failpoints.
+type fakeShard struct {
+	ln      net.Listener
+	mu      sync.Mutex
+	script  []fakeReply
+	batches [][]string
+}
+
+func newFakeShard(t *testing.T, script ...fakeReply) *fakeShard {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &fakeShard{ln: ln, script: script}
+	t.Cleanup(func() { ln.Close() })
+	go fs.serve()
+	return fs
+}
+
+func (fs *fakeShard) addr() string { return fs.ln.Addr().String() }
+
+func (fs *fakeShard) seen() [][]string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return append([][]string(nil), fs.batches...)
+}
+
+func (fs *fakeShard) next() fakeReply {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if len(fs.script) == 0 {
+		return fakeReply{accept: -1} // accept everything
+	}
+	r := fs.script[0]
+	fs.script = fs.script[1:]
+	return r
+}
+
+func (fs *fakeShard) serve() {
+	for {
+		c, err := fs.ln.Accept()
+		if err != nil {
+			return
+		}
+		go fs.handle(c)
+	}
+}
+
+func (fs *fakeShard) handle(c net.Conn) {
+	defer c.Close()
+	fc := newFramedConn(c, DefaultMaxPayload)
+	f, err := fc.read()
+	if err != nil || f.Kind != KindHello {
+		return
+	}
+	if fc.write(KindAck, AppendAck(nil, Ack{A: 1})) != nil {
+		return
+	}
+	for {
+		f, err := fc.read()
+		if err != nil {
+			return
+		}
+		switch f.Kind {
+		case KindPutBatch:
+			req, err := DecodePutReq(f.Payload)
+			if err != nil {
+				return
+			}
+			bodies := make([]string, len(req.B.Tasks))
+			for i, b := range req.B.Tasks {
+				bodies[i] = string(b)
+			}
+			fs.mu.Lock()
+			fs.batches = append(fs.batches, bodies)
+			fs.mu.Unlock()
+			r := fs.next()
+			if r.saturated {
+				if fc.write(KindSaturated, AppendSaturated(nil, SaturatedMsg{RetryAfterMs: r.retryMs})) != nil {
+					return
+				}
+				continue
+			}
+			n := r.accept
+			if n < 0 || n > len(req.B.Tasks) {
+				n = len(req.B.Tasks)
+			}
+			if fc.write(KindAck, AppendAck(nil, Ack{A: uint64(n)})) != nil {
+				return
+			}
+		case KindDrain:
+			fc.write(KindAck, AppendAck(nil, Ack{}))
+			return
+		default:
+			return
+		}
+	}
+}
+
+// TestProducerSpillPolicy is the table-driven router contract: a
+// SATURATED (or partial) home must spill the remainder to the next shard
+// in policy order, and only a pass that exhausts every shard surfaces
+// ErrSaturated.
+func TestProducerSpillPolicy(t *testing.T) {
+	batch := [][]string{{"a", "b", "c", "d"}}[0]
+	asBytes := func(ss []string) [][]byte {
+		out := make([][]byte, len(ss))
+		for i, s := range ss {
+			out[i] = []byte(s)
+		}
+		return out
+	}
+	cases := []struct {
+		name           string
+		home           int
+		s0, s1         []fakeReply
+		wantN          int
+		wantSaturated  bool
+		wantS0, wantS1 [][]string // exact batches each shard must see
+	}{
+		{
+			name:   "home-saturated-spills-whole-batch",
+			s0:     []fakeReply{{saturated: true, retryMs: 1}},
+			wantN:  4,
+			wantS0: [][]string{{"a", "b", "c", "d"}},
+			wantS1: [][]string{{"a", "b", "c", "d"}},
+		},
+		{
+			name:   "partial-accept-spills-remainder",
+			s0:     []fakeReply{{accept: 2}},
+			wantN:  4,
+			wantS0: [][]string{{"a", "b", "c", "d"}},
+			wantS1: [][]string{{"c", "d"}},
+		},
+		{
+			name:          "all-saturated-surfaces-backpressure",
+			s0:            []fakeReply{{saturated: true, retryMs: 1}},
+			s1:            []fakeReply{{saturated: true, retryMs: 1}},
+			wantN:         0,
+			wantSaturated: true,
+			wantS0:        [][]string{{"a", "b", "c", "d"}},
+			wantS1:        [][]string{{"a", "b", "c", "d"}},
+		},
+		{
+			name:   "home-field-reorders-pass",
+			home:   1,
+			s1:     []fakeReply{{accept: 1}},
+			wantN:  4,
+			wantS0: [][]string{{"b", "c", "d"}},
+			wantS1: [][]string{{"a", "b", "c", "d"}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s0 := newFakeShard(t, tc.s0...)
+			s1 := newFakeShard(t, tc.s1...)
+			pr, err := DialProducer([]string{s0.addr(), s1.addr()}, ProducerOptions{Home: tc.home})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer pr.Close()
+			n, err := pr.TryProduce(asBytes(batch))
+			if n != tc.wantN {
+				t.Errorf("TryProduce n = %d, want %d", n, tc.wantN)
+			}
+			if tc.wantSaturated != errors.Is(err, salsa.ErrSaturated) {
+				t.Errorf("TryProduce err = %v, want saturated=%v", err, tc.wantSaturated)
+			}
+			if !tc.wantSaturated && err != nil {
+				t.Errorf("TryProduce err = %v, want nil", err)
+			}
+			check := func(name string, got, want [][]string) {
+				if len(got) != len(want) {
+					t.Fatalf("%s saw %d batches (%v), want %d (%v)", name, len(got), got, len(want), want)
+				}
+				for i := range want {
+					if len(got[i]) != len(want[i]) {
+						t.Fatalf("%s batch %d = %v, want %v", name, i, got[i], want[i])
+					}
+					for j := range want[i] {
+						if got[i][j] != want[i][j] {
+							t.Fatalf("%s batch %d = %v, want %v", name, i, got[i], want[i])
+						}
+					}
+				}
+			}
+			check("shard0", s0.seen(), tc.wantS0)
+			check("shard1", s1.seen(), tc.wantS1)
+		})
+	}
+}
+
+// TestProduceHonorsRetryAfterHint: a fully saturated pass must pause for
+// the shard's RetryAfterMs hint before the next pass, not spin.
+func TestProduceHonorsRetryAfterHint(t *testing.T) {
+	fs := newFakeShard(t, fakeReply{saturated: true, retryMs: 40})
+	pr, err := DialProducer([]string{fs.addr()}, ProducerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := pr.Produce(ctx, [][]byte{[]byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Errorf("Produce returned in %v, want >= 40ms (the hint)", elapsed)
+	}
+	if got := fs.seen(); len(got) != 2 {
+		t.Errorf("shard saw %d passes, want 2 (saturated, then accepted)", len(got))
+	}
+}
+
+// TestAuthToken covers the shared-secret gate end to end: wrong and
+// missing tokens are refused with the typed ErrUnauthorized (and never
+// dial-retried), the right token works, and an open shard ignores
+// whatever the client sends.
+func TestAuthToken(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", Options{
+		Lanes: 1, House: 1, MaxWorkers: 2, AuthToken: "s3cret", Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if _, err := DialProducer([]string{srv.Addr()}, ProducerOptions{Token: "wrong", DialRetries: 3}); !errors.Is(err, ErrUnauthorized) {
+		t.Errorf("producer with wrong token = %v, want ErrUnauthorized", err)
+	}
+	if _, err := DialProducer([]string{srv.Addr()}, ProducerOptions{}); !errors.Is(err, ErrUnauthorized) {
+		t.Errorf("producer with no token = %v, want ErrUnauthorized", err)
+	}
+	if _, err := DialWorker(srv.Addr(), WorkerOptions{Token: "wrong"}); !errors.Is(err, ErrUnauthorized) {
+		t.Errorf("worker with wrong token = %v, want ErrUnauthorized", err)
+	}
+
+	pr, err := DialProducer([]string{srv.Addr()}, ProducerOptions{Token: "s3cret"})
+	if err != nil {
+		t.Fatalf("producer with right token: %v", err)
+	}
+	defer pr.Close()
+	if n, err := pr.TryProduce([][]byte{[]byte("ok")}); n != 1 || err != nil {
+		t.Fatalf("authorized TryProduce = (%d, %v)", n, err)
+	}
+	w, err := DialWorker(srv.Addr(), WorkerOptions{Token: "s3cret"})
+	if err != nil {
+		t.Fatalf("worker with right token: %v", err)
+	}
+	w.Close()
+
+	open, err := NewServer("127.0.0.1:0", Options{Lanes: 1, House: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer open.Close()
+	pr2, err := DialProducer([]string{open.Addr()}, ProducerOptions{Token: "anything"})
+	if err != nil {
+		t.Fatalf("open shard refused a token-bearing client: %v", err)
+	}
+	pr2.Close()
+}
+
+// TestProducerFailoverDemotesDeadShard: when a shard dies mid-stream the
+// router must demote it after the retry budget, serve from the survivor,
+// and count the reconnect attempts — without losing or duplicating the
+// in-flight batch.
+func TestProducerFailoverDemotesDeadShard(t *testing.T) {
+	dead := newFakeShard(t)
+	live := newFakeShard(t)
+	pr, err := DialProducer([]string{dead.addr(), live.addr()}, ProducerOptions{
+		Retries: 1, BackoffSeed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	dead.ln.Close() // shard dies after the handshake; its conn will cut on next write
+
+	// Cut the established connection too (closing the listener leaves it).
+	pr.shards[0].fc.Close()
+
+	n, err := pr.TryProduce([][]byte{[]byte("x"), []byte("y")})
+	if n != 2 || err != nil {
+		t.Fatalf("TryProduce with a dead home = (%d, %v), want (2, nil)", n, err)
+	}
+	if !pr.shards[0].down {
+		t.Error("dead shard not demoted")
+	}
+	if got := live.seen(); len(got) != 1 || len(got[0]) != 2 {
+		t.Errorf("live shard saw %v, want one batch of 2", got)
+	}
+	// Demoted shard is skipped while its probe timer runs: another pass
+	// goes straight to the survivor.
+	n, err = pr.TryProduce([][]byte{[]byte("z")})
+	if n != 1 || err != nil {
+		t.Fatalf("second TryProduce = (%d, %v)", n, err)
+	}
+	if got := dead.seen(); len(got) != 0 {
+		t.Errorf("demoted shard saw %v, want no batches", got)
+	}
+}

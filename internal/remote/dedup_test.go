@@ -1,0 +1,226 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// rawProducer dials addr and completes the producer HELLO handshake with
+// raw frames, so tests can cut the connection at exact points the typed
+// client never would (e.g. between the server's commit and our ACK read).
+func rawProducer(t *testing.T, addr string) *framedConn {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetDeadline(time.Now().Add(10 * time.Second))
+	fc := newFramedConn(c, DefaultMaxPayload)
+	if err := fc.write(KindHello, AppendHello(nil, Hello{Role: RoleProducer})); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fc.read()
+	if err != nil || f.Kind != KindAck {
+		t.Fatalf("lease ACK = (%v, %v)", f.Kind, err)
+	}
+	return fc
+}
+
+// drainAll pulls tasks from the shard until two consecutive empty polls,
+// returning every body seen (duplicates included — that is the point).
+func drainAll(t *testing.T, addr string) []string {
+	t.Helper()
+	w, err := DialWorker(addr, WorkerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	var got []string
+	empty := 0
+	for deadline := time.Now().Add(10 * time.Second); empty < 2; {
+		if time.Now().After(deadline) {
+			t.Fatalf("drain did not settle; got %d tasks", len(got))
+		}
+		bodies, err := w.GetBatch(64, 30*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bodies) == 0 {
+			empty++
+			continue
+		}
+		empty = 0
+		for _, b := range bodies {
+			got = append(got, string(b))
+		}
+	}
+	return got
+}
+
+// ackLossRetry publishes one batch, waits for the shard to commit it,
+// cuts the connection before reading the ACK (the lost-ACK scenario),
+// then reconnects and retries the SAME (token, seq). It returns every
+// task body that subsequently drains from the shard.
+func ackLossRetry(t *testing.T, srv *Server, n int) []string {
+	t.Helper()
+	batch := Batch{Tasks: make([][]byte, n)}
+	for i := range batch.Tasks {
+		batch.Tasks[i] = []byte(fmt.Sprintf("task-%02d", i))
+	}
+	req := AppendPutReq(nil, PutReq{Token: 0xabcdef, Seq: 1, B: batch})
+
+	fc := rawProducer(t, srv.Addr())
+	if err := fc.write(KindPutBatch, req); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the insert to commit server-side, then sever WITHOUT
+	// reading the ACK: from the client's view the outcome is unknown.
+	for deadline := time.Now().Add(5 * time.Second); srv.TelemetrySnapshot().Ops.Puts == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("first PUT_BATCH never committed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fc.Close()
+
+	// The retry the typed client would issue: same token, same seq.
+	fc2 := rawProducer(t, srv.Addr())
+	defer fc2.Close()
+	f, err := roundTrip(fc2, KindPutBatch, req)
+	if err != nil {
+		t.Fatalf("retry round-trip: %v", err)
+	}
+	if f.Kind != KindAck {
+		t.Fatalf("retry answered %v, want ACK", f.Kind)
+	}
+	a, err := DecodeAck(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.A != uint64(n) {
+		t.Errorf("retry ACK accepted %d, want %d (the replayed original)", a.A, n)
+	}
+	return drainAll(t, srv.Addr())
+}
+
+// TestDedupAckLossRetryExactlyOnce is the acceptance regression for the
+// idempotency window: sever between commit and ACK, retry the same
+// sequence — exactly one copy of the batch must be delivered, and the
+// replay must be visible in telemetry. The mirror arm proves the test
+// has teeth: with dedup disabled the same retry double-publishes.
+func TestDedupAckLossRetryExactlyOnce(t *testing.T) {
+	const n = 8
+	srv, err := NewServer("127.0.0.1:0", Options{Lanes: 2, House: 1, MaxWorkers: 2, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	got := ackLossRetry(t, srv, n)
+	if len(got) != n {
+		t.Fatalf("delivered %d tasks, want exactly %d (dedup on)", len(got), n)
+	}
+	seen := map[string]bool{}
+	for _, b := range got {
+		if seen[b] {
+			t.Fatalf("task %q delivered twice", b)
+		}
+		seen[b] = true
+	}
+	snap := srv.TelemetrySnapshot()
+	if snap.RemoteDedupHits < 1 {
+		t.Errorf("salsa_remote_dedup_hits_total = %d, want >= 1", snap.RemoteDedupHits)
+	}
+	if snap.RemoteReconnects < 1 {
+		t.Errorf("salsa_remote_reconnects_total = %d, want >= 1", snap.RemoteReconnects)
+	}
+}
+
+func TestDedupDisabledDoublePublishes(t *testing.T) {
+	const n = 8
+	srv, err := NewServer("127.0.0.1:0", Options{
+		Lanes: 2, House: 1, MaxWorkers: 2, DisableDedup: true, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	got := ackLossRetry(t, srv, n)
+	if len(got) != 2*n {
+		t.Fatalf("delivered %d tasks with dedup disabled, want %d — if this fails at %d, the regression test above is vacuous", len(got), 2*n, n)
+	}
+}
+
+// TestDedupWindowEviction drives one token past the per-token sequence
+// window and past the token-table capacity, checking old state is
+// forgotten (a re-sent ancient seq re-inserts — the documented bound)
+// while in-window seqs still replay.
+func TestDedupWindowEviction(t *testing.T) {
+	d := newDedupTable()
+	// In-window behavior.
+	if _, replay, recon := d.checkPut(1, 0, 100); replay || recon {
+		t.Fatalf("fresh (token, seq) flagged replay=%v recon=%v", replay, recon)
+	}
+	d.record(1, 0, 5)
+	if n, replay, _ := d.checkPut(1, 0, 100); !replay || n != 5 {
+		t.Fatalf("recorded seq: replay=%v n=%d, want true, 5", replay, n)
+	}
+	// Push seq 0 out of the window.
+	for seq := uint64(1); seq <= dedupSeqWindow; seq++ {
+		d.record(1, seq, 1)
+	}
+	if _, replay, _ := d.checkPut(1, 0, 100); replay {
+		t.Error("seq 0 still replayed after window eviction")
+	}
+	if n, replay, _ := d.checkPut(1, dedupSeqWindow, 100); !replay || n != 1 {
+		t.Errorf("newest seq: replay=%v n=%d, want true, 1", replay, n)
+	}
+	// A different connID on a known token counts as a reconnect.
+	if _, _, recon := d.checkPut(1, 7, 101); !recon {
+		t.Error("connID change not flagged as reconnect")
+	}
+	// Token-table eviction: flood with distinct tokens; the oldest go.
+	for tok := uint64(2); tok < 2+dedupTokenCap+8; tok++ {
+		d.record(tok, 0, 1)
+		d.checkPut(tok, 0, uint64(tok)) // touch, advancing the LRU clock
+	}
+	if len(d.tokens) > dedupTokenCap {
+		t.Errorf("token table holds %d entries, cap %d", len(d.tokens), dedupTokenCap)
+	}
+}
+
+// TestDrainingFenceRefusesPuts flips the draining flag directly and
+// checks the PUT_BATCH path answers the typed ErrDraining (the fence the
+// quiesce handshake relies on).
+func TestDrainingFenceRefusesPuts(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", Options{Lanes: 1, House: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	fc := rawProducer(t, srv.Addr())
+	defer fc.Close()
+	srv.draining.Store(stateDraining)
+	req := AppendPutReq(nil, PutReq{B: Batch{Tasks: [][]byte{[]byte("x")}}})
+	if _, err := roundTrip(fc, KindPutBatch, req); !errors.Is(err, ErrDraining) {
+		t.Fatalf("PUT_BATCH on a draining shard = %v, want ErrDraining", err)
+	}
+	srv.draining.Store(stateServing)
+	// New producer connections are refused at HELLO time while draining.
+	srv.draining.Store(stateDraining)
+	c, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(5 * time.Second))
+	fc2 := newFramedConn(c, DefaultMaxPayload)
+	if _, err := roundTrip(fc2, KindHello, AppendHello(nil, Hello{Role: RoleProducer})); !errors.Is(err, ErrDraining) {
+		t.Fatalf("HELLO on a draining shard = %v, want ErrDraining", err)
+	}
+}

@@ -40,6 +40,14 @@ const (
 	// CodeProtocol is ErrProtocol: the peer broke the framing contract
 	// (unexpected kind, malformed payload). The connection is closed.
 	CodeProtocol Code = 6
+	// CodeDraining is ErrDraining: the shard is quiescing and refuses
+	// new work. Producers should fail over to another shard; workers
+	// should re-join elsewhere.
+	CodeDraining Code = 7
+	// CodeUnauthorized is ErrUnauthorized: the HELLO (or QUIESCE) token
+	// did not match the shard's auth token. Terminal — retrying with
+	// the same credentials cannot succeed.
+	CodeUnauthorized Code = 8
 )
 
 // Sentinels owned by this package.
@@ -49,6 +57,12 @@ var (
 	ErrCapacity = errors.New("remote: shard capacity exhausted")
 	// ErrProtocol reports a peer that broke the framing contract.
 	ErrProtocol = errors.New("remote: protocol violation")
+	// ErrDraining reports a shard that is quiescing: it refuses new
+	// producers, workers and batches while it hands residual work to a
+	// peer.
+	ErrDraining = errors.New("remote: shard draining")
+	// ErrUnauthorized reports an auth-token mismatch at HELLO/QUIESCE.
+	ErrUnauthorized = errors.New("remote: unauthorized")
 )
 
 // codeTable pairs each code with its canonical sentinel; kept as a slice
@@ -63,6 +77,8 @@ var codeTable = []struct {
 	{CodeDeadline, context.DeadlineExceeded},
 	{CodeCapacity, ErrCapacity},
 	{CodeProtocol, ErrProtocol},
+	{CodeDraining, ErrDraining},
+	{CodeUnauthorized, ErrUnauthorized},
 }
 
 // CodeOf maps an error to its wire code. Wrapped errors match via

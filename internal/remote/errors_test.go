@@ -26,6 +26,8 @@ func TestErrorCodeMappingBothDirections(t *testing.T) {
 		{CodeDeadline, context.DeadlineExceeded},
 		{CodeCapacity, ErrCapacity},
 		{CodeProtocol, ErrProtocol},
+		{CodeDraining, ErrDraining},
+		{CodeUnauthorized, ErrUnauthorized},
 	}
 	for _, tc := range cases {
 		// Forward: error → code, bare and wrapped.

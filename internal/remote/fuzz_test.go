@@ -14,16 +14,17 @@ import (
 func FuzzDecodeFrame(f *testing.F) {
 	// Corpus: every message shape, plus the interesting rejections.
 	f.Add(AppendFrame(nil, KindHello, AppendHello(nil, Hello{Role: RoleProducer})))
-	f.Add(AppendFrame(nil, KindHello, AppendHello(nil, Hello{Role: RoleWorker})))
+	f.Add(AppendFrame(nil, KindHello, AppendHello(nil, Hello{Role: RoleWorker, Token: []byte("secret")})))
 	f.Add(AppendFrame(nil, KindAck, AppendAck(nil, Ack{A: 7, B: 3000})))
 	f.Add(AppendFrame(nil, KindErr, AppendErrMsg(nil, ErrMsg{Code: CodeKilled, Msg: "lease expired"})))
-	f.Add(AppendFrame(nil, KindPutBatch, AppendBatch(nil, Batch{Tasks: [][]byte{[]byte("a"), []byte("bc"), nil}})))
+	f.Add(AppendFrame(nil, KindPutBatch, AppendPutReq(nil, PutReq{Token: 0xfeed, Seq: 9, B: Batch{Tasks: [][]byte{[]byte("a"), []byte("bc"), nil}}})))
 	f.Add(AppendFrame(nil, KindGetBatch, AppendGetReq(nil, GetReq{Max: 256, WaitMs: 50})))
 	f.Add(AppendFrame(nil, KindTasks, AppendBatch(nil, Batch{})))
 	f.Add(AppendFrame(nil, KindSaturated, AppendSaturated(nil, SaturatedMsg{RetryAfterMs: 2})))
 	f.Add(AppendFrame(nil, KindJoin, nil))
 	f.Add(AppendFrame(nil, KindDrain, nil))
 	f.Add(AppendFrame(nil, KindPing, nil))
+	f.Add(AppendFrame(nil, KindQuiesce, AppendQuiesceReq(nil, QuiesceReq{Token: []byte("secret"), Peer: "127.0.0.1:9"})))
 	// Version skew, bad magic, truncations, hostile lengths.
 	f.Add([]byte{magic0, magic1, Version + 1, byte(KindPing), 0, 0, 0, 0})
 	f.Add([]byte{'X', 'L', Version, byte(KindPing), 0, 0, 0, 0})
@@ -38,7 +39,7 @@ func FuzzDecodeFrame(f *testing.F) {
 		big.Tasks[i] = make([]byte, rng.Intn(64))
 		rng.Read(big.Tasks[i])
 	}
-	f.Add(AppendFrame(nil, KindPutBatch, AppendBatch(nil, big)))
+	f.Add(AppendFrame(nil, KindPutBatch, AppendPutReq(nil, PutReq{Token: 1, Seq: 2, B: big})))
 
 	const fuzzMax = 1 << 16 // small cap: over-allocation would be visible as OOM/latency
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -71,9 +72,15 @@ func FuzzDecodeFrame(f *testing.F) {
 		case KindErr:
 			v, err := DecodeErrMsg(fr.Payload)
 			tre, terr = AppendErrMsg(nil, v), err
-		case KindPutBatch, KindTasks:
+		case KindPutBatch:
+			v, err := DecodePutReq(fr.Payload)
+			tre, terr = AppendPutReq(nil, v), err
+		case KindTasks:
 			v, err := DecodeBatch(fr.Payload, fr.Kind)
 			tre, terr = AppendBatch(nil, v), err
+		case KindQuiesce:
+			v, err := DecodeQuiesceReq(fr.Payload)
+			tre, terr = AppendQuiesceReq(nil, v), err
 		case KindGetBatch:
 			v, err := DecodeGetReq(fr.Payload)
 			tre, terr = AppendGetReq(nil, v), err

@@ -1,0 +1,212 @@
+package remote
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// promGauge scrapes one un-labeled family from a Prometheus text
+// exposition endpoint.
+func promGauge(t *testing.T, url, family string) float64 {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("scrape %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, family+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(line, family+" "), 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("family %s not found at %s", family, url)
+	return 0
+}
+
+// TestQuiesceHandoffExactlyOnce covers the drain/quiesce acceptance
+// path: a shard with residual tasks and live producer traffic drains
+// into a peer with zero tasks lost and zero duplicated, while late
+// producers are fenced with the typed ErrDraining. Every accepted task
+// (pre-fence and racing) must surface exactly once on the peer.
+func TestQuiesceHandoffExactlyOnce(t *testing.T) {
+	srv0, err := NewServer("127.0.0.1:0", Options{
+		Lanes: 2, House: 1, MaxWorkers: 2, QuiesceTimeout: 30 * time.Second, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv0.Close()
+	srv1, err := NewServer("127.0.0.1:0", Options{
+		Lanes: 2, House: 1, MaxWorkers: 2, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv1.Close()
+	web := httptest.NewServer(srv0.Handler())
+	defer web.Close()
+
+	// Seed the shard with a known residue.
+	pr, err := DialProducer([]string{srv0.Addr()}, ProducerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seeded = 200
+	var accepted sync.Map // body -> struct{}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	for i := 0; i < seeded; i += 50 {
+		batch := make([][]byte, 50)
+		for j := range batch {
+			batch[j] = []byte(fmt.Sprintf("seed-%03d", i+j))
+		}
+		if err := pr.Produce(ctx, batch); err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range batch {
+			accepted.Store(string(b), struct{}{})
+		}
+	}
+	pr.Close()
+
+	// A racing producer keeps publishing until the fence refuses it;
+	// every batch it gets ACKed must also arrive exactly once.
+	raceDone := make(chan int, 1)
+	go func() {
+		n := 0
+		defer func() { raceDone <- n }()
+		rp, err := DialProducer([]string{srv0.Addr()}, ProducerOptions{})
+		if err != nil {
+			return
+		}
+		defer rp.Close()
+		for i := 0; ; i++ {
+			body := fmt.Sprintf("race-%04d", i)
+			sent, err := rp.TryProduce([][]byte{[]byte(body)})
+			if sent == 1 {
+				accepted.Store(body, struct{}{})
+				n++
+			}
+			if err != nil {
+				return // fenced (ErrDraining) or saturated past retries
+			}
+		}
+	}()
+
+	time.Sleep(10 * time.Millisecond) // let the racer commit some traffic
+	moved, err := srv0.Quiesce(srv1.Addr())
+	if err != nil {
+		t.Fatalf("Quiesce: %v", err)
+	}
+	raced := <-raceDone
+	want := 0
+	accepted.Range(func(any, any) bool { want++; return true })
+	t.Logf("quiesce moved %d tasks (%d seeded + %d raced accepted)", moved, seeded, raced)
+	if moved != int64(want) {
+		t.Errorf("handoff moved %d tasks, want %d", moved, want)
+	}
+
+	// The drained shard must refuse everything from now on.
+	if _, err := DialProducer([]string{srv0.Addr()}, ProducerOptions{}); !errors.Is(err, ErrDraining) {
+		t.Errorf("DialProducer post-quiesce = %v, want ErrDraining", err)
+	}
+	if _, err := DialWorker(srv0.Addr(), WorkerOptions{}); !errors.Is(err, ErrDraining) {
+		t.Errorf("DialWorker post-quiesce = %v, want ErrDraining", err)
+	}
+	if _, err := srv0.Quiesce(srv1.Addr()); !errors.Is(err, ErrDraining) {
+		t.Errorf("second Quiesce = %v, want ErrDraining", err)
+	}
+
+	// Every accepted task must drain from the peer exactly once.
+	got := drainAll(t, srv1.Addr())
+	if len(got) != want {
+		t.Fatalf("peer delivered %d tasks, want %d", len(got), want)
+	}
+	for _, b := range got {
+		if _, ok := accepted.LoadAndDelete(b); !ok {
+			t.Fatalf("peer delivered %q: duplicate or never accepted", b)
+		}
+	}
+
+	// The handoff must be visible in the exposition the operator scrapes.
+	if v := promGauge(t, web.URL+"/metrics", "salsa_remote_handoff_tasks_total"); v != float64(moved) {
+		t.Errorf("salsa_remote_handoff_tasks_total = %v, want %d", v, moved)
+	}
+	if snap := srv0.TelemetrySnapshot(); snap.RemoteHandoffTasks != moved {
+		t.Errorf("RemoteHandoffTasks = %d, want %d", snap.RemoteHandoffTasks, moved)
+	}
+}
+
+// TestQuiesceFailureReturnsToService: with residual tasks and no peer,
+// quiesce must fail — and the shard must serve producers again.
+func TestQuiesceFailureReturnsToService(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", Options{Lanes: 1, House: 1, Logf: t.Logf}) // MaxWorkers default
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	pr, err := DialProducer([]string{srv.Addr()}, ProducerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pr.TryProduce([][]byte{[]byte("stuck")}); err != nil {
+		t.Fatal(err)
+	}
+	pr.Close()
+
+	if _, err := srv.Quiesce(""); err == nil {
+		t.Fatal("Quiesce with residual tasks and no peer succeeded")
+	}
+	// Back in service: a fresh producer round-trips.
+	pr2, err := DialProducer([]string{srv.Addr()}, ProducerOptions{})
+	if err != nil {
+		t.Fatalf("DialProducer after failed quiesce: %v", err)
+	}
+	defer pr2.Close()
+	if n, err := pr2.TryProduce([][]byte{[]byte("alive")}); n != 1 || err != nil {
+		t.Fatalf("TryProduce after failed quiesce = (%d, %v)", n, err)
+	}
+}
+
+// TestQuiesceWire drives the drain over the wire (the KindQuiesce admin
+// frame) including the auth gate, against an empty shard.
+func TestQuiesceWire(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", Options{
+		Lanes: 1, House: 1, AuthToken: "shard-secret", Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if _, err := Quiesce(srv.Addr(), "", "wrong", 5*time.Second); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("QUIESCE with bad token = %v, want ErrUnauthorized", err)
+	}
+	moved, err := Quiesce(srv.Addr(), "", "shard-secret", 10*time.Second)
+	if err != nil {
+		t.Fatalf("QUIESCE: %v", err)
+	}
+	if moved != 0 {
+		t.Errorf("empty shard moved %d tasks", moved)
+	}
+	if !srv.isDraining() {
+		t.Error("shard not draining after wire QUIESCE")
+	}
+}

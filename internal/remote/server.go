@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"crypto/subtle"
 	"fmt"
 	"net"
 	"net/http"
@@ -57,6 +58,23 @@ type Options struct {
 	// answers an empty TASKS frame at the deadline, so a waiting worker
 	// keeps producing lease-refreshing traffic. Default 1s.
 	MaxWait time.Duration
+	// AuthToken, when non-empty, is the shared secret every HELLO (and
+	// QUIESCE) must carry; mismatches are refused with CodeUnauthorized.
+	// Comparison is constant-time. Empty runs the shard open.
+	AuthToken string
+	// DisableDedup turns off the PUT_BATCH idempotency window, so a
+	// retry after a lost ACK double-publishes. Exists for tests that
+	// must demonstrate the window has teeth; never set it in service.
+	DisableDedup bool
+	// QuiesceTimeout bounds a QUIESCE drain; past it the handoff fails
+	// and the shard returns to service. Default 60s.
+	QuiesceTimeout time.Duration
+	// FlightBase forwards to salsa.Config.FlightBase: the flight-recorder
+	// actor-id offset for this shard's pool. Required when several shards
+	// share one process (the recorder is process-global and per-actor
+	// rings are single-writer); each shard needs a disjoint range of
+	// House+MaxWorkers+1 consumer ids and Lanes+1 producer ids.
+	FlightBase int
 	// Logf, when non-nil, receives one line per membership-affecting
 	// event (joins, drains, lease expiries, kills).
 	Logf func(format string, args ...any)
@@ -86,6 +104,9 @@ func (o *Options) defaults() {
 	}
 	if o.MaxWait <= 0 {
 		o.MaxWait = time.Second
+	}
+	if o.QuiesceTimeout <= 0 {
+		o.QuiesceTimeout = 60 * time.Second
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
@@ -125,6 +146,28 @@ type Server struct {
 	frames        [kindCount]atomic.Int64
 	saturated     atomic.Int64
 	leasesExpired atomic.Int64
+	reconnects    atomic.Int64
+	dedupHits     atomic.Int64
+	handoffTasks  atomic.Int64
+
+	// dedup is the PUT_BATCH idempotency window (nil when disabled).
+	dedup   *dedupTable
+	connSeq atomic.Uint64 // connection ids for reconnect counting
+
+	// workerJoins is the lifetime JOIN budget. The pool's MaxConsumers
+	// no longer enforces it directly (one consumer slot is reserved for
+	// the quiesce drainer), so the server gates joins itself.
+	workerJoins atomic.Int64
+
+	// draining flips when a QUIESCE arrives: producer lanes, joins and
+	// batches are fenced with CodeDraining while residual tasks are
+	// handed to the peer. It flips back only if the handoff fails (the
+	// shard returns to service).
+	draining     atomic.Int32 // 0 idle, 1 draining, 2 drained
+	putsInFlight atomic.Int64 // PUT_BATCH inserts between fence-check and commit
+	quiesceMu    sync.Mutex
+	drainer      *salsa.Consumer[Task] // reserved-slot consumer, created once
+	reinsert     *salsa.Producer[Task] // reserved lane: failed-handoff re-insertion
 
 	mu       sync.Mutex
 	sessions map[int]*workerSession
@@ -135,17 +178,35 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
+// Draining states.
+const (
+	stateServing  int32 = 0
+	stateDraining int32 = 1
+	stateDrained  int32 = 2
+)
+
+// isDraining reports whether new work must be fenced.
+func (s *Server) isDraining() bool { return s.draining.Load() != stateServing }
+
 // NewServer builds the shard pool, binds addr (host:port; port 0 picks a
 // free one — see Addr) and starts serving.
 func NewServer(addr string, o Options) (*Server, error) {
 	o.defaults()
 	pool, err := salsa.New[Task](salsa.Config{
-		Producers:     o.Lanes,
-		Consumers:     o.House,
-		MaxConsumers:  o.House + o.MaxWorkers,
+		// One producer handle beyond the wire lanes is reserved for the
+		// quiesce sweep: tasks pulled from the pool but refused by the
+		// handoff peer are force-reinserted through it, so a failed
+		// quiesce never strands what it already swept.
+		Producers: o.Lanes + 1,
+		Consumers: o.House,
+		// One consumer slot beyond the worker budget is reserved for
+		// the quiesce drainer; the server gates worker joins itself
+		// (workerJoins) so the reserve cannot be taken by a worker.
+		MaxConsumers:  o.House + o.MaxWorkers + 1,
 		ChunkSize:     o.ChunkSize,
 		InitialChunks: o.InitialChunks,
 		Metrics:       true,
+		FlightBase:    o.FlightBase,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("remote: shard pool: %w", err)
@@ -164,9 +225,13 @@ func NewServer(addr string, o Options) (*Server, error) {
 		conns:    make(map[net.Conn]struct{}),
 		stop:     make(chan struct{}),
 	}
+	if !o.DisableDedup {
+		s.dedup = newDedupTable()
+	}
 	for i := 0; i < o.Lanes; i++ {
 		s.lanes <- pool.Producer(i)
 	}
+	s.reinsert = pool.Producer(o.Lanes)
 	s.wg.Add(2)
 	go s.acceptLoop()
 	go s.leaseLoop()
@@ -244,6 +309,10 @@ func (s *Server) handleConn(c net.Conn) {
 		return
 	}
 	s.count(f.Kind)
+	if f.Kind == KindQuiesce {
+		s.handleQuiesce(fc, f.Payload)
+		return
+	}
 	if f.Kind != KindHello {
 		s.sendErr(fc, fmt.Errorf("%w: first frame must be HELLO, got %v", ErrProtocol, f.Kind))
 		return
@@ -251,6 +320,10 @@ func (s *Server) handleConn(c net.Conn) {
 	h, err := DecodeHello(f.Payload)
 	if err != nil {
 		s.sendErr(fc, fmt.Errorf("%w: %v", ErrProtocol, err))
+		return
+	}
+	if !s.authorized(h.Token) {
+		s.sendErr(fc, fmt.Errorf("%w: bad %s token", ErrUnauthorized, h.Role))
 		return
 	}
 	switch h.Role {
@@ -261,9 +334,23 @@ func (s *Server) handleConn(c net.Conn) {
 	}
 }
 
+// authorized checks a peer token against the shard secret in constant
+// time. An open shard (no AuthToken) accepts anything.
+func (s *Server) authorized(token []byte) bool {
+	if s.o.AuthToken == "" {
+		return true
+	}
+	return subtle.ConstantTimeCompare([]byte(s.o.AuthToken), token) == 1
+}
+
 // serveProducer leases a lane to the connection and streams PUT_BATCH →
 // ACK/SATURATED until the peer drains or disconnects.
 func (s *Server) serveProducer(fc *framedConn) {
+	if s.isDraining() {
+		s.sendErr(fc, ErrDraining)
+		return
+	}
+	connID := s.connSeq.Add(1)
 	var lane *salsa.Producer[Task]
 	select {
 	case lane = <-s.lanes:
@@ -289,13 +376,40 @@ func (s *Server) serveProducer(fc *framedConn) {
 		s.count(f.Kind)
 		switch f.Kind {
 		case KindPutBatch:
-			b, err := DecodeBatch(f.Payload, KindPutBatch)
+			req, err := DecodePutReq(f.Payload)
 			if err != nil {
 				s.sendErr(fc, fmt.Errorf("%w: %v", ErrProtocol, err))
 				return
 			}
+			// Idempotent retry: a (token, seq) the shard already
+			// committed replays the original ACK instead of inserting
+			// twice — the retry after a lost ACK is the one scenario
+			// the dedup window exists for.
+			if s.dedup != nil && req.Token != 0 {
+				n, replay, recon := s.dedup.checkPut(req.Token, req.Seq, connID)
+				if recon {
+					s.reconnects.Add(1)
+				}
+				if replay {
+					s.dedupHits.Add(1)
+					if s.send(fc, KindAck, AppendAck(nil, Ack{A: n})) != nil {
+						return
+					}
+					continue
+				}
+			}
+			// Draining fence: the in-flight count makes "no more
+			// inserts" observable to Quiesce — once the flag is up and
+			// putsInFlight returns to zero, nothing else can commit.
+			s.putsInFlight.Add(1)
+			if s.isDraining() {
+				s.putsInFlight.Add(-1)
+				s.sendErr(fc, ErrDraining)
+				return
+			}
 			// Copy out of the read buffer: the pool owns accepted tasks
 			// past this request's lifetime.
+			b := req.B
 			tasks := make([]Task, len(b.Tasks))
 			ptrs := make([]*Task, len(b.Tasks))
 			for i, body := range b.Tasks {
@@ -303,12 +417,21 @@ func (s *Server) serveProducer(fc *framedConn) {
 				ptrs[i] = &tasks[i]
 			}
 			n, perr := lane.TryPutBatch(ptrs)
+			s.putsInFlight.Add(-1)
 			if n < len(ptrs) {
 				// The pool refused part or all of the run: its chunk
 				// pools are exhausted everywhere this lane reaches.
 				// Cross-shard backpressure, not an error.
 				s.saturated.Add(1)
 				_ = perr // always salsa.ErrSaturated here
+			}
+			// Record the outcome BEFORE the ACK leaves: if the ACK is
+			// lost to a cut, the retry must hit the window. Only
+			// committed outcomes are recorded — a full SATURATED
+			// refusal commits nothing, so retrying it is safe and must
+			// reach the pool again.
+			if n > 0 && s.dedup != nil && req.Token != 0 {
+				s.dedup.record(req.Token, req.Seq, uint64(n))
 			}
 			var werr error
 			if n == 0 && len(ptrs) > 0 {
@@ -344,6 +467,18 @@ func (s *Server) serveWorker(fc *framedConn, c net.Conn) {
 	s.count(f.Kind)
 	if f.Kind != KindJoin {
 		s.sendErr(fc, fmt.Errorf("%w: worker must JOIN before %v", ErrProtocol, f.Kind))
+		return
+	}
+	if s.isDraining() {
+		s.sendErr(fc, ErrDraining)
+		return
+	}
+	// Lifetime join budget: consumer ids are never reused, and the
+	// pool's MaxConsumers includes the quiesce-drainer reserve, so the
+	// server enforces MaxWorkers itself.
+	if s.workerJoins.Add(1) > int64(s.o.MaxWorkers) {
+		s.workerJoins.Add(-1)
+		s.sendErr(fc, fmt.Errorf("%w: %d worker joins", ErrCapacity, s.o.MaxWorkers))
 		return
 	}
 	cons, err := s.pool.AddConsumer()
@@ -409,7 +544,7 @@ func (s *Server) serveWorker(fc *framedConn, c net.Conn) {
 			var n int
 			for {
 				n = cons.TryGetBatch(buf[:max])
-				if n > 0 || cons.Killed() || !time.Now().Before(deadline) {
+				if n > 0 || cons.Killed() || s.isDraining() || !time.Now().Before(deadline) {
 					break
 				}
 				select {
@@ -422,6 +557,16 @@ func (s *Server) serveWorker(fc *framedConn, c net.Conn) {
 				s.sendErr(fc, fmt.Errorf("remote: consumer %d: %w", sess.id, salsa.ErrKilled))
 				return
 			}
+			if n == 0 && s.isDraining() {
+				// Quiescing: retire the consumer (its residual chunks
+				// republish for the drainer to sweep) and tell the
+				// worker to re-join elsewhere. Tasks already fetched
+				// (n > 0) are still delivered below — they are this
+				// worker's to run.
+				s.retireDraining(sess)
+				s.sendErr(fc, ErrDraining)
+				return
+			}
 			bodies = bodies[:0]
 			for _, t := range buf[:n] {
 				bodies = append(bodies, t.Body)
@@ -432,6 +577,11 @@ func (s *Server) serveWorker(fc *framedConn, c net.Conn) {
 			}
 			clear(buf[:n])
 		case KindPing:
+			if s.isDraining() {
+				s.retireDraining(sess)
+				s.sendErr(fc, ErrDraining)
+				return
+			}
 			if s.send(fc, KindAck, AppendAck(nil, Ack{})) != nil {
 				return
 			}
@@ -453,6 +603,111 @@ func (s *Server) serveWorker(fc *framedConn, c net.Conn) {
 			return
 		}
 	}
+}
+
+// retireDraining departs a worker's consumer on the quiesce path: the
+// winner of the departed flip retires it (residual chunks republish for
+// the drainer to sweep); losers — a racing lease expiry or dead-peer
+// cleanup — do nothing.
+func (s *Server) retireDraining(sess *workerSession) {
+	if sess.departed.CompareAndSwap(false, true) {
+		if err := s.pool.RetireConsumer(sess.id); err == nil {
+			s.o.Logf("remote: worker %d retired (shard draining)", sess.id)
+		}
+	}
+}
+
+// Dedup window bounds: per producer token the last dedupSeqWindow
+// committed sequence numbers are remembered; at most dedupTokenCap
+// tokens are tracked, evicting least-recently-used beyond that. Both
+// bound memory against hostile or very churny producers; an evicted
+// entry only weakens dedup for a producer that has been silent longest,
+// and only after 1024 distinct producers hit one shard.
+const (
+	dedupSeqWindow = 128
+	dedupTokenCap  = 1024
+)
+
+// putHistory is one producer token's dedup state.
+type putHistory struct {
+	connID   uint64            // last connection seen for this token
+	seqs     map[uint64]uint64 // committed seq → accepted count
+	order    []uint64          // FIFO of recorded seqs (window eviction)
+	lastUsed uint64            // logical clock for token LRU eviction
+}
+
+// dedupTable is the shard's PUT_BATCH idempotency window.
+type dedupTable struct {
+	mu     sync.Mutex
+	clock  uint64
+	tokens map[uint64]*putHistory
+}
+
+func newDedupTable() *dedupTable {
+	return &dedupTable{tokens: make(map[uint64]*putHistory)}
+}
+
+// checkPut looks up (token, seq) and reports a committed replay (with
+// the original accepted count) plus whether this connection is new for
+// the token — a reconnect, counted once per new connection at its first
+// PUT_BATCH.
+func (d *dedupTable) checkPut(token, seq, connID uint64) (accepted uint64, replay, reconnected bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.clock++
+	h := d.tokens[token]
+	if h == nil {
+		h = d.ensureLocked(token)
+		h.connID = connID
+		h.lastUsed = d.clock
+		return 0, false, false
+	}
+	h.lastUsed = d.clock
+	if h.connID != connID {
+		h.connID = connID
+		reconnected = true
+	}
+	accepted, replay = h.seqs[seq]
+	return accepted, replay, reconnected
+}
+
+// record remembers a committed (token, seq) → accepted-count outcome.
+func (d *dedupTable) record(token, seq, accepted uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.clock++
+	h := d.ensureLocked(token)
+	h.lastUsed = d.clock
+	if _, dup := h.seqs[seq]; dup {
+		return
+	}
+	if len(h.order) >= dedupSeqWindow {
+		delete(h.seqs, h.order[0])
+		h.order = h.order[1:]
+	}
+	h.seqs[seq] = accepted
+	h.order = append(h.order, seq)
+}
+
+// ensureLocked returns the token's history, creating it (and evicting
+// the least-recently-used token past the cap) as needed. Caller holds mu.
+func (d *dedupTable) ensureLocked(token uint64) *putHistory {
+	if h := d.tokens[token]; h != nil {
+		return h
+	}
+	if len(d.tokens) >= dedupTokenCap {
+		var lruTok uint64
+		var lru uint64 = ^uint64(0)
+		for t, h := range d.tokens {
+			if h.lastUsed < lru {
+				lru, lruTok = h.lastUsed, t
+			}
+		}
+		delete(d.tokens, lruTok)
+	}
+	h := &putHistory{seqs: make(map[uint64]uint64)}
+	d.tokens[token] = h
+	return h
 }
 
 // leaseLoop evicts workers whose lease expired: the consumer is killed
@@ -505,6 +760,9 @@ func (s *Server) TelemetrySnapshot() telemetry.Snapshot {
 	snap.RemoteFrames = rf
 	snap.RemoteSaturated = s.saturated.Load()
 	snap.RemoteLeasesExpired = s.leasesExpired.Load()
+	snap.RemoteReconnects = s.reconnects.Load()
+	snap.RemoteDedupHits = s.dedupHits.Load()
+	snap.RemoteHandoffTasks = s.handoffTasks.Load()
 	return snap
 }
 

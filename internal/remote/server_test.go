@@ -22,6 +22,7 @@ func TestKindString(t *testing.T) {
 		KindPutBatch: "PUT_BATCH", KindGetBatch: "GET_BATCH",
 		KindTasks: "TASKS", KindSaturated: "SATURATED",
 		KindJoin: "JOIN", KindDrain: "DRAIN", KindPing: "PING",
+		KindQuiesce: "QUIESCE",
 	}
 	for k, s := range want {
 		if k.String() != s {

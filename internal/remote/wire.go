@@ -47,7 +47,13 @@ const (
 	// Version is the protocol version carried in every frame header.
 	// There is no negotiation: a peer speaking another version is
 	// rejected with ErrVersion at the first frame.
-	Version = 1
+	//
+	// Version history:
+	//
+	//	1 — initial protocol (PR 8)
+	//	2 — HELLO carries an auth token, PUT_BATCH carries the producer
+	//	    token + sequence number for idempotent retry, QUIESCE added
+	Version = 2
 
 	// HeaderSize is the fixed frame-header length in bytes.
 	HeaderSize = 8
@@ -103,6 +109,12 @@ const (
 	// KindPing refreshes the sender's lease without moving data.
 	// Answered with ACK.
 	KindPing
+	// KindQuiesce (admin, first frame instead of HELLO) drains the
+	// shard: producer lanes are fenced with CodeDraining, residual
+	// tasks are re-published to the named peer shard, and consumers are
+	// retired. Answered with ACK (A = tasks handed off) once the shard
+	// is empty, or ERR.
+	KindQuiesce
 
 	kindCount // one past the last valid kind
 )
@@ -131,6 +143,8 @@ func (k Kind) String() string {
 		return "DRAIN"
 	case KindPing:
 		return "PING"
+	case KindQuiesce:
+		return "QUIESCE"
 	default:
 		return fmt.Sprintf("KIND_%d", uint8(k))
 	}
@@ -299,16 +313,26 @@ func (r Role) String() string {
 	}
 }
 
-// Hello is the KindHello payload.
-type Hello struct{ Role Role }
+// Hello is the KindHello payload: the peer's role plus its auth token
+// (empty when the shard runs open). The token is always present on the
+// wire — a length-prefixed byte string — so there is exactly one
+// canonical encoding per Hello value (the fuzz round-trip contract).
+type Hello struct {
+	Role  Role
+	Token []byte
+}
 
 // AppendHello appends h's wire encoding to dst.
-func AppendHello(dst []byte, h Hello) []byte { return append(dst, byte(h.Role)) }
+func AppendHello(dst []byte, h Hello) []byte {
+	dst = append(dst, byte(h.Role))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(h.Token)))
+	return append(dst, h.Token...)
+}
 
 // DecodeHello parses a KindHello payload.
 func DecodeHello(b []byte) (Hello, error) {
 	p := payloadReader{b: b}
-	h := Hello{Role: Role(p.u8())}
+	h := Hello{Role: Role(p.u8()), Token: p.bytes()}
 	if err := p.finish(KindHello); err != nil {
 		return Hello{}, err
 	}
@@ -398,6 +422,69 @@ func DecodeBatch(b []byte, kind Kind) (Batch, error) {
 		return Batch{}, err
 	}
 	return out, nil
+}
+
+// PutReq is the KindPutBatch payload: the batch plus the producer's
+// idempotency identity. Token is a random per-producer id and Seq a
+// monotonically increasing request number; together they let the shard
+// deduplicate a retry whose original ACK was lost to a connection cut
+// (the wire-level analogue of the rescue double-take, DESIGN.md §14).
+// Token 0 opts out of deduplication.
+type PutReq struct {
+	Token uint64
+	Seq   uint64
+	B     Batch
+}
+
+// AppendPutReq appends r's wire encoding to dst.
+func AppendPutReq(dst []byte, r PutReq) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, r.Token)
+	dst = binary.BigEndian.AppendUint64(dst, r.Seq)
+	return AppendBatch(dst, r.B)
+}
+
+// DecodePutReq parses a KindPutBatch payload. Task bodies alias b.
+func DecodePutReq(b []byte) (PutReq, error) {
+	p := payloadReader{b: b}
+	r := PutReq{Token: p.u64(), Seq: p.u64()}
+	if p.bad {
+		return PutReq{}, fmt.Errorf("%w: short %s payload", ErrBadFrame, KindPutBatch)
+	}
+	var err error
+	r.B, err = DecodeBatch(p.b, KindPutBatch)
+	if err != nil {
+		return PutReq{}, err
+	}
+	return r, nil
+}
+
+// QuiesceReq is the KindQuiesce payload.
+type QuiesceReq struct {
+	// Token must match the shard's auth token (always present on the
+	// wire, empty when the shard runs open): quiescing is an admin
+	// action.
+	Token []byte
+	// Peer is the shard address residual tasks are handed off to.
+	// Empty means drain-in-place is refused unless the shard is empty.
+	Peer string
+}
+
+// AppendQuiesceReq appends q's wire encoding to dst.
+func AppendQuiesceReq(dst []byte, q QuiesceReq) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(q.Token)))
+	dst = append(dst, q.Token...)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(q.Peer)))
+	return append(dst, q.Peer...)
+}
+
+// DecodeQuiesceReq parses a KindQuiesce payload.
+func DecodeQuiesceReq(b []byte) (QuiesceReq, error) {
+	p := payloadReader{b: b}
+	q := QuiesceReq{Token: p.bytes(), Peer: string(p.bytes())}
+	if err := p.finish(KindQuiesce); err != nil {
+		return QuiesceReq{}, err
+	}
+	return q, nil
 }
 
 // GetReq is the KindGetBatch payload.

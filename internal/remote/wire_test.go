@@ -13,35 +13,42 @@ import (
 // randomFrame builds a random valid (kind, payload) pair using the typed
 // encoders, so the round-trip property covers every message shape.
 func randomFrame(rng *rand.Rand) (Kind, []byte) {
-	switch rng.Intn(8) {
+	switch rng.Intn(9) {
 	case 0:
 		role := RoleProducer
 		if rng.Intn(2) == 0 {
 			role = RoleWorker
 		}
-		return KindHello, AppendHello(nil, Hello{Role: role})
+		tok := make([]byte, rng.Intn(24))
+		rng.Read(tok)
+		return KindHello, AppendHello(nil, Hello{Role: role, Token: tok})
 	case 1:
 		return KindAck, AppendAck(nil, Ack{A: rng.Uint64(), B: rng.Uint64()})
 	case 2:
-		codes := []Code{CodeUnknown, CodeSaturated, CodeKilled, CodeCanceled, CodeDeadline, CodeCapacity, CodeProtocol}
+		codes := []Code{CodeUnknown, CodeSaturated, CodeKilled, CodeCanceled, CodeDeadline, CodeCapacity, CodeProtocol, CodeDraining, CodeUnauthorized}
 		msg := make([]byte, rng.Intn(64))
 		rng.Read(msg)
 		return KindErr, AppendErrMsg(nil, ErrMsg{Code: codes[rng.Intn(len(codes))], Msg: string(msg)})
 	case 3, 4:
-		kind := KindPutBatch
-		if rng.Intn(2) == 0 {
-			kind = KindTasks
-		}
 		b := Batch{Tasks: make([][]byte, rng.Intn(20))}
 		for i := range b.Tasks {
 			b.Tasks[i] = make([]byte, rng.Intn(100))
 			rng.Read(b.Tasks[i])
 		}
-		return kind, AppendBatch(nil, b)
+		if rng.Intn(2) == 0 {
+			return KindTasks, AppendBatch(nil, b)
+		}
+		return KindPutBatch, AppendPutReq(nil, PutReq{Token: rng.Uint64(), Seq: rng.Uint64(), B: b})
 	case 5:
 		return KindGetBatch, AppendGetReq(nil, GetReq{Max: rng.Uint32(), WaitMs: rng.Uint32()})
 	case 6:
 		return KindSaturated, AppendSaturated(nil, SaturatedMsg{RetryAfterMs: rng.Uint32()})
+	case 7:
+		tok := make([]byte, rng.Intn(16))
+		rng.Read(tok)
+		peer := make([]byte, rng.Intn(32))
+		rng.Read(peer)
+		return KindQuiesce, AppendQuiesceReq(nil, QuiesceReq{Token: tok, Peer: string(peer)})
 	default:
 		kinds := []Kind{KindJoin, KindDrain, KindPing}
 		return kinds[rng.Intn(len(kinds))], nil
@@ -71,12 +78,24 @@ func decodePayload(t *testing.T, k Kind, payload []byte) []byte {
 			t.Fatalf("DecodeErrMsg: %v", err)
 		}
 		return AppendErrMsg(nil, v)
-	case KindPutBatch, KindTasks:
+	case KindPutBatch:
+		v, err := DecodePutReq(payload)
+		if err != nil {
+			t.Fatalf("DecodePutReq: %v", err)
+		}
+		return AppendPutReq(nil, v)
+	case KindTasks:
 		v, err := DecodeBatch(payload, k)
 		if err != nil {
 			t.Fatalf("DecodeBatch: %v", err)
 		}
 		return AppendBatch(nil, v)
+	case KindQuiesce:
+		v, err := DecodeQuiesceReq(payload)
+		if err != nil {
+			t.Fatalf("DecodeQuiesceReq: %v", err)
+		}
+		return AppendQuiesceReq(nil, v)
 	case KindGetBatch:
 		v, err := DecodeGetReq(payload)
 		if err != nil {

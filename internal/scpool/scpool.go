@@ -20,6 +20,10 @@ import (
 type ProducerState struct {
 	// ID is the dense producer id (0..P-1).
 	ID int
+	// FID is the flight-recorder actor id: FlightBase + ID. Several pools
+	// in one process share the global recorder with disjoint FID ranges;
+	// routing and placement always use ID.
+	FID int
 	// Node is the NUMA node the producer runs on; implementations record
 	// it as the home of chunks the producer allocates under the local
 	// allocation policy.
@@ -40,6 +44,10 @@ type ProducerState struct {
 type ConsumerState struct {
 	// ID is the dense consumer id (0..C-1).
 	ID int
+	// FID is the flight-recorder actor id: FlightBase + ID. Several pools
+	// in one process share the global recorder with disjoint FID ranges;
+	// routing, placement and stealing always use ID.
+	FID int
 	// Node is the NUMA node the consumer runs on.
 	Node int
 	// Ops gathers this consumer's operation counts.

@@ -87,6 +87,20 @@ type Snapshot struct {
 	// dead TCP peer turned into KillConsumer, whose chunks the rescue
 	// path reclaims.
 	RemoteLeasesExpired int64
+	// RemoteReconnects counts producer reconnects observed by a shard: a
+	// known dedup token arriving on a new connection.
+	RemoteReconnects int64
+	// RemoteDedupHits counts PUT_BATCH retries the dedup window answered
+	// from history — each one a double-publish prevented.
+	RemoteDedupHits int64
+	// RemoteHandoffTasks counts tasks re-published to a peer shard by
+	// the quiesce drain.
+	RemoteHandoffTasks int64
+
+	// NetchaosFaults counts injected network faults by action kind
+	// (delay, reset, blackhole, drip). Nil outside chaos harnesses; the
+	// exposition omits the family when nil.
+	NetchaosFaults map[string]int64
 }
 
 // SnapshotSource supplies snapshots to the exposition handlers. salsa.Pool
@@ -255,6 +269,28 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 		writeCounter(w, "salsa_remote_worker_leases_expired_total",
 			"Worker leases that expired: dead TCP peers turned into KillConsumer.",
 			s.RemoteLeasesExpired)
+		writeCounter(w, "salsa_remote_reconnects_total",
+			"Producer reconnects observed by the shard (a known dedup token on a new connection).",
+			s.RemoteReconnects)
+		writeCounter(w, "salsa_remote_dedup_hits_total",
+			"PUT_BATCH retries answered from the idempotency window instead of re-inserting.",
+			s.RemoteDedupHits)
+		writeCounter(w, "salsa_remote_handoff_tasks_total",
+			"Tasks re-published to a peer shard by a quiesce drain.",
+			s.RemoteHandoffTasks)
+	}
+
+	if s.NetchaosFaults != nil {
+		fmt.Fprintf(w, "# HELP salsa_netchaos_faults_total Injected network faults, by action kind.\n")
+		fmt.Fprintf(w, "# TYPE salsa_netchaos_faults_total counter\n")
+		kinds := make([]string, 0, len(s.NetchaosFaults))
+		for k := range s.NetchaosFaults {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			fmt.Fprintf(w, "salsa_netchaos_faults_total{kind=%q} %d\n", promEscape(k), s.NetchaosFaults[k])
+		}
 	}
 
 	if s.ChunkSpares != nil {

@@ -354,6 +354,10 @@ func TestRemoteExposition(t *testing.T) {
 		"salsa_remote_frames_total",
 		"salsa_remote_saturated_total",
 		"salsa_remote_worker_leases_expired_total",
+		"salsa_remote_reconnects_total",
+		"salsa_remote_dedup_hits_total",
+		"salsa_remote_handoff_tasks_total",
+		"salsa_netchaos_faults_total",
 	} {
 		if fams[name] != nil {
 			t.Errorf("family %s exposed by an in-process snapshot", name)
@@ -367,6 +371,10 @@ func TestRemoteExposition(t *testing.T) {
 	}
 	snap.RemoteSaturated = 3
 	snap.RemoteLeasesExpired = 1
+	snap.RemoteReconnects = 4
+	snap.RemoteDedupHits = 2
+	snap.RemoteHandoffTasks = 57
+	snap.NetchaosFaults = map[string]int64{"reset": 6, "blackhole": 1, "drip": 0}
 	buf.Reset()
 	telemetry.WritePrometheus(&buf, snap)
 	fams = parseExposition(t, buf.String())
@@ -395,5 +403,31 @@ func TestRemoteExposition(t *testing.T) {
 		t.Error("salsa_remote_worker_leases_expired_total missing or not a counter")
 	} else if v := f.samples["salsa_remote_worker_leases_expired_total"]; v != 1 {
 		t.Errorf("salsa_remote_worker_leases_expired_total = %v, want 1", v)
+	}
+	for name, want := range map[string]float64{
+		"salsa_remote_reconnects_total":    4,
+		"salsa_remote_dedup_hits_total":    2,
+		"salsa_remote_handoff_tasks_total": 57,
+	} {
+		if f := fams[name]; f == nil || f.typ != "counter" {
+			t.Errorf("%s missing or not a counter", name)
+		} else if v := f.samples[name]; v != want {
+			t.Errorf("%s = %v, want %v", name, v, want)
+		}
+	}
+	faults := fams["salsa_netchaos_faults_total"]
+	if faults == nil || faults.typ != "counter" {
+		t.Fatal("salsa_netchaos_faults_total missing or not a counter")
+	}
+	for kind, want := range map[string]float64{"reset": 6, "blackhole": 1, "drip": 0} {
+		key := fmt.Sprintf("salsa_netchaos_faults_total{kind=%q}", kind)
+		got, ok := faults.samples[key]
+		if !ok {
+			t.Errorf("%s missing (armed kinds must be exposed, zeros included)", key)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s = %v, want %v", key, got, want)
+		}
 	}
 }

@@ -221,6 +221,14 @@ type Config struct {
 	// disables lanes — the default, and the paper's put() semantics.
 	LaneSize int
 
+	// FlightBase offsets this pool's actor ids in the process-global
+	// flight recorder (internal/flight): producer/consumer i records as
+	// actor FlightBase+i. The recorder's per-actor rings are
+	// single-writer, so when several pools share one process (e.g. two
+	// remote shards in one binary) each must claim a disjoint id range.
+	// Zero — the default — is correct for a single pool.
+	FlightBase int
+
 	// Metrics enables the built-in telemetry collector (per-consumer
 	// steal matrices, checkEmpty tallies, producer pressure counters)
 	// and wall-clock latency sampling of Put/Get/steal into histograms.
@@ -325,6 +333,7 @@ func New[T any](cfg Config) (*Pool[T], error) {
 		Tracer:               tracer,
 		Latency:              cfg.Metrics,
 		LaneSize:             cfg.LaneSize,
+		FlightBase:           cfg.FlightBase,
 	})
 	if err != nil {
 		return nil, err
