@@ -254,10 +254,18 @@ func (r *ring) record(ts int64, kind Kind, a uint64, b, c int32) {
 
 // recordShared appends one event from any goroutine: the cursor is an
 // atomic fetch-add instead of the owner-local counter. Two writers a full
-// ring apart can collide on a slot; the torn slot fails snapshot's seq
-// re-check and is skipped, never misread. Used for the control ring,
-// whose writers span every pool sharing the process recorder — cold path
-// (membership events only), so the RMW is irrelevant.
+// ring apart can collide on a slot; in most interleavings the torn slot
+// fails snapshot's seq re-check and is skipped. The check is not
+// airtight: if both writers invalidate, then both store their payload
+// words, and one finally publishes its seq over the other's payload
+// (A:inv, B:inv, A:fields, B:fields, A:seq), the slot reads as stable
+// but its payload belongs to the other event — a misattributed record,
+// not a crash. Hitting it needs two concurrent membership events racing
+// exactly one full ring (RingSize events) apart, and the control ring
+// only carries rare membership transitions against a DefaultRingSize of
+// 4096 slots, so the residual window is accepted: the ring is a debug
+// artifact, and a misattributed membership record skews a dump, never
+// the pool.
 func (r *ring) recordShared(ts int64, kind Kind, a uint64, b, c int32) {
 	seq := r.sharedPos.Add(1)
 	i := ((seq - 1) & r.mask) * ringWords

@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"bytes"
 	"context"
 	cryptorand "crypto/rand"
 	"encoding/binary"
@@ -111,7 +112,8 @@ type ProducerOptions struct {
 	// Retries is how many times one insertion attempt survives a
 	// transport error on the same shard (reconnect + re-send under the
 	// SAME sequence number, so the shard's dedup window collapses the
-	// ambiguity). Default 2.
+	// ambiguity). 0 means the default of 2; negative means no retries
+	// (a single attempt per shard per pass).
 	Retries int
 	// DialRetries bounds extra attempts per shard during DialProducer
 	// itself. Default 0: a dead shard fails the dial, as before.
@@ -156,6 +158,21 @@ type Producer struct {
 	token uint64
 	seq   uint64
 
+	// pend is the producer's unresolved insertion, if any (enc == nil
+	// means none): a PUT_BATCH whose retry budget ran out after at least
+	// one complete frame went out, so its outcome on shard si is
+	// unknown. Until it resolves — the IDENTICAL bytes re-sent to the
+	// SAME shard and answered, where the dedup window replays the ACK
+	// if the lost frame had committed — its tasks must not be offered
+	// anywhere else: re-routing them under a fresh sequence number is
+	// exactly the silent double-insert the window exists to prevent.
+	pend struct {
+		si  int    // shard index the frame is pinned to
+		seq uint64 // sequence number the frame carries
+		n   int    // task count in the frame
+		enc []byte // the exact encoded frame; nil: nothing pending
+	}
+
 	reconnects int64
 
 	// retryAfter is the most recent backpressure hint, surfaced after a
@@ -189,6 +206,8 @@ func DialProducer(addrs []string, o ProducerOptions) (*Producer, error) {
 	}
 	if o.Retries == 0 {
 		o.Retries = 2
+	} else if o.Retries < 0 {
+		o.Retries = 0 // "no retries": exactly one attempt per shard
 	}
 	p := &Producer{home: o.Home, policy: o.Policy, o: o, token: newPutToken()}
 	seed := o.BackoffSeed
@@ -265,17 +284,43 @@ func (p *Producer) demote(st *shardState) {
 	st.probeAt = time.Now().Add(st.bo.Next())
 }
 
-// putShard sends one PUT_BATCH for remaining to the shard, reconnecting
-// and re-sending under the SAME sequence number across transport errors
-// (the shard's dedup window makes the retry idempotent). Returns the
-// accepted count; err is salsa.ErrSaturated for a saturation refusal,
-// ErrDraining for a quiescing shard, or the final transport error once
-// the retry budget is spent (the shard is demoted by then).
-func (p *Producer) putShard(st *shardState, remaining [][]byte) (int, error) {
-	seq := p.seq
-	p.seq++
-	p.enc = AppendPutReq(p.enc[:0], PutReq{Token: p.token, Seq: seq, B: Batch{Tasks: remaining}})
+// putOutcome classifies one putFrame call for the idempotency machinery.
+type putOutcome int
+
+const (
+	// putAnswered: the shard answered this frame (ACK, SATURATED, or a
+	// typed ERR). The outcome of THIS frame is known — an error here
+	// means nothing committed for it, because every refusal on the PUT
+	// path precedes the insert and the dedup check runs before the
+	// draining fence, so a committed (token, seq) always replays its
+	// ACK instead of a refusal.
+	putAnswered putOutcome = iota
+	// putNotSent: every attempt failed before a complete frame was
+	// handed to the transport (dial and write errors only — a write
+	// error means the frame never fully left, and the shard discards
+	// incomplete frames). This frame cannot have committed.
+	putNotSent
+	// putUnknown: at least one complete frame went out but no answer
+	// came back within the retry budget. The outcome is unknown.
+	putUnknown
+)
+
+// putFrame sends one already-encoded PUT_BATCH, reconnecting and
+// re-sending the SAME bytes across transport errors (the shard's dedup
+// window makes the retry idempotent). nTasks is the task count the frame
+// carries, used to bound the ACK. The outcome tells the caller whether
+// the answer (or its absence) is authoritative for this frame; on
+// putNotSent/putUnknown the shard has been demoted and err is the last
+// transport error.
+func (p *Producer) putFrame(st *shardState, enc []byte, nTasks int) (int, putOutcome, error) {
 	var lastErr error
+	sent := false
+	unknown := func() putOutcome {
+		if sent {
+			return putUnknown
+		}
+		return putNotSent
+	}
 	for attempt := 0; attempt <= p.o.Retries; attempt++ {
 		if attempt > 0 {
 			time.Sleep(st.bo.Next())
@@ -285,7 +330,7 @@ func (p *Producer) putShard(st *shardState, remaining [][]byte) (int, error) {
 				lastErr = err
 				if fatalRefusal(err) {
 					p.demote(st)
-					return 0, err
+					return 0, unknown(), err
 				}
 				continue
 			}
@@ -293,55 +338,140 @@ func (p *Producer) putShard(st *shardState, remaining [][]byte) (int, error) {
 		if p.o.OpTimeout > 0 {
 			st.fc.c.SetDeadline(time.Now().Add(p.o.OpTimeout))
 		}
-		f, err := roundTrip(st.fc, KindPutBatch, p.enc)
+		// Write and read separately: a write error means the frame was
+		// never fully handed to the transport (framedConn.write is one
+		// Write call), so it cannot have committed; only a read failure
+		// after a complete write leaves the outcome ambiguous.
+		var f Frame
+		err := st.fc.write(KindPutBatch, enc)
+		if err == nil {
+			sent = true
+			f, err = st.fc.read()
+		}
 		if p.o.OpTimeout > 0 && st.fc != nil {
 			st.fc.c.SetDeadline(time.Time{})
 		}
-		if err != nil && f.Kind != KindErr {
-			// Transport error: the outcome is unknown — the batch may
-			// or may not have committed. Reconnect and re-send the
-			// same (token, seq); the dedup window collapses the
-			// ambiguity to exactly-once.
+		if err != nil {
+			// Transport error: reconnect and re-send the same (token,
+			// seq); the dedup window collapses the ambiguity.
 			st.fc.Close()
 			st.fc = nil
 			lastErr = err
 			continue
 		}
-		if err != nil {
-			// Typed server answer: the outcome is known (nothing
-			// committed — every ERR on this path precedes the insert).
-			if errors.Is(err, ErrDraining) {
-				p.demote(st)
-			}
-			return 0, err
-		}
 		st.bo.Reset()
 		st.down = false
 		switch f.Kind {
+		case KindErr:
+			e, derr := DecodeErrMsg(f.Payload)
+			if derr != nil {
+				return 0, putAnswered, fmt.Errorf("%w: %v", ErrProtocol, derr)
+			}
+			err := e.Error()
+			if errors.Is(err, ErrDraining) {
+				p.demote(st)
+			}
+			return 0, putAnswered, err
 		case KindAck:
 			a, err := DecodeAck(f.Payload)
 			if err != nil {
-				return 0, err
+				return 0, putAnswered, fmt.Errorf("%w: %v", ErrBadFrame, err)
 			}
-			if a.A > uint64(len(remaining)) {
-				return 0, fmt.Errorf("%w: shard accepted %d of %d", ErrBadFrame, a.A, len(remaining))
+			if a.A > uint64(nTasks) {
+				return 0, putAnswered, fmt.Errorf("%w: shard accepted %d of %d", ErrBadFrame, a.A, nTasks)
 			}
-			return int(a.A), nil
+			return int(a.A), putAnswered, nil
 		case KindSaturated:
 			sat, err := DecodeSaturated(f.Payload)
 			if err != nil {
-				return 0, err
+				return 0, putAnswered, fmt.Errorf("%w: %v", ErrBadFrame, err)
 			}
 			if d := time.Duration(sat.RetryAfterMs) * time.Millisecond; d > 0 {
 				p.retryAfter = d
 			}
-			return 0, salsa.ErrSaturated
+			return 0, putAnswered, salsa.ErrSaturated
 		default:
-			return 0, fmt.Errorf("%w: %v to PUT_BATCH", ErrProtocol, f.Kind)
+			return 0, putAnswered, fmt.Errorf("%w: %v to PUT_BATCH", ErrProtocol, f.Kind)
 		}
 	}
 	p.demote(st)
-	return 0, lastErr
+	return 0, unknown(), lastErr
+}
+
+// putShard sends one PUT_BATCH for remaining to shard si under a fresh
+// sequence number. Returns the accepted count; err is salsa.ErrSaturated
+// for a saturation refusal, ErrDraining for a quiescing shard, the final
+// transport error when no complete frame ever went out (the batch is
+// free to route elsewhere), or ErrIndeterminate when a complete frame
+// went out and the retry budget died without an answer — the frame is
+// then pinned as the producer's pending insert and its tasks MUST NOT be
+// offered to another shard until a later pass resolves it.
+func (p *Producer) putShard(si int, remaining [][]byte) (int, error) {
+	st := p.shards[si]
+	seq := p.seq
+	p.seq++
+	p.enc = AppendPutReq(p.enc[:0], PutReq{Token: p.token, Seq: seq, B: Batch{Tasks: remaining}})
+	n, out, err := p.putFrame(st, p.enc, len(remaining))
+	if out == putUnknown {
+		p.pend.si = si
+		p.pend.seq = seq
+		p.pend.n = len(remaining)
+		p.pend.enc = append([]byte(nil), p.enc...)
+		return 0, fmt.Errorf("%w (shard %s: %w)", ErrIndeterminate, st.addr, err)
+	}
+	return n, err
+}
+
+// resolvePending re-offers the producer's pending insert to its shard:
+// the identical encoded frame under the pending (token, seq), so the
+// dedup window replays the original ACK if the lost frame had committed.
+// batch must re-offer the pinned tasks as its prefix (Produce's loop
+// guarantees this); a caller that re-offers different tasks has
+// abandoned the pending insert — it is dropped without a resend, since
+// its ambiguity was already surfaced when it was pinned.
+//
+// Returns the committed count of the pinned tasks and an error:
+//   - nil: resolved; batch[:n] committed on the pinned shard, the rest
+//     of the pinned tasks did not commit and may route anywhere.
+//   - salsa.ErrSaturated / ErrDraining: resolved; nothing committed,
+//     the tasks may route anywhere (the pass should continue).
+//   - ErrIndeterminate (wrapped): still unresolved; terminal for the
+//     pass, nothing may spill.
+//   - other typed errors: terminal for the pass.
+func (p *Producer) resolvePending(batch [][]byte) (int, error) {
+	st := p.shards[p.pend.si]
+	if len(batch) < p.pend.n {
+		p.pend.enc = nil // abandoned: the caller moved on
+		return 0, nil
+	}
+	p.enc = AppendPutReq(p.enc[:0], PutReq{Token: p.token, Seq: p.pend.seq, B: Batch{Tasks: batch[:p.pend.n]}})
+	if !bytes.Equal(p.enc, p.pend.enc) {
+		p.pend.enc = nil // abandoned: different tasks
+		return 0, nil
+	}
+	if st.down && time.Now().Before(st.probeAt) {
+		// Not due for a re-probe: keep the batch pinned without burning
+		// a timed-out dial, and point Produce's pacing at the probe.
+		p.retryAfter = time.Until(st.probeAt)
+		return 0, fmt.Errorf("%w (shard %s demoted until re-probe)", ErrIndeterminate, st.addr)
+	}
+	n, out, err := p.putFrame(st, p.pend.enc, p.pend.n)
+	if out != putAnswered {
+		// This call's frames may or may not have gone out, but the
+		// ORIGINAL ambiguity stands either way: only an answer from the
+		// shard resolves it.
+		return 0, fmt.Errorf("%w (shard %s: %w)", ErrIndeterminate, st.addr, err)
+	}
+	p.pend.enc = nil
+	return n, err
+}
+
+// terminalPut reports an error TryProduce must surface instead of using
+// as a routing signal: credential/protocol failures, and an unresolved
+// pinned batch (spilling it would risk a double-insert).
+func terminalPut(err error) bool {
+	return errors.Is(err, ErrUnauthorized) || errors.Is(err, ErrProtocol) ||
+		errors.Is(err, ErrBadFrame) || errors.Is(err, ErrIndeterminate)
 }
 
 // TryProduce inserts the run with one pass over the policy's shard
@@ -352,12 +482,34 @@ func (p *Producer) putShard(st *shardState, remaining [][]byte) (int, error) {
 // salsa.ErrSaturated (possibly wrapping the last shard failure) when
 // tasks remain after the pass.
 //
+// A shard failure whose outcome is unknown — the retry budget died after
+// a complete PUT_BATCH went out — does NOT spill: the batch is pinned to
+// that shard under its original (token, seq) and the pass ends with
+// ErrIndeterminate. The next TryProduce that re-offers the same tasks
+// (as Produce's loop does) first re-sends the identical frame to the
+// pinned shard, where the dedup window replays the ACK if the lost frame
+// had committed; only a resolved not-committed outcome frees the tasks
+// to route elsewhere. A caller that re-offers different tasks abandons
+// the pinned batch — its outcome stays unknown, as the earlier
+// ErrIndeterminate reported.
+//
 // To keep the API aligned with salsa.Producer.TryPutBatch, TryProduce
 // reports n: the count of tasks accepted across all shards (a prefix of
 // batch).
 func (p *Producer) TryProduce(batch [][]byte) (n int, err error) {
-	p.order = p.policy.Order(p.home, len(p.shards), p.order[:0])
 	remaining := batch
+	if p.pend.enc != nil && len(batch) > 0 {
+		k, rerr := p.resolvePending(batch)
+		remaining = remaining[k:]
+		if rerr != nil {
+			if terminalPut(rerr) {
+				return len(batch) - len(remaining), rerr
+			}
+			// Saturated / draining answer to the pinned frame: resolved
+			// as not-committed, the pass continues and may spill.
+		}
+	}
+	p.order = p.policy.Order(p.home, len(p.shards), p.order[:0])
 	now := time.Now()
 	skipProbes := true
 	allSkipped := true
@@ -380,17 +532,18 @@ func (p *Producer) TryProduce(batch [][]byte) (n int, err error) {
 		if skipProbes && st.down && now.Before(st.probeAt) {
 			continue
 		}
-		k, err := p.putShard(st, remaining)
+		k, err := p.putShard(si, remaining)
 		remaining = remaining[k:]
 		if err == nil {
 			continue
 		}
-		if errors.Is(err, ErrUnauthorized) || errors.Is(err, ErrProtocol) || errors.Is(err, ErrBadFrame) {
-			// Credential/protocol failures are not routing signals:
-			// surface them instead of burning the batch on spills.
+		if terminalPut(err) {
+			// Credential/protocol failures are not routing signals, and
+			// an ambiguous outcome pins the batch: surface both instead
+			// of burning the batch on spills.
 			return len(batch) - len(remaining), err
 		}
-		lastErr = err // saturated / draining / transport: spill onward
+		lastErr = err // saturated / draining / never-sent: spill onward
 	}
 	n = len(batch) - len(remaining)
 	if len(remaining) > 0 {
@@ -402,10 +555,13 @@ func (p *Producer) TryProduce(batch [][]byte) (n int, err error) {
 	return n, nil
 }
 
-// Produce inserts the whole run, blocking through saturation and
-// outages: every pass spills per the policy, and when no shard accepts,
-// it sleeps the shards' retry-after hint before the next pass. Returns
-// ctx.Err() if the context ends first.
+// Produce inserts the whole run, blocking through saturation, outages
+// and pinned (outcome-unknown) batches: every pass spills per the
+// policy, a pinned batch is re-offered to its shard until it resolves,
+// and when no shard accepts, it sleeps the shards' retry-after hint (or
+// the pinned shard's re-probe timer) before the next pass. Returns
+// ctx.Err() if the context ends first, or the underlying refusal when a
+// pinned batch can never resolve (credentials, protocol break).
 func (p *Producer) Produce(ctx context.Context, batch [][]byte) error {
 	remaining := batch
 	for len(remaining) > 0 {
@@ -417,7 +573,13 @@ func (p *Producer) Produce(ctx context.Context, batch [][]byte) error {
 		if err == nil {
 			continue
 		}
-		if !errors.Is(err, salsa.ErrSaturated) {
+		if errors.Is(err, ErrIndeterminate) {
+			// Resolvable by pacing unless the shard's answer can never
+			// change (bad credentials, protocol break).
+			if errors.Is(err, ErrUnauthorized) || errors.Is(err, ErrProtocol) || errors.Is(err, ErrBadFrame) {
+				return err
+			}
+		} else if !errors.Is(err, salsa.ErrSaturated) {
 			return err
 		}
 		pause := p.retryAfter

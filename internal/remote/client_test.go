@@ -13,9 +13,13 @@ import (
 
 // fakeReply scripts one PUT_BATCH response from a fakeShard.
 type fakeReply struct {
-	accept    int // ACK count (when saturated is false)
+	accept    int // ACK count (when saturated and cut are false)
 	saturated bool
 	retryMs   uint32
+	// cut records the request, then severs the connection without
+	// answering — the lost-ACK shape: the client cannot know whether
+	// the batch committed.
+	cut bool
 }
 
 // fakeShard is a scripted wire peer: it completes the producer handshake
@@ -29,6 +33,7 @@ type fakeShard struct {
 	mu      sync.Mutex
 	script  []fakeReply
 	batches [][]string
+	seqs    []uint64 // the Seq each recorded batch carried, parallel to batches
 }
 
 func newFakeShard(t *testing.T, script ...fakeReply) *fakeShard {
@@ -49,6 +54,12 @@ func (fs *fakeShard) seen() [][]string {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	return append([][]string(nil), fs.batches...)
+}
+
+func (fs *fakeShard) seenSeqs() []uint64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return append([]uint64(nil), fs.seqs...)
 }
 
 func (fs *fakeShard) next() fakeReply {
@@ -99,8 +110,12 @@ func (fs *fakeShard) handle(c net.Conn) {
 			}
 			fs.mu.Lock()
 			fs.batches = append(fs.batches, bodies)
+			fs.seqs = append(fs.seqs, req.Seq)
 			fs.mu.Unlock()
 			r := fs.next()
+			if r.cut {
+				return // sever without answering: the ACK is "lost"
+			}
 			if r.saturated {
 				if fc.write(KindSaturated, AppendSaturated(nil, SaturatedMsg{RetryAfterMs: r.retryMs})) != nil {
 					return
@@ -325,5 +340,118 @@ func TestProducerFailoverDemotesDeadShard(t *testing.T) {
 	}
 	if got := dead.seen(); len(got) != 0 {
 		t.Errorf("demoted shard saw %v, want no batches", got)
+	}
+}
+
+// TestIndeterminateDoesNotSpill is the regression for the ack-loss spill
+// hazard: when the home shard reads the PUT_BATCH and dies without
+// answering until the retry budget is gone, the outcome is unknown — the
+// batch may have committed with the ACK lost. The router must NOT
+// re-route those tasks to the next shard under a fresh sequence number
+// (that is a silent double-insert if the lost ACK had committed);
+// instead the pass ends with ErrIndeterminate and the batch stays pinned
+// to the home shard, where the next pass re-sends the IDENTICAL (token,
+// seq) so the dedup window can collapse the ambiguity.
+func TestIndeterminateDoesNotSpill(t *testing.T) {
+	home := newFakeShard(t, fakeReply{cut: true}, fakeReply{cut: true})
+	other := newFakeShard(t)
+	pr, err := DialProducer([]string{home.addr(), other.addr()}, ProducerOptions{
+		Retries: 1, BackoffSeed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+
+	batch := [][]byte{[]byte("x"), []byte("y")}
+	n, err := pr.TryProduce(batch)
+	if n != 0 || !errors.Is(err, ErrIndeterminate) {
+		t.Fatalf("TryProduce under ack-loss exhaustion = (%d, %v), want (0, ErrIndeterminate)", n, err)
+	}
+	if got := other.seen(); len(got) != 0 {
+		t.Fatalf("ambiguous batch spilled to the other shard: %v", got)
+	}
+	if got := home.seen(); len(got) != 2 {
+		t.Fatalf("home saw %d attempts, want 2 (Retries=1)", len(got))
+	}
+
+	// The home recovers (script exhausted: accept everything). Re-offering
+	// the same tasks must resolve the pinned frame on the home shard —
+	// same sequence number as every earlier attempt — and never touch the
+	// spill target. The probe timer is forced so the test needn't wait out
+	// the demotion backoff.
+	pr.shards[0].probeAt = time.Now()
+	n, err = pr.TryProduce(batch)
+	if n != 2 || err != nil {
+		t.Fatalf("resolving TryProduce = (%d, %v), want (2, nil)", n, err)
+	}
+	seqs := home.seenSeqs()
+	if len(seqs) != 3 {
+		t.Fatalf("home saw %d frames, want 3 (two cut + one resolved)", len(seqs))
+	}
+	for i, s := range seqs {
+		if s != seqs[0] {
+			t.Errorf("frame %d carried seq %d, want %d (every retry must reuse the pinned seq)", i, s, seqs[0])
+		}
+	}
+	if got := other.seen(); len(got) != 0 {
+		t.Errorf("other shard saw %v, want nothing", got)
+	}
+
+	// Once resolved, routing is back to normal: a fresh batch uses a
+	// fresh sequence number.
+	if n, err := pr.TryProduce([][]byte{[]byte("z")}); n != 1 || err != nil {
+		t.Fatalf("post-resolution TryProduce = (%d, %v)", n, err)
+	}
+	if seqs := home.seenSeqs(); seqs[len(seqs)-1] == seqs[0] {
+		t.Error("fresh batch reused the resolved pinned seq")
+	}
+}
+
+// TestProduceResolvesPinnedBatch drives the same ack-loss shape through
+// the blocking Produce loop: it must pace and re-offer the pinned frame
+// until the shard answers, never surfacing an error and never minting a
+// fresh sequence number for the ambiguous tasks.
+func TestProduceResolvesPinnedBatch(t *testing.T) {
+	fs := newFakeShard(t, fakeReply{cut: true}, fakeReply{cut: true})
+	pr, err := DialProducer([]string{fs.addr()}, ProducerOptions{
+		Retries: 1, BackoffSeed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := pr.Produce(ctx, [][]byte{[]byte("a"), []byte("b")}); err != nil {
+		t.Fatalf("Produce = %v, want nil (pinned batch resolves when the shard recovers)", err)
+	}
+	seqs := fs.seenSeqs()
+	if len(seqs) < 3 {
+		t.Fatalf("shard saw %d frames, want >= 3 (two cut + resolution)", len(seqs))
+	}
+	for i, s := range seqs {
+		if s != seqs[0] {
+			t.Errorf("frame %d carried seq %d, want %d", i, s, seqs[0])
+		}
+	}
+}
+
+// TestNegativeRetriesMeansSingleAttempt: Retries < 0 must mean "one
+// attempt, no retries" — not a zero-iteration loop that reports success
+// without ever sending a frame (the pre-fix behavior).
+func TestNegativeRetriesMeansSingleAttempt(t *testing.T) {
+	fs := newFakeShard(t)
+	pr, err := DialProducer([]string{fs.addr()}, ProducerOptions{Retries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	n, err := pr.TryProduce([][]byte{[]byte("x"), []byte("y")})
+	if n != 2 || err != nil {
+		t.Fatalf("TryProduce with Retries=-1 = (%d, %v), want (2, nil)", n, err)
+	}
+	if got := fs.seen(); len(got) != 1 {
+		t.Fatalf("shard saw %d frames, want exactly 1", len(got))
 	}
 }

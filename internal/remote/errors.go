@@ -63,6 +63,16 @@ var (
 	ErrDraining = errors.New("remote: shard draining")
 	// ErrUnauthorized reports an auth-token mismatch at HELLO/QUIESCE.
 	ErrUnauthorized = errors.New("remote: unauthorized")
+	// ErrIndeterminate reports an insertion whose outcome is unknown:
+	// the retry budget ran out after at least one complete PUT_BATCH
+	// frame was handed to the transport, so the batch may or may not
+	// have committed on its shard. The producer pins the batch to that
+	// shard under its original (token, seq) and resolves it on a later
+	// pass by re-sending the identical bytes (see Producer.TryProduce);
+	// routing the tasks anywhere else first would be the silent
+	// double-insert the dedup window exists to prevent. Client-local by
+	// definition — never a wire code.
+	ErrIndeterminate = errors.New("remote: insert outcome indeterminate")
 )
 
 // codeTable pairs each code with its canonical sentinel; kept as a slice

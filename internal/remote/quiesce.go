@@ -2,6 +2,7 @@ package remote
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -57,7 +58,12 @@ func (s *Server) workerSessionCount() int {
 //
 // On success the shard answers every later request with CodeDraining.
 // On failure (peer unreachable, deadline) the shard returns to service
-// — tasks already moved are safely at the peer, not duplicated.
+// — tasks already moved are safely at the peer, not duplicated. The one
+// exception is an abort while a handoff batch is still outcome-unknown
+// (its retry budget died after the frame may have reached the peer):
+// that batch is force-reinserted locally so nothing is lost, but it may
+// also have committed at the peer — at-least-once for that batch only,
+// and the returned error says so explicitly.
 func (s *Server) Quiesce(peer string) (moved int64, err error) {
 	s.quiesceMu.Lock()
 	defer s.quiesceMu.Unlock()
@@ -145,8 +151,14 @@ func (s *Server) Quiesce(peer string) (moved int64, err error) {
 			// TryProduce (not Produce) so the accepted prefix stays
 			// known across a mid-batch failure: only the unmoved suffix
 			// is re-inserted, and what the peer committed is never
-			// duplicated (in-shard, the idempotent retry already
-			// collapses transport ambiguity).
+			// duplicated. An ambiguous transport failure (retry budget
+			// spent, outcome unknown) surfaces as ErrIndeterminate with
+			// the batch pinned to the peer under its original sequence
+			// number; because every retry below re-offers the SAME
+			// bodies[off:] slice, the producer re-sends the identical
+			// frame and the peer's dedup window collapses the ambiguity
+			// — never a fresh sequence number for a possibly-committed
+			// batch.
 			off := 0
 			for off < n {
 				k, perr := pr.TryProduce(bodies[off:])
@@ -156,11 +168,18 @@ func (s *Server) Quiesce(peer string) (moved int64, err error) {
 				if perr == nil {
 					continue
 				}
-				if ctx.Err() != nil || fatalRefusal(perr) {
+				if ctx.Err() != nil || (fatalRefusal(perr) && !errors.Is(perr, ErrIndeterminate)) {
 					putBack(buf[off:n])
+					if errors.Is(perr, ErrIndeterminate) {
+						// The pinned batch never resolved: it may have
+						// committed at the peer AND is now back in this
+						// shard's pool. At-least-once on this one batch
+						// — surfaced here, never silent.
+						return moved, fmt.Errorf("remote: quiesce handoff aborted with an unresolved batch (possible duplicate at peer): %w", perr)
+					}
 					return moved, fmt.Errorf("remote: quiesce handoff: %w", perr)
 				}
-				select { // saturated / transient: pace and retry
+				select { // saturated / indeterminate / transient: pace and retry
 				case <-s.stop:
 					putBack(buf[off:n])
 					return moved, fmt.Errorf("remote: quiesce: %w", net.ErrClosed)
