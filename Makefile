@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-short race-churn chaos cluster-chaos dst check bench bench-smoke flight-smoke serve-smoke figures stress examples cover clean
+.PHONY: all build test race race-short race-churn chaos cluster-chaos soak dst check bench bench-smoke flight-smoke serve-smoke figures stress examples cover clean
 
 # Allowed fractional ns/op increase for the flight-recorder overhead guard
 # (bench-smoke compares the noflight and armed runs against the reference).
@@ -59,6 +59,18 @@ cluster-chaos:
 	@mkdir -p results
 	$(GO) run -race ./cmd/salsa-chaos -cluster -rounds 1 -flight-dir results
 
+# Traffic-scenario soak matrix under the race detector: salsa-loadgen
+# replays seeded open-loop arrival processes (Poisson bursts, diurnal
+# ramps, thundering herds, Zipf hotspots, heavy-tailed sizes, priority
+# floods) through the admission layer against the real pool and executor.
+# Every scenario ends in an exactly-once ledger verdict plus a
+# p50/p99/p999 + shed/admit report; a FAIL line prints the scenario seed
+# and a replay invocation that rebuilds the byte-identical schedule.
+# Results land in results/soak.csv, flight dumps on FAIL in results/.
+soak:
+	@mkdir -p results
+	$(GO) run -race ./cmd/salsa-loadgen -csv results/soak.csv -flight-dir results
+
 # Deterministic interleaving explorer over the real pool code: seeded
 # random walk plus PCT priority schedules across the whole scenario matrix
 # (internal/dst). Bounded to a few seconds; a failure prints the seed, the
@@ -69,9 +81,10 @@ dst:
 
 # The full local gate: build + vet + tests + short race pass + membership
 # churn under race + scripted chaos matrix under race + cluster fault
-# matrix under race + deterministic schedule exploration + coverage floor
-# + flight round-trip + distributed service smoke + bench smoke.
-check: build test race-short race-churn chaos cluster-chaos dst cover flight-smoke serve-smoke bench-smoke
+# matrix under race + traffic soak matrix under race + deterministic
+# schedule exploration + coverage floor + flight round-trip + distributed
+# service smoke + bench smoke.
+check: build test race-short race-churn chaos cluster-chaos soak dst cover flight-smoke serve-smoke bench-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,380 @@
+package salsa
+
+// Unit tests for the admission-control layer: token-bucket rate
+// conformance and burst discipline under a virtual clock, token
+// conservation under concurrent hammering (-race), the high-priority
+// reserved lane, and the typed shed errors. End-to-end scenario coverage
+// (thundering herds, shed-vs-queue under real load) lives in
+// internal/loadgen and soak_test.go.
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+type admJob struct{ seq int }
+
+// virtualBucket builds a bucket on an atomically advanced test clock.
+func virtualBucket(rate float64, burst, reserve int) (*tokenBucket, *atomic.Int64) {
+	var now atomic.Int64
+	cfg := AdmissionConfig{
+		Rate: rate, Burst: burst, HighReserve: reserve,
+		now: func() int64 { return now.Load() },
+	}
+	return newTokenBucket(cfg), &now
+}
+
+// TestTokenBucketRateConformance drives 100 virtual seconds of 5x
+// overload through a bucket and checks the long-run admit rate lands on
+// the configured rate (plus the initial burst) within 1%.
+func TestTokenBucketRateConformance(t *testing.T) {
+	const (
+		rate    = 1000.0
+		burst   = 50
+		seconds = 100
+	)
+	b, now := virtualBucket(rate, burst, 0)
+	admits := 0
+	for ms := 0; ms < seconds*1000; ms++ {
+		now.Add(int64(time.Millisecond))
+		for i := 0; i < 5; i++ { // 5000/s offered against 1000/s configured
+			if b.take(ClassHigh, 1) {
+				admits++
+			}
+		}
+	}
+	want := float64(rate*seconds + burst)
+	if got := float64(admits); got < want*0.99 || got > want*1.01 {
+		t.Fatalf("admitted %d tasks over %ds at rate %g (burst %d); want %.0f +/- 1%%",
+			admits, seconds, rate, burst, want)
+	}
+}
+
+// TestTokenBucketBurstCap parks the bucket idle for 1000 virtual seconds
+// and then counts instantaneous admits: exactly Burst, never one more —
+// idle time must not accumulate beyond the cap.
+func TestTokenBucketBurstCap(t *testing.T) {
+	const burst = 37
+	b, now := virtualBucket(500, burst, 0)
+	now.Add(int64(1000 * time.Second))
+	admits := 0
+	for i := 0; i < burst*3; i++ {
+		if b.take(ClassHigh, 1) {
+			admits++
+		}
+	}
+	if admits != burst {
+		t.Fatalf("instantaneous admits after long idle = %d, want exactly burst %d", admits, burst)
+	}
+}
+
+// TestTokenBucketConcurrentNoMinting hammers one bucket from 8 goroutines
+// under the real clock and bounds the total admits by rate*elapsed+burst:
+// racing refills must never mint tokens that elapsed time did not earn.
+func TestTokenBucketConcurrentNoMinting(t *testing.T) {
+	const (
+		rate  = 2000.0
+		burst = 64
+		procs = 8
+	)
+	b := newTokenBucket(AdmissionConfig{Rate: rate, Burst: burst})
+	var (
+		total atomic.Int64
+		stop  atomic.Bool
+		wg    sync.WaitGroup
+	)
+	start := time.Now()
+	for g := 0; g < procs; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if b.take(ClassHigh, 1) {
+					total.Add(1)
+				}
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start) // upper bound: covers every take
+	bound := rate*elapsed.Seconds() + burst + 1
+	if got := float64(total.Load()); got > bound {
+		t.Fatalf("concurrent admits %d exceed rate*elapsed+burst = %.1f (tokens minted under contention)",
+			total.Load(), bound)
+	}
+	if total.Load() < burst {
+		t.Fatalf("admitted %d < burst %d: bucket refused tokens it owned", total.Load(), burst)
+	}
+}
+
+// TestTokenBucketPriorityReserve checks the reserved-lane arithmetic on a
+// virtual clock: the low class drains the bucket only to the reserve
+// floor, the high class drains it to zero.
+func TestTokenBucketPriorityReserve(t *testing.T) {
+	const (
+		burst   = 10
+		reserve = 4
+	)
+	b, now := virtualBucket(100, burst, reserve)
+
+	lowAdmits := 0
+	for i := 0; i < burst*2; i++ {
+		if b.take(ClassLow, 1) {
+			lowAdmits++
+		}
+	}
+	if lowAdmits != burst-reserve {
+		t.Fatalf("low-class admits from a full bucket = %d, want burst-reserve = %d", lowAdmits, burst-reserve)
+	}
+	highAdmits := 0
+	for i := 0; i < burst; i++ {
+		if b.take(ClassHigh, 1) {
+			highAdmits++
+		}
+	}
+	if highAdmits != reserve {
+		t.Fatalf("high-class admits from the reserve = %d, want %d", highAdmits, reserve)
+	}
+	// One refilled token: low must still shed (floor), high must admit.
+	now.Add(int64(10 * time.Millisecond)) // 1 token at 100/s
+	if b.take(ClassLow, 1) {
+		t.Fatal("low class admitted out of the reserve floor")
+	}
+	if !b.take(ClassHigh, 1) {
+		t.Fatal("high class refused a refilled token")
+	}
+}
+
+// TestLowFloodCannotStarveHigh floods a shared bucket with low-priority
+// takes from 4 goroutines while a high-priority caller asks for one token
+// every 5ms; the reserve must keep nearly every high ask admissible.
+func TestLowFloodCannotStarveHigh(t *testing.T) {
+	b := newTokenBucket(AdmissionConfig{Rate: 2000, Burst: 32, HighReserve: 16})
+	var (
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				b.take(ClassLow, 1)
+			}
+		}()
+	}
+	const asks = 20
+	highAdmits := 0
+	for i := 0; i < asks; i++ {
+		time.Sleep(5 * time.Millisecond) // 10 tokens refill per ask at 2000/s
+		if b.take(ClassHigh, 1) {
+			highAdmits++
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if highAdmits < asks*3/4 {
+		t.Fatalf("high class admitted %d/%d asks under a low-priority flood; reserve failed", highAdmits, asks)
+	}
+}
+
+// TestAdmissionShedConvertsSaturation drives an undrained pool to chunk
+// exhaustion through an AdmitShed layer: the put must come back as a
+// typed ShedError matching both ErrShed and ErrSaturated, counted in the
+// admission census — not silently force-expanded.
+func TestAdmissionShedConvertsSaturation(t *testing.T) {
+	pool, err := New[admJob](Config{
+		Producers: 1, Consumers: 1,
+		ChunkSize: 8, InitialChunks: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	adm, err := NewAdmission(pool, AdmissionConfig{Policy: AdmitShed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := adm.Producer(0, ClassHigh)
+
+	var shedErr error
+	for i := 0; i < 10000; i++ {
+		if err := ap.Put(&admJob{seq: i}); err != nil {
+			shedErr = err
+			break
+		}
+	}
+	if shedErr == nil {
+		t.Fatal("no shed after 10000 puts into an undrained pool with 8-task chunks")
+	}
+	if !errors.Is(shedErr, ErrShed) {
+		t.Fatalf("shed error %v does not match ErrShed", shedErr)
+	}
+	if !errors.Is(shedErr, ErrSaturated) {
+		t.Fatalf("saturation shed %v does not match ErrSaturated", shedErr)
+	}
+	var se *ShedError
+	if !errors.As(shedErr, &se) || se.Reason != ShedSaturated || se.Class != ClassHigh {
+		t.Fatalf("shed error %v is not a *ShedError{high, saturated}", shedErr)
+	}
+	c := adm.Counters()
+	if c.Sheds["high"]["saturated"] == 0 {
+		t.Fatalf("saturation shed not counted: %+v", c.Sheds)
+	}
+	if c.Admits["high"] == 0 {
+		t.Fatal("admits before saturation not counted")
+	}
+	if got := pool.Stats().SaturatedPuts; got == 0 {
+		t.Fatal("pool-level SaturatedPuts counter did not move")
+	}
+}
+
+// TestAdmissionQueueTimeoutBounded: against the same saturated pool, the
+// queue policy must give up within QueueTimeout (plus scheduling slack)
+// and shed with ShedQueueTimeout — bounded blocking, never a hang.
+func TestAdmissionQueueTimeoutBounded(t *testing.T) {
+	pool, err := New[admJob](Config{
+		Producers: 1, Consumers: 1,
+		ChunkSize: 8, InitialChunks: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	adm, err := NewAdmission(pool, AdmissionConfig{
+		Policy:       AdmitQueue,
+		QueueTimeout: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := adm.Producer(0, ClassLow)
+
+	var shedErr error
+	start := time.Now()
+	for i := 0; i < 10000; i++ {
+		if err := ap.Put(&admJob{seq: i}); err != nil {
+			shedErr = err
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	if shedErr == nil {
+		t.Fatal("queue policy never shed against a permanently saturated pool")
+	}
+	var se *ShedError
+	if !errors.As(shedErr, &se) || se.Reason != ShedQueueTimeout {
+		t.Fatalf("expected a queue_timeout shed, got %v", shedErr)
+	}
+	if errors.Is(shedErr, ErrSaturated) {
+		t.Fatalf("queue-timeout shed %v must not match ErrSaturated", shedErr)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("queue policy blocked %v; QueueTimeout bound is broken", elapsed)
+	}
+	if adm.Counters().Sheds["low"]["queue_timeout"] == 0 {
+		t.Fatal("queue_timeout shed not counted")
+	}
+}
+
+// TestAdmissionQueueWaitAdmits: a 1-token bucket under the queue policy
+// forces the second put to wait for refill; it must admit (not shed) and
+// be counted as a queue admit.
+func TestAdmissionQueueWaitAdmits(t *testing.T) {
+	pool, err := New[admJob](Config{Producers: 1, Consumers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	adm, err := NewAdmission(pool, AdmissionConfig{
+		Rate: 100000, Burst: 1,
+		Policy:       AdmitQueue,
+		QueueTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := adm.Producer(0, ClassHigh)
+	for i := 0; i < 64; i++ {
+		if err := ap.Put(&admJob{seq: i}); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	c := adm.Counters()
+	if c.Admits["high"] != 64 {
+		t.Fatalf("admits = %d, want 64", c.Admits["high"])
+	}
+	if c.QueueAdmits == 0 {
+		t.Fatal("no queue admits counted despite a 1-token bucket")
+	}
+}
+
+// TestAdmissionBatchPartialShed: a batch that saturates mid-way reports
+// the admitted prefix length and sheds the suffix, and the admission
+// census adds up to the offered total.
+func TestAdmissionBatchPartialShed(t *testing.T) {
+	pool, err := New[admJob](Config{
+		Producers: 1, Consumers: 1,
+		ChunkSize: 8, InitialChunks: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	adm, err := NewAdmission(pool, AdmissionConfig{Policy: AdmitShed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := adm.Producer(0, ClassLow)
+
+	const offered = 4096
+	batch := make([]*admJob, 64)
+	accepted, shed := 0, 0
+	for i := 0; i < offered/len(batch); i++ {
+		for j := range batch {
+			batch[j] = &admJob{seq: i*len(batch) + j}
+		}
+		n, err := ap.PutBatch(batch)
+		accepted += n
+		if err != nil {
+			shed += len(batch) - n
+			if !errors.Is(err, ErrShed) {
+				t.Fatalf("batch shed error %v does not match ErrShed", err)
+			}
+		}
+	}
+	if shed == 0 {
+		t.Fatal("no batch suffix was ever shed against 8-task chunks")
+	}
+	c := adm.Counters()
+	if got := c.Admits["low"] + c.Sheds["low"]["saturated"]; got != offered {
+		t.Fatalf("census %d admits + %d sheds != %d offered",
+			c.Admits["low"], c.Sheds["low"]["saturated"], offered)
+	}
+	if int64(accepted) != c.Admits["low"] {
+		t.Fatalf("caller saw %d accepted, census says %d", accepted, c.Admits["low"])
+	}
+}
+
+// TestNewAdmissionValidation: the config validators reject nonsense.
+func TestNewAdmissionValidation(t *testing.T) {
+	pool, err := New[admJob](Config{Producers: 1, Consumers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if _, err := NewAdmission(pool, AdmissionConfig{Rate: -1}); err == nil {
+		t.Fatal("negative Rate accepted")
+	}
+	if _, err := NewAdmission(pool, AdmissionConfig{Rate: 10, Burst: 5, HighReserve: 5}); err == nil {
+		t.Fatal("HighReserve == Burst accepted (low class could never admit)")
+	}
+	if _, err := NewAdmission(pool, AdmissionConfig{Rate: 10, Burst: -1}); err == nil {
+		t.Fatal("negative Burst accepted")
+	}
+}

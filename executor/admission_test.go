@@ -1,0 +1,150 @@
+package executor
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"salsa"
+)
+
+// TestTrySubmitClassRateShed: with a tiny bucket and no refill to speak of,
+// a burst of class-labelled submissions admits exactly the burst and sheds
+// the rest with a typed rate rejection.
+func TestTrySubmitClassRateShed(t *testing.T) {
+	e, err := New(Config{
+		Workers: 2,
+		Admission: &salsa.AdmissionConfig{
+			Rate:  1, // ~no refill during the test
+			Burst: 8,
+		},
+		SubmitLanes: 1, // single bucket so the admit count is exact
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Shutdown(true)
+
+	var ran atomic.Int64
+	admits, sheds := 0, 0
+	for i := 0; i < 64; i++ {
+		err := e.TrySubmitClass(func() { ran.Add(1) }, salsa.ClassHigh)
+		switch {
+		case err == nil:
+			admits++
+		case errors.Is(err, salsa.ErrShed):
+			var se *salsa.ShedError
+			if !errors.As(err, &se) || se.Reason != salsa.ShedRate {
+				t.Fatalf("want ShedRate, got %v", err)
+			}
+			sheds++
+		default:
+			t.Fatalf("TrySubmitClass: %v", err)
+		}
+	}
+	if admits != 8 {
+		t.Fatalf("admits = %d, want exactly the burst (8)", admits)
+	}
+	if sheds != 56 {
+		t.Fatalf("sheds = %d, want 56", sheds)
+	}
+	c := e.AdmissionCounters()
+	if got := c.Admits["high"]; got != 8 {
+		t.Fatalf("counter admits[high] = %d, want 8", got)
+	}
+	if got := c.Sheds["high"]["rate"]; got != 56 {
+		t.Fatalf("counter sheds[high][rate] = %d, want 56", got)
+	}
+}
+
+// TestTrySubmitClassReserve: ClassLow stops at the HighReserve floor,
+// ClassHigh drains the reserved lane afterwards.
+func TestTrySubmitClassReserve(t *testing.T) {
+	e, err := New(Config{
+		Workers: 2,
+		Admission: &salsa.AdmissionConfig{
+			Rate:        1,
+			Burst:       10,
+			HighReserve: 4,
+		},
+		SubmitLanes: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Shutdown(true)
+
+	low := 0
+	for i := 0; i < 32; i++ {
+		if err := e.TrySubmitClass(func() {}, salsa.ClassLow); err == nil {
+			low++
+		}
+	}
+	if low != 6 { // burst 10 minus the reserve floor of 4
+		t.Fatalf("low admits = %d, want 6", low)
+	}
+	high := 0
+	for i := 0; i < 32; i++ {
+		if err := e.TrySubmitClass(func() {}, salsa.ClassHigh); err == nil {
+			high++
+		}
+	}
+	if high != 4 { // the reserved lane, and nothing more
+		t.Fatalf("high admits = %d, want 4", high)
+	}
+}
+
+// TestTrySubmitClassRuns: admitted class submissions execute like any other
+// task, and the executor's telemetry snapshot carries the admission census.
+func TestTrySubmitClassRuns(t *testing.T) {
+	e, err := New(Config{
+		Workers:   2,
+		Admission: &salsa.AdmissionConfig{}, // no rate limit; saturation sheds only
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int64
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := e.TrySubmitClass(func() { ran.Add(1) }, salsa.ClassHigh); err != nil {
+			t.Fatalf("TrySubmitClass: %v", err)
+		}
+	}
+	e.Shutdown(true)
+	if got := ran.Load(); got != n {
+		t.Fatalf("ran %d of %d admitted tasks", got, n)
+	}
+	s := e.TelemetrySnapshot()
+	if s.AdmissionAdmits["high"] != n {
+		t.Fatalf("snapshot admits[high] = %d, want %d", s.AdmissionAdmits["high"], n)
+	}
+}
+
+// TestTrySubmitClassErrors: no admission layer, bogus class, and shutdown
+// all surface as errors rather than panics.
+func TestTrySubmitClassErrors(t *testing.T) {
+	plain, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.TrySubmitClass(func() {}, salsa.ClassHigh); err == nil {
+		t.Fatal("want error without Config.Admission")
+	}
+	plain.Shutdown(true)
+
+	e, err := New(Config{Workers: 1, Admission: &salsa.AdmissionConfig{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.TrySubmitClass(func() {}, salsa.PriorityClass(7)); err == nil {
+		t.Fatal("want error for unknown class")
+	}
+	e.Shutdown(true)
+	if err := e.TrySubmitClass(func() {}, salsa.ClassHigh); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("after shutdown: %v, want ErrShutdown", err)
+	}
+	if c := plain.AdmissionCounters(); c.Admits != nil {
+		t.Fatalf("plain executor counters = %+v, want zero value", c)
+	}
+}

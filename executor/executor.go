@@ -61,6 +61,13 @@ type Config struct {
 	// (the worker must survive arbitrary task behaviour). Nil keeps the
 	// default count-and-continue behaviour.
 	PanicHandler func(recovered any)
+	// Admission, when non-nil, layers salsa admission control over the
+	// executor's pool: each submit lane gets a per-class AdmittedProducer
+	// sharing the lane's token bucket, and TrySubmitClass routes through
+	// it. Submit/TrySubmit/SubmitBatch stay raw (no bucket charge) — the
+	// layer applies only to class-labelled submissions, mirroring
+	// salsa.NewAdmission's contract that the pool remains usable directly.
+	Admission *salsa.AdmissionConfig
 }
 
 // Executor runs submitted tasks on an elastic worker set: workers can be
@@ -70,6 +77,7 @@ type Config struct {
 // no submitted task is lost by a resize.
 type Executor struct {
 	pool  *salsa.Pool[Task]
+	adm   *salsa.Admission[Task] // nil unless Config.Admission was set
 	lanes []lane
 	next  atomic.Uint64
 
@@ -105,7 +113,12 @@ type workerState struct {
 type lane struct {
 	mu sync.Mutex
 	p  *salsa.Producer[Task]
-	_  [40]byte // keep lanes off each other's cache lines
+	// admitted[class] is the lane's per-class admission handle (nil without
+	// Config.Admission). Both classes share the lane's token bucket — the
+	// reserved-lane priority design — and both are driven only under mu, so
+	// the underlying producer handle keeps its single-owner discipline.
+	admitted [2]*salsa.AdmittedProducer[Task]
+	_        [40]byte // keep lanes off each other's cache lines
 }
 
 // New builds and starts the executor.
@@ -138,8 +151,19 @@ func New(cfg Config) (*Executor, error) {
 		batch:   cfg.DispatchBatch,
 		onPanic: cfg.PanicHandler,
 	}
+	if cfg.Admission != nil {
+		adm, err := salsa.NewAdmission(pool, *cfg.Admission)
+		if err != nil {
+			return nil, err
+		}
+		e.adm = adm
+	}
 	for i := range e.lanes {
 		e.lanes[i].p = pool.Producer(i)
+		if e.adm != nil {
+			e.lanes[i].admitted[salsa.ClassHigh] = e.adm.Producer(i, salsa.ClassHigh)
+			e.lanes[i].admitted[salsa.ClassLow] = e.adm.Producer(i, salsa.ClassLow)
+		}
 	}
 	e.mu.Lock()
 	for w := 0; w < cfg.Workers; w++ {
@@ -382,6 +406,43 @@ func (e *Executor) TrySubmit(t Task) error {
 	return err
 }
 
+// TrySubmitClass schedules t through the executor's admission layer in the
+// given priority class: the lane's token bucket is charged (ClassLow
+// respects the HighReserve floor), pool saturation becomes a measured shed,
+// and the rejection is a *salsa.ShedError matching salsa.ErrShed (and
+// salsa.ErrSaturated for saturation sheds). Under AdmitQueue the call may
+// block up to QueueTimeout while holding its lane, so queue-policy callers
+// should size SubmitLanes to the submitting goroutine count. Returns an
+// error if Config.Admission was not set. Safe to call from any goroutine.
+func (e *Executor) TrySubmitClass(t Task, class salsa.PriorityClass) error {
+	if t == nil {
+		return errors.New("executor: nil task")
+	}
+	if e.adm == nil {
+		return errors.New("executor: no admission layer configured (set Config.Admission)")
+	}
+	if class != salsa.ClassHigh && class != salsa.ClassLow {
+		return fmt.Errorf("executor: unknown priority class %d", class)
+	}
+	if e.shutdown.Load() {
+		return ErrShutdown
+	}
+	l := &e.lanes[e.next.Add(1)%uint64(len(e.lanes))]
+	l.mu.Lock()
+	err := l.admitted[class].Put(&t)
+	l.mu.Unlock()
+	return err
+}
+
+// AdmissionCounters snapshots the admission layer's decision census (zero
+// maps when Config.Admission was not set).
+func (e *Executor) AdmissionCounters() salsa.AdmissionCounters {
+	if e.adm == nil {
+		return salsa.AdmissionCounters{}
+	}
+	return e.adm.Counters()
+}
+
 // SubmitContext schedules t, blocking under saturation with bounded
 // spin→yield→sleep backoff until the pool accepts the task, ctx is
 // cancelled (deadlines count — ctx.Err() is returned), or the executor
@@ -511,7 +572,14 @@ func (e *Executor) Stats() salsa.Stats { return e.pool.Stats() }
 // Executor therefore satisfies telemetry's SnapshotSource, so an executor
 // can be mounted directly on the metrics endpoint.
 func (e *Executor) TelemetrySnapshot() salsa.TelemetrySnapshot {
-	s := e.pool.TelemetrySnapshot()
+	var s salsa.TelemetrySnapshot
+	if e.adm != nil {
+		// Route through the admission layer so the salsa_admission_*
+		// families ride along on an admission-enabled executor's endpoint.
+		s = e.adm.TelemetrySnapshot()
+	} else {
+		s = e.pool.TelemetrySnapshot()
+	}
 	s.TaskPanics = e.panics.Load()
 	return s
 }

@@ -1,0 +1,187 @@
+package loadgen
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+)
+
+// TestScheduleDeterministic: the replay contract — same scenario + same
+// seed ⇒ byte-identical schedule log; a different seed moves it.
+func TestScheduleDeterministic(t *testing.T) {
+	for _, sc := range Matrix() {
+		a := BuildSchedule(sc, 42).Log()
+		b := BuildSchedule(sc, 42).Log()
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s: same seed produced different schedules", sc.Name)
+		}
+		c := BuildSchedule(sc, 43).Log()
+		if bytes.Equal(a, c) {
+			t.Fatalf("%s: seeds 42 and 43 produced identical schedules", sc.Name)
+		}
+	}
+}
+
+// TestPoissonMoments: the homogeneous generator's count hits λ·T within
+// sampling error, and windowed counts are Poisson-dispersed (variance ≈
+// mean), not clumped or regular.
+func TestPoissonMoments(t *testing.T) {
+	sc := Scenario{
+		Name: "moments", Producers: 1, Consumers: 1,
+		Horizon: time.Second,
+		Shape:   Shape{Kind: Poisson, Rate: 50_000},
+	}
+	s := BuildSchedule(sc, 7)
+	lambda := 50_000.0
+	n := float64(len(s.Arrivals))
+	if sigma := math.Sqrt(lambda); math.Abs(n-lambda) > 5*sigma {
+		t.Fatalf("count %v not within 5σ of λ=%v", n, lambda)
+	}
+
+	// Dispersion index over 1ms windows: Var/Mean ∈ [0.8, 1.2] for a
+	// Poisson process (≈1 exactly; the band covers sampling noise).
+	const windows = 1000
+	counts := make([]float64, windows)
+	for i := range s.Arrivals {
+		w := int(s.Arrivals[i].At / time.Millisecond)
+		if w >= windows {
+			w = windows - 1
+		}
+		counts[w]++
+	}
+	mean, varsum := 0.0, 0.0
+	for _, c := range counts {
+		mean += c
+	}
+	mean /= windows
+	for _, c := range counts {
+		varsum += (c - mean) * (c - mean)
+	}
+	variance := varsum / (windows - 1)
+	if d := variance / mean; d < 0.8 || d > 1.2 {
+		t.Fatalf("dispersion index %.3f outside [0.8, 1.2] (mean %.1f var %.1f)", d, mean, variance)
+	}
+}
+
+// TestHeavyTailCap: the Pareto sampler never exceeds the declared cap,
+// never dips below the minimum, and actually has a tail.
+func TestHeavyTailCap(t *testing.T) {
+	sc := Scenario{
+		Name: "tail", Producers: 2, Consumers: 1,
+		Horizon: 500 * time.Millisecond,
+		Shape:   Shape{Kind: Poisson, Rate: 40_000},
+		SizeMin: 100, SizeCap: 4_096, SizeAlpha: 1.1,
+	}
+	s := BuildSchedule(sc, 11)
+	if len(s.Arrivals) == 0 {
+		t.Fatal("empty schedule")
+	}
+	capped, sum := 0, 0
+	for i := range s.Arrivals {
+		sz := s.Arrivals[i].Size
+		if sz < 100 || sz > 4_096 {
+			t.Fatalf("arrival %d size %d outside [100, 4096]", i, sz)
+		}
+		if sz == 4_096 {
+			capped++
+		}
+		sum += sz
+	}
+	if capped == 0 {
+		t.Fatal("no sample hit the cap: tail not heavy enough for α=1.1")
+	}
+	if mean := float64(sum) / float64(len(s.Arrivals)); mean < 150 {
+		t.Fatalf("mean size %.1f barely above the minimum: no tail mass", mean)
+	}
+}
+
+// TestZipfSkew: rank 0 is the hotspot and the ranking is heavy enough to
+// matter (hot producer ≥ 3x the coldest).
+func TestZipfSkew(t *testing.T) {
+	sc := Scenario{
+		Name: "zipf", Producers: 8, Consumers: 1,
+		Horizon: 500 * time.Millisecond,
+		Shape:   Shape{Kind: Poisson, Rate: 40_000},
+		ZipfS:   1.25,
+	}
+	s := BuildSchedule(sc, 3)
+	hot, cold := s.PerProducer[0], s.PerProducer[7]
+	if hot <= cold*3 {
+		t.Fatalf("Zipf(1.25) skew too flat: hot %d vs cold %d", hot, cold)
+	}
+	total := 0
+	for _, n := range s.PerProducer {
+		total += n
+	}
+	if total != len(s.Arrivals) {
+		t.Fatalf("PerProducer sums to %d, schedule has %d", total, len(s.Arrivals))
+	}
+}
+
+// TestHerdSpike: the herd instant carries exactly its extra arrivals (all
+// stamped HerdAt) on top of the baseline.
+func TestHerdSpike(t *testing.T) {
+	sc := Scenario{
+		Name: "herd", Producers: 4, Consumers: 1,
+		Horizon: 100 * time.Millisecond,
+		Shape:   Shape{Kind: Herd, Rate: 1_000, HerdAt: 30 * time.Millisecond, HerdSize: 5_000},
+	}
+	s := BuildSchedule(sc, 5)
+	atSpike := 0
+	for i := range s.Arrivals {
+		if s.Arrivals[i].At == 30*time.Millisecond {
+			atSpike++
+		}
+	}
+	if atSpike < 5_000 {
+		t.Fatalf("herd instant has %d arrivals, want ≥ 5000", atSpike)
+	}
+	for i := 1; i < len(s.Arrivals); i++ {
+		if s.Arrivals[i].At < s.Arrivals[i-1].At {
+			t.Fatalf("schedule not time-sorted at %d", i)
+		}
+	}
+}
+
+// TestSeqDense: per-producer sequence numbers are dense and in time order
+// — the property that lets a replay map any ledger index back to a
+// (producer, seq) identity.
+func TestSeqDense(t *testing.T) {
+	sc := Matrix()[0]
+	s := BuildSchedule(sc, 9)
+	next := make([]int, sc.Producers)
+	for i := range s.Arrivals {
+		a := &s.Arrivals[i]
+		if a.Index != i {
+			t.Fatalf("arrival %d has Index %d", i, a.Index)
+		}
+		if a.Seq != next[a.Producer] {
+			t.Fatalf("producer %d: seq %d, want %d", a.Producer, a.Seq, next[a.Producer])
+		}
+		next[a.Producer]++
+	}
+}
+
+// TestBurstDensity: burst windows are visibly denser than troughs.
+func TestBurstDensity(t *testing.T) {
+	sc := Scenario{
+		Name: "bursts", Producers: 2, Consumers: 1,
+		Horizon: 400 * time.Millisecond,
+		Shape:   Shape{Kind: Bursts, Rate: 10_000, BurstEvery: 100 * time.Millisecond, BurstLen: 20 * time.Millisecond, BurstFactor: 6},
+	}
+	s := BuildSchedule(sc, 13)
+	inBurst, outBurst := 0, 0
+	for i := range s.Arrivals {
+		if s.Arrivals[i].At%(100*time.Millisecond) < 20*time.Millisecond {
+			inBurst++
+		} else {
+			outBurst++
+		}
+	}
+	// Burst windows are 1/5 of the horizon at 6x the rate: expected
+	// in/out ratio 6/4; demand at least parity to leave sampling room.
+	if inBurst <= outBurst {
+		t.Fatalf("burst windows not denser: %d in vs %d out", inBurst, outBurst)
+	}
+}

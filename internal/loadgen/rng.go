@@ -1,0 +1,40 @@
+// Package loadgen generates seeded, replayable traffic against the pool
+// and the executor: open-loop arrival processes (Poisson, bursts, diurnal
+// ramps, thundering herds), heavy-tailed task sizes, Zipf producer skew,
+// and priority-class mixes, driven through the admission-control layer so
+// every offered task ends the run accounted exactly once — delivered or
+// measurably shed. The same determinism discipline as the DST and netchaos
+// subsystems: one splitmix64 stream per schedule, so the same seed yields
+// a byte-identical arrival schedule (see Schedule.Log). DESIGN.md §15.
+package loadgen
+
+import "math"
+
+// rng is the repo-wide splitmix64 generator (failpoint, netchaos, and dst
+// use the same core): 64-bit state, passes BigCrush, and — unlike
+// math/rand — its sequence is a documented function of the seed, which is
+// what makes schedule replay a contract rather than a happy accident.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{s: seed} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform variate in [0, 1) with 53 bits of precision.
+func (r *rng) float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// expo returns an Exp(1) variate — the inter-arrival law of a unit-rate
+// Poisson process.
+func (r *rng) expo() float64 {
+	u := r.float64()
+	for u == 0 { // log(0) guard; probability 2^-53 per draw
+		u = r.float64()
+	}
+	return -math.Log(u)
+}

@@ -1,0 +1,186 @@
+package loadgen
+
+import (
+	"fmt"
+	"time"
+
+	"salsa"
+)
+
+// Scenario is one named traffic shape against one pool (or executor)
+// topology, with its admission policy. A scenario plus a seed fully
+// determines the arrival schedule; the run itself (which consumer gets
+// which task, exact shed counts under races) stays nondeterministic, which
+// is why the verdict is an accounting identity — every offered task
+// delivered or shed exactly once — rather than a golden trace.
+type Scenario struct {
+	Name  string
+	Notes string
+
+	Producers int
+	Consumers int
+	// ChunkSize/InitialChunks forward to salsa.Config (0 = defaults);
+	// saturation scenarios shrink them to make ErrSaturated reachable.
+	ChunkSize     int
+	InitialChunks int
+
+	// Horizon is the schedule length; the run lasts the horizon plus
+	// drain time.
+	Horizon time.Duration
+	Shape   Shape
+
+	// ZipfS skews arrivals across producers (rank 0 hottest); 0 =
+	// uniform.
+	ZipfS float64
+
+	// SizeMin/SizeCap/SizeAlpha define the task-size law: fixed SizeMin
+	// when SizeAlpha is 0, else Pareto(SizeAlpha) scaled by SizeMin and
+	// capped at SizeCap. Sizes are consumer spin iterations.
+	SizeMin   int
+	SizeCap   int
+	SizeAlpha float64
+
+	// HighFrac is the probability an arrival is ClassHigh.
+	HighFrac float64
+
+	// Admission is the layer in front of the pool. Zero Rate = no rate
+	// limiting (saturation sheds still count).
+	Admission salsa.AdmissionConfig
+
+	// UseExecutor drives the executor path (TrySubmitClass over worker
+	// goroutines) instead of raw pool producers/consumers.
+	UseExecutor bool
+
+	// LossBudget is the ledger's tolerated loss; 0 demands exactly-once.
+	LossBudget int64
+
+	// Cheap marks the scenario as short-mode eligible (the TestSoak
+	// quick pair).
+	Cheap bool
+}
+
+// Matrix is the soak suite: nine scenarios spanning the arrival-process
+// grammar, both shed policies, both drive paths, and the saturation and
+// priority regimes. Every scenario must end in an exactly-once verdict.
+func Matrix() []Scenario {
+	return []Scenario{
+		{
+			Name:      "steady-poisson",
+			Notes:     "symmetric baseline: homogeneous Poisson, no admission limits",
+			Producers: 4, Consumers: 4,
+			Horizon: 150 * time.Millisecond,
+			Shape:   Shape{Kind: Poisson, Rate: 80_000},
+			SizeMin: 64,
+			Cheap:   true,
+		},
+		{
+			Name:      "poisson-burst",
+			Notes:     "6x bursts against a per-producer rate cap: bursts shed, troughs refill",
+			Producers: 4, Consumers: 4,
+			Horizon: 200 * time.Millisecond,
+			Shape:   Shape{Kind: Bursts, Rate: 30_000, BurstEvery: 50 * time.Millisecond, BurstLen: 10 * time.Millisecond, BurstFactor: 6},
+			SizeMin: 64,
+			Admission: salsa.AdmissionConfig{
+				Rate:  12_000, // per producer: above the 7.5k/s baseline share, below burst peaks
+				Burst: 256,
+			},
+		},
+		{
+			Name:      "diurnal-ramp",
+			Notes:     "compressed day: rate triangles to 4x and back, no limits",
+			Producers: 4, Consumers: 4,
+			Horizon: 200 * time.Millisecond,
+			Shape:   Shape{Kind: Ramp, Rate: 20_000, PeakRate: 80_000},
+			SizeMin: 64,
+		},
+		{
+			Name:      "thundering-herd",
+			Notes:     "8k tasks at one instant on tiny chunk capacity: saturation becomes measured sheds",
+			Producers: 4, Consumers: 2,
+			ChunkSize: 16, InitialChunks: 1,
+			Horizon: 120 * time.Millisecond,
+			Shape:   Shape{Kind: Herd, Rate: 5_000, HerdAt: 20 * time.Millisecond, HerdSize: 8_000},
+			SizeMin: 512,
+			Cheap:   true,
+		},
+		{
+			Name:      "zipf-hotspot",
+			Notes:     "Zipf(1.25) producer skew: the hot producer's pools overflow into the steal path",
+			Producers: 8, Consumers: 4,
+			Horizon: 200 * time.Millisecond,
+			Shape:   Shape{Kind: Poisson, Rate: 60_000},
+			ZipfS:   1.25,
+			SizeMin: 64,
+		},
+		{
+			Name:      "heavy-tail-sizes",
+			Notes:     "Pareto(1.1) task sizes capped at 64k spins: elephants behind mice",
+			Producers: 4, Consumers: 4,
+			Horizon: 200 * time.Millisecond,
+			Shape:   Shape{Kind: Poisson, Rate: 25_000},
+			SizeMin: 128, SizeCap: 65_536, SizeAlpha: 1.1,
+		},
+		{
+			Name:      "priority-flood",
+			Notes:     "low-class flood against a HighReserve lane: high admits survive the flood",
+			Producers: 4, Consumers: 4,
+			Horizon:  200 * time.Millisecond,
+			Shape:    Shape{Kind: Poisson, Rate: 60_000},
+			HighFrac: 0.10,
+			SizeMin:  64,
+			Admission: salsa.AdmissionConfig{
+				Rate:        8_000,
+				Burst:       128,
+				HighReserve: 32,
+			},
+		},
+		{
+			Name:      "saturating-flood",
+			Notes:     "offered load far above tiny chunk capacity, no rate limit: pure ErrSaturated conversion",
+			Producers: 4, Consumers: 2,
+			ChunkSize: 8, InitialChunks: 1,
+			Horizon: 150 * time.Millisecond,
+			Shape:   Shape{Kind: Poisson, Rate: 120_000},
+			SizeMin: 1_024,
+		},
+		{
+			Name:      "executor-queue-mix",
+			Notes:     "everything at once, executor path: bursts, skew, heavy tails, classes, queue policy",
+			Producers: 4, Consumers: 4,
+			Horizon: 200 * time.Millisecond,
+			Shape:   Shape{Kind: Bursts, Rate: 20_000, BurstEvery: 60 * time.Millisecond, BurstLen: 15 * time.Millisecond, BurstFactor: 4},
+			ZipfS:   0.8,
+			SizeMin: 64, SizeCap: 16_384, SizeAlpha: 1.3,
+			HighFrac: 0.25,
+			Admission: salsa.AdmissionConfig{
+				Rate:         15_000,
+				Burst:        512,
+				HighReserve:  64,
+				Policy:       salsa.AdmitQueue,
+				QueueTimeout: 2 * time.Millisecond,
+			},
+			UseExecutor: true,
+		},
+	}
+}
+
+// ByName returns the matrix scenario with the given name.
+func ByName(name string) (Scenario, error) {
+	for _, sc := range Matrix() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("loadgen: unknown scenario %q", name)
+}
+
+// ShortMatrix is the cheap pair TestSoak runs in -short mode.
+func ShortMatrix() []Scenario {
+	var out []Scenario
+	for _, sc := range Matrix() {
+		if sc.Cheap {
+			out = append(out, sc)
+		}
+	}
+	return out
+}

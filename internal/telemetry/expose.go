@@ -101,6 +101,27 @@ type Snapshot struct {
 	// (delay, reset, blackhole, drip). Nil outside chaos harnesses; the
 	// exposition omits the family when nil.
 	NetchaosFaults map[string]int64
+
+	// AdmissionAdmits counts tasks admitted by an admission-control
+	// layer, keyed by priority class ("high", "low"). Nil for pools
+	// without one — only salsa.Admission.TelemetrySnapshot fills the
+	// Admission* fields, and the exposition omits the families when nil.
+	AdmissionAdmits map[string]int64
+	// AdmissionSheds counts tasks rejected by admission control, keyed
+	// "class/reason" (reason ∈ rate, saturated, queue_timeout).
+	AdmissionSheds map[string]int64
+	// AdmissionQueueAdmits counts queue-policy inserts that waited at
+	// least one backoff pause before fully admitting.
+	AdmissionQueueAdmits int64
+
+	// LoadgenOffered counts arrivals offered by the scenario load
+	// generator (internal/loadgen), keyed by priority class. Nil outside
+	// loadgen runs; the exposition omits the families when nil.
+	LoadgenOffered map[string]int64
+	// LoadgenLateArrivals counts arrivals the open-loop driver fired
+	// more than its lateness tolerance behind the seeded schedule — the
+	// generator-fidelity signal (a saturated host, not the pool).
+	LoadgenLateArrivals int64
 }
 
 // SnapshotSource supplies snapshots to the exposition handlers. salsa.Pool
@@ -278,6 +299,57 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 		writeCounter(w, "salsa_remote_handoff_tasks_total",
 			"Tasks re-published to a peer shard by a quiesce drain.",
 			s.RemoteHandoffTasks)
+	}
+
+	// Admission-control decision census, present only behind a
+	// salsa.Admission layer: admits by class, sheds by class and reason,
+	// and the queue-wait tally.
+	if s.AdmissionAdmits != nil {
+		fmt.Fprintf(w, "# HELP salsa_admission_admits_total Tasks admitted by admission control, by priority class.\n")
+		fmt.Fprintf(w, "# TYPE salsa_admission_admits_total counter\n")
+		classes := make([]string, 0, len(s.AdmissionAdmits))
+		for k := range s.AdmissionAdmits {
+			classes = append(classes, k)
+		}
+		sort.Strings(classes)
+		for _, k := range classes {
+			fmt.Fprintf(w, "salsa_admission_admits_total{class=%q} %d\n", promEscape(k), s.AdmissionAdmits[k])
+		}
+		fmt.Fprintf(w, "# HELP salsa_admission_sheds_total Tasks rejected by admission control, by priority class and reason.\n")
+		fmt.Fprintf(w, "# TYPE salsa_admission_sheds_total counter\n")
+		keys := make([]string, 0, len(s.AdmissionSheds))
+		for k := range s.AdmissionSheds {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			class, reason := k, ""
+			if i := strings.IndexByte(k, '/'); i >= 0 {
+				class, reason = k[:i], k[i+1:]
+			}
+			fmt.Fprintf(w, "salsa_admission_sheds_total{class=%q,reason=%q} %d\n",
+				promEscape(class), promEscape(reason), s.AdmissionSheds[k])
+		}
+		writeCounter(w, "salsa_admission_queue_admits_total",
+			"Queue-policy inserts that waited at least one backoff pause before admitting.",
+			s.AdmissionQueueAdmits)
+	}
+
+	// Load-generator census, present only inside internal/loadgen runs.
+	if s.LoadgenOffered != nil {
+		fmt.Fprintf(w, "# HELP salsa_loadgen_offered_total Arrivals offered by the scenario load generator, by priority class.\n")
+		fmt.Fprintf(w, "# TYPE salsa_loadgen_offered_total counter\n")
+		classes := make([]string, 0, len(s.LoadgenOffered))
+		for k := range s.LoadgenOffered {
+			classes = append(classes, k)
+		}
+		sort.Strings(classes)
+		for _, k := range classes {
+			fmt.Fprintf(w, "salsa_loadgen_offered_total{class=%q} %d\n", promEscape(k), s.LoadgenOffered[k])
+		}
+		writeCounter(w, "salsa_loadgen_late_arrivals_total",
+			"Arrivals the open-loop driver fired behind the seeded schedule (generator fidelity, not pool health).",
+			s.LoadgenLateArrivals)
 	}
 
 	if s.NetchaosFaults != nil {

@@ -17,8 +17,10 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"salsa"
+	"salsa/internal/loadgen"
 	"salsa/internal/telemetry"
 )
 
@@ -429,5 +431,105 @@ func TestRemoteExposition(t *testing.T) {
 		if got != want {
 			t.Errorf("%s = %v, want %v", key, got, want)
 		}
+	}
+}
+
+// TestAdmissionLoadgenExposition lints the salsa_admission_* and
+// salsa_loadgen_* families against live traffic: a loadgen scenario run
+// whose admission layer both rate-limits and converts pool saturation into
+// sheds, so every family carries real non-zero counts. Like the remote
+// families, both groups are nil-gated: a plain pool's exposition must not
+// mention them (an admission family at zero would read as "a limiter that
+// never fired" rather than "no limiter at all").
+func TestAdmissionLoadgenExposition(t *testing.T) {
+	// Plain pool: no admission, no loadgen families.
+	pool, err := salsa.New[int](salsa.Config{Producers: 1, Consumers: 1, Metrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runPool(t, pool, 100)
+	var buf bytes.Buffer
+	telemetry.WritePrometheus(&buf, pool.TelemetrySnapshot())
+	fams := parseExposition(t, buf.String())
+	for _, name := range []string{
+		"salsa_admission_admits_total",
+		"salsa_admission_sheds_total",
+		"salsa_admission_queue_admits_total",
+		"salsa_loadgen_offered_total",
+		"salsa_loadgen_late_arrivals_total",
+	} {
+		if fams[name] != nil {
+			t.Errorf("family %s exposed by a plain pool snapshot", name)
+		}
+	}
+
+	// Live run: tiny chunk capacity plus a rate cap, so the census holds
+	// admits and sheds of more than one reason.
+	sc := loadgen.Scenario{
+		Name: "promlint", Producers: 2, Consumers: 1,
+		ChunkSize: 8, InitialChunks: 1,
+		Horizon: 50 * time.Millisecond,
+		Shape:   loadgen.Shape{Kind: loadgen.Poisson, Rate: 120_000},
+		SizeMin: 1_024,
+		Admission: salsa.AdmissionConfig{
+			Rate:  50_000,
+			Burst: 256,
+		},
+	}
+	res := loadgen.Run(sc, 21, loadgen.Options{})
+	if res.Verdict != nil {
+		t.Fatalf("scenario verdict: %v", res.Verdict)
+	}
+	if res.Shed == 0 {
+		t.Fatal("scenario shed nothing: the sheds family would lint at zero")
+	}
+	buf.Reset()
+	telemetry.WritePrometheus(&buf, res.Telemetry)
+	fams = parseExposition(t, buf.String())
+
+	admits := fams["salsa_admission_admits_total"]
+	if admits == nil || admits.typ != "counter" {
+		t.Fatal("salsa_admission_admits_total missing or not a counter")
+	}
+	var admitSum float64
+	for _, v := range admits.samples {
+		admitSum += v
+	}
+	if admitSum != float64(res.Delivered) {
+		t.Errorf("admits sum %v, want delivered %d (the run drained fully)", admitSum, res.Delivered)
+	}
+	sheds := fams["salsa_admission_sheds_total"]
+	if sheds == nil || sheds.typ != "counter" {
+		t.Fatal("salsa_admission_sheds_total missing or not a counter")
+	}
+	var shedSum float64
+	for key, v := range sheds.samples {
+		if !strings.Contains(key, `class="`) || !strings.Contains(key, `reason="`) {
+			t.Errorf("shed sample %s lacks class/reason labels", key)
+		}
+		shedSum += v
+	}
+	if shedSum != float64(res.Shed) {
+		t.Errorf("sheds sum %v, want %d", shedSum, res.Shed)
+	}
+	if f := fams["salsa_admission_queue_admits_total"]; f == nil || f.typ != "counter" {
+		t.Error("salsa_admission_queue_admits_total missing or not a counter")
+	}
+
+	offered := fams["salsa_loadgen_offered_total"]
+	if offered == nil || offered.typ != "counter" {
+		t.Fatal("salsa_loadgen_offered_total missing or not a counter")
+	}
+	var offeredSum float64
+	for _, v := range offered.samples {
+		offeredSum += v
+	}
+	if offeredSum != float64(res.Offered) {
+		t.Errorf("offered sum %v, want %d", offeredSum, res.Offered)
+	}
+	if f := fams["salsa_loadgen_late_arrivals_total"]; f == nil || f.typ != "counter" {
+		t.Error("salsa_loadgen_late_arrivals_total missing or not a counter")
+	} else if v := f.samples["salsa_loadgen_late_arrivals_total"]; v != float64(res.Late) {
+		t.Errorf("salsa_loadgen_late_arrivals_total = %v, want %d", v, res.Late)
 	}
 }
